@@ -1,0 +1,76 @@
+// Ablation for the Section 5.5 "Compression" extension: bit-packed column
+// scans vs plain 4-byte scans on both device profiles. The paper's claim:
+// GPUs' higher compute-to-bandwidth ratio lets them profit from
+// non-byte-addressable packing; scan time should shrink ~bits/32 on the GPU.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "gpu/packed_column.h"
+#include "sim/device.h"
+
+namespace {
+
+using crystal::Rng;
+using crystal::TablePrinter;
+namespace bench = crystal::bench;
+namespace sim = crystal::sim;
+namespace gpu = crystal::gpu;
+
+constexpr int64_t kLocalN = 1ll << 22;
+constexpr int64_t kPaperN = 1ll << 28;
+constexpr double kScale = static_cast<double>(kPaperN) / kLocalN;
+
+double RunPacked(const sim::DeviceProfile& profile,
+                 const std::vector<int32_t>& values, int bits, int32_t hi) {
+  sim::Device dev(profile);
+  gpu::PackedColumn col(dev, values.data(),
+                        static_cast<int64_t>(values.size()), bits);
+  dev.ResetStats();
+  gpu::SelectCountPacked(dev, col, 0, hi);
+  return dev.TotalEstimatedMs() * kScale;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Extension ablation: bit-packed column scans (Section 5.5)",
+      "Section 5.5 'Compression' (future-work item, implemented here)",
+      "Range-count scan over 2^28 rows; values fit the declared width.");
+
+  std::vector<int32_t> values(kLocalN);
+  Rng rng(3);
+  for (auto& v : values) v = rng.UniformInt(0, 255);  // fits 8..32 bits
+
+  const sim::DeviceProfile gpu_prof = sim::DeviceProfile::V100();
+  const sim::DeviceProfile cpu_prof = sim::DeviceProfile::SkylakeI7();
+
+  TablePrinter t({"bits", "GPU (ms)", "GPU speedup", "CPU (ms)",
+                  "CPU speedup", "bytes vs raw"});
+  const double gpu32 = RunPacked(gpu_prof, values, 32, 127);
+  const double cpu32 = RunPacked(cpu_prof, values, 32, 127);
+  double gpu8 = 0;
+  for (int bits : {32, 24, 16, 12, 8}) {
+    const double g = RunPacked(gpu_prof, values, bits, 127);
+    const double c = RunPacked(cpu_prof, values, bits, 127);
+    if (bits == 8) gpu8 = g;
+    t.AddRow({std::to_string(bits), TablePrinter::Fmt(g, 2),
+              bench::Ratio(gpu32, g), TablePrinter::Fmt(c, 1),
+              bench::Ratio(cpu32, c),
+              TablePrinter::Fmt(bits / 32.0, 2)});
+  }
+  t.Print();
+  std::printf("\n");
+  // Traffic shrinks exactly bits/32; runtime gains flatten toward the
+  // per-tile atomic/reduction floor, which packing cannot shrink.
+  bench::ShapeCheck("8-bit packing moves 4x fewer bytes and cuts GPU scan "
+                    "time by >= 1.8x",
+                    gpu32 / gpu8 > 1.8);
+  bench::ShapeCheck("packing helps the CPU at least as much (both are "
+                    "bandwidth bound on scans)",
+                    cpu32 / RunPacked(cpu_prof, values, 8, 127) > 1.8);
+  return 0;
+}

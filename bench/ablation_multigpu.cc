@@ -1,0 +1,74 @@
+// Ablation for the Section 5.5 "Distributed+Hybrid" extension: SSB scaling
+// across 1..8 GPUs with the fact table partitioned and dimensions
+// replicated. Shows the sublinear scaling (replicated builds + merge) and
+// the memory-capacity growth that motivates multi-GPU deployments.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "model/multi_gpu.h"
+#include "sim/device.h"
+#include "ssb/crystal_engine.h"
+#include "ssb/datagen.h"
+
+namespace {
+
+using crystal::TablePrinter;
+namespace bench = crystal::bench;
+namespace sim = crystal::sim;
+namespace ssb = crystal::ssb;
+namespace model = crystal::model;
+
+}  // namespace
+
+int main() {
+  const int sf = static_cast<int>(bench::EnvInt("CRYSTAL_SSB_SF", 20));
+  const int divisor =
+      static_cast<int>(bench::EnvInt("CRYSTAL_SSB_FACT_DIVISOR", 20));
+  bench::PrintHeader(
+      "Extension ablation: multi-GPU SSB scaling (Section 5.5)",
+      "Section 5.5 'Distributed+Hybrid' (future-work item, implemented as a "
+      "model over the measured single-GPU runs)",
+      "Fact table partitioned across GPUs; dimension builds replicated; "
+      "aggregate grids merged over NVLink-class links (25 GBps).");
+
+  const ssb::Database db = ssb::Generate(sf, divisor);
+  sim::Device dev(sim::DeviceProfile::V100());
+  ssb::CrystalEngine engine(dev, db);
+
+  TablePrinter t({"GPUs", "SSB mean (ms)", "speedup", "efficiency",
+                  "max SF in memory"});
+  double mean1 = 0;
+  double mean8 = 0;
+  for (int gpus : {1, 2, 4, 8}) {
+    model::MultiGpuConfig cfg;
+    cfg.num_gpus = gpus;
+    double sum = 0;
+    for (ssb::QueryId id : ssb::kAllQueries) {
+      const ssb::EngineRun run = engine.Run(id);
+      const int64_t groups =
+          static_cast<int64_t>(run.result.group_keys.size());
+      sum += model::MultiGpuQueryMs(run.build_ms,
+                                    run.probe_ms * divisor, groups, cfg);
+    }
+    const double mean = sum / 13.0;
+    if (gpus == 1) mean1 = mean;
+    if (gpus == 8) mean8 = mean;
+    t.AddRow({std::to_string(gpus), TablePrinter::Fmt(mean, 2),
+              bench::Ratio(mean1, mean),
+              TablePrinter::Fmt(mean1 / mean / gpus * 100, 0) + "%",
+              std::to_string(model::MaxScaleFactor(cfg))});
+  }
+  t.Print();
+  std::printf("\n");
+  bench::ShapeCheck("8 GPUs beat 1 GPU by >= 4x on the probe-dominated mean",
+                    mean1 / mean8 >= 4.0);
+  bench::ShapeCheck("scaling is sublinear (replicated builds + merge)",
+                    mean1 / mean8 < 8.0);
+  model::MultiGpuConfig eight;
+  eight.num_gpus = 8;
+  bench::ShapeCheck(
+      "8 GPUs hold a multi-TB-scale working set (SF > 1000)",
+      model::MaxScaleFactor(eight) > 1000);
+  return 0;
+}

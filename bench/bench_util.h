@@ -1,0 +1,44 @@
+#ifndef CRYSTAL_BENCH_BENCH_UTIL_H_
+#define CRYSTAL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace crystal::bench {
+
+/// Common header printed by every figure/table reproduction binary.
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& paper_ref,
+                        const std::string& notes) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper reference: %s\n", paper_ref.c_str());
+  if (!notes.empty()) std::printf("%s\n", notes.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Prints a labelled shape check: the qualitative claim from the paper and
+/// whether our reproduction satisfies it.
+inline bool ShapeCheck(const std::string& claim, bool ok) {
+  std::printf("[%s] %s\n", ok ? "SHAPE OK " : "SHAPE FAIL", claim.c_str());
+  return ok;
+}
+
+/// Ratio formatted as "12.3x".
+inline std::string Ratio(double num, double den) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fx", num / den);
+  return buf;
+}
+
+/// Reads an integer environment knob with a default (used to shrink or grow
+/// bench workloads, e.g. CRYSTAL_SSB_FACT_DIVISOR).
+inline int64_t EnvInt(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : std::atoll(v);
+}
+
+}  // namespace crystal::bench
+
+#endif  // CRYSTAL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,149 @@
+// Google-benchmark microbenchmarks of the real host-side implementations
+// (CPU operator library and the simulator's functional throughput). These
+// measure THIS machine — they exist to profile the implementations, not to
+// reproduce paper numbers (see the figure benches for those).
+#include <benchmark/benchmark.h>
+
+#include "common/aligned.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "cpu/hash_join.h"
+#include "cpu/project.h"
+#include "cpu/radix.h"
+#include "cpu/select.h"
+#include "gpu/select.h"
+#include "sim/device.h"
+
+namespace {
+
+using crystal::AlignedVector;
+using crystal::Rng;
+using crystal::ThreadPool;
+
+AlignedVector<float> Floats(int64_t n, uint64_t seed) {
+  AlignedVector<float> v(static_cast<size_t>(n));
+  Rng rng(seed);
+  for (auto& x : v) x = rng.NextFloat();
+  return v;
+}
+
+void BM_CpuSelectBranching(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const auto in = Floats(n, 1);
+  AlignedVector<float> out(static_cast<size_t>(n) + 8);
+  ThreadPool pool(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crystal::cpu::SelectBranching(in.data(), n, 0.5f, out.data(), pool));
+  }
+  state.SetBytesProcessed(state.iterations() * n * 4);
+}
+BENCHMARK(BM_CpuSelectBranching)->Arg(1 << 20);
+
+void BM_CpuSelectPredicated(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const auto in = Floats(n, 2);
+  AlignedVector<float> out(static_cast<size_t>(n) + 8);
+  ThreadPool pool(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crystal::cpu::SelectPredicated(in.data(), n, 0.5f, out.data(), pool));
+  }
+  state.SetBytesProcessed(state.iterations() * n * 4);
+}
+BENCHMARK(BM_CpuSelectPredicated)->Arg(1 << 20);
+
+void BM_CpuSelectSimd(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const auto in = Floats(n, 3);
+  AlignedVector<float> out(static_cast<size_t>(n) + 8);
+  ThreadPool pool(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crystal::cpu::SelectSimdPredicated(
+        in.data(), n, 0.5f, out.data(), pool));
+  }
+  state.SetBytesProcessed(state.iterations() * n * 4);
+}
+BENCHMARK(BM_CpuSelectSimd)->Arg(1 << 20);
+
+void BM_CpuProjectSigmoidOpt(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const auto x1 = Floats(n, 4);
+  const auto x2 = Floats(n, 5);
+  AlignedVector<float> out(static_cast<size_t>(n));
+  ThreadPool pool(1);
+  for (auto _ : state) {
+    crystal::cpu::ProjectSigmoidOpt(x1.data(), x2.data(), n, 2.f, 3.f,
+                                    out.data(), pool);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 12);
+}
+BENCHMARK(BM_CpuProjectSigmoidOpt)->Arg(1 << 20);
+
+void BM_CpuHashJoinScalar(benchmark::State& state) {
+  const int64_t build_n = state.range(0);
+  const int64_t probe_n = 1 << 20;
+  ThreadPool pool(1);
+  AlignedVector<int32_t> bk(static_cast<size_t>(build_n)),
+      bv(static_cast<size_t>(build_n));
+  for (int64_t i = 0; i < build_n; ++i) {
+    bk[i] = static_cast<int32_t>(i);
+    bv[i] = static_cast<int32_t>(i);
+  }
+  crystal::cpu::HashTable ht(build_n);
+  ht.Build(bk.data(), bv.data(), build_n, pool);
+  AlignedVector<int32_t> pk(static_cast<size_t>(probe_n)),
+      pv(static_cast<size_t>(probe_n), 1);
+  Rng rng(6);
+  for (auto& k : pk) k = rng.UniformInt(0, static_cast<int32_t>(build_n - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crystal::cpu::ProbeScalar(ht, pk.data(), pv.data(), probe_n, pool));
+  }
+  state.SetItemsProcessed(state.iterations() * probe_n);
+}
+BENCHMARK(BM_CpuHashJoinScalar)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CpuRadixPartition(benchmark::State& state) {
+  const int64_t n = 1 << 20;
+  const int bits = static_cast<int>(state.range(0));
+  ThreadPool pool(1);
+  AlignedVector<uint32_t> keys(static_cast<size_t>(n)),
+      vals(static_cast<size_t>(n));
+  Rng rng(7);
+  for (int64_t i = 0; i < n; ++i) {
+    keys[i] = rng.Next32();
+    vals[i] = static_cast<uint32_t>(i);
+  }
+  AlignedVector<uint32_t> ok(static_cast<size_t>(n)),
+      ov(static_cast<size_t>(n));
+  for (auto _ : state) {
+    crystal::cpu::RadixPartitionPass(keys.data(), vals.data(), n, 0, bits,
+                                     ok.data(), ov.data(), pool);
+    benchmark::DoNotOptimize(ok.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 16);
+}
+BENCHMARK(BM_CpuRadixPartition)->Arg(4)->Arg(8)->Arg(11);
+
+void BM_SimulatorSelectThroughput(benchmark::State& state) {
+  // Functional throughput of the SIMT simulator itself (rows simulated per
+  // second) — useful when sizing bench workloads.
+  namespace sim = crystal::sim;
+  const int64_t n = state.range(0);
+  sim::Device dev(sim::DeviceProfile::V100());
+  sim::DeviceBuffer<float> in(dev, n), out(dev, n);
+  Rng rng(8);
+  for (int64_t i = 0; i < n; ++i) in[i] = rng.NextFloat();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crystal::gpu::Select(
+        dev, in, [](float v) { return v < 0.5f; }, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorSelectThroughput)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

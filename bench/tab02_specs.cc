@@ -1,0 +1,48 @@
+// Reproduces Table 2: hardware specifications of the two platforms.
+// These profiles drive every timing prediction in the repository.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "sim/profile.h"
+
+int main() {
+  using crystal::TablePrinter;
+  namespace sim = crystal::sim;
+  crystal::bench::PrintHeader(
+      "Table 2: Hardware Specifications",
+      "Shanbhag, Madden, Yu (SIGMOD 2020), Table 2",
+      "Simulated device profiles (the repo never times the host for "
+      "paper-scale numbers).");
+
+  const sim::DeviceProfile cpu = sim::DeviceProfile::SkylakeI7();
+  const sim::DeviceProfile gpu = sim::DeviceProfile::V100();
+  TablePrinter t({"Attribute", "CPU (i7-6900)", "GPU (V100)"});
+  auto row = [&](const char* a, const std::string& c, const std::string& g) {
+    t.AddRow({a, c, g});
+  };
+  row("Cores", std::to_string(cpu.cores) + " (16 with SMT)",
+      std::to_string(gpu.cores));
+  row("Memory Capacity",
+      std::to_string(cpu.memory_capacity_bytes >> 30) + " GB",
+      std::to_string(gpu.memory_capacity_bytes >> 30) + " GB");
+  row("L1 Size", "32KB/Core", "16KB/SM");
+  row("L2 Size", "256KB/Core", "6MB (Total)");
+  row("L3 Size", "20MB (Total)", "-");
+  row("Read Bandwidth", TablePrinter::Fmt(cpu.read_bw_gbps, 0) + " GBps",
+      TablePrinter::Fmt(gpu.read_bw_gbps, 0) + " GBps");
+  row("Write Bandwidth", TablePrinter::Fmt(cpu.write_bw_gbps, 0) + " GBps",
+      TablePrinter::Fmt(gpu.write_bw_gbps, 0) + " GBps");
+  row("L1 Bandwidth", "-",
+      TablePrinter::Fmt(gpu.l1_bw_gbps / 1000.0, 1) + " TBps");
+  row("L2 Bandwidth", "-",
+      TablePrinter::Fmt(gpu.l2_bw_gbps / 1000.0, 1) + " TBps");
+  row("L3 Bandwidth", TablePrinter::Fmt(cpu.l3_bw_gbps, 0) + " GBps", "-");
+  t.Print();
+
+  std::printf("\nDerived: bandwidth ratio = %.1fx (the paper's reference "
+              "point for operator speedups)\n",
+              gpu.read_bw_gbps / cpu.read_bw_gbps);
+  std::printf("PCIe 3.0 x16 measured bandwidth: 12.8 GBps (Section 5)\n");
+  return 0;
+}

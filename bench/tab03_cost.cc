@@ -1,0 +1,36 @@
+// Reproduces Table 3 and the Section 5.4 cost-effectiveness analysis:
+// the GPU system costs ~6x more but runs SSB ~25x faster => ~4x better
+// performance per dollar.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "model/query_models.h"
+
+int main() {
+  using crystal::TablePrinter;
+  namespace bench = crystal::bench;
+  bench::PrintHeader("Table 3 / Section 5.4: dollar-cost comparison",
+                     "Shanbhag, Madden, Yu (SIGMOD 2020), Table 3",
+                     "");
+
+  crystal::model::CostComparison c;
+  TablePrinter t({"", "Purchase Cost", "Renting Cost (AWS)"});
+  t.AddRow({"CPU (r5.2xlarge-class)", "$2-5K",
+            "$" + TablePrinter::Fmt(c.cpu_rent_per_hour, 3) + " per hour"});
+  t.AddRow({"GPU (p3.2xlarge-class)", "$CPU + 8.5K",
+            "$" + TablePrinter::Fmt(c.gpu_rent_per_hour, 2) + " per hour"});
+  t.Print();
+
+  std::printf("\nCost ratio (renting): %.1fx\n", c.cost_ratio());
+  std::printf("Measured SSB performance ratio: %.0fx (Fig. 16)\n",
+              c.perf_ratio);
+  std::printf("Cost effectiveness of the GPU: %.1fx (paper: ~4x)\n",
+              c.cost_effectiveness());
+  bench::ShapeCheck("GPU ~6x more expensive to rent",
+                    c.cost_ratio() > 5.5 && c.cost_ratio() < 6.5);
+  bench::ShapeCheck("GPU ~4x more cost effective",
+                    c.cost_effectiveness() > 3.0 &&
+                        c.cost_effectiveness() < 5.0);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Scenario: ordering a day of telemetry (timestamp-keyed events) on both
+// devices — the Section 4.4 sort workload in application form. Demonstrates
+// the CPU LSB radix sort (real, multithreaded, runs on the host) and the
+// GPU MSB radix sort (simulated V100), and checks they produce identical
+// orderings.
+//
+// Run: ./build/examples/telemetry_sort
+#include <cstdio>
+
+#include "common/aligned.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "cpu/radix.h"
+#include "gpu/radix_sort.h"
+#include "model/operator_models.h"
+#include "sim/device.h"
+
+using namespace crystal;  // examples only
+
+int main() {
+  const int64_t n = 4'000'000;
+  Rng rng(99);
+
+  // Telemetry: key = seconds-of-day * 100k + sensor id, value = reading id.
+  AlignedVector<uint32_t> keys(static_cast<size_t>(n));
+  AlignedVector<uint32_t> vals(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    keys[i] = rng.Next32();
+    vals[i] = static_cast<uint32_t>(i);
+  }
+
+  // CPU: Polychroniou-style LSB radix sort, for real, on the host.
+  ThreadPool& pool = ThreadPool::Default();
+  AlignedVector<uint32_t> cpu_keys = keys;
+  AlignedVector<uint32_t> cpu_vals = vals;
+  WallTimer timer;
+  cpu::LsbRadixSort(cpu_keys.data(), cpu_vals.data(), n, pool);
+  const double cpu_wall = timer.ElapsedMs();
+
+  // GPU: Stehle-style MSB radix sort on the simulated V100.
+  sim::Device device(sim::DeviceProfile::V100());
+  sim::DeviceBuffer<uint32_t> gpu_keys(device, n);
+  sim::DeviceBuffer<uint32_t> gpu_vals(device, n);
+  for (int64_t i = 0; i < n; ++i) {
+    gpu_keys[i] = keys[i];
+    gpu_vals[i] = vals[i];
+  }
+  device.ResetStats();
+  gpu::MsbRadixSort(device, &gpu_keys, &gpu_vals);
+  const double gpu_pred = device.TotalEstimatedMs();
+
+  // Same ordering?
+  for (int64_t i = 0; i < n; ++i) {
+    if (gpu_keys[i] != cpu_keys[i]) {
+      std::printf("MISMATCH at %lld\n", static_cast<long long>(i));
+      return 1;
+    }
+  }
+  std::printf("sorted %lldM events; CPU (host, %d threads) and simulated GPU "
+              "orderings identical\n",
+              static_cast<long long>(n / 1000000), pool.num_threads());
+  std::printf("host wall-clock (this machine):     %8.1f ms\n", cpu_wall);
+  std::printf("predicted V100 (MSB, 4x8-bit):      %8.2f ms\n", gpu_pred);
+  std::printf("modeled i7-6900 (LSB, 4x8-bit):     %8.1f ms\n",
+              model::SortModelMs(n, 4, sim::DeviceProfile::SkylakeI7()));
+  std::printf("paper, at 2^28 rows: CPU 464 ms vs GPU 27.08 ms (17.13x)\n");
+  return 0;
+}

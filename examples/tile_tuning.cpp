@@ -1,0 +1,78 @@
+// Scenario: tuning the tile geometry of a custom kernel. The paper spends
+// Fig. 9 on this question; this example shows how a library user explores
+// the same space for their own kernel (a fused filter + aggregate) and picks
+// a launch configuration.
+//
+// Run: ./build/examples/tile_tuning
+#include <cstdio>
+
+#include "common/rng.h"
+#include "crystal/crystal.h"
+#include "sim/device.h"
+#include "sim/exec.h"
+
+using namespace crystal;  // examples only
+
+namespace {
+
+// A fused kernel: SELECT SUM(v) FROM t WHERE v % 10 < 3, one pass.
+double RunOnce(sim::Device& device, const sim::DeviceBuffer<int32_t>& data,
+               sim::LaunchConfig config) {
+  sim::DeviceBuffer<int64_t> total(device, 1, 0);
+  device.ResetStats();
+  sim::LaunchTiles(
+      device, "filter_sum", config, data.size(),
+      [&](sim::ThreadBlock& tb, int64_t offset, int tile_size) {
+        RegTile<int32_t> items(tb);
+        RegTile<int> bitmap(tb);
+        BlockLoad(tb, data.data() + offset, tile_size, items);
+        BlockPred(tb, items, tile_size,
+                  [](int32_t v) { return v % 10 < 3; }, bitmap);
+        RegTile<int64_t> vals(tb);
+        vals.Fill(0);
+        for (int k = 0; k < tile_size; ++k) {
+          if (bitmap.logical(k)) vals.logical(k) = items.logical(k);
+        }
+        const int64_t s = BlockSum(tb, vals, tile_size);
+        tb.AtomicAdd(total.data(), s);
+      });
+  return device.TotalEstimatedMs();
+}
+
+}  // namespace
+
+int main() {
+  sim::Device device(sim::DeviceProfile::V100());
+  const int64_t n = 32'000'000;
+  sim::DeviceBuffer<int32_t> data(device, n);
+  Rng rng(7);
+  for (int64_t i = 0; i < n; ++i) data[i] = rng.UniformInt(0, 999);
+
+  std::printf("Tuning tile geometry for a fused filter+sum over %lldM "
+              "rows (V100 profile):\n\n", static_cast<long long>(n / 1000000));
+  std::printf("%-12s", "block size");
+  for (int ipt : {1, 2, 4}) std::printf("  IPT=%d (ms)", ipt);
+  std::printf("\n");
+
+  double best = 1e30;
+  sim::LaunchConfig best_cfg;
+  for (int nt : {32, 64, 128, 256, 512, 1024}) {
+    std::printf("%-12d", nt);
+    for (int ipt : {1, 2, 4}) {
+      const sim::LaunchConfig cfg{nt, ipt};
+      const double ms = RunOnce(device, data, cfg);
+      std::printf("  %10.3f", ms);
+      if (ms < best) {
+        best = ms;
+        best_cfg = cfg;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPick: %d threads x %d items per thread (%.3f ms). The paper "
+              "lands on 128x4 for the same reasons: wide enough tiles to "
+              "amortize the global atomic, vectorized loads at IPT=4, and "
+              "full SM occupancy below 512 threads.\n",
+              best_cfg.block_threads, best_cfg.items_per_thread, best);
+  return 0;
+}

@@ -1,0 +1,48 @@
+#ifndef CRYSTAL_COMMON_ALIGNED_H_
+#define CRYSTAL_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace crystal {
+
+/// STL allocator with 64-byte alignment so AVX2 loads/stores on column data
+/// are always aligned and rows never straddle a cache line start.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = std::aligned_alloc(kAlignment, RoundUp(n * sizeof(T)));
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+
+ private:
+  static std::size_t RoundUp(std::size_t bytes) {
+    return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  }
+};
+
+/// Column vector type used throughout: 64-byte aligned contiguous storage.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace crystal
+
+#endif  // CRYSTAL_COMMON_ALIGNED_H_

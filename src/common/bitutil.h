@@ -1,0 +1,47 @@
+#ifndef CRYSTAL_COMMON_BITUTIL_H_
+#define CRYSTAL_COMMON_BITUTIL_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace crystal {
+
+/// True if v is a power of two (and nonzero).
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Smallest power of two >= v (v must be <= 2^63).
+constexpr uint64_t NextPowerOfTwo(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Integer log2 of a power of two.
+constexpr int Log2(uint64_t v) {
+  int r = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// Ceil(a / b) for positive integers.
+constexpr int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// Finalizer of MurmurHash3 for 32-bit keys; cheap, well-mixed hash used by
+/// all hash tables in the repo (both CPU and simulated-GPU sides share it so
+/// results are bit-identical).
+inline uint32_t HashMurmur32(uint32_t k) {
+  k ^= k >> 16;
+  k *= 0x85ebca6bu;
+  k ^= k >> 13;
+  k *= 0xc2b2ae35u;
+  k ^= k >> 16;
+  return k;
+}
+
+}  // namespace crystal
+
+#endif  // CRYSTAL_COMMON_BITUTIL_H_

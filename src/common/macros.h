@@ -1,0 +1,37 @@
+#ifndef CRYSTAL_COMMON_MACROS_H_
+#define CRYSTAL_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// CRYSTAL_CHECK: always-on invariant check. The library has no exception
+// surface (Google style); violated invariants abort with a message. Use for
+// conditions that indicate a programming error, not for recoverable input
+// validation (those return bool/std::optional).
+#define CRYSTAL_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CRYSTAL_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define CRYSTAL_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CRYSTAL_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define CRYSTAL_DCHECK(cond) CRYSTAL_CHECK(cond)
+#else
+#define CRYSTAL_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#endif
+
+#endif  // CRYSTAL_COMMON_MACROS_H_

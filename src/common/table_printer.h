@@ -1,0 +1,35 @@
+#ifndef CRYSTAL_COMMON_TABLE_PRINTER_H_
+#define CRYSTAL_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace crystal {
+
+/// Fixed-width text table used by all bench binaries so that every figure /
+/// table reproduction prints in the same readable format:
+///
+///   TablePrinter t({"sigma", "CPU If", "GPU", "ratio"});
+///   t.AddRow({"0.5", "114.9", "3.7", "31.0"});
+///   t.Print();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders to stdout.
+  void Print() const;
+  /// Renders to a string (used in tests).
+  std::string ToString() const;
+
+  /// Helper: formats a double with the given precision.
+  static std::string Fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crystal
+
+#endif  // CRYSTAL_COMMON_TABLE_PRINTER_H_

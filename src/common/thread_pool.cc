@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace crystal {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  const int workers = num_threads - 1;  // calling thread is partition 0
+  pending_.resize(workers);
+  has_work_.assign(workers, false);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::ParallelFor(
+    int64_t n, const std::function<void(int, int64_t, int64_t)>& fn) {
+  CRYSTAL_CHECK(n >= 0);
+  const int parts = num_threads();
+  const int64_t chunk = (n + parts - 1) / parts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CRYSTAL_CHECK_MSG(outstanding_ == 0, "nested ParallelFor not supported");
+    for (int i = 1; i < parts; ++i) {
+      const int64_t begin = std::min<int64_t>(n, i * chunk);
+      const int64_t end = std::min<int64_t>(n, begin + chunk);
+      Task& t = pending_[i - 1];
+      t.fn = fn;
+      t.begin = begin;
+      t.end = end;
+      t.thread_index = i;
+      has_work_[i - 1] = true;
+      ++outstanding_;
+    }
+  }
+  work_ready_.notify_all();
+  // Partition 0 runs inline on the calling thread.
+  fn(0, 0, std::min<int64_t>(n, chunk));
+  std::unique_lock<std::mutex> lock(mu_);
+  work_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this, worker_index] {
+        return shutdown_ || has_work_[worker_index];
+      });
+      if (shutdown_ && !has_work_[worker_index]) return;
+      task = pending_[worker_index];
+      has_work_[worker_index] = false;
+    }
+    if (task.begin < task.end || task.fn) {
+      task.fn(task.thread_index, task.begin, task.end);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+    }
+    work_done_.notify_all();
+  }
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace crystal

@@ -1,0 +1,60 @@
+#ifndef CRYSTAL_COMMON_THREAD_POOL_H_
+#define CRYSTAL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace crystal {
+
+/// Fixed-size worker pool used by the CPU operator implementations. All CPU
+/// operators in the paper partition their input equally across hardware
+/// threads; ParallelFor reproduces that scheme (static range partitioning,
+/// one contiguous chunk per worker).
+class ThreadPool {
+ public:
+  /// num_threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(thread_index, begin, end) on num_threads() static partitions of
+  /// [0, n) and blocks until all complete. The calling thread executes
+  /// partition 0, so a pool of size 1 degenerates to a serial loop.
+  void ParallelFor(int64_t n,
+                   const std::function<void(int, int64_t, int64_t)>& fn);
+
+  /// Shared default pool sized to the host.
+  static ThreadPool& Default();
+
+ private:
+  struct Task {
+    std::function<void(int, int64_t, int64_t)> fn;
+    int64_t begin = 0;
+    int64_t end = 0;
+    int thread_index = 0;
+  };
+
+  void WorkerLoop(int worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::vector<Task> pending_;     // one slot per worker; valid when has_work_
+  std::vector<bool> has_work_;    // per worker
+  int outstanding_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace crystal
+
+#endif  // CRYSTAL_COMMON_THREAD_POOL_H_

@@ -1,0 +1,33 @@
+#ifndef CRYSTAL_COMMON_TIMER_H_
+#define CRYSTAL_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace crystal {
+
+/// Simple wall-clock timer. Measures real host time (used for the honest
+/// local measurements; the paper-scale numbers come from the simulator's
+/// timing model, see sim/timing.h).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSec() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace crystal
+
+#endif  // CRYSTAL_COMMON_TIMER_H_

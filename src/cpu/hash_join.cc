@@ -1,0 +1,179 @@
+#include "cpu/hash_join.h"
+
+#include <atomic>
+
+#include "common/bitutil.h"
+#include "common/macros.h"
+
+#if defined(CRYSTAL_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace crystal::cpu {
+
+HashTable::HashTable(int64_t expected_keys, double max_fill)
+    : slots_(static_cast<size_t>(NextPowerOfTwo(static_cast<uint64_t>(
+          static_cast<double>(expected_keys) / max_fill + 1)))),
+      mask_(static_cast<uint32_t>(slots_.size() - 1)) {
+  std::fill(slots_.begin(), slots_.end(), 0);
+}
+
+void HashTable::Build(const int32_t* keys, const int32_t* values, int64_t n,
+                      ThreadPool& pool) {
+  auto* slots = reinterpret_cast<std::atomic<uint64_t>*>(slots_.data());
+  pool.ParallelFor(n, [&](int, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const int32_t key = keys[i];
+      CRYSTAL_CHECK(key >= 0);
+      const uint64_t packed = EncodeSlot(key, values[i]);
+      uint64_t slot = HashMurmur32(static_cast<uint32_t>(key)) & mask_;
+      for (;;) {
+        uint64_t expected = 0;
+        if (slots[slot].compare_exchange_strong(expected, packed,
+                                                std::memory_order_relaxed)) {
+          break;
+        }
+        CRYSTAL_CHECK_MSG(SlotKey(expected) != key, "duplicate build key");
+        slot = (slot + 1) & mask_;
+      }
+    }
+  });
+}
+
+bool HashTable::Lookup(int32_t key, int32_t* value) const {
+  uint64_t slot = HashMurmur32(static_cast<uint32_t>(key)) & mask_;
+  for (int64_t step = 0; step < num_slots(); ++step) {
+    const uint64_t s = slots_[slot];
+    if (SlotEmpty(s)) return false;
+    if (SlotKey(s) == key) {
+      *value = SlotValue(s);
+      return true;
+    }
+    slot = (slot + 1) & mask_;
+  }
+  return false;
+}
+
+namespace {
+
+template <typename BodyFn>
+ProbeResult ProbeDriver(int64_t n, ThreadPool& pool, BodyFn body) {
+  std::atomic<int64_t> sum{0};
+  std::atomic<int64_t> matches{0};
+  pool.ParallelFor(n, [&](int, int64_t begin, int64_t end) {
+    int64_t local_sum = 0;
+    int64_t local_matches = 0;
+    body(begin, end, &local_sum, &local_matches);
+    sum.fetch_add(local_sum, std::memory_order_relaxed);
+    matches.fetch_add(local_matches, std::memory_order_relaxed);
+  });
+  return ProbeResult{sum.load(), matches.load()};
+}
+
+}  // namespace
+
+ProbeResult ProbeScalar(const HashTable& table, const int32_t* keys,
+                        const int32_t* vals, int64_t n, ThreadPool& pool) {
+  return ProbeDriver(n, pool, [&](int64_t begin, int64_t end, int64_t* sum,
+                                  int64_t* matches) {
+    for (int64_t i = begin; i < end; ++i) {
+      int32_t payload;
+      if (table.Lookup(keys[i], &payload)) {
+        *sum += static_cast<int64_t>(vals[i]) + payload;
+        ++*matches;
+      }
+    }
+  });
+}
+
+ProbeResult ProbeSimd(const HashTable& table, const int32_t* keys,
+                      const int32_t* vals, int64_t n, ThreadPool& pool) {
+#if defined(CRYSTAL_HAVE_AVX2)
+  const uint64_t* slots = table.slots();
+  const uint32_t mask = table.mask();
+  return ProbeDriver(n, pool, [&](int64_t begin, int64_t end, int64_t* sum,
+                                  int64_t* matches) {
+    // Vertical vectorization state: 8 lanes, each owning an in-flight key.
+    alignas(32) int32_t lane_key[8];
+    alignas(32) int32_t lane_val[8];
+    alignas(32) uint32_t lane_slot[8];
+    alignas(32) uint32_t lane_live[8];
+    int64_t next = begin;
+    auto refill = [&](int lane) {
+      if (next < end) {
+        lane_key[lane] = keys[next];
+        lane_val[lane] = vals[next];
+        lane_slot[lane] =
+            HashMurmur32(static_cast<uint32_t>(keys[next])) & mask;
+        lane_live[lane] = 1;
+        ++next;
+      } else {
+        lane_live[lane] = 0;
+      }
+    };
+    for (int lane = 0; lane < 8; ++lane) refill(lane);
+    for (;;) {
+      bool any_live = false;
+      for (int lane = 0; lane < 8; ++lane) any_live |= lane_live[lane] != 0;
+      if (!any_live) break;
+      // Two 4x64-bit gathers fetch the 8 lanes' slots (the extra gather +
+      // deinterleave is exactly the overhead Section 4.3 blames for
+      // CPU SIMD losing to CPU Scalar).
+      const __m128i idx_lo =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(lane_slot));
+      const __m128i idx_hi =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(lane_slot + 4));
+      alignas(32) uint64_t fetched[8];
+      _mm256_store_si256(
+          reinterpret_cast<__m256i*>(fetched),
+          _mm256_i32gather_epi64(
+              reinterpret_cast<const long long*>(slots), idx_lo, 8));
+      _mm256_store_si256(
+          reinterpret_cast<__m256i*>(fetched + 4),
+          _mm256_i32gather_epi64(
+              reinterpret_cast<const long long*>(slots), idx_hi, 8));
+      for (int lane = 0; lane < 8; ++lane) {
+        if (!lane_live[lane]) continue;
+        const uint64_t s = fetched[lane];
+        if (HashTable::SlotEmpty(s)) {
+          refill(lane);
+        } else if (HashTable::SlotKey(s) == lane_key[lane]) {
+          *sum += static_cast<int64_t>(lane_val[lane]) +
+                  HashTable::SlotValue(s);
+          ++*matches;
+          refill(lane);
+        } else {
+          lane_slot[lane] = (lane_slot[lane] + 1) & mask;
+        }
+      }
+    }
+  });
+#else
+  return ProbeScalar(table, keys, vals, n, pool);
+#endif
+}
+
+ProbeResult ProbePrefetch(const HashTable& table, const int32_t* keys,
+                          const int32_t* vals, int64_t n, ThreadPool& pool,
+                          int prefetch_distance) {
+  const uint64_t* slots = table.slots();
+  const uint32_t mask = table.mask();
+  return ProbeDriver(n, pool, [&](int64_t begin, int64_t end, int64_t* sum,
+                                  int64_t* matches) {
+    for (int64_t i = begin; i < end; ++i) {
+      const int64_t ahead = i + prefetch_distance;
+      if (ahead < end) {
+        const uint64_t slot =
+            HashMurmur32(static_cast<uint32_t>(keys[ahead])) & mask;
+        __builtin_prefetch(&slots[slot], 0 /*read*/, 1 /*low locality*/);
+      }
+      int32_t payload;
+      if (table.Lookup(keys[i], &payload)) {
+        *sum += static_cast<int64_t>(vals[i]) + payload;
+        ++*matches;
+      }
+    }
+  });
+}
+
+}  // namespace crystal::cpu

@@ -1,0 +1,33 @@
+#ifndef CRYSTAL_CPU_PROJECT_H_
+#define CRYSTAL_CPU_PROJECT_H_
+
+#include <cstdint>
+
+#include "common/thread_pool.h"
+
+namespace crystal::cpu {
+
+/// CPU projection variants of Section 4.1. "Scalar" is the plain
+/// multi-threaded loop (the paper's "CPU"); "Opt" adds SIMD arithmetic and
+/// non-temporal (streaming) stores that bypass the cache hierarchy (the
+/// paper's "CPU-Opt"). All variants partition the input statically across
+/// the pool's threads.
+
+/// Q1: out[i] = a*x1[i] + b*x2[i].
+void ProjectLinearScalar(const float* x1, const float* x2, int64_t n, float a,
+                         float b, float* out, ThreadPool& pool);
+void ProjectLinearOpt(const float* x1, const float* x2, int64_t n, float a,
+                      float b, float* out, ThreadPool& pool);
+
+/// Q2: out[i] = sigmoid(a*x1[i] + b*x2[i]); sigmoid(z) = 1/(1+exp(-z)).
+/// The scalar variant calls libm expf per element and is compute bound on
+/// real hardware; the Opt variant uses an 8-lane polynomial exp
+/// (~3e-5 relative error) and reaches memory bandwidth.
+void ProjectSigmoidScalar(const float* x1, const float* x2, int64_t n, float a,
+                          float b, float* out, ThreadPool& pool);
+void ProjectSigmoidOpt(const float* x1, const float* x2, int64_t n, float a,
+                       float b, float* out, ThreadPool& pool);
+
+}  // namespace crystal::cpu
+
+#endif  // CRYSTAL_CPU_PROJECT_H_

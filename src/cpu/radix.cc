@@ -1,0 +1,110 @@
+#include "cpu/radix.h"
+
+#include <cstring>
+
+#include "common/aligned.h"
+#include "common/macros.h"
+
+#if defined(CRYSTAL_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace crystal::cpu {
+
+namespace {
+
+inline uint32_t Digit(uint32_t key, int start_bit, int bits) {
+  return (key >> start_bit) & ((1u << bits) - 1u);
+}
+
+// Software write-combining buffer: 8 packed (key,val) pairs = 64 bytes,
+// flushed with one streaming burst per cache line.
+constexpr int kWcEntries = 8;
+
+struct WcBuffer {
+  alignas(64) uint64_t packed[kWcEntries];
+  int fill = 0;
+};
+
+inline void FlushWc(WcBuffer* buf, int64_t* cursor, uint32_t* out_keys,
+                    uint32_t* out_vals) {
+  const int64_t base = *cursor;
+  for (int j = 0; j < buf->fill; ++j) {
+    out_keys[base + j] = static_cast<uint32_t>(buf->packed[j] >> 32);
+    out_vals[base + j] = static_cast<uint32_t>(buf->packed[j]);
+  }
+  *cursor += buf->fill;
+  buf->fill = 0;
+}
+
+}  // namespace
+
+std::vector<std::vector<int64_t>> RadixHistogram(const uint32_t* keys,
+                                                 int64_t n, int start_bit,
+                                                 int bits, ThreadPool& pool) {
+  CRYSTAL_CHECK(bits >= 1 && bits <= 16);
+  const int64_t buckets = 1ll << bits;
+  std::vector<std::vector<int64_t>> hist(
+      pool.num_threads(), std::vector<int64_t>(buckets, 0));
+  pool.ParallelFor(n, [&](int t, int64_t begin, int64_t end) {
+    auto& h = hist[t];
+    for (int64_t i = begin; i < end; ++i) {
+      ++h[Digit(keys[i], start_bit, bits)];
+    }
+  });
+  return hist;
+}
+
+void RadixPartitionPass(const uint32_t* keys, const uint32_t* vals, int64_t n,
+                        int start_bit, int bits, uint32_t* out_keys,
+                        uint32_t* out_vals, ThreadPool& pool) {
+  const int64_t buckets = 1ll << bits;
+  auto hist = RadixHistogram(keys, n, start_bit, bits, pool);
+
+  // Prefix sum over the bucket-major (bucket, thread) order gives each
+  // thread its starting cursor per bucket; the result is globally stable.
+  std::vector<std::vector<int64_t>> cursor(
+      pool.num_threads(), std::vector<int64_t>(buckets, 0));
+  int64_t run = 0;
+  for (int64_t b = 0; b < buckets; ++b) {
+    for (int t = 0; t < pool.num_threads(); ++t) {
+      cursor[t][b] = run;
+      run += hist[t][b];
+    }
+  }
+  CRYSTAL_CHECK(run == n);
+
+  pool.ParallelFor(n, [&](int t, int64_t begin, int64_t end) {
+    auto& cur = cursor[t];
+    std::vector<WcBuffer> wc(buckets);
+    for (int64_t i = begin; i < end; ++i) {
+      const uint32_t d = Digit(keys[i], start_bit, bits);
+      WcBuffer& buf = wc[d];
+      buf.packed[buf.fill++] =
+          (static_cast<uint64_t>(keys[i]) << 32) | vals[i];
+      if (buf.fill == kWcEntries) FlushWc(&buf, &cur[d], out_keys, out_vals);
+    }
+    for (int64_t b = 0; b < buckets; ++b) {
+      if (wc[b].fill > 0) FlushWc(&wc[b], &cur[b], out_keys, out_vals);
+    }
+  });
+}
+
+void LsbRadixSort(uint32_t* keys, uint32_t* vals, int64_t n,
+                  ThreadPool& pool) {
+  AlignedVector<uint32_t> tmp_keys(static_cast<size_t>(n));
+  AlignedVector<uint32_t> tmp_vals(static_cast<size_t>(n));
+  uint32_t* src_k = keys;
+  uint32_t* src_v = vals;
+  uint32_t* dst_k = tmp_keys.data();
+  uint32_t* dst_v = tmp_vals.data();
+  for (int pass = 0; pass < 4; ++pass) {
+    RadixPartitionPass(src_k, src_v, n, pass * 8, 8, dst_k, dst_v, pool);
+    std::swap(src_k, dst_k);
+    std::swap(src_v, dst_v);
+  }
+  // 4 passes: data ended back in the caller's arrays.
+  CRYSTAL_CHECK(src_k == keys);
+}
+
+}  // namespace crystal::cpu

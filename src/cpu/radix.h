@@ -1,0 +1,41 @@
+#ifndef CRYSTAL_CPU_RADIX_H_
+#define CRYSTAL_CPU_RADIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace crystal::cpu {
+
+/// CPU radix partitioning (Polychroniou & Ross) and LSB radix sort
+/// (Section 4.4). A radix-partition pass has two phases:
+///  * histogram: each thread counts its partition's radix values into an
+///    L1-resident histogram;
+///  * shuffle: a prefix sum over the 2^r x t histogram matrix assigns every
+///    thread its write cursors, then each thread scatters its elements
+///    through 64-byte software write-combining buffers flushed with
+///    streaming stores.
+/// Beyond ~8 bits the per-thread buffers outgrow L1 and performance decays
+/// (Fig. 14b), which the analytical model in src/model reproduces.
+
+/// Histogram phase: returns the t x 2^bits per-thread histogram matrix
+/// (row = thread) for keys' bits [start_bit, start_bit+bits).
+std::vector<std::vector<int64_t>> RadixHistogram(const uint32_t* keys,
+                                                 int64_t n, int start_bit,
+                                                 int bits, ThreadPool& pool);
+
+/// Full stable radix-partition pass of (keys, vals) into (out_keys,
+/// out_vals) by bits [start_bit, start_bit+bits).
+void RadixPartitionPass(const uint32_t* keys, const uint32_t* vals, int64_t n,
+                        int start_bit, int bits, uint32_t* out_keys,
+                        uint32_t* out_vals, ThreadPool& pool);
+
+/// LSB radix sort of (keys, vals) by key ascending: 4 stable passes of
+/// 8 bits (the paper's CPU plan).
+void LsbRadixSort(uint32_t* keys, uint32_t* vals, int64_t n,
+                  ThreadPool& pool);
+
+}  // namespace crystal::cpu
+
+#endif  // CRYSTAL_CPU_RADIX_H_

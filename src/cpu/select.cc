@@ -1,0 +1,149 @@
+#include "cpu/select.h"
+
+#include <atomic>
+#include <cstring>
+
+#if defined(CRYSTAL_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace crystal::cpu {
+
+namespace {
+
+// Vector size for the two-pass scheme: small enough that the second pass
+// reads from L1 ("a vector is about 1000 entries", Section 3.2).
+constexpr int kVectorSize = 1024;
+
+// Shared driver: walks the thread's partition in vectors, counts with
+// `count_fn`, claims output space, and copies with `copy_fn`.
+template <typename CountFn, typename CopyFn>
+int64_t SelectDriver(const float* in, int64_t n, float v, float* out,
+                     ThreadPool& pool, CountFn count_fn, CopyFn copy_fn) {
+  std::atomic<int64_t> cursor{0};
+  pool.ParallelFor(n, [&](int, int64_t begin, int64_t end) {
+    for (int64_t lo = begin; lo < end; lo += kVectorSize) {
+      const int64_t hi = lo + kVectorSize < end ? lo + kVectorSize : end;
+      const int64_t matches = count_fn(in + lo, hi - lo, v);
+      if (matches == 0) continue;
+      const int64_t off = cursor.fetch_add(matches);
+      copy_fn(in + lo, hi - lo, v, out + off, matches);
+    }
+  });
+  return cursor.load();
+}
+
+int64_t CountPredicated(const float* in, int64_t n, float v) {
+  int64_t c = 0;
+  for (int64_t i = 0; i < n; ++i) c += in[i] < v ? 1 : 0;
+  return c;
+}
+
+#if defined(CRYSTAL_HAVE_AVX2)
+
+// perm_table[mask] holds the lane permutation that compacts the lanes whose
+// mask bit is set to the front (Polychroniou-style selective store).
+struct PermTable {
+  alignas(32) int32_t idx[256][8];
+  PermTable() {
+    for (int mask = 0; mask < 256; ++mask) {
+      int k = 0;
+      for (int lane = 0; lane < 8; ++lane) {
+        if (mask & (1 << lane)) idx[mask][k++] = lane;
+      }
+      for (; k < 8; ++k) idx[mask][k] = 0;
+    }
+  }
+};
+const PermTable& GetPermTable() {
+  static const PermTable* table = new PermTable();
+  return *table;
+}
+
+int64_t CountSimd(const float* in, int64_t n, float v) {
+  const __m256 vv = _mm256_set1_ps(v);
+  int64_t c = 0;
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(in + i);
+    const int mask = _mm256_movemask_ps(_mm256_cmp_ps(x, vv, _CMP_LT_OQ));
+    c += __builtin_popcount(static_cast<unsigned>(mask));
+  }
+  for (; i < n; ++i) c += in[i] < v ? 1 : 0;
+  return c;
+}
+
+void CopySimd(const float* in, int64_t n, float v, float* out) {
+  const PermTable& pt = GetPermTable();
+  const __m256 vv = _mm256_set1_ps(v);
+  int64_t w = 0;
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(in + i);
+    const int mask = _mm256_movemask_ps(_mm256_cmp_ps(x, vv, _CMP_LT_OQ));
+    const __m256i perm =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(pt.idx[mask]));
+    const __m256 packed = _mm256_permutevar8x32_ps(x, perm);
+    // Unaligned store of the compacted lanes; only the first popcount lanes
+    // are meaningful and the cursor advance keeps later writes overwriting
+    // the garbage tail — the classic selective-store idiom.
+    _mm256_storeu_ps(out + w, packed);
+    w += __builtin_popcount(static_cast<unsigned>(mask));
+  }
+  for (; i < n; ++i) {
+    out[w] = in[i];
+    w += in[i] < v ? 1 : 0;
+  }
+}
+
+#endif  // CRYSTAL_HAVE_AVX2
+
+}  // namespace
+
+int64_t SelectBranching(const float* in, int64_t n, float v, float* out,
+                        ThreadPool& pool) {
+  return SelectDriver(
+      in, n, v, out, pool, CountPredicated,
+      [](const float* src, int64_t len, float cut, float* dst, int64_t) {
+        int64_t w = 0;
+        for (int64_t i = 0; i < len; ++i) {
+          if (src[i] < cut) {  // branch: mispredicts at mid selectivities
+            dst[w++] = src[i];
+          }
+        }
+      });
+}
+
+int64_t SelectPredicated(const float* in, int64_t n, float v, float* out,
+                         ThreadPool& pool) {
+  return SelectDriver(
+      in, n, v, out, pool, CountPredicated,
+      [](const float* src, int64_t len, float cut, float* dst, int64_t) {
+        int64_t w = 0;
+        for (int64_t i = 0; i < len; ++i) {
+          dst[w] = src[i];
+          w += src[i] < cut ? 1 : 0;  // data dependency, no branch
+        }
+      });
+}
+
+int64_t SelectSimdPredicated(const float* in, int64_t n, float v, float* out,
+                             ThreadPool& pool) {
+#if defined(CRYSTAL_HAVE_AVX2)
+  // The compacted tail may scribble up to 7 lanes past the claimed range;
+  // each vector's copy stays within its claim except transiently, so run the
+  // SIMD copy against a small local buffer and memcpy the exact count.
+  return SelectDriver(
+      in, n, v, out, pool, CountSimd,
+      [](const float* src, int64_t len, float cut, float* dst,
+         int64_t matches) {
+        alignas(32) float buf[kVectorSize + 8];
+        CopySimd(src, len, cut, buf);
+        std::memcpy(dst, buf, static_cast<size_t>(matches) * sizeof(float));
+      });
+#else
+  return SelectPredicated(in, n, v, out, pool);
+#endif
+}
+
+}  // namespace crystal::cpu

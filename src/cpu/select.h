@@ -1,0 +1,36 @@
+#ifndef CRYSTAL_CPU_SELECT_H_
+#define CRYSTAL_CPU_SELECT_H_
+
+#include <cstdint>
+
+#include "common/thread_pool.h"
+
+namespace crystal::cpu {
+
+/// CPU selection-scan variants of Section 4.2, all implementing
+///   SELECT y FROM R WHERE y < v
+/// with the two-pass vector scheme of Section 3.2: each thread processes its
+/// partition in L1-resident vectors (~1024 entries); pass 1 counts matches,
+/// a single atomic claims the output range, pass 2 (reading from L1) copies
+/// the matches. Output is densely packed; vector ranges land in claim order.
+/// All return the number of selected entries.
+
+/// "CPU If": branching inner loop (Fig. 15a) — branch mispredictions stall
+/// the pipeline at intermediate selectivities.
+int64_t SelectBranching(const float* in, int64_t n, float v, float* out,
+                        ThreadPool& pool);
+
+/// "CPU Pred": branch-free predication (Fig. 15b) — the control dependency
+/// becomes a data dependency.
+int64_t SelectPredicated(const float* in, int64_t n, float v, float* out,
+                         ThreadPool& pool);
+
+/// "CPU SIMDPred": vectorized selective store (Polychroniou et al.):
+/// 8-lane compare, movemask, compaction via a permutation lookup table, and
+/// streaming writes of the compacted lanes.
+int64_t SelectSimdPredicated(const float* in, int64_t n, float v, float* out,
+                             ThreadPool& pool);
+
+}  // namespace crystal::cpu
+
+#endif  // CRYSTAL_CPU_SELECT_H_

@@ -1,0 +1,56 @@
+#ifndef CRYSTAL_CRYSTAL_BLOCK_LOAD_H_
+#define CRYSTAL_CRYSTAL_BLOCK_LOAD_H_
+
+#include <cstdint>
+
+#include "crystal/reg_tile.h"
+#include "sim/device.h"
+#include "sim/exec.h"
+
+namespace crystal {
+
+/// BlockLoad (Table 1): copies a tile of items from global memory into
+/// per-thread registers, striped across threads. Full tiles use vector
+/// instructions; the trailing partial tile is loaded element-at-a-time with
+/// a bounds guard. Traffic: tile_size * sizeof(T) coalesced bytes.
+template <typename T>
+void BlockLoad(sim::ThreadBlock& tb, const T* src, int tile_size,
+               RegTile<T>& items) {
+  for (int k = 0; k < tile_size; ++k) items.logical(k) = src[k];
+  tb.device().RecordSeqRead(static_cast<int64_t>(tile_size) * sizeof(T));
+  tb.SyncThreads();
+}
+
+/// BlockLoadSel (Table 1): selectively loads the items of a tile whose
+/// bitmap flag is set; unflagged registers are left untouched. Only the
+/// cache lines containing flagged items are read from global memory, so the
+/// traffic of a post-filter column load shrinks with selectivity (the
+/// min(4|L|/C, |L| sigma) term of the Section 5.3 model). `base_addr` is the
+/// notional device address of src[0] (DeviceBuffer::addr).
+template <typename T>
+void BlockLoadSel(sim::ThreadBlock& tb, const T* src, uint64_t base_addr,
+                  int tile_size, const RegTile<int>& bitmap,
+                  RegTile<T>& items) {
+  const int line = tb.device().profile().dram_access_bytes;
+  const int per_line = line / static_cast<int>(sizeof(T));
+  int64_t lines = 0;
+  int64_t last_line = -1;
+  for (int k = 0; k < tile_size; ++k) {
+    if (!bitmap.logical(k)) continue;
+    items.logical(k) = src[k];
+    const int64_t this_line =
+        static_cast<int64_t>((base_addr + k * sizeof(T)) /
+                             static_cast<uint64_t>(line));
+    if (this_line != last_line) {
+      ++lines;
+      last_line = this_line;
+    }
+  }
+  (void)per_line;
+  tb.device().RecordSeqRead(lines * line);
+  tb.SyncThreads();
+}
+
+}  // namespace crystal
+
+#endif  // CRYSTAL_CRYSTAL_BLOCK_LOAD_H_

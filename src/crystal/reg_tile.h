@@ -1,0 +1,50 @@
+#ifndef CRYSTAL_CRYSTAL_REG_TILE_H_
+#define CRYSTAL_CRYSTAL_REG_TILE_H_
+
+#include "sim/exec.h"
+
+namespace crystal {
+
+/// Per-thread register storage for one tile, modeled collectively for the
+/// whole thread block: NT threads x IPT items. This corresponds to the
+/// `T items[ITEMS_PER_THREAD]` register arrays of the CUDA Crystal library
+/// (Fig. 8 of the paper). Register access carries no memory traffic.
+///
+/// The canonical arrangement is *striped* (CUB convention, used by
+/// BlockLoad): item i of thread t holds logical element i*NT + t of the
+/// tile, so warp-neighbouring threads touch adjacent memory and loads
+/// coalesce.
+template <typename T>
+class RegTile {
+ public:
+  explicit RegTile(sim::ThreadBlock& tb)
+      : nt_(tb.num_threads()),
+        ipt_(tb.items_per_thread()),
+        data_(tb.AllocRegisters<T>(static_cast<int64_t>(nt_) * ipt_)) {}
+
+  int num_threads() const { return nt_; }
+  int items_per_thread() const { return ipt_; }
+  int size() const { return nt_ * ipt_; }
+
+  /// Register of thread `t`, slot `i`.
+  T& at(int t, int i) { return data_[i * nt_ + t]; }
+  const T& at(int t, int i) const { return data_[i * nt_ + t]; }
+
+  /// Logical element `k` of the tile under the striped arrangement
+  /// (k = i*NT + t); used by primitives that walk the tile in memory order.
+  T& logical(int k) { return data_[k]; }
+  const T& logical(int k) const { return data_[k]; }
+
+  void Fill(T v) {
+    for (int k = 0; k < size(); ++k) data_[k] = v;
+  }
+
+ private:
+  int nt_;
+  int ipt_;
+  T* data_;  // owned by the ThreadBlock register arena
+};
+
+}  // namespace crystal
+
+#endif  // CRYSTAL_CRYSTAL_REG_TILE_H_

@@ -1,0 +1,45 @@
+#include "gpu/hash_join.h"
+
+#include "crystal/crystal.h"
+#include "sim/exec.h"
+
+namespace crystal::gpu {
+
+JoinResult HashJoinProbeSum(sim::Device& device, const DeviceHashTable& table,
+                            const sim::DeviceBuffer<int32_t>& probe_keys,
+                            const sim::DeviceBuffer<int32_t>& probe_vals,
+                            const sim::LaunchConfig& config) {
+  CRYSTAL_CHECK(probe_keys.size() == probe_vals.size());
+  const HashTableView ht = table.view();
+  sim::DeviceBuffer<int64_t> sum(device, 1, 0);
+  sim::DeviceBuffer<int64_t> count(device, 1, 0);
+  sim::LaunchTiles(
+      device, "hash_join_probe", config, probe_keys.size(),
+      [&](sim::ThreadBlock& tb, int64_t offset, int tile_size) {
+        RegTile<int32_t> keys(tb);
+        RegTile<int32_t> vals(tb);
+        RegTile<int32_t> payload(tb);
+        RegTile<int> bitmap(tb);
+        BlockLoad(tb, probe_keys.data() + offset, tile_size, keys);
+        BlockLoad(tb, probe_vals.data() + offset, tile_size, vals);
+        bitmap.Fill(1);
+        BlockLookup(tb, ht, keys, bitmap, payload, tile_size);
+        // Per-thread local sums, then one block reduction + one atomic.
+        RegTile<int64_t> partial(tb);
+        partial.Fill(0);
+        int64_t matched = 0;
+        for (int k = 0; k < tile_size; ++k) {
+          if (bitmap.logical(k)) {
+            partial.logical(k) = static_cast<int64_t>(vals.logical(k)) +
+                                 static_cast<int64_t>(payload.logical(k));
+            ++matched;
+          }
+        }
+        const int64_t block_sum = BlockSum(tb, partial, tile_size);
+        tb.AtomicAdd(sum.data(), block_sum);
+        tb.AtomicAdd(count.data(), matched);
+      });
+  return JoinResult{sum[0], count[0]};
+}
+
+}  // namespace crystal::gpu

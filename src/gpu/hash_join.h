@@ -1,0 +1,30 @@
+#ifndef CRYSTAL_GPU_HASH_JOIN_H_
+#define CRYSTAL_GPU_HASH_JOIN_H_
+
+#include <cstdint>
+
+#include "gpu/hash_table.h"
+#include "sim/device.h"
+
+namespace crystal::gpu {
+
+/// Result of the join microbenchmark Q4 (Section 4.3):
+///   SELECT SUM(A.v + B.v) FROM A, B WHERE A.k = B.k
+struct JoinResult {
+  int64_t checksum = 0;
+  int64_t matches = 0;
+};
+
+/// Probe-side of the no-partitioning hash join, tile-based: BlockLoad a tile
+/// of probe keys and payloads, BlockLookup the hash table (data-dependent
+/// reads through the L2 model), accumulate A.v+B.v per thread, BlockSum, and
+/// one global atomic per block. The build side must already be in `table`
+/// (payload = A.v).
+JoinResult HashJoinProbeSum(sim::Device& device, const DeviceHashTable& table,
+                            const sim::DeviceBuffer<int32_t>& probe_keys,
+                            const sim::DeviceBuffer<int32_t>& probe_vals,
+                            const sim::LaunchConfig& config = {});
+
+}  // namespace crystal::gpu
+
+#endif  // CRYSTAL_GPU_HASH_JOIN_H_

@@ -1,0 +1,77 @@
+#include "gpu/hash_table.h"
+
+#include "common/bitutil.h"
+#include "common/macros.h"
+
+namespace crystal::gpu {
+
+DeviceHashTable::DeviceHashTable(sim::Device& device, int64_t expected_keys,
+                                 double max_fill)
+    : device_(device),
+      slots_(device,
+             static_cast<int64_t>(NextPowerOfTwo(static_cast<uint64_t>(
+                 static_cast<double>(expected_keys) / max_fill + 1))),
+             0),
+      mask_(static_cast<uint32_t>(slots_.size() - 1)) {}
+
+void DeviceHashTable::Insert(int32_t key, int32_t value) {
+  CRYSTAL_CHECK(key >= 0);
+  uint64_t slot = HashMurmur32(static_cast<uint32_t>(key)) & mask_;
+  for (int64_t step = 0; step < slots_.size(); ++step) {
+    // Each probe step reads one slot (data-dependent); claiming the empty
+    // slot is an atomicCAS whose line goes back to memory.
+    device_.RecordRandomRead(slots_.addr(static_cast<int64_t>(slot)),
+                             sizeof(uint64_t));
+    if (HashTableView::SlotEmpty(slots_[static_cast<int64_t>(slot)])) {
+      slots_[static_cast<int64_t>(slot)] = HashTableView::EncodeSlot(key, value);
+      device_.RecordAtomic();
+      device_.RecordRandomWrite(1);
+      ++num_keys_;
+      return;
+    }
+    CRYSTAL_CHECK_MSG(
+        HashTableView::SlotKey(slots_[static_cast<int64_t>(slot)]) != key,
+        "duplicate build key");
+    slot = (slot + 1) & mask_;
+  }
+  CRYSTAL_CHECK_MSG(false, "hash table full");
+}
+
+void DeviceHashTable::Build(const sim::DeviceBuffer<int32_t>& keys,
+                            const sim::DeviceBuffer<int32_t>& values,
+                            const sim::LaunchConfig& config) {
+  CRYSTAL_CHECK(keys.size() == values.size());
+  sim::LaunchTiles(device_, "ht_build", config, keys.size(),
+                   [&](sim::ThreadBlock& tb, int64_t offset, int tile_size) {
+                     if (tb.block_idx() == 0) {
+                       tb.device().RecordSeqRead(keys.bytes() * 2);
+                     }
+                     for (int k = 0; k < tile_size; ++k) {
+                       Insert(keys[offset + k], values[offset + k]);
+                     }
+                   });
+}
+
+void DeviceHashTable::BuildExistence(const sim::DeviceBuffer<int32_t>& keys,
+                                     const sim::LaunchConfig& config) {
+  sim::LaunchTiles(device_, "ht_build_exist", config, keys.size(),
+                   [&](sim::ThreadBlock& tb, int64_t offset, int tile_size) {
+                     if (tb.block_idx() == 0) {
+                       tb.device().RecordSeqRead(keys.bytes());
+                     }
+                     for (int k = 0; k < tile_size; ++k) {
+                       Insert(keys[offset + k], 1);
+                     }
+                   });
+}
+
+HashTableView DeviceHashTable::view() const {
+  HashTableView v;
+  v.slots = slots_.data();
+  v.num_slots = slots_.size();
+  v.base_addr = slots_.addr(0);
+  v.mask = mask_;
+  return v;
+}
+
+}  // namespace crystal::gpu

@@ -1,0 +1,51 @@
+#ifndef CRYSTAL_GPU_HASH_TABLE_H_
+#define CRYSTAL_GPU_HASH_TABLE_H_
+
+#include <cstdint>
+
+#include "crystal/block_lookup.h"
+#include "sim/device.h"
+#include "sim/exec.h"
+
+namespace crystal::gpu {
+
+/// Device-resident linear-probing hash table (the "no partitioning join"
+/// table of Section 4.3): an array of (4-byte key, 4-byte payload) slots, no
+/// pointers. Capacity is sized for the paper's 50% fill rate by default.
+class DeviceHashTable {
+ public:
+  /// Creates a table with num_slots rounded up to a power of two such that
+  /// the fill rate from expected_keys stays at or below max_fill.
+  DeviceHashTable(sim::Device& device, int64_t expected_keys,
+                  double max_fill = 0.5);
+
+  /// Bulk-builds from key/value columns via the build kernel: each insert is
+  /// an atomicCAS claim of the first empty slot in the probe chain (writes
+  /// stream to memory; Section 4.3's "build phase ... writes to hash table
+  /// end up going to memory"). Keys must be unique and >= 0.
+  void Build(const sim::DeviceBuffer<int32_t>& keys,
+             const sim::DeviceBuffer<int32_t>& values,
+             const sim::LaunchConfig& config = {});
+
+  /// Builds from keys with all payloads = 1 (existence/semi-join table).
+  void BuildExistence(const sim::DeviceBuffer<int32_t>& keys,
+                      const sim::LaunchConfig& config = {});
+
+  /// Inserts a single key/value (host-side; used by tests and tiny tables).
+  void Insert(int32_t key, int32_t value);
+
+  HashTableView view() const;
+  int64_t num_slots() const { return slots_.size(); }
+  int64_t bytes() const { return slots_.bytes(); }
+  int64_t size() const { return num_keys_; }
+
+ private:
+  sim::Device& device_;
+  sim::DeviceBuffer<uint64_t> slots_;
+  uint32_t mask_;
+  int64_t num_keys_ = 0;
+};
+
+}  // namespace crystal::gpu
+
+#endif  // CRYSTAL_GPU_HASH_TABLE_H_

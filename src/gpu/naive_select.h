@@ -1,0 +1,98 @@
+#ifndef CRYSTAL_GPU_NAIVE_SELECT_H_
+#define CRYSTAL_GPU_NAIVE_SELECT_H_
+
+#include <cstdint>
+
+#include "sim/device.h"
+#include "sim/exec.h"
+
+namespace crystal::gpu {
+
+/// The pre-Crystal three-kernel selection plan of Fig. 4(a), as used by
+/// independent-threads GPU databases (and by our Omnisci-like SSB engine):
+///   K1: each thread strides the input counting its matches -> count[]
+///   K2: exclusive prefix sum over count[] -> pf[]
+///   K3: each thread re-reads its stride and scatters matches to out[pf[t]+c]
+/// Costs the input read twice, materializes count/pf, and the scattered
+/// per-thread writes are uncoalesced (one store sector per match).
+/// Returns the number of selected entries.
+template <typename T, typename Pred>
+int64_t NaiveSelect(sim::Device& device, const sim::DeviceBuffer<T>& in,
+                    Pred pred, sim::DeviceBuffer<T>* out,
+                    int num_threads = 81920) {
+  const int64_t n = in.size();
+  if (n == 0) return 0;
+  if (num_threads > n) num_threads = static_cast<int>(n);
+  sim::DeviceBuffer<int64_t> count(device, num_threads, 0);
+  sim::DeviceBuffer<int64_t> pf(device, num_threads, 0);
+
+  sim::LaunchConfig cfg{256, 1};
+  const int64_t blocks =
+      (num_threads + cfg.block_threads - 1) / cfg.block_threads;
+
+  // K1: strided count. Strided warp accesses are still coalesced (adjacent
+  // threads read adjacent elements), so this is one sequential pass.
+  sim::LaunchBlocks(
+      device, "naive_select_count", cfg, blocks, [&](sim::ThreadBlock& tb) {
+        if (tb.block_idx() == 0) {
+          tb.device().RecordSeqRead(n * static_cast<int64_t>(sizeof(T)));
+          tb.device().RecordSeqWrite(num_threads *
+                                     static_cast<int64_t>(sizeof(int64_t)));
+        }
+        for (int i = 0; i < tb.num_threads(); ++i) {
+          const int64_t t = tb.block_idx() * tb.num_threads() + i;
+          if (t >= num_threads) break;
+          int64_t c = 0;
+          for (int64_t j = t; j < n; j += num_threads) {
+            if (pred(in[j])) ++c;
+          }
+          count[t] = c;
+        }
+      });
+
+  // K2: prefix sum over count[] (an optimized Thrust-style scan kernel:
+  // reads and writes the T-element array once).
+  int64_t total = 0;
+  sim::LaunchBlocks(
+      device, "naive_select_scan", cfg, 1, [&](sim::ThreadBlock& tb) {
+        tb.device().RecordSeqRead(num_threads *
+                                  static_cast<int64_t>(sizeof(int64_t)));
+        tb.device().RecordSeqWrite(num_threads *
+                                   static_cast<int64_t>(sizeof(int64_t)));
+        int64_t run = 0;
+        for (int64_t t = 0; t < num_threads; ++t) {
+          pf[t] = run;
+          run += count[t];
+        }
+        total = run;
+      });
+
+  // K3: re-read the input, scatter matches. Each thread writes to its own
+  // output region, so warp-level stores hit scattered sectors (uncoalesced).
+  sim::LaunchBlocks(
+      device, "naive_select_scatter", cfg, blocks, [&](sim::ThreadBlock& tb) {
+        if (tb.block_idx() == 0) {
+          tb.device().RecordSeqRead(n * static_cast<int64_t>(sizeof(T)));
+          tb.device().RecordSeqRead(num_threads *
+                                    static_cast<int64_t>(sizeof(int64_t)));
+        }
+        for (int i = 0; i < tb.num_threads(); ++i) {
+          const int64_t t = tb.block_idx() * tb.num_threads() + i;
+          if (t >= num_threads) break;
+          int64_t c = 0;
+          for (int64_t j = t; j < n; j += num_threads) {
+            if (pred(in[j])) {
+              (*out)[pf[t] + c] = in[j];
+              ++c;
+              tb.device().RecordRandomWrite(1);
+            }
+          }
+        }
+      });
+
+  return total;
+}
+
+}  // namespace crystal::gpu
+
+#endif  // CRYSTAL_GPU_NAIVE_SELECT_H_

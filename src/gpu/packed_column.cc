@@ -1,0 +1,94 @@
+#include "gpu/packed_column.h"
+
+#include "common/macros.h"
+
+namespace crystal::gpu {
+
+namespace {
+// Unpack arithmetic per element: shift, mask, and the occasional two-word
+// merge (charged uniformly).
+constexpr int kUnpackOpsPerElement = 3;
+}  // namespace
+
+PackedColumn::PackedColumn(sim::Device& device, const int32_t* values,
+                           int64_t n, int bits)
+    : n_(n),
+      bits_(bits),
+      words_(device, (n * bits + 31) / 32 + 1, 0) {
+  CRYSTAL_CHECK(bits >= 1 && bits <= 32);
+  for (int64_t i = 0; i < n; ++i) {
+    const uint32_t v = static_cast<uint32_t>(values[i]);
+    CRYSTAL_CHECK_MSG(bits == 32 || (v >> bits) == 0,
+                      "value does not fit in the declared bit width");
+    const int64_t bit_pos = i * bits;
+    const int64_t word = bit_pos / 32;
+    const int shift = static_cast<int>(bit_pos % 32);
+    words_[word] |= v << shift;
+    if (shift + bits > 32) {
+      words_[word + 1] |= v >> (32 - shift);
+    }
+  }
+}
+
+int32_t PackedColumn::Get(int64_t i) const {
+  const int64_t bit_pos = i * bits_;
+  const int64_t word = bit_pos / 32;
+  const int shift = static_cast<int>(bit_pos % 32);
+  uint64_t window = words_[word];
+  if (shift + bits_ > 32) {
+    window |= static_cast<uint64_t>(words_[word + 1]) << 32;
+  }
+  const uint64_t mask = bits_ == 32 ? 0xFFFFFFFFull : ((1ull << bits_) - 1);
+  return static_cast<int32_t>((window >> shift) & mask);
+}
+
+void BlockLoadPacked(sim::ThreadBlock& tb, const PackedColumn& column,
+                     int64_t offset, int tile_size, RegTile<int32_t>& items) {
+  for (int k = 0; k < tile_size; ++k) {
+    items.logical(k) = column.Get(offset + k);
+  }
+  const int64_t packed_bytes =
+      (static_cast<int64_t>(tile_size) * column.bits() + 7) / 8;
+  tb.device().RecordSeqRead(packed_bytes);
+  tb.device().RecordArithmetic(static_cast<int64_t>(tile_size) *
+                               kUnpackOpsPerElement);
+  tb.SyncThreads();
+}
+
+int64_t SelectCountPacked(sim::Device& device, const PackedColumn& column,
+                          int32_t lo, int32_t hi,
+                          const sim::LaunchConfig& config) {
+  sim::DeviceBuffer<int64_t> count(device, 1, 0);
+  sim::LaunchTiles(
+      device, "select_count_packed", config, column.size(),
+      [&](sim::ThreadBlock& tb, int64_t offset, int tile) {
+        RegTile<int32_t> items(tb);
+        RegTile<int> bitmap(tb);
+        BlockLoadPacked(tb, column, offset, tile, items);
+        BlockPred(tb, items, tile,
+                  [lo, hi](int32_t v) { return v >= lo && v <= hi; }, bitmap);
+        const int64_t c = BlockCount(tb, bitmap, tile);
+        if (c != 0) tb.AtomicAdd(count.data(), c);
+      });
+  return count[0];
+}
+
+int64_t SelectCountPlain(sim::Device& device,
+                         const sim::DeviceBuffer<int32_t>& column, int32_t lo,
+                         int32_t hi, const sim::LaunchConfig& config) {
+  sim::DeviceBuffer<int64_t> count(device, 1, 0);
+  sim::LaunchTiles(
+      device, "select_count_plain", config, column.size(),
+      [&](sim::ThreadBlock& tb, int64_t offset, int tile) {
+        RegTile<int32_t> items(tb);
+        RegTile<int> bitmap(tb);
+        BlockLoad(tb, column.data() + offset, tile, items);
+        BlockPred(tb, items, tile,
+                  [lo, hi](int32_t v) { return v >= lo && v <= hi; }, bitmap);
+        const int64_t c = BlockCount(tb, bitmap, tile);
+        if (c != 0) tb.AtomicAdd(count.data(), c);
+      });
+  return count[0];
+}
+
+}  // namespace crystal::gpu

@@ -1,0 +1,60 @@
+#ifndef CRYSTAL_GPU_PACKED_COLUMN_H_
+#define CRYSTAL_GPU_PACKED_COLUMN_H_
+
+#include <cstdint>
+
+#include "crystal/crystal.h"
+#include "sim/device.h"
+#include "sim/exec.h"
+
+namespace crystal::gpu {
+
+/// Bit-packed integer column: the Section 5.5 "Compression" extension.
+/// Values are stored in `bits` bits each, densely packed into 32-bit words
+/// ("non-byte-addressable packing schemes"). A scan of a b-bit column moves
+/// b/32 of the raw bytes; the unpacking arithmetic is charged per element so
+/// the models can show when a device flips from bandwidth- to compute-bound
+/// (GPUs, with their higher compute-to-bandwidth ratio, keep winning at
+/// widths where CPUs stall on shifts — the paper's stated motivation).
+class PackedColumn {
+ public:
+  /// Packs `values` (each must fit in `bits` bits) into device memory.
+  PackedColumn(sim::Device& device, const int32_t* values, int64_t n,
+               int bits);
+
+  int64_t size() const { return n_; }
+  int bits() const { return bits_; }
+  int64_t packed_bytes() const { return words_.bytes(); }
+
+  /// Unpacks element i (host-side helper; kernels use BlockLoadPacked).
+  int32_t Get(int64_t i) const;
+
+  const sim::DeviceBuffer<uint32_t>& words() const { return words_; }
+
+ private:
+  int64_t n_;
+  int bits_;
+  sim::DeviceBuffer<uint32_t> words_;
+};
+
+/// Crystal block-wide function: loads a tile of bit-packed values into
+/// registers. Traffic: ceil(tile_size*bits/8) coalesced bytes; arithmetic:
+/// ~3 ops per element (shift/mask/merge across word boundaries).
+void BlockLoadPacked(sim::ThreadBlock& tb, const PackedColumn& column,
+                     int64_t offset, int tile_size, RegTile<int32_t>& items);
+
+/// Tile-based selection over a packed column:
+///   SELECT COUNT(*) FROM R WHERE lo <= v <= hi
+/// Returns the match count; used by the compression ablation bench.
+int64_t SelectCountPacked(sim::Device& device, const PackedColumn& column,
+                          int32_t lo, int32_t hi,
+                          const sim::LaunchConfig& config = {});
+
+/// Same query over a plain 4-byte column (the uncompressed baseline).
+int64_t SelectCountPlain(sim::Device& device,
+                         const sim::DeviceBuffer<int32_t>& column, int32_t lo,
+                         int32_t hi, const sim::LaunchConfig& config = {});
+
+}  // namespace crystal::gpu
+
+#endif  // CRYSTAL_GPU_PACKED_COLUMN_H_

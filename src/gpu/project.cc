@@ -1,0 +1,58 @@
+#include "gpu/project.h"
+
+namespace crystal::gpu {
+
+namespace {
+
+// Flop count charged per sigmoid evaluation (exp expansion + divide),
+// matching the throughput of CUDA's fast-math expf on Volta.
+constexpr int kSigmoidFlops = 25;
+
+template <typename Fn>
+void ProjectImpl(sim::Device& device, const char* name,
+                 const sim::DeviceBuffer<float>& x1,
+                 const sim::DeviceBuffer<float>& x2,
+                 sim::DeviceBuffer<float>* out,
+                 const sim::LaunchConfig& config, int flops_per_item,
+                 Fn compute) {
+  CRYSTAL_CHECK(x1.size() == x2.size());
+  CRYSTAL_CHECK(out->size() >= x1.size());
+  sim::LaunchTiles(
+      device, name, config, x1.size(),
+      [&](sim::ThreadBlock& tb, int64_t offset, int tile_size) {
+        RegTile<float> r1(tb);
+        RegTile<float> r2(tb);
+        RegTile<float> rout(tb);
+        BlockLoad(tb, x1.data() + offset, tile_size, r1);
+        BlockLoad(tb, x2.data() + offset, tile_size, r2);
+        for (int k = 0; k < tile_size; ++k) {
+          rout.logical(k) = compute(r1.logical(k), r2.logical(k));
+        }
+        tb.device().RecordArithmetic(
+            static_cast<int64_t>(tile_size) * flops_per_item);
+        BlockStore(tb, rout, out->data() + offset, tile_size);
+      });
+}
+
+}  // namespace
+
+void ProjectLinear(sim::Device& device, const sim::DeviceBuffer<float>& x1,
+                   const sim::DeviceBuffer<float>& x2, float a, float b,
+                   sim::DeviceBuffer<float>* out,
+                   const sim::LaunchConfig& config) {
+  ProjectImpl(device, "gpu_project_linear", x1, x2, out, config, 3,
+              [a, b](float v1, float v2) { return a * v1 + b * v2; });
+}
+
+void ProjectSigmoid(sim::Device& device, const sim::DeviceBuffer<float>& x1,
+                    const sim::DeviceBuffer<float>& x2, float a, float b,
+                    sim::DeviceBuffer<float>* out,
+                    const sim::LaunchConfig& config) {
+  ProjectImpl(device, "gpu_project_sigmoid", x1, x2, out, config,
+              kSigmoidFlops, [a, b](float v1, float v2) {
+                const float z = a * v1 + b * v2;
+                return 1.0f / (1.0f + std::exp(-z));
+              });
+}
+
+}  // namespace crystal::gpu

@@ -1,0 +1,33 @@
+#ifndef CRYSTAL_GPU_PROJECT_H_
+#define CRYSTAL_GPU_PROJECT_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "crystal/crystal.h"
+#include "sim/device.h"
+#include "sim/exec.h"
+
+namespace crystal::gpu {
+
+/// Projection Q1 (Section 4.1): out = a*x1 + b*x2. Single kernel: two
+/// BlockLoads, fused arithmetic in registers, one BlockStore. Bandwidth
+/// bound by 2 column reads + 1 column write.
+void ProjectLinear(sim::Device& device, const sim::DeviceBuffer<float>& x1,
+                   const sim::DeviceBuffer<float>& x2, float a, float b,
+                   sim::DeviceBuffer<float>* out,
+                   const sim::LaunchConfig& config = {});
+
+/// Projection Q2 (Section 4.1): out = sigmoid(a*x1 + b*x2), the "most
+/// complicated projection we will likely see in any SQL query". On the GPU
+/// the added ~25 flops per element are hidden behind the memory wall
+/// (14 TFLOPs vs 880 GBps); the arithmetic is still recorded so the timing
+/// model can prove the kernel stays bandwidth bound.
+void ProjectSigmoid(sim::Device& device, const sim::DeviceBuffer<float>& x1,
+                    const sim::DeviceBuffer<float>& x2, float a, float b,
+                    sim::DeviceBuffer<float>* out,
+                    const sim::LaunchConfig& config = {});
+
+}  // namespace crystal::gpu
+
+#endif  // CRYSTAL_GPU_PROJECT_H_

@@ -1,0 +1,118 @@
+#include "gpu/radix_join.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/macros.h"
+#include "gpu/hash_table.h"
+#include "gpu/radix_sort.h"
+
+namespace crystal::gpu {
+
+namespace {
+
+// Reinterprets an int32 column as uint32 for the radix machinery (keys are
+// checked non-negative, so the bit patterns order identically).
+sim::DeviceBuffer<uint32_t> AsUnsigned(sim::Device& device,
+                                       const sim::DeviceBuffer<int32_t>& in) {
+  sim::DeviceBuffer<uint32_t> out(device, in.size());
+  for (int64_t i = 0; i < in.size(); ++i) {
+    CRYSTAL_CHECK(in[i] >= 0);
+    out[i] = static_cast<uint32_t>(in[i]);
+  }
+  return out;
+}
+
+// Partition (keys, vals) by the low `bits` of the key; returns partition
+// boundaries (size 2^bits + 1). One histogram pass + one shuffle pass,
+// both recorded on the device.
+std::vector<int64_t> Partition(sim::Device& device,
+                               sim::DeviceBuffer<uint32_t>* keys,
+                               sim::DeviceBuffer<uint32_t>* vals, int bits,
+                               const sim::LaunchConfig& config) {
+  const std::vector<int64_t> hist =
+      RadixHistogram(device, *keys, 0, bits, config);
+  sim::DeviceBuffer<uint32_t> out_keys(device, keys->size());
+  sim::DeviceBuffer<uint32_t> out_vals(device, vals->size());
+  RadixShuffle(device, *keys, *vals, 0, keys->size(), 0, bits, &out_keys,
+               &out_vals, config);
+  *keys = std::move(out_keys);
+  *vals = std::move(out_vals);
+  std::vector<int64_t> bounds(hist.size() + 1, 0);
+  for (size_t b = 0; b < hist.size(); ++b) bounds[b + 1] = bounds[b] + hist[b];
+  return bounds;
+}
+
+}  // namespace
+
+int ChooseRadixBits(const sim::Device& device, int64_t build_rows) {
+  const int64_t cache = device.profile().is_gpu
+                            ? device.profile().l2_bytes_total
+                            : device.profile().l3_bytes_total;
+  // Each partition's hash table is ~16 bytes per build row (8-byte slots at
+  // 50% fill); halve until it fits comfortably.
+  int bits = 0;
+  int64_t per_partition_bytes = build_rows * 16;
+  while (bits < kMaxUnstableRadixBits && per_partition_bytes > cache / 2) {
+    ++bits;
+    per_partition_bytes /= 2;
+  }
+  return std::max(bits, 1);
+}
+
+JoinResult RadixHashJoinSum(sim::Device& device,
+                            const sim::DeviceBuffer<int32_t>& build_keys,
+                            const sim::DeviceBuffer<int32_t>& build_vals,
+                            const sim::DeviceBuffer<int32_t>& probe_keys,
+                            const sim::DeviceBuffer<int32_t>& probe_vals,
+                            int radix_bits,
+                            const sim::LaunchConfig& config) {
+  CRYSTAL_CHECK(radix_bits >= 1 && radix_bits <= kMaxUnstableRadixBits);
+  CRYSTAL_CHECK(build_keys.size() == build_vals.size());
+  CRYSTAL_CHECK(probe_keys.size() == probe_vals.size());
+
+  // Phase 1: partition both inputs by the low key bits.
+  sim::DeviceBuffer<uint32_t> bk = AsUnsigned(device, build_keys);
+  sim::DeviceBuffer<uint32_t> bv = AsUnsigned(device, build_vals);
+  sim::DeviceBuffer<uint32_t> pk = AsUnsigned(device, probe_keys);
+  sim::DeviceBuffer<uint32_t> pv = AsUnsigned(device, probe_vals);
+  const std::vector<int64_t> b_bounds =
+      Partition(device, &bk, &bv, radix_bits, config);
+  const std::vector<int64_t> p_bounds =
+      Partition(device, &pk, &pv, radix_bits, config);
+
+  // Phase 2: per-partition build + probe with a cache-resident table.
+  JoinResult total;
+  const int64_t partitions = 1ll << radix_bits;
+  for (int64_t p = 0; p < partitions; ++p) {
+    const int64_t b_lo = b_bounds[p];
+    const int64_t b_hi = b_bounds[p + 1];
+    const int64_t p_lo = p_bounds[p];
+    const int64_t p_hi = p_bounds[p + 1];
+    if (b_lo == b_hi || p_lo == p_hi) continue;
+
+    DeviceHashTable table(device, b_hi - b_lo);
+    sim::DeviceBuffer<int32_t> part_bk(device, b_hi - b_lo);
+    sim::DeviceBuffer<int32_t> part_bv(device, b_hi - b_lo);
+    for (int64_t i = b_lo; i < b_hi; ++i) {
+      part_bk[i - b_lo] = static_cast<int32_t>(bk[i]);
+      part_bv[i - b_lo] = static_cast<int32_t>(bv[i]);
+    }
+    table.Build(part_bk, part_bv, config);
+
+    sim::DeviceBuffer<int32_t> part_pk(device, p_hi - p_lo);
+    sim::DeviceBuffer<int32_t> part_pv(device, p_hi - p_lo);
+    for (int64_t i = p_lo; i < p_hi; ++i) {
+      part_pk[i - p_lo] = static_cast<int32_t>(pk[i]);
+      part_pv[i - p_lo] = static_cast<int32_t>(pv[i]);
+    }
+    const JoinResult r =
+        HashJoinProbeSum(device, table, part_pk, part_pv, config);
+    total.checksum += r.checksum;
+    total.matches += r.matches;
+  }
+  return total;
+}
+
+}  // namespace crystal::gpu

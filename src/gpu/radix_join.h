@@ -1,0 +1,38 @@
+#ifndef CRYSTAL_GPU_RADIX_JOIN_H_
+#define CRYSTAL_GPU_RADIX_JOIN_H_
+
+#include <cstdint>
+
+#include "gpu/hash_join.h"
+#include "sim/device.h"
+
+namespace crystal::gpu {
+
+/// Radix-partitioned hash join (the Section 4.3 "partitioned hash join"
+/// variant the paper discusses but does not evaluate): both inputs are
+/// radix-partitioned on the low `radix_bits` of the key so that every
+/// partition's build side fits in cache, then each partition runs a small
+/// cache-resident probe. Faster than the no-partitioning join for a single
+/// large join; the extra partitioning passes materialize both inputs, which
+/// is exactly why the paper notes radix joins cannot pipeline multi-join
+/// queries.
+///
+/// Computes the same microbenchmark Q4 as HashJoinProbeSum:
+///   SELECT SUM(A.v + B.v) FROM A, B WHERE A.k = B.k
+/// Keys must be non-negative. Returns checksum and match count.
+JoinResult RadixHashJoinSum(sim::Device& device,
+                            const sim::DeviceBuffer<int32_t>& build_keys,
+                            const sim::DeviceBuffer<int32_t>& build_vals,
+                            const sim::DeviceBuffer<int32_t>& probe_keys,
+                            const sim::DeviceBuffer<int32_t>& probe_vals,
+                            int radix_bits,
+                            const sim::LaunchConfig& config = {});
+
+/// Picks the radix width that shrinks each build partition under the
+/// device's last-level cache (capped at the 8-bit unstable pass limit;
+/// larger tables would need multi-pass partitioning).
+int ChooseRadixBits(const sim::Device& device, int64_t build_rows);
+
+}  // namespace crystal::gpu
+
+#endif  // CRYSTAL_GPU_RADIX_JOIN_H_

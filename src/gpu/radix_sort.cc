@@ -1,0 +1,194 @@
+#include "gpu/radix_sort.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "sim/exec.h"
+
+namespace crystal::gpu {
+
+namespace {
+
+inline uint32_t Digit(uint32_t key, int start_bit, int bits) {
+  return (key >> start_bit) & ((1u << bits) - 1u);
+}
+
+// Traffic of one histogram pass: read the keys in [lo, hi) and write the
+// histogram. Per-block counts live in shared memory and are reduced
+// hierarchically (Merrill), so only the aggregated 2^bits counts reach
+// global memory — the phase is flat in the radix width (Fig. 14a).
+void RecordHistogramTraffic(sim::Device& device, int64_t n, int bits,
+                            int64_t num_blocks) {
+  (void)num_blocks;
+  device.RecordSeqRead(n * 4);
+  device.RecordSeqWrite((1ll << bits) * 4);
+}
+
+// Traffic of one shuffle pass over [lo, hi): read keys+values and the
+// global offset array, write partitioned keys+values (coalesced via
+// shared-memory staging, recorded as shared traffic).
+void RecordShuffleTraffic(sim::Device& device, int64_t n, int bits,
+                          int64_t num_blocks) {
+  (void)num_blocks;
+  device.RecordSeqRead(n * 8);
+  device.RecordSeqRead((1ll << bits) * 4);
+  device.RecordShared(n * 16);  // stage in, stage out
+  device.RecordSeqWrite(n * 8);
+}
+
+}  // namespace
+
+std::vector<int64_t> RadixHistogram(sim::Device& device,
+                                    const sim::DeviceBuffer<uint32_t>& keys,
+                                    int start_bit, int bits,
+                                    const sim::LaunchConfig& config) {
+  CRYSTAL_CHECK(bits >= 1 && bits <= 16);
+  const int64_t n = keys.size();
+  const int64_t num_blocks =
+      (n + config.tile_items() - 1) / config.tile_items();
+  std::vector<int64_t> hist(1ll << bits, 0);
+  sim::RunAsKernel(device, "radix_histogram", config, num_blocks, [&] {
+    RecordHistogramTraffic(device, n, bits, num_blocks);
+    for (int64_t i = 0; i < n; ++i) ++hist[Digit(keys[i], start_bit, bits)];
+  });
+  return hist;
+}
+
+void RadixShuffle(sim::Device& device, const sim::DeviceBuffer<uint32_t>& keys,
+                  const sim::DeviceBuffer<uint32_t>& vals, int64_t lo,
+                  int64_t hi, int start_bit, int bits,
+                  sim::DeviceBuffer<uint32_t>* out_keys,
+                  sim::DeviceBuffer<uint32_t>* out_vals,
+                  const sim::LaunchConfig& config) {
+  CRYSTAL_CHECK(bits >= 1 && bits <= kMaxUnstableRadixBits);
+  const int64_t n = hi - lo;
+  const int64_t num_blocks =
+      (n + config.tile_items() - 1) / config.tile_items();
+  sim::RunAsKernel(device, "radix_shuffle", config, num_blocks, [&] {
+    RecordShuffleTraffic(device, n, bits, num_blocks);
+    const int64_t buckets = 1ll << bits;
+    std::vector<int64_t> offset(buckets, 0);
+    for (int64_t i = lo; i < hi; ++i) {
+      ++offset[Digit(keys[i], start_bit, bits)];
+    }
+    int64_t run = lo;
+    for (int64_t b = 0; b < buckets; ++b) {
+      const int64_t c = offset[b];
+      offset[b] = run;
+      run += c;
+    }
+    for (int64_t i = lo; i < hi; ++i) {
+      const int64_t dst = offset[Digit(keys[i], start_bit, bits)]++;
+      (*out_keys)[dst] = keys[i];
+      (*out_vals)[dst] = vals[i];
+    }
+  });
+}
+
+void LsbRadixSort(sim::Device& device, sim::DeviceBuffer<uint32_t>* keys,
+                  sim::DeviceBuffer<uint32_t>* vals,
+                  const std::vector<int>& bit_plan,
+                  const sim::LaunchConfig& config) {
+  int total_bits = 0;
+  for (int b : bit_plan) {
+    CRYSTAL_CHECK_MSG(b <= kMaxStableRadixBits,
+                      "stable pass limited to 7 bits (register budget)");
+    total_bits += b;
+  }
+  CRYSTAL_CHECK_MSG(total_bits >= 32, "bit plan must cover the 32-bit key");
+
+  const int64_t n = keys->size();
+  sim::DeviceBuffer<uint32_t> tmp_keys(device, n);
+  sim::DeviceBuffer<uint32_t> tmp_vals(device, n);
+  sim::DeviceBuffer<uint32_t>* src_k = keys;
+  sim::DeviceBuffer<uint32_t>* src_v = vals;
+  sim::DeviceBuffer<uint32_t>* dst_k = &tmp_keys;
+  sim::DeviceBuffer<uint32_t>* dst_v = &tmp_vals;
+
+  int start_bit = 0;
+  for (int bits : bit_plan) {
+    if (start_bit >= 32) break;
+    bits = std::min(bits, 32 - start_bit);
+    (void)RadixHistogram(device, *src_k, start_bit, bits, config);
+    RadixShuffle(device, *src_k, *src_v, 0, n, start_bit, bits, dst_k, dst_v,
+                 config);
+    std::swap(src_k, dst_k);
+    std::swap(src_v, dst_v);
+    start_bit += bits;
+  }
+  if (src_k != keys) {
+    // Odd number of passes: copy back (one more streaming pass).
+    sim::RunAsKernel(device, "radix_copyback", config, 1, [&] {
+      device.RecordSeqRead(n * 8);
+      device.RecordSeqWrite(n * 8);
+      for (int64_t i = 0; i < n; ++i) {
+        (*keys)[i] = (*src_k)[i];
+        (*vals)[i] = (*src_v)[i];
+      }
+    });
+  }
+}
+
+void MsbRadixSort(sim::Device& device, sim::DeviceBuffer<uint32_t>* keys,
+                  sim::DeviceBuffer<uint32_t>* vals,
+                  const sim::LaunchConfig& config) {
+  const int64_t n = keys->size();
+  sim::DeviceBuffer<uint32_t> tmp_keys(device, n);
+  sim::DeviceBuffer<uint32_t> tmp_vals(device, n);
+
+  // Level-order: each of the 4 levels is one pass over the whole array that
+  // partitions every segment from the previous level by the level's 8 bits.
+  std::vector<int64_t> bounds = {0, n};
+  sim::DeviceBuffer<uint32_t>* src_k = keys;
+  sim::DeviceBuffer<uint32_t>* src_v = vals;
+  sim::DeviceBuffer<uint32_t>* dst_k = &tmp_keys;
+  sim::DeviceBuffer<uint32_t>* dst_v = &tmp_vals;
+
+  for (int level = 0; level < 4; ++level) {
+    const int start_bit = 32 - 8 * (level + 1);
+    const int64_t num_blocks =
+        (n + config.tile_items() - 1) / config.tile_items();
+    std::vector<int64_t> next_bounds;
+    next_bounds.reserve(bounds.size());
+    sim::RunAsKernel(device, "msb_partition_level", config, num_blocks, [&] {
+      RecordHistogramTraffic(device, n, 8, num_blocks);
+      RecordShuffleTraffic(device, n, 8, num_blocks);
+      next_bounds.push_back(0);
+      for (size_t s = 0; s + 1 < bounds.size(); ++s) {
+        const int64_t lo = bounds[s];
+        const int64_t hi = bounds[s + 1];
+        if (hi - lo <= 1) {
+          for (int64_t i = lo; i < hi; ++i) {
+            (*dst_k)[i] = (*src_k)[i];
+            (*dst_v)[i] = (*src_v)[i];
+          }
+          if (hi > next_bounds.back()) next_bounds.push_back(hi);
+          continue;
+        }
+        int64_t counts[257] = {0};
+        for (int64_t i = lo; i < hi; ++i) {
+          ++counts[Digit((*src_k)[i], start_bit, 8) + 1];
+        }
+        for (int b = 1; b <= 256; ++b) counts[b] += counts[b - 1];
+        for (int b = 0; b < 256; ++b) {
+          const int64_t boundary = lo + counts[b + 1];
+          if (boundary > next_bounds.back()) next_bounds.push_back(boundary);
+        }
+        std::vector<int64_t> cursor(counts, counts + 256);
+        for (int64_t i = lo; i < hi; ++i) {
+          const int64_t dst = lo + cursor[Digit((*src_k)[i], start_bit, 8)]++;
+          (*dst_k)[dst] = (*src_k)[i];
+          (*dst_v)[dst] = (*src_v)[i];
+        }
+      }
+    });
+    bounds = std::move(next_bounds);
+    std::swap(src_k, dst_k);
+    std::swap(src_v, dst_v);
+  }
+  // 4 levels = even number of swaps; data is back in the caller's buffers.
+  CRYSTAL_CHECK(src_k == keys);
+}
+
+}  // namespace crystal::gpu

@@ -1,0 +1,59 @@
+#ifndef CRYSTAL_GPU_RADIX_SORT_H_
+#define CRYSTAL_GPU_RADIX_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/device.h"
+
+namespace crystal::gpu {
+
+/// GPU radix partitioning and sort (Section 4.4). Two variants mirror the
+/// paper's:
+///  * stable passes (Merrill LSB sort): per-thread histograms kept in
+///    registers limit a pass to 7 bits;
+///  * unstable passes (Stehle MSB sort): one shared offset array per block
+///    allows 8 bits per pass.
+/// Both phases of a pass are modeled: the histogram phase reads the key
+/// column once; the shuffle phase reads keys+values and writes the
+/// partitioned keys+values (staged through shared memory so global writes
+/// coalesce).
+constexpr int kMaxStableRadixBits = 7;
+constexpr int kMaxUnstableRadixBits = 8;
+
+/// Histogram phase of one radix-partition pass over bits
+/// [start_bit, start_bit+bits): per-block shared-memory histograms written
+/// to global memory. Returns the global 2^bits histogram.
+std::vector<int64_t> RadixHistogram(sim::Device& device,
+                                    const sim::DeviceBuffer<uint32_t>& keys,
+                                    int start_bit, int bits,
+                                    const sim::LaunchConfig& config = {});
+
+/// Shuffle (data movement) phase of one stable radix-partition pass on
+/// [lo, hi) of keys/vals into out_keys/out_vals (same index range).
+/// Partitions by bits [start_bit, start_bit+bits); stability is preserved.
+void RadixShuffle(sim::Device& device, const sim::DeviceBuffer<uint32_t>& keys,
+                  const sim::DeviceBuffer<uint32_t>& vals, int64_t lo,
+                  int64_t hi, int start_bit, int bits,
+                  sim::DeviceBuffer<uint32_t>* out_keys,
+                  sim::DeviceBuffer<uint32_t>* out_vals,
+                  const sim::LaunchConfig& config = {});
+
+/// Full LSB radix sort of (keys, vals) by key, ascending: stable passes from
+/// the lowest bits up. The default plan is the paper's 5-pass 6,6,6,7,7 split
+/// (stable passes process at most 7 bits).
+void LsbRadixSort(sim::Device& device, sim::DeviceBuffer<uint32_t>* keys,
+                  sim::DeviceBuffer<uint32_t>* vals,
+                  const std::vector<int>& bit_plan = {6, 6, 6, 7, 7},
+                  const sim::LaunchConfig& config = {});
+
+/// Full MSB radix sort: 4 levels x 8 bits, level-order (every level is one
+/// pass over the whole array, partitioning each segment produced by the
+/// previous level). Unstable-capable, so each pass takes 8 bits.
+void MsbRadixSort(sim::Device& device, sim::DeviceBuffer<uint32_t>* keys,
+                  sim::DeviceBuffer<uint32_t>* vals,
+                  const sim::LaunchConfig& config = {});
+
+}  // namespace crystal::gpu
+
+#endif  // CRYSTAL_GPU_RADIX_SORT_H_

@@ -1,0 +1,51 @@
+#ifndef CRYSTAL_MODEL_MULTI_GPU_H_
+#define CRYSTAL_MODEL_MULTI_GPU_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace crystal::model {
+
+/// Section 5.5 "Distributed+Hybrid" extension: several GPUs on one machine,
+/// fact table range-partitioned across them, dimension tables (and their
+/// hash tables) replicated. Each GPU runs the standalone Crystal plan on its
+/// fact slice; partial aggregate grids merge over the interconnect.
+struct MultiGpuConfig {
+  int num_gpus = 1;
+  /// Per-link effective bandwidth for the final aggregate merge (NVLink 2.0
+  /// class; PCIe would be ~13 GBps).
+  double interconnect_gbps = 25.0;
+  /// Fixed per-GPU coordination overhead per query (launch + sync).
+  double per_gpu_overhead_ms = 0.05;
+  int64_t gpu_memory_bytes = 32ll << 30;
+};
+
+/// Predicted multi-GPU query time from the single-GPU run's components.
+/// build_ms is replicated work (every GPU builds the same dimension tables),
+/// probe_ms divides across the fact partitions, and the merge ships each
+/// partial aggregate grid once.
+inline double MultiGpuQueryMs(double build_ms, double probe_ms,
+                              int64_t result_groups,
+                              const MultiGpuConfig& config) {
+  const double merge_bytes =
+      static_cast<double>(result_groups) * 16.0;  // key + 8-byte aggregate
+  const double merge_ms =
+      config.num_gpus > 1
+          ? merge_bytes / (config.interconnect_gbps * 1e9) * 1e3
+          : 0.0;
+  return build_ms + probe_ms / config.num_gpus + merge_ms +
+         config.per_gpu_overhead_ms * config.num_gpus;
+}
+
+/// Largest SSB scale factor whose working set (9 fact columns of 4 bytes at
+/// 6M rows/SF, plus ~1% dimensions) fits in aggregate GPU memory.
+inline int MaxScaleFactor(const MultiGpuConfig& config) {
+  const double capacity = static_cast<double>(config.gpu_memory_bytes) *
+                          config.num_gpus;
+  const double bytes_per_sf = 6e6 * 9 * 4 * 1.01;
+  return std::max(1, static_cast<int>(capacity / bytes_per_sf));
+}
+
+}  // namespace crystal::model
+
+#endif  // CRYSTAL_MODEL_MULTI_GPU_H_

@@ -1,0 +1,189 @@
+#include "model/operator_models.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace crystal::model {
+
+namespace {
+
+constexpr double kMsPerSec = 1e3;
+// Nominal aggregate CPU L2 bandwidth (not in Table 2; large enough that an
+// L2-resident hash table never binds — the probe loop is then bound by the
+// streaming scan, which is what Fig. 13's flat left segment shows).
+constexpr double kCpuL2BwGbps = 800.0;
+
+double Bytes(double gbps) { return gbps * 1e9; }
+
+}  // namespace
+
+double ProjectModelMs(int64_t n, const sim::DeviceProfile& p) {
+  const double nn = static_cast<double>(n);
+  return (2 * 4 * nn / Bytes(p.read_bw_gbps) +
+          4 * nn / Bytes(p.write_bw_gbps)) *
+         kMsPerSec;
+}
+
+double ProjectSigmoidScalarCpuMs(int64_t n, const sim::DeviceProfile& p,
+                                 double flops_per_element) {
+  // Scalar FPU: roughly 1 flop per cycle per core (no SIMD, exp is a chain
+  // of dependent operations).
+  const double compute_s = static_cast<double>(n) * flops_per_element /
+                           (p.cores * p.clock_ghz * 1e9);
+  return std::max(ProjectModelMs(n, p), compute_s * kMsPerSec);
+}
+
+double SelectModelMs(int64_t n, double sigma, const sim::DeviceProfile& p) {
+  const double nn = static_cast<double>(n);
+  return (4 * nn / Bytes(p.read_bw_gbps) +
+          4 * sigma * nn / Bytes(p.write_bw_gbps)) *
+         kMsPerSec;
+}
+
+double SelectPredicatedCpuMs(int64_t n, double sigma,
+                             const sim::DeviceProfile& p) {
+  // Scalar stores pull the output lines into cache before writing (RFO):
+  // one extra read of the written volume.
+  const double rfo_ms =
+      4 * sigma * static_cast<double>(n) / Bytes(p.read_bw_gbps) * kMsPerSec;
+  return SelectModelMs(n, sigma, p) + rfo_ms;
+}
+
+double SelectBranchingCpuMs(int64_t n, double sigma,
+                            const sim::DeviceProfile& p,
+                            const CpuPenalties& pen) {
+  const double mispredict_rate = 2.0 * sigma * (1.0 - sigma);
+  const double stall_s = static_cast<double>(n) * mispredict_rate *
+                         pen.branch_mispredict_cycles /
+                         (p.clock_ghz * 1e9) / p.hardware_threads;
+  return SelectPredicatedCpuMs(n, sigma, p) + stall_s * kMsPerSec;
+}
+
+JoinModelBreakdown JoinProbeModel(int64_t probe_rows, int64_t ht_bytes,
+                                  const sim::DeviceProfile& p) {
+  JoinModelBreakdown r;
+  const double rows = static_cast<double>(probe_rows);
+  const double h = static_cast<double>(ht_bytes);
+  // Streaming read of key+value probe columns (4+4 bytes per row).
+  r.scan_ms = 4 * 2 * rows / Bytes(p.read_bw_gbps) * kMsPerSec;
+
+  if (p.is_gpu) {
+    const double l2 = static_cast<double>(p.l2_bytes_total);
+    if (h <= l2) {
+      // Formula 1, K = L2 (no level above it caches the table): probes move
+      // one sector per row across the L2 fabric.
+      r.bound_level = "L2";
+      r.hit_ratio = 1.0;
+      r.probe_ms =
+          rows * p.cache_sector_bytes / Bytes(p.l2_bw_gbps) * kMsPerSec;
+      r.total_ms = std::max(r.scan_ms, r.probe_ms);
+    } else {
+      // Formula 2: pi = S_L2 / H of probes hit L2; misses read a 128 B
+      // DRAM transaction.
+      r.bound_level = "DRAM";
+      r.hit_ratio = std::min(1.0, l2 / h);
+      const double miss_ms = (1.0 - r.hit_ratio) * rows *
+                             p.dram_access_bytes / Bytes(p.read_bw_gbps) *
+                             kMsPerSec;
+      const double hit_ms = r.hit_ratio * rows * p.cache_sector_bytes /
+                            Bytes(p.l2_bw_gbps) * kMsPerSec;
+      r.probe_ms = miss_ms + hit_ms;
+      r.total_ms = std::max(r.scan_ms + miss_ms, hit_ms);
+    }
+    return r;
+  }
+
+  // CPU: hierarchy L2 (per core) -> L3 (shared) -> DRAM.
+  const double l2 = static_cast<double>(p.l2_bytes_per_core);
+  const double l3 = static_cast<double>(p.l3_bytes_total);
+  if (h <= l2) {
+    r.bound_level = "L2";
+    r.hit_ratio = 1.0;
+    r.probe_ms = rows * p.cache_sector_bytes / Bytes(kCpuL2BwGbps) * kMsPerSec;
+    r.total_ms = std::max(r.scan_ms, r.probe_ms);
+  } else if (h <= l3) {
+    r.bound_level = "L3";
+    const double pi_l2 = std::min(1.0, l2 / h);
+    r.hit_ratio = 1.0;  // within the cache hierarchy
+    r.probe_ms = (1.0 - pi_l2) * rows * p.cache_sector_bytes /
+                 Bytes(p.l3_bw_gbps) * kMsPerSec;
+    r.total_ms = std::max(r.scan_ms, r.probe_ms);
+  } else {
+    r.bound_level = "DRAM";
+    r.hit_ratio = std::min(1.0, l3 / h);
+    const double miss_ms = (1.0 - r.hit_ratio) * rows * p.dram_access_bytes /
+                           Bytes(p.read_bw_gbps) * kMsPerSec;
+    const double hit_ms = r.hit_ratio * rows * p.cache_sector_bytes /
+                          Bytes(p.l3_bw_gbps) * kMsPerSec;
+    r.probe_ms = miss_ms + hit_ms;
+    r.total_ms = std::max(r.scan_ms + miss_ms, hit_ms);
+  }
+  return r;
+}
+
+double JoinProbeCpuActualMs(int64_t probe_rows, int64_t ht_bytes,
+                            const sim::DeviceProfile& p,
+                            const std::string& variant,
+                            const CpuPenalties& pen) {
+  CRYSTAL_CHECK(!p.is_gpu);
+  const JoinModelBreakdown base = JoinProbeModel(probe_rows, ht_bytes, p);
+  const double rows = static_cast<double>(probe_rows);
+  double extra_ms = 0;
+
+  // Memory stalls on DRAM-resident probes: prefetchers cannot cover the
+  // irregular pattern, so misses cost latency on top of bandwidth
+  // (Section 4.3: observed 10.5x vs modeled 8.1x). L3-served probes stall
+  // too, at l3_stall_fraction of the DRAM penalty.
+  double dram_miss_rate = 0.0;
+  double l3_serve_rate = 0.0;
+  if (base.bound_level == "DRAM") {
+    dram_miss_rate = 1.0 - base.hit_ratio;
+    l3_serve_rate = base.hit_ratio;
+  } else if (base.bound_level == "L3") {
+    l3_serve_rate = 1.0;
+  }
+  double stall_ms = rows *
+                    (dram_miss_rate + l3_serve_rate * pen.l3_stall_fraction) *
+                    pen.probe_stall_ns / p.hardware_threads * 1e-6;
+  if (variant == "prefetch") {
+    // Group prefetching hides most DRAM stalls at the cost of extra
+    // instructions per key.
+    stall_ms *= 0.25;
+    extra_ms += rows * pen.prefetch_overhead_cycles /
+                (p.clock_ghz * 1e9) / p.hardware_threads * kMsPerSec;
+  } else if (variant == "simd") {
+    extra_ms += rows * pen.simd_gather_overhead_cycles /
+                (p.clock_ghz * 1e9) / p.hardware_threads * kMsPerSec;
+  } else {
+    CRYSTAL_CHECK_MSG(variant == "scalar", "unknown join variant");
+  }
+  return base.total_ms + stall_ms + extra_ms;
+}
+
+double SortHistogramModelMs(int64_t n, const sim::DeviceProfile& p) {
+  return 4 * static_cast<double>(n) / Bytes(p.read_bw_gbps) * kMsPerSec;
+}
+
+double SortShuffleModelMs(int64_t n, const sim::DeviceProfile& p) {
+  const double nn = static_cast<double>(n);
+  return (2 * 4 * nn / Bytes(p.read_bw_gbps) +
+          2 * 4 * nn / Bytes(p.write_bw_gbps)) *
+         kMsPerSec;
+}
+
+double SortShuffleCpuActualMs(int64_t n, int bits,
+                              const sim::DeviceProfile& p,
+                              const CpuPenalties& pen) {
+  double ms = SortShuffleModelMs(n, p);
+  // Past 8 bits the 2^r write-combining buffers (64 B each) outgrow the
+  // 32 KB L1 and every flush misses (Fig. 14b).
+  for (int b = 9; b <= bits; ++b) ms *= pen.radix_l1_overflow_factor;
+  return ms;
+}
+
+double SortModelMs(int64_t n, int passes, const sim::DeviceProfile& p) {
+  return passes * (SortHistogramModelMs(n, p) + SortShuffleModelMs(n, p));
+}
+
+}  // namespace crystal::model

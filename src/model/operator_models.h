@@ -1,0 +1,87 @@
+#ifndef CRYSTAL_MODEL_OPERATOR_MODELS_H_
+#define CRYSTAL_MODEL_OPERATOR_MODELS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "model/penalties.h"
+#include "sim/profile.h"
+
+namespace crystal::model {
+
+/// The paper's closed-form operator cost models (Section 4). All functions
+/// return milliseconds for the given device profile. "Model" functions are
+/// the paper's saturated-bandwidth formulas verbatim; "Actual" variants add
+/// the documented CPU penalty terms, reproducing the measured curves.
+
+// ---------------------------------------------------------------- Project
+/// Section 4.1: runtime = 2*4*N/Br + 4*N/Bw (two float columns in, one out).
+double ProjectModelMs(int64_t n, const sim::DeviceProfile& p);
+
+/// CPU scalar sigmoid projection is compute bound: ~`flops` effective scalar
+/// operations per element (libm expf + divide) through one FPU pipe per
+/// core. The default is calibrated to the paper's CPU bar for Q2 (282 ms).
+double ProjectSigmoidScalarCpuMs(int64_t n, const sim::DeviceProfile& p,
+                                 double flops_per_element = 27.0);
+
+// ----------------------------------------------------------------- Select
+/// Section 4.2: runtime = 4*N/Br + 4*sigma*N/Bw.
+double SelectModelMs(int64_t n, double sigma, const sim::DeviceProfile& p);
+
+/// "CPU Pred": scalar predicated stores allocate the output lines in cache
+/// first (read-for-ownership), adding sigma*4*N/Br of read traffic that the
+/// SIMDPred variant avoids with streaming stores (Section 4.2).
+double SelectPredicatedCpuMs(int64_t n, double sigma,
+                             const sim::DeviceProfile& p);
+
+/// "CPU If": CPU Pred plus the branch-misprediction hump
+/// 2*sigma*(1-sigma) * penalty_cycles (Fig. 12).
+double SelectBranchingCpuMs(int64_t n, double sigma,
+                            const sim::DeviceProfile& p,
+                            const CpuPenalties& pen = DefaultCpuPenalties());
+
+// ------------------------------------------------------------------- Join
+/// Which resource bounds the probe phase (for reporting).
+struct JoinModelBreakdown {
+  double total_ms = 0;
+  double scan_ms = 0;       // streaming read of the probe columns
+  double probe_ms = 0;      // random hash-table traffic
+  double hit_ratio = 0;     // probability a probe is served by cache
+  std::string bound_level;  // "L2" / "L3" / "DRAM"
+};
+
+/// Section 4.3 probe-phase model for Q4 (8 bytes of probe columns per row,
+/// one random slot access per row). Covers both devices: on the GPU the
+/// cache is the 6 MB L2 at 2.2 TBps; on the CPU the 256 KB/core L2 (fast
+/// enough to never bind) and the 20 MB L3 at 157 GBps.
+JoinModelBreakdown JoinProbeModel(int64_t probe_rows, int64_t ht_bytes,
+                                  const sim::DeviceProfile& p);
+
+/// "Actual" CPU curves: the model plus the per-variant penalties
+/// (Section 4.3's observations). `variant` is one of "scalar", "simd",
+/// "prefetch".
+double JoinProbeCpuActualMs(int64_t probe_rows, int64_t ht_bytes,
+                            const sim::DeviceProfile& p,
+                            const std::string& variant,
+                            const CpuPenalties& pen = DefaultCpuPenalties());
+
+// ------------------------------------------------------------------- Sort
+/// Section 4.4 histogram phase: 4*R/Br (reads the key column, histogram
+/// output is negligible).
+double SortHistogramModelMs(int64_t n, const sim::DeviceProfile& p);
+
+/// Section 4.4 shuffle phase: 2*4*R/Br + 2*4*R/Bw (keys+values in and out).
+double SortShuffleModelMs(int64_t n, const sim::DeviceProfile& p);
+
+/// CPU shuffle including the L1-overflow decay beyond 8 radix bits
+/// (Fig. 14b); at or below 8 bits this equals the model.
+double SortShuffleCpuActualMs(int64_t n, int bits,
+                              const sim::DeviceProfile& p,
+                              const CpuPenalties& pen = DefaultCpuPenalties());
+
+/// Full radix sort: `passes` partition passes, each = histogram + shuffle.
+double SortModelMs(int64_t n, int passes, const sim::DeviceProfile& p);
+
+}  // namespace crystal::model
+
+#endif  // CRYSTAL_MODEL_OPERATOR_MODELS_H_

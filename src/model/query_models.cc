@@ -1,0 +1,96 @@
+#include "model/query_models.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace crystal::model {
+
+namespace {
+constexpr double kMsPerSec = 1e3;
+double Bytes(double gbps) { return gbps * 1e9; }
+}  // namespace
+
+double Q1ScanModelMs(int64_t fact_rows, const sim::DeviceProfile& p) {
+  return 16.0 * static_cast<double>(fact_rows) / Bytes(p.read_bw_gbps) *
+         kMsPerSec;
+}
+
+Q21Breakdown Q21Model(const Q21Params& params, const sim::DeviceProfile& p) {
+  Q21Breakdown out;
+  const double line = p.dram_access_bytes;  // C in the paper's formulas
+  const double read_bw = Bytes(p.read_bw_gbps);
+  const double write_bw = Bytes(p.write_bw_gbps);
+  const double l = static_cast<double>(params.fact_rows);
+  const double s1 = params.sigma1;
+  const double s2 = params.sigma2;
+
+  // r1: fact-column accesses. First column (suppkey) is read fully; each
+  // subsequent column reads min(all lines, one line per surviving row).
+  const double full_lines = 4.0 * l / line;
+  const double r1_lines = full_lines +
+                          std::min(full_lines, l * s1) +          // partkey
+                          std::min(full_lines, l * s1 * s2) +     // orderdate
+                          std::min(full_lines, l * s1 * s2);      // revenue
+  out.fact_column_ms = r1_lines * line / read_bw * kMsPerSec;
+
+  // r2: hash-table probes. Supplier and date tables stay in cache; the part
+  // table (2 x 4B x |P| with perfect hashing = 8 MB) competes for what is
+  // left of the GPU L2.
+  const double part_ht_bytes = 2.0 * 4.0 * static_cast<double>(params.part_rows);
+  double pi = 1.0;
+  if (p.is_gpu) {
+    const double small_tables_bytes =
+        2.0 * 4.0 * static_cast<double>(params.supplier_rows) +
+        2.0 * 4.0 * static_cast<double>(params.date_rows);
+    const double available_l2 =
+        static_cast<double>(p.l2_bytes_total) - small_tables_bytes;
+    pi = std::min(1.0, available_l2 / part_ht_bytes);
+  } else {
+    // All three hash tables fit in the 20 MB L3.
+    pi = 1.0;
+  }
+  out.part_ht_l2_hit = pi;
+  const double probe_lines = 2.0 * static_cast<double>(params.supplier_rows) +
+                             2.0 * static_cast<double>(params.date_rows) +
+                             (1.0 - pi) * (l * s1);
+  out.probe_ms = probe_lines * line / read_bw * kMsPerSec;
+  if (!p.is_gpu) {
+    // CPU variant of r2: the part table is read through L3 as well
+    // (2 x |P| line accesses; paper Section 5.3).
+    const double cpu_probe_lines =
+        2.0 * static_cast<double>(params.supplier_rows) +
+        2.0 * static_cast<double>(params.date_rows) +
+        2.0 * static_cast<double>(params.part_rows);
+    out.probe_ms = cpu_probe_lines * line / read_bw * kMsPerSec;
+  }
+
+  // r3: result reads/writes (group slots touched once per surviving row).
+  out.result_ms = (l * s1 * s2 * line / read_bw +
+                   l * s1 * s2 * line / write_bw) *
+                  kMsPerSec;
+
+  out.total_ms = out.fact_column_ms + out.probe_ms + out.result_ms;
+  return out;
+}
+
+double Q21CpuActualMs(const Q21Params& params, const sim::DeviceProfile& p,
+                      const CpuPenalties& pen) {
+  CRYSTAL_CHECK(!p.is_gpu);
+  const Q21Breakdown base = Q21Model(params, p);
+  // Probe count: every fact row probes supplier; survivors probe part; their
+  // survivors probe date. Each probe stalls the issuing thread (partially
+  // hidden by out-of-order execution, folded into probe_stall_ns).
+  const double l = static_cast<double>(params.fact_rows);
+  const double probes = l + l * params.sigma1 + l * params.sigma1 * params.sigma2;
+  const double stall_ms =
+      probes * pen.probe_stall_ns / p.hardware_threads * 1e-6;
+  return base.total_ms + stall_ms;
+}
+
+double CoprocessorTimeMs(int64_t fact_bytes_shipped, double gpu_exec_ms,
+                         const sim::PcieProfile& pcie) {
+  return std::max(pcie.TransferMs(fact_bytes_shipped), gpu_exec_ms);
+}
+
+}  // namespace crystal::model

@@ -1,0 +1,63 @@
+#include "sim/cache_sim.h"
+
+#include "common/bitutil.h"
+#include "common/macros.h"
+
+namespace crystal::sim {
+
+CacheSim::CacheSim(int64_t size_bytes, int line_bytes, int ways)
+    : size_bytes_(size_bytes), line_bytes_(line_bytes), ways_(ways) {
+  CRYSTAL_CHECK(IsPowerOfTwo(static_cast<uint64_t>(line_bytes)));
+  CRYSTAL_CHECK(ways >= 1);
+  num_sets_ = size_bytes / (static_cast<int64_t>(line_bytes) * ways);
+  CRYSTAL_CHECK_MSG(num_sets_ >= 1, "cache smaller than one set");
+  // Round sets down to a power of two so set indexing is a mask. (For odd
+  // capacities this slightly shrinks the modeled cache; the paper's cache
+  // sizes are all powers of two except L3=20MB, where we keep 20MB worth of
+  // ways by scaling associativity instead.)
+  if (!IsPowerOfTwo(static_cast<uint64_t>(num_sets_))) {
+    const int64_t pow2_sets = NextPowerOfTwo(num_sets_) / 2;
+    ways_ = static_cast<int>(size_bytes / (pow2_sets * line_bytes));
+    num_sets_ = pow2_sets;
+  }
+  line_shift_ = Log2(static_cast<uint64_t>(line_bytes));
+  tags_.assign(num_sets_ * ways_, kEmpty);
+  stamp_.assign(num_sets_ * ways_, 0);
+}
+
+bool CacheSim::Access(uint64_t addr) {
+  const uint64_t line = addr >> line_shift_;
+  const int64_t set = static_cast<int64_t>(line & (num_sets_ - 1));
+  uint64_t* tags = &tags_[set * ways_];
+  uint64_t* stamps = &stamp_[set * ways_];
+  ++clock_;
+  int victim = 0;
+  uint64_t victim_stamp = ~0ull;
+  for (int w = 0; w < ways_; ++w) {
+    if (tags[w] == line) {
+      stamps[w] = clock_;
+      ++hits_;
+      return true;
+    }
+    if (tags[w] == kEmpty) {
+      // Prefer filling an invalid way; stamp 0 is always the minimum.
+      victim = w;
+      victim_stamp = 0;
+    } else if (stamps[w] < victim_stamp) {
+      victim = w;
+      victim_stamp = stamps[w];
+    }
+  }
+  tags[victim] = line;
+  stamps[victim] = clock_;
+  ++misses_;
+  return false;
+}
+
+void CacheSim::Reset() {
+  std::fill(tags_.begin(), tags_.end(), kEmpty);
+  std::fill(stamp_.begin(), stamp_.end(), 0);
+  clock_ = hits_ = misses_ = 0;
+}
+
+}  // namespace crystal::sim

@@ -1,0 +1,54 @@
+#ifndef CRYSTAL_SIM_CACHE_SIM_H_
+#define CRYSTAL_SIM_CACHE_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace crystal::sim {
+
+/// Set-associative LRU cache simulator. Used to model the GPU L2 (the paper
+/// cites Mei & Chu: V100 L2 is an LRU set-associative cache) and, on the CPU
+/// side, the L2/L3 filtering of hash-table probes. Only tags are simulated;
+/// data comes from host memory.
+class CacheSim {
+ public:
+  /// size_bytes and line_bytes must be powers of two; ways >= 1.
+  CacheSim(int64_t size_bytes, int line_bytes, int ways);
+
+  /// Touches the line containing byte address `addr`; returns true on hit.
+  /// On miss the line is filled (evicting the LRU way).
+  bool Access(uint64_t addr);
+
+  /// Forgets all cached lines.
+  void Reset();
+
+  int64_t size_bytes() const { return size_bytes_; }
+  int line_bytes() const { return line_bytes_; }
+  int ways() const { return ways_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double hit_ratio() const {
+    const uint64_t n = hits_ + misses_;
+    return n == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(n);
+  }
+
+ private:
+  int64_t size_bytes_;
+  int line_bytes_;
+  int ways_;
+  int64_t num_sets_;
+  int line_shift_;
+  // tags_[set * ways + way]; kEmpty when invalid.
+  std::vector<uint64_t> tags_;
+  // Monotone timestamps for LRU; stamp_[set * ways + way].
+  std::vector<uint64_t> stamp_;
+  uint64_t clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+
+  static constexpr uint64_t kEmpty = ~0ull;
+};
+
+}  // namespace crystal::sim
+
+#endif  // CRYSTAL_SIM_CACHE_SIM_H_

@@ -1,0 +1,73 @@
+#include "sim/device.h"
+
+namespace crystal::sim {
+
+namespace {
+// On-chip cache associativity (Mei & Chu report 16-way for recent Nvidia
+// L2s; Skylake L3 is also 16-way).
+constexpr int kL2Ways = 16;
+
+// The cache level that filters data-dependent reads: GPU L2, CPU LLC.
+int64_t LastLevelCacheBytes(const DeviceProfile& p) {
+  return p.is_gpu ? p.l2_bytes_total : p.l3_bytes_total;
+}
+}  // namespace
+
+Device::Device(DeviceProfile profile) : profile_(std::move(profile)) {
+  if (LastLevelCacheBytes(profile_) > 0) {
+    l2_ = std::make_unique<CacheSim>(LastLevelCacheBytes(profile_),
+                                     profile_.cache_sector_bytes, kL2Ways);
+  }
+}
+
+void Device::ResetStats() {
+  stats_ = MemStats();
+  records_.clear();
+  if (l2_ != nullptr) l2_->Reset();
+}
+
+void Device::set_l2_enabled(bool enabled) {
+  if (enabled && l2_ == nullptr) {
+    l2_ = std::make_unique<CacheSim>(LastLevelCacheBytes(profile_),
+                                     profile_.cache_sector_bytes, kL2Ways);
+  } else if (!enabled) {
+    l2_.reset();
+  }
+}
+
+
+uint64_t Device::AllocateAddressRange(int64_t bytes) {
+  const uint64_t base = next_addr_;
+  // Keep buffers line-aligned and separated so cache sets are realistic.
+  const uint64_t line = static_cast<uint64_t>(profile_.dram_access_bytes);
+  next_addr_ += (static_cast<uint64_t>(bytes) + line - 1) / line * line + line;
+  return base;
+}
+
+void Device::RecordRandomRead(uint64_t addr, int bytes) {
+  // Residency and dedup happen at cache-sector granularity; the timing model
+  // charges DRAM-served sectors at dram_access_bytes and cache-served ones
+  // at cache_sector_bytes.
+  const uint64_t line_sz = static_cast<uint64_t>(profile_.cache_sector_bytes);
+  const uint64_t first = addr / line_sz;
+  const uint64_t last = (addr + static_cast<uint64_t>(bytes) - 1) / line_sz;
+  for (uint64_t line = first; line <= last; ++line) {
+    if (l2_ != nullptr) {
+      if (l2_->Access(line * line_sz)) {
+        ++stats_.rand_read_lines_cache;
+      } else {
+        ++stats_.rand_read_lines_dram;
+      }
+    } else {
+      ++stats_.rand_read_lines_dram;
+    }
+  }
+}
+
+double Device::TotalEstimatedMs() const {
+  double total = 0;
+  for (const auto& r : records_) total += r.est_ms;
+  return total;
+}
+
+}  // namespace crystal::sim

@@ -1,0 +1,142 @@
+#ifndef CRYSTAL_SIM_DEVICE_H_
+#define CRYSTAL_SIM_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/macros.h"
+#include "sim/cache_sim.h"
+#include "sim/mem_stats.h"
+#include "sim/profile.h"
+
+namespace crystal::sim {
+
+/// Launch geometry for a simulated kernel: threads per block and items each
+/// thread keeps in registers. tile = block_threads * items_per_thread items,
+/// exactly the paper's tile-based execution model (Section 3.2). The paper's
+/// best configuration — 128 threads x 4 items — is the default.
+struct LaunchConfig {
+  int block_threads = 128;
+  int items_per_thread = 4;
+
+  int tile_items() const { return block_threads * items_per_thread; }
+};
+
+/// Per-kernel execution record: traffic delta and predicted time.
+struct KernelRecord {
+  std::string name;
+  LaunchConfig config;
+  int64_t num_blocks = 0;
+  MemStats mem;
+  double est_ms = 0;
+};
+
+/// A simulated device: a hardware profile, cumulative traffic statistics, an
+/// optional L2 cache model for data-dependent accesses, and a notional
+/// address space for device buffers. Functionally, "device memory" is host
+/// memory; the Device only does the accounting.
+class Device {
+ public:
+  explicit Device(DeviceProfile profile);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceProfile& profile() const { return profile_; }
+  MemStats& stats() { return stats_; }
+  const MemStats& stats() const { return stats_; }
+  void ResetStats();
+
+  /// L2 model for random accesses; null when disabled (see set_l2_enabled).
+  CacheSim* l2() { return l2_.get(); }
+  /// Enables/disables trace-driven L2 modeling. When disabled, every random
+  /// access is charged to DRAM (callers can then apply an analytic hit ratio,
+  /// which is how the large paper-scale sweeps stay fast).
+  void set_l2_enabled(bool enabled);
+  bool l2_enabled() const { return l2_ != nullptr; }
+
+  /// Reserves `bytes` of notional device address space; returns base address.
+  uint64_t AllocateAddressRange(int64_t bytes);
+
+  // --- Traffic recording (called by the executor & Crystal primitives) ---
+  void RecordSeqRead(int64_t bytes) {
+    stats_.seq_read_bytes += static_cast<uint64_t>(bytes);
+  }
+  void RecordSeqWrite(int64_t bytes) {
+    stats_.seq_write_bytes += static_cast<uint64_t>(bytes);
+  }
+  void RecordShared(int64_t bytes) {
+    stats_.shared_bytes += static_cast<uint64_t>(bytes);
+  }
+  void RecordArithmetic(int64_t ops) {
+    stats_.arithmetic_ops += static_cast<uint64_t>(ops);
+  }
+  void RecordAtomic(int64_t ops = 1) {
+    stats_.atomic_ops += static_cast<uint64_t>(ops);
+  }
+  void RecordRandomWrite(int64_t sectors) {
+    stats_.rand_write_sectors += static_cast<uint64_t>(sectors);
+  }
+  /// Records a data-dependent read of `bytes` at notional address `addr`.
+  /// Touched lines are filtered through the L2 model when enabled.
+  void RecordRandomRead(uint64_t addr, int bytes);
+
+  /// Kernel execution history (filled by LaunchBlocks).
+  std::vector<KernelRecord>& records() { return records_; }
+  const std::vector<KernelRecord>& records() const { return records_; }
+  /// Sum of predicted kernel times since the last ResetStats, in ms.
+  double TotalEstimatedMs() const;
+
+ private:
+  DeviceProfile profile_;
+  MemStats stats_;
+  std::unique_ptr<CacheSim> l2_;
+  uint64_t next_addr_ = 4096;  // keep 0 unmapped to catch bugs
+  std::vector<KernelRecord> records_;
+};
+
+/// Typed buffer in simulated device memory. Functionally a host vector; the
+/// base address ties data-dependent accesses to the device's cache model.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() : device_(nullptr), base_(0) {}
+  DeviceBuffer(Device& device, int64_t n)
+      : device_(&device),
+        data_(static_cast<size_t>(n)),
+        base_(device.AllocateAddressRange(n * static_cast<int64_t>(sizeof(T)))) {}
+  DeviceBuffer(Device& device, int64_t n, T fill) : DeviceBuffer(device, n) {
+    std::fill(data_.begin(), data_.end(), fill);
+  }
+
+  DeviceBuffer(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer& operator=(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  int64_t bytes() const { return size() * static_cast<int64_t>(sizeof(T)); }
+  T& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  const T& operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// Notional device address of element i (for cache modeling).
+  uint64_t addr(int64_t i) const {
+    return base_ + static_cast<uint64_t>(i) * sizeof(T);
+  }
+
+  Device* device() const { return device_; }
+
+ private:
+  Device* device_;
+  AlignedVector<T> data_;
+  uint64_t base_;
+};
+
+}  // namespace crystal::sim
+
+#endif  // CRYSTAL_SIM_DEVICE_H_

@@ -1,0 +1,62 @@
+#include "sim/exec.h"
+
+#include <algorithm>
+
+#include "sim/timing.h"
+
+namespace crystal::sim {
+
+void LaunchBlocks(Device& device, const std::string& name,
+                  const LaunchConfig& config, int64_t num_blocks,
+                  const std::function<void(ThreadBlock&)>& body) {
+  CRYSTAL_CHECK(num_blocks >= 0);
+  const MemStats before = device.stats();
+  ++device.stats().kernel_launches;
+
+  ThreadBlock tb(device, config, num_blocks);
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    tb.BeginBlock(b);
+    body(tb);
+  }
+
+  KernelRecord record;
+  record.name = name;
+  record.config = config;
+  record.num_blocks = num_blocks;
+  record.mem = device.stats() - before;
+  record.est_ms =
+      EstimateKernelTime(record.mem, device.profile(), config).total_ms;
+  device.records().push_back(std::move(record));
+}
+
+void RunAsKernel(Device& device, const std::string& name,
+                 const LaunchConfig& config, int64_t num_blocks,
+                 const std::function<void()>& body) {
+  const MemStats before = device.stats();
+  ++device.stats().kernel_launches;
+  body();
+  KernelRecord record;
+  record.name = name;
+  record.config = config;
+  record.num_blocks = num_blocks;
+  record.mem = device.stats() - before;
+  record.est_ms =
+      EstimateKernelTime(record.mem, device.profile(), config).total_ms;
+  device.records().push_back(std::move(record));
+}
+
+void LaunchTiles(
+    Device& device, const std::string& name, const LaunchConfig& config,
+    int64_t num_items,
+    const std::function<void(ThreadBlock&, int64_t, int)>& body) {
+  const int tile = config.tile_items();
+  const int64_t num_blocks = (num_items + tile - 1) / tile;
+  LaunchBlocks(device, name, config, num_blocks, [&](ThreadBlock& tb) {
+    const int64_t offset = tb.block_idx() * tile;
+    const int tile_size =
+        static_cast<int>(std::min<int64_t>(tile, num_items - offset));
+    body(tb, offset, tile_size);
+  });
+}
+
+}  // namespace crystal::sim

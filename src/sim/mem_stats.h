@@ -1,0 +1,82 @@
+#ifndef CRYSTAL_SIM_MEM_STATS_H_
+#define CRYSTAL_SIM_MEM_STATS_H_
+
+#include <cstdint>
+
+namespace crystal::sim {
+
+/// Memory-traffic counters accumulated while simulated kernels execute.
+/// The timing model (sim/timing.h) converts these into predicted runtime
+/// using a DeviceProfile; nothing in the counters depends on the host.
+struct MemStats {
+  // Coalesced (streaming) global-memory traffic in bytes.
+  uint64_t seq_read_bytes = 0;
+  uint64_t seq_write_bytes = 0;
+
+  // Data-dependent (random) accesses, counted in memory transactions after
+  // cache filtering: lines that had to come from DRAM vs lines served by the
+  // on-chip cache (GPU L2 / CPU LLC).
+  uint64_t rand_read_lines_dram = 0;
+  uint64_t rand_read_lines_cache = 0;
+
+  // Uncoalesced store transactions (one sector each), e.g. the scattered
+  // per-thread writes of the independent-threads select plan (Fig. 4a).
+  uint64_t rand_write_sectors = 0;
+
+  // Global atomic read-modify-write operations (post block aggregation, i.e.
+  // what actually serializes on the memory system).
+  uint64_t atomic_ops = 0;
+
+  // Kernel launches (each costs fixed overhead; matters for multi-kernel
+  // operator-at-a-time plans).
+  uint64_t kernel_launches = 0;
+
+  // Block-wide barriers executed (one per primitive per block, roughly).
+  uint64_t barriers = 0;
+
+  // Shared-memory traffic in bytes (an order of magnitude faster than global
+  // memory; almost never the bottleneck but tracked for completeness).
+  uint64_t shared_bytes = 0;
+
+  // Arithmetic operations (used to detect compute-bound cases, e.g. the
+  // sigmoid projection Q2 on scalar CPU).
+  uint64_t arithmetic_ops = 0;
+
+  MemStats& operator+=(const MemStats& o) {
+    seq_read_bytes += o.seq_read_bytes;
+    seq_write_bytes += o.seq_write_bytes;
+    rand_read_lines_dram += o.rand_read_lines_dram;
+    rand_read_lines_cache += o.rand_read_lines_cache;
+    rand_write_sectors += o.rand_write_sectors;
+    atomic_ops += o.atomic_ops;
+    kernel_launches += o.kernel_launches;
+    barriers += o.barriers;
+    shared_bytes += o.shared_bytes;
+    arithmetic_ops += o.arithmetic_ops;
+    return *this;
+  }
+
+  friend MemStats operator-(MemStats a, const MemStats& b) {
+    a.seq_read_bytes -= b.seq_read_bytes;
+    a.seq_write_bytes -= b.seq_write_bytes;
+    a.rand_read_lines_dram -= b.rand_read_lines_dram;
+    a.rand_read_lines_cache -= b.rand_read_lines_cache;
+    a.rand_write_sectors -= b.rand_write_sectors;
+    a.atomic_ops -= b.atomic_ops;
+    a.kernel_launches -= b.kernel_launches;
+    a.barriers -= b.barriers;
+    a.shared_bytes -= b.shared_bytes;
+    a.arithmetic_ops -= b.arithmetic_ops;
+    return a;
+  }
+
+  uint64_t total_dram_bytes(int line_bytes, int sector_bytes) const {
+    return seq_read_bytes + seq_write_bytes +
+           rand_read_lines_dram * static_cast<uint64_t>(line_bytes) +
+           rand_write_sectors * static_cast<uint64_t>(sector_bytes);
+  }
+};
+
+}  // namespace crystal::sim
+
+#endif  // CRYSTAL_SIM_MEM_STATS_H_

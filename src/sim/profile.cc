@@ -1,0 +1,48 @@
+#include "sim/profile.h"
+
+namespace crystal::sim {
+
+DeviceProfile DeviceProfile::V100() {
+  DeviceProfile p;
+  p.name = "Nvidia V100 (Table 2)";
+  p.is_gpu = true;
+  p.read_bw_gbps = 880.0;
+  p.write_bw_gbps = 880.0;
+  p.l1_bytes_per_unit = 16 * 1024;        // 16 KB/SM (as configured in paper)
+  p.l2_bytes_total = 6 * 1024 * 1024;     // 6 MB shared
+  p.l1_bw_gbps = 10700.0;                 // 10.7 TBps shared memory
+  p.l2_bw_gbps = 2200.0;                  // 2.2 TBps
+  p.dram_access_bytes = 128;              // Section 4.3
+  p.store_sector_bytes = 32;
+  p.cores = 5000;
+  p.sms = 80;
+  p.max_threads_per_sm = 2048;
+  p.hardware_threads = p.sms * p.max_threads_per_sm;
+  p.clock_ghz = 1.38;
+  p.flops_tflops = 14.0;
+  p.memory_capacity_bytes = 32ll * 1024 * 1024 * 1024;
+  return p;
+}
+
+DeviceProfile DeviceProfile::SkylakeI7() {
+  DeviceProfile p;
+  p.name = "Intel i7-6900 (Table 2)";
+  p.is_gpu = false;
+  p.read_bw_gbps = 53.0;
+  p.write_bw_gbps = 55.0;
+  p.l1_bytes_per_unit = 32 * 1024;           // 32 KB/core
+  p.l2_bytes_per_core = 256 * 1024;          // 256 KB/core
+  p.l2_bytes_total = 8 * p.l2_bytes_per_core;
+  p.l3_bytes_total = 20 * 1024 * 1024;       // 20 MB shared
+  p.l3_bw_gbps = 157.0;
+  p.dram_access_bytes = 64;
+  p.store_sector_bytes = 64;
+  p.cores = 8;
+  p.hardware_threads = 16;  // SMT
+  p.clock_ghz = 3.2;
+  p.flops_tflops = 1.0;
+  p.memory_capacity_bytes = 64ll * 1024 * 1024 * 1024;
+  return p;
+}
+
+}  // namespace crystal::sim

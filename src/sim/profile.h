@@ -1,0 +1,68 @@
+#ifndef CRYSTAL_SIM_PROFILE_H_
+#define CRYSTAL_SIM_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace crystal::sim {
+
+/// Hardware profile of a simulated device. The two factory profiles carry the
+/// exact numbers from Table 2 of the paper (Nvidia V100 and Intel i7-6900
+/// Skylake); all timing predictions in the repo derive from these numbers,
+/// never from the host this code happens to run on.
+struct DeviceProfile {
+  std::string name;
+  bool is_gpu = false;
+
+  // Off-chip (device/global or main) memory.
+  double read_bw_gbps = 0;   // GB/s, 1 GB = 1e9 bytes
+  double write_bw_gbps = 0;  // GB/s
+
+  // Cache hierarchy. Sizes are totals for shared levels, per-unit otherwise.
+  int64_t l1_bytes_per_unit = 0;  // per core (CPU) / per SM (GPU)
+  int64_t l2_bytes_total = 0;     // total L2 (GPU: shared; CPU: per-core*cores)
+  int64_t l2_bytes_per_core = 0;  // CPU only
+  int64_t l3_bytes_total = 0;     // CPU only; 0 on GPU
+  double l1_bw_gbps = 0;          // GPU shared-mem/L1 bandwidth
+  double l2_bw_gbps = 0;          // GPU L2 bandwidth
+  double l3_bw_gbps = 0;          // CPU LLC bandwidth
+
+  // Random-access granularity: bytes moved per data-dependent access that
+  // misses cache (paper 4.3: 128 B on GPU, 64 B on CPU).
+  int dram_access_bytes = 64;
+  // Granularity of an on-chip-cache-served random access (L2 sector). The
+  // paper's 14.5x join segment is the GPU-L2 : CPU-L3 bandwidth ratio with
+  // equal 64 B access granularity on both sides.
+  int cache_sector_bytes = 64;
+  // Granularity of an uncoalesced store transaction (GPU sectors are 32 B).
+  int store_sector_bytes = 32;
+
+  int cores = 0;              // physical cores (CPU) / scalar cores (GPU)
+  int hardware_threads = 0;   // SMT threads (CPU) / resident threads (GPU)
+  int sms = 0;                // GPU streaming multiprocessors
+  int max_threads_per_sm = 0; // GPU resident-thread limit per SM
+  double clock_ghz = 0;
+  double flops_tflops = 0;    // peak single-precision throughput
+
+  int64_t memory_capacity_bytes = 0;
+
+  /// Nvidia V100 as characterized in Table 2 of the paper.
+  static DeviceProfile V100();
+  /// Intel i7-6900 (Skylake, 8C/16T, AVX2) as characterized in Table 2.
+  static DeviceProfile SkylakeI7();
+};
+
+/// PCIe 3.0 x16 link as measured in the paper (Section 5): 12.8 GBps
+/// bidirectional effective bandwidth.
+struct PcieProfile {
+  double bw_gbps = 12.8;
+
+  /// Time to ship `bytes` across the link, in milliseconds.
+  double TransferMs(int64_t bytes) const {
+    return static_cast<double>(bytes) / (bw_gbps * 1e9) * 1e3;
+  }
+};
+
+}  // namespace crystal::sim
+
+#endif  // CRYSTAL_SIM_PROFILE_H_

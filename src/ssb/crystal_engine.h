@@ -1,0 +1,69 @@
+#ifndef CRYSTAL_SSB_CRYSTAL_ENGINE_H_
+#define CRYSTAL_SSB_CRYSTAL_ENGINE_H_
+
+#include <memory>
+
+#include "gpu/hash_table.h"
+#include "sim/device.h"
+#include "sim/exec.h"
+#include "ssb/queries.h"
+
+namespace crystal::ssb {
+
+/// Per-query execution report of a simulated engine run.
+struct EngineRun {
+  QueryResult result;
+  double build_ms = 0;       // dimension hash-table builds
+  double probe_ms = 0;       // fused probe/aggregate kernels (fact-linear)
+  double total_ms = 0;       // build + probe
+  int64_t fact_rows = 0;     // fact rows processed in this (sub-sampled) run
+  int64_t fact_bytes_shipped = 0;  // referenced fact bytes (coprocessor)
+
+  /// Scales the fact-proportional part to the database's full scale factor
+  /// (see Database::fact_divisor) and returns total milliseconds.
+  double ScaledTotalMs(int fact_divisor) const {
+    return build_ms + probe_ms * fact_divisor;
+  }
+};
+
+/// The paper's standalone engine: one fused tile-based kernel per query
+/// built from Crystal block-wide functions (Section 5.2), preceded by the
+/// dimension hash-table builds. The engine is device-profile agnostic:
+/// executed on the V100 profile it is the "Standalone GPU" system; executed
+/// on the Skylake profile it models the equivalent vectorized "Standalone
+/// CPU" implementation (the tile model is the GPU analogue of vectorized
+/// CPU processing, Section 3.2), with CPU memory stalls applied by the
+/// timing model. Functional results are identical on both profiles and are
+/// verified against RunReference in the tests.
+class CrystalEngine {
+ public:
+  CrystalEngine(sim::Device& device, const Database& db);
+
+  /// Runs one of the 13 SSB queries; resets device stats first so the
+  /// report covers exactly this query.
+  EngineRun Run(QueryId id, const sim::LaunchConfig& config = {});
+
+  sim::Device& device() { return device_; }
+
+ private:
+  EngineRun RunQ1(const Q1Params& q, const sim::LaunchConfig& config);
+  EngineRun RunQ2(const Q2Params& q, const sim::LaunchConfig& config);
+  EngineRun RunQ3(const Q3Params& q, const sim::LaunchConfig& config);
+  EngineRun RunQ4(const Q4Params& q, const sim::LaunchConfig& config);
+
+  // Splits recorded kernel estimates into build vs probe and fills traffic
+  // fields of `run`.
+  void FinalizeRun(EngineRun* run, int fact_columns) const;
+
+  sim::Device& device_;
+  const Database& db_;
+
+  // Fact columns resident in device memory.
+  sim::DeviceBuffer<int32_t> lo_orderdate_, lo_custkey_, lo_partkey_,
+      lo_suppkey_, lo_quantity_, lo_discount_, lo_extendedprice_, lo_revenue_,
+      lo_supplycost_;
+};
+
+}  // namespace crystal::ssb
+
+#endif  // CRYSTAL_SSB_CRYSTAL_ENGINE_H_

@@ -1,0 +1,179 @@
+#include "ssb/datagen.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "ssb/dict.h"
+
+namespace crystal::ssb {
+
+int64_t LineorderRows(int scale_factor) { return 6'000'000ll * scale_factor; }
+int64_t CustomerRows(int scale_factor) { return 30'000ll * scale_factor; }
+int64_t SupplierRows(int scale_factor) { return 2'000ll * scale_factor; }
+
+int64_t PartRows(int scale_factor) {
+  // dbgen: 200,000 * floor(1 + log2(SF)).
+  const double l = std::log2(static_cast<double>(scale_factor));
+  return 200'000ll * (1 + static_cast<int64_t>(l));
+}
+
+namespace {
+
+constexpr int kDaysPerMonth[12] = {31, 28, 31, 30, 31, 30,
+                                   31, 31, 30, 31, 30, 31};
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+struct Ymd {
+  int year;
+  int month;  // 1-based
+  int day;    // 1-based
+};
+
+Ymd DayIndexToYmd(int day_index) {
+  int year = 1992;
+  for (;;) {
+    const int days_in_year = IsLeap(year) ? 366 : 365;
+    if (day_index < days_in_year) break;
+    day_index -= days_in_year;
+    ++year;
+  }
+  int month = 1;
+  for (;;) {
+    int dim = kDaysPerMonth[month - 1];
+    if (month == 2 && IsLeap(year)) dim = 29;
+    if (day_index < dim) break;
+    day_index -= dim;
+    ++month;
+  }
+  return Ymd{year, month, day_index + 1};
+}
+
+}  // namespace
+
+int32_t DateKeyForDay(int day_index) {
+  const Ymd ymd = DayIndexToYmd(day_index);
+  return ymd.year * 10000 + ymd.month * 100 + ymd.day;
+}
+
+Database Generate(const DatagenOptions& options) {
+  CRYSTAL_CHECK(options.scale_factor >= 1);
+  CRYSTAL_CHECK(options.fact_divisor >= 1);
+  Database db;
+  db.scale_factor = options.scale_factor;
+  db.fact_divisor = options.fact_divisor;
+  Rng rng(options.seed);
+
+  // ---- date: 2556 consecutive days from 1992-01-01.
+  db.d.rows = kDateRows;
+  db.d.datekey.resize(kDateRows);
+  db.d.year.resize(kDateRows);
+  db.d.yearmonthnum.resize(kDateRows);
+  db.d.weeknuminyear.resize(kDateRows);
+  int week = 1;
+  int week_day = 0;
+  int prev_year = 1992;
+  for (int i = 0; i < kDateRows; ++i) {
+    const Ymd ymd = DayIndexToYmd(i);
+    if (ymd.year != prev_year) {
+      prev_year = ymd.year;
+      week = 1;
+      week_day = 0;
+    }
+    db.d.datekey[i] = ymd.year * 10000 + ymd.month * 100 + ymd.day;
+    db.d.year[i] = ymd.year;
+    db.d.yearmonthnum[i] = ymd.year * 100 + ymd.month;
+    db.d.weeknuminyear[i] = week;
+    if (++week_day == 7) {
+      week_day = 0;
+      ++week;
+    }
+  }
+
+  // ---- customer.
+  db.c.rows = CustomerRows(options.scale_factor);
+  db.c.custkey.resize(db.c.rows);
+  db.c.city.resize(db.c.rows);
+  db.c.nation.resize(db.c.rows);
+  db.c.region.resize(db.c.rows);
+  for (int64_t i = 0; i < db.c.rows; ++i) {
+    const int32_t city = rng.UniformInt(0, 249);
+    db.c.custkey[i] = static_cast<int32_t>(i + 1);
+    db.c.city[i] = city;
+    db.c.nation[i] = city / 10;
+    db.c.region[i] = city / 50;
+  }
+
+  // ---- supplier.
+  db.s.rows = SupplierRows(options.scale_factor);
+  db.s.suppkey.resize(db.s.rows);
+  db.s.city.resize(db.s.rows);
+  db.s.nation.resize(db.s.rows);
+  db.s.region.resize(db.s.rows);
+  for (int64_t i = 0; i < db.s.rows; ++i) {
+    const int32_t city = rng.UniformInt(0, 249);
+    db.s.suppkey[i] = static_cast<int32_t>(i + 1);
+    db.s.city[i] = city;
+    db.s.nation[i] = city / 10;
+    db.s.region[i] = city / 50;
+  }
+
+  // ---- part.
+  db.p.rows = PartRows(options.scale_factor);
+  db.p.partkey.resize(db.p.rows);
+  db.p.mfgr.resize(db.p.rows);
+  db.p.category.resize(db.p.rows);
+  db.p.brand1.resize(db.p.rows);
+  for (int64_t i = 0; i < db.p.rows; ++i) {
+    const int32_t mfgr = rng.UniformInt(1, dict::kNumMfgrs);
+    const int32_t category =
+        mfgr * 10 + rng.UniformInt(1, dict::kCategoriesPerMfgr);
+    const int32_t brand1 =
+        category * 100 + rng.UniformInt(1, dict::kBrandsPerCategory);
+    db.p.partkey[i] = static_cast<int32_t>(i + 1);
+    db.p.mfgr[i] = mfgr;
+    db.p.category[i] = category;
+    db.p.brand1[i] = brand1;
+  }
+
+  // ---- lineorder.
+  db.lo.rows = LineorderRows(options.scale_factor) / options.fact_divisor;
+  db.lo.orderdate.resize(db.lo.rows);
+  db.lo.custkey.resize(db.lo.rows);
+  db.lo.partkey.resize(db.lo.rows);
+  db.lo.suppkey.resize(db.lo.rows);
+  db.lo.quantity.resize(db.lo.rows);
+  db.lo.discount.resize(db.lo.rows);
+  db.lo.extendedprice.resize(db.lo.rows);
+  db.lo.revenue.resize(db.lo.rows);
+  db.lo.supplycost.resize(db.lo.rows);
+  for (int64_t i = 0; i < db.lo.rows; ++i) {
+    db.lo.orderdate[i] =
+        db.d.datekey[rng.UniformInt(0, static_cast<int32_t>(kDateRows - 1))];
+    db.lo.custkey[i] =
+        rng.UniformInt(1, static_cast<int32_t>(db.c.rows));
+    db.lo.partkey[i] =
+        rng.UniformInt(1, static_cast<int32_t>(db.p.rows));
+    db.lo.suppkey[i] =
+        rng.UniformInt(1, static_cast<int32_t>(db.s.rows));
+    db.lo.quantity[i] = rng.UniformInt(1, 50);
+    db.lo.discount[i] = rng.UniformInt(0, 10);
+    db.lo.extendedprice[i] = rng.UniformInt(1, 60'000);
+    db.lo.revenue[i] = rng.UniformInt(1, 100'000);
+    db.lo.supplycost[i] = rng.UniformInt(1, 20'000);
+  }
+  return db;
+}
+
+Database Generate(int scale_factor, int fact_divisor, uint64_t seed) {
+  DatagenOptions options;
+  options.scale_factor = scale_factor;
+  options.fact_divisor = fact_divisor;
+  options.seed = seed;
+  return Generate(options);
+}
+
+}  // namespace crystal::ssb

@@ -1,0 +1,35 @@
+#ifndef CRYSTAL_SSB_DATAGEN_H_
+#define CRYSTAL_SSB_DATAGEN_H_
+
+#include <cstdint>
+
+#include "ssb/schema.h"
+
+namespace crystal::ssb {
+
+/// Options for the deterministic SSB generator.
+struct DatagenOptions {
+  int scale_factor = 1;
+  /// Fact subsampling: lineorder holds 6M*SF/fact_divisor rows while the
+  /// dimensions keep full SF cardinality (see Database::fact_divisor).
+  int fact_divisor = 1;
+  uint64_t seed = 20200302;  // arXiv date of the paper; any fixed value works
+};
+
+/// Generates a database with dbgen's cardinalities, uniform foreign keys and
+/// the attribute distributions the benchmark queries rely on (uniform
+/// quantity 1..50, discount 0..10, part/customer/supplier geography uniform
+/// over the dictionary domains). Deterministic for a given options struct.
+Database Generate(const DatagenOptions& options);
+
+/// Convenience overload.
+Database Generate(int scale_factor, int fact_divisor = 1,
+                  uint64_t seed = 20200302);
+
+/// Days table helper: yyyymmdd key of the i-th day (0-based) after
+/// 1992-01-01 on the proleptic Gregorian calendar.
+int32_t DateKeyForDay(int day_index);
+
+}  // namespace crystal::ssb
+
+#endif  // CRYSTAL_SSB_DATAGEN_H_

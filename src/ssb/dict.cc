@@ -1,0 +1,44 @@
+#include "ssb/dict.h"
+
+#include <array>
+
+#include "common/macros.h"
+
+namespace crystal::ssb::dict {
+
+namespace {
+constexpr std::array<const char*, 5> kRegionNames = {
+    "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+}  // namespace
+
+std::string RegionName(int32_t region) {
+  CRYSTAL_CHECK(region >= 0 && region < 5);
+  return kRegionNames[static_cast<size_t>(region)];
+}
+
+std::string NationName(int32_t nation) {
+  CRYSTAL_CHECK(nation >= 0 && nation < 25);
+  if (nation == kUnitedStates) return "UNITED STATES";
+  if (nation == kUnitedKingdom) return "UNITED KINGDOM";
+  return RegionName(nation / 5) + "-NATION" + std::to_string(nation % 5);
+}
+
+std::string CityName(int32_t city) {
+  CRYSTAL_CHECK(city >= 0 && city < 250);
+  // dbgen truncates the nation to 9 chars and appends the city digit.
+  std::string nation = NationName(city / 10);
+  nation.resize(9, ' ');
+  return nation + std::to_string(city % 10);
+}
+
+std::string MfgrName(int32_t mfgr) { return "MFGR#" + std::to_string(mfgr); }
+
+std::string CategoryName(int32_t category) {
+  return "MFGR#" + std::to_string(category);
+}
+
+std::string BrandName(int32_t brand) {
+  return "MFGR#" + std::to_string(brand);
+}
+
+}  // namespace crystal::ssb::dict

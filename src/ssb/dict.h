@@ -1,0 +1,50 @@
+#ifndef CRYSTAL_SSB_DICT_H_
+#define CRYSTAL_SSB_DICT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace crystal::ssb {
+
+/// Dictionary encodings for the SSB string domains (Section 5.2 of the
+/// paper: queries are rewritten against the encoded values, e.g.
+/// s_region = 'ASIA' becomes s_region = 2).
+namespace dict {
+
+// Regions 0..4.
+inline constexpr int32_t kAfrica = 0;
+inline constexpr int32_t kAmerica = 1;
+inline constexpr int32_t kAsia = 2;
+inline constexpr int32_t kEurope = 3;
+inline constexpr int32_t kMiddleEast = 4;
+
+// Nations 0..24 occupy contiguous 5-nation blocks per region
+// (region = nation / 5). Named nations used by the benchmark:
+inline constexpr int32_t kUnitedStates = 9;    // AMERICA block 5..9
+inline constexpr int32_t kUnitedKingdom = 19;  // EUROPE block 15..19
+
+// Cities 0..249: city = nation*10 + j, j in 0..9. 'UNITED KI1' and
+// 'UNITED KI5' are the j=1 / j=5 cities of UNITED KINGDOM:
+inline constexpr int32_t kUnitedKi1 = kUnitedKingdom * 10 + 1;  // 191
+inline constexpr int32_t kUnitedKi5 = kUnitedKingdom * 10 + 5;  // 195
+
+// Part hierarchy: mfgr m in 1..5, category = m*10+c (c in 1..5),
+// brand1 = category*100 + b (b in 1..40); 'MFGR#12' = 12,
+// 'MFGR#1221' = 1221.
+inline constexpr int32_t kNumMfgrs = 5;
+inline constexpr int32_t kCategoriesPerMfgr = 5;
+inline constexpr int32_t kBrandsPerCategory = 40;
+
+/// Human-readable names (for example output and debugging).
+std::string RegionName(int32_t region);
+std::string NationName(int32_t nation);
+std::string CityName(int32_t city);
+std::string MfgrName(int32_t mfgr);
+std::string CategoryName(int32_t category);
+std::string BrandName(int32_t brand);
+
+}  // namespace dict
+
+}  // namespace crystal::ssb
+
+#endif  // CRYSTAL_SSB_DICT_H_

@@ -1,0 +1,578 @@
+#include "ssb/materializing_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace crystal::ssb {
+
+namespace {
+
+// Per-operator fixed kernel structure in the independent-threads model:
+// count pass + prefix-sum + scatter pass (Fig. 4a) — the input is read
+// twice and every output value is written scattered (per-thread regions).
+constexpr int kKernelsPerOperator = 3;
+
+// MonetDB materializes candidate lists as 8-byte oid BATs; every operator
+// re-reads and re-writes them (operator-at-a-time, Section 2.2).
+constexpr int64_t kOidBytes = 8;
+
+template <typename Pred>
+gpu::DeviceHashTable BuildFilteredHt(sim::Device& device, const Column& keys,
+                                     const Column& payloads, int64_t dim_rows,
+                                     Pred pred) {
+  std::vector<int32_t> k;
+  std::vector<int32_t> v;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (pred(i)) {
+      k.push_back(keys[i]);
+      v.push_back(payloads[i]);
+    }
+  }
+  sim::DeviceBuffer<int32_t> dk(device, static_cast<int64_t>(k.size()));
+  sim::DeviceBuffer<int32_t> dv(device, static_cast<int64_t>(v.size()));
+  std::memcpy(dk.data(), k.data(), k.size() * sizeof(int32_t));
+  std::memcpy(dv.data(), v.data(), v.size() * sizeof(int32_t));
+  // Domain-sized table, as in the paper's Section 5.3 accounting.
+  gpu::DeviceHashTable ht(device, std::max<int64_t>(dim_rows, 1),
+                          /*max_fill=*/1.0);
+  device.RecordSeqRead(dim_rows * 4 * 2);
+  ht.Build(dk, dv);
+  return ht;
+}
+
+// Lines touched by gathering `count` ascending row ids from a 4-byte column.
+int64_t GatherLines(const sim::DeviceBuffer<int32_t>& oids, int64_t count,
+                    int line_bytes) {
+  int64_t lines = 0;
+  int64_t prev = -1;
+  const int per_line = line_bytes / 4;
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t line = oids[i] / per_line;
+    if (line != prev) {
+      ++lines;
+      prev = line;
+    }
+  }
+  return lines;
+}
+
+// Bytes moved to read `count` 4-byte elements. On the GPU the independent-
+// threads model assigns each thread its own contiguous chunk, so the lanes
+// of a warp touch different sectors: every element costs a full store
+// sector ("does not realize benefits of blocked loading", Section 5.2). On
+// the CPU, per-thread streams are cache-friendly and cost 4 bytes each.
+int64_t ElementReadBytes(const sim::Device& device, int64_t count) {
+  if (device.profile().is_gpu) {
+    return count * device.profile().store_sector_bytes;
+  }
+  return count * 4;
+}
+
+}  // namespace
+
+MaterializingEngine::MaterializingEngine(sim::Device& device,
+                                         const Database& db)
+    : device_(device), db_(db) {}
+
+EngineRun MaterializingEngine::Run(QueryId id) {
+  device_.ResetStats();
+  EngineRun run;
+  switch (QueryFlight(id)) {
+    case 1: run = RunQ1(Q1ParamsFor(id)); break;
+    case 2: run = RunQ2(Q2ParamsFor(id)); break;
+    case 3: run = RunQ3(Q3ParamsFor(id)); break;
+    default: run = RunQ4(Q4ParamsFor(id)); break;
+  }
+  FinalizeRun(&run, FactColumnsReferenced(id));
+  return run;
+}
+
+void MaterializingEngine::FinalizeRun(EngineRun* run,
+                                      int fact_columns) const {
+  run->fact_rows = db_.lo.rows;
+  run->fact_bytes_shipped =
+      static_cast<int64_t>(fact_columns) * db_.lo.rows * 4;
+  for (const auto& rec : device_.records()) {
+    if (rec.name.rfind("ht_build", 0) == 0) {
+      run->build_ms += rec.est_ms;
+    } else {
+      run->probe_ms += rec.est_ms;
+    }
+  }
+  run->total_ms = run->build_ms + run->probe_ms;
+}
+
+template <typename Pred>
+MaterializingEngine::Oids MaterializingEngine::ScanSelect(const Column& col,
+                                                          const char* name,
+                                                          Pred pred) {
+  Oids out;
+  out.rows = sim::DeviceBuffer<int32_t>(device_,
+                                        static_cast<int64_t>(col.size()));
+  sim::RunAsKernel(device_, name, {}, 1, [&] {
+    // Count pass + scatter pass both read the column; the scattered
+    // per-thread id writes are uncoalesced on a GPU.
+    device_.stats().kernel_launches += kKernelsPerOperator - 1;
+    device_.RecordSeqRead(
+        2 * ElementReadBytes(device_, static_cast<int64_t>(col.size())));
+    int64_t m = 0;
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (pred(col[i])) out.rows[m++] = static_cast<int32_t>(i);
+    }
+    out.count = m;
+    if (device_.profile().is_gpu) {
+      device_.RecordRandomWrite(m);
+    } else {
+      device_.RecordSeqWrite(m * kOidBytes);
+    }
+  });
+  return out;
+}
+
+template <typename Pred>
+MaterializingEngine::Oids MaterializingEngine::Refine(const Column& col,
+                                                      const Oids& in,
+                                                      const char* name,
+                                                      Pred pred) {
+  Oids out;
+  out.rows = sim::DeviceBuffer<int32_t>(device_, std::max<int64_t>(in.count, 1));
+  sim::RunAsKernel(device_, name, {}, 1, [&] {
+    device_.stats().kernel_launches += kKernelsPerOperator - 1;
+    // Both passes gather the column at the candidate rows and read the
+    // candidate list itself.
+    int64_t pass_bytes;
+    if (device_.profile().is_gpu) {
+      pass_bytes = ElementReadBytes(device_, in.count) * 2;  // value + oid
+    } else {
+      const int64_t lines =
+          GatherLines(in.rows, in.count, device_.profile().dram_access_bytes);
+      pass_bytes =
+          lines * device_.profile().dram_access_bytes + in.count * kOidBytes;
+    }
+    device_.RecordSeqRead(2 * pass_bytes);
+    int64_t m = 0;
+    for (int64_t i = 0; i < in.count; ++i) {
+      if (pred(col[static_cast<size_t>(in.rows[i])])) {
+        out.rows[m++] = in.rows[i];
+      }
+    }
+    out.count = m;
+    if (device_.profile().is_gpu) {
+      device_.RecordRandomWrite(m);
+    } else {
+      device_.RecordSeqWrite(m * kOidBytes);
+    }
+  });
+  return out;
+}
+
+sim::DeviceBuffer<int32_t> MaterializingEngine::Fetch(const Column& col,
+                                                      const Oids& in,
+                                                      const char* name) {
+  sim::DeviceBuffer<int32_t> out(device_, std::max<int64_t>(in.count, 1));
+  sim::RunAsKernel(device_, name, {}, 1, [&] {
+    if (device_.profile().is_gpu) {
+      device_.RecordSeqRead(ElementReadBytes(device_, in.count) * 2);
+    } else {
+      const int64_t lines =
+          GatherLines(in.rows, in.count, device_.profile().dram_access_bytes);
+      device_.RecordSeqRead(lines * device_.profile().dram_access_bytes +
+                            in.count * kOidBytes);
+    }
+    for (int64_t i = 0; i < in.count; ++i) {
+      out[i] = col[static_cast<size_t>(in.rows[i])];
+    }
+    device_.RecordSeqWrite(in.count * 4);
+  });
+  return out;
+}
+
+MaterializingEngine::Oids MaterializingEngine::ProbeJoin(
+    const gpu::DeviceHashTable& ht, const sim::DeviceBuffer<int32_t>& keys,
+    const Oids& in, const char* name,
+    sim::DeviceBuffer<int32_t>* payloads) {
+  Oids out;
+  out.rows = sim::DeviceBuffer<int32_t>(device_, std::max<int64_t>(in.count, 1));
+  *payloads =
+      sim::DeviceBuffer<int32_t>(device_, std::max<int64_t>(in.count, 1));
+  const crystal::HashTableView view = ht.view();
+  sim::RunAsKernel(device_, name, {}, 1, [&] {
+    device_.stats().kernel_launches += kKernelsPerOperator - 1;
+    // Reads the materialized key and oid columns; probes are data-dependent.
+    device_.RecordSeqRead(ElementReadBytes(device_, in.count) +
+                          (device_.profile().is_gpu
+                               ? ElementReadBytes(device_, in.count)
+                               : in.count * kOidBytes));
+    int64_t m = 0;
+    for (int64_t i = 0; i < in.count; ++i) {
+      const int32_t key = keys[i];
+      uint64_t slot = HashMurmur32(static_cast<uint32_t>(key)) & view.mask;
+      for (;;) {
+        device_.RecordRandomRead(view.base_addr + slot * 8, 8);
+        if (!device_.profile().is_gpu) {
+          // MonetDB's hash structure is chained (bucket array + link array
+          // + BAT values), so a probe touches a second cache line in a
+          // structure with twice the packed footprint. Modeled as one more
+          // data-dependent read into the far half of the table's range.
+          const uint64_t chain_slot =
+              (slot + static_cast<uint64_t>(view.num_slots) / 2) & view.mask;
+          device_.RecordRandomRead(view.base_addr + chain_slot * 8, 8);
+        }
+        const uint64_t s = view.slots[slot];
+        if (crystal::HashTableView::SlotEmpty(s)) break;
+        if (crystal::HashTableView::SlotKey(s) == key) {
+          out.rows[m] = in.rows[i];
+          (*payloads)[m] = crystal::HashTableView::SlotValue(s);
+          ++m;
+          break;
+        }
+        slot = (slot + 1) & view.mask;
+      }
+    }
+    out.count = m;
+    if (device_.profile().is_gpu) {
+      device_.RecordRandomWrite(2 * m);  // oid + payload, scattered
+    } else {
+      device_.RecordSeqWrite(m * (kOidBytes + 4));  // oid BAT + payload BAT
+    }
+  });
+  return out;
+}
+
+EngineRun MaterializingEngine::RunQ1(const Q1Params& q) {
+  EngineRun run;
+  Oids sel = ScanSelect(db_.lo.orderdate, "mat_select_orderdate",
+                        [&](int32_t v) {
+                          return v >= q.date_lo && v <= q.date_hi;
+                        });
+  sel = Refine(db_.lo.discount, sel, "mat_refine_discount", [&](int32_t v) {
+    return v >= q.discount_lo && v <= q.discount_hi;
+  });
+  sel = Refine(db_.lo.quantity, sel, "mat_refine_quantity", [&](int32_t v) {
+    return v >= q.quantity_lo && v <= q.quantity_hi;
+  });
+  sim::DeviceBuffer<int32_t> price =
+      Fetch(db_.lo.extendedprice, sel, "mat_fetch_price");
+  sim::DeviceBuffer<int32_t> disc =
+      Fetch(db_.lo.discount, sel, "mat_fetch_discount");
+  sim::RunAsKernel(device_, "mat_aggregate", {}, 1, [&] {
+    device_.RecordSeqRead(2 * sel.count * 4);
+    for (int64_t i = 0; i < sel.count; ++i) {
+      run.result.scalar += static_cast<int64_t>(price[i]) * disc[i];
+    }
+  });
+  return run;
+}
+
+EngineRun MaterializingEngine::RunQ2(const Q2Params& q) {
+  EngineRun run;
+  gpu::DeviceHashTable supp = BuildFilteredHt(
+      device_, db_.s.suppkey, db_.s.region, db_.s.rows,
+      [&](size_t i) { return db_.s.region[i] == q.s_region; });
+  gpu::DeviceHashTable part = BuildFilteredHt(
+      device_, db_.p.partkey, db_.p.brand1, db_.p.rows, [&](size_t i) {
+        if (q.filter_by_category) return db_.p.category[i] == q.category;
+        return db_.p.brand1[i] >= q.brand_lo && db_.p.brand1[i] <= q.brand_hi;
+      });
+  gpu::DeviceHashTable date =
+      BuildFilteredHt(device_, db_.d.datekey, db_.d.year, db_.d.rows,
+                      [](size_t) { return true; });
+
+  // First join reads the raw fact column (identity candidate list).
+  Oids all;
+  all.rows = sim::DeviceBuffer<int32_t>(device_, db_.lo.rows);
+  sim::RunAsKernel(device_, "mat_identity", {}, 1, [&] {
+    for (int64_t i = 0; i < db_.lo.rows; ++i) {
+      all.rows[i] = static_cast<int32_t>(i);
+    }
+  });
+  all.count = db_.lo.rows;
+
+  sim::DeviceBuffer<int32_t> suppkeys =
+      Fetch(db_.lo.suppkey, all, "mat_fetch_suppkey");
+  sim::DeviceBuffer<int32_t> ignored;
+  Oids sel = ProbeJoin(supp, suppkeys, all, "mat_join_supplier", &ignored);
+
+  sim::DeviceBuffer<int32_t> partkeys =
+      Fetch(db_.lo.partkey, sel, "mat_fetch_partkey");
+  sim::DeviceBuffer<int32_t> brand;
+  sel = ProbeJoin(part, partkeys, sel, "mat_join_part", &brand);
+
+  sim::DeviceBuffer<int32_t> dates =
+      Fetch(db_.lo.orderdate, sel, "mat_fetch_orderdate");
+  sim::DeviceBuffer<int32_t> year;
+  sel = ProbeJoin(date, dates, sel, "mat_join_date", &year);
+
+  sim::DeviceBuffer<int32_t> rev =
+      Fetch(db_.lo.revenue, sel, "mat_fetch_revenue");
+
+  constexpr int kYears = 7;
+  constexpr int kBrandSpan = 5541;
+  std::vector<int64_t> grid(static_cast<size_t>(kYears) * kBrandSpan, 0);
+  sim::RunAsKernel(device_, "mat_groupby", {}, 1, [&] {
+    device_.RecordSeqRead(3 * sel.count * 4);
+    for (int64_t i = 0; i < sel.count; ++i) {
+      const int64_t idx =
+          static_cast<int64_t>(year[i] - 1992) * kBrandSpan + brand[i];
+      device_.RecordAtomic();
+      grid[static_cast<size_t>(idx)] += rev[i];
+    }
+  });
+  for (int y = 0; y < kYears; ++y) {
+    for (int b = 0; b < kBrandSpan; ++b) {
+      const int64_t v = grid[static_cast<size_t>(y) * kBrandSpan + b];
+      if (v != 0) run.result.AddGroup(1992 + y, b, 0, v);
+    }
+  }
+  run.result.Normalize();
+  return run;
+}
+
+EngineRun MaterializingEngine::RunQ3(const Q3Params& q) {
+  EngineRun run;
+  auto cust_pred = [&](size_t i) {
+    switch (q.level) {
+      case Q3Params::Level::kRegion: return db_.c.region[i] == q.c_value;
+      case Q3Params::Level::kNation: return db_.c.nation[i] == q.c_value;
+      default:
+        return db_.c.city[i] == q.city_a || db_.c.city[i] == q.city_b;
+    }
+  };
+  auto supp_pred = [&](size_t i) {
+    switch (q.level) {
+      case Q3Params::Level::kRegion: return db_.s.region[i] == q.c_value;
+      case Q3Params::Level::kNation: return db_.s.nation[i] == q.c_value;
+      default:
+        return db_.s.city[i] == q.city_a || db_.s.city[i] == q.city_b;
+    }
+  };
+  const Column& c_group =
+      q.level == Q3Params::Level::kRegion ? db_.c.nation : db_.c.city;
+  const Column& s_group =
+      q.level == Q3Params::Level::kRegion ? db_.s.nation : db_.s.city;
+  gpu::DeviceHashTable supp =
+      BuildFilteredHt(device_, db_.s.suppkey, s_group, db_.s.rows, supp_pred);
+  gpu::DeviceHashTable cust =
+      BuildFilteredHt(device_, db_.c.custkey, c_group, db_.c.rows, cust_pred);
+  gpu::DeviceHashTable date = BuildFilteredHt(
+      device_, db_.d.datekey, db_.d.year, db_.d.rows, [&](size_t i) {
+        if (q.use_yearmonth) return db_.d.yearmonthnum[i] == q.yearmonthnum;
+        return db_.d.year[i] >= q.year_lo && db_.d.year[i] <= q.year_hi;
+      });
+
+  Oids all;
+  all.rows = sim::DeviceBuffer<int32_t>(device_, db_.lo.rows);
+  sim::RunAsKernel(device_, "mat_identity", {}, 1, [&] {
+    for (int64_t i = 0; i < db_.lo.rows; ++i) {
+      all.rows[i] = static_cast<int32_t>(i);
+    }
+  });
+  all.count = db_.lo.rows;
+
+  sim::DeviceBuffer<int32_t> suppkeys =
+      Fetch(db_.lo.suppkey, all, "mat_fetch_suppkey");
+  sim::DeviceBuffer<int32_t> sg;
+  Oids sel = ProbeJoin(supp, suppkeys, all, "mat_join_supplier", &sg);
+
+  sim::DeviceBuffer<int32_t> custkeys =
+      Fetch(db_.lo.custkey, sel, "mat_fetch_custkey");
+  sim::DeviceBuffer<int32_t> cg_all;
+  Oids sel2 = ProbeJoin(cust, custkeys, sel, "mat_join_customer", &cg_all);
+  // Align supplier payloads with the customer join survivors.
+  sim::DeviceBuffer<int32_t> sg2(device_, std::max<int64_t>(sel2.count, 1));
+  {
+    int64_t w = 0;
+    int64_t r = 0;
+    for (int64_t i = 0; i < sel.count && w < sel2.count; ++i) {
+      if (sel.rows[i] == sel2.rows[w]) {
+        sg2[w++] = sg[i];
+      }
+      (void)r;
+    }
+  }
+
+  sim::DeviceBuffer<int32_t> dates =
+      Fetch(db_.lo.orderdate, sel2, "mat_fetch_orderdate");
+  sim::DeviceBuffer<int32_t> year;
+  Oids sel3 = ProbeJoin(date, dates, sel2, "mat_join_date", &year);
+  // Align earlier payloads with the date join survivors.
+  sim::DeviceBuffer<int32_t> sg3(device_, std::max<int64_t>(sel3.count, 1));
+  sim::DeviceBuffer<int32_t> cg3(device_, std::max<int64_t>(sel3.count, 1));
+  {
+    int64_t w = 0;
+    for (int64_t i = 0; i < sel2.count && w < sel3.count; ++i) {
+      if (sel2.rows[i] == sel3.rows[w]) {
+        sg3[w] = sg2[i];
+        cg3[w] = cg_all[i];
+        ++w;
+      }
+    }
+  }
+
+  sim::DeviceBuffer<int32_t> rev =
+      Fetch(db_.lo.revenue, sel3, "mat_fetch_revenue");
+
+  constexpr int kGroupSpan = 250;
+  constexpr int kYears = 7;
+  std::vector<int64_t> grid(
+      static_cast<size_t>(kGroupSpan) * kGroupSpan * kYears, 0);
+  sim::RunAsKernel(device_, "mat_groupby", {}, 1, [&] {
+    device_.RecordSeqRead(4 * sel3.count * 4);
+    for (int64_t i = 0; i < sel3.count; ++i) {
+      const int64_t idx =
+          (static_cast<int64_t>(cg3[i]) * kGroupSpan + sg3[i]) * kYears +
+          (year[i] - 1992);
+      device_.RecordAtomic();
+      grid[static_cast<size_t>(idx)] += rev[i];
+    }
+  });
+  for (int c = 0; c < kGroupSpan; ++c) {
+    for (int s = 0; s < kGroupSpan; ++s) {
+      for (int y = 0; y < kYears; ++y) {
+        const int64_t v =
+            grid[(static_cast<size_t>(c) * kGroupSpan + s) * kYears + y];
+        if (v != 0) run.result.AddGroup(c, s, 1992 + y, v);
+      }
+    }
+  }
+  run.result.Normalize();
+  return run;
+}
+
+EngineRun MaterializingEngine::RunQ4(const Q4Params& q) {
+  EngineRun run;
+  gpu::DeviceHashTable cust = BuildFilteredHt(
+      device_, db_.c.custkey, db_.c.nation, db_.c.rows,
+      [&](size_t i) { return db_.c.region[i] == q.c_region; });
+  const Column& s_payload = q.variant == 3 ? db_.s.city : db_.s.nation;
+  gpu::DeviceHashTable supp = BuildFilteredHt(
+      device_, db_.s.suppkey, s_payload, db_.s.rows, [&](size_t i) {
+        if (q.variant == 3) return db_.s.nation[i] == q.s_nation;
+        return db_.s.region[i] == q.s_region;
+      });
+  const Column& p_payload = q.variant == 3 ? db_.p.brand1 : db_.p.category;
+  gpu::DeviceHashTable part = BuildFilteredHt(
+      device_, db_.p.partkey, p_payload, db_.p.rows, [&](size_t i) {
+        if (q.variant == 3) return db_.p.category[i] == q.category;
+        return db_.p.mfgr[i] >= q.mfgr_lo && db_.p.mfgr[i] <= q.mfgr_hi;
+      });
+  gpu::DeviceHashTable date = BuildFilteredHt(
+      device_, db_.d.datekey, db_.d.year, db_.d.rows, [&](size_t i) {
+        if (!q.year_filter) return true;
+        return db_.d.year[i] == 1997 || db_.d.year[i] == 1998;
+      });
+
+  Oids all;
+  all.rows = sim::DeviceBuffer<int32_t>(device_, db_.lo.rows);
+  sim::RunAsKernel(device_, "mat_identity", {}, 1, [&] {
+    for (int64_t i = 0; i < db_.lo.rows; ++i) {
+      all.rows[i] = static_cast<int32_t>(i);
+    }
+  });
+  all.count = db_.lo.rows;
+
+  sim::DeviceBuffer<int32_t> custkeys =
+      Fetch(db_.lo.custkey, all, "mat_fetch_custkey");
+  sim::DeviceBuffer<int32_t> cnat;
+  Oids sel = ProbeJoin(cust, custkeys, all, "mat_join_customer", &cnat);
+
+  sim::DeviceBuffer<int32_t> suppkeys =
+      Fetch(db_.lo.suppkey, sel, "mat_fetch_suppkey");
+  sim::DeviceBuffer<int32_t> sval;
+  Oids sel2 = ProbeJoin(supp, suppkeys, sel, "mat_join_supplier", &sval);
+  sim::DeviceBuffer<int32_t> cnat2(device_, std::max<int64_t>(sel2.count, 1));
+  {
+    int64_t w = 0;
+    for (int64_t i = 0; i < sel.count && w < sel2.count; ++i) {
+      if (sel.rows[i] == sel2.rows[w]) cnat2[w++] = cnat[i];
+    }
+  }
+
+  sim::DeviceBuffer<int32_t> partkeys =
+      Fetch(db_.lo.partkey, sel2, "mat_fetch_partkey");
+  sim::DeviceBuffer<int32_t> pval;
+  Oids sel3 = ProbeJoin(part, partkeys, sel2, "mat_join_part", &pval);
+  sim::DeviceBuffer<int32_t> cnat3(device_, std::max<int64_t>(sel3.count, 1));
+  sim::DeviceBuffer<int32_t> sval3(device_, std::max<int64_t>(sel3.count, 1));
+  {
+    int64_t w = 0;
+    for (int64_t i = 0; i < sel2.count && w < sel3.count; ++i) {
+      if (sel2.rows[i] == sel3.rows[w]) {
+        cnat3[w] = cnat2[i];
+        sval3[w] = sval[i];
+        ++w;
+      }
+    }
+  }
+
+  sim::DeviceBuffer<int32_t> dates =
+      Fetch(db_.lo.orderdate, sel3, "mat_fetch_orderdate");
+  sim::DeviceBuffer<int32_t> year;
+  Oids sel4 = ProbeJoin(date, dates, sel3, "mat_join_date", &year);
+  sim::DeviceBuffer<int32_t> cnat4(device_, std::max<int64_t>(sel4.count, 1));
+  sim::DeviceBuffer<int32_t> sval4(device_, std::max<int64_t>(sel4.count, 1));
+  sim::DeviceBuffer<int32_t> pval4(device_, std::max<int64_t>(sel4.count, 1));
+  {
+    int64_t w = 0;
+    for (int64_t i = 0; i < sel3.count && w < sel4.count; ++i) {
+      if (sel3.rows[i] == sel4.rows[w]) {
+        cnat4[w] = cnat3[i];
+        sval4[w] = sval3[i];
+        pval4[w] = pval[i];
+        ++w;
+      }
+    }
+  }
+
+  sim::DeviceBuffer<int32_t> rev =
+      Fetch(db_.lo.revenue, sel4, "mat_fetch_revenue");
+  sim::DeviceBuffer<int32_t> cost =
+      Fetch(db_.lo.supplycost, sel4, "mat_fetch_supplycost");
+
+  constexpr int kYears = 7;
+  const int span1 = q.variant == 3 ? 250 : 25;
+  const int span2 = q.variant == 1 ? 1 : (q.variant == 2 ? 56 : 4441);
+  std::vector<int64_t> grid(
+      static_cast<size_t>(kYears) * span1 * span2, 0);
+  const int variant = q.variant;
+  sim::RunAsKernel(device_, "mat_groupby", {}, 1, [&] {
+    device_.RecordSeqRead(5 * sel4.count * 4);
+    for (int64_t i = 0; i < sel4.count; ++i) {
+      const int y = year[i] - 1992;
+      int64_t idx;
+      if (variant == 1) {
+        idx = static_cast<int64_t>(y) * 25 + cnat4[i];
+      } else if (variant == 2) {
+        idx = (static_cast<int64_t>(y) * 25 + sval4[i]) * 56 + pval4[i];
+      } else {
+        idx = (static_cast<int64_t>(y) * 250 + sval4[i]) * 4441 +
+              (pval4[i] - 1100);
+      }
+      device_.RecordAtomic();
+      grid[static_cast<size_t>(idx)] +=
+          static_cast<int64_t>(rev[i]) - cost[i];
+    }
+  });
+  for (int64_t i = 0; i < static_cast<int64_t>(grid.size()); ++i) {
+    const int64_t v = grid[static_cast<size_t>(i)];
+    if (v == 0) continue;
+    if (variant == 1) {
+      run.result.AddGroup(1992 + static_cast<int32_t>(i / 25),
+                          static_cast<int32_t>(i % 25), 0, v);
+    } else if (variant == 2) {
+      run.result.AddGroup(1992 + static_cast<int32_t>(i / 56 / 25),
+                          static_cast<int32_t>(i / 56 % 25),
+                          static_cast<int32_t>(i % 56), v);
+    } else {
+      run.result.AddGroup(1992 + static_cast<int32_t>(i / 4441 / 250),
+                          static_cast<int32_t>(i / 4441 % 250),
+                          static_cast<int32_t>(i % 4441) + 1100, v);
+    }
+  }
+  run.result.Normalize();
+  return run;
+}
+
+}  // namespace crystal::ssb

@@ -1,0 +1,107 @@
+#ifndef CRYSTAL_SSB_SCHEMA_H_
+#define CRYSTAL_SSB_SCHEMA_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/aligned.h"
+
+namespace crystal::ssb {
+
+/// Star Schema Benchmark columns, dictionary-encoded to 4-byte integers
+/// exactly as the paper's evaluation does (Section 5.2: "we dictionary
+/// encode the string columns into integers prior to data loading ... all
+/// column entries are 4-byte values").
+///
+/// Encodings (see dict.h for the string mapping):
+///  * region:   0..4   (AFRICA, AMERICA, ASIA, EUROPE, MIDDLE EAST)
+///  * nation:   0..24, region = nation / 5
+///  * city:     0..249, nation = city / 10
+///  * p_mfgr:   1..5          ("MFGR#m")
+///  * p_category: mfgr*10 + c, c in 1..5      ("MFGR#mc", e.g. 12)
+///  * p_brand1: category*100 + b, b in 1..40  ("MFGR#mcbb", e.g. 1221)
+///  * dates:    d_datekey = yyyymmdd
+using Column = AlignedVector<int32_t>;
+
+struct LineorderTable {
+  Column orderdate;      // FK -> date.datekey (yyyymmdd)
+  Column custkey;        // FK -> customer
+  Column partkey;        // FK -> part
+  Column suppkey;        // FK -> supplier
+  Column quantity;       // 1..50
+  Column discount;       // 0..10
+  Column extendedprice;  // 1..~6e4
+  Column revenue;        // 1..~1e5
+  Column supplycost;     // 1..~2e4
+
+  int64_t rows = 0;
+  /// Bytes of one fact column.
+  int64_t column_bytes() const { return rows * 4; }
+};
+
+struct DateTable {
+  Column datekey;        // yyyymmdd
+  Column year;           // 1992..1998
+  Column yearmonthnum;   // yyyymm
+  Column weeknuminyear;  // 1..53
+  int64_t rows = 0;
+};
+
+struct CustomerTable {
+  Column custkey;  // 1..rows (dense)
+  Column city;
+  Column nation;
+  Column region;
+  int64_t rows = 0;
+};
+
+struct SupplierTable {
+  Column suppkey;  // 1..rows (dense)
+  Column city;
+  Column nation;
+  Column region;
+  int64_t rows = 0;
+};
+
+struct PartTable {
+  Column partkey;  // 1..rows (dense)
+  Column mfgr;
+  Column category;
+  Column brand1;
+  int64_t rows = 0;
+};
+
+/// A generated SSB database instance.
+struct Database {
+  LineorderTable lo;
+  DateTable d;
+  CustomerTable c;
+  SupplierTable s;
+  PartTable p;
+
+  int scale_factor = 1;
+  /// Fact-table subsampling divisor: dimension cardinalities follow
+  /// scale_factor while the fact table holds 6M*SF/fact_divisor rows.
+  /// Cache-residency behaviour (driven by dimension hash-table sizes) then
+  /// matches the full scale factor, and fact-proportional kernel times can
+  /// be scaled back up exactly (they are bandwidth-linear in |L|).
+  int fact_divisor = 1;
+
+  /// Full-scale fact rows this instance stands in for (6M * SF).
+  int64_t full_scale_fact_rows() const {
+    return 6'000'000ll * scale_factor;
+  }
+};
+
+/// SSB cardinalities as a function of scale factor (dbgen's rules).
+int64_t LineorderRows(int scale_factor);
+int64_t CustomerRows(int scale_factor);
+int64_t SupplierRows(int scale_factor);
+int64_t PartRows(int scale_factor);
+constexpr int64_t kDateRows = 2556;  // 1992-01-01 .. 1998-12-31 (7 years)
+
+}  // namespace crystal::ssb
+
+#endif  // CRYSTAL_SSB_SCHEMA_H_

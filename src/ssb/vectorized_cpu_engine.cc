@@ -1,0 +1,334 @@
+#include "ssb/vectorized_cpu_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace crystal::ssb {
+
+namespace {
+
+constexpr int kVector = 1024;
+
+// Builds a CPU hash table over dimension rows passing `pred`.
+template <typename Pred>
+cpu::HashTable BuildFiltered(const Column& keys, const Column& payloads,
+                             Pred pred, ThreadPool& pool) {
+  std::vector<int32_t> k;
+  std::vector<int32_t> v;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (pred(i)) {
+      k.push_back(keys[i]);
+      v.push_back(payloads[i]);
+    }
+  }
+  // Domain-sized (perfect-hash-style) table, matching the paper's sizing.
+  cpu::HashTable ht(std::max<int64_t>(static_cast<int64_t>(keys.size()), 1),
+                    /*max_fill=*/1.0);
+  ht.Build(k.data(), v.data(), static_cast<int64_t>(k.size()), pool);
+  return ht;
+}
+
+// Thread-local dense aggregation grid, merged after the parallel scan.
+class GridAgg {
+ public:
+  GridAgg(int threads, int64_t cells) : grids_(threads) {
+    for (auto& g : grids_) g.assign(static_cast<size_t>(cells), 0);
+  }
+  void Add(int thread, int64_t cell, int64_t v) {
+    grids_[static_cast<size_t>(thread)][static_cast<size_t>(cell)] += v;
+  }
+  /// Merges into grid 0 and returns it.
+  const std::vector<int64_t>& Merge() {
+    for (size_t t = 1; t < grids_.size(); ++t) {
+      for (size_t i = 0; i < grids_[0].size(); ++i) {
+        grids_[0][i] += grids_[t][i];
+      }
+    }
+    return grids_[0];
+  }
+
+ private:
+  std::vector<std::vector<int64_t>> grids_;
+};
+
+}  // namespace
+
+VectorizedCpuEngine::VectorizedCpuEngine(const Database& db, ThreadPool& pool)
+    : db_(db), pool_(pool) {}
+
+QueryResult VectorizedCpuEngine::Run(QueryId id) {
+  switch (QueryFlight(id)) {
+    case 1: return RunQ1(Q1ParamsFor(id));
+    case 2: return RunQ2(Q2ParamsFor(id));
+    case 3: return RunQ3(Q3ParamsFor(id));
+    default: return RunQ4(Q4ParamsFor(id));
+  }
+}
+
+QueryResult VectorizedCpuEngine::RunQ1(const Q1Params& q) {
+  std::vector<int64_t> partial(static_cast<size_t>(pool_.num_threads()), 0);
+  const auto& lo = db_.lo;
+  pool_.ParallelFor(lo.rows, [&](int t, int64_t begin, int64_t end) {
+    int64_t sum = 0;
+    int32_t sel[kVector];
+    for (int64_t lo_i = begin; lo_i < end; lo_i += kVector) {
+      const int n = static_cast<int>(
+          std::min<int64_t>(kVector, end - lo_i));
+      // Predicate 1 on orderdate fills the selection vector.
+      int m = 0;
+      for (int i = 0; i < n; ++i) {
+        const int32_t v = lo.orderdate[lo_i + i];
+        sel[m] = i;
+        m += (v >= q.date_lo && v <= q.date_hi) ? 1 : 0;
+      }
+      // Predicates 2 and 3 compact the selection vector in place.
+      int m2 = 0;
+      for (int i = 0; i < m; ++i) {
+        const int32_t v = lo.discount[lo_i + sel[i]];
+        sel[m2] = sel[i];
+        m2 += (v >= q.discount_lo && v <= q.discount_hi) ? 1 : 0;
+      }
+      int m3 = 0;
+      for (int i = 0; i < m2; ++i) {
+        const int32_t v = lo.quantity[lo_i + sel[i]];
+        sel[m3] = sel[i];
+        m3 += (v >= q.quantity_lo && v <= q.quantity_hi) ? 1 : 0;
+      }
+      for (int i = 0; i < m3; ++i) {
+        sum += static_cast<int64_t>(lo.extendedprice[lo_i + sel[i]]) *
+               lo.discount[lo_i + sel[i]];
+      }
+    }
+    partial[static_cast<size_t>(t)] += sum;
+  });
+  QueryResult r;
+  for (int64_t s : partial) r.scalar += s;
+  return r;
+}
+
+QueryResult VectorizedCpuEngine::RunQ2(const Q2Params& q) {
+  const auto& lo = db_.lo;
+  cpu::HashTable supp = BuildFiltered(
+      db_.s.suppkey, db_.s.region,
+      [&](size_t i) { return db_.s.region[i] == q.s_region; }, pool_);
+  cpu::HashTable part = BuildFiltered(
+      db_.p.partkey, db_.p.brand1,
+      [&](size_t i) {
+        if (q.filter_by_category) return db_.p.category[i] == q.category;
+        return db_.p.brand1[i] >= q.brand_lo && db_.p.brand1[i] <= q.brand_hi;
+      },
+      pool_);
+  cpu::HashTable date = BuildFiltered(
+      db_.d.datekey, db_.d.year, [](size_t) { return true; }, pool_);
+
+  constexpr int kYears = 7;
+  constexpr int kBrandSpan = 5541;
+  GridAgg agg(pool_.num_threads(), static_cast<int64_t>(kYears) * kBrandSpan);
+  pool_.ParallelFor(lo.rows, [&](int t, int64_t begin, int64_t end) {
+    int32_t sel[kVector];
+    int32_t brand[kVector];
+    int32_t year[kVector];
+    for (int64_t base = begin; base < end; base += kVector) {
+      const int n = static_cast<int>(std::min<int64_t>(kVector, end - base));
+      int m = 0;
+      int32_t ignored;
+      for (int i = 0; i < n; ++i) {
+        sel[m] = i;
+        m += supp.Lookup(lo.suppkey[base + i], &ignored) ? 1 : 0;
+      }
+      int m2 = 0;
+      for (int i = 0; i < m; ++i) {
+        sel[m2] = sel[i];
+        m2 += part.Lookup(lo.partkey[base + sel[i]], &brand[m2]) ? 1 : 0;
+      }
+      for (int i = 0; i < m2; ++i) {
+        CRYSTAL_CHECK(date.Lookup(lo.orderdate[base + sel[i]], &year[i]));
+      }
+      for (int i = 0; i < m2; ++i) {
+        agg.Add(t,
+                static_cast<int64_t>(year[i] - 1992) * kBrandSpan + brand[i],
+                lo.revenue[base + sel[i]]);
+      }
+    }
+  });
+  QueryResult r;
+  const auto& grid = agg.Merge();
+  for (int y = 0; y < kYears; ++y) {
+    for (int b = 0; b < kBrandSpan; ++b) {
+      const int64_t v = grid[static_cast<size_t>(y) * kBrandSpan + b];
+      if (v != 0) r.AddGroup(1992 + y, b, 0, v);
+    }
+  }
+  r.Normalize();
+  return r;
+}
+
+QueryResult VectorizedCpuEngine::RunQ3(const Q3Params& q) {
+  const auto& lo = db_.lo;
+  auto cust_pred = [&](size_t i) {
+    switch (q.level) {
+      case Q3Params::Level::kRegion: return db_.c.region[i] == q.c_value;
+      case Q3Params::Level::kNation: return db_.c.nation[i] == q.c_value;
+      default:
+        return db_.c.city[i] == q.city_a || db_.c.city[i] == q.city_b;
+    }
+  };
+  auto supp_pred = [&](size_t i) {
+    switch (q.level) {
+      case Q3Params::Level::kRegion: return db_.s.region[i] == q.c_value;
+      case Q3Params::Level::kNation: return db_.s.nation[i] == q.c_value;
+      default:
+        return db_.s.city[i] == q.city_a || db_.s.city[i] == q.city_b;
+    }
+  };
+  const Column& c_group =
+      q.level == Q3Params::Level::kRegion ? db_.c.nation : db_.c.city;
+  const Column& s_group =
+      q.level == Q3Params::Level::kRegion ? db_.s.nation : db_.s.city;
+
+  cpu::HashTable supp =
+      BuildFiltered(db_.s.suppkey, s_group, supp_pred, pool_);
+  cpu::HashTable cust =
+      BuildFiltered(db_.c.custkey, c_group, cust_pred, pool_);
+  cpu::HashTable date = BuildFiltered(
+      db_.d.datekey, db_.d.year,
+      [&](size_t i) {
+        if (q.use_yearmonth) return db_.d.yearmonthnum[i] == q.yearmonthnum;
+        return db_.d.year[i] >= q.year_lo && db_.d.year[i] <= q.year_hi;
+      },
+      pool_);
+
+  constexpr int kGroupSpan = 250;
+  constexpr int kYears = 7;
+  GridAgg agg(pool_.num_threads(),
+              static_cast<int64_t>(kGroupSpan) * kGroupSpan * kYears);
+  pool_.ParallelFor(lo.rows, [&](int t, int64_t begin, int64_t end) {
+    int32_t sel[kVector];
+    int32_t sg[kVector];
+    int32_t cg[kVector];
+    int32_t year[kVector];
+    for (int64_t base = begin; base < end; base += kVector) {
+      const int n = static_cast<int>(std::min<int64_t>(kVector, end - base));
+      int m = 0;
+      for (int i = 0; i < n; ++i) {
+        sel[m] = i;
+        m += supp.Lookup(lo.suppkey[base + i], &sg[m]) ? 1 : 0;
+      }
+      int m2 = 0;
+      for (int i = 0; i < m; ++i) {
+        sel[m2] = sel[i];
+        sg[m2] = sg[i];
+        m2 += cust.Lookup(lo.custkey[base + sel[i]], &cg[m2]) ? 1 : 0;
+      }
+      int m3 = 0;
+      for (int i = 0; i < m2; ++i) {
+        sel[m3] = sel[i];
+        sg[m3] = sg[i];
+        cg[m3] = cg[i];
+        m3 += date.Lookup(lo.orderdate[base + sel[i]], &year[m3]) ? 1 : 0;
+      }
+      for (int i = 0; i < m3; ++i) {
+        agg.Add(t,
+                (static_cast<int64_t>(cg[i]) * kGroupSpan + sg[i]) * kYears +
+                    (year[i] - 1992),
+                lo.revenue[base + sel[i]]);
+      }
+    }
+  });
+  QueryResult r;
+  const auto& grid = agg.Merge();
+  for (int c = 0; c < kGroupSpan; ++c) {
+    for (int s = 0; s < kGroupSpan; ++s) {
+      for (int y = 0; y < kYears; ++y) {
+        const int64_t v =
+            grid[(static_cast<size_t>(c) * kGroupSpan + s) * kYears + y];
+        if (v != 0) r.AddGroup(c, s, 1992 + y, v);
+      }
+    }
+  }
+  r.Normalize();
+  return r;
+}
+
+QueryResult VectorizedCpuEngine::RunQ4(const Q4Params& q) {
+  const auto& lo = db_.lo;
+  cpu::HashTable cust = BuildFiltered(
+      db_.c.custkey, db_.c.nation,
+      [&](size_t i) { return db_.c.region[i] == q.c_region; }, pool_);
+  const Column& s_payload = q.variant == 3 ? db_.s.city : db_.s.nation;
+  cpu::HashTable supp = BuildFiltered(
+      db_.s.suppkey, s_payload,
+      [&](size_t i) {
+        if (q.variant == 3) return db_.s.nation[i] == q.s_nation;
+        return db_.s.region[i] == q.s_region;
+      },
+      pool_);
+  const Column& p_payload = q.variant == 3 ? db_.p.brand1 : db_.p.category;
+  cpu::HashTable part = BuildFiltered(
+      db_.p.partkey, p_payload,
+      [&](size_t i) {
+        if (q.variant == 3) return db_.p.category[i] == q.category;
+        return db_.p.mfgr[i] >= q.mfgr_lo && db_.p.mfgr[i] <= q.mfgr_hi;
+      },
+      pool_);
+  cpu::HashTable date = BuildFiltered(
+      db_.d.datekey, db_.d.year,
+      [&](size_t i) {
+        if (!q.year_filter) return true;
+        return db_.d.year[i] == 1997 || db_.d.year[i] == 1998;
+      },
+      pool_);
+
+  constexpr int kYears = 7;
+  const int span1 = q.variant == 3 ? 250 : 25;
+  const int span2 = q.variant == 1 ? 1 : (q.variant == 2 ? 56 : 4441);
+  GridAgg agg(pool_.num_threads(),
+              static_cast<int64_t>(kYears) * span1 * span2);
+  const int variant = q.variant;
+  pool_.ParallelFor(lo.rows, [&](int t, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      int32_t cnat, sval, pval, year;
+      if (!cust.Lookup(lo.custkey[i], &cnat)) continue;
+      if (!supp.Lookup(lo.suppkey[i], &sval)) continue;
+      if (!part.Lookup(lo.partkey[i], &pval)) continue;
+      if (!date.Lookup(lo.orderdate[i], &year)) continue;
+      const int y = year - 1992;
+      int64_t cell;
+      if (variant == 1) {
+        cell = static_cast<int64_t>(y) * 25 + cnat;
+      } else if (variant == 2) {
+        cell = (static_cast<int64_t>(y) * 25 + sval) * 56 + pval;
+      } else {
+        cell = (static_cast<int64_t>(y) * 250 + sval) * 4441 + (pval - 1100);
+      }
+      agg.Add(t, cell,
+              static_cast<int64_t>(lo.revenue[i]) - lo.supplycost[i]);
+    }
+  });
+  QueryResult r;
+  const auto& grid = agg.Merge();
+  for (int64_t i = 0; i < static_cast<int64_t>(grid.size()); ++i) {
+    const int64_t v = grid[static_cast<size_t>(i)];
+    if (v == 0) continue;
+    if (variant == 1) {
+      r.AddGroup(1992 + static_cast<int32_t>(i / 25),
+                 static_cast<int32_t>(i % 25), 0, v);
+    } else if (variant == 2) {
+      r.AddGroup(1992 + static_cast<int32_t>(i / 56 / 25),
+                 static_cast<int32_t>(i / 56 % 25),
+                 static_cast<int32_t>(i % 56), v);
+    } else {
+      r.AddGroup(1992 + static_cast<int32_t>(i / 4441 / 250),
+                 static_cast<int32_t>(i / 4441 % 250),
+                 static_cast<int32_t>(i % 4441) + 1100, v);
+    }
+  }
+  r.Normalize();
+  return r;
+}
+
+}  // namespace crystal::ssb

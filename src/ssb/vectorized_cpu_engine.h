@@ -1,0 +1,38 @@
+#ifndef CRYSTAL_SSB_VECTORIZED_CPU_ENGINE_H_
+#define CRYSTAL_SSB_VECTORIZED_CPU_ENGINE_H_
+
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "cpu/hash_join.h"
+#include "ssb/queries.h"
+
+namespace crystal::ssb {
+
+/// The paper's "Standalone CPU" implementation: multi-threaded vectorized
+/// pipelines (1024-row vectors, selection vectors, linear-probing hash
+/// tables, thread-local aggregation grids merged at the end). This engine
+/// runs for real on the host — it is the functional CPU counterpart of
+/// CrystalEngine and is cross-checked against it and against RunReference
+/// in the tests. Wall-clock numbers from this engine are honest local
+/// measurements; paper-scale CPU predictions come from the Skylake-profile
+/// simulation instead (see DESIGN.md).
+class VectorizedCpuEngine {
+ public:
+  VectorizedCpuEngine(const Database& db, ThreadPool& pool);
+
+  QueryResult Run(QueryId id);
+
+ private:
+  QueryResult RunQ1(const Q1Params& q);
+  QueryResult RunQ2(const Q2Params& q);
+  QueryResult RunQ3(const Q3Params& q);
+  QueryResult RunQ4(const Q4Params& q);
+
+  const Database& db_;
+  ThreadPool& pool_;
+};
+
+}  // namespace crystal::ssb
+
+#endif  // CRYSTAL_SSB_VECTORIZED_CPU_ENGINE_H_

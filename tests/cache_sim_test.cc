@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/cache_sim.h"
+
+namespace crystal::sim {
+namespace {
+
+TEST(CacheSimTest, ColdMissThenHit) {
+  CacheSim cache(1024, 64, 4);
+  EXPECT_FALSE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(63));   // same line
+  EXPECT_FALSE(cache.Access(64));  // next line
+}
+
+TEST(CacheSimTest, LruEvictsOldest) {
+  // Direct-mapped-per-set: 2 sets x 2 ways, 64B lines = 256 bytes.
+  CacheSim cache(256, 64, 2);
+  // Three lines mapping to set 0: line 0, 2, 4 (stride 2 lines).
+  EXPECT_FALSE(cache.Access(0 * 64));
+  EXPECT_FALSE(cache.Access(2 * 64));
+  EXPECT_TRUE(cache.Access(0 * 64));   // refresh line 0
+  EXPECT_FALSE(cache.Access(4 * 64));  // evicts line 2 (LRU)
+  EXPECT_TRUE(cache.Access(0 * 64));
+  EXPECT_FALSE(cache.Access(2 * 64));  // line 2 was evicted
+}
+
+TEST(CacheSimTest, ResetForgetsEverything) {
+  CacheSim cache(1024, 64, 4);
+  cache.Access(0);
+  cache.Access(0);
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.Reset();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_FALSE(cache.Access(0));
+}
+
+TEST(CacheSimTest, WorkingSetSmallerThanCacheAlwaysHitsAfterWarmup) {
+  CacheSim cache(64 * 1024, 64, 16);
+  Rng rng(1);
+  // 32 KB working set in a 64 KB cache.
+  for (int i = 0; i < 100000; ++i) {
+    cache.Access(static_cast<uint64_t>(rng.Uniform(0, 32 * 1024 - 1)));
+  }
+  // After warmup the only misses are the ~512 cold ones.
+  EXPECT_LT(cache.misses(), 1024u);
+}
+
+TEST(CacheSimTest, HitRatioTracksCacheToWorkingSetRatio) {
+  // The paper models pi = min(S_cache / S_table, 1); a uniform random probe
+  // stream over a working set 4x the cache should hit ~25%.
+  const int64_t cache_bytes = 256 * 1024;
+  const int64_t ws_bytes = 4 * cache_bytes;
+  CacheSim cache(cache_bytes, 64, 16);
+  Rng rng(2);
+  for (int i = 0; i < 500000; ++i) {
+    cache.Access(static_cast<uint64_t>(rng.Uniform(0, ws_bytes - 1)));
+  }
+  EXPECT_NEAR(cache.hit_ratio(), 0.25, 0.03);
+}
+
+TEST(CacheSimTest, NonPowerOfTwoCapacityPreserved) {
+  // 20 MB L3-style capacity: sets round to a power of two, ways absorb the
+  // remainder; total capacity stays within 5% of nominal.
+  CacheSim cache(20 * 1024 * 1024, 64, 16);
+  const int64_t modeled =
+      static_cast<int64_t>(cache.ways()) * 64 *
+      (cache.size_bytes() / (64 * cache.ways()));
+  EXPECT_GT(modeled, 0);
+  EXPECT_EQ(cache.size_bytes(), 20 * 1024 * 1024);
+}
+
+TEST(CacheSimTest, SequentialScanLargerThanCacheNeverHits) {
+  CacheSim cache(4096, 64, 4);
+  // Two sequential passes over 64 KB >> 4 KB cache: every line is evicted
+  // before its reuse.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t addr = 0; addr < 64 * 1024; addr += 64) cache.Access(addr);
+  }
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace crystal::sim

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/bitutil.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+
+namespace crystal {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.Next64() == b.Next64() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int32_t v = rng.UniformInt(5, 17);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(7);
+  std::set<int32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(BitUtilTest, PowersOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(48));
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(64), 64u);
+  EXPECT_EQ(NextPowerOfTwo(65), 128u);
+  EXPECT_EQ(Log2(1), 0);
+  EXPECT_EQ(Log2(1024), 10);
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+}
+
+TEST(BitUtilTest, HashIsStableAndMixed) {
+  EXPECT_EQ(HashMurmur32(12345), HashMurmur32(12345));
+  std::set<uint32_t> outputs;
+  for (uint32_t k = 0; k < 1000; ++k) outputs.insert(HashMurmur32(k));
+  EXPECT_EQ(outputs.size(), 1000u);  // no collisions on tiny domain
+}
+
+TEST(AlignedTest, VectorIs64ByteAligned) {
+  AlignedVector<float> v(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % 64, 0u);
+  AlignedVector<uint64_t> w(3);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(w.data()) % 64, 0u);
+}
+
+TEST(ThreadPoolTest, CoversWholeRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ParallelFor(1000, [&](int, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRange) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int, int64_t begin, int64_t end) {
+    calls += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int64_t sum = 0;
+  pool.ParallelFor(10, [&](int t, int64_t begin, int64_t end) {
+    EXPECT_EQ(t, 0);
+    for (int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPoolTest, ThreadIndexWithinBounds) {
+  ThreadPool pool(3);
+  std::atomic<bool> ok{true};
+  pool.ParallelFor(100, [&](int t, int64_t, int64_t) {
+    if (t < 0 || t >= 3) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(100, [&](int, int64_t begin, int64_t end) {
+      sum.fetch_add(end - begin);
+    });
+    EXPECT_EQ(sum.load(), 100);
+  }
+}
+
+TEST(TablePrinterTest, FormatsAlignedTable) {
+  TablePrinter t({"a", "bb"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"333", "4"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(s.find("| 333 | 4  |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace crystal

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "cpu/hash_join.h"
+#include "cpu/project.h"
+#include "cpu/radix.h"
+#include "cpu/select.h"
+
+namespace crystal::cpu {
+namespace {
+
+AlignedVector<float> RandomFloats(int64_t n, uint64_t seed) {
+  AlignedVector<float> v(static_cast<size_t>(n));
+  Rng rng(seed);
+  for (auto& x : v) x = rng.NextFloat();
+  return v;
+}
+
+// ------------------------------- Project ---------------------------------
+
+TEST(CpuProjectTest, LinearVariantsAgree) {
+  ThreadPool pool(4);
+  const int64_t n = 100'003;  // odd length exercises SIMD tails
+  const auto x1 = RandomFloats(n, 1);
+  const auto x2 = RandomFloats(n, 2);
+  AlignedVector<float> a(static_cast<size_t>(n)), b(static_cast<size_t>(n));
+  ProjectLinearScalar(x1.data(), x2.data(), n, 2.f, -1.f, a.data(), pool);
+  ProjectLinearOpt(x1.data(), x2.data(), n, 2.f, -1.f, b.data(), pool);
+  for (int64_t i = 0; i < n; ++i) ASSERT_FLOAT_EQ(a[i], b[i]) << i;
+}
+
+TEST(CpuProjectTest, SigmoidOptWithinTolerance) {
+  ThreadPool pool(4);
+  const int64_t n = 50'001;
+  const auto x1 = RandomFloats(n, 3);
+  const auto x2 = RandomFloats(n, 4);
+  AlignedVector<float> a(static_cast<size_t>(n)), b(static_cast<size_t>(n));
+  ProjectSigmoidScalar(x1.data(), x2.data(), n, 3.f, -4.f, a.data(), pool);
+  ProjectSigmoidOpt(x1.data(), x2.data(), n, 3.f, -4.f, b.data(), pool);
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(a[i], b[i], 2e-4) << i;
+  }
+}
+
+TEST(CpuProjectTest, SigmoidRangeIsUnitInterval) {
+  ThreadPool pool(2);
+  const int64_t n = 10'000;
+  auto x1 = RandomFloats(n, 5);
+  auto x2 = RandomFloats(n, 6);
+  for (auto& v : x1) v = v * 200.f - 100.f;  // stress the exp clamp
+  AlignedVector<float> out(static_cast<size_t>(n));
+  ProjectSigmoidOpt(x1.data(), x2.data(), n, 1.f, 1.f, out.data(), pool);
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_GE(out[i], 0.0f);
+    ASSERT_LE(out[i], 1.0f);
+  }
+}
+
+// -------------------------------- Select ---------------------------------
+
+class CpuSelectTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CpuSelectTest, AllVariantsSelectTheSameRows) {
+  const float cut = static_cast<float>(GetParam());
+  ThreadPool pool(4);
+  const int64_t n = 200'000;
+  const auto in = RandomFloats(n, 7);
+  std::vector<float> expected;
+  for (int64_t i = 0; i < n; ++i) {
+    if (in[i] < cut) expected.push_back(in[i]);
+  }
+  std::sort(expected.begin(), expected.end());
+
+  for (auto* fn : {&SelectBranching, &SelectPredicated, &SelectSimdPredicated}) {
+    AlignedVector<float> out(static_cast<size_t>(n) + 8);
+    const int64_t count = fn(in.data(), n, cut, out.data(), pool);
+    ASSERT_EQ(count, static_cast<int64_t>(expected.size()));
+    std::vector<float> got(out.data(), out.data() + count);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, CpuSelectTest,
+                         ::testing::Values(0.0, 0.01, 0.25, 0.5, 0.75, 1.0));
+
+TEST(CpuSelectTest, SingleThreadPreservesInputOrder) {
+  ThreadPool pool(1);
+  const int64_t n = 10'000;
+  const auto in = RandomFloats(n, 8);
+  AlignedVector<float> out(static_cast<size_t>(n) + 8);
+  const int64_t count =
+      SelectSimdPredicated(in.data(), n, 0.5f, out.data(), pool);
+  std::vector<float> expected;
+  for (int64_t i = 0; i < n; ++i) {
+    if (in[i] < 0.5f) expected.push_back(in[i]);
+  }
+  std::vector<float> got(out.data(), out.data() + count);
+  EXPECT_EQ(got, expected);
+}
+
+// --------------------------------- Join ----------------------------------
+
+struct JoinFixture {
+  AlignedVector<int32_t> bkeys, bvals, pkeys, pvals;
+  int64_t expected_sum = 0;
+  int64_t expected_matches = 0;
+
+  JoinFixture(int64_t build_n, int64_t probe_n, uint64_t seed) {
+    Rng rng(seed);
+    bkeys.resize(static_cast<size_t>(build_n));
+    bvals.resize(static_cast<size_t>(build_n));
+    std::vector<int32_t> val_of(static_cast<size_t>(build_n * 3), -1);
+    for (int64_t i = 0; i < build_n; ++i) {
+      bkeys[i] = static_cast<int32_t>(i * 3);  // every third key exists
+      bvals[i] = rng.UniformInt(0, 10000);
+      val_of[static_cast<size_t>(bkeys[i])] = bvals[i];
+    }
+    pkeys.resize(static_cast<size_t>(probe_n));
+    pvals.resize(static_cast<size_t>(probe_n));
+    for (int64_t i = 0; i < probe_n; ++i) {
+      pkeys[i] = rng.UniformInt(0, static_cast<int32_t>(build_n * 3 - 1));
+      pvals[i] = rng.UniformInt(0, 10000);
+      if (val_of[static_cast<size_t>(pkeys[i])] >= 0) {
+        expected_sum += pvals[i] + val_of[static_cast<size_t>(pkeys[i])];
+        ++expected_matches;
+      }
+    }
+  }
+};
+
+TEST(CpuHashJoinTest, AllProbeVariantsAgree) {
+  ThreadPool pool(4);
+  JoinFixture fx(20'000, 150'000, 31);
+  HashTable ht(20'000);
+  ht.Build(fx.bkeys.data(), fx.bvals.data(), 20'000, pool);
+  for (auto* fn : {&ProbeScalar, &ProbeSimd}) {
+    const ProbeResult r =
+        fn(ht, fx.pkeys.data(), fx.pvals.data(), 150'000, pool);
+    EXPECT_EQ(r.checksum, fx.expected_sum);
+    EXPECT_EQ(r.matches, fx.expected_matches);
+  }
+  const ProbeResult r =
+      ProbePrefetch(ht, fx.pkeys.data(), fx.pvals.data(), 150'000, pool);
+  EXPECT_EQ(r.checksum, fx.expected_sum);
+  EXPECT_EQ(r.matches, fx.expected_matches);
+}
+
+TEST(CpuHashJoinTest, LookupMissOnAbsentKey) {
+  ThreadPool pool(1);
+  AlignedVector<int32_t> keys = {5, 10, 15};
+  AlignedVector<int32_t> vals = {50, 100, 150};
+  HashTable ht(3);
+  ht.Build(keys.data(), vals.data(), 3, pool);
+  int32_t v;
+  EXPECT_TRUE(ht.Lookup(10, &v));
+  EXPECT_EQ(v, 100);
+  EXPECT_FALSE(ht.Lookup(11, &v));
+}
+
+TEST(CpuHashJoinTest, ParallelBuildInsertsEverything) {
+  ThreadPool pool(8);
+  const int64_t n = 50'000;
+  AlignedVector<int32_t> keys(static_cast<size_t>(n));
+  AlignedVector<int32_t> vals(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<int32_t>(i);
+    vals[i] = static_cast<int32_t>(i * 2);
+  }
+  HashTable ht(n);
+  ht.Build(keys.data(), vals.data(), n, pool);
+  Rng rng(32);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int32_t k = rng.UniformInt(0, static_cast<int32_t>(n - 1));
+    int32_t v;
+    ASSERT_TRUE(ht.Lookup(k, &v));
+    ASSERT_EQ(v, k * 2);
+  }
+}
+
+// --------------------------------- Radix ---------------------------------
+
+TEST(CpuRadixTest, HistogramMatricesSumToN) {
+  ThreadPool pool(4);
+  const int64_t n = 100'000;
+  AlignedVector<uint32_t> keys(static_cast<size_t>(n));
+  Rng rng(41);
+  for (auto& k : keys) k = rng.Next32();
+  const auto hist = RadixHistogram(keys.data(), n, 4, 8, pool);
+  int64_t total = 0;
+  for (const auto& row : hist) {
+    ASSERT_EQ(static_cast<int>(row.size()), 256);
+    for (int64_t c : row) total += c;
+  }
+  EXPECT_EQ(total, n);
+}
+
+class CpuRadixBitsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuRadixBitsTest, PartitionPassIsStablePermutation) {
+  const int bits = GetParam();
+  ThreadPool pool(4);
+  const int64_t n = 50'000;
+  AlignedVector<uint32_t> keys(static_cast<size_t>(n));
+  AlignedVector<uint32_t> vals(static_cast<size_t>(n));
+  Rng rng(42 + bits);
+  for (int64_t i = 0; i < n; ++i) {
+    keys[i] = rng.Next32();
+    vals[i] = static_cast<uint32_t>(i);
+  }
+  AlignedVector<uint32_t> ok(static_cast<size_t>(n)), ov(static_cast<size_t>(n));
+  RadixPartitionPass(keys.data(), vals.data(), n, 0, bits, ok.data(),
+                     ov.data(), pool);
+  // Digits ascend; within a digit, original positions ascend (stability).
+  const uint32_t mask = (1u << bits) - 1u;
+  for (int64_t i = 1; i < n; ++i) {
+    const uint32_t d_prev = ok[i - 1] & mask;
+    const uint32_t d_cur = ok[i] & mask;
+    ASSERT_LE(d_prev, d_cur);
+    if (d_prev == d_cur) ASSERT_LT(ov[i - 1], ov[i]);
+  }
+  // Permutation check: every original position appears exactly once.
+  std::vector<uint32_t> seen(ov.begin(), ov.end());
+  std::sort(seen.begin(), seen.end());
+  for (int64_t i = 0; i < n; ++i) ASSERT_EQ(seen[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, CpuRadixBitsTest,
+                         ::testing::Values(3, 4, 6, 8, 10, 11));
+
+TEST(CpuRadixTest, LsbSortMatchesStdStableSort) {
+  ThreadPool pool(4);
+  const int64_t n = 200'000;
+  AlignedVector<uint32_t> keys(static_cast<size_t>(n));
+  AlignedVector<uint32_t> vals(static_cast<size_t>(n));
+  Rng rng(43);
+  std::vector<std::pair<uint32_t, uint32_t>> expected;
+  for (int64_t i = 0; i < n; ++i) {
+    keys[i] = rng.Next32();
+    vals[i] = static_cast<uint32_t>(i);
+    expected.emplace_back(keys[i], vals[i]);
+  }
+  LsbRadixSort(keys.data(), vals.data(), n, pool);
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](auto a, auto b) { return a.first < b.first; });
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(keys[i], expected[i].first);
+    ASSERT_EQ(vals[i], expected[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace crystal::cpu

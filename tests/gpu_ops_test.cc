@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "gpu/hash_join.h"
+#include "gpu/hash_table.h"
+#include "gpu/naive_select.h"
+#include "gpu/project.h"
+#include "gpu/radix_sort.h"
+#include "gpu/select.h"
+#include "sim/timing.h"
+
+namespace crystal::gpu {
+namespace {
+
+using sim::Device;
+using sim::DeviceBuffer;
+using sim::DeviceProfile;
+
+DeviceBuffer<float> RandomFloats(Device& dev, int64_t n, uint64_t seed) {
+  DeviceBuffer<float> buf(dev, n);
+  Rng rng(seed);
+  for (int64_t i = 0; i < n; ++i) buf[i] = rng.NextFloat();
+  return buf;
+}
+
+// ------------------------------- Select ----------------------------------
+
+class SelectSelectivityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SelectSelectivityTest, CrystalSelectMatchesReference) {
+  const double sigma = GetParam();
+  Device dev(DeviceProfile::V100());
+  const int64_t n = 100'000;
+  DeviceBuffer<float> in = RandomFloats(dev, n, 11);
+  DeviceBuffer<float> out(dev, n);
+  const float cut = static_cast<float>(sigma);
+  const int64_t count =
+      Select(dev, in, [cut](float v) { return v < cut; }, &out);
+  std::vector<float> expected;
+  for (int64_t i = 0; i < n; ++i) {
+    if (in[i] < cut) expected.push_back(in[i]);
+  }
+  ASSERT_EQ(count, static_cast<int64_t>(expected.size()));
+  std::vector<float> got(out.data(), out.data() + count);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(SelectSelectivityTest, NaiveSelectSameRowsDifferentCost) {
+  const double sigma = GetParam();
+  Device dev(DeviceProfile::V100());
+  const int64_t n = 100'000;
+  DeviceBuffer<float> in = RandomFloats(dev, n, 13);
+  DeviceBuffer<float> out_naive(dev, n);
+  DeviceBuffer<float> out_crystal(dev, n);
+  const float cut = static_cast<float>(sigma);
+  auto pred = [cut](float v) { return v < cut; };
+  const int64_t n1 = NaiveSelect(dev, in, pred, &out_naive, 1024);
+  const int64_t n2 = Select(dev, in, pred, &out_crystal);
+  ASSERT_EQ(n1, n2);
+  std::vector<float> a(out_naive.data(), out_naive.data() + n1);
+  std::vector<float> b(out_crystal.data(), out_crystal.data() + n2);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, SelectSelectivityTest,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.9, 1.0));
+
+TEST(SelectTest, NaiveCostsMoreThanCrystal) {
+  // Section 3.3: the three-kernel independent-threads plan reads the input
+  // twice and scatters uncoalesced; Crystal's fused kernel wins ~9x.
+  const int64_t n = 1 << 20;
+  Device dev_naive(DeviceProfile::V100());
+  Device dev_crystal(DeviceProfile::V100());
+  DeviceBuffer<float> in1 = RandomFloats(dev_naive, n, 17);
+  DeviceBuffer<float> in2 = RandomFloats(dev_crystal, n, 17);
+  DeviceBuffer<float> out1(dev_naive, n);
+  DeviceBuffer<float> out2(dev_crystal, n);
+  auto pred = [](float v) { return v < 0.5f; };
+  dev_naive.ResetStats();
+  NaiveSelect(dev_naive, in1, pred, &out1);
+  dev_crystal.ResetStats();
+  Select(dev_crystal, in2, pred, &out2);
+  const double naive_ms = dev_naive.TotalEstimatedMs();
+  const double crystal_ms = dev_crystal.TotalEstimatedMs();
+  EXPECT_GT(naive_ms, 3.0 * crystal_ms);
+}
+
+TEST(SelectTest, EmptyInput) {
+  Device dev(DeviceProfile::V100());
+  DeviceBuffer<float> in(dev, 0);
+  DeviceBuffer<float> out(dev, 1);
+  EXPECT_EQ(Select(dev, in, [](float) { return true; }, &out), 0);
+}
+
+// ------------------------------- Project ---------------------------------
+
+TEST(ProjectTest, LinearExact) {
+  Device dev(DeviceProfile::V100());
+  const int64_t n = 10'000;
+  DeviceBuffer<float> x1 = RandomFloats(dev, n, 1);
+  DeviceBuffer<float> x2 = RandomFloats(dev, n, 2);
+  DeviceBuffer<float> out(dev, n);
+  ProjectLinear(dev, x1, x2, 2.0f, 3.0f, &out);
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_FLOAT_EQ(out[i], 2.0f * x1[i] + 3.0f * x2[i]);
+  }
+}
+
+TEST(ProjectTest, SigmoidWithinTolerance) {
+  Device dev(DeviceProfile::V100());
+  const int64_t n = 10'000;
+  DeviceBuffer<float> x1 = RandomFloats(dev, n, 3);
+  DeviceBuffer<float> x2 = RandomFloats(dev, n, 4);
+  DeviceBuffer<float> out(dev, n);
+  ProjectSigmoid(dev, x1, x2, 1.5f, -2.5f, &out);
+  for (int64_t i = 0; i < n; ++i) {
+    const double z = 1.5 * x1[i] - 2.5 * x2[i];
+    const double want = 1.0 / (1.0 + std::exp(-z));
+    ASSERT_NEAR(out[i], want, 1e-5);
+  }
+}
+
+TEST(ProjectTest, TrafficIsThreeColumns) {
+  Device dev(DeviceProfile::V100());
+  const int64_t n = 1 << 16;
+  DeviceBuffer<float> x1 = RandomFloats(dev, n, 5);
+  DeviceBuffer<float> x2 = RandomFloats(dev, n, 6);
+  DeviceBuffer<float> out(dev, n);
+  dev.ResetStats();
+  ProjectLinear(dev, x1, x2, 1.0f, 1.0f, &out);
+  EXPECT_EQ(dev.stats().seq_read_bytes, static_cast<uint64_t>(2 * n * 4));
+  EXPECT_EQ(dev.stats().seq_write_bytes, static_cast<uint64_t>(n * 4));
+}
+
+// --------------------------------- Join ----------------------------------
+
+TEST(HashJoinTest, ChecksumMatchesReference) {
+  Device dev(DeviceProfile::V100());
+  const int64_t build_n = 10'000;
+  const int64_t probe_n = 100'000;
+  DeviceBuffer<int32_t> bkeys(dev, build_n);
+  DeviceBuffer<int32_t> bvals(dev, build_n);
+  Rng rng(7);
+  for (int64_t i = 0; i < build_n; ++i) {
+    bkeys[i] = static_cast<int32_t>(i * 2);  // even keys only
+    bvals[i] = rng.UniformInt(0, 1000);
+  }
+  DeviceBuffer<int32_t> pkeys(dev, probe_n);
+  DeviceBuffer<int32_t> pvals(dev, probe_n);
+  for (int64_t i = 0; i < probe_n; ++i) {
+    pkeys[i] = rng.UniformInt(0, static_cast<int32_t>(build_n * 2 - 1));
+    pvals[i] = rng.UniformInt(0, 1000);
+  }
+  DeviceHashTable ht(dev, build_n);
+  ht.Build(bkeys, bvals);
+  const JoinResult got = HashJoinProbeSum(dev, ht, pkeys, pvals);
+
+  int64_t want_sum = 0;
+  int64_t want_matches = 0;
+  for (int64_t i = 0; i < probe_n; ++i) {
+    if (pkeys[i] % 2 == 0) {
+      want_sum += pvals[i] + bvals[pkeys[i] / 2];
+      ++want_matches;
+    }
+  }
+  EXPECT_EQ(got.checksum, want_sum);
+  EXPECT_EQ(got.matches, want_matches);
+}
+
+TEST(HashJoinTest, FiftyPercentFillRate) {
+  Device dev(DeviceProfile::V100());
+  DeviceHashTable ht(dev, 1000);
+  EXPECT_GE(ht.num_slots(), 2000);
+  EXPECT_TRUE((ht.num_slots() & (ht.num_slots() - 1)) == 0);
+}
+
+TEST(HashJoinTest, LargerTableMoreDramTraffic) {
+  // Cache filtering: a table far beyond L2 must push probes to DRAM.
+  const int64_t probe_n = 200'000;
+  auto run = [&](int64_t build_n) {
+    Device dev(DeviceProfile::V100());
+    DeviceBuffer<int32_t> bkeys(dev, build_n), bvals(dev, build_n, 1);
+    for (int64_t i = 0; i < build_n; ++i) bkeys[i] = static_cast<int32_t>(i);
+    DeviceBuffer<int32_t> pkeys(dev, probe_n), pvals(dev, probe_n, 1);
+    Rng rng(9);
+    for (int64_t i = 0; i < probe_n; ++i) {
+      pkeys[i] = rng.UniformInt(0, static_cast<int32_t>(build_n - 1));
+    }
+    DeviceHashTable ht(dev, build_n);
+    ht.Build(bkeys, bvals);
+    dev.ResetStats();
+    HashJoinProbeSum(dev, ht, pkeys, pvals);
+    const auto& st = dev.stats();
+    return static_cast<double>(st.rand_read_lines_dram) /
+           static_cast<double>(st.rand_read_lines_dram +
+                               st.rand_read_lines_cache);
+  };
+  const double small_miss = run(50'000);    // ~800 KB table: fits L2
+  const double large_miss = run(4'000'000); // 128 MB table: misses
+  EXPECT_LT(small_miss, 0.10);
+  EXPECT_GT(large_miss, 0.80);
+}
+
+// --------------------------------- Sort ----------------------------------
+
+TEST(RadixSortTest, HistogramCountsEveryKeyOnce) {
+  Device dev(DeviceProfile::V100());
+  const int64_t n = 50'000;
+  DeviceBuffer<uint32_t> keys(dev, n);
+  Rng rng(21);
+  for (int64_t i = 0; i < n; ++i) keys[i] = rng.Next32();
+  const std::vector<int64_t> hist = RadixHistogram(dev, keys, 8, 6);
+  EXPECT_EQ(static_cast<int64_t>(hist.size()), 64);
+  int64_t total = 0;
+  for (int64_t h : hist) total += h;
+  EXPECT_EQ(total, n);
+}
+
+TEST(RadixSortTest, ShufflePassIsStable) {
+  Device dev(DeviceProfile::V100());
+  const int64_t n = 10'000;
+  DeviceBuffer<uint32_t> keys(dev, n), vals(dev, n);
+  DeviceBuffer<uint32_t> out_keys(dev, n), out_vals(dev, n);
+  Rng rng(22);
+  for (int64_t i = 0; i < n; ++i) {
+    keys[i] = rng.Next32() & 0xFF;          // only low byte varies
+    vals[i] = static_cast<uint32_t>(i);     // original position
+  }
+  RadixShuffle(dev, keys, vals, 0, n, 0, 4, &out_keys, &out_vals);
+  // Within each bucket of the low nibble, positions must stay ascending.
+  uint32_t prev_key = 0;
+  uint32_t prev_val = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint32_t digit = out_keys[i] & 0xF;
+    if (i > 0 && digit == prev_key) EXPECT_GT(out_vals[i], prev_val);
+    if (i > 0) EXPECT_GE(digit, prev_key);
+    prev_key = digit;
+    prev_val = out_vals[i];
+  }
+}
+
+TEST(RadixSortTest, LsbSortsRandomData) {
+  Device dev(DeviceProfile::V100());
+  const int64_t n = 100'000;
+  DeviceBuffer<uint32_t> keys(dev, n), vals(dev, n);
+  Rng rng(23);
+  std::vector<std::pair<uint32_t, uint32_t>> expected;
+  for (int64_t i = 0; i < n; ++i) {
+    keys[i] = rng.Next32();
+    vals[i] = static_cast<uint32_t>(i);
+    expected.emplace_back(keys[i], vals[i]);
+  }
+  LsbRadixSort(dev, &keys, &vals);
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](auto a, auto b) { return a.first < b.first; });
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(keys[i], expected[i].first) << i;
+    ASSERT_EQ(vals[i], expected[i].second) << i;
+  }
+}
+
+TEST(RadixSortTest, MsbSortsRandomData) {
+  Device dev(DeviceProfile::V100());
+  const int64_t n = 100'000;
+  DeviceBuffer<uint32_t> keys(dev, n), vals(dev, n);
+  Rng rng(24);
+  std::vector<uint32_t> expected;
+  for (int64_t i = 0; i < n; ++i) {
+    keys[i] = rng.Next32();
+    vals[i] = keys[i] ^ 0xdeadbeef;  // value tied to key
+    expected.push_back(keys[i]);
+  }
+  MsbRadixSort(dev, &keys, &vals);
+  std::sort(expected.begin(), expected.end());
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(keys[i], expected[i]);
+    ASSERT_EQ(vals[i], keys[i] ^ 0xdeadbeef);
+  }
+}
+
+TEST(RadixSortTest, MsbAlreadySortedAndDuplicates) {
+  Device dev(DeviceProfile::V100());
+  const int64_t n = 4096;
+  DeviceBuffer<uint32_t> keys(dev, n), vals(dev, n, 0);
+  for (int64_t i = 0; i < n; ++i) keys[i] = static_cast<uint32_t>(i % 7);
+  MsbRadixSort(dev, &keys, &vals);
+  for (int64_t i = 1; i < n; ++i) ASSERT_GE(keys[i], keys[i - 1]);
+}
+
+TEST(RadixSortTest, StablePassRejectsWideRadix) {
+  Device dev(DeviceProfile::V100());
+  DeviceBuffer<uint32_t> keys(dev, 16), vals(dev, 16);
+  EXPECT_DEATH(LsbRadixSort(dev, &keys, &vals, {8, 8, 8, 8}),
+               "stable pass limited");
+}
+
+}  // namespace
+}  // namespace crystal::gpu

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "model/operator_models.h"
+#include "model/query_models.h"
+
+namespace crystal::model {
+namespace {
+
+const sim::DeviceProfile kGpu = sim::DeviceProfile::V100();
+const sim::DeviceProfile kCpu = sim::DeviceProfile::SkylakeI7();
+// The paper says "input array of 2^29"; its reported runtimes (GPU 3.9 ms,
+// CPU-Opt 64 ms for project; CPU sort 464 ms) sit exactly on the model for
+// 2^28 rows per column, so that is the per-column size we use throughout
+// (see EXPERIMENTS.md).
+constexpr int64_t kN29 = 1ll << 28;
+
+TEST(ProjectModelTest, MatchesPaperNumbers) {
+  // Fig. 10: GPU measured 3.9 ms, CPU-Opt measured 64 ms for Q1 (models
+  // slightly below both).
+  EXPECT_NEAR(ProjectModelMs(kN29, kGpu), 3.66, 0.1);
+  EXPECT_NEAR(ProjectModelMs(kN29, kCpu), 60.0, 4.0);
+}
+
+TEST(ProjectModelTest, CpuToGpuRatioNearBandwidthRatio) {
+  const double ratio = ProjectModelMs(kN29, kCpu) / ProjectModelMs(kN29, kGpu);
+  EXPECT_GT(ratio, 15.0);
+  EXPECT_LT(ratio, 18.0);
+}
+
+TEST(ProjectModelTest, ScalarSigmoidIsComputeBound) {
+  // Fig. 10: CPU (scalar) Q2 at 282 ms vs CPU-Opt near the 64 ms... the
+  // scalar variant must sit far above the bandwidth model.
+  const double scalar = ProjectSigmoidScalarCpuMs(kN29, kCpu);
+  EXPECT_GT(scalar, 2.0 * ProjectModelMs(kN29, kCpu));
+}
+
+TEST(SelectModelTest, GrowsLinearlyWithSelectivity) {
+  const double t0 = SelectModelMs(kN29, 0.0, kGpu);
+  const double t5 = SelectModelMs(kN29, 0.5, kGpu);
+  const double t10 = SelectModelMs(kN29, 1.0, kGpu);
+  EXPECT_LT(t0, t5);
+  EXPECT_LT(t5, t10);
+  EXPECT_NEAR(t10 - t5, t5 - t0, 1e-6);
+}
+
+TEST(SelectModelTest, BranchingHumpsAtMidSelectivity) {
+  const double lo = SelectBranchingCpuMs(kN29, 0.05, kCpu);
+  const double mid = SelectBranchingCpuMs(kN29, 0.5, kCpu);
+  // The misprediction term peaks at sigma=0.5.
+  const double base_mid = SelectModelMs(kN29, 0.5, kCpu);
+  EXPECT_GT(mid, base_mid * 1.5);
+  EXPECT_GT(mid, lo);
+}
+
+TEST(SelectModelTest, CpuToGpuRatioNearBandwidthRatio) {
+  // Section 4.2: average runtime ratio 15.8 vs bandwidth ratio 16.2.
+  double ratio_sum = 0;
+  int count = 0;
+  for (double s = 0.0; s <= 1.0; s += 0.1) {
+    ratio_sum += SelectModelMs(kN29, s, kCpu) / SelectModelMs(kN29, s, kGpu);
+    ++count;
+  }
+  EXPECT_NEAR(ratio_sum / count, 16.2, 0.8);
+}
+
+TEST(JoinModelTest, StepsAtCacheBoundaries) {
+  const int64_t probe = 256'000'000;
+  // GPU: step when the table leaves the 6 MB L2.
+  const double gpu_in_l2 = JoinProbeModel(probe, 4 << 20, kGpu).total_ms;
+  const double gpu_out_l2 = JoinProbeModel(probe, 64 << 20, kGpu).total_ms;
+  EXPECT_GT(gpu_out_l2, 2.0 * gpu_in_l2);
+  // CPU: step when the table leaves the 20 MB L3.
+  const double cpu_in_l3 = JoinProbeModel(probe, 8 << 20, kCpu).total_ms;
+  const double cpu_out_l3 = JoinProbeModel(probe, 256 << 20, kCpu).total_ms;
+  EXPECT_GT(cpu_out_l3, 2.0 * cpu_in_l3);
+}
+
+TEST(JoinModelTest, BoundLevelLabels) {
+  const int64_t probe = 256'000'000;
+  EXPECT_EQ(JoinProbeModel(probe, 64 << 10, kCpu).bound_level, "L2");
+  EXPECT_EQ(JoinProbeModel(probe, 4 << 20, kCpu).bound_level, "L3");
+  EXPECT_EQ(JoinProbeModel(probe, 1 << 30, kCpu).bound_level, "DRAM");
+  EXPECT_EQ(JoinProbeModel(probe, 4 << 20, kGpu).bound_level, "L2");
+  EXPECT_EQ(JoinProbeModel(probe, 1 << 30, kGpu).bound_level, "DRAM");
+}
+
+TEST(JoinModelTest, MidCacheSegmentRatioNearPaper) {
+  // Section 4.3: hash table 1-4 MB => GPU-L2 vs CPU-L3 bandwidth ratio,
+  // about 14.5x (2200/157 = 14.0 with equal granularity).
+  const int64_t probe = 256'000'000;
+  const int64_t ht = 2 << 20;
+  const double ratio = JoinProbeModel(probe, ht, kCpu).total_ms /
+                       JoinProbeModel(probe, ht, kGpu).total_ms;
+  EXPECT_GT(ratio, 10.0);
+  EXPECT_LT(ratio, 16.0);
+}
+
+TEST(JoinModelTest, DramSegmentRatioNearPaper) {
+  // Section 4.3: both tables out of cache; GPU reads 128 B lines vs CPU's
+  // 64 B, so the model predicts ~8.1x; the measured 10.5x comes from CPU
+  // stalls (the "actual" variant).
+  const int64_t probe = 256'000'000;
+  const int64_t ht = 1ll << 30;
+  const double model_ratio = JoinProbeModel(probe, ht, kCpu).total_ms /
+                             JoinProbeModel(probe, ht, kGpu).total_ms;
+  EXPECT_NEAR(model_ratio, 8.1, 1.5);
+  const double actual_ratio =
+      JoinProbeCpuActualMs(probe, ht, kCpu, "scalar") /
+      JoinProbeModel(probe, ht, kGpu).total_ms;
+  EXPECT_GT(actual_ratio, model_ratio);
+  EXPECT_NEAR(actual_ratio, 10.5, 2.5);
+}
+
+TEST(JoinModelTest, SimdWorseThanScalarWhenCached) {
+  const int64_t probe = 256'000'000;
+  const int64_t ht = 64 << 10;
+  EXPECT_GT(JoinProbeCpuActualMs(probe, ht, kCpu, "simd"),
+            JoinProbeCpuActualMs(probe, ht, kCpu, "scalar"));
+}
+
+TEST(JoinModelTest, PrefetchHelpsOnlyOutOfCache) {
+  const int64_t probe = 256'000'000;
+  EXPECT_GT(JoinProbeCpuActualMs(probe, 64 << 10, kCpu, "prefetch"),
+            JoinProbeCpuActualMs(probe, 64 << 10, kCpu, "scalar"));
+  EXPECT_LT(JoinProbeCpuActualMs(probe, 1ll << 30, kCpu, "prefetch"),
+            JoinProbeCpuActualMs(probe, 1ll << 30, kCpu, "scalar"));
+}
+
+TEST(SortModelTest, PaperScaleSortTimes) {
+  // Section 4.4: sorting 2^28 entries takes 464 ms (CPU) / 27.08 ms (GPU),
+  // a 17.13x gain. The bandwidth model gives the GPU ~17x too.
+  const int64_t n = 1ll << 28;
+  const double gpu = SortModelMs(n, 4, kGpu);
+  const double cpu = SortModelMs(n, 4, kCpu);
+  EXPECT_NEAR(cpu / gpu, 16.5, 1.0);
+  EXPECT_NEAR(gpu, 22.0, 4.0);   // ~27 ms measured in the paper
+  EXPECT_NEAR(cpu, 370.0, 70.0); // ~464 ms measured in the paper
+}
+
+TEST(SortModelTest, CpuShuffleDecaysPastEightBits) {
+  const int64_t n = 256'000'000;
+  EXPECT_DOUBLE_EQ(SortShuffleCpuActualMs(n, 8, kCpu),
+                   SortShuffleModelMs(n, kCpu));
+  EXPECT_GT(SortShuffleCpuActualMs(n, 9, kCpu), SortShuffleModelMs(n, kCpu));
+  EXPECT_GT(SortShuffleCpuActualMs(n, 11, kCpu),
+            SortShuffleCpuActualMs(n, 10, kCpu));
+}
+
+TEST(Q21ModelTest, PaperBallpark) {
+  // Section 5.3: expected runtimes 47 ms (CPU) and 3.7 ms (GPU); actual
+  // 125 ms and 3.86 ms. Our closed forms must land in those neighborhoods.
+  const Q21Params params;
+  const double gpu = Q21Model(params, kGpu).total_ms;
+  const double cpu = Q21Model(params, kCpu).total_ms;
+  EXPECT_GT(gpu, 1.5);
+  EXPECT_LT(gpu, 6.0);
+  EXPECT_GT(cpu, 20.0);
+  EXPECT_LT(cpu, 60.0);
+  const double cpu_actual = Q21CpuActualMs(params, kCpu);
+  EXPECT_GT(cpu_actual, 2.0 * cpu);  // stalls dominate, as measured
+  EXPECT_NEAR(cpu_actual, 125.0, 35.0);
+}
+
+TEST(Q21ModelTest, PartTableOnlyPartiallyCachedOnGpu) {
+  const Q21Params params;
+  const Q21Breakdown b = Q21Model(params, kGpu);
+  EXPECT_GT(b.part_ht_l2_hit, 0.5);
+  EXPECT_LT(b.part_ht_l2_hit, 0.9);  // paper: pi = 5.7/8 = 0.71
+}
+
+TEST(Q1ModelTest, ScanBound) {
+  // 16 bytes per row: SF20 => 1.92 GB => ~2.2 ms GPU, ~36 ms CPU.
+  EXPECT_NEAR(Q1ScanModelMs(120'000'000, kGpu), 2.18, 0.1);
+  EXPECT_NEAR(Q1ScanModelMs(120'000'000, kCpu), 36.2, 1.0);
+}
+
+TEST(CoprocessorModelTest, PcieBound) {
+  // Section 3.1: shipping 4 columns of SF20 over 12.8 GBps dominates GPU
+  // execution, and exceeds the CPU's own scan time (Bc > Bp).
+  const sim::PcieProfile pcie;
+  const int64_t bytes = 4ll * 120'000'000 * 4;
+  const double copro = model::CoprocessorTimeMs(bytes, 2.2, pcie);
+  EXPECT_NEAR(copro, 150.0, 5.0);
+  EXPECT_GT(copro, Q1ScanModelMs(120'000'000, kCpu));
+}
+
+TEST(CostModelTest, FourTimesCostEffective) {
+  CostComparison c;
+  EXPECT_NEAR(c.cost_ratio(), 6.07, 0.05);
+  EXPECT_NEAR(c.cost_effectiveness(), 4.1, 0.2);
+}
+
+}  // namespace
+}  // namespace crystal::model
