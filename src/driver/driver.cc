@@ -1,0 +1,442 @@
+#include "driver/driver.h"
+
+#include <algorithm>
+#include <cctype>
+#include <numeric>
+#include <sstream>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "sim/device.h"
+#include "ssb/crystal_engine.h"
+#include "ssb/datagen.h"
+#include "ssb/materializing_engine.h"
+#include "ssb/vectorized_cpu_engine.h"
+
+namespace crystal::driver {
+
+namespace {
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::vector<std::string> SplitCommas(std::string_view spec) {
+  std::vector<std::string> tokens;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view tok = spec.substr(start, comma - start);
+    while (!tok.empty() && tok.front() == ' ') tok.remove_prefix(1);
+    while (!tok.empty() && tok.back() == ' ') tok.remove_suffix(1);
+    if (!tok.empty()) tokens.emplace_back(tok);
+    start = comma + 1;
+  }
+  return tokens;
+}
+
+int64_t Checksum(const ssb::QueryResult& result) {
+  if (result.group_values.empty()) return result.scalar;
+  return std::accumulate(result.group_values.begin(),
+                         result.group_values.end(), int64_t{0});
+}
+
+/// "q2.1" for kQ21 etc.; shared canonical spelling with ssb::QueryName.
+ssb::QueryId QueryForName(std::string_view name, bool* ok) {
+  for (ssb::QueryId id : ssb::kAllQueries) {
+    if (ssb::QueryName(id) == name) {
+      *ok = true;
+      return id;
+    }
+  }
+  *ok = false;
+  return ssb::QueryId::kQ11;
+}
+
+void AppendUnique(std::vector<ssb::QueryId>* out, ssb::QueryId id) {
+  if (std::find(out->begin(), out->end(), id) == out->end())
+    out->push_back(id);
+}
+
+// JSON helpers: the report schema is small and flat enough that a
+// hand-rolled emitter with stable key order beats a dependency.
+class JsonWriter {
+ public:
+  void BeginObject() { OpenContainer('{'); }
+  void BeginObject(std::string_view key) {
+    Key(key);
+    OpenRaw('{');
+  }
+  void EndObject() { Close('}'); }
+  void BeginArray() { OpenContainer('['); }
+  void BeginArray(std::string_view key) {
+    Key(key);
+    OpenRaw('[');
+  }
+  void EndArray() { Close(']'); }
+  /// Opens an object as an array element.
+  void BeginArrayObject() { OpenContainer('{'); }
+
+  void Field(std::string_view key, std::string_view value) {
+    Key(key);
+    String(value);
+    need_comma_ = true;
+  }
+  void Field(std::string_view key, const char* value) {
+    Field(key, std::string_view(value));
+  }
+  void Field(std::string_view key, bool value) {
+    Key(key);
+    out_ << (value ? "true" : "false");
+    need_comma_ = true;
+  }
+  void Field(std::string_view key, int64_t value) {
+    Key(key);
+    out_ << value;
+    need_comma_ = true;
+  }
+  void Field(std::string_view key, uint64_t value) {
+    Key(key);
+    out_ << value;
+    need_comma_ = true;
+  }
+  void Field(std::string_view key, int value) {
+    Field(key, static_cast<int64_t>(value));
+  }
+  void Field(std::string_view key, double value) {
+    Key(key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out_ << buf;
+    need_comma_ = true;
+  }
+  /// Milliseconds field that may be unavailable (emitted as null).
+  void MsField(std::string_view key, double ms) {
+    if (ms < 0) {
+      Key(key);
+      out_ << "null";
+      need_comma_ = true;
+    } else {
+      Field(key, ms);
+    }
+  }
+  void ArrayString(std::string_view value) {
+    Separator();
+    String(value);
+    need_comma_ = true;
+  }
+
+  std::string Take() {
+    out_ << '\n';
+    return out_.str();
+  }
+
+ private:
+  void OpenContainer(char c) {
+    Separator();
+    OpenRaw(c);
+  }
+  void OpenRaw(char c) {
+    out_ << c;
+    need_comma_ = false;
+    ++depth_;
+  }
+  void Close(char c) {
+    --depth_;
+    out_ << '\n';
+    Indent();
+    out_ << c;
+    need_comma_ = true;
+  }
+  void Key(std::string_view key) {
+    Separator();
+    String(key);
+    out_ << ": ";
+    need_comma_ = false;
+  }
+  /// Comma after the previous sibling (when any), then newline + indent.
+  void Separator() {
+    if (need_comma_) out_ << ',';
+    if (depth_ > 0) {
+      out_ << '\n';
+      Indent();
+    }
+  }
+  void Indent() {
+    for (int i = 0; i < depth_ * 2; ++i) out_ << ' ';
+  }
+  void String(std::string_view s) {
+    out_ << '"';
+    for (char c : s) {
+      if (c == '"' || c == '\\') out_ << '\\';
+      out_ << c;
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  int depth_ = 0;
+  bool need_comma_ = false;
+};
+
+}  // namespace
+
+std::string_view EngineName(Engine engine) {
+  switch (engine) {
+    case Engine::kMaterializing: return "materializing";
+    case Engine::kVectorizedCpu: return "vectorized-cpu";
+    case Engine::kCrystalGpuSim: return "crystal-gpu-sim";
+  }
+  return "?";
+}
+
+std::optional<Engine> ParseEngine(std::string_view name) {
+  const std::string n = Lower(name);
+  if (n == "materializing" || n == "mat" || n == "omnisci")
+    return Engine::kMaterializing;
+  if (n == "vectorized-cpu" || n == "vectorized" || n == "vec" || n == "cpu")
+    return Engine::kVectorizedCpu;
+  if (n == "crystal-gpu-sim" || n == "crystal" || n == "gpu")
+    return Engine::kCrystalGpuSim;
+  return std::nullopt;
+}
+
+bool ParseEngineList(std::string_view spec, std::vector<Engine>* out,
+                     std::string* error) {
+  out->clear();
+  for (const std::string& tok : SplitCommas(spec)) {
+    if (Lower(tok) == "all") {
+      for (Engine e : kAllEngines) {
+        if (std::find(out->begin(), out->end(), e) == out->end())
+          out->push_back(e);
+      }
+      continue;
+    }
+    std::optional<Engine> e = ParseEngine(tok);
+    if (!e.has_value()) {
+      if (error != nullptr) {
+        *error = "unknown engine '" + tok +
+                 "' (expected all, materializing, vectorized-cpu, or "
+                 "crystal-gpu-sim)";
+      }
+      return false;
+    }
+    if (std::find(out->begin(), out->end(), *e) == out->end())
+      out->push_back(*e);
+  }
+  if (out->empty()) {
+    if (error != nullptr) *error = "empty engine list";
+    return false;
+  }
+  return true;
+}
+
+bool ParseQueryList(std::string_view spec, std::vector<ssb::QueryId>* out,
+                    std::string* error) {
+  out->clear();
+  for (const std::string& raw : SplitCommas(spec)) {
+    std::string tok = Lower(raw);
+    if (tok == "all") {
+      for (ssb::QueryId id : ssb::kAllQueries) AppendUnique(out, id);
+      continue;
+    }
+    if (tok.rfind("flight", 0) == 0) tok = "q" + tok.substr(6);
+    if (tok[0] != 'q') tok = "q" + tok;
+    // "qF" selects a whole flight.
+    if (tok.size() == 2 && tok[1] >= '1' && tok[1] <= '4') {
+      const int flight = tok[1] - '0';
+      for (ssb::QueryId id : ssb::kAllQueries) {
+        if (ssb::QueryFlight(id) == flight) AppendUnique(out, id);
+      }
+      continue;
+    }
+    // "qF.V" (canonical) or "qFV" shorthand.
+    if (tok.size() == 3 && tok[1] != '.') tok.insert(2, ".");
+    bool ok = false;
+    const ssb::QueryId id = QueryForName(tok, &ok);
+    if (!ok) {
+      if (error != nullptr) {
+        *error = "unknown query '" + raw +
+                 "' (expected all, qF, or qF.V, e.g. q2.1)";
+      }
+      return false;
+    }
+    AppendUnique(out, id);
+  }
+  if (out->empty()) {
+    if (error != nullptr) *error = "empty query list";
+    return false;
+  }
+  return true;
+}
+
+Report Run(const Options& options) {
+  WallTimer datagen_timer;
+  ssb::DatagenOptions gen;
+  gen.scale_factor = options.scale_factor;
+  gen.fact_divisor = options.fact_divisor;
+  gen.seed = options.seed;
+  const ssb::Database db = ssb::Generate(gen);
+  const double datagen_ms = datagen_timer.ElapsedMs();
+  Report report = Run(options, db);
+  report.datagen_wall_ms = datagen_ms;
+  return report;
+}
+
+Report Run(const Options& options, const ssb::Database& db) {
+  Report report;
+  report.options = options;
+  report.options.scale_factor = db.scale_factor;
+  report.options.fact_divisor = db.fact_divisor;
+  report.fact_rows = db.lo.rows;
+  report.full_scale_fact_rows = db.full_scale_fact_rows();
+
+  const bool want_cpu =
+      std::find(options.engines.begin(), options.engines.end(),
+                Engine::kVectorizedCpu) != options.engines.end();
+  const bool want_mat =
+      std::find(options.engines.begin(), options.engines.end(),
+                Engine::kMaterializing) != options.engines.end();
+  const bool want_crystal =
+      std::find(options.engines.begin(), options.engines.end(),
+                Engine::kCrystalGpuSim) != options.engines.end();
+
+  // Engines are constructed once (the Crystal engine copies fact columns
+  // into device buffers) and reused across queries; each Run() resets the
+  // device statistics so per-query predictions stay isolated.
+  std::optional<ThreadPool> pool;
+  std::optional<ssb::VectorizedCpuEngine> cpu_engine;
+  if (want_cpu) {
+    pool.emplace(options.threads);
+    cpu_engine.emplace(db, *pool);
+  }
+  sim::Device mat_device(sim::DeviceProfile::V100());
+  std::optional<ssb::MaterializingEngine> mat_engine;
+  if (want_mat) mat_engine.emplace(mat_device, db);
+  sim::Device crystal_device(sim::DeviceProfile::V100());
+  std::optional<ssb::CrystalEngine> crystal_engine;
+  if (want_crystal) crystal_engine.emplace(crystal_device, db);
+
+  WallTimer total_timer;
+  for (ssb::QueryId id : options.queries) {
+    QueryReport qr;
+    qr.query = id;
+
+    // Results in engine order, for the cross-check below.
+    std::vector<ssb::QueryResult> results;
+    for (Engine engine : options.engines) {
+      EngineRunReport run;
+      run.engine = engine;
+      WallTimer timer;
+      switch (engine) {
+        case Engine::kVectorizedCpu: {
+          ssb::QueryResult result = cpu_engine->Run(id);
+          run.wall_ms = timer.ElapsedMs();
+          run.checksum = Checksum(result);
+          run.groups = static_cast<int64_t>(result.group_values.size());
+          results.push_back(std::move(result));
+          break;
+        }
+        case Engine::kMaterializing:
+        case Engine::kCrystalGpuSim: {
+          ssb::EngineRun er = engine == Engine::kMaterializing
+                                  ? mat_engine->Run(id)
+                                  : crystal_engine->Run(id);
+          run.wall_ms = timer.ElapsedMs();
+          run.predicted_build_ms = er.build_ms;
+          run.predicted_probe_ms = er.probe_ms * db.fact_divisor;
+          run.predicted_total_ms = er.ScaledTotalMs(db.fact_divisor);
+          run.fact_bytes_shipped = er.fact_bytes_shipped;
+          run.checksum = Checksum(er.result);
+          run.groups = static_cast<int64_t>(er.result.group_values.size());
+          results.push_back(std::move(er.result));
+          break;
+        }
+      }
+      qr.runs.push_back(run);
+    }
+
+    // Cross-check: every engine must agree; optionally all must also match
+    // the tuple-at-a-time reference engine.
+    if (options.check_against_reference) {
+      const ssb::QueryResult want = RunReference(db, id);
+      for (size_t i = 0; i < results.size(); ++i) {
+        if (!(results[i] == want)) {
+          qr.results_match = false;
+          qr.mismatches.push_back(
+              std::string(EngineName(options.engines[i])) +
+              " disagrees with reference: got " + results[i].ToString() +
+              " want " + want.ToString());
+        }
+      }
+    }
+    for (size_t i = 1; i < results.size(); ++i) {
+      if (!(results[i] == results[0])) {
+        qr.results_match = false;
+        qr.mismatches.push_back(
+            std::string(EngineName(options.engines[i])) +
+            " disagrees with " + std::string(EngineName(options.engines[0])));
+      }
+    }
+    report.all_results_match = report.all_results_match && qr.results_match;
+    report.queries.push_back(std::move(qr));
+  }
+  report.total_wall_ms = total_timer.ElapsedMs();
+  return report;
+}
+
+std::string ToJson(const Report& report) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("benchmark", "ssb");
+  w.Field("scale_factor", report.options.scale_factor);
+  w.Field("fact_divisor", report.options.fact_divisor);
+  w.Field("fact_rows", report.fact_rows);
+  w.Field("full_scale_fact_rows", report.full_scale_fact_rows);
+  w.Field("seed", report.options.seed);
+  w.Field("checked_against_reference",
+          report.options.check_against_reference);
+  w.BeginArray("engines");
+  for (Engine e : report.options.engines) w.ArrayString(EngineName(e));
+  w.EndArray();
+  w.Field("all_results_match", report.all_results_match);
+  w.Field("datagen_wall_ms", report.datagen_wall_ms);
+  w.Field("total_wall_ms", report.total_wall_ms);
+  w.BeginArray("queries");
+  for (const QueryReport& qr : report.queries) {
+    w.BeginArrayObject();
+    w.Field("query", ssb::QueryName(qr.query));
+    w.Field("flight", ssb::QueryFlight(qr.query));
+    w.Field("results_match", qr.results_match);
+    if (!qr.mismatches.empty()) {
+      w.BeginArray("mismatches");
+      for (const std::string& m : qr.mismatches) w.ArrayString(m);
+      w.EndArray();
+    }
+    w.BeginArray("runs");
+    for (const EngineRunReport& run : qr.runs) {
+      w.BeginArrayObject();
+      w.Field("engine", EngineName(run.engine));
+      w.Field("wall_ms", run.wall_ms);
+      w.MsField("predicted_total_ms", run.predicted_total_ms);
+      w.MsField("predicted_build_ms", run.predicted_build_ms);
+      w.MsField("predicted_probe_ms", run.predicted_probe_ms);
+      if (run.fact_bytes_shipped > 0)
+        w.Field("fact_bytes_shipped", run.fact_bytes_shipped);
+      w.Field("checksum", run.checksum);
+      w.Field("groups", run.groups);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace crystal::driver

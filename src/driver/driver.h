@@ -1,0 +1,121 @@
+#ifndef CRYSTAL_DRIVER_DRIVER_H_
+#define CRYSTAL_DRIVER_DRIVER_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ssb/queries.h"
+#include "ssb/schema.h"
+
+namespace crystal::driver {
+
+/// The three runnable SSB engines (Section 5.2 of the paper):
+///  * kMaterializing — operator-at-a-time with full materialization on the
+///    simulated V100 (the Omnisci-like baseline),
+///  * kVectorizedCpu — real multi-threaded vectorized host execution (the
+///    Standalone CPU implementation; honest wall-clock, no model),
+///  * kCrystalGpuSim — fused Crystal tile kernels on the simulated V100
+///    (the Standalone GPU system).
+enum class Engine {
+  kMaterializing,
+  kVectorizedCpu,
+  kCrystalGpuSim,
+};
+
+inline constexpr std::array<Engine, 3> kAllEngines = {
+    Engine::kMaterializing, Engine::kVectorizedCpu, Engine::kCrystalGpuSim};
+
+/// Stable identifier used in CLI flags and JSON output.
+std::string_view EngineName(Engine engine);
+
+/// Inverse of EngineName; also accepts common shorthands
+/// ("mat", "cpu", "gpu"). Returns nullopt on unknown names.
+std::optional<Engine> ParseEngine(std::string_view name);
+
+/// Parses a comma-separated engine list, or "all". Returns false (and fills
+/// *error) on unknown tokens. Duplicates are collapsed, order preserved.
+bool ParseEngineList(std::string_view spec, std::vector<Engine>* out,
+                     std::string* error);
+
+/// Parses a comma-separated query list, or "all". Tokens may name a single
+/// query ("q2.1", "2.1", "q21") or a whole flight ("q2", "flight2").
+/// Returns false (and fills *error) on unknown tokens.
+bool ParseQueryList(std::string_view spec, std::vector<ssb::QueryId>* out,
+                    std::string* error);
+
+/// One driver invocation: which queries on which engines at which scale.
+struct Options {
+  std::vector<Engine> engines{kAllEngines.begin(), kAllEngines.end()};
+  std::vector<ssb::QueryId> queries{ssb::kAllQueries.begin(),
+                                    ssb::kAllQueries.end()};
+  int scale_factor = 1;
+  /// Fact subsampling divisor (see Database::fact_divisor); 1 = full scale.
+  int fact_divisor = 1;
+  uint64_t seed = 20200302;
+  /// Host threads for the vectorized CPU engine; 0 = hardware concurrency.
+  int threads = 0;
+  /// Cross-check every engine result against the tuple-at-a-time reference
+  /// engine in addition to the engine-vs-engine comparison.
+  bool check_against_reference = true;
+};
+
+/// Per-engine execution record for one query.
+struct EngineRunReport {
+  Engine engine;
+  /// Honest host wall-clock of the engine call, milliseconds.
+  double wall_ms = 0;
+  /// Predicted kernel milliseconds from the sim timing model, scaled to the
+  /// full fact-table size (simulated engines only; < 0 means not modeled).
+  double predicted_total_ms = -1;
+  double predicted_build_ms = -1;  // dimension hash-table builds
+  double predicted_probe_ms = -1;  // fact-linear probe/aggregate kernels
+  /// Referenced fact bytes shipped in the coprocessor costing (sim only).
+  int64_t fact_bytes_shipped = 0;
+  /// Result digest: the scalar aggregate (flight 1) or the sum over group
+  /// values, plus the group count. Full results are compared in-process.
+  int64_t checksum = 0;
+  int64_t groups = 0;
+};
+
+/// One query across all requested engines.
+struct QueryReport {
+  ssb::QueryId query;
+  std::vector<EngineRunReport> runs;
+  /// All engines (and the reference, when enabled) agree on the result.
+  bool results_match = true;
+  /// Human-readable mismatch descriptions (empty when results_match).
+  std::vector<std::string> mismatches;
+};
+
+/// Full driver report; serialized to JSON by ToJson.
+struct Report {
+  Options options;
+  int64_t fact_rows = 0;             // rows actually executed
+  int64_t full_scale_fact_rows = 0;  // rows this run stands in for
+  std::vector<QueryReport> queries;
+  bool all_results_match = true;
+  double total_wall_ms = 0;  // wall time of all engine runs (excl. datagen)
+  double datagen_wall_ms = 0;
+};
+
+/// Generates the database per `options`, runs every requested query on every
+/// requested engine, cross-checks results, and fills a Report.
+Report Run(const Options& options);
+
+/// As above but against a caller-provided database: `options.scale_factor`
+/// and `fact_divisor` are ignored and the database's own values are
+/// reported. The database does not record its seed, so `options.seed` is
+/// echoed as given — keep it consistent with the database's generation if
+/// the report must be reproducible. Used by tests to share one instance.
+Report Run(const Options& options, const ssb::Database& db);
+
+/// Serializes a Report as pretty-printed JSON (stable key order).
+std::string ToJson(const Report& report);
+
+}  // namespace crystal::driver
+
+#endif  // CRYSTAL_DRIVER_DRIVER_H_

@@ -223,7 +223,9 @@ TEST_P(CpuRadixBitsTest, PartitionPassIsStablePermutation) {
     const uint32_t d_prev = ok[i - 1] & mask;
     const uint32_t d_cur = ok[i] & mask;
     ASSERT_LE(d_prev, d_cur);
-    if (d_prev == d_cur) ASSERT_LT(ov[i - 1], ov[i]);
+    if (d_prev == d_cur) {
+      ASSERT_LT(ov[i - 1], ov[i]);
+    }
   }
   // Permutation check: every original position appears exactly once.
   std::vector<uint32_t> seen(ov.begin(), ov.end());

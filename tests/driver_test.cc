@@ -1,0 +1,147 @@
+#include "driver/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ssb/datagen.h"
+#include "ssb/queries.h"
+
+namespace crystal::driver {
+namespace {
+
+using ssb::QueryId;
+
+// Tiny shared database: SF1 dimensions, 6k-row fact sample.
+const ssb::Database& TestDb() {
+  static const ssb::Database* db = new ssb::Database(ssb::Generate(1, 1000));
+  return *db;
+}
+
+TEST(ParseEngineListTest, AllAndNames) {
+  std::vector<Engine> engines;
+  std::string error;
+  ASSERT_TRUE(ParseEngineList("all", &engines, &error));
+  EXPECT_EQ(engines.size(), 3u);
+
+  ASSERT_TRUE(ParseEngineList("vectorized-cpu,crystal-gpu-sim", &engines,
+                              &error));
+  ASSERT_EQ(engines.size(), 2u);
+  EXPECT_EQ(engines[0], Engine::kVectorizedCpu);
+  EXPECT_EQ(engines[1], Engine::kCrystalGpuSim);
+
+  // Shorthands and duplicate collapsing.
+  ASSERT_TRUE(ParseEngineList("gpu,cpu,gpu,mat", &engines, &error));
+  ASSERT_EQ(engines.size(), 3u);
+  EXPECT_EQ(engines[0], Engine::kCrystalGpuSim);
+
+  EXPECT_FALSE(ParseEngineList("warp-speed", &engines, &error));
+  EXPECT_NE(error.find("warp-speed"), std::string::npos);
+  EXPECT_FALSE(ParseEngineList("", &engines, &error));
+}
+
+TEST(ParseQueryListTest, AllFlightsAndSingles) {
+  std::vector<QueryId> queries;
+  std::string error;
+  ASSERT_TRUE(ParseQueryList("all", &queries, &error));
+  EXPECT_EQ(queries.size(), 13u);
+
+  ASSERT_TRUE(ParseQueryList("q2.1,q4.2", &queries, &error));
+  ASSERT_EQ(queries.size(), 2u);
+  EXPECT_EQ(queries[0], QueryId::kQ21);
+  EXPECT_EQ(queries[1], QueryId::kQ42);
+
+  // Flight selection, shorthand spellings, duplicate collapsing.
+  ASSERT_TRUE(ParseQueryList("q3", &queries, &error));
+  EXPECT_EQ(queries.size(), 4u);
+  ASSERT_TRUE(ParseQueryList("11,q1.1,flight1", &queries, &error));
+  EXPECT_EQ(queries.size(), 3u);
+  EXPECT_EQ(queries[0], QueryId::kQ11);
+
+  EXPECT_FALSE(ParseQueryList("q5.1", &queries, &error));
+  EXPECT_FALSE(ParseQueryList("nope", &queries, &error));
+}
+
+TEST(EngineNameTest, RoundTrips) {
+  for (Engine e : kAllEngines) {
+    const auto parsed = ParseEngine(EngineName(e));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, e);
+  }
+}
+
+TEST(DriverTest, AllEnginesAgreeOnFlagshipQueries) {
+  Options options;
+  options.queries = {QueryId::kQ11, QueryId::kQ21, QueryId::kQ31,
+                     QueryId::kQ41};
+  options.threads = 4;
+  const Report report = driver::Run(options, TestDb());
+
+  EXPECT_TRUE(report.all_results_match);
+  ASSERT_EQ(report.queries.size(), 4u);
+  for (const QueryReport& qr : report.queries) {
+    EXPECT_TRUE(qr.results_match) << ssb::QueryName(qr.query);
+    EXPECT_TRUE(qr.mismatches.empty());
+    ASSERT_EQ(qr.runs.size(), 3u);
+    // Identical aggregates across all three engines.
+    for (const EngineRunReport& run : qr.runs) {
+      EXPECT_EQ(run.checksum, qr.runs[0].checksum)
+          << ssb::QueryName(qr.query) << " " << EngineName(run.engine);
+      EXPECT_EQ(run.groups, qr.runs[0].groups);
+      EXPECT_GE(run.wall_ms, 0.0);
+    }
+  }
+}
+
+TEST(DriverTest, SimulatedEnginesReportPredictedTimes) {
+  Options options;
+  options.queries = {QueryId::kQ21};
+  const Report report = driver::Run(options, TestDb());
+
+  ASSERT_EQ(report.queries.size(), 1u);
+  for (const EngineRunReport& run : report.queries[0].runs) {
+    if (run.engine == Engine::kVectorizedCpu) {
+      EXPECT_LT(run.predicted_total_ms, 0);  // real engine: no model
+    } else {
+      EXPECT_GT(run.predicted_total_ms, 0) << EngineName(run.engine);
+      EXPECT_GT(run.predicted_probe_ms, 0);
+      EXPECT_GT(run.fact_bytes_shipped, 0);
+    }
+  }
+}
+
+TEST(DriverTest, RespectsEngineSubset) {
+  Options options;
+  options.engines = {Engine::kVectorizedCpu};
+  options.queries = {QueryId::kQ11};
+  const Report report = driver::Run(options, TestDb());
+  ASSERT_EQ(report.queries.size(), 1u);
+  ASSERT_EQ(report.queries[0].runs.size(), 1u);
+  EXPECT_EQ(report.queries[0].runs[0].engine, Engine::kVectorizedCpu);
+  EXPECT_TRUE(report.all_results_match);
+}
+
+TEST(DriverTest, JsonReportWellFormed) {
+  Options options;
+  options.queries = {QueryId::kQ11, QueryId::kQ41};
+  const Report report = driver::Run(options, TestDb());
+  const std::string json = ToJson(report);
+
+  // Spot-check required keys and balanced braces (the emitter is ours, so
+  // structural sanity is worth locking down).
+  for (const char* key :
+       {"\"benchmark\"", "\"scale_factor\"", "\"all_results_match\"",
+        "\"queries\"", "\"runs\"", "\"engine\"", "\"wall_ms\"",
+        "\"predicted_total_ms\"", "\"checksum\"", "\"q1.1\"", "\"q4.1\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  // The vectorized engine has no timing model: serialized as null.
+  EXPECT_NE(json.find("null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crystal::driver

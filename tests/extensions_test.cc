@@ -137,7 +137,7 @@ TEST(RadixJoinTest, PartitioningTurnsDramProbesIntoCacheProbes) {
   Device dev_radix(DeviceProfile::V100());
   const int64_t build_n = 2'000'000;  // 64 MB table
   const int64_t probe_n = 1'000'000;
-  auto fill = [&](Device& dev, DeviceBuffer<int32_t>& k,
+  auto fill = [&](Device&, DeviceBuffer<int32_t>& k,
                   DeviceBuffer<int32_t>& v, int64_t n, bool dense) {
     Rng rng(11);
     for (int64_t i = 0; i < n; ++i) {

@@ -237,8 +237,12 @@ TEST(RadixSortTest, ShufflePassIsStable) {
   uint32_t prev_val = 0;
   for (int64_t i = 0; i < n; ++i) {
     const uint32_t digit = out_keys[i] & 0xF;
-    if (i > 0 && digit == prev_key) EXPECT_GT(out_vals[i], prev_val);
-    if (i > 0) EXPECT_GE(digit, prev_key);
+    if (i > 0 && digit == prev_key) {
+      EXPECT_GT(out_vals[i], prev_val);
+    }
+    if (i > 0) {
+      EXPECT_GE(digit, prev_key);
+    }
     prev_key = digit;
     prev_val = out_vals[i];
   }

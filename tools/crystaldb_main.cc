@@ -1,0 +1,134 @@
+// crystaldb: unified SSB driver. Runs any subset of the 13 Star Schema
+// Benchmark queries on any of the three engines (materializing,
+// vectorized-cpu, crystal-gpu-sim), cross-checks that every engine returns
+// identical results, and prints a JSON report with per-query wall times and
+// the timing model's predicted kernel times.
+//
+//   crystaldb --engines=all --queries=all --sf=1
+//   crystaldb --engines=vectorized-cpu,crystal-gpu-sim --queries=q2.1,q4
+//             --sf=20 --fact-divisor=20
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "driver/driver.h"
+
+namespace {
+
+constexpr const char kUsage[] = R"(crystaldb - unified SSB multi-engine driver
+
+Usage: crystaldb [flags]
+
+Flags:
+  --engines=LIST     Comma-separated engines, or "all" (default).
+                     Engines: materializing, vectorized-cpu, crystal-gpu-sim.
+  --queries=LIST     Comma-separated queries, or "all" (default). A token
+                     selects one query (q2.1) or a whole flight (q2).
+  --sf=N             SSB scale factor (default 1).
+  --fact-divisor=N   Fact-table subsampling divisor: the fact table holds
+                     6M*SF/N rows while dimensions keep full SF cardinality;
+                     predicted times are scaled back exactly (default 1).
+  --seed=N           Datagen seed (default 20200302).
+  --threads=N        Host threads for the vectorized CPU engine
+                     (default 0 = hardware concurrency).
+  --no-check         Skip the cross-check against the reference engine.
+  --output=FILE      Write the JSON report to FILE instead of stdout.
+  --help             Show this message.
+
+Exit status: 0 on success with matching results, 1 on flag errors,
+2 when engine results disagree.
+)";
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  return false;
+}
+
+int FlagError(const std::string& message) {
+  std::fprintf(stderr, "crystaldb: %s\n", message.c_str());
+  std::fprintf(stderr, "Try 'crystaldb --help'.\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  crystal::driver::Options options;
+  std::string output_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    std::string error;
+    if (ParseFlag(arg, "--help", &value) ||
+        std::strcmp(arg, "-h") == 0) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (ParseFlag(arg, "--engines", &value)) {
+      if (value == nullptr) return FlagError("--engines needs a value");
+      if (!crystal::driver::ParseEngineList(value, &options.engines, &error))
+        return FlagError(error);
+    } else if (ParseFlag(arg, "--queries", &value)) {
+      if (value == nullptr) return FlagError("--queries needs a value");
+      if (!crystal::driver::ParseQueryList(value, &options.queries, &error))
+        return FlagError(error);
+    } else if (ParseFlag(arg, "--sf", &value)) {
+      if (value == nullptr || std::atoi(value) < 1)
+        return FlagError("--sf needs a positive integer");
+      options.scale_factor = std::atoi(value);
+    } else if (ParseFlag(arg, "--fact-divisor", &value)) {
+      if (value == nullptr || std::atoi(value) < 1)
+        return FlagError("--fact-divisor needs a positive integer");
+      options.fact_divisor = std::atoi(value);
+    } else if (ParseFlag(arg, "--seed", &value)) {
+      if (value == nullptr) return FlagError("--seed needs a value");
+      char* end = nullptr;
+      options.seed = std::strtoull(value, &end, 10);
+      if (end == value || *end != '\0')
+        return FlagError("--seed needs an unsigned integer");
+    } else if (ParseFlag(arg, "--threads", &value)) {
+      if (value == nullptr || std::atoi(value) < 0)
+        return FlagError("--threads needs a non-negative integer");
+      options.threads = std::atoi(value);
+    } else if (ParseFlag(arg, "--no-check", &value)) {
+      options.check_against_reference = false;
+    } else if (ParseFlag(arg, "--output", &value)) {
+      if (value == nullptr) return FlagError("--output needs a path");
+      output_path = value;
+    } else {
+      return FlagError(std::string("unknown flag '") + arg + "'");
+    }
+  }
+
+  const crystal::driver::Report report = crystal::driver::Run(options);
+  const std::string json = crystal::driver::ToJson(report);
+
+  if (output_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(output_path.c_str(), "w");
+    if (f == nullptr) return FlagError("cannot open '" + output_path + "'");
+    const bool write_ok = std::fputs(json.c_str(), f) >= 0;
+    if (std::fclose(f) != 0 || !write_ok)
+      return FlagError("error writing '" + output_path + "'");
+    std::fprintf(stderr, "crystaldb: report written to %s\n",
+                 output_path.c_str());
+  }
+
+  if (!report.all_results_match) {
+    std::fprintf(stderr, "crystaldb: ENGINE RESULTS DISAGREE (see report)\n");
+    return 2;
+  }
+  return 0;
+}
