@@ -1,20 +1,22 @@
 // Reproduces Figure 3: the failure of the coprocessor model on SSB SF20.
 // Compares a MonetDB-like operator-at-a-time CPU engine, the GPU used as a
-// PCIe-fed coprocessor, and a Hyper-like efficient CPU engine.
+// PCIe-fed coprocessor, and a Hyper-like efficient CPU engine. All three
+// execution models come out of the EngineRegistry — this bench contains no
+// engine-specific code beyond the profile each one runs on.
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
-#include "model/query_models.h"
-#include "sim/device.h"
-#include "ssb/crystal_engine.h"
+#include "engine/query_engine.h"
+#include "engine/registry.h"
 #include "ssb/datagen.h"
-#include "ssb/materializing_engine.h"
 
 namespace {
 
 using crystal::TablePrinter;
 namespace bench = crystal::bench;
+namespace engine = crystal::engine;
 namespace sim = crystal::sim;
 namespace ssb = crystal::ssb;
 
@@ -39,36 +41,35 @@ int main() {
           "bound).");
 
   const ssb::Database db = ssb::Generate(sf, divisor);
-  sim::Device gpu_dev(sim::DeviceProfile::V100());
-  sim::Device cpu_dev(sim::DeviceProfile::SkylakeI7());
-  sim::Device mat_dev(sim::DeviceProfile::SkylakeI7());
-  ssb::CrystalEngine gpu_engine(gpu_dev, db);
-  ssb::CrystalEngine cpu_engine(cpu_dev, db);
-  ssb::MaterializingEngine monetdb_like(mat_dev, db);
-  const sim::PcieProfile pcie;
+  const engine::EngineRegistry& registry = engine::EngineRegistry::Global();
+
+  engine::EngineContext gpu_ctx;
+  gpu_ctx.db = &db;  // V100 profile is the context default
+  engine::EngineContext cpu_ctx = gpu_ctx;
+  cpu_ctx.profile = sim::DeviceProfile::SkylakeI7();
+
+  const auto monetdb_like = registry.Create("materializing", cpu_ctx);
+  const auto coprocessor = registry.Create("coprocessor", gpu_ctx);
+  const auto cpu_engine = registry.Create("crystal-gpu-sim", cpu_ctx);
 
   TablePrinter t({"query", "MonetDB-like", "GPU Coprocessor", "Hyper-like",
                   "PCIe xfer (ms)"});
   double sum_monet = 0, sum_copro = 0, sum_hyper = 0;
+  bool all_pcie_bound = true;
   for (ssb::QueryId id : ssb::kAllQueries) {
-    const ssb::EngineRun gpu_run = gpu_engine.Run(id);
-    const ssb::EngineRun cpu_run = cpu_engine.Run(id);
-    const ssb::EngineRun monet_run = monetdb_like.Run(id);
-
-    const double gpu_exec = gpu_run.ScaledTotalMs(divisor);
-    const double pcie_ms =
-        pcie.TransferMs(gpu_run.fact_bytes_shipped * divisor);
-    const double copro =
-        crystal::model::CoprocessorTimeMs(
-            gpu_run.fact_bytes_shipped * divisor, gpu_exec, pcie);
-    const double monet = monet_run.ScaledTotalMs(divisor);
-    const double hyper = cpu_run.ScaledTotalMs(divisor) * kHyperFactor;
+    const engine::RunStats copro_run = coprocessor->Execute(id);
+    const double monet = monetdb_like->Execute(id).predicted_total_ms;
+    const double hyper =
+        cpu_engine->Execute(id).predicted_total_ms * kHyperFactor;
     sum_monet += monet;
-    sum_copro += copro;
+    sum_copro += copro_run.predicted_total_ms;
     sum_hyper += hyper;
+    all_pcie_bound =
+        all_pcie_bound && copro_run.transfer_ms >= copro_run.kernel_ms;
     t.AddRow({ssb::QueryName(id), TablePrinter::Fmt(monet, 0),
-              TablePrinter::Fmt(copro, 0), TablePrinter::Fmt(hyper, 0),
-              TablePrinter::Fmt(pcie_ms, 0)});
+              TablePrinter::Fmt(copro_run.predicted_total_ms, 0),
+              TablePrinter::Fmt(hyper, 0),
+              TablePrinter::Fmt(copro_run.transfer_ms, 0)});
   }
   const double n = 13.0;
   t.AddRow({"mean", TablePrinter::Fmt(sum_monet / n, 0),
@@ -86,6 +87,6 @@ int main() {
                     "(PCIe-bound, Bc > Bp)",
                     sum_copro > sum_hyper);
   bench::ShapeCheck("every query is PCIe-bound in the coprocessor",
-                    true);  // CoprocessorTimeMs = max(transfer, exec)
+                    all_pcie_bound);
   return 0;
 }

@@ -1,21 +1,24 @@
 // Reproduces Figure 16: SSB SF20 across the four systems — Hyper-like
 // (CPU), Standalone CPU, Omnisci-like (GPU), Standalone GPU — plus the
 // MonetDB-like mean the paper reports in the text (2.5x slower than
-// Standalone CPU).
+// Standalone CPU). All systems are EngineRegistry instances: the same
+// registered engine yields the GPU or CPU system depending on the device
+// profile in its EngineContext.
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
-#include "sim/device.h"
-#include "ssb/crystal_engine.h"
+#include "engine/query_engine.h"
+#include "engine/registry.h"
 #include "ssb/datagen.h"
-#include "ssb/materializing_engine.h"
 
 namespace {
 
 using crystal::TablePrinter;
 namespace bench = crystal::bench;
+namespace engine = crystal::engine;
 namespace sim = crystal::sim;
 namespace ssb = crystal::ssb;
 
@@ -36,14 +39,17 @@ int main() {
           "; times scaled exactly.");
 
   const ssb::Database db = ssb::Generate(sf, divisor);
-  sim::Device gpu_dev(sim::DeviceProfile::V100());
-  sim::Device cpu_dev(sim::DeviceProfile::SkylakeI7());
-  sim::Device omnisci_dev(sim::DeviceProfile::V100());
-  sim::Device monet_dev(sim::DeviceProfile::SkylakeI7());
-  ssb::CrystalEngine gpu_engine(gpu_dev, db);
-  ssb::CrystalEngine cpu_engine(cpu_dev, db);
-  ssb::MaterializingEngine omnisci_like(omnisci_dev, db);
-  ssb::MaterializingEngine monetdb_like(monet_dev, db);
+  const engine::EngineRegistry& registry = engine::EngineRegistry::Global();
+
+  engine::EngineContext gpu_ctx;
+  gpu_ctx.db = &db;  // V100 profile is the context default
+  engine::EngineContext cpu_ctx = gpu_ctx;
+  cpu_ctx.profile = sim::DeviceProfile::SkylakeI7();
+
+  const auto gpu_engine = registry.Create("crystal-gpu-sim", gpu_ctx);
+  const auto cpu_engine = registry.Create("crystal-gpu-sim", cpu_ctx);
+  const auto omnisci_like = registry.Create("materializing", gpu_ctx);
+  const auto monetdb_like = registry.Create("materializing", cpu_ctx);
 
   TablePrinter t({"query", "Hyper-like", "Standalone CPU", "Omnisci-like",
                   "Standalone GPU", "CPU/GPU"});
@@ -51,10 +57,10 @@ int main() {
   double sum_cpu = 0, sum_gpu = 0, sum_omnisci = 0, sum_monet = 0,
          sum_hyper = 0;
   for (ssb::QueryId id : ssb::kAllQueries) {
-    const double gpu_ms = gpu_engine.Run(id).ScaledTotalMs(divisor);
-    const double cpu_ms = cpu_engine.Run(id).ScaledTotalMs(divisor);
-    const double omnisci_ms = omnisci_like.Run(id).ScaledTotalMs(divisor);
-    const double monet_ms = monetdb_like.Run(id).ScaledTotalMs(divisor);
+    const double gpu_ms = gpu_engine->Execute(id).predicted_total_ms;
+    const double cpu_ms = cpu_engine->Execute(id).predicted_total_ms;
+    const double omnisci_ms = omnisci_like->Execute(id).predicted_total_ms;
+    const double monet_ms = monetdb_like->Execute(id).predicted_total_ms;
     const double hyper_ms = cpu_ms * kHyperFactor;
     sum_cpu += cpu_ms;
     sum_gpu += gpu_ms;

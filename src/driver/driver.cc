@@ -5,13 +5,13 @@
 #include <numeric>
 #include <sstream>
 
-#include "common/thread_pool.h"
+#include <memory>
+
+#include "common/macros.h"
 #include "common/timer.h"
-#include "sim/device.h"
-#include "ssb/crystal_engine.h"
+#include "engine/query_engine.h"
+#include "engine/registry.h"
 #include "ssb/datagen.h"
-#include "ssb/materializing_engine.h"
-#include "ssb/vectorized_cpu_engine.h"
 
 namespace crystal::driver {
 
@@ -185,48 +185,32 @@ class JsonWriter {
 
 }  // namespace
 
-std::string_view EngineName(Engine engine) {
-  switch (engine) {
-    case Engine::kMaterializing: return "materializing";
-    case Engine::kVectorizedCpu: return "vectorized-cpu";
-    case Engine::kCrystalGpuSim: return "crystal-gpu-sim";
-  }
-  return "?";
-}
-
-std::optional<Engine> ParseEngine(std::string_view name) {
-  const std::string n = Lower(name);
-  if (n == "materializing" || n == "mat" || n == "omnisci")
-    return Engine::kMaterializing;
-  if (n == "vectorized-cpu" || n == "vectorized" || n == "vec" || n == "cpu")
-    return Engine::kVectorizedCpu;
-  if (n == "crystal-gpu-sim" || n == "crystal" || n == "gpu")
-    return Engine::kCrystalGpuSim;
-  return std::nullopt;
-}
-
-bool ParseEngineList(std::string_view spec, std::vector<Engine>* out,
+bool ParseEngineList(std::string_view spec, std::vector<std::string>* out,
                      std::string* error) {
+  const engine::EngineRegistry& registry = engine::EngineRegistry::Global();
   out->clear();
+  auto append = [&](const std::string& name) {
+    if (std::find(out->begin(), out->end(), name) == out->end())
+      out->push_back(name);
+  };
   for (const std::string& tok : SplitCommas(spec)) {
     if (Lower(tok) == "all") {
-      for (Engine e : kAllEngines) {
-        if (std::find(out->begin(), out->end(), e) == out->end())
-          out->push_back(e);
-      }
+      for (const std::string& name : registry.Names()) append(name);
       continue;
     }
-    std::optional<Engine> e = ParseEngine(tok);
-    if (!e.has_value()) {
+    const engine::EngineRegistration* entry = registry.Find(tok);
+    if (entry == nullptr) {
       if (error != nullptr) {
-        *error = "unknown engine '" + tok +
-                 "' (expected all, materializing, vectorized-cpu, or "
-                 "crystal-gpu-sim)";
+        std::string known;
+        for (const std::string& name : registry.Names()) {
+          if (!known.empty()) known += ", ";
+          known += name;
+        }
+        *error = "unknown engine '" + tok + "' (expected all, " + known + ")";
       }
       return false;
     }
-    if (std::find(out->begin(), out->end(), *e) == out->end())
-      out->push_back(*e);
+    append(entry->name);
   }
   if (out->empty()) {
     if (error != nullptr) *error = "empty engine list";
@@ -292,34 +276,37 @@ Report Run(const Options& options, const ssb::Database& db) {
   report.options = options;
   report.options.scale_factor = db.scale_factor;
   report.options.fact_divisor = db.fact_divisor;
+  report.options.seed = db.seed;
   report.fact_rows = db.lo.rows;
   report.full_scale_fact_rows = db.full_scale_fact_rows();
 
-  const bool want_cpu =
-      std::find(options.engines.begin(), options.engines.end(),
-                Engine::kVectorizedCpu) != options.engines.end();
-  const bool want_mat =
-      std::find(options.engines.begin(), options.engines.end(),
-                Engine::kMaterializing) != options.engines.end();
-  const bool want_crystal =
-      std::find(options.engines.begin(), options.engines.end(),
-                Engine::kCrystalGpuSim) != options.engines.end();
-
-  // Engines are constructed once (the Crystal engine copies fact columns
-  // into device buffers) and reused across queries; each Run() resets the
-  // device statistics so per-query predictions stay isolated.
-  std::optional<ThreadPool> pool;
-  std::optional<ssb::VectorizedCpuEngine> cpu_engine;
-  if (want_cpu) {
-    pool.emplace(options.threads);
-    cpu_engine.emplace(db, *pool);
+  // Resolve the requested names (possibly aliases) to canonical registry
+  // names, collapsing duplicates; empty means every registered engine.
+  const engine::EngineRegistry& registry = engine::EngineRegistry::Global();
+  std::vector<std::string> names;
+  if (options.engines.empty()) {
+    names = registry.Names();
+  } else {
+    for (const std::string& requested : options.engines) {
+      const engine::EngineRegistration* entry = registry.Find(requested);
+      CRYSTAL_CHECK_MSG(entry != nullptr, "unknown engine name");
+      if (std::find(names.begin(), names.end(), entry->name) == names.end())
+        names.push_back(entry->name);
+    }
   }
-  sim::Device mat_device(sim::DeviceProfile::V100());
-  std::optional<ssb::MaterializingEngine> mat_engine;
-  if (want_mat) mat_engine.emplace(mat_device, db);
-  sim::Device crystal_device(sim::DeviceProfile::V100());
-  std::optional<ssb::CrystalEngine> crystal_engine;
-  if (want_crystal) crystal_engine.emplace(crystal_device, db);
+  report.options.engines = names;
+
+  // Engines are constructed once (simulated engines copy fact columns into
+  // device buffers) and reused across queries; each Execute resets its
+  // device statistics so per-query predictions stay isolated.
+  engine::EngineContext context;
+  context.db = &db;
+  context.threads = options.threads;
+  std::vector<std::unique_ptr<engine::QueryEngine>> engines;
+  for (const std::string& name : names) {
+    engines.push_back(registry.Create(name, context));
+    CRYSTAL_CHECK(engines.back() != nullptr);
+  }
 
   WallTimer total_timer;
   for (ssb::QueryId id : options.queries) {
@@ -328,58 +315,46 @@ Report Run(const Options& options, const ssb::Database& db) {
 
     // Results in engine order, for the cross-check below.
     std::vector<ssb::QueryResult> results;
-    for (Engine engine : options.engines) {
+    for (size_t i = 0; i < engines.size(); ++i) {
+      engine::RunStats stats = engines[i]->Execute(id);
       EngineRunReport run;
-      run.engine = engine;
-      WallTimer timer;
-      switch (engine) {
-        case Engine::kVectorizedCpu: {
-          ssb::QueryResult result = cpu_engine->Run(id);
-          run.wall_ms = timer.ElapsedMs();
-          run.checksum = Checksum(result);
-          run.groups = static_cast<int64_t>(result.group_values.size());
-          results.push_back(std::move(result));
-          break;
-        }
-        case Engine::kMaterializing:
-        case Engine::kCrystalGpuSim: {
-          ssb::EngineRun er = engine == Engine::kMaterializing
-                                  ? mat_engine->Run(id)
-                                  : crystal_engine->Run(id);
-          run.wall_ms = timer.ElapsedMs();
-          run.predicted_build_ms = er.build_ms;
-          run.predicted_probe_ms = er.probe_ms * db.fact_divisor;
-          run.predicted_total_ms = er.ScaledTotalMs(db.fact_divisor);
-          run.fact_bytes_shipped = er.fact_bytes_shipped;
-          run.checksum = Checksum(er.result);
-          run.groups = static_cast<int64_t>(er.result.group_values.size());
-          results.push_back(std::move(er.result));
-          break;
-        }
-      }
-      qr.runs.push_back(run);
+      run.engine = names[i];
+      run.wall_ms = stats.wall_ms;
+      run.predicted_total_ms = stats.predicted_total_ms;
+      run.predicted_build_ms = stats.predicted_build_ms;
+      run.predicted_probe_ms = stats.predicted_probe_ms;
+      run.transfer_ms = stats.transfer_ms;
+      run.kernel_ms = stats.kernel_ms;
+      run.fact_bytes_shipped = stats.fact_bytes_shipped;
+      run.checksum = Checksum(stats.result);
+      run.groups = static_cast<int64_t>(stats.result.group_values.size());
+      qr.runs.push_back(std::move(run));
+      results.push_back(std::move(stats.result));
     }
 
     // Cross-check: every engine must agree; optionally all must also match
-    // the tuple-at-a-time reference engine.
+    // the tuple-at-a-time reference engine. When the reference engine is in
+    // the run set its result is reused — it would be bit-identical, and a
+    // second tuple-at-a-time pass is the costliest part of a default run.
     if (options.check_against_reference) {
-      const ssb::QueryResult want = RunReference(db, id);
+      const auto ref_it = std::find(names.begin(), names.end(), "reference");
+      const ssb::QueryResult want =
+          ref_it != names.end()
+              ? results[static_cast<size_t>(ref_it - names.begin())]
+              : RunReference(db, id);
       for (size_t i = 0; i < results.size(); ++i) {
         if (!(results[i] == want)) {
           qr.results_match = false;
           qr.mismatches.push_back(
-              std::string(EngineName(options.engines[i])) +
-              " disagrees with reference: got " + results[i].ToString() +
-              " want " + want.ToString());
+              names[i] + " disagrees with reference: got " +
+              results[i].ToString() + " want " + want.ToString());
         }
       }
     }
     for (size_t i = 1; i < results.size(); ++i) {
       if (!(results[i] == results[0])) {
         qr.results_match = false;
-        qr.mismatches.push_back(
-            std::string(EngineName(options.engines[i])) +
-            " disagrees with " + std::string(EngineName(options.engines[0])));
+        qr.mismatches.push_back(names[i] + " disagrees with " + names[0]);
       }
     }
     report.all_results_match = report.all_results_match && qr.results_match;
@@ -401,7 +376,7 @@ std::string ToJson(const Report& report) {
   w.Field("checked_against_reference",
           report.options.check_against_reference);
   w.BeginArray("engines");
-  for (Engine e : report.options.engines) w.ArrayString(EngineName(e));
+  for (const std::string& e : report.options.engines) w.ArrayString(e);
   w.EndArray();
   w.Field("all_results_match", report.all_results_match);
   w.Field("datagen_wall_ms", report.datagen_wall_ms);
@@ -420,13 +395,17 @@ std::string ToJson(const Report& report) {
     w.BeginArray("runs");
     for (const EngineRunReport& run : qr.runs) {
       w.BeginArrayObject();
-      w.Field("engine", EngineName(run.engine));
+      w.Field("engine", run.engine);
       w.Field("wall_ms", run.wall_ms);
       w.MsField("predicted_total_ms", run.predicted_total_ms);
       w.MsField("predicted_build_ms", run.predicted_build_ms);
       w.MsField("predicted_probe_ms", run.predicted_probe_ms);
-      if (run.fact_bytes_shipped > 0)
+      // Transfer-modeling engines (coprocessor) get the PCIe split.
+      if (run.transfer_ms >= 0 || run.kernel_ms >= 0) {
+        w.MsField("transfer_ms", run.transfer_ms);
+        w.MsField("kernel_ms", run.kernel_ms);
         w.Field("fact_bytes_shipped", run.fact_bytes_shipped);
+      }
       w.Field("checksum", run.checksum);
       w.Field("groups", run.groups);
       w.EndObject();

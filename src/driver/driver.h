@@ -1,9 +1,7 @@
 #ifndef CRYSTAL_DRIVER_DRIVER_H_
 #define CRYSTAL_DRIVER_DRIVER_H_
 
-#include <array>
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -13,32 +11,17 @@
 
 namespace crystal::driver {
 
-/// The three runnable SSB engines (Section 5.2 of the paper):
-///  * kMaterializing — operator-at-a-time with full materialization on the
-///    simulated V100 (the Omnisci-like baseline),
-///  * kVectorizedCpu — real multi-threaded vectorized host execution (the
-///    Standalone CPU implementation; honest wall-clock, no model),
-///  * kCrystalGpuSim — fused Crystal tile kernels on the simulated V100
-///    (the Standalone GPU system).
-enum class Engine {
-  kMaterializing,
-  kVectorizedCpu,
-  kCrystalGpuSim,
-};
+/// Engines are addressed by their registry names (engine/registry.h); the
+/// driver holds no engine list of its own. `crystaldb --list-engines`
+/// prints the live set. Canonical built-ins: materializing,
+/// vectorized-cpu, crystal-gpu-sim, reference, coprocessor.
 
-inline constexpr std::array<Engine, 3> kAllEngines = {
-    Engine::kMaterializing, Engine::kVectorizedCpu, Engine::kCrystalGpuSim};
-
-/// Stable identifier used in CLI flags and JSON output.
-std::string_view EngineName(Engine engine);
-
-/// Inverse of EngineName; also accepts common shorthands
-/// ("mat", "cpu", "gpu"). Returns nullopt on unknown names.
-std::optional<Engine> ParseEngine(std::string_view name);
-
-/// Parses a comma-separated engine list, or "all". Returns false (and fills
-/// *error) on unknown tokens. Duplicates are collapsed, order preserved.
-bool ParseEngineList(std::string_view spec, std::vector<Engine>* out,
+/// Parses a comma-separated engine list, or "all" (every registered
+/// engine). Tokens are registry names or aliases ("mat", "cpu", "gpu",
+/// ...); output holds canonical names. Returns false (and fills *error) on
+/// unknown tokens or an empty spec. Duplicates are collapsed (also when
+/// two aliases name one engine), order preserved.
+bool ParseEngineList(std::string_view spec, std::vector<std::string>* out,
                      std::string* error);
 
 /// Parses a comma-separated query list, or "all". Tokens may name a single
@@ -49,23 +32,25 @@ bool ParseQueryList(std::string_view spec, std::vector<ssb::QueryId>* out,
 
 /// One driver invocation: which queries on which engines at which scale.
 struct Options {
-  std::vector<Engine> engines{kAllEngines.begin(), kAllEngines.end()};
+  /// Canonical registry engine names; empty = every registered engine.
+  std::vector<std::string> engines;
   std::vector<ssb::QueryId> queries{ssb::kAllQueries.begin(),
                                     ssb::kAllQueries.end()};
   int scale_factor = 1;
   /// Fact subsampling divisor (see Database::fact_divisor); 1 = full scale.
   int fact_divisor = 1;
   uint64_t seed = 20200302;
-  /// Host threads for the vectorized CPU engine; 0 = hardware concurrency.
+  /// Host threads for host-threaded engines; 0 = hardware concurrency.
   int threads = 0;
   /// Cross-check every engine result against the tuple-at-a-time reference
   /// engine in addition to the engine-vs-engine comparison.
   bool check_against_reference = true;
 };
 
-/// Per-engine execution record for one query.
+/// Per-engine execution record for one query (RunStats plus identity and
+/// the result digest; see engine/query_engine.h for field semantics).
 struct EngineRunReport {
-  Engine engine;
+  std::string engine;  // canonical registry name
   /// Honest host wall-clock of the engine call, milliseconds.
   double wall_ms = 0;
   /// Predicted kernel milliseconds from the sim timing model, scaled to the
@@ -73,7 +58,10 @@ struct EngineRunReport {
   double predicted_total_ms = -1;
   double predicted_build_ms = -1;  // dimension hash-table builds
   double predicted_probe_ms = -1;  // fact-linear probe/aggregate kernels
-  /// Referenced fact bytes shipped in the coprocessor costing (sim only).
+  /// Coprocessor costing split (< 0 when the engine models no transfer).
+  double transfer_ms = -1;
+  double kernel_ms = -1;
+  /// Full-scale referenced fact bytes shipped over PCIe (coprocessor only).
   int64_t fact_bytes_shipped = 0;
   /// Result digest: the scalar aggregate (flight 1) or the sum over group
   /// values, plus the group count. Full results are compared in-process.
@@ -103,14 +91,15 @@ struct Report {
 };
 
 /// Generates the database per `options`, runs every requested query on every
-/// requested engine, cross-checks results, and fills a Report.
+/// requested engine, cross-checks results, and fills a Report. Aborts via
+/// CRYSTAL_CHECK on engine names that are not in the registry — validate
+/// user input with ParseEngineList first.
 Report Run(const Options& options);
 
-/// As above but against a caller-provided database: `options.scale_factor`
-/// and `fact_divisor` are ignored and the database's own values are
-/// reported. The database does not record its seed, so `options.seed` is
-/// echoed as given — keep it consistent with the database's generation if
-/// the report must be reproducible. Used by tests to share one instance.
+/// As above but against a caller-provided database: `options.scale_factor`,
+/// `fact_divisor`, and `seed` are ignored and the database's own recorded
+/// values are reported, so reports are reproducible by construction. Used
+/// by tests to share one generated instance.
 Report Run(const Options& options, const ssb::Database& db);
 
 /// Serializes a Report as pretty-printed JSON (stable key order).

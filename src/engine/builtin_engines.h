@@ -1,0 +1,20 @@
+#ifndef CRYSTAL_ENGINE_BUILTIN_ENGINES_H_
+#define CRYSTAL_ENGINE_BUILTIN_ENGINES_H_
+
+#include "engine/registry.h"
+
+namespace crystal::engine {
+
+// Per-engine registration hooks. Each lives in its engine's translation
+// unit; RegisterBuiltinEngines (registry.h) calls them all. A new engine
+// needs exactly one such hook plus a line in RegisterBuiltinEngines — no
+// driver, CLI, bench, or test changes.
+void RegisterReferenceEngine(EngineRegistry& registry);
+void RegisterMaterializingEngine(EngineRegistry& registry);
+void RegisterVectorizedCpuEngine(EngineRegistry& registry);
+void RegisterCrystalEngine(EngineRegistry& registry);
+void RegisterCoprocessorEngine(EngineRegistry& registry);
+
+}  // namespace crystal::engine
+
+#endif  // CRYSTAL_ENGINE_BUILTIN_ENGINES_H_

@@ -1,0 +1,105 @@
+#ifndef CRYSTAL_ENGINE_QUERY_ENGINE_H_
+#define CRYSTAL_ENGINE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "sim/device.h"
+#include "sim/profile.h"
+#include "ssb/queries.h"
+#include "ssb/schema.h"
+
+namespace crystal::engine {
+
+/// What a QueryEngine implementation can report. Flags gate which RunStats
+/// fields are meaningful, so callers (driver JSON, benches, conformance
+/// tests) never need per-engine switches.
+struct EngineCapabilities {
+  /// Predicted kernel times from the sim timing model are filled in.
+  bool simulated = false;
+  /// Runs real work on host threads (honest wall-clock, no model).
+  bool uses_host_threads = false;
+  /// Fills the PCIe transfer/kernel split and fact_bytes_shipped.
+  bool models_transfer = false;
+};
+
+/// Everything an engine factory may need. Engines copy what they use at
+/// construction; the database must outlive the engine.
+struct EngineContext {
+  /// Required. The generated SSB instance to run against.
+  const ssb::Database* db = nullptr;
+  /// Hardware profile for simulated engines (Crystal kernels run as the
+  /// "Standalone CPU" system when handed the Skylake profile).
+  sim::DeviceProfile profile = sim::DeviceProfile::V100();
+  /// Optional shared worker pool for host-threaded engines; when null the
+  /// engine owns a private pool of `threads` workers.
+  ThreadPool* pool = nullptr;
+  /// Host threads when the engine creates its own pool; 0 = hardware
+  /// concurrency.
+  int threads = 0;
+  /// Tile geometry for simulated kernels (paper default 128x4).
+  sim::LaunchConfig launch;
+  /// PCIe link for engines that model fact-column transfer (coprocessor).
+  sim::PcieProfile pcie;
+};
+
+/// Uniform per-query execution record returned by every engine.
+/// Predicted times are scaled to the database's full scale factor (see
+/// Database::fact_divisor); a value < 0 means "not modeled by this engine"
+/// and is serialized as null by the driver.
+struct RunStats {
+  ssb::QueryResult result;
+  /// Honest host wall-clock of the Execute call, milliseconds. Filled by
+  /// QueryEngine::Execute itself — implementations never touch it.
+  double wall_ms = 0;
+  double predicted_total_ms = -1;
+  double predicted_build_ms = -1;  // dimension hash-table builds
+  double predicted_probe_ms = -1;  // fact-linear probe/aggregate kernels
+  /// Coprocessor split (models_transfer engines only): time to ship the
+  /// referenced fact columns over PCIe vs time in the kernels proper.
+  double transfer_ms = -1;
+  double kernel_ms = -1;
+  /// Full-scale referenced fact bytes shipped over the interconnect
+  /// (FactColumnsReferenced(query) * 6M * SF * 4; models_transfer only).
+  int64_t fact_bytes_shipped = 0;
+};
+
+/// Abstract execution model. One instance is bound to one database (and,
+/// for simulated engines, one device); Execute may be called repeatedly
+/// across queries. Implementations register a factory with EngineRegistry
+/// so the driver, benches, and tests can instantiate them by name — see
+/// docs/ENGINES.md for the plug-in recipe.
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Stable identifier used in CLI flags and JSON output.
+  virtual std::string_view name() const = 0;
+  /// One-line human description (shown by `crystaldb --list-engines`).
+  virtual std::string_view description() const = 0;
+  virtual EngineCapabilities capabilities() const = 0;
+
+  /// Runs one of the 13 SSB queries and reports result + timings.
+  /// Non-virtual on purpose: wall-clock is measured here so every engine —
+  /// including future plug-ins — reports it identically.
+  RunStats Execute(ssb::QueryId id) {
+    WallTimer timer;
+    RunStats stats = ExecuteImpl(id);
+    stats.wall_ms = timer.ElapsedMs();
+    return stats;
+  }
+
+ protected:
+  QueryEngine() = default;
+
+  virtual RunStats ExecuteImpl(ssb::QueryId id) = 0;
+};
+
+}  // namespace crystal::engine
+
+#endif  // CRYSTAL_ENGINE_QUERY_ENGINE_H_

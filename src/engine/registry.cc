@@ -1,0 +1,87 @@
+#include "engine/registry.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace crystal::engine {
+
+namespace {
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+bool Matches(const EngineRegistration& entry, const std::string& lower) {
+  if (Lower(entry.name) == lower) return true;
+  for (const std::string& alias : entry.aliases) {
+    if (Lower(alias) == lower) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+EngineRegistry& EngineRegistry::Global() {
+  static EngineRegistry* registry = [] {
+    auto* r = new EngineRegistry();
+    RegisterBuiltinEngines(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+bool EngineRegistry::Register(EngineRegistration registration) {
+  if (registration.name.empty() || !registration.factory) return false;
+  // Reject any collision — canonical names and aliases share one namespace,
+  // so "mat" can never silently resolve to two different engines. The
+  // incoming entry's own tokens are part of that namespace too (a name
+  // repeated as its alias, or a duplicated alias, is equally malformed).
+  if (Find(registration.name) != nullptr) return false;
+  std::vector<std::string> taken = {Lower(registration.name)};
+  for (const std::string& alias : registration.aliases) {
+    const std::string lower = Lower(alias);
+    if (alias.empty() || Find(alias) != nullptr ||
+        std::find(taken.begin(), taken.end(), lower) != taken.end()) {
+      return false;
+    }
+    taken.push_back(lower);
+  }
+  entries_.push_back(
+      std::make_unique<EngineRegistration>(std::move(registration)));
+  return true;
+}
+
+const EngineRegistration* EngineRegistry::Find(
+    std::string_view name_or_alias) const {
+  const std::string lower = Lower(name_or_alias);
+  for (const auto& entry : entries_) {
+    if (Matches(*entry, lower)) return entry.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> EngineRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& entry : entries_) names.push_back(entry->name);
+  return names;
+}
+
+std::vector<const EngineRegistration*> EngineRegistry::All() const {
+  std::vector<const EngineRegistration*> all;
+  all.reserve(entries_.size());
+  for (const auto& entry : entries_) all.push_back(entry.get());
+  return all;
+}
+
+std::unique_ptr<QueryEngine> EngineRegistry::Create(
+    std::string_view name_or_alias, const EngineContext& context) const {
+  const EngineRegistration* entry = Find(name_or_alias);
+  if (entry == nullptr) return nullptr;
+  return entry->factory(context);
+}
+
+}  // namespace crystal::engine

@@ -1,0 +1,76 @@
+#ifndef CRYSTAL_ENGINE_REGISTRY_H_
+#define CRYSTAL_ENGINE_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/query_engine.h"
+
+namespace crystal::engine {
+
+/// Factory signature: builds an engine bound to the context's database.
+using EngineFactory =
+    std::function<std::unique_ptr<QueryEngine>(const EngineContext&)>;
+
+/// One registry entry. `name` is the stable identifier (CLI / JSON);
+/// `aliases` are accepted as CLI shorthands ("mat", "cpu", "gpu", ...).
+struct EngineRegistration {
+  std::string name;
+  std::string description;
+  std::vector<std::string> aliases;
+  EngineCapabilities capabilities;
+  EngineFactory factory;
+};
+
+/// Maps stable string names to engine factories. The process-wide instance
+/// (Global()) comes pre-loaded with the built-in engines; adding an engine
+/// is one Register call from the engine's own translation unit — the
+/// driver, CLI, benches, and conformance tests pick it up untouched.
+class EngineRegistry {
+ public:
+  EngineRegistry() = default;
+
+  EngineRegistry(const EngineRegistry&) = delete;
+  EngineRegistry& operator=(const EngineRegistry&) = delete;
+
+  /// The process-wide registry, built-ins registered on first use.
+  static EngineRegistry& Global();
+
+  /// Registers an engine. Returns false (and registers nothing) when the
+  /// name or any alias — matched case-insensitively — is already taken, or
+  /// when the entry is malformed (empty name, null factory).
+  bool Register(EngineRegistration registration);
+
+  /// Looks up by canonical name or alias, case-insensitively.
+  /// Returns null when unknown.
+  const EngineRegistration* Find(std::string_view name_or_alias) const;
+
+  /// Canonical engine names in registration order.
+  std::vector<std::string> Names() const;
+
+  /// Entries in registration order (stable pointers for the process
+  /// lifetime of the registry).
+  std::vector<const EngineRegistration*> All() const;
+
+  /// Instantiates the named engine. Returns null when the name is unknown.
+  std::unique_ptr<QueryEngine> Create(std::string_view name_or_alias,
+                                      const EngineContext& context) const;
+
+ private:
+  // Deque-like stability is not needed: entries are unique_ptr so Find
+  // results survive vector growth.
+  std::vector<std::unique_ptr<EngineRegistration>> entries_;
+};
+
+/// Registers the five built-in engines (reference, materializing,
+/// vectorized-cpu, crystal-gpu-sim, coprocessor) into `registry`. Called
+/// automatically for Global(); exposed so tests can build private
+/// registries with the same contents.
+void RegisterBuiltinEngines(EngineRegistry& registry);
+
+}  // namespace crystal::engine
+
+#endif  // CRYSTAL_ENGINE_REGISTRY_H_

@@ -65,6 +65,7 @@ Database Generate(const DatagenOptions& options) {
   Database db;
   db.scale_factor = options.scale_factor;
   db.fact_divisor = options.fact_divisor;
+  db.seed = options.seed;
   Rng rng(options.seed);
 
   // ---- date: 2556 consecutive days from 1992-01-01.

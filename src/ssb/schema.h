@@ -82,6 +82,10 @@ struct Database {
   PartTable p;
 
   int scale_factor = 1;
+  /// Generation seed, recorded by ssb::Generate so every consumer (driver
+  /// reports in particular) can state exactly how to reproduce this
+  /// instance without trusting the caller to echo the right value.
+  uint64_t seed = 0;
   /// Fact-table subsampling divisor: dimension cardinalities follow
   /// scale_factor while the fact table holds 6M*SF/fact_divisor rows.
   /// Cache-residency behaviour (driven by dimension hash-table sizes) then

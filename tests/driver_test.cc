@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "engine/registry.h"
 #include "ssb/datagen.h"
 #include "ssb/queries.h"
 
@@ -18,26 +19,70 @@ const ssb::Database& TestDb() {
   return *db;
 }
 
+size_t RegisteredEngineCount() {
+  return engine::EngineRegistry::Global().Names().size();
+}
+
 TEST(ParseEngineListTest, AllAndNames) {
-  std::vector<Engine> engines;
+  std::vector<std::string> engines;
   std::string error;
   ASSERT_TRUE(ParseEngineList("all", &engines, &error));
-  EXPECT_EQ(engines.size(), 3u);
+  EXPECT_EQ(engines.size(), RegisteredEngineCount());
+  EXPECT_GE(engines.size(), 5u);
 
   ASSERT_TRUE(ParseEngineList("vectorized-cpu,crystal-gpu-sim", &engines,
                               &error));
   ASSERT_EQ(engines.size(), 2u);
-  EXPECT_EQ(engines[0], Engine::kVectorizedCpu);
-  EXPECT_EQ(engines[1], Engine::kCrystalGpuSim);
+  EXPECT_EQ(engines[0], "vectorized-cpu");
+  EXPECT_EQ(engines[1], "crystal-gpu-sim");
+}
 
-  // Shorthands and duplicate collapsing.
-  ASSERT_TRUE(ParseEngineList("gpu,cpu,gpu,mat", &engines, &error));
-  ASSERT_EQ(engines.size(), 3u);
-  EXPECT_EQ(engines[0], Engine::kCrystalGpuSim);
+TEST(ParseEngineListTest, AliasesResolveToCanonicalNames) {
+  std::vector<std::string> engines;
+  std::string error;
+  ASSERT_TRUE(ParseEngineList("gpu,cpu,mat,copro,ref", &engines, &error));
+  ASSERT_EQ(engines.size(), 5u);
+  EXPECT_EQ(engines[0], "crystal-gpu-sim");
+  EXPECT_EQ(engines[1], "vectorized-cpu");
+  EXPECT_EQ(engines[2], "materializing");
+  EXPECT_EQ(engines[3], "coprocessor");
+  EXPECT_EQ(engines[4], "reference");
+}
+
+TEST(ParseEngineListTest, CollapsesDuplicatesAcrossAliases) {
+  std::vector<std::string> engines;
+  std::string error;
+  // The same engine via canonical name, alias, and different case.
+  ASSERT_TRUE(ParseEngineList("gpu,crystal,CRYSTAL-GPU-SIM,mat", &engines,
+                              &error));
+  ASSERT_EQ(engines.size(), 2u);
+  EXPECT_EQ(engines[0], "crystal-gpu-sim");
+  EXPECT_EQ(engines[1], "materializing");
+
+  // "all" after an explicit engine keeps first-mention order.
+  ASSERT_TRUE(ParseEngineList("copro,all", &engines, &error));
+  EXPECT_EQ(engines.size(), RegisteredEngineCount());
+  EXPECT_EQ(engines[0], "coprocessor");
+}
+
+TEST(ParseEngineListTest, ErrorPaths) {
+  std::vector<std::string> engines;
+  std::string error;
 
   EXPECT_FALSE(ParseEngineList("warp-speed", &engines, &error));
-  EXPECT_NE(error.find("warp-speed"), std::string::npos);
+  EXPECT_NE(error.find("unknown engine 'warp-speed'"), std::string::npos);
+  // The message enumerates the live registry so users can self-serve.
+  EXPECT_NE(error.find("coprocessor"), std::string::npos);
+  EXPECT_NE(error.find("materializing"), std::string::npos);
+
   EXPECT_FALSE(ParseEngineList("", &engines, &error));
+  EXPECT_NE(error.find("empty engine list"), std::string::npos);
+  EXPECT_FALSE(ParseEngineList(" , ,", &engines, &error));
+  EXPECT_NE(error.find("empty engine list"), std::string::npos);
+
+  // A bad token after good ones still fails (and reports the bad token).
+  EXPECT_FALSE(ParseEngineList("cpu,nope", &engines, &error));
+  EXPECT_NE(error.find("'nope'"), std::string::npos);
 }
 
 TEST(ParseQueryListTest, AllFlightsAndSingles) {
@@ -57,17 +102,25 @@ TEST(ParseQueryListTest, AllFlightsAndSingles) {
   ASSERT_TRUE(ParseQueryList("11,q1.1,flight1", &queries, &error));
   EXPECT_EQ(queries.size(), 3u);
   EXPECT_EQ(queries[0], QueryId::kQ11);
-
-  EXPECT_FALSE(ParseQueryList("q5.1", &queries, &error));
-  EXPECT_FALSE(ParseQueryList("nope", &queries, &error));
 }
 
-TEST(EngineNameTest, RoundTrips) {
-  for (Engine e : kAllEngines) {
-    const auto parsed = ParseEngine(EngineName(e));
-    ASSERT_TRUE(parsed.has_value());
-    EXPECT_EQ(*parsed, e);
-  }
+TEST(ParseQueryListTest, ErrorPaths) {
+  std::vector<QueryId> queries;
+  std::string error;
+
+  EXPECT_FALSE(ParseQueryList("q5.1", &queries, &error));
+  EXPECT_NE(error.find("unknown query 'q5.1'"), std::string::npos);
+  EXPECT_FALSE(ParseQueryList("nope", &queries, &error));
+  EXPECT_NE(error.find("'nope'"), std::string::npos);
+  EXPECT_NE(error.find("q2.1"), std::string::npos);  // usage hint
+
+  EXPECT_FALSE(ParseQueryList("", &queries, &error));
+  EXPECT_NE(error.find("empty query list"), std::string::npos);
+  EXPECT_FALSE(ParseQueryList(" , ", &queries, &error));
+
+  // A bad token mid-list fails even with valid neighbours.
+  EXPECT_FALSE(ParseQueryList("q1.1,q9.9,q2.1", &queries, &error));
+  EXPECT_NE(error.find("'q9.9'"), std::string::npos);
 }
 
 TEST(DriverTest, AllEnginesAgreeOnFlagshipQueries) {
@@ -77,16 +130,18 @@ TEST(DriverTest, AllEnginesAgreeOnFlagshipQueries) {
   options.threads = 4;
   const Report report = driver::Run(options, TestDb());
 
+  // Empty options.engines means every registered engine.
+  EXPECT_EQ(report.options.engines.size(), RegisteredEngineCount());
   EXPECT_TRUE(report.all_results_match);
   ASSERT_EQ(report.queries.size(), 4u);
   for (const QueryReport& qr : report.queries) {
     EXPECT_TRUE(qr.results_match) << ssb::QueryName(qr.query);
     EXPECT_TRUE(qr.mismatches.empty());
-    ASSERT_EQ(qr.runs.size(), 3u);
-    // Identical aggregates across all three engines.
+    ASSERT_EQ(qr.runs.size(), RegisteredEngineCount());
+    // Identical aggregates across all engines.
     for (const EngineRunReport& run : qr.runs) {
       EXPECT_EQ(run.checksum, qr.runs[0].checksum)
-          << ssb::QueryName(qr.query) << " " << EngineName(run.engine);
+          << ssb::QueryName(qr.query) << " " << run.engine;
       EXPECT_EQ(run.groups, qr.runs[0].groups);
       EXPECT_GE(run.wall_ms, 0.0);
     }
@@ -99,26 +154,71 @@ TEST(DriverTest, SimulatedEnginesReportPredictedTimes) {
   const Report report = driver::Run(options, TestDb());
 
   ASSERT_EQ(report.queries.size(), 1u);
+  const engine::EngineRegistry& registry = engine::EngineRegistry::Global();
   for (const EngineRunReport& run : report.queries[0].runs) {
-    if (run.engine == Engine::kVectorizedCpu) {
-      EXPECT_LT(run.predicted_total_ms, 0);  // real engine: no model
+    const engine::EngineRegistration* entry = registry.Find(run.engine);
+    ASSERT_NE(entry, nullptr) << run.engine;
+    if (entry->capabilities.simulated) {
+      EXPECT_GT(run.predicted_total_ms, 0) << run.engine;
+      EXPECT_GT(run.predicted_probe_ms, 0) << run.engine;
     } else {
-      EXPECT_GT(run.predicted_total_ms, 0) << EngineName(run.engine);
-      EXPECT_GT(run.predicted_probe_ms, 0);
-      EXPECT_GT(run.fact_bytes_shipped, 0);
+      EXPECT_LT(run.predicted_total_ms, 0) << run.engine;  // no model
+    }
+    if (entry->capabilities.models_transfer) {
+      EXPECT_GT(run.transfer_ms, 0) << run.engine;
+      EXPECT_GT(run.kernel_ms, 0) << run.engine;
+      EXPECT_GT(run.fact_bytes_shipped, 0) << run.engine;
+    } else {
+      EXPECT_EQ(run.fact_bytes_shipped, 0) << run.engine;
     }
   }
 }
 
-TEST(DriverTest, RespectsEngineSubset) {
+TEST(DriverTest, CoprocessorChargesReferencedFactColumns) {
   Options options;
-  options.engines = {Engine::kVectorizedCpu};
+  options.engines = {"coprocessor"};
+  options.queries = {QueryId::kQ11, QueryId::kQ21, QueryId::kQ43};
+  const Report report = driver::Run(options, TestDb());
+
+  ASSERT_EQ(report.queries.size(), 3u);
+  for (const QueryReport& qr : report.queries) {
+    ASSERT_EQ(qr.runs.size(), 1u);
+    const EngineRunReport& run = qr.runs[0];
+    // Fig. 3 costing: every referenced fact column ships at full scale.
+    const int64_t want_bytes =
+        static_cast<int64_t>(ssb::FactColumnsReferenced(qr.query)) *
+        TestDb().full_scale_fact_rows() * 4;
+    EXPECT_EQ(run.fact_bytes_shipped, want_bytes)
+        << ssb::QueryName(qr.query);
+    // Perfect overlap: total = max(transfer, kernel).
+    EXPECT_DOUBLE_EQ(run.predicted_total_ms,
+                     std::max(run.transfer_ms, run.kernel_ms));
+    // SSB on a V100 is PCIe-bound (Section 3.1).
+    EXPECT_GE(run.transfer_ms, run.kernel_ms) << ssb::QueryName(qr.query);
+  }
+}
+
+TEST(DriverTest, RespectsEngineSubsetAndAliases) {
+  Options options;
+  options.engines = {"cpu"};  // alias for vectorized-cpu
   options.queries = {QueryId::kQ11};
   const Report report = driver::Run(options, TestDb());
   ASSERT_EQ(report.queries.size(), 1u);
   ASSERT_EQ(report.queries[0].runs.size(), 1u);
-  EXPECT_EQ(report.queries[0].runs[0].engine, Engine::kVectorizedCpu);
+  EXPECT_EQ(report.queries[0].runs[0].engine, "vectorized-cpu");
+  EXPECT_EQ(report.options.engines,
+            std::vector<std::string>{"vectorized-cpu"});
   EXPECT_TRUE(report.all_results_match);
+}
+
+TEST(DriverTest, ReportsTheDatabasesOwnSeed) {
+  Options options;
+  options.engines = {"reference"};
+  options.queries = {QueryId::kQ11};
+  options.seed = 999;  // deliberately wrong: the db's recorded seed wins
+  const Report report = driver::Run(options, TestDb());
+  EXPECT_EQ(report.options.seed, TestDb().seed);
+  EXPECT_EQ(report.options.seed, 20200302u);
 }
 
 TEST(DriverTest, JsonReportWellFormed) {
@@ -132,14 +232,16 @@ TEST(DriverTest, JsonReportWellFormed) {
   for (const char* key :
        {"\"benchmark\"", "\"scale_factor\"", "\"all_results_match\"",
         "\"queries\"", "\"runs\"", "\"engine\"", "\"wall_ms\"",
-        "\"predicted_total_ms\"", "\"checksum\"", "\"q1.1\"", "\"q4.1\""}) {
+        "\"predicted_total_ms\"", "\"checksum\"", "\"q1.1\"", "\"q4.1\"",
+        "\"coprocessor\"", "\"transfer_ms\"", "\"kernel_ms\"",
+        "\"fact_bytes_shipped\"", "\"seed\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
   }
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
-  // The vectorized engine has no timing model: serialized as null.
+  // Engines without a timing model serialize predicted times as null.
   EXPECT_NE(json.find("null"), std::string::npos);
 }
 

@@ -1,0 +1,111 @@
+// Engine conformance suite: every engine in the global registry must
+// produce exactly the reference result for all 13 SSB queries. Runs on a
+// small fact subsample so the whole matrix (engines x queries) finishes in
+// seconds. Any engine registered in the future is picked up automatically —
+// plug-ins get correctness coverage for free (ctest -L conformance).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "engine/query_engine.h"
+#include "engine/registry.h"
+#include "ssb/datagen.h"
+#include "ssb/queries.h"
+
+namespace crystal::engine {
+namespace {
+
+using ssb::QueryId;
+
+// SF1 dimensions, 6k-row fact sample: hash-table domains at full SF1 size,
+// tuple work small enough for tuple-at-a-time reference runs per test.
+const ssb::Database& ConformanceDb() {
+  static const ssb::Database* db = new ssb::Database(ssb::Generate(1, 1000));
+  return *db;
+}
+
+// One engine instance per name, shared across the per-query tests (engines
+// are built once and queried repeatedly in production too). May return
+// null — callers must ASSERT, so a broken factory fails its own params
+// cleanly instead of crashing the whole binary.
+QueryEngine* EngineFor(const std::string& name) {
+  static auto* engines =
+      new std::map<std::string, std::unique_ptr<QueryEngine>>();
+  auto it = engines->find(name);
+  if (it == engines->end()) {
+    EngineContext context;
+    context.db = &ConformanceDb();
+    context.threads = 2;
+    it = engines->emplace(
+        name, EngineRegistry::Global().Create(name, context)).first;
+  }
+  return it->second.get();
+}
+
+const ssb::QueryResult& ExpectedResult(QueryId id) {
+  static auto* cache = new std::map<QueryId, ssb::QueryResult>();
+  auto it = cache->find(id);
+  if (it == cache->end())
+    it = cache->emplace(id, ssb::RunReference(ConformanceDb(), id)).first;
+  return it->second;
+}
+
+class EngineConformanceTest
+    : public testing::TestWithParam<std::tuple<std::string, QueryId>> {};
+
+TEST_P(EngineConformanceTest, MatchesReference) {
+  const auto& [name, query] = GetParam();
+  QueryEngine* engine = EngineFor(name);
+  ASSERT_NE(engine, nullptr) << name;
+
+  const RunStats stats = engine->Execute(query);
+  const ssb::QueryResult& want = ExpectedResult(query);
+  EXPECT_TRUE(stats.result == want)
+      << name << " disagrees with reference on " << ssb::QueryName(query)
+      << ": got " << stats.result.ToString() << " want " << want.ToString();
+
+  // Capability contract: simulated engines must predict, transfer-modeling
+  // engines must fill the PCIe split, and nobody reports negative wall.
+  const EngineCapabilities caps = engine->capabilities();
+  EXPECT_GE(stats.wall_ms, 0.0);
+  if (caps.simulated) {
+    EXPECT_GT(stats.predicted_total_ms, 0) << name;
+  } else {
+    EXPECT_LT(stats.predicted_total_ms, 0) << name;
+  }
+  if (caps.models_transfer) {
+    EXPECT_GT(stats.transfer_ms, 0) << name;
+    EXPECT_GT(stats.kernel_ms, 0) << name;
+    EXPECT_EQ(stats.fact_bytes_shipped,
+              static_cast<int64_t>(ssb::FactColumnsReferenced(query)) *
+                  ConformanceDb().full_scale_fact_rows() * 4)
+        << name;
+  } else {
+    EXPECT_EQ(stats.fact_bytes_shipped, 0) << name;
+  }
+}
+
+std::string ParamName(
+    const testing::TestParamInfo<EngineConformanceTest::ParamType>& info) {
+  std::string name = std::get<0>(info.param) + "_" +
+                     ssb::QueryName(std::get<1>(info.param));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineConformanceTest,
+    testing::Combine(
+        testing::ValuesIn(EngineRegistry::Global().Names()),
+        testing::ValuesIn(std::vector<QueryId>(ssb::kAllQueries.begin(),
+                                               ssb::kAllQueries.end()))),
+    ParamName);
+
+}  // namespace
+}  // namespace crystal::engine

@@ -1,0 +1,158 @@
+#include "engine/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "engine/query_engine.h"
+#include "ssb/datagen.h"
+
+namespace crystal::engine {
+namespace {
+
+/// Minimal do-nothing engine for registration-mechanics tests.
+class NullEngine final : public QueryEngine {
+ public:
+  std::string_view name() const override { return "null"; }
+  std::string_view description() const override { return "does nothing"; }
+  EngineCapabilities capabilities() const override { return {}; }
+
+ protected:
+  RunStats ExecuteImpl(ssb::QueryId) override { return {}; }
+};
+
+EngineRegistration NullRegistration(std::string name,
+                                    std::vector<std::string> aliases = {}) {
+  EngineRegistration reg;
+  reg.name = std::move(name);
+  reg.description = "test engine";
+  reg.aliases = std::move(aliases);
+  reg.factory = [](const EngineContext&) {
+    return std::make_unique<NullEngine>();
+  };
+  return reg;
+}
+
+TEST(EngineRegistryTest, RegisterFindCreate) {
+  EngineRegistry registry;
+  ASSERT_TRUE(registry.Register(NullRegistration("alpha", {"a"})));
+  ASSERT_TRUE(registry.Register(NullRegistration("beta")));
+
+  EXPECT_EQ(registry.Names(), (std::vector<std::string>{"alpha", "beta"}));
+  ASSERT_NE(registry.Find("alpha"), nullptr);
+  EXPECT_EQ(registry.Find("alpha")->name, "alpha");
+  EXPECT_EQ(registry.Find("a")->name, "alpha");       // alias
+  EXPECT_EQ(registry.Find("ALPHA")->name, "alpha");   // case-insensitive
+  EXPECT_EQ(registry.Find("A")->name, "alpha");
+  EXPECT_EQ(registry.Find("gamma"), nullptr);
+
+  EngineContext context;
+  EXPECT_NE(registry.Create("beta", context), nullptr);
+  EXPECT_EQ(registry.Create("gamma", context), nullptr);
+}
+
+TEST(EngineRegistryTest, RejectsDuplicateNamesAndAliases) {
+  EngineRegistry registry;
+  ASSERT_TRUE(registry.Register(NullRegistration("alpha", {"a", "al"})));
+
+  // Same canonical name, name colliding with an alias, alias colliding
+  // with a name, alias colliding with an alias — all rejected, and the
+  // registry is unchanged.
+  EXPECT_FALSE(registry.Register(NullRegistration("alpha")));
+  EXPECT_FALSE(registry.Register(NullRegistration("ALPHA")));
+  EXPECT_FALSE(registry.Register(NullRegistration("a")));
+  EXPECT_FALSE(registry.Register(NullRegistration("beta", {"alpha"})));
+  EXPECT_FALSE(registry.Register(NullRegistration("beta", {"AL"})));
+  EXPECT_EQ(registry.Names(), std::vector<std::string>{"alpha"});
+
+  // A rejected registration must not leak its non-colliding aliases.
+  EXPECT_FALSE(registry.Register(NullRegistration("beta", {"b", "alpha"})));
+  EXPECT_EQ(registry.Find("b"), nullptr);
+  EXPECT_EQ(registry.Find("beta"), nullptr);
+}
+
+TEST(EngineRegistryTest, RejectsMalformedRegistrations) {
+  EngineRegistry registry;
+  EXPECT_FALSE(registry.Register(NullRegistration("")));
+
+  EngineRegistration no_factory;
+  no_factory.name = "alpha";
+  EXPECT_FALSE(registry.Register(std::move(no_factory)));
+
+  EXPECT_FALSE(registry.Register(NullRegistration("alpha", {""})));
+
+  // Collisions inside one registration: name repeated as its own alias,
+  // and a duplicated alias (also across case).
+  EXPECT_FALSE(registry.Register(NullRegistration("alpha", {"alpha"})));
+  EXPECT_FALSE(registry.Register(NullRegistration("alpha", {"a", "a"})));
+  EXPECT_FALSE(registry.Register(NullRegistration("alpha", {"a", "A"})));
+  EXPECT_TRUE(registry.Names().empty());
+}
+
+TEST(EngineRegistryTest, BuiltinSetIsComplete) {
+  // A private registry loaded with the same built-ins as Global() — the
+  // acceptance list for `crystaldb --list-engines`.
+  EngineRegistry registry;
+  RegisterBuiltinEngines(registry);
+  const std::vector<std::string> names = registry.Names();
+  EXPECT_GE(names.size(), 5u);
+  for (const char* required :
+       {"materializing", "vectorized-cpu", "crystal-gpu-sim", "reference",
+        "coprocessor"}) {
+    EXPECT_NE(registry.Find(required), nullptr) << required;
+  }
+  // Classic CLI shorthands stay wired as aliases.
+  EXPECT_EQ(registry.Find("mat")->name, "materializing");
+  EXPECT_EQ(registry.Find("cpu")->name, "vectorized-cpu");
+  EXPECT_EQ(registry.Find("gpu")->name, "crystal-gpu-sim");
+
+  // Capability flags drive the driver's JSON; pin the built-in values.
+  EXPECT_TRUE(registry.Find("coprocessor")->capabilities.models_transfer);
+  EXPECT_TRUE(registry.Find("coprocessor")->capabilities.simulated);
+  EXPECT_TRUE(registry.Find("crystal-gpu-sim")->capabilities.simulated);
+  EXPECT_FALSE(registry.Find("reference")->capabilities.simulated);
+  EXPECT_TRUE(registry.Find("cpu")->capabilities.uses_host_threads);
+
+  // Double-registration of the built-ins is rejected wholesale.
+  RegisterBuiltinEngines(registry);
+  EXPECT_EQ(registry.Names(), names);
+}
+
+TEST(EngineRegistryTest, GlobalRegistryCreatesWorkingEngines) {
+  const ssb::Database db = ssb::Generate(1, 1000);
+  EngineContext context;
+  context.db = &db;
+  context.threads = 2;
+
+  EngineRegistry& registry = EngineRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    std::unique_ptr<QueryEngine> engine = registry.Create(name, context);
+    ASSERT_NE(engine, nullptr) << name;
+    EXPECT_EQ(engine->name(), name);
+    EXPECT_FALSE(engine->description().empty());
+    const RunStats stats = engine->Execute(ssb::QueryId::kQ11);
+    EXPECT_GE(stats.wall_ms, 0.0);
+    EXPECT_GT(stats.result.scalar, 0) << name;
+  }
+}
+
+TEST(EngineRegistryTest, DescriptionsMatchRegistrations) {
+  const ssb::Database db = ssb::Generate(1, 1000);
+  EngineContext context;
+  context.db = &db;
+  for (const EngineRegistration* entry : EngineRegistry::Global().All()) {
+    std::unique_ptr<QueryEngine> engine = entry->factory(context);
+    ASSERT_NE(engine, nullptr) << entry->name;
+    EXPECT_EQ(engine->description(), entry->description) << entry->name;
+    EXPECT_EQ(engine->capabilities().simulated, entry->capabilities.simulated)
+        << entry->name;
+    EXPECT_EQ(engine->capabilities().models_transfer,
+              entry->capabilities.models_transfer)
+        << entry->name;
+  }
+}
+
+}  // namespace
+}  // namespace crystal::engine

@@ -1,18 +1,19 @@
 // crystaldb: unified SSB driver. Runs any subset of the 13 Star Schema
-// Benchmark queries on any of the three engines (materializing,
-// vectorized-cpu, crystal-gpu-sim), cross-checks that every engine returns
-// identical results, and prints a JSON report with per-query wall times and
-// the timing model's predicted kernel times.
+// Benchmark queries on any subset of the registered engines (see
+// --list-engines), cross-checks that every engine returns identical
+// results, and prints a JSON report with per-query wall times and the
+// timing model's predicted kernel times.
 //
 //   crystaldb --engines=all --queries=all --sf=1
-//   crystaldb --engines=vectorized-cpu,crystal-gpu-sim --queries=q2.1,q4
-//             --sf=20 --fact-divisor=20
+//   crystaldb --engines=vectorized-cpu,coprocessor --queries=q2.1,q4
+//             --sf=20 --fact-divisor=20 --out=report.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "driver/driver.h"
+#include "engine/registry.h"
 
 namespace {
 
@@ -21,23 +22,29 @@ constexpr const char kUsage[] = R"(crystaldb - unified SSB multi-engine driver
 Usage: crystaldb [flags]
 
 Flags:
-  --engines=LIST     Comma-separated engines, or "all" (default).
-                     Engines: materializing, vectorized-cpu, crystal-gpu-sim.
+  --engines=LIST     Comma-separated engine names or aliases, or "all"
+                     (default). `--list-engines` prints the registry.
   --queries=LIST     Comma-separated queries, or "all" (default). A token
                      selects one query (q2.1) or a whole flight (q2).
   --sf=N             SSB scale factor (default 1).
   --fact-divisor=N   Fact-table subsampling divisor: the fact table holds
                      6M*SF/N rows while dimensions keep full SF cardinality;
                      predicted times are scaled back exactly (default 1).
-  --seed=N           Datagen seed (default 20200302).
-  --threads=N        Host threads for the vectorized CPU engine
+  --seed=N           Datagen seed (default 20200302). The seed actually used
+                     is recorded in the database and echoed in the report.
+  --threads=N        Host threads for host-threaded engines
                      (default 0 = hardware concurrency).
   --no-check         Skip the cross-check against the reference engine.
-  --output=FILE      Write the JSON report to FILE instead of stdout.
+  --out=FILE         Write the JSON report to FILE instead of stdout
+                     (--output=FILE is accepted as a synonym).
+  --list-engines     Print registered engines (name, aliases, description)
+                     and exit.
   --help             Show this message.
 
-Exit status: 0 on success with matching results, 1 on flag errors,
-2 when engine results disagree.
+Exit status: 0 on success with matching results, 1 on flag errors, 2 when
+engine results disagree (any engine differing from any other, or from the
+tuple-at-a-time reference unless --no-check) — so the driver doubles as an
+integration check in scripts and CI.
 )";
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
@@ -60,6 +67,22 @@ int FlagError(const std::string& message) {
   return 1;
 }
 
+int ListEngines() {
+  const auto& registry = crystal::engine::EngineRegistry::Global();
+  std::printf("Registered engines (crystaldb --engines=...):\n\n");
+  for (const crystal::engine::EngineRegistration* e : registry.All()) {
+    std::string aliases;
+    for (const std::string& alias : e->aliases) {
+      aliases += aliases.empty() ? "" : ", ";
+      aliases += alias;
+    }
+    std::printf("  %-16s %s\n", e->name.c_str(),
+                aliases.empty() ? "" : ("aliases: " + aliases).c_str());
+    std::printf("                   %s\n", e->description.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,6 +97,9 @@ int main(int argc, char** argv) {
         std::strcmp(arg, "-h") == 0) {
       std::fputs(kUsage, stdout);
       return 0;
+    }
+    if (ParseFlag(arg, "--list-engines", &value)) {
+      return ListEngines();
     }
     if (ParseFlag(arg, "--engines", &value)) {
       if (value == nullptr) return FlagError("--engines needs a value");
@@ -103,8 +129,9 @@ int main(int argc, char** argv) {
       options.threads = std::atoi(value);
     } else if (ParseFlag(arg, "--no-check", &value)) {
       options.check_against_reference = false;
-    } else if (ParseFlag(arg, "--output", &value)) {
-      if (value == nullptr) return FlagError("--output needs a path");
+    } else if (ParseFlag(arg, "--output", &value) ||
+               ParseFlag(arg, "--out", &value)) {
+      if (value == nullptr) return FlagError("--out needs a path");
       output_path = value;
     } else {
       return FlagError(std::string("unknown flag '") + arg + "'");
