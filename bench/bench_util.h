@@ -39,6 +39,12 @@ inline int64_t EnvInt(const char* name, int64_t def) {
   return v == nullptr ? def : std::atoll(v);
 }
 
+/// Reads a string environment knob with a default (e.g. CRYSTAL_BENCH_OUT).
+inline std::string EnvStr(const char* name, const char* def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : v;
+}
+
 }  // namespace crystal::bench
 
 #endif  // CRYSTAL_BENCH_BENCH_UTIL_H_

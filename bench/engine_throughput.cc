@@ -1,0 +1,135 @@
+// Engine throughput harness: runs the 13 SSB queries on one registered
+// engine with warmup + repeated timed runs and writes a machine-readable
+// bench JSON (default BENCH_cpu_ssb.json) with per-query median/min wall
+// times and their geomean. This file is the perf trajectory of the real
+// CPU engine: every PR leaves a breadcrumb (CI uploads the JSON artifact),
+// and docs/PERF.md describes the measurement methodology.
+//
+// Knobs (environment):
+//   CRYSTAL_SSB_SF=N             scale factor            (default 1)
+//   CRYSTAL_SSB_FACT_DIVISOR=N   fact subsampling        (default 1)
+//   CRYSTAL_REPEAT=N             timed runs per query    (default 5)
+//   CRYSTAL_WARMUP=K             untimed runs per query  (default 1)
+//   CRYSTAL_THREADS=N            host threads, 0 = hw    (default 0)
+//   CRYSTAL_BENCH_ENGINE=NAME    engine to measure       (vectorized-cpu)
+//   CRYSTAL_BENCH_OUT=FILE       output JSON             (BENCH_cpu_ssb.json)
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "cpu/vector_ops.h"
+#include "driver/driver.h"
+
+namespace {
+
+namespace bench = crystal::bench;
+namespace driver = crystal::driver;
+namespace ssb = crystal::ssb;
+
+using crystal::TablePrinter;
+
+}  // namespace
+
+int main() {
+  driver::Options options;
+  options.scale_factor =
+      static_cast<int>(bench::EnvInt("CRYSTAL_SSB_SF", 1));
+  options.fact_divisor =
+      static_cast<int>(bench::EnvInt("CRYSTAL_SSB_FACT_DIVISOR", 1));
+  options.repeat = static_cast<int>(bench::EnvInt("CRYSTAL_REPEAT", 5));
+  options.warmup = static_cast<int>(bench::EnvInt("CRYSTAL_WARMUP", 1));
+  options.threads = static_cast<int>(bench::EnvInt("CRYSTAL_THREADS", 0));
+  const std::string engine =
+      bench::EnvStr("CRYSTAL_BENCH_ENGINE", "vectorized-cpu");
+  const std::string out_path =
+      bench::EnvStr("CRYSTAL_BENCH_OUT", "BENCH_cpu_ssb.json");
+
+  std::string error;
+  if (!driver::ParseEngineList(engine, &options.engines, &error)) {
+    std::fprintf(stderr, "engine_throughput: %s\n", error.c_str());
+    return 1;
+  }
+  // The bench JSON records exactly one engine; timing several per run would
+  // silently report only the first, so reject multi-engine specs outright.
+  if (options.engines.size() != 1) {
+    std::fprintf(stderr,
+                 "engine_throughput: CRYSTAL_BENCH_ENGINE must name exactly "
+                 "one engine (got %zu from '%s')\n",
+                 options.engines.size(), engine.c_str());
+    return 1;
+  }
+  // Perf mode: no tuple-at-a-time reference pass inside the timed region.
+  options.check_against_reference = false;
+
+  bench::PrintHeader(
+      "Engine throughput: SSB SF" + std::to_string(options.scale_factor) +
+          " on '" + options.engines[0] + "'",
+      "Section 5.2 methodology (repeat/warmup/median; see docs/PERF.md)",
+      "SIMD fast path: " +
+          std::string(crystal::cpu::SimdEnabled() ? "enabled" : "disabled") +
+          ", repeat=" + std::to_string(options.repeat) +
+          ", warmup=" + std::to_string(options.warmup));
+
+  const driver::Report report = driver::Run(options);
+
+  TablePrinter t({"query", "median ms", "min ms"});
+  double log_median = 0;
+  double log_min = 0;
+  for (const driver::QueryReport& qr : report.queries) {
+    const driver::EngineRunReport& run = qr.runs[0];
+    t.AddRow({ssb::QueryName(qr.query), TablePrinter::Fmt(run.wall_ms, 2),
+              TablePrinter::Fmt(run.wall_min_ms, 2)});
+    log_median += std::log(run.wall_ms);
+    log_min += std::log(run.wall_min_ms);
+  }
+  const double n = static_cast<double>(report.queries.size());
+  const double geomean_median = std::exp(log_median / n);
+  const double geomean_min = std::exp(log_min / n);
+  t.AddRow({"geomean", TablePrinter::Fmt(geomean_median, 2),
+            TablePrinter::Fmt(geomean_min, 2)});
+  t.Print();
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "engine_throughput: cannot open '%s'\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"engine_throughput\",\n");
+  std::fprintf(f, "  \"engine\": \"%s\",\n", options.engines[0].c_str());
+  std::fprintf(f, "  \"scale_factor\": %d,\n", report.options.scale_factor);
+  std::fprintf(f, "  \"fact_divisor\": %d,\n", report.options.fact_divisor);
+  std::fprintf(f, "  \"fact_rows\": %lld,\n",
+               static_cast<long long>(report.fact_rows));
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(report.options.seed));
+  std::fprintf(f, "  \"threads\": %d,\n", report.options.threads);
+  std::fprintf(f, "  \"repeat\": %d,\n", report.options.repeat);
+  std::fprintf(f, "  \"warmup\": %d,\n", report.options.warmup);
+  std::fprintf(f, "  \"simd\": %s,\n",
+               crystal::cpu::SimdEnabled() ? "true" : "false");
+  std::fprintf(f, "  \"queries\": [\n");
+  for (size_t i = 0; i < report.queries.size(); ++i) {
+    const driver::QueryReport& qr = report.queries[i];
+    const driver::EngineRunReport& run = qr.runs[0];
+    std::fprintf(f,
+                 "    {\"query\": \"%s\", \"wall_median_ms\": %.4f, "
+                 "\"wall_min_ms\": %.4f}%s\n",
+                 ssb::QueryName(qr.query).c_str(), run.wall_ms,
+                 run.wall_min_ms, i + 1 < report.queries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"geomean_wall_median_ms\": %.4f,\n", geomean_median);
+  std::fprintf(f, "  \"geomean_wall_min_ms\": %.4f\n", geomean_min);
+  std::fprintf(f, "}\n");
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "engine_throughput: error writing '%s'\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("\nBench JSON written to %s\n", out_path.c_str());
+  return 0;
+}

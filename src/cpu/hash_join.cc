@@ -18,25 +18,34 @@ HashTable::HashTable(int64_t expected_keys, double max_fill)
   std::fill(slots_.begin(), slots_.end(), 0);
 }
 
+void HashTable::Insert(int32_t key, int32_t value) {
+  CRYSTAL_CHECK(key >= 0);
+  // Reserve-one-empty-slot guard: claiming the count before the slot keeps
+  // the table from ever becoming completely full, so a miss probe (which
+  // stops only at an empty slot) cannot cycle the whole table forever. The
+  // hazard is real with max_fill = 1.0 and a key count that lands exactly on
+  // a power of two — see HashTableTest.FullTableInsertAborts.
+  const int64_t prior = size_.fetch_add(1, std::memory_order_relaxed);
+  CRYSTAL_CHECK_MSG(prior + 1 < num_slots(),
+                    "hash table full: one slot must stay empty");
+  auto* slots = reinterpret_cast<std::atomic<uint64_t>*>(slots_.data());
+  const uint64_t packed = EncodeSlot(key, value);
+  uint64_t slot = HashMurmur32(static_cast<uint32_t>(key)) & mask_;
+  for (;;) {
+    uint64_t expected = 0;
+    if (slots[slot].compare_exchange_strong(expected, packed,
+                                            std::memory_order_relaxed)) {
+      break;
+    }
+    CRYSTAL_CHECK_MSG(SlotKey(expected) != key, "duplicate build key");
+    slot = (slot + 1) & mask_;
+  }
+}
+
 void HashTable::Build(const int32_t* keys, const int32_t* values, int64_t n,
                       ThreadPool& pool) {
-  auto* slots = reinterpret_cast<std::atomic<uint64_t>*>(slots_.data());
   pool.ParallelFor(n, [&](int, int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) {
-      const int32_t key = keys[i];
-      CRYSTAL_CHECK(key >= 0);
-      const uint64_t packed = EncodeSlot(key, values[i]);
-      uint64_t slot = HashMurmur32(static_cast<uint32_t>(key)) & mask_;
-      for (;;) {
-        uint64_t expected = 0;
-        if (slots[slot].compare_exchange_strong(expected, packed,
-                                                std::memory_order_relaxed)) {
-          break;
-        }
-        CRYSTAL_CHECK_MSG(SlotKey(expected) != key, "duplicate build key");
-        slot = (slot + 1) & mask_;
-      }
-    }
+    for (int64_t i = begin; i < end; ++i) Insert(keys[i], values[i]);
   });
 }
 

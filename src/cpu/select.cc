@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstring>
 
+#include "cpu/vector_ops_internal.h"
+
 #if defined(CRYSTAL_HAVE_AVX2)
 #include <immintrin.h>
 #endif
@@ -41,24 +43,9 @@ int64_t CountPredicated(const float* in, int64_t n, float v) {
 
 #if defined(CRYSTAL_HAVE_AVX2)
 
-// perm_table[mask] holds the lane permutation that compacts the lanes whose
-// mask bit is set to the front (Polychroniou-style selective store).
-struct PermTable {
-  alignas(32) int32_t idx[256][8];
-  PermTable() {
-    for (int mask = 0; mask < 256; ++mask) {
-      int k = 0;
-      for (int lane = 0; lane < 8; ++lane) {
-        if (mask & (1 << lane)) idx[mask][k++] = lane;
-      }
-      for (; k < 8; ++k) idx[mask][k] = 0;
-    }
-  }
-};
-const PermTable& GetPermTable() {
-  static const PermTable* table = new PermTable();
-  return *table;
-}
+// Lane-compaction permutation table shared with the vector-ops SIMD TU.
+using internal::GetPermTable;
+using internal::PermTable;
 
 int64_t CountSimd(const float* in, int64_t n, float v) {
   const __m256 vv = _mm256_set1_ps(v);

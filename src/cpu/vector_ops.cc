@@ -1,0 +1,156 @@
+#include "cpu/vector_ops.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/bitutil.h"
+#include "cpu/vector_ops_internal.h"
+
+namespace crystal::cpu {
+
+namespace internal {
+
+const PermTable& GetPermTable() {
+  static const PermTable* table = new PermTable();
+  return *table;
+}
+
+}  // namespace internal
+
+namespace {
+
+bool CpuSupportsAvx2() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+// CRYSTAL_SIMD=0 forces the scalar path (conformance runs both); anything
+// else leaves the runtime-detected default.
+bool InitialEnabled() {
+  if (!SimdAvailable()) return false;
+  const char* env = std::getenv("CRYSTAL_SIMD");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{InitialEnabled()};
+  return enabled;
+}
+
+// --------------------------- scalar kernels ------------------------------
+
+int SelectRangeScalar(const int32_t* col, int n, int32_t lo, int32_t hi,
+                      int32_t* sel) {
+  // Branch-free predication (Fig. 15b): the cursor advance is a data
+  // dependency, so intermediate selectivities cost no mispredictions.
+  int w = 0;
+  for (int i = 0; i < n; ++i) {
+    sel[w] = i;
+    w += (col[i] >= lo && col[i] <= hi) ? 1 : 0;
+  }
+  return w;
+}
+
+int RefineRangeScalar(const int32_t* col, const int32_t* sel, int m,
+                      int32_t lo, int32_t hi, int32_t* sel_out) {
+  int w = 0;
+  for (int i = 0; i < m; ++i) {
+    const int32_t v = col[sel[i]];
+    sel_out[w] = sel[i];
+    w += (v >= lo && v <= hi) ? 1 : 0;
+  }
+  return w;
+}
+
+// Group prefetching (Chen et al.): hash a group of keys and issue software
+// prefetches for their first slots, then probe the group while the lines are
+// in flight. This is the paper's "CPU Prefetch" idiom applied to the
+// selection-vector pipeline.
+constexpr int kPrefetchGroup = 64;
+
+int ProbeSelectScalar(const HashTable& ht, const int32_t* keys,
+                      const int32_t* sel, int m, int32_t* sel_out,
+                      int32_t* val_out, int32_t* pos_out) {
+  const uint64_t* slots = ht.slots();
+  const uint32_t mask = ht.mask();
+  uint32_t slot[kPrefetchGroup];
+  int w = 0;
+  for (int g = 0; g < m; g += kPrefetchGroup) {
+    const int gn = m - g < kPrefetchGroup ? m - g : kPrefetchGroup;
+    for (int j = 0; j < gn; ++j) {
+      const int32_t row = sel != nullptr ? sel[g + j] : g + j;
+      slot[j] = HashMurmur32(static_cast<uint32_t>(keys[row])) & mask;
+      __builtin_prefetch(&slots[slot[j]], 0 /*read*/, 1 /*low locality*/);
+    }
+    for (int j = 0; j < gn; ++j) {
+      const int32_t row = sel != nullptr ? sel[g + j] : g + j;
+      const int32_t key = keys[row];
+      uint32_t s = slot[j];
+      // Terminates at an empty slot: HashTable keeps one slot always empty.
+      for (;;) {
+        const uint64_t e = slots[s];
+        if (HashTable::SlotEmpty(e)) break;
+        if (HashTable::SlotKey(e) == key) {
+          sel_out[w] = row;
+          if (val_out != nullptr) val_out[w] = HashTable::SlotValue(e);
+          if (pos_out != nullptr) pos_out[w] = g + j;
+          ++w;
+          break;
+        }
+        s = (s + 1) & mask;
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+bool SimdAvailable() {
+  static const bool available = internal::HaveAvx2Kernels() &&
+                                CpuSupportsAvx2();
+  return available;
+}
+
+bool SimdEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetSimdEnabled(bool enabled) {
+  EnabledFlag().store(enabled && SimdAvailable(),
+                      std::memory_order_relaxed);
+}
+
+int SelectRange(const int32_t* col, int n, int32_t lo, int32_t hi,
+                int32_t* sel) {
+  if (SimdEnabled()) return internal::SelectRangeAvx2(col, n, lo, hi, sel);
+  return SelectRangeScalar(col, n, lo, hi, sel);
+}
+
+int RefineRange(const int32_t* col, const int32_t* sel, int m, int32_t lo,
+                int32_t hi, int32_t* sel_out) {
+  if (SimdEnabled())
+    return internal::RefineRangeAvx2(col, sel, m, lo, hi, sel_out);
+  return RefineRangeScalar(col, sel, m, lo, hi, sel_out);
+}
+
+int ProbeSelect(const HashTable& ht, const int32_t* keys, const int32_t* sel,
+                int m, int32_t* sel_out, int32_t* val_out, int32_t* pos_out) {
+  if (SimdEnabled()) {
+    return internal::ProbeSelectAvx2(ht, keys, sel, m, sel_out, val_out,
+                                     pos_out);
+  }
+  return ProbeSelectScalar(ht, keys, sel, m, sel_out, val_out, pos_out);
+}
+
+void CompactInPlace(int32_t* v, const int32_t* pos, int m) {
+  // pos is strictly increasing with pos[j] >= j, so the forward scan never
+  // reads an already-overwritten entry.
+  for (int j = 0; j < m; ++j) v[j] = v[pos[j]];
+}
+
+}  // namespace crystal::cpu

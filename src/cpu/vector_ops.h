@@ -1,0 +1,72 @@
+#ifndef CRYSTAL_CPU_VECTOR_OPS_H_
+#define CRYSTAL_CPU_VECTOR_OPS_H_
+
+#include <cstdint>
+
+#include "cpu/hash_join.h"
+
+namespace crystal::cpu {
+
+/// Vector-at-a-time primitives for the paper's CPU execution model
+/// (Section 3.2): predicate evaluation into compacted selection vectors and
+/// hash-probe-with-selection, over vectors of at most a few thousand rows.
+///
+/// Every primitive has two implementations behind one entry point:
+///  * an AVX2 fast path (compare + movemask + permutation-table compaction
+///    for predicates, Polychroniou-style vertical gather probing for joins),
+///    compiled in a dedicated -mavx2 translation unit;
+///  * a portable scalar path (branch-free predication, Chen-style group
+///    prefetching for probes).
+/// Dispatch is checked at runtime (cpuid), so binaries built with the AVX2
+/// unit still run — and return bit-identical results — on any x86-64 host.
+/// Setting CRYSTAL_SIMD=0 in the environment (or SetSimdEnabled(false))
+/// forces the scalar path; the conformance suite runs both.
+
+/// True when AVX2 kernels were compiled in and the host CPU supports them.
+bool SimdAvailable();
+
+/// True when the AVX2 fast path will actually be taken: available, not
+/// disabled via CRYSTAL_SIMD=0, and not switched off programmatically.
+bool SimdEnabled();
+
+/// Force-enables/disables the SIMD path (tests, ablations). Enabling is a
+/// no-op when SimdAvailable() is false. Thread-safe.
+void SetSimdEnabled(bool enabled);
+
+// ---------------------------------------------------------------------------
+// Selection-vector primitives. A selection vector sel[] holds strictly
+// increasing row indices relative to the current vector's base pointer.
+// Output buffers must have room for a full input's worth of entries: the
+// SIMD paths store whole 8-lane registers and advance the write cursor by
+// the match count, so up to 7 lanes of scratch may be written past the
+// returned length (never past index `n`/`m` - 1 + 8... i.e. callers size
+// buffers to the vector length, as the two-pass scheme already does).
+
+/// Fills sel[0..ret) with the indices i in [0, n) where
+/// lo <= col[i] <= hi (equality when lo == hi). Returns the match count.
+int SelectRange(const int32_t* col, int n, int32_t lo, int32_t hi,
+                int32_t* sel);
+
+/// Keeps the entries of sel[0..m) whose column value is in [lo, hi]:
+/// sel_out[0..ret) = { s in sel : lo <= col[s] <= hi }. In-place operation
+/// (sel_out == sel) is supported and is the common engine idiom.
+int RefineRange(const int32_t* col, const int32_t* sel, int m, int32_t lo,
+                int32_t hi, int32_t* sel_out);
+
+/// Hash-probe with selection: probes `ht` for keys[sel[i]] (or keys[i] when
+/// sel == nullptr, the first pipeline stage) for i in [0, m). For each match,
+/// writes the surviving row index to sel_out, the matched payload to
+/// val_out (optional), and the input position i to pos_out (optional; used
+/// to compact vectors carried from earlier pipeline stages). Returns the
+/// match count. sel_out may alias sel.
+int ProbeSelect(const HashTable& ht, const int32_t* keys, const int32_t* sel,
+                int m, int32_t* sel_out, int32_t* val_out, int32_t* pos_out);
+
+/// Compacts a carried vector through the positions a ProbeSelect emitted:
+/// v[j] = v[pos[j]] for j in [0, m). Safe in place because pos is strictly
+/// increasing with pos[j] >= j.
+void CompactInPlace(int32_t* v, const int32_t* pos, int m);
+
+}  // namespace crystal::cpu
+
+#endif  // CRYSTAL_CPU_VECTOR_OPS_H_

@@ -1,0 +1,48 @@
+#ifndef CRYSTAL_CPU_VECTOR_OPS_INTERNAL_H_
+#define CRYSTAL_CPU_VECTOR_OPS_INTERNAL_H_
+
+#include <cstdint>
+
+#include "cpu/hash_join.h"
+
+namespace crystal::cpu::internal {
+
+/// perm_table[mask] holds the lane permutation that compacts the lanes
+/// whose mask bit is set to the front (Polychroniou-style selective store).
+/// Plain data, no intrinsics — shared by every SIMD translation unit that
+/// compacts with permutevar8x32 (cpu/select.cc, cpu/vector_ops_avx2.cc).
+struct PermTable {
+  alignas(32) int32_t idx[256][8];
+  PermTable() {
+    for (int mask = 0; mask < 256; ++mask) {
+      int k = 0;
+      for (int lane = 0; lane < 8; ++lane) {
+        if (mask & (1 << lane)) idx[mask][k++] = lane;
+      }
+      for (; k < 8; ++k) idx[mask][k] = 0;
+    }
+  }
+};
+
+/// Process-wide instance (defined in vector_ops.cc; safe on any host).
+const PermTable& GetPermTable();
+
+/// AVX2 kernel entry points, defined in vector_ops_avx2.cc — the only
+/// translation unit compiled with -mavx2, so the scalar paths elsewhere can
+/// never pick up AVX2 instructions by auto-vectorization. When the compiler
+/// cannot target AVX2 the same TU provides stubs and HaveAvx2Kernels()
+/// returns false; callers must gate on it (and on the runtime cpuid check).
+
+bool HaveAvx2Kernels();
+
+int SelectRangeAvx2(const int32_t* col, int n, int32_t lo, int32_t hi,
+                    int32_t* sel);
+int RefineRangeAvx2(const int32_t* col, const int32_t* sel, int m, int32_t lo,
+                    int32_t hi, int32_t* sel_out);
+int ProbeSelectAvx2(const HashTable& ht, const int32_t* keys,
+                    const int32_t* sel, int m, int32_t* sel_out,
+                    int32_t* val_out, int32_t* pos_out);
+
+}  // namespace crystal::cpu::internal
+
+#endif  // CRYSTAL_CPU_VECTOR_OPS_INTERNAL_H_

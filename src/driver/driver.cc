@@ -39,6 +39,33 @@ std::vector<std::string> SplitCommas(std::string_view spec) {
   return tokens;
 }
 
+/// Maps a user profile name to the Table 2 device profile. Returns false on
+/// unknown names; empty input keeps `*out` untouched (context default).
+bool ResolveProfile(std::string_view name, sim::DeviceProfile* out,
+                    std::string* error) {
+  const std::string lower = Lower(name);
+  if (lower.empty()) return true;
+  if (lower == "v100" || lower == "gpu") {
+    *out = sim::DeviceProfile::V100();
+    return true;
+  }
+  if (lower == "skylake" || lower == "skylake-i7" || lower == "cpu") {
+    *out = sim::DeviceProfile::SkylakeI7();
+    return true;
+  }
+  if (error != nullptr) {
+    *error = "unknown profile '" + std::string(name) +
+             "' (expected v100 or skylake)";
+  }
+  return false;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
 int64_t Checksum(const ssb::QueryResult& result) {
   if (result.group_values.empty()) return result.scalar;
   return std::accumulate(result.group_values.begin(),
@@ -185,6 +212,11 @@ class JsonWriter {
 
 }  // namespace
 
+bool ParseProfileName(std::string_view name, std::string* error) {
+  sim::DeviceProfile ignored;
+  return ResolveProfile(name, &ignored, error);
+}
+
 bool ParseEngineList(std::string_view spec, std::vector<std::string>* out,
                      std::string* error) {
   const engine::EngineRegistry& registry = engine::EngineRegistry::Global();
@@ -277,6 +309,8 @@ Report Run(const Options& options, const ssb::Database& db) {
   report.options.scale_factor = db.scale_factor;
   report.options.fact_divisor = db.fact_divisor;
   report.options.seed = db.seed;
+  report.options.repeat = std::max(options.repeat, 1);
+  report.options.warmup = std::max(options.warmup, 0);
   report.fact_rows = db.lo.rows;
   report.full_scale_fact_rows = db.full_scale_fact_rows();
 
@@ -302,6 +336,21 @@ Report Run(const Options& options, const ssb::Database& db) {
   engine::EngineContext context;
   context.db = &db;
   context.threads = options.threads;
+  // Per-engine context overrides from the options: device profile for
+  // simulated engines and tile geometry for simulated kernels. Unknown
+  // profile names are a programming error here — CLI input goes through
+  // ParseProfileName first.
+  std::string profile_error;
+  CRYSTAL_CHECK_MSG(
+      ResolveProfile(options.profile, &context.profile, &profile_error),
+      profile_error.c_str());
+  if (options.block_threads > 0)
+    context.launch.block_threads = options.block_threads;
+  if (options.items_per_thread > 0)
+    context.launch.items_per_thread = options.items_per_thread;
+  report.profile_name = context.profile.name;
+  report.block_threads = context.launch.block_threads;
+  report.items_per_thread = context.launch.items_per_thread;
   std::vector<std::unique_ptr<engine::QueryEngine>> engines;
   for (const std::string& name : names) {
     engines.push_back(registry.Create(name, context));
@@ -316,10 +365,20 @@ Report Run(const Options& options, const ssb::Database& db) {
     // Results in engine order, for the cross-check below.
     std::vector<ssb::QueryResult> results;
     for (size_t i = 0; i < engines.size(); ++i) {
-      engine::RunStats stats = engines[i]->Execute(id);
+      for (int w = 0; w < report.options.warmup; ++w) engines[i]->Execute(id);
+      // Timed runs: keep the last run's result/predictions (identical
+      // across runs), aggregate the wall-clocks to median + min.
+      std::vector<double> walls;
+      walls.reserve(static_cast<size_t>(report.options.repeat));
+      engine::RunStats stats;
+      for (int rep = 0; rep < report.options.repeat; ++rep) {
+        stats = engines[i]->Execute(id);
+        walls.push_back(stats.wall_ms);
+      }
       EngineRunReport run;
       run.engine = names[i];
-      run.wall_ms = stats.wall_ms;
+      run.wall_ms = Median(walls);
+      run.wall_min_ms = *std::min_element(walls.begin(), walls.end());
       run.predicted_total_ms = stats.predicted_total_ms;
       run.predicted_build_ms = stats.predicted_build_ms;
       run.predicted_probe_ms = stats.predicted_probe_ms;
@@ -373,6 +432,13 @@ std::string ToJson(const Report& report) {
   w.Field("fact_rows", report.fact_rows);
   w.Field("full_scale_fact_rows", report.full_scale_fact_rows);
   w.Field("seed", report.options.seed);
+  w.Field("repeat", report.options.repeat);
+  w.Field("warmup", report.options.warmup);
+  w.Field("profile", report.profile_name);
+  w.BeginObject("launch");
+  w.Field("block_threads", report.block_threads);
+  w.Field("items_per_thread", report.items_per_thread);
+  w.EndObject();
   w.Field("checked_against_reference",
           report.options.check_against_reference);
   w.BeginArray("engines");
@@ -396,7 +462,8 @@ std::string ToJson(const Report& report) {
     for (const EngineRunReport& run : qr.runs) {
       w.BeginArrayObject();
       w.Field("engine", run.engine);
-      w.Field("wall_ms", run.wall_ms);
+      w.Field("wall_ms", run.wall_ms);  // median across the timed repeats
+      w.Field("wall_min_ms", run.wall_min_ms);
       w.MsField("predicted_total_ms", run.predicted_total_ms);
       w.MsField("predicted_build_ms", run.predicted_build_ms);
       w.MsField("predicted_probe_ms", run.predicted_probe_ms);

@@ -42,17 +42,38 @@ struct Options {
   uint64_t seed = 20200302;
   /// Host threads for host-threaded engines; 0 = hardware concurrency.
   int threads = 0;
+  /// Timed executions per engine x query; wall_ms is the median and
+  /// wall_min_ms the minimum across them (perf-measurement mode).
+  int repeat = 1;
+  /// Untimed executions per engine x query before the timed ones (warms
+  /// caches, the thread pool, and lazily built structures).
+  int warmup = 0;
+  /// Device profile for simulated engines: "" keeps the context default
+  /// (V100); "v100" and "skylake" select the two Table 2 profiles.
+  std::string profile;
+  /// Tile-geometry overrides for simulated kernels; 0 keeps the paper
+  /// default (128 threads x 4 items).
+  int block_threads = 0;
+  int items_per_thread = 0;
   /// Cross-check every engine result against the tuple-at-a-time reference
   /// engine in addition to the engine-vs-engine comparison.
   bool check_against_reference = true;
 };
 
+/// Resolves a device-profile name ("v100", "skylake", plus natural
+/// synonyms) for Options::profile. Returns false (and fills *error) on
+/// unknown names. An empty name is valid and selects the default profile.
+bool ParseProfileName(std::string_view name, std::string* error);
+
 /// Per-engine execution record for one query (RunStats plus identity and
 /// the result digest; see engine/query_engine.h for field semantics).
 struct EngineRunReport {
   std::string engine;  // canonical registry name
-  /// Honest host wall-clock of the engine call, milliseconds.
+  /// Honest host wall-clock of the engine call, milliseconds: the median
+  /// across Options::repeat timed runs (the run itself when repeat == 1).
   double wall_ms = 0;
+  /// Minimum wall-clock across the timed runs (== wall_ms when repeat == 1).
+  double wall_min_ms = 0;
   /// Predicted kernel milliseconds from the sim timing model, scaled to the
   /// full fact-table size (simulated engines only; < 0 means not modeled).
   double predicted_total_ms = -1;
@@ -82,6 +103,11 @@ struct QueryReport {
 /// Full driver report; serialized to JSON by ToJson.
 struct Report {
   Options options;
+  /// Resolved per-engine context knobs actually used (profile defaults to
+  /// V100, launch to the paper's 128x4 tile) — echoed for reproducibility.
+  std::string profile_name;
+  int block_threads = 0;
+  int items_per_thread = 0;
   int64_t fact_rows = 0;             // rows actually executed
   int64_t full_scale_fact_rows = 0;  // rows this run stands in for
   std::vector<QueryReport> queries;

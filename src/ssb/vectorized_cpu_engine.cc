@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "cpu/vector_ops.h"
 
 namespace crystal::ssb {
 
@@ -13,46 +14,61 @@ namespace {
 
 constexpr int kVector = 1024;
 
-// Builds a CPU hash table over dimension rows passing `pred`.
+// Builds a CPU hash table over dimension rows passing `pred` in one parallel
+// pass: each thread filters its partition and claims slots directly with
+// compare-and-swap (HashTable::Insert) — no serial materialize-then-build.
 template <typename Pred>
 cpu::HashTable BuildFiltered(const Column& keys, const Column& payloads,
                              Pred pred, ThreadPool& pool) {
-  std::vector<int32_t> k;
-  std::vector<int32_t> v;
-  for (size_t i = 0; i < keys.size(); ++i) {
-    if (pred(i)) {
-      k.push_back(keys[i]);
-      v.push_back(payloads[i]);
-    }
-  }
   // Domain-sized (perfect-hash-style) table, matching the paper's sizing.
   cpu::HashTable ht(std::max<int64_t>(static_cast<int64_t>(keys.size()), 1),
                     /*max_fill=*/1.0);
-  ht.Build(k.data(), v.data(), static_cast<int64_t>(k.size()), pool);
+  pool.ParallelFor(static_cast<int64_t>(keys.size()),
+                   [&](int, int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       if (pred(static_cast<size_t>(i))) {
+                         ht.Insert(keys[static_cast<size_t>(i)],
+                                   payloads[static_cast<size_t>(i)]);
+                       }
+                     }
+                   });
   return ht;
 }
 
 // Thread-local dense aggregation grid, merged after the parallel scan.
+// Grids are allocated lazily on each worker's first Add (zeroing
+// threads x cells up front is itself O(threads * cells) serial work), and
+// merged with a cell-striped parallel pass — Q4.3's ~7.8M-cell grid would
+// otherwise dominate the query on a serial O(threads * cells) merge.
 class GridAgg {
  public:
-  GridAgg(int threads, int64_t cells) : grids_(threads) {
-    for (auto& g : grids_) g.assign(static_cast<size_t>(cells), 0);
-  }
+  GridAgg(int threads, int64_t cells)
+      : grids_(static_cast<size_t>(threads)), cells_(cells) {}
+
   void Add(int thread, int64_t cell, int64_t v) {
-    grids_[static_cast<size_t>(thread)][static_cast<size_t>(cell)] += v;
+    auto& grid = grids_[static_cast<size_t>(thread)];
+    if (grid.empty()) grid.assign(static_cast<size_t>(cells_), 0);
+    grid[static_cast<size_t>(cell)] += v;
   }
-  /// Merges into grid 0 and returns it.
-  const std::vector<int64_t>& Merge() {
-    for (size_t t = 1; t < grids_.size(); ++t) {
-      for (size_t i = 0; i < grids_[0].size(); ++i) {
-        grids_[0][i] += grids_[t][i];
+
+  /// Merges all thread grids into grid 0 (cell-striped across the pool) and
+  /// returns it.
+  const std::vector<int64_t>& Merge(ThreadPool& pool) {
+    if (grids_[0].empty()) grids_[0].assign(static_cast<size_t>(cells_), 0);
+    pool.ParallelFor(cells_, [&](int, int64_t begin, int64_t end) {
+      for (size_t t = 1; t < grids_.size(); ++t) {
+        if (grids_[t].empty()) continue;
+        const int64_t* src = grids_[t].data();
+        int64_t* dst = grids_[0].data();
+        for (int64_t i = begin; i < end; ++i) dst[i] += src[i];
       }
-    }
+    });
     return grids_[0];
   }
 
  private:
   std::vector<std::vector<int64_t>> grids_;
+  int64_t cells_;
 };
 
 }  // namespace
@@ -75,32 +91,20 @@ QueryResult VectorizedCpuEngine::RunQ1(const Q1Params& q) {
   pool_.ParallelFor(lo.rows, [&](int t, int64_t begin, int64_t end) {
     int64_t sum = 0;
     int32_t sel[kVector];
-    for (int64_t lo_i = begin; lo_i < end; lo_i += kVector) {
-      const int n = static_cast<int>(
-          std::min<int64_t>(kVector, end - lo_i));
-      // Predicate 1 on orderdate fills the selection vector.
-      int m = 0;
-      for (int i = 0; i < n; ++i) {
-        const int32_t v = lo.orderdate[lo_i + i];
-        sel[m] = i;
-        m += (v >= q.date_lo && v <= q.date_hi) ? 1 : 0;
-      }
-      // Predicates 2 and 3 compact the selection vector in place.
-      int m2 = 0;
+    for (int64_t base = begin; base < end; base += kVector) {
+      const int n = static_cast<int>(std::min<int64_t>(kVector, end - base));
+      // Predicate 1 on orderdate fills the selection vector; predicates 2
+      // and 3 compact it in place (AVX2 compare + movemask + perm-table
+      // selective store under the hood, scalar predication otherwise).
+      int m = cpu::SelectRange(lo.orderdate.data() + base, n, q.date_lo,
+                               q.date_hi, sel);
+      m = cpu::RefineRange(lo.discount.data() + base, sel, m, q.discount_lo,
+                           q.discount_hi, sel);
+      m = cpu::RefineRange(lo.quantity.data() + base, sel, m, q.quantity_lo,
+                           q.quantity_hi, sel);
       for (int i = 0; i < m; ++i) {
-        const int32_t v = lo.discount[lo_i + sel[i]];
-        sel[m2] = sel[i];
-        m2 += (v >= q.discount_lo && v <= q.discount_hi) ? 1 : 0;
-      }
-      int m3 = 0;
-      for (int i = 0; i < m2; ++i) {
-        const int32_t v = lo.quantity[lo_i + sel[i]];
-        sel[m3] = sel[i];
-        m3 += (v >= q.quantity_lo && v <= q.quantity_hi) ? 1 : 0;
-      }
-      for (int i = 0; i < m3; ++i) {
-        sum += static_cast<int64_t>(lo.extendedprice[lo_i + sel[i]]) *
-               lo.discount[lo_i + sel[i]];
+        sum += static_cast<int64_t>(lo.extendedprice[base + sel[i]]) *
+               lo.discount[base + sel[i]];
       }
     }
     partial[static_cast<size_t>(t)] += sum;
@@ -132,23 +136,19 @@ QueryResult VectorizedCpuEngine::RunQ2(const Q2Params& q) {
     int32_t sel[kVector];
     int32_t brand[kVector];
     int32_t year[kVector];
+    int32_t pos[kVector];
     for (int64_t base = begin; base < end; base += kVector) {
       const int n = static_cast<int>(std::min<int64_t>(kVector, end - base));
-      int m = 0;
-      int32_t ignored;
-      for (int i = 0; i < n; ++i) {
-        sel[m] = i;
-        m += supp.Lookup(lo.suppkey[base + i], &ignored) ? 1 : 0;
-      }
-      int m2 = 0;
+      // Probe cascade on the selection vector; each stage is a batched
+      // hash-probe (vertical-vectorized gathers / group prefetching).
+      int m = cpu::ProbeSelect(supp, lo.suppkey.data() + base, nullptr, n,
+                               sel, nullptr, nullptr);
+      m = cpu::ProbeSelect(part, lo.partkey.data() + base, sel, m, sel,
+                           brand, nullptr);
+      m = cpu::ProbeSelect(date, lo.orderdate.data() + base, sel, m, sel,
+                           year, pos);
+      cpu::CompactInPlace(brand, pos, m);
       for (int i = 0; i < m; ++i) {
-        sel[m2] = sel[i];
-        m2 += part.Lookup(lo.partkey[base + sel[i]], &brand[m2]) ? 1 : 0;
-      }
-      for (int i = 0; i < m2; ++i) {
-        CRYSTAL_CHECK(date.Lookup(lo.orderdate[base + sel[i]], &year[i]));
-      }
-      for (int i = 0; i < m2; ++i) {
         agg.Add(t,
                 static_cast<int64_t>(year[i] - 1992) * kBrandSpan + brand[i],
                 lo.revenue[base + sel[i]]);
@@ -156,7 +156,7 @@ QueryResult VectorizedCpuEngine::RunQ2(const Q2Params& q) {
     }
   });
   QueryResult r;
-  const auto& grid = agg.Merge();
+  const auto& grid = agg.Merge(pool_);
   for (int y = 0; y < kYears; ++y) {
     for (int b = 0; b < kBrandSpan; ++b) {
       const int64_t v = grid[static_cast<size_t>(y) * kBrandSpan + b];
@@ -211,27 +211,19 @@ QueryResult VectorizedCpuEngine::RunQ3(const Q3Params& q) {
     int32_t sg[kVector];
     int32_t cg[kVector];
     int32_t year[kVector];
+    int32_t pos[kVector];
     for (int64_t base = begin; base < end; base += kVector) {
       const int n = static_cast<int>(std::min<int64_t>(kVector, end - base));
-      int m = 0;
-      for (int i = 0; i < n; ++i) {
-        sel[m] = i;
-        m += supp.Lookup(lo.suppkey[base + i], &sg[m]) ? 1 : 0;
-      }
-      int m2 = 0;
+      int m = cpu::ProbeSelect(supp, lo.suppkey.data() + base, nullptr, n,
+                               sel, sg, nullptr);
+      m = cpu::ProbeSelect(cust, lo.custkey.data() + base, sel, m, sel, cg,
+                           pos);
+      cpu::CompactInPlace(sg, pos, m);
+      m = cpu::ProbeSelect(date, lo.orderdate.data() + base, sel, m, sel,
+                           year, pos);
+      cpu::CompactInPlace(sg, pos, m);
+      cpu::CompactInPlace(cg, pos, m);
       for (int i = 0; i < m; ++i) {
-        sel[m2] = sel[i];
-        sg[m2] = sg[i];
-        m2 += cust.Lookup(lo.custkey[base + sel[i]], &cg[m2]) ? 1 : 0;
-      }
-      int m3 = 0;
-      for (int i = 0; i < m2; ++i) {
-        sel[m3] = sel[i];
-        sg[m3] = sg[i];
-        cg[m3] = cg[i];
-        m3 += date.Lookup(lo.orderdate[base + sel[i]], &year[m3]) ? 1 : 0;
-      }
-      for (int i = 0; i < m3; ++i) {
         agg.Add(t,
                 (static_cast<int64_t>(cg[i]) * kGroupSpan + sg[i]) * kYears +
                     (year[i] - 1992),
@@ -240,7 +232,7 @@ QueryResult VectorizedCpuEngine::RunQ3(const Q3Params& q) {
     }
   });
   QueryResult r;
-  const auto& grid = agg.Merge();
+  const auto& grid = agg.Merge(pool_);
   for (int c = 0; c < kGroupSpan; ++c) {
     for (int s = 0; s < kGroupSpan; ++s) {
       for (int y = 0; y < kYears; ++y) {
@@ -289,28 +281,52 @@ QueryResult VectorizedCpuEngine::RunQ4(const Q4Params& q) {
   GridAgg agg(pool_.num_threads(),
               static_cast<int64_t>(kYears) * span1 * span2);
   const int variant = q.variant;
+  // Four-table probe cascade on the selection vector. The batched probes
+  // hide the dependent hash-table loads (group prefetching on the scalar
+  // path, gather-based vertical vectorization under AVX2) instead of the
+  // old tuple-at-a-time Lookup chain that stalled on every miss.
   pool_.ParallelFor(lo.rows, [&](int t, int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) {
-      int32_t cnat, sval, pval, year;
-      if (!cust.Lookup(lo.custkey[i], &cnat)) continue;
-      if (!supp.Lookup(lo.suppkey[i], &sval)) continue;
-      if (!part.Lookup(lo.partkey[i], &pval)) continue;
-      if (!date.Lookup(lo.orderdate[i], &year)) continue;
-      const int y = year - 1992;
-      int64_t cell;
-      if (variant == 1) {
-        cell = static_cast<int64_t>(y) * 25 + cnat;
-      } else if (variant == 2) {
-        cell = (static_cast<int64_t>(y) * 25 + sval) * 56 + pval;
-      } else {
-        cell = (static_cast<int64_t>(y) * 250 + sval) * 4441 + (pval - 1100);
+    int32_t sel[kVector];
+    int32_t cnat[kVector];
+    int32_t sval[kVector];
+    int32_t pval[kVector];
+    int32_t year[kVector];
+    int32_t pos[kVector];
+    for (int64_t base = begin; base < end; base += kVector) {
+      const int n = static_cast<int>(std::min<int64_t>(kVector, end - base));
+      int m = cpu::ProbeSelect(cust, lo.custkey.data() + base, nullptr, n,
+                               sel, cnat, nullptr);
+      m = cpu::ProbeSelect(supp, lo.suppkey.data() + base, sel, m, sel, sval,
+                           pos);
+      cpu::CompactInPlace(cnat, pos, m);
+      m = cpu::ProbeSelect(part, lo.partkey.data() + base, sel, m, sel, pval,
+                           pos);
+      cpu::CompactInPlace(cnat, pos, m);
+      cpu::CompactInPlace(sval, pos, m);
+      m = cpu::ProbeSelect(date, lo.orderdate.data() + base, sel, m, sel,
+                           year, pos);
+      cpu::CompactInPlace(cnat, pos, m);
+      cpu::CompactInPlace(sval, pos, m);
+      cpu::CompactInPlace(pval, pos, m);
+      for (int i = 0; i < m; ++i) {
+        const int y = year[i] - 1992;
+        int64_t cell;
+        if (variant == 1) {
+          cell = static_cast<int64_t>(y) * 25 + cnat[i];
+        } else if (variant == 2) {
+          cell = (static_cast<int64_t>(y) * 25 + sval[i]) * 56 + pval[i];
+        } else {
+          cell = (static_cast<int64_t>(y) * 250 + sval[i]) * 4441 +
+                 (pval[i] - 1100);
+        }
+        const int64_t row = base + sel[i];
+        agg.Add(t, cell,
+                static_cast<int64_t>(lo.revenue[row]) - lo.supplycost[row]);
       }
-      agg.Add(t, cell,
-              static_cast<int64_t>(lo.revenue[i]) - lo.supplycost[i]);
     }
   });
   QueryResult r;
-  const auto& grid = agg.Merge();
+  const auto& grid = agg.Merge(pool_);
   for (int64_t i = 0; i < static_cast<int64_t>(grid.size()); ++i) {
     const int64_t v = grid[static_cast<size_t>(i)];
     if (v == 0) continue;

@@ -184,6 +184,36 @@ TEST(CpuHashJoinTest, ParallelBuildInsertsEverything) {
   }
 }
 
+// Regression for the latent infinite-probe hazard: with max_fill = 1.0 and
+// a key count that lands exactly on a power of two, a completely full table
+// would make every miss probe cycle forever (no empty slot to stop at).
+// The table now reserves one empty slot and aborts the insert that would
+// fill it.
+TEST(CpuHashJoinTest, FullTableInsertAborts) {
+  // 7 expected keys at max_fill 1.0 -> NextPowerOfTwo(8) = 8 slots.
+  HashTable ht(7, /*max_fill=*/1.0);
+  ASSERT_EQ(ht.num_slots(), 8);
+  for (int32_t k = 0; k < 7; ++k) ht.Insert(k, k * 10);
+  EXPECT_EQ(ht.size(), 7);
+  // The 8th insert would fill the last slot; it must abort loudly instead
+  // of silently arming an infinite miss probe.
+  EXPECT_DEATH(ht.Insert(7, 70), "hash table full");
+}
+
+TEST(CpuHashJoinTest, MissProbeTerminatesOnMaximallyFullTable) {
+  // Fullest legal table: 7 keys in 8 slots, exactly one empty slot left.
+  HashTable ht(7, /*max_fill=*/1.0);
+  for (int32_t k = 0; k < 7; ++k) ht.Insert(k * 3, k);
+  int32_t v;
+  for (int32_t probe = 0; probe < 64; ++probe) {
+    const bool want = probe % 3 == 0 && probe / 3 < 7;
+    EXPECT_EQ(ht.Lookup(probe, &v), want) << probe;
+    if (want) {
+      EXPECT_EQ(v, probe / 3);
+    }
+  }
+}
+
 // --------------------------------- Radix ---------------------------------
 
 TEST(CpuRadixTest, HistogramMatricesSumToN) {

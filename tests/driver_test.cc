@@ -211,6 +211,85 @@ TEST(DriverTest, RespectsEngineSubsetAndAliases) {
   EXPECT_TRUE(report.all_results_match);
 }
 
+TEST(DriverTest, RepeatReportsMedianAndMin) {
+  Options options;
+  options.engines = {"reference"};
+  options.queries = {QueryId::kQ11};
+  options.repeat = 5;
+  options.warmup = 2;
+  const Report report = driver::Run(options, TestDb());
+
+  ASSERT_EQ(report.queries.size(), 1u);
+  ASSERT_EQ(report.queries[0].runs.size(), 1u);
+  const EngineRunReport& run = report.queries[0].runs[0];
+  EXPECT_GT(run.wall_ms, 0.0);
+  EXPECT_GT(run.wall_min_ms, 0.0);
+  EXPECT_LE(run.wall_min_ms, run.wall_ms);  // min <= median by construction
+  EXPECT_EQ(report.options.repeat, 5);
+  EXPECT_EQ(report.options.warmup, 2);
+
+  const std::string json = ToJson(report);
+  for (const char* key : {"\"repeat\"", "\"warmup\"", "\"wall_min_ms\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(DriverTest, SingleRunReportsIdenticalMinAndMedian) {
+  Options options;
+  options.engines = {"reference"};
+  options.queries = {QueryId::kQ11};
+  const Report report = driver::Run(options, TestDb());
+  const EngineRunReport& run = report.queries[0].runs[0];
+  EXPECT_DOUBLE_EQ(run.wall_ms, run.wall_min_ms);
+}
+
+TEST(ParseProfileNameTest, KnownAndUnknownNames) {
+  std::string error;
+  EXPECT_TRUE(ParseProfileName("", &error));
+  EXPECT_TRUE(ParseProfileName("v100", &error));
+  EXPECT_TRUE(ParseProfileName("V100", &error));
+  EXPECT_TRUE(ParseProfileName("skylake", &error));
+  EXPECT_FALSE(ParseProfileName("threadripper", &error));
+  EXPECT_NE(error.find("unknown profile 'threadripper'"), std::string::npos);
+  EXPECT_NE(error.find("skylake"), std::string::npos);  // usage hint
+}
+
+TEST(DriverTest, ProfileOverrideChangesSimulatedPredictions) {
+  Options options;
+  options.engines = {"crystal-gpu-sim"};
+  options.queries = {QueryId::kQ21};
+  const Report v100 = driver::Run(options, TestDb());
+  options.profile = "skylake";
+  const Report skylake = driver::Run(options, TestDb());
+
+  EXPECT_NE(v100.profile_name, skylake.profile_name);
+  EXPECT_NE(skylake.profile_name.find("i7"), std::string::npos);
+  // Same query, same data: the CPU profile must predict slower kernels.
+  EXPECT_GT(skylake.queries[0].runs[0].predicted_total_ms,
+            v100.queries[0].runs[0].predicted_total_ms);
+  // Results stay identical regardless of profile.
+  EXPECT_TRUE(skylake.all_results_match);
+}
+
+TEST(DriverTest, LaunchOverrideIsAppliedAndReported) {
+  Options options;
+  options.engines = {"crystal-gpu-sim"};
+  options.queries = {QueryId::kQ11};
+  options.block_threads = 256;
+  options.items_per_thread = 2;
+  const Report report = driver::Run(options, TestDb());
+  EXPECT_EQ(report.block_threads, 256);
+  EXPECT_EQ(report.items_per_thread, 2);
+  EXPECT_TRUE(report.all_results_match);
+
+  const std::string json = ToJson(report);
+  for (const char* key :
+       {"\"launch\"", "\"block_threads\"", "\"items_per_thread\"",
+        "\"profile\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
 TEST(DriverTest, ReportsTheDatabasesOwnSeed) {
   Options options;
   options.engines = {"reference"};

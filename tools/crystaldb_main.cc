@@ -34,6 +34,17 @@ Flags:
                      is recorded in the database and echoed in the report.
   --threads=N        Host threads for host-threaded engines
                      (default 0 = hardware concurrency).
+  --repeat=N         Timed executions per engine x query (default 1).
+                     wall_ms in the report is the median across them and
+                     wall_min_ms the minimum — the perf-measurement mode
+                     documented in docs/PERF.md.
+  --warmup=K         Untimed executions before the timed ones (default 0).
+  --profile=NAME     Device profile for simulated engines: v100 (default)
+                     or skylake (Table 2 numbers).
+  --block-threads=N  Tile geometry override for simulated kernels:
+                     threads per block (default 128).
+  --items-per-thread=N
+                     Tile geometry override: items per thread (default 4).
   --no-check         Skip the cross-check against the reference engine.
   --out=FILE         Write the JSON report to FILE instead of stdout
                      (--output=FILE is accepted as a synonym).
@@ -127,6 +138,27 @@ int main(int argc, char** argv) {
       if (value == nullptr || std::atoi(value) < 0)
         return FlagError("--threads needs a non-negative integer");
       options.threads = std::atoi(value);
+    } else if (ParseFlag(arg, "--repeat", &value)) {
+      if (value == nullptr || std::atoi(value) < 1)
+        return FlagError("--repeat needs a positive integer");
+      options.repeat = std::atoi(value);
+    } else if (ParseFlag(arg, "--warmup", &value)) {
+      if (value == nullptr || std::atoi(value) < 0)
+        return FlagError("--warmup needs a non-negative integer");
+      options.warmup = std::atoi(value);
+    } else if (ParseFlag(arg, "--profile", &value)) {
+      if (value == nullptr) return FlagError("--profile needs a value");
+      if (!crystal::driver::ParseProfileName(value, &error))
+        return FlagError(error);
+      options.profile = value;
+    } else if (ParseFlag(arg, "--block-threads", &value)) {
+      if (value == nullptr || std::atoi(value) < 1)
+        return FlagError("--block-threads needs a positive integer");
+      options.block_threads = std::atoi(value);
+    } else if (ParseFlag(arg, "--items-per-thread", &value)) {
+      if (value == nullptr || std::atoi(value) < 1)
+        return FlagError("--items-per-thread needs a positive integer");
+      options.items_per_thread = std::atoi(value);
     } else if (ParseFlag(arg, "--no-check", &value)) {
       options.check_against_reference = false;
     } else if (ParseFlag(arg, "--output", &value) ||
