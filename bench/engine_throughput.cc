@@ -79,7 +79,7 @@ int main() {
   double log_min = 0;
   for (const driver::QueryReport& qr : report.queries) {
     const driver::EngineRunReport& run = qr.runs[0];
-    t.AddRow({ssb::QueryName(qr.query), TablePrinter::Fmt(run.wall_ms, 2),
+    t.AddRow({qr.spec.name, TablePrinter::Fmt(run.wall_ms, 2),
               TablePrinter::Fmt(run.wall_min_ms, 2)});
     log_median += std::log(run.wall_ms);
     log_min += std::log(run.wall_min_ms);
@@ -118,7 +118,7 @@ int main() {
     std::fprintf(f,
                  "    {\"query\": \"%s\", \"wall_median_ms\": %.4f, "
                  "\"wall_min_ms\": %.4f}%s\n",
-                 ssb::QueryName(qr.query).c_str(), run.wall_ms,
+                 qr.spec.name.c_str(), run.wall_ms,
                  run.wall_min_ms, i + 1 < report.queries.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");

@@ -4,10 +4,8 @@
 
 #include "common/bitutil.h"
 #include "common/macros.h"
-
-#if defined(CRYSTAL_HAVE_AVX2)
-#include <immintrin.h>
-#endif
+#include "cpu/vector_ops.h"
+#include "cpu/vector_ops_internal.h"
 
 namespace crystal::cpu {
 
@@ -97,69 +95,14 @@ ProbeResult ProbeScalar(const HashTable& table, const int32_t* keys,
 
 ProbeResult ProbeSimd(const HashTable& table, const int32_t* keys,
                       const int32_t* vals, int64_t n, ThreadPool& pool) {
-#if defined(CRYSTAL_HAVE_AVX2)
-  const uint64_t* slots = table.slots();
-  const uint32_t mask = table.mask();
+  // Runtime-dispatched like the vector-ops primitives: the vertical AVX2
+  // probe lives in the dedicated -mavx2 TU; hosts without AVX2 (or with
+  // CRYSTAL_SIMD=0) fall back to the scalar probe.
+  if (!SimdEnabled()) return ProbeScalar(table, keys, vals, n, pool);
   return ProbeDriver(n, pool, [&](int64_t begin, int64_t end, int64_t* sum,
                                   int64_t* matches) {
-    // Vertical vectorization state: 8 lanes, each owning an in-flight key.
-    alignas(32) int32_t lane_key[8];
-    alignas(32) int32_t lane_val[8];
-    alignas(32) uint32_t lane_slot[8];
-    alignas(32) uint32_t lane_live[8];
-    int64_t next = begin;
-    auto refill = [&](int lane) {
-      if (next < end) {
-        lane_key[lane] = keys[next];
-        lane_val[lane] = vals[next];
-        lane_slot[lane] =
-            HashMurmur32(static_cast<uint32_t>(keys[next])) & mask;
-        lane_live[lane] = 1;
-        ++next;
-      } else {
-        lane_live[lane] = 0;
-      }
-    };
-    for (int lane = 0; lane < 8; ++lane) refill(lane);
-    for (;;) {
-      bool any_live = false;
-      for (int lane = 0; lane < 8; ++lane) any_live |= lane_live[lane] != 0;
-      if (!any_live) break;
-      // Two 4x64-bit gathers fetch the 8 lanes' slots (the extra gather +
-      // deinterleave is exactly the overhead Section 4.3 blames for
-      // CPU SIMD losing to CPU Scalar).
-      const __m128i idx_lo =
-          _mm_load_si128(reinterpret_cast<const __m128i*>(lane_slot));
-      const __m128i idx_hi =
-          _mm_load_si128(reinterpret_cast<const __m128i*>(lane_slot + 4));
-      alignas(32) uint64_t fetched[8];
-      _mm256_store_si256(
-          reinterpret_cast<__m256i*>(fetched),
-          _mm256_i32gather_epi64(
-              reinterpret_cast<const long long*>(slots), idx_lo, 8));
-      _mm256_store_si256(
-          reinterpret_cast<__m256i*>(fetched + 4),
-          _mm256_i32gather_epi64(
-              reinterpret_cast<const long long*>(slots), idx_hi, 8));
-      for (int lane = 0; lane < 8; ++lane) {
-        if (!lane_live[lane]) continue;
-        const uint64_t s = fetched[lane];
-        if (HashTable::SlotEmpty(s)) {
-          refill(lane);
-        } else if (HashTable::SlotKey(s) == lane_key[lane]) {
-          *sum += static_cast<int64_t>(lane_val[lane]) +
-                  HashTable::SlotValue(s);
-          ++*matches;
-          refill(lane);
-        } else {
-          lane_slot[lane] = (lane_slot[lane] + 1) & mask;
-        }
-      }
-    }
+    internal::ProbeSumAvx2(table, keys, vals, begin, end, sum, matches);
   });
-#else
-  return ProbeScalar(table, keys, vals, n, pool);
-#endif
 }
 
 ProbeResult ProbePrefetch(const HashTable& table, const int32_t* keys,

@@ -3,11 +3,8 @@
 #include <atomic>
 #include <cstring>
 
+#include "cpu/vector_ops.h"
 #include "cpu/vector_ops_internal.h"
-
-#if defined(CRYSTAL_HAVE_AVX2)
-#include <immintrin.h>
-#endif
 
 namespace crystal::cpu {
 
@@ -41,50 +38,6 @@ int64_t CountPredicated(const float* in, int64_t n, float v) {
   return c;
 }
 
-#if defined(CRYSTAL_HAVE_AVX2)
-
-// Lane-compaction permutation table shared with the vector-ops SIMD TU.
-using internal::GetPermTable;
-using internal::PermTable;
-
-int64_t CountSimd(const float* in, int64_t n, float v) {
-  const __m256 vv = _mm256_set1_ps(v);
-  int64_t c = 0;
-  int64_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    const __m256 x = _mm256_loadu_ps(in + i);
-    const int mask = _mm256_movemask_ps(_mm256_cmp_ps(x, vv, _CMP_LT_OQ));
-    c += __builtin_popcount(static_cast<unsigned>(mask));
-  }
-  for (; i < n; ++i) c += in[i] < v ? 1 : 0;
-  return c;
-}
-
-void CopySimd(const float* in, int64_t n, float v, float* out) {
-  const PermTable& pt = GetPermTable();
-  const __m256 vv = _mm256_set1_ps(v);
-  int64_t w = 0;
-  int64_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    const __m256 x = _mm256_loadu_ps(in + i);
-    const int mask = _mm256_movemask_ps(_mm256_cmp_ps(x, vv, _CMP_LT_OQ));
-    const __m256i perm =
-        _mm256_load_si256(reinterpret_cast<const __m256i*>(pt.idx[mask]));
-    const __m256 packed = _mm256_permutevar8x32_ps(x, perm);
-    // Unaligned store of the compacted lanes; only the first popcount lanes
-    // are meaningful and the cursor advance keeps later writes overwriting
-    // the garbage tail — the classic selective-store idiom.
-    _mm256_storeu_ps(out + w, packed);
-    w += __builtin_popcount(static_cast<unsigned>(mask));
-  }
-  for (; i < n; ++i) {
-    out[w] = in[i];
-    w += in[i] < v ? 1 : 0;
-  }
-}
-
-#endif  // CRYSTAL_HAVE_AVX2
-
 }  // namespace
 
 int64_t SelectBranching(const float* in, int64_t n, float v, float* out,
@@ -116,21 +69,21 @@ int64_t SelectPredicated(const float* in, int64_t n, float v, float* out,
 
 int64_t SelectSimdPredicated(const float* in, int64_t n, float v, float* out,
                              ThreadPool& pool) {
-#if defined(CRYSTAL_HAVE_AVX2)
+  // Same runtime dispatch as the vector-ops pipeline primitives: the AVX2
+  // kernels live in the dedicated -mavx2 TU and are taken only when the
+  // host supports them (and CRYSTAL_SIMD=0 is not set).
+  if (!SimdEnabled()) return SelectPredicated(in, n, v, out, pool);
   // The compacted tail may scribble up to 7 lanes past the claimed range;
   // each vector's copy stays within its claim except transiently, so run the
   // SIMD copy against a small local buffer and memcpy the exact count.
   return SelectDriver(
-      in, n, v, out, pool, CountSimd,
+      in, n, v, out, pool, internal::CountLessAvx2,
       [](const float* src, int64_t len, float cut, float* dst,
          int64_t matches) {
         alignas(32) float buf[kVectorSize + 8];
-        CopySimd(src, len, cut, buf);
+        internal::CompactLessAvx2(src, len, cut, buf);
         std::memcpy(dst, buf, static_cast<size_t>(matches) * sizeof(float));
       });
-#else
-  return SelectPredicated(in, n, v, out, pool);
-#endif
 }
 
 }  // namespace crystal::cpu

@@ -189,6 +189,104 @@ int ProbeSelectAvx2(const HashTable& ht, const int32_t* keys,
   return w;
 }
 
+int64_t CountLessAvx2(const float* in, int64_t n, float v) {
+  const __m256 vv = _mm256_set1_ps(v);
+  int64_t c = 0;
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(in + i);
+    const int mask = _mm256_movemask_ps(_mm256_cmp_ps(x, vv, _CMP_LT_OQ));
+    c += __builtin_popcount(static_cast<unsigned>(mask));
+  }
+  for (; i < n; ++i) c += in[i] < v ? 1 : 0;
+  return c;
+}
+
+void CompactLessAvx2(const float* in, int64_t n, float v, float* out) {
+  const PermTable& pt = GetPermTable();
+  const __m256 vv = _mm256_set1_ps(v);
+  int64_t w = 0;
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(in + i);
+    const int mask = _mm256_movemask_ps(_mm256_cmp_ps(x, vv, _CMP_LT_OQ));
+    const __m256i perm =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(pt.idx[mask]));
+    const __m256 packed = _mm256_permutevar8x32_ps(x, perm);
+    // Unaligned store of the compacted lanes; only the first popcount lanes
+    // are meaningful and the cursor advance keeps later writes overwriting
+    // the garbage tail — the classic selective-store idiom.
+    _mm256_storeu_ps(out + w, packed);
+    w += __builtin_popcount(static_cast<unsigned>(mask));
+  }
+  for (; i < n; ++i) {
+    out[w] = in[i];
+    w += in[i] < v ? 1 : 0;
+  }
+}
+
+void ProbeSumAvx2(const HashTable& ht, const int32_t* keys,
+                  const int32_t* vals, int64_t begin, int64_t end,
+                  int64_t* sum, int64_t* matches) {
+  const uint64_t* slots = ht.slots();
+  const uint32_t mask = ht.mask();
+  // Vertical vectorization state: 8 lanes, each owning an in-flight key.
+  // lane_slot is zero-initialized because the gathers below are unmasked:
+  // a dead lane (fewer than 8 rows in the partition) must gather the
+  // in-bounds slot 0, not a garbage index.
+  alignas(32) int32_t lane_key[8];
+  alignas(32) int32_t lane_val[8];
+  alignas(32) uint32_t lane_slot[8] = {};
+  alignas(32) uint32_t lane_live[8];
+  int64_t next = begin;
+  auto refill = [&](int lane) {
+    if (next < end) {
+      lane_key[lane] = keys[next];
+      lane_val[lane] = vals[next];
+      lane_slot[lane] = HashMurmur32(static_cast<uint32_t>(keys[next])) & mask;
+      lane_live[lane] = 1;
+      ++next;
+    } else {
+      lane_live[lane] = 0;
+    }
+  };
+  for (int lane = 0; lane < 8; ++lane) refill(lane);
+  for (;;) {
+    bool any_live = false;
+    for (int lane = 0; lane < 8; ++lane) any_live |= lane_live[lane] != 0;
+    if (!any_live) break;
+    // Two 4x64-bit gathers fetch the 8 lanes' slots (the extra gather +
+    // deinterleave is exactly the overhead Section 4.3 blames for
+    // CPU SIMD losing to CPU Scalar).
+    const __m128i idx_lo =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(lane_slot));
+    const __m128i idx_hi =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(lane_slot + 4));
+    alignas(32) uint64_t fetched[8];
+    _mm256_store_si256(
+        reinterpret_cast<__m256i*>(fetched),
+        _mm256_i32gather_epi64(reinterpret_cast<const long long*>(slots),
+                               idx_lo, 8));
+    _mm256_store_si256(
+        reinterpret_cast<__m256i*>(fetched + 4),
+        _mm256_i32gather_epi64(reinterpret_cast<const long long*>(slots),
+                               idx_hi, 8));
+    for (int lane = 0; lane < 8; ++lane) {
+      if (!lane_live[lane]) continue;
+      const uint64_t s = fetched[lane];
+      if (HashTable::SlotEmpty(s)) {
+        refill(lane);
+      } else if (HashTable::SlotKey(s) == lane_key[lane]) {
+        *sum += static_cast<int64_t>(lane_val[lane]) + HashTable::SlotValue(s);
+        ++*matches;
+        refill(lane);
+      } else {
+        lane_slot[lane] = (lane_slot[lane] + 1) & mask;
+      }
+    }
+  }
+}
+
 #else  // !defined(__AVX2__)
 
 // Toolchain cannot target AVX2: report no kernels. The dispatcher never
@@ -208,6 +306,17 @@ int ProbeSelectAvx2(const HashTable&, const int32_t*, const int32_t*, int,
                     int32_t*, int32_t*, int32_t*) {
   CRYSTAL_CHECK_MSG(false, "AVX2 kernels not compiled in");
   return 0;
+}
+int64_t CountLessAvx2(const float*, int64_t, float) {
+  CRYSTAL_CHECK_MSG(false, "AVX2 kernels not compiled in");
+  return 0;
+}
+void CompactLessAvx2(const float*, int64_t, float, float*) {
+  CRYSTAL_CHECK_MSG(false, "AVX2 kernels not compiled in");
+}
+void ProbeSumAvx2(const HashTable&, const int32_t*, const int32_t*, int64_t,
+                  int64_t, int64_t*, int64_t*) {
+  CRYSTAL_CHECK_MSG(false, "AVX2 kernels not compiled in");
 }
 
 #endif  // defined(__AVX2__)

@@ -43,6 +43,25 @@ int ProbeSelectAvx2(const HashTable& ht, const int32_t* keys,
                     const int32_t* sel, int m, int32_t* sel_out,
                     int32_t* val_out, int32_t* pos_out);
 
+// Micro-bench kernels (fig12 select, fig13 join) on the same dispatch: the
+// callers in cpu/select.cc and cpu/hash_join.cc gate on SimdEnabled(), so
+// the figures measure real AVX2 whenever the host supports it.
+
+/// Counts entries with in[i] < v (8-lane compare + movemask popcount).
+int64_t CountLessAvx2(const float* in, int64_t n, float v);
+
+/// Selective store of entries with in[i] < v into `out` (compacted lanes
+/// via the permutation table). `out` needs 7 floats of tail slack.
+void CompactLessAvx2(const float* in, int64_t n, float v, float* out);
+
+/// Vertical-vectorized probe of keys[begin..end) accumulating
+/// sum(vals[i] + payload) and the match count (the fig13 "CPU SIMD"
+/// variant: one in-flight key per lane, slots fetched with 4x64 gathers,
+/// finished lanes refilled each iteration).
+void ProbeSumAvx2(const HashTable& ht, const int32_t* keys,
+                  const int32_t* vals, int64_t begin, int64_t end,
+                  int64_t* sum, int64_t* matches);
+
 }  // namespace crystal::cpu::internal
 
 #endif  // CRYSTAL_CPU_VECTOR_OPS_INTERNAL_H_

@@ -11,6 +11,8 @@
 #include "common/timer.h"
 #include "engine/query_engine.h"
 #include "engine/registry.h"
+#include "query/parser.h"
+#include "query/ssb_specs.h"
 #include "ssb/datagen.h"
 
 namespace crystal::driver {
@@ -357,22 +359,47 @@ Report Run(const Options& options, const ssb::Database& db) {
     CRYSTAL_CHECK(engines.back() != nullptr);
   }
 
-  WallTimer total_timer;
+  // The run list: canonical specs for the requested benchmark queries,
+  // then the ad-hoc specs. Everything downstream sees only QuerySpecs.
+  std::vector<QueryReport> pending;
   for (ssb::QueryId id : options.queries) {
     QueryReport qr;
-    qr.query = id;
+    qr.spec = query::SsbSpec(id);
+    qr.flight = ssb::QueryFlight(id);
+    pending.push_back(std::move(qr));
+  }
+  int adhoc_counter = 0;
+  for (const query::QuerySpec& spec : options.adhoc) {
+    QueryReport qr;
+    qr.spec = spec;
+    qr.adhoc = true;
+    ++adhoc_counter;
+    if (qr.spec.name.empty()) {
+      qr.spec.name = "adhoc" + std::to_string(adhoc_counter);
+    }
+    std::string spec_error;
+    CRYSTAL_CHECK_MSG(query::Validate(qr.spec, &spec_error),
+                      spec_error.c_str());
+    pending.push_back(std::move(qr));
+  }
+
+  WallTimer total_timer;
+  for (QueryReport& qr : pending) {
+    const query::QuerySpec& spec = qr.spec;
 
     // Results in engine order, for the cross-check below.
     std::vector<ssb::QueryResult> results;
     for (size_t i = 0; i < engines.size(); ++i) {
-      for (int w = 0; w < report.options.warmup; ++w) engines[i]->Execute(id);
+      for (int w = 0; w < report.options.warmup; ++w) {
+        engines[i]->Execute(spec);
+      }
       // Timed runs: keep the last run's result/predictions (identical
       // across runs), aggregate the wall-clocks to median + min.
       std::vector<double> walls;
       walls.reserve(static_cast<size_t>(report.options.repeat));
       engine::RunStats stats;
       for (int rep = 0; rep < report.options.repeat; ++rep) {
-        stats = engines[i]->Execute(id);
+        stats = engines[i]->Execute(spec);
         walls.push_back(stats.wall_ms);
       }
       EngineRunReport run;
@@ -400,7 +427,7 @@ Report Run(const Options& options, const ssb::Database& db) {
       const ssb::QueryResult want =
           ref_it != names.end()
               ? results[static_cast<size_t>(ref_it - names.begin())]
-              : RunReference(db, id);
+              : RunReference(db, spec);
       for (size_t i = 0; i < results.size(); ++i) {
         if (!(results[i] == want)) {
           qr.results_match = false;
@@ -417,8 +444,8 @@ Report Run(const Options& options, const ssb::Database& db) {
       }
     }
     report.all_results_match = report.all_results_match && qr.results_match;
-    report.queries.push_back(std::move(qr));
   }
+  report.queries = std::move(pending);
   report.total_wall_ms = total_timer.ElapsedMs();
   return report;
 }
@@ -450,8 +477,13 @@ std::string ToJson(const Report& report) {
   w.BeginArray("queries");
   for (const QueryReport& qr : report.queries) {
     w.BeginArrayObject();
-    w.Field("query", ssb::QueryName(qr.query));
-    w.Field("flight", ssb::QueryFlight(qr.query));
+    w.Field("query", qr.spec.name);
+    if (!qr.adhoc) w.Field("flight", qr.flight);
+    w.Field("adhoc", qr.adhoc);
+    // The executed spec in the ad-hoc grammar: the report is reproducible
+    // via `crystaldb --adhoc=...` regardless of where the query came from.
+    w.Field("spec", query::FormatQuerySpec(qr.spec));
+    w.Field("fact_columns", query::FactColumnsReferenced(qr.spec));
     w.Field("results_match", qr.results_match);
     if (!qr.mismatches.empty()) {
       w.BeginArray("mismatches");

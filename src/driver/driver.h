@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "query/query_spec.h"
 #include "ssb/queries.h"
 #include "ssb/schema.h"
 
@@ -36,6 +37,10 @@ struct Options {
   std::vector<std::string> engines;
   std::vector<ssb::QueryId> queries{ssb::kAllQueries.begin(),
                                     ssb::kAllQueries.end()};
+  /// Ad-hoc declarative queries run after the canonical ones (parsed from
+  /// `crystaldb --adhoc=...` via query::ParseQuerySpec). Specs must be
+  /// valid; unnamed specs are labeled adhoc1, adhoc2, ... in the report.
+  std::vector<query::QuerySpec> adhoc;
   int scale_factor = 1;
   /// Fact subsampling divisor (see Database::fact_divisor); 1 = full scale.
   int fact_divisor = 1;
@@ -92,7 +97,12 @@ struct EngineRunReport {
 
 /// One query across all requested engines.
 struct QueryReport {
-  ssb::QueryId query;
+  /// The executed declarative spec; spec.name is the report label ("q2.1"
+  /// for canonical queries, "adhocN" or the caller-given name otherwise).
+  query::QuerySpec spec;
+  /// SSB flight 1..4 for canonical queries, 0 for ad-hoc specs.
+  int flight = 0;
+  bool adhoc = false;
   std::vector<EngineRunReport> runs;
   /// All engines (and the reference, when enabled) agree on the result.
   bool results_match = true;

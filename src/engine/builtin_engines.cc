@@ -56,9 +56,9 @@ class ReferenceEngine final : public QueryEngine {
   EngineCapabilities capabilities() const override { return kReferenceCaps; }
 
  protected:
-  RunStats ExecuteImpl(ssb::QueryId id) override {
+  RunStats ExecuteImpl(const query::QuerySpec& spec) override {
     RunStats stats;
-    stats.result = ssb::RunReference(db_, id);
+    stats.result = ssb::RunReference(db_, spec);
     return stats;
   }
 
@@ -103,8 +103,8 @@ class MaterializingQueryEngine final : public SimulatedEngineBase {
   }
 
  protected:
-  RunStats ExecuteImpl(ssb::QueryId id) override {
-    return ToStats(engine_.Run(id));
+  RunStats ExecuteImpl(const query::QuerySpec& spec) override {
+    return ToStats(engine_.Run(spec));
   }
 
  private:
@@ -124,8 +124,8 @@ class CrystalQueryEngine final : public SimulatedEngineBase {
   std::string_view description() const override { return kCrystalDescription; }
 
  protected:
-  RunStats ExecuteImpl(ssb::QueryId id) override {
-    return ToStats(engine_.Run(id, launch_));
+  RunStats ExecuteImpl(const query::QuerySpec& spec) override {
+    return ToStats(engine_.Run(spec, launch_));
   }
 
  private:
@@ -155,9 +155,9 @@ class VectorizedCpuQueryEngine final : public QueryEngine {
   }
 
  protected:
-  RunStats ExecuteImpl(ssb::QueryId id) override {
+  RunStats ExecuteImpl(const query::QuerySpec& spec) override {
     RunStats stats;
-    stats.result = engine_->Run(id);
+    stats.result = engine_->Run(spec);
     return stats;
   }
 

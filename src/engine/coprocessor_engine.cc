@@ -46,15 +46,17 @@ class CoprocessorEngine final : public QueryEngine {
   }
 
  protected:
-  RunStats ExecuteImpl(ssb::QueryId id) override {
-    ssb::EngineRun run = engine_.Run(id, launch_);
+  RunStats ExecuteImpl(const query::QuerySpec& spec) override {
+    ssb::EngineRun run = engine_.Run(spec, launch_);
 
     RunStats stats;
     // Full-scale PCIe volume: every referenced fact column is 4-byte and
     // 6M*SF rows long (the fact_divisor subsample never ships less — the
-    // costing is for the full table the run stands in for).
-    stats.fact_bytes_shipped = static_cast<int64_t>(
-        ssb::FactColumnsReferenced(id)) * db_.full_scale_fact_rows() * 4;
+    // costing is for the full table the run stands in for). The column
+    // count comes straight from the spec, not from any per-query table.
+    stats.fact_bytes_shipped =
+        static_cast<int64_t>(query::FactColumnsReferenced(spec)) *
+        db_.full_scale_fact_rows() * 4;
     stats.kernel_ms = run.ScaledTotalMs(db_.fact_divisor);
     stats.transfer_ms = pcie_.TransferMs(stats.fact_bytes_shipped);
     stats.predicted_build_ms = run.build_ms;

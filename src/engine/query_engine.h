@@ -6,6 +6,8 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "query/query_spec.h"
+#include "query/ssb_specs.h"
 #include "sim/device.h"
 #include "sim/profile.h"
 #include "ssb/queries.h"
@@ -84,20 +86,25 @@ class QueryEngine {
   virtual std::string_view description() const = 0;
   virtual EngineCapabilities capabilities() const = 0;
 
-  /// Runs one of the 13 SSB queries and reports result + timings.
-  /// Non-virtual on purpose: wall-clock is measured here so every engine —
-  /// including future plug-ins — reports it identically.
-  RunStats Execute(ssb::QueryId id) {
+  /// Runs a declarative query and reports result + timings. Non-virtual on
+  /// purpose: wall-clock is measured here so every engine — including
+  /// future plug-ins — reports it identically. The spec must be valid
+  /// (query::Validate); CLI input goes through query::ParseQuerySpec first.
+  RunStats Execute(const query::QuerySpec& spec) {
     WallTimer timer;
-    RunStats stats = ExecuteImpl(id);
+    RunStats stats = ExecuteImpl(spec);
     stats.wall_ms = timer.ElapsedMs();
     return stats;
   }
 
+  /// Benchmark-path convenience: runs the canonical spec of one of the 13
+  /// SSB queries.
+  RunStats Execute(ssb::QueryId id) { return Execute(query::SsbSpec(id)); }
+
  protected:
   QueryEngine() = default;
 
-  virtual RunStats ExecuteImpl(ssb::QueryId id) = 0;
+  virtual RunStats ExecuteImpl(const query::QuerySpec& spec) = 0;
 };
 
 }  // namespace crystal::engine

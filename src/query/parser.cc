@@ -1,0 +1,290 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace crystal::query {
+
+namespace {
+
+/// Token stream over the ad-hoc grammar: identifiers (letters, digits,
+/// underscores; may start with a digit — numbers are just digit-only
+/// identifiers), and the punctuation `* - , = { } ..`.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { Advance(); }
+
+  const std::string& token() const { return token_; }
+  bool done() const { return token_.empty(); }
+
+  /// Consumes the current token and moves to the next.
+  std::string Take() {
+    std::string tok = token_;
+    Advance();
+    return tok;
+  }
+
+  /// Consumes the current token iff it equals `expected`.
+  bool TakeIf(std::string_view expected) {
+    if (token_ != expected) return false;
+    Advance();
+    return true;
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    token_.clear();
+    if (pos_ >= text_.size()) return;
+    const char c = text_[pos_];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      while (pos_ < text_.size()) {
+        const char d = text_[pos_];
+        if (!std::isalnum(static_cast<unsigned char>(d)) && d != '_') break;
+        token_ += d;
+        ++pos_;
+      }
+      return;
+    }
+    if (c == '.' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '.') {
+      token_ = "..";
+      pos_ += 2;
+      return;
+    }
+    token_ = c;
+    ++pos_;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string token_;
+};
+
+bool ParseInt(const std::string& tok, int32_t* out) {
+  if (tok.empty()) return false;
+  int64_t v = 0;
+  for (char c : tok) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    v = v * 10 + (c - '0');
+    if (v > INT32_MAX) return false;
+  }
+  *out = static_cast<int32_t>(v);
+  return true;
+}
+
+/// Shared `= N | in LO..HI | in {A, B, ...}` predicate tail. On success
+/// fills either the range or the IN-set.
+bool ParsePredicate(Lexer* lex, int32_t* lo, int32_t* hi,
+                    std::vector<int32_t>* in_values, std::string* error) {
+  if (lex->TakeIf("=")) {
+    if (!ParseInt(lex->token(), lo)) {
+      *error = "expected integer after '=', got '" + lex->token() + "'";
+      return false;
+    }
+    lex->Take();
+    *hi = *lo;
+    return true;
+  }
+  if (!lex->TakeIf("in")) {
+    *error = "expected '=' or 'in', got '" + lex->token() + "'";
+    return false;
+  }
+  if (lex->TakeIf("{")) {
+    do {
+      int32_t v;
+      if (!ParseInt(lex->token(), &v)) {
+        *error = "expected integer in {...}, got '" + lex->token() + "'";
+        return false;
+      }
+      lex->Take();
+      in_values->push_back(v);
+    } while (lex->TakeIf(","));
+    if (!lex->TakeIf("}")) {
+      *error = "expected '}' closing the IN set, got '" + lex->token() + "'";
+      return false;
+    }
+    return true;
+  }
+  if (!ParseInt(lex->token(), lo)) {
+    *error = "expected LO..HI or {...} after 'in', got '" + lex->token() +
+             "'";
+    return false;
+  }
+  lex->Take();
+  if (!lex->TakeIf("..")) {
+    *error = "expected '..' in range, got '" + lex->token() + "'";
+    return false;
+  }
+  if (!ParseInt(lex->token(), hi)) {
+    *error = "expected integer after '..', got '" + lex->token() + "'";
+    return false;
+  }
+  lex->Take();
+  return true;
+}
+
+bool ParseImpl(Lexer* lex, QuerySpec* out, std::string* error) {
+  if (!lex->TakeIf("sum")) {
+    *error = "query must start with 'sum', got '" + lex->token() + "'";
+    return false;
+  }
+  if (!FactColFromName(lex->token(), &out->agg.a)) {
+    *error = "unknown fact column '" + lex->token() + "' in aggregate";
+    return false;
+  }
+  lex->Take();
+  out->agg.kind = AggExpr::Kind::kColumn;
+  out->agg.b = out->agg.a;
+  if (lex->TakeIf("*")) {
+    out->agg.kind = AggExpr::Kind::kProduct;
+  } else if (lex->TakeIf("-")) {
+    out->agg.kind = AggExpr::Kind::kDifference;
+  }
+  if (out->agg.kind != AggExpr::Kind::kColumn) {
+    if (!FactColFromName(lex->token(), &out->agg.b)) {
+      *error = "unknown fact column '" + lex->token() + "' in aggregate";
+      return false;
+    }
+    lex->Take();
+  }
+
+  bool seen_group = false;
+  while (!lex->done()) {
+    if (lex->TakeIf("where")) {
+      FactFilter filter;
+      if (!FactColFromName(lex->token(), &filter.col)) {
+        *error = "unknown fact column '" + lex->token() + "' after 'where'";
+        return false;
+      }
+      lex->Take();
+      std::vector<int32_t> in_values;
+      if (!ParsePredicate(lex, &filter.lo, &filter.hi, &in_values, error)) {
+        return false;
+      }
+      if (!in_values.empty()) {
+        *error = "fact predicates support '=' and ranges only (IN sets are "
+                 "build-side)";
+        return false;
+      }
+      out->fact_filters.push_back(filter);
+      continue;
+    }
+    if (lex->TakeIf("join")) {
+      JoinSpec join;
+      if (!DimTableFromName(lex->token(), &join.table)) {
+        *error = "unknown dimension table '" + lex->token() + "'";
+        return false;
+      }
+      lex->Take();
+      join.fact_key = DefaultFactKey(join.table);
+      if (lex->TakeIf("on")) {
+        if (!FactColFromName(lex->token(), &join.fact_key)) {
+          *error = "unknown fact column '" + lex->token() + "' after 'on'";
+          return false;
+        }
+        lex->Take();
+      }
+      while (lex->TakeIf("filter")) {
+        DimFilter filter;
+        if (!DimColFromName(lex->token(), &filter.col)) {
+          *error =
+              "unknown dimension column '" + lex->token() + "' in filter";
+          return false;
+        }
+        lex->Take();
+        if (!ParsePredicate(lex, &filter.lo, &filter.hi, &filter.in_values,
+                            error)) {
+          return false;
+        }
+        join.filters.push_back(std::move(filter));
+      }
+      out->joins.push_back(std::move(join));
+      continue;
+    }
+    if (lex->TakeIf("group")) {
+      if (!lex->TakeIf("by")) {
+        *error = "expected 'by' after 'group', got '" + lex->token() + "'";
+        return false;
+      }
+      if (seen_group) {
+        *error = "duplicate 'group by' clause";
+        return false;
+      }
+      seen_group = true;
+      do {
+        DimCol col;
+        if (!DimColFromName(lex->token(), &col)) {
+          *error = "unknown dimension column '" + lex->token() +
+                   "' in group by";
+          return false;
+        }
+        lex->Take();
+        out->group_by.push_back(col);
+      } while (lex->TakeIf(","));
+      continue;
+    }
+    *error = "expected 'where', 'join', or 'group by', got '" +
+             lex->token() + "'";
+    return false;
+  }
+  return Validate(*out, error);
+}
+
+void FormatPredicate(std::ostringstream& text, int32_t lo, int32_t hi,
+                     const std::vector<int32_t>& in_values) {
+  if (!in_values.empty()) {
+    text << " in {";
+    for (size_t i = 0; i < in_values.size(); ++i) {
+      text << (i == 0 ? "" : ", ") << in_values[i];
+    }
+    text << "}";
+  } else if (lo == hi) {
+    text << " = " << lo;
+  } else {
+    text << " in " << lo << ".." << hi;
+  }
+}
+
+}  // namespace
+
+bool ParseQuerySpec(std::string_view text, QuerySpec* out,
+                    std::string* error) {
+  *out = QuerySpec();
+  Lexer lex(text);
+  std::string local_error;
+  if (ParseImpl(&lex, out, &local_error)) return true;
+  if (error != nullptr) *error = local_error;
+  return false;
+}
+
+std::string FormatQuerySpec(const QuerySpec& spec) {
+  std::ostringstream text;
+  text << "sum " << FactColName(spec.agg.a);
+  if (spec.agg.kind == AggExpr::Kind::kProduct) {
+    text << "*" << FactColName(spec.agg.b);
+  } else if (spec.agg.kind == AggExpr::Kind::kDifference) {
+    text << "-" << FactColName(spec.agg.b);
+  }
+  for (const FactFilter& f : spec.fact_filters) {
+    text << " where " << FactColName(f.col);
+    FormatPredicate(text, f.lo, f.hi, {});
+  }
+  for (const JoinSpec& join : spec.joins) {
+    text << " join " << DimTableName(join.table) << " on "
+         << FactColName(join.fact_key);
+    for (const DimFilter& f : join.filters) {
+      text << " filter " << DimColName(f.col);
+      FormatPredicate(text, f.lo, f.hi, f.in_values);
+    }
+  }
+  for (size_t g = 0; g < spec.group_by.size(); ++g) {
+    text << (g == 0 ? " group by " : ", ") << DimColName(spec.group_by[g]);
+  }
+  return text.str();
+}
+
+}  // namespace crystal::query

@@ -1,0 +1,37 @@
+#ifndef CRYSTAL_QUERY_PARSER_H_
+#define CRYSTAL_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "query/query_spec.h"
+
+namespace crystal::query {
+
+/// Parses the ad-hoc query grammar into a QuerySpec (see docs/QUERIES.md):
+///
+///   sum <col> | sum <col>*<col> | sum <col>-<col>
+///   [ where <fact_col> = N | where <fact_col> in LO..HI ]*
+///   [ join <table> [on <fact_col>]
+///       [ filter <dim_col> = N | in LO..HI | in {A, B, ...} ]* ]*
+///   [ group by <dim_col> [, <dim_col>]* ]
+///
+/// Example (the canonical q2.1):
+///   sum revenue join supplier on suppkey filter s_region = 1
+///       join part on partkey filter p_category = 12
+///       join date on orderdate group by d_year, p_brand1
+///
+/// `on` defaults to the table's conventional foreign key. The parsed spec
+/// is validated (query::Validate) before returning. Returns false and
+/// fills *error (when non-null) on any lexical, syntactic, or semantic
+/// problem; *out is unspecified on failure.
+bool ParseQuerySpec(std::string_view text, QuerySpec* out,
+                    std::string* error);
+
+/// Formats a spec in the same grammar; ParseQuerySpec(FormatQuerySpec(s))
+/// reproduces s structurally (the name label is not carried).
+std::string FormatQuerySpec(const QuerySpec& spec);
+
+}  // namespace crystal::query
+
+#endif  // CRYSTAL_QUERY_PARSER_H_

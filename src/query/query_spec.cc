@@ -1,0 +1,294 @@
+#include "query/query_spec.h"
+
+#include "common/macros.h"
+
+namespace crystal::query {
+
+namespace {
+
+struct FactColInfo {
+  const char* name;
+};
+
+constexpr FactColInfo kFactCols[kNumFactCols] = {
+    {"orderdate"},    {"custkey"},  {"partkey"},
+    {"suppkey"},      {"quantity"}, {"discount"},
+    {"extendedprice"}, {"revenue"}, {"supplycost"},
+};
+
+constexpr const char* kDimTables[kNumDimTables] = {"date", "customer",
+                                                   "supplier", "part"};
+
+struct DimColInfo {
+  const char* name;
+  DimTable table;
+  int32_t lo;
+  int32_t hi;
+};
+
+// Domains follow the dictionary encoding (ssb/dict.h, ssb/schema.h):
+// 7 benchmark years, yyyymm month numbers, 53 weeks, 250 cities in 25
+// nations in 5 regions, and the MFGR part hierarchy. Brand codes start at
+// category 11 * 100, so 1100 is a safe dense-grid base (the paper's q4.3
+// grid uses the same offset).
+constexpr DimColInfo kDimCols[kNumDimCols] = {
+    {"d_year", DimTable::kDate, 1992, 1998},
+    {"d_yearmonthnum", DimTable::kDate, 199201, 199812},
+    {"d_weeknuminyear", DimTable::kDate, 1, 53},
+    {"c_city", DimTable::kCustomer, 0, 249},
+    {"c_nation", DimTable::kCustomer, 0, 24},
+    {"c_region", DimTable::kCustomer, 0, 4},
+    {"s_city", DimTable::kSupplier, 0, 249},
+    {"s_nation", DimTable::kSupplier, 0, 24},
+    {"s_region", DimTable::kSupplier, 0, 4},
+    {"p_mfgr", DimTable::kPart, 1, 5},
+    {"p_category", DimTable::kPart, 0, 55},
+    {"p_brand1", DimTable::kPart, 1100, 5540},
+};
+
+}  // namespace
+
+std::string_view FactColName(FactCol col) {
+  return kFactCols[static_cast<int>(col)].name;
+}
+
+std::string_view DimTableName(DimTable table) {
+  return kDimTables[static_cast<int>(table)];
+}
+
+std::string_view DimColName(DimCol col) {
+  return kDimCols[static_cast<int>(col)].name;
+}
+
+bool FactColFromName(std::string_view name, FactCol* out) {
+  // Accept the schema spelling with or without the lo_ prefix.
+  if (name.rfind("lo_", 0) == 0) name.remove_prefix(3);
+  for (int i = 0; i < kNumFactCols; ++i) {
+    if (name == kFactCols[i].name) {
+      *out = static_cast<FactCol>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DimTableFromName(std::string_view name, DimTable* out) {
+  for (int i = 0; i < kNumDimTables; ++i) {
+    if (name == kDimTables[i]) {
+      *out = static_cast<DimTable>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DimColFromName(std::string_view name, DimCol* out) {
+  for (int i = 0; i < kNumDimCols; ++i) {
+    if (name == kDimCols[i].name) {
+      *out = static_cast<DimCol>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+DimTable TableOf(DimCol col) { return kDimCols[static_cast<int>(col)].table; }
+
+void DimColDomain(DimCol col, int32_t* lo, int32_t* hi) {
+  *lo = kDimCols[static_cast<int>(col)].lo;
+  *hi = kDimCols[static_cast<int>(col)].hi;
+}
+
+FactCol DefaultFactKey(DimTable table) {
+  switch (table) {
+    case DimTable::kDate: return FactCol::kOrderdate;
+    case DimTable::kCustomer: return FactCol::kCustkey;
+    case DimTable::kSupplier: return FactCol::kSuppkey;
+    case DimTable::kPart: return FactCol::kPartkey;
+  }
+  return FactCol::kOrderdate;
+}
+
+bool Validate(const QuerySpec& spec, std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  for (const FactFilter& f : spec.fact_filters) {
+    if (f.lo > f.hi) {
+      return fail("empty range on " + std::string(FactColName(f.col)));
+    }
+  }
+  bool joined[kNumDimTables] = {false, false, false, false};
+  for (const JoinSpec& join : spec.joins) {
+    const int t = static_cast<int>(join.table);
+    if (joined[t]) {
+      return fail("table '" + std::string(DimTableName(join.table)) +
+                  "' joined twice");
+    }
+    joined[t] = true;
+    for (const DimFilter& f : join.filters) {
+      if (TableOf(f.col) != join.table) {
+        return fail("filter column " + std::string(DimColName(f.col)) +
+                    " does not belong to table '" +
+                    std::string(DimTableName(join.table)) + "'");
+      }
+      if (f.in_values.empty() && f.lo > f.hi) {
+        return fail("empty range on " + std::string(DimColName(f.col)));
+      }
+    }
+  }
+  if (spec.group_by.size() > 3) {
+    return fail("at most 3 group-by columns are supported");
+  }
+  bool grouped[kNumDimTables] = {false, false, false, false};
+  int64_t cells = 1;
+  for (DimCol col : spec.group_by) {
+    const int t = static_cast<int>(TableOf(col));
+    if (!joined[t]) {
+      return fail("group column " + std::string(DimColName(col)) +
+                  " requires a join on '" +
+                  std::string(DimTableName(TableOf(col))) + "'");
+    }
+    if (grouped[t]) {
+      return fail("table '" + std::string(DimTableName(TableOf(col))) +
+                  "' contributes more than one group column");
+    }
+    grouped[t] = true;
+    int32_t lo, hi;
+    DimColDomain(col, &lo, &hi);
+    cells *= static_cast<int64_t>(hi) - lo + 1;
+  }
+  if (cells > kMaxGroupCells) {
+    return fail("aggregation grid too large (" + std::to_string(cells) +
+                " cells, limit " + std::to_string(kMaxGroupCells) +
+                "): group by lower-cardinality columns");
+  }
+  return true;
+}
+
+int FactColumnsReferenced(const QuerySpec& spec) {
+  bool seen[kNumFactCols] = {};
+  for (const FactFilter& f : spec.fact_filters) {
+    seen[static_cast<int>(f.col)] = true;
+  }
+  for (const JoinSpec& join : spec.joins) {
+    seen[static_cast<int>(join.fact_key)] = true;
+  }
+  seen[static_cast<int>(spec.agg.a)] = true;
+  if (spec.agg.kind != AggExpr::Kind::kColumn) {
+    seen[static_cast<int>(spec.agg.b)] = true;
+  }
+  int count = 0;
+  for (bool s : seen) count += s ? 1 : 0;
+  return count;
+}
+
+GroupLayout LayoutFor(const QuerySpec& spec) {
+  GroupLayout layout;
+  layout.num_keys = static_cast<int>(spec.group_by.size());
+  for (int k = 0; k < layout.num_keys; ++k) {
+    int32_t lo, hi;
+    DimColDomain(spec.group_by[static_cast<size_t>(k)], &lo, &hi);
+    layout.lo[k] = lo;
+    layout.span[k] = static_cast<int64_t>(hi) - lo + 1;
+    layout.cells *= layout.span[k];
+  }
+  return layout;
+}
+
+PayloadPlan PlanPayloads(const QuerySpec& spec) {
+  PayloadPlan plan;
+  plan.join_payload.assign(spec.joins.size(), -1);
+  plan.group_join.assign(spec.group_by.size(), -1);
+  for (size_t g = 0; g < spec.group_by.size(); ++g) {
+    const DimTable table = TableOf(spec.group_by[g]);
+    for (size_t j = 0; j < spec.joins.size(); ++j) {
+      if (spec.joins[j].table == table) {
+        plan.join_payload[j] = static_cast<int>(g);
+        plan.group_join[g] = static_cast<int>(j);
+        break;
+      }
+    }
+    CRYSTAL_CHECK_MSG(plan.group_join[g] >= 0,
+                      "group column's table is not joined (Validate first)");
+  }
+  return plan;
+}
+
+std::vector<BoundJoin> BindJoins(const QuerySpec& spec,
+                                 const PayloadPlan& plan,
+                                 const ssb::Database& db) {
+  std::vector<BoundJoin> bound(spec.joins.size());
+  for (size_t j = 0; j < spec.joins.size(); ++j) {
+    const JoinSpec& join = spec.joins[j];
+    bound[j].keys = &DimKeyColumn(db, join.table);
+    bound[j].payload =
+        plan.join_payload[j] >= 0
+            ? &DimColumn(
+                  db, spec.group_by[static_cast<size_t>(plan.join_payload[j])])
+            : bound[j].keys;
+    bound[j].dim_rows = DimTableRows(db, join.table);
+    for (const DimFilter& f : join.filters) {
+      bound[j].filters.emplace_back(&DimColumn(db, f.col), &f);
+    }
+  }
+  return bound;
+}
+
+const ssb::Column& FactColumn(const ssb::Database& db, FactCol col) {
+  switch (col) {
+    case FactCol::kOrderdate: return db.lo.orderdate;
+    case FactCol::kCustkey: return db.lo.custkey;
+    case FactCol::kPartkey: return db.lo.partkey;
+    case FactCol::kSuppkey: return db.lo.suppkey;
+    case FactCol::kQuantity: return db.lo.quantity;
+    case FactCol::kDiscount: return db.lo.discount;
+    case FactCol::kExtendedprice: return db.lo.extendedprice;
+    case FactCol::kRevenue: return db.lo.revenue;
+    case FactCol::kSupplycost: return db.lo.supplycost;
+  }
+  return db.lo.orderdate;
+}
+
+const ssb::Column& DimColumn(const ssb::Database& db, DimCol col) {
+  switch (col) {
+    case DimCol::kDYear: return db.d.year;
+    case DimCol::kDYearmonthnum: return db.d.yearmonthnum;
+    case DimCol::kDWeeknuminyear: return db.d.weeknuminyear;
+    case DimCol::kCCity: return db.c.city;
+    case DimCol::kCNation: return db.c.nation;
+    case DimCol::kCRegion: return db.c.region;
+    case DimCol::kSCity: return db.s.city;
+    case DimCol::kSNation: return db.s.nation;
+    case DimCol::kSRegion: return db.s.region;
+    case DimCol::kPMfgr: return db.p.mfgr;
+    case DimCol::kPCategory: return db.p.category;
+    case DimCol::kPBrand1: return db.p.brand1;
+  }
+  return db.d.year;
+}
+
+const ssb::Column& DimKeyColumn(const ssb::Database& db, DimTable table) {
+  switch (table) {
+    case DimTable::kDate: return db.d.datekey;
+    case DimTable::kCustomer: return db.c.custkey;
+    case DimTable::kSupplier: return db.s.suppkey;
+    case DimTable::kPart: return db.p.partkey;
+  }
+  return db.d.datekey;
+}
+
+int64_t DimTableRows(const ssb::Database& db, DimTable table) {
+  switch (table) {
+    case DimTable::kDate: return db.d.rows;
+    case DimTable::kCustomer: return db.c.rows;
+    case DimTable::kSupplier: return db.s.rows;
+    case DimTable::kPart: return db.p.rows;
+  }
+  return 0;
+}
+
+bool DimKeyDense(DimTable table) { return table != DimTable::kDate; }
+
+}  // namespace crystal::query

@@ -1,0 +1,285 @@
+#ifndef CRYSTAL_QUERY_QUERY_SPEC_H_
+#define CRYSTAL_QUERY_QUERY_SPEC_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ssb/schema.h"
+
+namespace crystal::query {
+
+/// Declarative query IR for the star-schema shape every query in the paper
+/// shares (Section 3.1): a fact-table scan with conjunctive range
+/// predicates, an ordered cascade of dimension hash joins (each with
+/// build-side filters and an optional group-key projection), and one SUM
+/// aggregate — scalar or grouped by up to three dimension attributes.
+///
+/// Queries are *data*: engines interpret a QuerySpec with their own
+/// primitives (tuple-at-a-time, vectorized selection/probe pipelines, fused
+/// Crystal tiles, operator-at-a-time materialization), so a new workload is
+/// a new spec — via query::SsbSpec for the 13 canonical benchmark queries or
+/// query::ParseQuerySpec for ad-hoc text (`crystaldb --adhoc=...`).
+
+// ------------------------------------------------------------- column ids
+
+/// Lineorder (fact) columns.
+enum class FactCol : int {
+  kOrderdate,
+  kCustkey,
+  kPartkey,
+  kSuppkey,
+  kQuantity,
+  kDiscount,
+  kExtendedprice,
+  kRevenue,
+  kSupplycost,
+};
+inline constexpr int kNumFactCols = 9;
+
+/// Dimension tables.
+enum class DimTable : int { kDate, kCustomer, kSupplier, kPart };
+inline constexpr int kNumDimTables = 4;
+
+/// Non-key dimension columns usable in build-side filters and group keys.
+enum class DimCol : int {
+  kDYear,
+  kDYearmonthnum,
+  kDWeeknuminyear,
+  kCCity,
+  kCNation,
+  kCRegion,
+  kSCity,
+  kSNation,
+  kSRegion,
+  kPMfgr,
+  kPCategory,
+  kPBrand1,
+};
+inline constexpr int kNumDimCols = 12;
+
+std::string_view FactColName(FactCol col);
+std::string_view DimTableName(DimTable table);
+std::string_view DimColName(DimCol col);
+
+/// Reverse lookups for the parser; return false on unknown names.
+bool FactColFromName(std::string_view name, FactCol* out);
+bool DimTableFromName(std::string_view name, DimTable* out);
+bool DimColFromName(std::string_view name, DimCol* out);
+
+/// The table a dimension column belongs to.
+DimTable TableOf(DimCol col);
+
+/// Value domain [lo, hi] of a dimension column under the dictionary
+/// encoding (dict.h). Engines size dense aggregation grids from these.
+void DimColDomain(DimCol col, int32_t* lo, int32_t* hi);
+
+/// The fact FK column conventionally joining `table` (orderdate, custkey,
+/// suppkey, partkey).
+FactCol DefaultFactKey(DimTable table);
+
+// ---------------------------------------------------------------- the IR
+
+/// Conjunctive fact-column predicate: lo <= col <= hi (equality when
+/// lo == hi). Date predicates are pre-rewritten to orderdate ranges, as in
+/// Fig. 2 of the paper.
+struct FactFilter {
+  FactCol col = FactCol::kOrderdate;
+  int32_t lo = 0;
+  int32_t hi = 0;
+
+  bool operator==(const FactFilter& o) const {
+    return col == o.col && lo == o.lo && hi == o.hi;
+  }
+};
+
+/// Build-side dimension predicate: a range [lo, hi] or, when `in_values`
+/// is non-empty, an IN-set (the q3.3/q3.4 city pairs).
+struct DimFilter {
+  DimCol col = DimCol::kDYear;
+  int32_t lo = 0;
+  int32_t hi = 0;
+  std::vector<int32_t> in_values;
+
+  bool Matches(int32_t v) const {
+    if (in_values.empty()) return v >= lo && v <= hi;
+    for (int32_t cand : in_values) {
+      if (v == cand) return true;
+    }
+    return false;
+  }
+
+  bool operator==(const DimFilter& o) const {
+    return col == o.col && lo == o.lo && hi == o.hi &&
+           in_values == o.in_values;
+  }
+};
+
+/// One step of the dimension-join cascade: probe `table` keyed on
+/// `fact_key`, with only the rows passing every filter on the build side.
+/// The payload carried out of the join (if any) is determined by the
+/// query's group_by list — the group column belonging to this table.
+struct JoinSpec {
+  DimTable table = DimTable::kDate;
+  FactCol fact_key = FactCol::kOrderdate;
+  std::vector<DimFilter> filters;
+
+  bool operator==(const JoinSpec& o) const {
+    return table == o.table && fact_key == o.fact_key &&
+           filters == o.filters;
+  }
+};
+
+/// The summed value per surviving fact row: a column, a product of two
+/// columns (q1.x: extendedprice * discount), or a difference (q4.x:
+/// revenue - supplycost).
+struct AggExpr {
+  enum class Kind { kColumn, kProduct, kDifference };
+  Kind kind = Kind::kColumn;
+  FactCol a = FactCol::kRevenue;
+  FactCol b = FactCol::kRevenue;  // ignored for kColumn
+
+  bool operator==(const AggExpr& o) const {
+    return kind == o.kind && a == o.a &&
+           (kind == Kind::kColumn || b == o.b);
+  }
+};
+
+/// Shared per-row evaluation of the aggregate expression: every
+/// interpreter passes the row's two input values (b is ignored for
+/// kColumn) instead of re-implementing the kind dispatch.
+inline int64_t AggValue(AggExpr::Kind kind, int32_t a, int32_t b) {
+  switch (kind) {
+    case AggExpr::Kind::kColumn: return a;
+    case AggExpr::Kind::kProduct: return static_cast<int64_t>(a) * b;
+    default: return static_cast<int64_t>(a) - b;
+  }
+}
+
+/// A complete declarative query. `group_by` holds 0..3 dimension columns
+/// (empty = scalar aggregate); its order is the result key order, each
+/// column's table must appear in `joins`, and a table contributes at most
+/// one group key.
+struct QuerySpec {
+  std::string name;  // report/CLI label, e.g. "q2.1" or "adhoc1"
+  std::vector<FactFilter> fact_filters;
+  std::vector<JoinSpec> joins;
+  AggExpr agg;
+  std::vector<DimCol> group_by;
+
+  /// Structural equality; the label does not participate (round-tripping
+  /// through the ad-hoc grammar does not carry the name).
+  bool operator==(const QuerySpec& o) const {
+    return fact_filters == o.fact_filters && joins == o.joins &&
+           agg == o.agg && group_by == o.group_by;
+  }
+};
+
+/// Largest dense aggregation grid a spec may request (product of the
+/// group columns' domain spans). The canonical worst case (q4.3) needs
+/// ~7.8M cells; anything past this cap — reachable only through ad-hoc
+/// group-by combinations like (d_yearmonthnum, c_city, p_brand1) — would
+/// allocate multi-GB grids (per worker thread in the vectorized engine),
+/// so Validate rejects it instead of letting the process OOM.
+inline constexpr int64_t kMaxGroupCells = 1 << 24;  // 128 MB of int64 cells
+
+/// Structural validity: filter ranges ordered, at most one join per table,
+/// join filters on the joined table, group keys joined/unique/<= 3 with a
+/// bounded grid (kMaxGroupCells). Returns false and fills *error (when
+/// non-null) on the first violation.
+bool Validate(const QuerySpec& spec, std::string* error);
+
+/// Distinct fact columns the spec touches (filters + join keys + aggregate
+/// inputs). Drives the coprocessor PCIe volume: every referenced fact
+/// column ships to the device (Section 3.1).
+int FactColumnsReferenced(const QuerySpec& spec);
+
+// ------------------------------------------------- aggregation geometry
+
+/// Dense-grid layout derived from group_by: per-key domain base and span,
+/// total cell count, and the cell <-> key-tuple mapping every grid-based
+/// engine shares. Scalar aggregates get the trivial 1-cell layout.
+struct GroupLayout {
+  int num_keys = 0;
+  int32_t lo[3] = {0, 0, 0};
+  int64_t span[3] = {1, 1, 1};
+  int64_t cells = 1;
+
+  bool scalar() const { return num_keys == 0; }
+
+  /// Cell index for key values in group order (keys[0..num_keys)).
+  int64_t CellFor(const int32_t* keys) const {
+    int64_t cell = 0;
+    for (int k = 0; k < num_keys; ++k) {
+      cell = cell * span[k] + (keys[k] - lo[k]);
+    }
+    return cell;
+  }
+
+  /// Inverse of CellFor; unused key slots are 0 (QueryResult convention).
+  std::array<int32_t, 3> KeysFor(int64_t cell) const {
+    std::array<int32_t, 3> keys = {0, 0, 0};
+    for (int k = num_keys - 1; k >= 0; --k) {
+      keys[static_cast<size_t>(k)] =
+          static_cast<int32_t>(cell % span[k]) + lo[k];
+      cell /= span[k];
+    }
+    return keys;
+  }
+};
+
+GroupLayout LayoutFor(const QuerySpec& spec);
+
+/// Maps joins to group keys (spec must be Valid): for each join the index
+/// of the group key it supplies (-1 when the join is filter-only), and for
+/// each group key the index of the join supplying it.
+struct PayloadPlan {
+  std::vector<int> join_payload;  // joins.size(); index into group_by or -1
+  std::vector<int> group_join;    // group_by.size(); index into joins
+};
+
+PayloadPlan PlanPayloads(const QuerySpec& spec);
+
+/// One join step bound to database columns: the dimension's key column,
+/// the payload column the join carries (its group-key column, or the key
+/// column again when the join is filter-only — then never read), and the
+/// build-side filters bound to their columns. Pointers reference the spec
+/// and database, which must outlive the binding; every engine's build
+/// phase consumes this instead of re-deriving the wiring.
+struct BoundJoin {
+  const ssb::Column* keys = nullptr;
+  const ssb::Column* payload = nullptr;
+  int64_t dim_rows = 0;
+  std::vector<std::pair<const ssb::Column*, const DimFilter*>> filters;
+
+  /// True when dimension row `row` passes every build-side filter.
+  bool RowPasses(size_t row) const {
+    for (const auto& [col, filter] : filters) {
+      if (!filter->Matches((*col)[row])) return false;
+    }
+    return true;
+  }
+};
+
+/// Binds every join of the (valid) spec against `db`, in join order.
+std::vector<BoundJoin> BindJoins(const QuerySpec& spec,
+                                 const PayloadPlan& plan,
+                                 const ssb::Database& db);
+
+// ----------------------------------------------------- database binding
+
+const ssb::Column& FactColumn(const ssb::Database& db, FactCol col);
+const ssb::Column& DimColumn(const ssb::Database& db, DimCol col);
+const ssb::Column& DimKeyColumn(const ssb::Database& db, DimTable table);
+int64_t DimTableRows(const ssb::Database& db, DimTable table);
+
+/// True when the table's key column is dense 1..rows (customer, supplier,
+/// part) — a lookup is then key - 1, no hash structure needed.
+bool DimKeyDense(DimTable table);
+
+}  // namespace crystal::query
+
+#endif  // CRYSTAL_QUERY_QUERY_SPEC_H_

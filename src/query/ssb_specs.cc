@@ -1,0 +1,183 @@
+#include "query/ssb_specs.h"
+
+#include <utility>
+
+#include "ssb/dict.h"
+
+namespace crystal::query {
+
+namespace {
+
+using ssb::QueryId;
+namespace dict = ssb::dict;
+
+FactFilter Range(FactCol col, int32_t lo, int32_t hi) {
+  return FactFilter{col, lo, hi};
+}
+
+DimFilter DimRange(DimCol col, int32_t lo, int32_t hi) {
+  DimFilter f;
+  f.col = col;
+  f.lo = lo;
+  f.hi = hi;
+  return f;
+}
+
+DimFilter DimEq(DimCol col, int32_t v) { return DimRange(col, v, v); }
+
+DimFilter DimIn(DimCol col, std::vector<int32_t> values) {
+  DimFilter f;
+  f.col = col;
+  f.in_values = std::move(values);
+  return f;
+}
+
+JoinSpec Join(DimTable table, std::vector<DimFilter> filters = {}) {
+  JoinSpec join;
+  join.table = table;
+  join.fact_key = DefaultFactKey(table);
+  join.filters = std::move(filters);
+  return join;
+}
+
+/// Flight 1: fact-only scan, SUM(extendedprice * discount). The date
+/// predicate is pre-rewritten to an orderdate range (Fig. 2).
+QuerySpec Flight1(int32_t date_lo, int32_t date_hi, int32_t disc_lo,
+                  int32_t disc_hi, int32_t qty_lo, int32_t qty_hi) {
+  QuerySpec spec;
+  spec.fact_filters = {
+      Range(FactCol::kOrderdate, date_lo, date_hi),
+      Range(FactCol::kDiscount, disc_lo, disc_hi),
+      Range(FactCol::kQuantity, qty_lo, qty_hi),
+  };
+  spec.agg = {AggExpr::Kind::kProduct, FactCol::kExtendedprice,
+              FactCol::kDiscount};
+  return spec;
+}
+
+/// Flight 2: supplier (region), part (category or brand range), date; group
+/// by (d_year, p_brand1), SUM(revenue). Join order matches the paper's plan
+/// (most selective probes first).
+QuerySpec Flight2(DimFilter part_filter, int32_t s_region) {
+  QuerySpec spec;
+  spec.joins = {
+      Join(DimTable::kSupplier, {DimEq(DimCol::kSRegion, s_region)}),
+      Join(DimTable::kPart, {std::move(part_filter)}),
+      Join(DimTable::kDate),
+  };
+  spec.agg = {AggExpr::Kind::kColumn, FactCol::kRevenue, FactCol::kRevenue};
+  spec.group_by = {DimCol::kDYear, DimCol::kPBrand1};
+  return spec;
+}
+
+/// Flight 3: supplier and customer filtered at the same granularity, date
+/// filter; group by (c_group, s_group, d_year), SUM(revenue).
+QuerySpec Flight3(DimFilter supp_filter, DimFilter cust_filter,
+                  DimCol s_group, DimCol c_group, DimFilter date_filter) {
+  QuerySpec spec;
+  spec.joins = {
+      Join(DimTable::kSupplier, {std::move(supp_filter)}),
+      Join(DimTable::kCustomer, {std::move(cust_filter)}),
+      Join(DimTable::kDate, {std::move(date_filter)}),
+  };
+  spec.agg = {AggExpr::Kind::kColumn, FactCol::kRevenue, FactCol::kRevenue};
+  spec.group_by = {c_group, s_group, DimCol::kDYear};
+  return spec;
+}
+
+/// Flight 4: customer (region), supplier, part, date; SUM(revenue -
+/// supplycost) with per-variant group keys.
+QuerySpec Flight4(DimFilter supp_filter, DimFilter part_filter,
+                  bool year_filter, std::vector<DimCol> group_by) {
+  QuerySpec spec;
+  JoinSpec date = Join(DimTable::kDate);
+  if (year_filter) date.filters = {DimRange(DimCol::kDYear, 1997, 1998)};
+  spec.joins = {
+      Join(DimTable::kCustomer, {DimEq(DimCol::kCRegion, dict::kAmerica)}),
+      Join(DimTable::kSupplier, {std::move(supp_filter)}),
+      Join(DimTable::kPart, {std::move(part_filter)}),
+      std::move(date),
+  };
+  spec.agg = {AggExpr::Kind::kDifference, FactCol::kRevenue,
+              FactCol::kSupplycost};
+  spec.group_by = std::move(group_by);
+  return spec;
+}
+
+QuerySpec SpecFor(QueryId id) {
+  const std::vector<int32_t> city_pair = {dict::kUnitedKi1, dict::kUnitedKi5};
+  switch (ssb::QueryFlight(id)) {
+    case 1:
+      if (id == QueryId::kQ11) {
+        // d_year = 1993, 1 <= discount <= 3, quantity < 25.
+        return Flight1(19930101, 19931231, 1, 3, 0, 24);
+      }
+      if (id == QueryId::kQ12) {
+        // d_yearmonthnum = 199401, 4..6, 26..35.
+        return Flight1(19940101, 19940131, 4, 6, 26, 35);
+      }
+      // q1.3: week 6 of 1994, 5..7, 26..35.
+      return Flight1(19940205, 19940211, 5, 7, 26, 35);
+    case 2:
+      if (id == QueryId::kQ21) {  // p_category = 'MFGR#12', AMERICA
+        return Flight2(DimEq(DimCol::kPCategory, 12), dict::kAmerica);
+      }
+      if (id == QueryId::kQ22) {  // brand BETWEEN 2221 AND 2228, ASIA
+        return Flight2(DimRange(DimCol::kPBrand1, 2221, 2228), dict::kAsia);
+      }
+      // q2.3: p_brand1 = 'MFGR#2239', EUROPE
+      return Flight2(DimEq(DimCol::kPBrand1, 2239), dict::kEurope);
+    case 3: {
+      const DimFilter years = DimRange(DimCol::kDYear, 1992, 1997);
+      if (id == QueryId::kQ31) {  // region = ASIA, group by nations
+        return Flight3(DimEq(DimCol::kSRegion, dict::kAsia),
+                       DimEq(DimCol::kCRegion, dict::kAsia),
+                       DimCol::kSNation, DimCol::kCNation, years);
+      }
+      if (id == QueryId::kQ32) {  // nation = UNITED STATES, group by cities
+        return Flight3(DimEq(DimCol::kSNation, dict::kUnitedStates),
+                       DimEq(DimCol::kCNation, dict::kUnitedStates),
+                       DimCol::kSCity, DimCol::kCCity, years);
+      }
+      if (id == QueryId::kQ33) {  // city IN ('UNITED KI1', 'UNITED KI5')
+        return Flight3(DimIn(DimCol::kSCity, city_pair),
+                       DimIn(DimCol::kCCity, city_pair), DimCol::kSCity,
+                       DimCol::kCCity, years);
+      }
+      // q3.4: same cities, d_yearmonthnum = 199712.
+      return Flight3(DimIn(DimCol::kSCity, city_pair),
+                     DimIn(DimCol::kCCity, city_pair), DimCol::kSCity,
+                     DimCol::kCCity, DimEq(DimCol::kDYearmonthnum, 199712));
+    }
+    default:
+      if (id == QueryId::kQ41) {  // group (d_year, c_nation)
+        return Flight4(DimEq(DimCol::kSRegion, dict::kAmerica),
+                       DimRange(DimCol::kPMfgr, 1, 2),
+                       /*year_filter=*/false,
+                       {DimCol::kDYear, DimCol::kCNation});
+      }
+      if (id == QueryId::kQ42) {  // group (d_year, s_nation, p_category)
+        return Flight4(DimEq(DimCol::kSRegion, dict::kAmerica),
+                       DimRange(DimCol::kPMfgr, 1, 2),
+                       /*year_filter=*/true,
+                       {DimCol::kDYear, DimCol::kSNation,
+                        DimCol::kPCategory});
+      }
+      // q4.3: s_nation = US, p_category = 'MFGR#14',
+      // group (d_year, s_city, p_brand1).
+      return Flight4(DimEq(DimCol::kSNation, dict::kUnitedStates),
+                     DimEq(DimCol::kPCategory, 14),
+                     /*year_filter=*/true,
+                     {DimCol::kDYear, DimCol::kSCity, DimCol::kPBrand1});
+  }
+}
+
+}  // namespace
+
+QuerySpec SsbSpec(ssb::QueryId id) {
+  QuerySpec spec = SpecFor(id);
+  spec.name = ssb::QueryName(id);
+  return spec;
+}
+
+}  // namespace crystal::query

@@ -1,0 +1,17 @@
+#ifndef CRYSTAL_QUERY_SSB_SPECS_H_
+#define CRYSTAL_QUERY_SSB_SPECS_H_
+
+#include "query/query_spec.h"
+#include "ssb/query_id.h"
+
+namespace crystal::query {
+
+/// The canonical QuerySpec of one of the 13 SSB benchmark queries (Fig. 2
+/// constants, dictionary-encoded per ssb/dict.h). This is the single source
+/// of truth for what each query computes — every engine interprets the
+/// returned spec; none carries per-query code.
+QuerySpec SsbSpec(ssb::QueryId id);
+
+}  // namespace crystal::query
+
+#endif  // CRYSTAL_QUERY_SSB_SPECS_H_

@@ -1,12 +1,17 @@
 #include "ssb/crystal_engine.h"
 
 #include <cstring>
+#include <vector>
 
+#include "common/macros.h"
 #include "crystal/crystal.h"
 
 namespace crystal::ssb {
 
 namespace {
+
+using query::AggExpr;
+using query::QuerySpec;
 
 template <typename Pred>
 sim::DeviceBuffer<int32_t> FilteredColumn(sim::Device& device,
@@ -35,8 +40,8 @@ sim::DeviceBuffer<int32_t> FilteredColumn(sim::Device& device,
 // hash table (with perfect hashing) is 2 x 4 x 1M = 8MB"), the table is
 // sized by the dimension's KEY DOMAIN, not by the filtered entry count —
 // this is what makes the part table exceed the GPU L2 at SF 20. The build
-// kernel also charges the dimension-table scan (every row's filter columns
-// are read once).
+// kernel also charges the dimension-table scan (every row's key and filter
+// columns are read once).
 template <typename Pred>
 gpu::DeviceHashTable BuildFiltered(sim::Device& device, const Column& keys,
                                    const Column& payloads, int64_t dim_rows,
@@ -80,17 +85,19 @@ CrystalEngine::CrystalEngine(sim::Device& device, const Database& db)
   upload(lo_supplycost_, db.lo.supplycost);
 }
 
-EngineRun CrystalEngine::Run(QueryId id, const sim::LaunchConfig& config) {
-  device_.ResetStats();
-  EngineRun run;
-  switch (QueryFlight(id)) {
-    case 1: run = RunQ1(Q1ParamsFor(id), config); break;
-    case 2: run = RunQ2(Q2ParamsFor(id), config); break;
-    case 3: run = RunQ3(Q3ParamsFor(id), config); break;
-    default: run = RunQ4(Q4ParamsFor(id), config); break;
+sim::DeviceBuffer<int32_t>& CrystalEngine::FactBuffer(query::FactCol col) {
+  switch (col) {
+    case query::FactCol::kOrderdate: return lo_orderdate_;
+    case query::FactCol::kCustkey: return lo_custkey_;
+    case query::FactCol::kPartkey: return lo_partkey_;
+    case query::FactCol::kSuppkey: return lo_suppkey_;
+    case query::FactCol::kQuantity: return lo_quantity_;
+    case query::FactCol::kDiscount: return lo_discount_;
+    case query::FactCol::kExtendedprice: return lo_extendedprice_;
+    case query::FactCol::kRevenue: return lo_revenue_;
+    case query::FactCol::kSupplycost: return lo_supplycost_;
   }
-  FinalizeRun(&run, FactColumnsReferenced(id));
-  return run;
+  return lo_orderdate_;
 }
 
 void CrystalEngine::FinalizeRun(EngineRun* run, int fact_columns) const {
@@ -107,309 +114,155 @@ void CrystalEngine::FinalizeRun(EngineRun* run, int fact_columns) const {
   run->total_ms = run->build_ms + run->probe_ms;
 }
 
-EngineRun CrystalEngine::RunQ1(const Q1Params& q,
-                               const sim::LaunchConfig& config) {
+EngineRun CrystalEngine::Run(const QuerySpec& spec,
+                             const sim::LaunchConfig& config) {
+  std::string error;
+  CRYSTAL_CHECK_MSG(query::Validate(spec, &error), error.c_str());
+  device_.ResetStats();
+
+  const query::PayloadPlan plan = query::PlanPayloads(spec);
+  const query::GroupLayout layout = query::LayoutFor(spec);
+
+  // Build phase: one domain-sized hash table per dimension join (wiring
+  // resolved once by query::BindJoins); the build kernel charges one
+  // dimension-column scan per filter plus the key.
+  const std::vector<query::BoundJoin> bound =
+      query::BindJoins(spec, plan, db_);
+  std::vector<gpu::DeviceHashTable> tables;
+  tables.reserve(bound.size());
+  for (const query::BoundJoin& join : bound) {
+    tables.push_back(BuildFiltered(
+        device_, *join.keys, *join.payload, join.dim_rows,
+        1 + static_cast<int64_t>(join.filters.size()),
+        [&join](size_t i) { return join.RowPasses(i); }, config));
+  }
+  std::vector<crystal::HashTableView> views;
+  views.reserve(tables.size());
+  for (const gpu::DeviceHashTable& ht : tables) views.push_back(ht.view());
+
+  // One register tile per distinct referenced fact column: a column used by
+  // both a predicate and the aggregate (q1.x discount) is loaded once, as
+  // the hand-fused kernels did.
+  int tile_slot[query::kNumFactCols];
+  for (int i = 0; i < query::kNumFactCols; ++i) tile_slot[i] = -1;
+  int num_slots = 0;
+  auto slot_of = [&](query::FactCol col) {
+    int& slot = tile_slot[static_cast<int>(col)];
+    if (slot < 0) slot = num_slots++;
+    return slot;
+  };
+  std::vector<query::FactCol> slot_col;
+  auto reference = [&](query::FactCol col) {
+    if (tile_slot[static_cast<int>(col)] < 0) slot_col.push_back(col);
+    slot_of(col);
+  };
+  for (const query::FactFilter& f : spec.fact_filters) reference(f.col);
+  for (const query::JoinSpec& join : spec.joins) reference(join.fact_key);
+  reference(spec.agg.a);
+  if (spec.agg.kind != AggExpr::Kind::kColumn) reference(spec.agg.b);
+
   EngineRun run;
+  const bool scalar = layout.scalar();
   sim::DeviceBuffer<int64_t> total(device_, 1, 0);
+  sim::DeviceBuffer<int64_t> grid(device_, scalar ? 1 : layout.cells, 0);
+  const AggExpr::Kind agg_kind = spec.agg.kind;
+
+  // Probe phase: one fused kernel over the fact table — predicate chain,
+  // join cascade in spec order, then the aggregate, with one atomic per
+  // surviving row (grouped) or per tile (scalar).
   sim::LaunchTiles(
-      device_, "q1_scan", config, db_.lo.rows,
+      device_, "spec_probe", config, db_.lo.rows,
       [&](sim::ThreadBlock& tb, int64_t off, int tile) {
-        RegTile<int32_t> od(tb), disc(tb), qty(tb), price(tb);
+        std::vector<RegTile<int32_t>> cols;
+        cols.reserve(slot_col.size());
+        for (size_t i = 0; i < slot_col.size(); ++i) cols.emplace_back(tb);
+        std::vector<RegTile<int32_t>> group;
+        group.reserve(spec.group_by.size());
+        for (size_t g = 0; g < spec.group_by.size(); ++g) group.emplace_back(tb);
+        RegTile<int32_t> ignored(tb);
         RegTile<int> bm(tb);
-        BlockLoad(tb, lo_orderdate_.data() + off, tile, od);
-        BlockPred(tb, od, tile,
-                  [&](int32_t v) { return v >= q.date_lo && v <= q.date_hi; },
-                  bm);
-        BlockLoadSel(tb, lo_discount_.data() + off, lo_discount_.addr(off),
-                     tile, bm, disc);
-        BlockPredAnd(tb, disc, tile,
-                     [&](int32_t v) {
-                       return v >= q.discount_lo && v <= q.discount_hi;
-                     },
-                     bm);
-        BlockLoadSel(tb, lo_quantity_.data() + off, lo_quantity_.addr(off),
-                     tile, bm, qty);
-        BlockPredAnd(tb, qty, tile,
-                     [&](int32_t v) {
-                       return v >= q.quantity_lo && v <= q.quantity_hi;
-                     },
-                     bm);
-        BlockLoadSel(tb, lo_extendedprice_.data() + off,
-                     lo_extendedprice_.addr(off), tile, bm, price);
-        RegTile<int64_t> partial(tb);
-        partial.Fill(0);
-        for (int k = 0; k < tile; ++k) {
-          if (bm.logical(k)) {
-            partial.logical(k) = static_cast<int64_t>(price.logical(k)) *
-                                 disc.logical(k);
-          }
-        }
-        const int64_t s = BlockSum(tb, partial, tile);
-        if (s != 0) tb.AtomicAdd(total.data(), s);
-      });
-  run.result.scalar = total[0];
-  return run;
-}
+        bool bm_valid = false;
 
-EngineRun CrystalEngine::RunQ2(const Q2Params& q,
-                               const sim::LaunchConfig& config) {
-  EngineRun run;
-  // Build phase: supplier (region filter, existence), part (category/brand
-  // filter, payload brand), date (payload year).
-  gpu::DeviceHashTable supp_ht = BuildFiltered(
-      device_, db_.s.suppkey, db_.s.region, db_.s.rows, 2,
-      [&](size_t i) { return db_.s.region[i] == q.s_region; }, config);
-  gpu::DeviceHashTable part_ht = BuildFiltered(
-      device_, db_.p.partkey, db_.p.brand1, db_.p.rows, 2,
-      [&](size_t i) {
-        if (q.filter_by_category) return db_.p.category[i] == q.category;
-        return db_.p.brand1[i] >= q.brand_lo && db_.p.brand1[i] <= q.brand_hi;
-      },
-      config);
-  gpu::DeviceHashTable date_ht = BuildFiltered(
-      device_, db_.d.datekey, db_.d.year, db_.d.rows, 1,
-      [](size_t) { return true; }, config);
-
-  // Probe phase: one fused kernel over the fact table, joining in the
-  // paper's plan order (supplier, part, date) and aggregating into a dense
-  // (year, brand) grid with one atomic per surviving row.
-  constexpr int kYears = 7;
-  constexpr int kBrandSpan = 5541;  // brand codes 1101..5540
-  sim::DeviceBuffer<int64_t> grid(device_,
-                                  static_cast<int64_t>(kYears) * kBrandSpan,
-                                  0);
-  const crystal::HashTableView sv = supp_ht.view();
-  const crystal::HashTableView pv = part_ht.view();
-  const crystal::HashTableView dv = date_ht.view();
-  sim::LaunchTiles(
-      device_, "q2_probe", config, db_.lo.rows,
-      [&](sim::ThreadBlock& tb, int64_t off, int tile) {
-        RegTile<int32_t> key(tb), brand(tb), year(tb), rev(tb), ignored(tb);
-        RegTile<int> bm(tb);
-        BlockLoad(tb, lo_suppkey_.data() + off, tile, key);
-        bm.Fill(1);
-        for (int k = tile; k < bm.size(); ++k) bm.logical(k) = 0;
-        BlockLookup(tb, sv, key, bm, ignored, tile);
-        BlockLoadSel(tb, lo_partkey_.data() + off, lo_partkey_.addr(off),
-                     tile, bm, key);
-        BlockLookup(tb, pv, key, bm, brand, tile);
-        BlockLoadSel(tb, lo_orderdate_.data() + off, lo_orderdate_.addr(off),
-                     tile, bm, key);
-        BlockLookup(tb, dv, key, bm, year, tile);
-        BlockLoadSel(tb, lo_revenue_.data() + off, lo_revenue_.addr(off),
-                     tile, bm, rev);
-        for (int k = 0; k < tile; ++k) {
-          if (!bm.logical(k)) continue;
-          const int64_t idx =
-              static_cast<int64_t>(year.logical(k) - 1992) * kBrandSpan +
-              brand.logical(k);
-          tb.device().RecordRandomRead(grid.addr(idx), 8);
-          tb.AtomicAdd(&grid[idx], static_cast<int64_t>(rev.logical(k)));
-        }
-      });
-  for (int y = 0; y < kYears; ++y) {
-    for (int b = 0; b < kBrandSpan; ++b) {
-      const int64_t v = grid[static_cast<int64_t>(y) * kBrandSpan + b];
-      if (v != 0) run.result.AddGroup(1992 + y, b, 0, v);
-    }
-  }
-  run.result.Normalize();
-  return run;
-}
-
-EngineRun CrystalEngine::RunQ3(const Q3Params& q,
-                               const sim::LaunchConfig& config) {
-  EngineRun run;
-  auto cust_pred = [&](size_t i) {
-    switch (q.level) {
-      case Q3Params::Level::kRegion: return db_.c.region[i] == q.c_value;
-      case Q3Params::Level::kNation: return db_.c.nation[i] == q.c_value;
-      default:
-        return db_.c.city[i] == q.city_a || db_.c.city[i] == q.city_b;
-    }
-  };
-  auto supp_pred = [&](size_t i) {
-    switch (q.level) {
-      case Q3Params::Level::kRegion: return db_.s.region[i] == q.c_value;
-      case Q3Params::Level::kNation: return db_.s.nation[i] == q.c_value;
-      default:
-        return db_.s.city[i] == q.city_a || db_.s.city[i] == q.city_b;
-    }
-  };
-  const Column& c_group = q.level == Q3Params::Level::kRegion
-                              ? db_.c.nation
-                              : db_.c.city;
-  const Column& s_group = q.level == Q3Params::Level::kRegion
-                              ? db_.s.nation
-                              : db_.s.city;
-
-  gpu::DeviceHashTable supp_ht =
-      BuildFiltered(device_, db_.s.suppkey, s_group, db_.s.rows, 2, supp_pred,
-                    config);
-  gpu::DeviceHashTable cust_ht =
-      BuildFiltered(device_, db_.c.custkey, c_group, db_.c.rows, 2, cust_pred,
-                    config);
-  // Date join doubles as the date filter: only matching dates are inserted.
-  gpu::DeviceHashTable date_ht = BuildFiltered(
-      device_, db_.d.datekey, db_.d.year, db_.d.rows, 2,
-      [&](size_t i) {
-        if (q.use_yearmonth) return db_.d.yearmonthnum[i] == q.yearmonthnum;
-        return db_.d.year[i] >= q.year_lo && db_.d.year[i] <= q.year_hi;
-      },
-      config);
-
-  constexpr int kGroupSpan = 250;
-  constexpr int kYears = 7;
-  sim::DeviceBuffer<int64_t> grid(
-      device_, static_cast<int64_t>(kGroupSpan) * kGroupSpan * kYears, 0);
-  const crystal::HashTableView sv = supp_ht.view();
-  const crystal::HashTableView cv = cust_ht.view();
-  const crystal::HashTableView dv = date_ht.view();
-  sim::LaunchTiles(
-      device_, "q3_probe", config, db_.lo.rows,
-      [&](sim::ThreadBlock& tb, int64_t off, int tile) {
-        RegTile<int32_t> key(tb), cg(tb), sg(tb), year(tb), rev(tb);
-        RegTile<int> bm(tb);
-        BlockLoad(tb, lo_suppkey_.data() + off, tile, key);
-        bm.Fill(1);
-        for (int k = tile; k < bm.size(); ++k) bm.logical(k) = 0;
-        BlockLookup(tb, sv, key, bm, sg, tile);
-        BlockLoadSel(tb, lo_custkey_.data() + off, lo_custkey_.addr(off),
-                     tile, bm, key);
-        BlockLookup(tb, cv, key, bm, cg, tile);
-        BlockLoadSel(tb, lo_orderdate_.data() + off, lo_orderdate_.addr(off),
-                     tile, bm, key);
-        BlockLookup(tb, dv, key, bm, year, tile);
-        BlockLoadSel(tb, lo_revenue_.data() + off, lo_revenue_.addr(off),
-                     tile, bm, rev);
-        for (int k = 0; k < tile; ++k) {
-          if (!bm.logical(k)) continue;
-          const int64_t idx =
-              (static_cast<int64_t>(cg.logical(k)) * kGroupSpan +
-               sg.logical(k)) *
-                  kYears +
-              (year.logical(k) - 1992);
-          tb.device().RecordRandomRead(grid.addr(idx), 8);
-          tb.AtomicAdd(&grid[idx], static_cast<int64_t>(rev.logical(k)));
-        }
-      });
-  for (int c = 0; c < kGroupSpan; ++c) {
-    for (int s = 0; s < kGroupSpan; ++s) {
-      for (int y = 0; y < kYears; ++y) {
-        const int64_t v =
-            grid[(static_cast<int64_t>(c) * kGroupSpan + s) * kYears + y];
-        if (v != 0) run.result.AddGroup(c, s, 1992 + y, v);
-      }
-    }
-  }
-  run.result.Normalize();
-  return run;
-}
-
-EngineRun CrystalEngine::RunQ4(const Q4Params& q,
-                               const sim::LaunchConfig& config) {
-  EngineRun run;
-  gpu::DeviceHashTable cust_ht = BuildFiltered(
-      device_, db_.c.custkey, db_.c.nation, db_.c.rows, 2,
-      [&](size_t i) { return db_.c.region[i] == q.c_region; }, config);
-  // Supplier payload: nation (v1/v2) or city (v3).
-  const Column& s_payload = q.variant == 3 ? db_.s.city : db_.s.nation;
-  gpu::DeviceHashTable supp_ht = BuildFiltered(
-      device_, db_.s.suppkey, s_payload, db_.s.rows, 2,
-      [&](size_t i) {
-        if (q.variant == 3) return db_.s.nation[i] == q.s_nation;
-        return db_.s.region[i] == q.s_region;
-      },
-      config);
-  // Part payload: category (v1/v2) or brand (v3).
-  const Column& p_payload = q.variant == 3 ? db_.p.brand1 : db_.p.category;
-  gpu::DeviceHashTable part_ht = BuildFiltered(
-      device_, db_.p.partkey, p_payload, db_.p.rows, 2,
-      [&](size_t i) {
-        if (q.variant == 3) return db_.p.category[i] == q.category;
-        return db_.p.mfgr[i] >= q.mfgr_lo && db_.p.mfgr[i] <= q.mfgr_hi;
-      },
-      config);
-  gpu::DeviceHashTable date_ht = BuildFiltered(
-      device_, db_.d.datekey, db_.d.year, db_.d.rows, 1,
-      [&](size_t i) {
-        if (!q.year_filter) return true;
-        return db_.d.year[i] == 1997 || db_.d.year[i] == 1998;
-      },
-      config);
-
-  // Dense aggregate grid: (year, g1, g2) where (g1, g2) depends on variant:
-  // v1: (c_nation, -), v2: (s_nation, category), v3: (s_city, brand-1100).
-  constexpr int kYears = 7;
-  const int span1 = q.variant == 3 ? 250 : 25;
-  const int span2 = q.variant == 1 ? 1 : (q.variant == 2 ? 56 : 4441);
-  sim::DeviceBuffer<int64_t> grid(
-      device_, static_cast<int64_t>(kYears) * span1 * span2, 0);
-  const crystal::HashTableView cv = cust_ht.view();
-  const crystal::HashTableView sv = supp_ht.view();
-  const crystal::HashTableView pv = part_ht.view();
-  const crystal::HashTableView dv = date_ht.view();
-  const int variant = q.variant;
-  sim::LaunchTiles(
-      device_, "q4_probe", config, db_.lo.rows,
-      [&](sim::ThreadBlock& tb, int64_t off, int tile) {
-        RegTile<int32_t> key(tb), cnat(tb), sval(tb), pval(tb), year(tb);
-        RegTile<int32_t> rev(tb), cost(tb);
-        RegTile<int> bm(tb);
-        BlockLoad(tb, lo_custkey_.data() + off, tile, key);
-        bm.Fill(1);
-        for (int k = tile; k < bm.size(); ++k) bm.logical(k) = 0;
-        BlockLookup(tb, cv, key, bm, cnat, tile);
-        BlockLoadSel(tb, lo_suppkey_.data() + off, lo_suppkey_.addr(off),
-                     tile, bm, key);
-        BlockLookup(tb, sv, key, bm, sval, tile);
-        BlockLoadSel(tb, lo_partkey_.data() + off, lo_partkey_.addr(off),
-                     tile, bm, key);
-        BlockLookup(tb, pv, key, bm, pval, tile);
-        BlockLoadSel(tb, lo_orderdate_.data() + off, lo_orderdate_.addr(off),
-                     tile, bm, key);
-        BlockLookup(tb, dv, key, bm, year, tile);
-        BlockLoadSel(tb, lo_revenue_.data() + off, lo_revenue_.addr(off),
-                     tile, bm, rev);
-        BlockLoadSel(tb, lo_supplycost_.data() + off,
-                     lo_supplycost_.addr(off), tile, bm, cost);
-        for (int k = 0; k < tile; ++k) {
-          if (!bm.logical(k)) continue;
-          const int y = year.logical(k) - 1992;
-          int64_t idx;
-          if (variant == 1) {
-            idx = static_cast<int64_t>(y) * 25 + cnat.logical(k);
-          } else if (variant == 2) {
-            idx = (static_cast<int64_t>(y) * 25 + sval.logical(k)) * 56 +
-                  pval.logical(k);
+        // Loads each referenced column on first use: a full BlockLoad for
+        // the leading column, bitmap-selective loads after that.
+        bool loaded[query::kNumFactCols] = {};
+        auto load = [&](query::FactCol col) -> RegTile<int32_t>& {
+          const int slot = tile_slot[static_cast<int>(col)];
+          RegTile<int32_t>& dst = cols[static_cast<size_t>(slot)];
+          if (loaded[static_cast<int>(col)]) return dst;
+          loaded[static_cast<int>(col)] = true;
+          sim::DeviceBuffer<int32_t>& buf = FactBuffer(col);
+          if (bm_valid) {
+            BlockLoadSel(tb, buf.data() + off, buf.addr(off), tile, bm, dst);
           } else {
-            idx = (static_cast<int64_t>(y) * 250 + sval.logical(k)) * 4441 +
-                  (pval.logical(k) - 1100);
+            BlockLoad(tb, buf.data() + off, tile, dst);
           }
-          tb.device().RecordRandomRead(grid.addr(idx), 8);
-          tb.AtomicAdd(&grid[idx],
-                       static_cast<int64_t>(rev.logical(k)) -
-                           cost.logical(k));
+          return dst;
+        };
+        auto init_bitmap = [&] {
+          if (bm_valid) return;
+          bm.Fill(1);
+          for (int k = tile; k < bm.size(); ++k) bm.logical(k) = 0;
+          bm_valid = true;
+        };
+
+        for (const query::FactFilter& f : spec.fact_filters) {
+          RegTile<int32_t>& vals = load(f.col);
+          const auto pred = [&f](int32_t v) { return v >= f.lo && v <= f.hi; };
+          if (!bm_valid) {
+            BlockPred(tb, vals, tile, pred, bm);
+            bm_valid = true;
+          } else {
+            BlockPredAnd(tb, vals, tile, pred, bm);
+          }
+        }
+        for (size_t j = 0; j < spec.joins.size(); ++j) {
+          RegTile<int32_t>& keys = load(spec.joins[j].fact_key);
+          init_bitmap();
+          // Matching payloads land in the join's group-key tile; filter-only
+          // joins write a scratch tile (only the bitmap effect matters).
+          RegTile<int32_t>& payload =
+              plan.join_payload[j] >= 0
+                  ? group[static_cast<size_t>(plan.join_payload[j])]
+                  : ignored;
+          BlockLookup(tb, views[j], keys, bm, payload, tile);
+        }
+        init_bitmap();  // pure scan: every row survives
+        RegTile<int32_t>& va = load(spec.agg.a);
+        RegTile<int32_t>& vb =
+            agg_kind == AggExpr::Kind::kColumn ? va : load(spec.agg.b);
+        auto value_at = [&](int k) {
+          return query::AggValue(agg_kind, va.logical(k), vb.logical(k));
+        };
+        if (scalar) {
+          RegTile<int64_t> partial(tb);
+          partial.Fill(0);
+          for (int k = 0; k < tile; ++k) {
+            if (bm.logical(k)) partial.logical(k) = value_at(k);
+          }
+          const int64_t s = BlockSum(tb, partial, tile);
+          if (s != 0) tb.AtomicAdd(total.data(), s);
+        } else {
+          for (int k = 0; k < tile; ++k) {
+            if (!bm.logical(k)) continue;
+            int64_t cell = 0;
+            for (int g = 0; g < layout.num_keys; ++g) {
+              cell = cell * layout.span[g] +
+                     (group[static_cast<size_t>(g)].logical(k) -
+                      layout.lo[g]);
+            }
+            tb.device().RecordRandomRead(grid.addr(cell), 8);
+            tb.AtomicAdd(&grid[cell], value_at(k));
+          }
         }
       });
 
-  for (int64_t i = 0; i < grid.size(); ++i) {
-    const int64_t v = grid[i];
-    if (v == 0) continue;
-    if (variant == 1) {
-      run.result.AddGroup(1992 + static_cast<int32_t>(i / 25),
-                          static_cast<int32_t>(i % 25), 0, v);
-    } else if (variant == 2) {
-      run.result.AddGroup(1992 + static_cast<int32_t>(i / 56 / 25),
-                          static_cast<int32_t>(i / 56 % 25),
-                          static_cast<int32_t>(i % 56), v);
-    } else {
-      run.result.AddGroup(1992 + static_cast<int32_t>(i / 4441 / 250),
-                          static_cast<int32_t>(i / 4441 % 250),
-                          static_cast<int32_t>(i % 4441) + 1100, v);
-    }
+  if (scalar) {
+    run.result.scalar = total[0];
+  } else {
+    EmitDenseGroups(layout, grid.data(), &run.result);
   }
-  run.result.Normalize();
+  FinalizeRun(&run, query::FactColumnsReferenced(spec));
   return run;
 }
 

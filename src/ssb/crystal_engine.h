@@ -1,8 +1,6 @@
 #ifndef CRYSTAL_SSB_CRYSTAL_ENGINE_H_
 #define CRYSTAL_SSB_CRYSTAL_ENGINE_H_
 
-#include <memory>
-
 #include "gpu/hash_table.h"
 #include "sim/device.h"
 #include "sim/exec.h"
@@ -28,28 +26,30 @@ struct EngineRun {
 
 /// The paper's standalone engine: one fused tile-based kernel per query
 /// built from Crystal block-wide functions (Section 5.2), preceded by the
-/// dimension hash-table builds. The engine is device-profile agnostic:
-/// executed on the V100 profile it is the "Standalone GPU" system; executed
-/// on the Skylake profile it models the equivalent vectorized "Standalone
-/// CPU" implementation (the tile model is the GPU analogue of vectorized
-/// CPU processing, Section 3.2), with CPU memory stalls applied by the
-/// timing model. Functional results are identical on both profiles and are
-/// verified against RunReference in the tests.
+/// dimension hash-table builds. The kernel is assembled generically from
+/// the QuerySpec — BlockPred chains for the fact filters, one BlockLookup
+/// per dimension join, and a dense-grid (or block-summed scalar) aggregate;
+/// each referenced fact column is loaded into registers exactly once. The
+/// engine is device-profile agnostic: executed on the V100 profile it is
+/// the "Standalone GPU" system; executed on the Skylake profile it models
+/// the equivalent vectorized "Standalone CPU" implementation (Section 3.2),
+/// with CPU memory stalls applied by the timing model.
 class CrystalEngine {
  public:
   CrystalEngine(sim::Device& device, const Database& db);
 
-  /// Runs one of the 13 SSB queries; resets device stats first so the
-  /// report covers exactly this query.
-  EngineRun Run(QueryId id, const sim::LaunchConfig& config = {});
+  /// Runs a spec; resets device stats first so the report covers exactly
+  /// this query.
+  EngineRun Run(const query::QuerySpec& spec,
+                const sim::LaunchConfig& config = {});
+  EngineRun Run(QueryId id, const sim::LaunchConfig& config = {}) {
+    return Run(query::SsbSpec(id), config);
+  }
 
   sim::Device& device() { return device_; }
 
  private:
-  EngineRun RunQ1(const Q1Params& q, const sim::LaunchConfig& config);
-  EngineRun RunQ2(const Q2Params& q, const sim::LaunchConfig& config);
-  EngineRun RunQ3(const Q3Params& q, const sim::LaunchConfig& config);
-  EngineRun RunQ4(const Q4Params& q, const sim::LaunchConfig& config);
+  sim::DeviceBuffer<int32_t>& FactBuffer(query::FactCol col);
 
   // Splits recorded kernel estimates into build vs probe and fills traffic
   // fields of `run`.
@@ -58,7 +58,7 @@ class CrystalEngine {
   sim::Device& device_;
   const Database& db_;
 
-  // Fact columns resident in device memory.
+  // Fact columns resident in device memory, indexed by query::FactCol.
   sim::DeviceBuffer<int32_t> lo_orderdate_, lo_custkey_, lo_partkey_,
       lo_suppkey_, lo_quantity_, lo_discount_, lo_extendedprice_, lo_revenue_,
       lo_supplycost_;

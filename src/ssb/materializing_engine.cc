@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/macros.h"
 
 namespace crystal::ssb {
 
 namespace {
+
+using query::AggExpr;
+using query::QuerySpec;
 
 // Per-operator fixed kernel structure in the independent-threads model:
 // count pass + prefix-sum + scatter pass (Fig. 4a) — the input is read
@@ -75,19 +80,6 @@ int64_t ElementReadBytes(const sim::Device& device, int64_t count) {
 MaterializingEngine::MaterializingEngine(sim::Device& device,
                                          const Database& db)
     : device_(device), db_(db) {}
-
-EngineRun MaterializingEngine::Run(QueryId id) {
-  device_.ResetStats();
-  EngineRun run;
-  switch (QueryFlight(id)) {
-    case 1: run = RunQ1(Q1ParamsFor(id)); break;
-    case 2: run = RunQ2(Q2ParamsFor(id)); break;
-    case 3: run = RunQ3(Q3ParamsFor(id)); break;
-    default: run = RunQ4(Q4ParamsFor(id)); break;
-  }
-  FinalizeRun(&run, FactColumnsReferenced(id));
-  return run;
-}
 
 void MaterializingEngine::FinalizeRun(EngineRun* run,
                                       int fact_columns) const {
@@ -241,337 +233,130 @@ MaterializingEngine::Oids MaterializingEngine::ProbeJoin(
   return out;
 }
 
-EngineRun MaterializingEngine::RunQ1(const Q1Params& q) {
+EngineRun MaterializingEngine::Run(const QuerySpec& spec) {
+  std::string error;
+  CRYSTAL_CHECK_MSG(query::Validate(spec, &error), error.c_str());
+  device_.ResetStats();
+
+  const query::PayloadPlan plan = query::PlanPayloads(spec);
+  const query::GroupLayout layout = query::LayoutFor(spec);
   EngineRun run;
-  Oids sel = ScanSelect(db_.lo.orderdate, "mat_select_orderdate",
-                        [&](int32_t v) {
-                          return v >= q.date_lo && v <= q.date_hi;
-                        });
-  sel = Refine(db_.lo.discount, sel, "mat_refine_discount", [&](int32_t v) {
-    return v >= q.discount_lo && v <= q.discount_hi;
-  });
-  sel = Refine(db_.lo.quantity, sel, "mat_refine_quantity", [&](int32_t v) {
-    return v >= q.quantity_lo && v <= q.quantity_hi;
-  });
-  sim::DeviceBuffer<int32_t> price =
-      Fetch(db_.lo.extendedprice, sel, "mat_fetch_price");
-  sim::DeviceBuffer<int32_t> disc =
-      Fetch(db_.lo.discount, sel, "mat_fetch_discount");
-  sim::RunAsKernel(device_, "mat_aggregate", {}, 1, [&] {
-    device_.RecordSeqRead(2 * sel.count * 4);
-    for (int64_t i = 0; i < sel.count; ++i) {
-      run.result.scalar += static_cast<int64_t>(price[i]) * disc[i];
-    }
-  });
-  return run;
-}
 
-EngineRun MaterializingEngine::RunQ2(const Q2Params& q) {
-  EngineRun run;
-  gpu::DeviceHashTable supp = BuildFilteredHt(
-      device_, db_.s.suppkey, db_.s.region, db_.s.rows,
-      [&](size_t i) { return db_.s.region[i] == q.s_region; });
-  gpu::DeviceHashTable part = BuildFilteredHt(
-      device_, db_.p.partkey, db_.p.brand1, db_.p.rows, [&](size_t i) {
-        if (q.filter_by_category) return db_.p.category[i] == q.category;
-        return db_.p.brand1[i] >= q.brand_lo && db_.p.brand1[i] <= q.brand_hi;
-      });
-  gpu::DeviceHashTable date =
-      BuildFilteredHt(device_, db_.d.datekey, db_.d.year, db_.d.rows,
-                      [](size_t) { return true; });
-
-  // First join reads the raw fact column (identity candidate list).
-  Oids all;
-  all.rows = sim::DeviceBuffer<int32_t>(device_, db_.lo.rows);
-  sim::RunAsKernel(device_, "mat_identity", {}, 1, [&] {
-    for (int64_t i = 0; i < db_.lo.rows; ++i) {
-      all.rows[i] = static_cast<int32_t>(i);
-    }
-  });
-  all.count = db_.lo.rows;
-
-  sim::DeviceBuffer<int32_t> suppkeys =
-      Fetch(db_.lo.suppkey, all, "mat_fetch_suppkey");
-  sim::DeviceBuffer<int32_t> ignored;
-  Oids sel = ProbeJoin(supp, suppkeys, all, "mat_join_supplier", &ignored);
-
-  sim::DeviceBuffer<int32_t> partkeys =
-      Fetch(db_.lo.partkey, sel, "mat_fetch_partkey");
-  sim::DeviceBuffer<int32_t> brand;
-  sel = ProbeJoin(part, partkeys, sel, "mat_join_part", &brand);
-
-  sim::DeviceBuffer<int32_t> dates =
-      Fetch(db_.lo.orderdate, sel, "mat_fetch_orderdate");
-  sim::DeviceBuffer<int32_t> year;
-  sel = ProbeJoin(date, dates, sel, "mat_join_date", &year);
-
-  sim::DeviceBuffer<int32_t> rev =
-      Fetch(db_.lo.revenue, sel, "mat_fetch_revenue");
-
-  constexpr int kYears = 7;
-  constexpr int kBrandSpan = 5541;
-  std::vector<int64_t> grid(static_cast<size_t>(kYears) * kBrandSpan, 0);
-  sim::RunAsKernel(device_, "mat_groupby", {}, 1, [&] {
-    device_.RecordSeqRead(3 * sel.count * 4);
-    for (int64_t i = 0; i < sel.count; ++i) {
-      const int64_t idx =
-          static_cast<int64_t>(year[i] - 1992) * kBrandSpan + brand[i];
-      device_.RecordAtomic();
-      grid[static_cast<size_t>(idx)] += rev[i];
-    }
-  });
-  for (int y = 0; y < kYears; ++y) {
-    for (int b = 0; b < kBrandSpan; ++b) {
-      const int64_t v = grid[static_cast<size_t>(y) * kBrandSpan + b];
-      if (v != 0) run.result.AddGroup(1992 + y, b, 0, v);
-    }
+  // Build phase: one domain-sized filtered hash table per dimension join,
+  // with the key/payload/filter wiring resolved once by query::BindJoins.
+  const std::vector<query::BoundJoin> bound =
+      query::BindJoins(spec, plan, db_);
+  std::vector<gpu::DeviceHashTable> tables;
+  tables.reserve(bound.size());
+  for (const query::BoundJoin& join : bound) {
+    tables.push_back(
+        BuildFilteredHt(device_, *join.keys, *join.payload, join.dim_rows,
+                        [&join](size_t i) { return join.RowPasses(i); }));
   }
-  run.result.Normalize();
-  return run;
-}
 
-EngineRun MaterializingEngine::RunQ3(const Q3Params& q) {
-  EngineRun run;
-  auto cust_pred = [&](size_t i) {
-    switch (q.level) {
-      case Q3Params::Level::kRegion: return db_.c.region[i] == q.c_value;
-      case Q3Params::Level::kNation: return db_.c.nation[i] == q.c_value;
-      default:
-        return db_.c.city[i] == q.city_a || db_.c.city[i] == q.city_b;
+  // Candidate list: select + refine over the fact filters, or the identity
+  // list when the query has none (join-only plans read the raw column).
+  Oids sel;
+  if (!spec.fact_filters.empty()) {
+    bool first = true;
+    for (const query::FactFilter& f : spec.fact_filters) {
+      const Column& col = query::FactColumn(db_, f.col);
+      const std::string name =
+          std::string(first ? "mat_select_" : "mat_refine_") +
+          std::string(query::FactColName(f.col));
+      const auto pred = [&f](int32_t v) { return v >= f.lo && v <= f.hi; };
+      sel = first ? ScanSelect(col, name.c_str(), pred)
+                  : Refine(col, sel, name.c_str(), pred);
+      first = false;
     }
+  } else {
+    sel.rows = sim::DeviceBuffer<int32_t>(device_, db_.lo.rows);
+    sim::RunAsKernel(device_, "mat_identity", {}, 1, [&] {
+      for (int64_t i = 0; i < db_.lo.rows; ++i) {
+        sel.rows[i] = static_cast<int32_t>(i);
+      }
+    });
+    sel.count = db_.lo.rows;
+  }
+
+  // Join cascade: fetch the key column at the surviving rows, probe, then
+  // realign every group payload materialized by earlier joins with the
+  // survivors (candidate lists are ascending, so one merge walk each).
+  std::vector<sim::DeviceBuffer<int32_t>> group_vals(spec.group_by.size());
+  std::vector<bool> group_filled(spec.group_by.size(), false);
+  for (size_t j = 0; j < spec.joins.size(); ++j) {
+    const query::JoinSpec& join = spec.joins[j];
+    const std::string fetch_name =
+        "mat_fetch_" + std::string(query::FactColName(join.fact_key));
+    const sim::DeviceBuffer<int32_t> keys =
+        Fetch(query::FactColumn(db_, join.fact_key), sel, fetch_name.c_str());
+    const std::string join_name =
+        "mat_join_" + std::string(query::DimTableName(join.table));
+    sim::DeviceBuffer<int32_t> payload;
+    Oids next = ProbeJoin(tables[j], keys, sel, join_name.c_str(), &payload);
+    for (size_t g = 0; g < group_vals.size(); ++g) {
+      if (!group_filled[g]) continue;
+      sim::DeviceBuffer<int32_t> aligned(device_,
+                                         std::max<int64_t>(next.count, 1));
+      int64_t w = 0;
+      for (int64_t i = 0; i < sel.count && w < next.count; ++i) {
+        if (sel.rows[i] == next.rows[w]) aligned[w++] = group_vals[g][i];
+      }
+      group_vals[g] = std::move(aligned);
+    }
+    if (plan.join_payload[j] >= 0) {
+      const size_t slot = static_cast<size_t>(plan.join_payload[j]);
+      group_vals[slot] = std::move(payload);
+      group_filled[slot] = true;
+    }
+    sel = std::move(next);
+  }
+
+  // Fetch the aggregate inputs and run the final aggregation operator.
+  const std::string fetch_a =
+      "mat_fetch_" + std::string(query::FactColName(spec.agg.a));
+  sim::DeviceBuffer<int32_t> va =
+      Fetch(query::FactColumn(db_, spec.agg.a), sel, fetch_a.c_str());
+  const bool two_inputs = spec.agg.kind != AggExpr::Kind::kColumn;
+  sim::DeviceBuffer<int32_t> vb(device_, 1);
+  if (two_inputs) {
+    const std::string fetch_b =
+        "mat_fetch_" + std::string(query::FactColName(spec.agg.b));
+    vb = Fetch(query::FactColumn(db_, spec.agg.b), sel, fetch_b.c_str());
+  }
+  const AggExpr::Kind agg_kind = spec.agg.kind;
+  // vb is a 1-element dummy for single-input aggregates; alias the first
+  // input so AggValue's (ignored) b argument stays in bounds.
+  const sim::DeviceBuffer<int32_t>& vb_ref = two_inputs ? vb : va;
+  auto value_at = [&](int64_t i) {
+    return query::AggValue(agg_kind, va[i], vb_ref[i]);
   };
-  auto supp_pred = [&](size_t i) {
-    switch (q.level) {
-      case Q3Params::Level::kRegion: return db_.s.region[i] == q.c_value;
-      case Q3Params::Level::kNation: return db_.s.nation[i] == q.c_value;
-      default:
-        return db_.s.city[i] == q.city_a || db_.s.city[i] == q.city_b;
-    }
-  };
-  const Column& c_group =
-      q.level == Q3Params::Level::kRegion ? db_.c.nation : db_.c.city;
-  const Column& s_group =
-      q.level == Q3Params::Level::kRegion ? db_.s.nation : db_.s.city;
-  gpu::DeviceHashTable supp =
-      BuildFilteredHt(device_, db_.s.suppkey, s_group, db_.s.rows, supp_pred);
-  gpu::DeviceHashTable cust =
-      BuildFilteredHt(device_, db_.c.custkey, c_group, db_.c.rows, cust_pred);
-  gpu::DeviceHashTable date = BuildFilteredHt(
-      device_, db_.d.datekey, db_.d.year, db_.d.rows, [&](size_t i) {
-        if (q.use_yearmonth) return db_.d.yearmonthnum[i] == q.yearmonthnum;
-        return db_.d.year[i] >= q.year_lo && db_.d.year[i] <= q.year_hi;
-      });
 
-  Oids all;
-  all.rows = sim::DeviceBuffer<int32_t>(device_, db_.lo.rows);
-  sim::RunAsKernel(device_, "mat_identity", {}, 1, [&] {
-    for (int64_t i = 0; i < db_.lo.rows; ++i) {
-      all.rows[i] = static_cast<int32_t>(i);
-    }
-  });
-  all.count = db_.lo.rows;
-
-  sim::DeviceBuffer<int32_t> suppkeys =
-      Fetch(db_.lo.suppkey, all, "mat_fetch_suppkey");
-  sim::DeviceBuffer<int32_t> sg;
-  Oids sel = ProbeJoin(supp, suppkeys, all, "mat_join_supplier", &sg);
-
-  sim::DeviceBuffer<int32_t> custkeys =
-      Fetch(db_.lo.custkey, sel, "mat_fetch_custkey");
-  sim::DeviceBuffer<int32_t> cg_all;
-  Oids sel2 = ProbeJoin(cust, custkeys, sel, "mat_join_customer", &cg_all);
-  // Align supplier payloads with the customer join survivors.
-  sim::DeviceBuffer<int32_t> sg2(device_, std::max<int64_t>(sel2.count, 1));
-  {
-    int64_t w = 0;
-    int64_t r = 0;
-    for (int64_t i = 0; i < sel.count && w < sel2.count; ++i) {
-      if (sel.rows[i] == sel2.rows[w]) {
-        sg2[w++] = sg[i];
+  if (layout.scalar()) {
+    sim::RunAsKernel(device_, "mat_aggregate", {}, 1, [&] {
+      device_.RecordSeqRead((two_inputs ? 2 : 1) * sel.count * 4);
+      for (int64_t i = 0; i < sel.count; ++i) {
+        run.result.scalar += value_at(i);
       }
-      (void)r;
-    }
-  }
-
-  sim::DeviceBuffer<int32_t> dates =
-      Fetch(db_.lo.orderdate, sel2, "mat_fetch_orderdate");
-  sim::DeviceBuffer<int32_t> year;
-  Oids sel3 = ProbeJoin(date, dates, sel2, "mat_join_date", &year);
-  // Align earlier payloads with the date join survivors.
-  sim::DeviceBuffer<int32_t> sg3(device_, std::max<int64_t>(sel3.count, 1));
-  sim::DeviceBuffer<int32_t> cg3(device_, std::max<int64_t>(sel3.count, 1));
-  {
-    int64_t w = 0;
-    for (int64_t i = 0; i < sel2.count && w < sel3.count; ++i) {
-      if (sel2.rows[i] == sel3.rows[w]) {
-        sg3[w] = sg2[i];
-        cg3[w] = cg_all[i];
-        ++w;
+    });
+  } else {
+    std::vector<int64_t> grid(static_cast<size_t>(layout.cells), 0);
+    const int64_t input_cols = layout.num_keys + (two_inputs ? 2 : 1);
+    sim::RunAsKernel(device_, "mat_groupby", {}, 1, [&] {
+      device_.RecordSeqRead(input_cols * sel.count * 4);
+      for (int64_t i = 0; i < sel.count; ++i) {
+        int64_t cell = 0;
+        for (int k = 0; k < layout.num_keys; ++k) {
+          cell = cell * layout.span[k] +
+                 (group_vals[static_cast<size_t>(k)][i] - layout.lo[k]);
+        }
+        device_.RecordAtomic();
+        grid[static_cast<size_t>(cell)] += value_at(i);
       }
-    }
+    });
+    EmitDenseGroups(layout, grid.data(), &run.result);
   }
-
-  sim::DeviceBuffer<int32_t> rev =
-      Fetch(db_.lo.revenue, sel3, "mat_fetch_revenue");
-
-  constexpr int kGroupSpan = 250;
-  constexpr int kYears = 7;
-  std::vector<int64_t> grid(
-      static_cast<size_t>(kGroupSpan) * kGroupSpan * kYears, 0);
-  sim::RunAsKernel(device_, "mat_groupby", {}, 1, [&] {
-    device_.RecordSeqRead(4 * sel3.count * 4);
-    for (int64_t i = 0; i < sel3.count; ++i) {
-      const int64_t idx =
-          (static_cast<int64_t>(cg3[i]) * kGroupSpan + sg3[i]) * kYears +
-          (year[i] - 1992);
-      device_.RecordAtomic();
-      grid[static_cast<size_t>(idx)] += rev[i];
-    }
-  });
-  for (int c = 0; c < kGroupSpan; ++c) {
-    for (int s = 0; s < kGroupSpan; ++s) {
-      for (int y = 0; y < kYears; ++y) {
-        const int64_t v =
-            grid[(static_cast<size_t>(c) * kGroupSpan + s) * kYears + y];
-        if (v != 0) run.result.AddGroup(c, s, 1992 + y, v);
-      }
-    }
-  }
-  run.result.Normalize();
-  return run;
-}
-
-EngineRun MaterializingEngine::RunQ4(const Q4Params& q) {
-  EngineRun run;
-  gpu::DeviceHashTable cust = BuildFilteredHt(
-      device_, db_.c.custkey, db_.c.nation, db_.c.rows,
-      [&](size_t i) { return db_.c.region[i] == q.c_region; });
-  const Column& s_payload = q.variant == 3 ? db_.s.city : db_.s.nation;
-  gpu::DeviceHashTable supp = BuildFilteredHt(
-      device_, db_.s.suppkey, s_payload, db_.s.rows, [&](size_t i) {
-        if (q.variant == 3) return db_.s.nation[i] == q.s_nation;
-        return db_.s.region[i] == q.s_region;
-      });
-  const Column& p_payload = q.variant == 3 ? db_.p.brand1 : db_.p.category;
-  gpu::DeviceHashTable part = BuildFilteredHt(
-      device_, db_.p.partkey, p_payload, db_.p.rows, [&](size_t i) {
-        if (q.variant == 3) return db_.p.category[i] == q.category;
-        return db_.p.mfgr[i] >= q.mfgr_lo && db_.p.mfgr[i] <= q.mfgr_hi;
-      });
-  gpu::DeviceHashTable date = BuildFilteredHt(
-      device_, db_.d.datekey, db_.d.year, db_.d.rows, [&](size_t i) {
-        if (!q.year_filter) return true;
-        return db_.d.year[i] == 1997 || db_.d.year[i] == 1998;
-      });
-
-  Oids all;
-  all.rows = sim::DeviceBuffer<int32_t>(device_, db_.lo.rows);
-  sim::RunAsKernel(device_, "mat_identity", {}, 1, [&] {
-    for (int64_t i = 0; i < db_.lo.rows; ++i) {
-      all.rows[i] = static_cast<int32_t>(i);
-    }
-  });
-  all.count = db_.lo.rows;
-
-  sim::DeviceBuffer<int32_t> custkeys =
-      Fetch(db_.lo.custkey, all, "mat_fetch_custkey");
-  sim::DeviceBuffer<int32_t> cnat;
-  Oids sel = ProbeJoin(cust, custkeys, all, "mat_join_customer", &cnat);
-
-  sim::DeviceBuffer<int32_t> suppkeys =
-      Fetch(db_.lo.suppkey, sel, "mat_fetch_suppkey");
-  sim::DeviceBuffer<int32_t> sval;
-  Oids sel2 = ProbeJoin(supp, suppkeys, sel, "mat_join_supplier", &sval);
-  sim::DeviceBuffer<int32_t> cnat2(device_, std::max<int64_t>(sel2.count, 1));
-  {
-    int64_t w = 0;
-    for (int64_t i = 0; i < sel.count && w < sel2.count; ++i) {
-      if (sel.rows[i] == sel2.rows[w]) cnat2[w++] = cnat[i];
-    }
-  }
-
-  sim::DeviceBuffer<int32_t> partkeys =
-      Fetch(db_.lo.partkey, sel2, "mat_fetch_partkey");
-  sim::DeviceBuffer<int32_t> pval;
-  Oids sel3 = ProbeJoin(part, partkeys, sel2, "mat_join_part", &pval);
-  sim::DeviceBuffer<int32_t> cnat3(device_, std::max<int64_t>(sel3.count, 1));
-  sim::DeviceBuffer<int32_t> sval3(device_, std::max<int64_t>(sel3.count, 1));
-  {
-    int64_t w = 0;
-    for (int64_t i = 0; i < sel2.count && w < sel3.count; ++i) {
-      if (sel2.rows[i] == sel3.rows[w]) {
-        cnat3[w] = cnat2[i];
-        sval3[w] = sval[i];
-        ++w;
-      }
-    }
-  }
-
-  sim::DeviceBuffer<int32_t> dates =
-      Fetch(db_.lo.orderdate, sel3, "mat_fetch_orderdate");
-  sim::DeviceBuffer<int32_t> year;
-  Oids sel4 = ProbeJoin(date, dates, sel3, "mat_join_date", &year);
-  sim::DeviceBuffer<int32_t> cnat4(device_, std::max<int64_t>(sel4.count, 1));
-  sim::DeviceBuffer<int32_t> sval4(device_, std::max<int64_t>(sel4.count, 1));
-  sim::DeviceBuffer<int32_t> pval4(device_, std::max<int64_t>(sel4.count, 1));
-  {
-    int64_t w = 0;
-    for (int64_t i = 0; i < sel3.count && w < sel4.count; ++i) {
-      if (sel3.rows[i] == sel4.rows[w]) {
-        cnat4[w] = cnat3[i];
-        sval4[w] = sval3[i];
-        pval4[w] = pval[i];
-        ++w;
-      }
-    }
-  }
-
-  sim::DeviceBuffer<int32_t> rev =
-      Fetch(db_.lo.revenue, sel4, "mat_fetch_revenue");
-  sim::DeviceBuffer<int32_t> cost =
-      Fetch(db_.lo.supplycost, sel4, "mat_fetch_supplycost");
-
-  constexpr int kYears = 7;
-  const int span1 = q.variant == 3 ? 250 : 25;
-  const int span2 = q.variant == 1 ? 1 : (q.variant == 2 ? 56 : 4441);
-  std::vector<int64_t> grid(
-      static_cast<size_t>(kYears) * span1 * span2, 0);
-  const int variant = q.variant;
-  sim::RunAsKernel(device_, "mat_groupby", {}, 1, [&] {
-    device_.RecordSeqRead(5 * sel4.count * 4);
-    for (int64_t i = 0; i < sel4.count; ++i) {
-      const int y = year[i] - 1992;
-      int64_t idx;
-      if (variant == 1) {
-        idx = static_cast<int64_t>(y) * 25 + cnat4[i];
-      } else if (variant == 2) {
-        idx = (static_cast<int64_t>(y) * 25 + sval4[i]) * 56 + pval4[i];
-      } else {
-        idx = (static_cast<int64_t>(y) * 250 + sval4[i]) * 4441 +
-              (pval4[i] - 1100);
-      }
-      device_.RecordAtomic();
-      grid[static_cast<size_t>(idx)] +=
-          static_cast<int64_t>(rev[i]) - cost[i];
-    }
-  });
-  for (int64_t i = 0; i < static_cast<int64_t>(grid.size()); ++i) {
-    const int64_t v = grid[static_cast<size_t>(i)];
-    if (v == 0) continue;
-    if (variant == 1) {
-      run.result.AddGroup(1992 + static_cast<int32_t>(i / 25),
-                          static_cast<int32_t>(i % 25), 0, v);
-    } else if (variant == 2) {
-      run.result.AddGroup(1992 + static_cast<int32_t>(i / 56 / 25),
-                          static_cast<int32_t>(i / 56 % 25),
-                          static_cast<int32_t>(i % 56), v);
-    } else {
-      run.result.AddGroup(1992 + static_cast<int32_t>(i / 4441 / 250),
-                          static_cast<int32_t>(i / 4441 % 250),
-                          static_cast<int32_t>(i % 4441) + 1100, v);
-    }
-  }
-  run.result.Normalize();
+  FinalizeRun(&run, query::FactColumnsReferenced(spec));
   return run;
 }
 

@@ -9,7 +9,11 @@ namespace crystal::ssb {
 
 /// Operator-at-a-time engine with full intermediate materialization: every
 /// operator reads whole input columns (or materialized intermediates) and
-/// writes its result back to memory before the next operator starts.
+/// writes its result back to memory before the next operator starts. The
+/// operator chain is assembled generically from the QuerySpec — select +
+/// refine for the fact filters, fetch + probe per dimension join (with
+/// payload realignment after each), fetch for the aggregate inputs, one
+/// group-by kernel at the end.
 ///
 /// This is the execution model the paper's two weak baselines share:
 ///  * run on the Skylake profile it stands in for MonetDB (Section 2.3:
@@ -25,7 +29,8 @@ class MaterializingEngine {
  public:
   MaterializingEngine(sim::Device& device, const Database& db);
 
-  EngineRun Run(QueryId id);
+  EngineRun Run(const query::QuerySpec& spec);
+  EngineRun Run(QueryId id) { return Run(query::SsbSpec(id)); }
 
  private:
   // Operator-at-a-time primitives. Selection vectors, fetched columns and
@@ -50,10 +55,6 @@ class MaterializingEngine {
                  const sim::DeviceBuffer<int32_t>& keys, const Oids& in,
                  const char* name, sim::DeviceBuffer<int32_t>* payloads);
 
-  EngineRun RunQ1(const Q1Params& q);
-  EngineRun RunQ2(const Q2Params& q);
-  EngineRun RunQ3(const Q3Params& q);
-  EngineRun RunQ4(const Q4Params& q);
   void FinalizeRun(EngineRun* run, int fact_columns) const;
 
   sim::Device& device_;

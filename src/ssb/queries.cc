@@ -9,50 +9,6 @@
 
 namespace crystal::ssb {
 
-std::string QueryName(QueryId id) {
-  switch (id) {
-    case QueryId::kQ11: return "q1.1";
-    case QueryId::kQ12: return "q1.2";
-    case QueryId::kQ13: return "q1.3";
-    case QueryId::kQ21: return "q2.1";
-    case QueryId::kQ22: return "q2.2";
-    case QueryId::kQ23: return "q2.3";
-    case QueryId::kQ31: return "q3.1";
-    case QueryId::kQ32: return "q3.2";
-    case QueryId::kQ33: return "q3.3";
-    case QueryId::kQ34: return "q3.4";
-    case QueryId::kQ41: return "q4.1";
-    case QueryId::kQ42: return "q4.2";
-    case QueryId::kQ43: return "q4.3";
-  }
-  return "?";
-}
-
-int QueryFlight(QueryId id) {
-  switch (id) {
-    case QueryId::kQ11:
-    case QueryId::kQ12:
-    case QueryId::kQ13: return 1;
-    case QueryId::kQ21:
-    case QueryId::kQ22:
-    case QueryId::kQ23: return 2;
-    case QueryId::kQ31:
-    case QueryId::kQ32:
-    case QueryId::kQ33:
-    case QueryId::kQ34: return 3;
-    default: return 4;
-  }
-}
-
-int FactColumnsReferenced(QueryId id) {
-  switch (QueryFlight(id)) {
-    case 1: return 4;  // orderdate, discount, quantity, extendedprice
-    case 2: return 4;  // suppkey, partkey, orderdate, revenue
-    case 3: return 4;  // suppkey, custkey, orderdate, revenue
-    default: return 6; // suppkey, custkey, partkey, orderdate, rev, cost
-  }
-}
-
 void QueryResult::Normalize() {
   std::vector<size_t> order(group_keys.size());
   std::iota(order.begin(), order.end(), size_t{0});
@@ -92,290 +48,127 @@ std::string QueryResult::ToString(int max_rows) const {
   return out.str();
 }
 
-Q1Params Q1ParamsFor(QueryId id) {
-  switch (id) {
-    case QueryId::kQ11:
-      // d_year = 1993, 1 <= discount <= 3, quantity < 25 (Fig. 2).
-      return Q1Params{19930101, 19931231, 1, 3, 0, 24};
-    case QueryId::kQ12:
-      // d_yearmonthnum = 199401, 4..6, 26..35.
-      return Q1Params{19940101, 19940131, 4, 6, 26, 35};
-    case QueryId::kQ13:
-      // week 6 of 1994 (Feb 05 .. Feb 11 with our week numbering), 5..7,
-      // 26..35.
-      return Q1Params{19940205, 19940211, 5, 7, 26, 35};
-    default:
-      CRYSTAL_CHECK_MSG(false, "not a flight-1 query");
-      return {};
-  }
-}
-
-Q2Params Q2ParamsFor(QueryId id) {
-  Q2Params p{};
-  switch (id) {
-    case QueryId::kQ21:  // p_category = 'MFGR#12', s_region = 'AMERICA'
-      p.filter_by_category = true;
-      p.category = 12;
-      p.s_region = dict::kAmerica;
-      return p;
-    case QueryId::kQ22:  // p_brand1 BETWEEN 'MFGR#2221' AND 'MFGR#2228'
-      p.filter_by_category = false;
-      p.brand_lo = 2221;
-      p.brand_hi = 2228;
-      p.s_region = dict::kAsia;
-      return p;
-    case QueryId::kQ23:  // p_brand1 = 'MFGR#2239', s_region = 'EUROPE'
-      p.filter_by_category = false;
-      p.brand_lo = 2239;
-      p.brand_hi = 2239;
-      p.s_region = dict::kEurope;
-      return p;
-    default:
-      CRYSTAL_CHECK_MSG(false, "not a flight-2 query");
-      return p;
-  }
-}
-
-Q3Params Q3ParamsFor(QueryId id) {
-  Q3Params p{};
-  p.year_lo = 1992;
-  p.year_hi = 1997;
-  p.use_yearmonth = false;
-  switch (id) {
-    case QueryId::kQ31:
-      p.level = Q3Params::Level::kRegion;
-      p.c_value = dict::kAsia;
-      return p;
-    case QueryId::kQ32:
-      p.level = Q3Params::Level::kNation;
-      p.c_value = dict::kUnitedStates;
-      return p;
-    case QueryId::kQ33:
-      p.level = Q3Params::Level::kCityPair;
-      p.city_a = dict::kUnitedKi1;
-      p.city_b = dict::kUnitedKi5;
-      return p;
-    case QueryId::kQ34:
-      p.level = Q3Params::Level::kCityPair;
-      p.city_a = dict::kUnitedKi1;
-      p.city_b = dict::kUnitedKi5;
-      p.use_yearmonth = true;
-      p.yearmonthnum = 199712;
-      return p;
-    default:
-      CRYSTAL_CHECK_MSG(false, "not a flight-3 query");
-      return p;
-  }
-}
-
-Q4Params Q4ParamsFor(QueryId id) {
-  Q4Params p{};
-  switch (id) {
-    case QueryId::kQ41:
-      p.variant = 1;
-      return p;
-    case QueryId::kQ42:
-      p.variant = 2;
-      p.year_filter = true;
-      return p;
-    case QueryId::kQ43:
-      p.variant = 3;
-      p.s_nation = dict::kUnitedStates;
-      p.category = 14;
-      p.year_filter = true;
-      return p;
-    default:
-      CRYSTAL_CHECK_MSG(false, "not a flight-4 query");
-      return p;
-  }
-}
-
 namespace {
 
-// Dimension lookup maps for the reference engine (key -> row index).
-struct DimIndex {
-  std::unordered_map<int32_t, int64_t> date;  // datekey -> row
+using query::QuerySpec;
 
-  explicit DimIndex(const Database& db) {
-    date.reserve(static_cast<size_t>(db.d.rows) * 2);
-    for (int64_t i = 0; i < db.d.rows; ++i) date.emplace(db.d.datekey[i], i);
+/// One join step of the tuple-at-a-time interpreter: the shared column
+/// binding (query::BindJoins) plus a row-lookup structure. Dense-keyed
+/// tables (customer, supplier, part) resolve a key to its row
+/// arithmetically; the date dimension goes through a hash index.
+struct RefJoin {
+  const Column* fact_key = nullptr;
+  query::BoundJoin bound;
+  bool dense = false;
+  std::unordered_map<int32_t, int64_t> index;  // sparse tables only
+  int group_slot = -1;  // index into the group tuple, or -1
+
+  /// Resolves `key` to a dimension row passing every filter; returns false
+  /// on miss. On match stores the payload into keys[group_slot].
+  bool Probe(int32_t key, int32_t* keys) const {
+    int64_t row;
+    if (dense) {
+      row = static_cast<int64_t>(key) - 1;
+      if (row < 0 || row >= bound.dim_rows) return false;
+    } else {
+      const auto it = index.find(key);
+      if (it == index.end()) return false;
+      row = it->second;
+    }
+    if (!bound.RowPasses(static_cast<size_t>(row))) return false;
+    if (group_slot >= 0) {
+      keys[group_slot] = (*bound.payload)[static_cast<size_t>(row)];
+    }
+    return true;
   }
 };
 
-QueryResult RunQ1Reference(const Database& db, const Q1Params& q) {
-  QueryResult r;
-  for (int64_t i = 0; i < db.lo.rows; ++i) {
-    if (db.lo.orderdate[i] < q.date_lo || db.lo.orderdate[i] > q.date_hi) {
-      continue;
-    }
-    if (db.lo.discount[i] < q.discount_lo ||
-        db.lo.discount[i] > q.discount_hi) {
-      continue;
-    }
-    if (db.lo.quantity[i] < q.quantity_lo ||
-        db.lo.quantity[i] > q.quantity_hi) {
-      continue;
-    }
-    r.scalar += static_cast<int64_t>(db.lo.extendedprice[i]) *
-                db.lo.discount[i];
-  }
-  return r;
-}
-
-QueryResult RunQ2Reference(const Database& db, const Q2Params& q) {
-  DimIndex idx(db);
-  std::unordered_map<int64_t, int64_t> agg;
-  for (int64_t i = 0; i < db.lo.rows; ++i) {
-    const int64_t s = db.lo.suppkey[i] - 1;
-    if (db.s.region[s] != q.s_region) continue;
-    const int64_t p = db.lo.partkey[i] - 1;
-    if (q.filter_by_category) {
-      if (db.p.category[p] != q.category) continue;
-    } else {
-      if (db.p.brand1[p] < q.brand_lo || db.p.brand1[p] > q.brand_hi) {
-        continue;
-      }
-    }
-    const int64_t d = idx.date.at(db.lo.orderdate[i]);
-    const int64_t key =
-        static_cast<int64_t>(db.d.year[d]) * 10000 + db.p.brand1[p];
-    agg[key] += db.lo.revenue[i];
-  }
-  QueryResult r;
-  for (const auto& [key, value] : agg) {
-    r.AddGroup(static_cast<int32_t>(key / 10000),
-               static_cast<int32_t>(key % 10000), 0, value);
-  }
-  r.Normalize();
-  return r;
-}
-
-QueryResult RunQ3Reference(const Database& db, const Q3Params& q) {
-  DimIndex idx(db);
-  std::unordered_map<int64_t, int64_t> agg;
-  for (int64_t i = 0; i < db.lo.rows; ++i) {
-    const int64_t c = db.lo.custkey[i] - 1;
-    const int64_t s = db.lo.suppkey[i] - 1;
-    int32_t c_group;
-    int32_t s_group;
-    switch (q.level) {
-      case Q3Params::Level::kRegion:
-        if (db.c.region[c] != q.c_value || db.s.region[s] != q.c_value) {
-          continue;
-        }
-        c_group = db.c.nation[c];
-        s_group = db.s.nation[s];
-        break;
-      case Q3Params::Level::kNation:
-        if (db.c.nation[c] != q.c_value || db.s.nation[s] != q.c_value) {
-          continue;
-        }
-        c_group = db.c.city[c];
-        s_group = db.s.city[s];
-        break;
-      case Q3Params::Level::kCityPair:
-      default:
-        if (db.c.city[c] != q.city_a && db.c.city[c] != q.city_b) continue;
-        if (db.s.city[s] != q.city_a && db.s.city[s] != q.city_b) continue;
-        c_group = db.c.city[c];
-        s_group = db.s.city[s];
-        break;
-    }
-    const int64_t d = idx.date.at(db.lo.orderdate[i]);
-    if (q.use_yearmonth) {
-      if (db.d.yearmonthnum[d] != q.yearmonthnum) continue;
-    } else {
-      if (db.d.year[d] < q.year_lo || db.d.year[d] > q.year_hi) continue;
-    }
-    const int64_t key = (static_cast<int64_t>(c_group) * 1000 + s_group) *
-                            10000 +
-                        db.d.year[d];
-    agg[key] += db.lo.revenue[i];
-  }
-  QueryResult r;
-  for (const auto& [key, value] : agg) {
-    r.AddGroup(static_cast<int32_t>(key / 10000 / 1000),
-               static_cast<int32_t>(key / 10000 % 1000),
-               static_cast<int32_t>(key % 10000), value);
-  }
-  r.Normalize();
-  return r;
-}
-
-QueryResult RunQ4Reference(const Database& db, const Q4Params& q) {
-  DimIndex idx(db);
-  std::unordered_map<int64_t, int64_t> agg;
-  for (int64_t i = 0; i < db.lo.rows; ++i) {
-    const int64_t c = db.lo.custkey[i] - 1;
-    if (db.c.region[c] != q.c_region) continue;
-    const int64_t s = db.lo.suppkey[i] - 1;
-    if (q.variant == 3) {
-      if (db.s.nation[s] != q.s_nation) continue;
-    } else {
-      if (db.s.region[s] != q.s_region) continue;
-    }
-    const int64_t p = db.lo.partkey[i] - 1;
-    if (q.variant == 3) {
-      if (db.p.category[p] != q.category) continue;
-    } else {
-      if (db.p.mfgr[p] < q.mfgr_lo || db.p.mfgr[p] > q.mfgr_hi) continue;
-    }
-    const int64_t d = idx.date.at(db.lo.orderdate[i]);
-    if (q.year_filter && db.d.year[d] != 1997 && db.d.year[d] != 1998) {
-      continue;
-    }
-    const int64_t profit =
-        static_cast<int64_t>(db.lo.revenue[i]) - db.lo.supplycost[i];
-    int64_t key;
-    switch (q.variant) {
-      case 1:  // (d_year, c_nation)
-        key = static_cast<int64_t>(db.d.year[d]) * 100000 + db.c.nation[c];
-        break;
-      case 2:  // (d_year, s_nation, p_category)
-        key = (static_cast<int64_t>(db.d.year[d]) * 100 + db.s.nation[s]) *
-                  1000 +
-              db.p.category[p];
-        break;
-      default:  // (d_year, s_city, p_brand1)
-        key = (static_cast<int64_t>(db.d.year[d]) * 1000 + db.s.city[s]) *
-                  10000 +
-              db.p.brand1[p];
-        break;
-    }
-    agg[key] += profit;
-  }
-  QueryResult r;
-  for (const auto& [key, value] : agg) {
-    switch (q.variant) {
-      case 1:
-        r.AddGroup(static_cast<int32_t>(key / 100000),
-                   static_cast<int32_t>(key % 100000), 0, value);
-        break;
-      case 2:
-        r.AddGroup(static_cast<int32_t>(key / 1000 / 100),
-                   static_cast<int32_t>(key / 1000 % 100),
-                   static_cast<int32_t>(key % 1000), value);
-        break;
-      default:
-        r.AddGroup(static_cast<int32_t>(key / 10000 / 1000),
-                   static_cast<int32_t>(key / 10000 % 1000),
-                   static_cast<int32_t>(key % 10000), value);
-        break;
-    }
-  }
-  r.Normalize();
-  return r;
-}
-
 }  // namespace
 
-QueryResult RunReference(const Database& db, QueryId id) {
-  switch (QueryFlight(id)) {
-    case 1: return RunQ1Reference(db, Q1ParamsFor(id));
-    case 2: return RunQ2Reference(db, Q2ParamsFor(id));
-    case 3: return RunQ3Reference(db, Q3ParamsFor(id));
-    default: return RunQ4Reference(db, Q4ParamsFor(id));
+void EmitDenseGroups(const query::GroupLayout& layout, const int64_t* grid,
+                     QueryResult* result) {
+  for (int64_t cell = 0; cell < layout.cells; ++cell) {
+    const int64_t v = grid[cell];
+    if (v == 0) continue;
+    const std::array<int32_t, 3> keys = layout.KeysFor(cell);
+    result->AddGroup(keys[0], keys[1], keys[2], v);
   }
+  result->Normalize();
+}
+
+QueryResult RunReference(const Database& db, const QuerySpec& spec) {
+  std::string error;
+  CRYSTAL_CHECK_MSG(query::Validate(spec, &error), error.c_str());
+
+  const query::PayloadPlan plan = query::PlanPayloads(spec);
+  const query::GroupLayout layout = query::LayoutFor(spec);
+
+  std::vector<query::BoundJoin> bound = query::BindJoins(spec, plan, db);
+  std::vector<RefJoin> joins(spec.joins.size());
+  for (size_t j = 0; j < spec.joins.size(); ++j) {
+    RefJoin& join = joins[j];
+    join.fact_key = &query::FactColumn(db, spec.joins[j].fact_key);
+    join.bound = std::move(bound[j]);
+    join.dense = query::DimKeyDense(spec.joins[j].table);
+    join.group_slot = plan.join_payload[j];
+    if (!join.dense) {
+      const Column& keys = *join.bound.keys;
+      join.index.reserve(static_cast<size_t>(join.bound.dim_rows) * 2);
+      for (int64_t i = 0; i < join.bound.dim_rows; ++i) {
+        join.index.emplace(keys[static_cast<size_t>(i)], i);
+      }
+    }
+  }
+
+  std::vector<std::pair<const Column*, const query::FactFilter*>> filters;
+  for (const query::FactFilter& f : spec.fact_filters) {
+    filters.emplace_back(&query::FactColumn(db, f.col), &f);
+  }
+
+  const Column& agg_a = query::FactColumn(db, spec.agg.a);
+  const Column& agg_b = query::FactColumn(db, spec.agg.b);
+  const query::AggExpr::Kind agg_kind = spec.agg.kind;
+
+  QueryResult result;
+  std::unordered_map<int64_t, int64_t> groups;
+  for (int64_t i = 0; i < db.lo.rows; ++i) {
+    const size_t row = static_cast<size_t>(i);
+    bool pass = true;
+    for (const auto& [col, filter] : filters) {
+      const int32_t v = (*col)[row];
+      if (v < filter->lo || v > filter->hi) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    int32_t keys[3] = {0, 0, 0};
+    for (const RefJoin& join : joins) {
+      if (!join.Probe((*join.fact_key)[row], keys)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    const int64_t value = query::AggValue(agg_kind, agg_a[row], agg_b[row]);
+    if (layout.scalar()) {
+      result.scalar += value;
+    } else {
+      groups[layout.CellFor(keys)] += value;
+    }
+  }
+  if (!layout.scalar()) {
+    for (const auto& [cell, value] : groups) {
+      // Zero-sum groups are dropped, matching the dense-grid engines (see
+      // EmitDenseGroups): a grid cannot tell an untouched cell from one
+      // whose values cancelled to zero.
+      if (value == 0) continue;
+      const std::array<int32_t, 3> keys = layout.KeysFor(cell);
+      result.AddGroup(keys[0], keys[1], keys[2], value);
+    }
+    result.Normalize();
+  }
+  return result;
 }
 
 }  // namespace crystal::ssb

@@ -6,29 +6,15 @@
 #include <string>
 #include <vector>
 
-#include "ssb/dict.h"
+#include "query/query_spec.h"
+#include "query/ssb_specs.h"
+#include "ssb/query_id.h"
 #include "ssb/schema.h"
 
 namespace crystal::ssb {
 
-/// The 13 SSB queries, organized in 4 flights.
-enum class QueryId {
-  kQ11, kQ12, kQ13,
-  kQ21, kQ22, kQ23,
-  kQ31, kQ32, kQ33, kQ34,
-  kQ41, kQ42, kQ43,
-};
-
-inline constexpr std::array<QueryId, 13> kAllQueries = {
-    QueryId::kQ11, QueryId::kQ12, QueryId::kQ13, QueryId::kQ21,
-    QueryId::kQ22, QueryId::kQ23, QueryId::kQ31, QueryId::kQ32,
-    QueryId::kQ33, QueryId::kQ34, QueryId::kQ41, QueryId::kQ42,
-    QueryId::kQ43};
-
-std::string QueryName(QueryId id);
-
-/// Normalized query result: a scalar aggregate (flight 1) or sorted group
-/// rows (flights 2-4). Engines produce results in arbitrary group order;
+/// Normalized query result: a scalar aggregate (no group keys) or sorted
+/// group rows. Engines produce results in arbitrary group order;
 /// Normalize() makes them comparable.
 struct QueryResult {
   int64_t scalar = 0;
@@ -45,75 +31,30 @@ struct QueryResult {
   std::string ToString(int max_rows = 8) const;
 };
 
-// ------------------------------------------------------------------------
-// Flight parameterizations. Every engine implements one routine per flight,
-// driven by these parameter structs; Params(QueryId) supplies the canonical
-// constants for the 13 benchmark queries (dictionary-encoded per dict.h).
+/// Emits the non-empty cells of a dense aggregation grid as result groups
+/// and normalizes. Zero-sum cells are indistinguishable from untouched
+/// ones in a dense grid, so zero-sum groups are dropped everywhere — the
+/// reference interpreter applies the same convention, keeping all engines
+/// bit-identical even when a group's values cancel to exactly zero.
+void EmitDenseGroups(const query::GroupLayout& layout, const int64_t* grid,
+                     QueryResult* result);
 
-/// Flight 1: SELECT SUM(lo_extendedprice*lo_discount) FROM lineorder
-/// WHERE lo_orderdate in [date_lo, date_hi] AND lo_discount in
-/// [discount_lo, discount_hi] AND lo_quantity in [quantity_lo, quantity_hi].
-/// (Date predicates are rewritten to orderdate ranges as in Fig. 2.)
-struct Q1Params {
-  int32_t date_lo, date_hi;
-  int32_t discount_lo, discount_hi;
-  int32_t quantity_lo, quantity_hi;
-};
+/// Reference engine: straightforward tuple-at-a-time interpretation of the
+/// declarative spec with per-dimension lookup structures. This is both the
+/// ground truth for all engine tests and the execution model of the
+/// Hyper-like baseline (compiled tuple-at-a-time pipelines).
+QueryResult RunReference(const Database& db, const query::QuerySpec& spec);
 
-/// Flight 2: joins part (filtered), supplier (region), date; groups by
-/// (d_year, p_brand1), SUM(lo_revenue).
-struct Q2Params {
-  // Part filter: category equality or brand range (brand_lo == brand_hi for
-  // equality). Exactly one of the two is active.
-  bool filter_by_category;
-  int32_t category;
-  int32_t brand_lo, brand_hi;
-  int32_t s_region;
-};
+/// Benchmark-path convenience: the canonical spec of `id`.
+inline QueryResult RunReference(const Database& db, QueryId id) {
+  return RunReference(db, query::SsbSpec(id));
+}
 
-/// Flight 3: joins customer, supplier (both filtered at region, nation, or
-/// city granularity) and date (year range or exact yearmonth); groups by
-/// (c_group, s_group, d_year), SUM(lo_revenue).
-struct Q3Params {
-  enum class Level { kRegion, kNation, kCityPair };
-  Level level;
-  int32_t c_value;            // region / nation code
-  int32_t city_a, city_b;     // kCityPair: the IN (a, b) pair (both sides)
-  int32_t year_lo, year_hi;   // inclusive year range
-  bool use_yearmonth;         // q3.4: exact yearmonthnum instead
-  int32_t yearmonthnum;
-};
-
-/// Flight 4: joins customer (region), supplier (region or nation), part
-/// (mfgr set, or category), date (all years or {1997,1998}); aggregates
-/// SUM(lo_revenue - lo_supplycost) with per-variant group keys.
-struct Q4Params {
-  int variant;  // 1, 2, or 3
-  int32_t c_region = dict::kAmerica;
-  int32_t s_region = dict::kAmerica;   // variants 1, 2
-  int32_t s_nation = -1;               // variant 3: UNITED STATES
-  int32_t mfgr_lo = 1, mfgr_hi = 2;    // variants 1, 2
-  int32_t category = -1;               // variant 3: MFGR#14
-  bool year_filter = false;            // variants 2, 3: d_year in {1997,1998}
-};
-
-Q1Params Q1ParamsFor(QueryId id);
-Q2Params Q2ParamsFor(QueryId id);
-Q3Params Q3ParamsFor(QueryId id);
-Q4Params Q4ParamsFor(QueryId id);
-
-/// Flight of a query: 1..4.
-int QueryFlight(QueryId id);
-
-/// Fact columns referenced by a query (drives the coprocessor PCIe volume:
-/// every referenced fact column ships to the GPU, Section 3.1).
-int FactColumnsReferenced(QueryId id);
-
-/// Reference engine: straightforward tuple-at-a-time evaluation with hash
-/// maps. This is both the ground truth for all engine tests and the
-/// execution model of the Hyper-like baseline (compiled tuple-at-a-time
-/// pipelines).
-QueryResult RunReference(const Database& db, QueryId id);
+/// Fact columns referenced by a canonical query, derived from its spec
+/// (drives the coprocessor PCIe volume, Section 3.1).
+inline int FactColumnsReferenced(QueryId id) {
+  return query::FactColumnsReferenced(query::SsbSpec(id));
+}
 
 }  // namespace crystal::ssb
 

@@ -1,0 +1,42 @@
+#ifndef CRYSTAL_SSB_QUERY_ID_H_
+#define CRYSTAL_SSB_QUERY_ID_H_
+
+#include <array>
+#include <string>
+
+namespace crystal::ssb {
+
+/// The 13 SSB queries, organized in 4 flights. These identifiers exist for
+/// the benchmark path only — execution is entirely spec-driven (see
+/// query/query_spec.h); an id is just a name for one of the 13 canonical
+/// specs returned by query::SsbSpec.
+enum class QueryId {
+  kQ11, kQ12, kQ13,
+  kQ21, kQ22, kQ23,
+  kQ31, kQ32, kQ33, kQ34,
+  kQ41, kQ42, kQ43,
+};
+
+inline constexpr std::array<QueryId, 13> kAllQueries = {
+    QueryId::kQ11, QueryId::kQ12, QueryId::kQ13, QueryId::kQ21,
+    QueryId::kQ22, QueryId::kQ23, QueryId::kQ31, QueryId::kQ32,
+    QueryId::kQ33, QueryId::kQ34, QueryId::kQ41, QueryId::kQ42,
+    QueryId::kQ43};
+
+/// Canonical "qF.V" spelling, table-driven (ids are dense).
+inline std::string QueryName(QueryId id) {
+  constexpr const char* kNames[13] = {
+      "q1.1", "q1.2", "q1.3", "q2.1", "q2.2", "q2.3", "q3.1",
+      "q3.2", "q3.3", "q3.4", "q4.1", "q4.2", "q4.3"};
+  return kNames[static_cast<int>(id)];
+}
+
+/// Flight of a query: 1..4.
+inline int QueryFlight(QueryId id) {
+  constexpr int kFlights[13] = {1, 1, 1, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4};
+  return kFlights[static_cast<int>(id)];
+}
+
+}  // namespace crystal::ssb
+
+#endif  // CRYSTAL_SSB_QUERY_ID_H_

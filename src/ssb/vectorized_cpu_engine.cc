@@ -1,8 +1,6 @@
 #include "ssb/vectorized_cpu_engine.h"
 
 #include <algorithm>
-#include <cstring>
-#include <functional>
 #include <vector>
 
 #include "common/macros.h"
@@ -13,6 +11,9 @@ namespace crystal::ssb {
 namespace {
 
 constexpr int kVector = 1024;
+
+using query::AggExpr;
+using query::QuerySpec;
 
 // Builds a CPU hash table over dimension rows passing `pred` in one parallel
 // pass: each thread filters its partition and claims slots directly with
@@ -38,7 +39,7 @@ cpu::HashTable BuildFiltered(const Column& keys, const Column& payloads,
 // Thread-local dense aggregation grid, merged after the parallel scan.
 // Grids are allocated lazily on each worker's first Add (zeroing
 // threads x cells up front is itself O(threads * cells) serial work), and
-// merged with a cell-striped parallel pass — Q4.3's ~7.8M-cell grid would
+// merged with a cell-striped parallel pass — q4.3's ~7.8M-cell grid would
 // otherwise dominate the query on a serial O(threads * cells) merge.
 class GridAgg {
  public:
@@ -71,279 +72,125 @@ class GridAgg {
   int64_t cells_;
 };
 
+/// Bound per-vector pipeline stages, resolved from the spec once per run.
+struct BoundFilter {
+  const int32_t* col;
+  int32_t lo, hi;
+};
+
+struct BoundProbe {
+  const int32_t* keys;
+  const cpu::HashTable* ht;
+  int group_slot;  // payload destination (index into group buffers), or -1
+};
+
 }  // namespace
 
 VectorizedCpuEngine::VectorizedCpuEngine(const Database& db, ThreadPool& pool)
     : db_(db), pool_(pool) {}
 
-QueryResult VectorizedCpuEngine::Run(QueryId id) {
-  switch (QueryFlight(id)) {
-    case 1: return RunQ1(Q1ParamsFor(id));
-    case 2: return RunQ2(Q2ParamsFor(id));
-    case 3: return RunQ3(Q3ParamsFor(id));
-    default: return RunQ4(Q4ParamsFor(id));
-  }
-}
+QueryResult VectorizedCpuEngine::Run(const QuerySpec& spec) {
+  std::string error;
+  CRYSTAL_CHECK_MSG(query::Validate(spec, &error), error.c_str());
 
-QueryResult VectorizedCpuEngine::RunQ1(const Q1Params& q) {
+  const query::PayloadPlan plan = query::PlanPayloads(spec);
+  const query::GroupLayout layout = query::LayoutFor(spec);
+
+  // Build phase: one filtered parallel CAS build per dimension join, with
+  // the key/payload/filter wiring resolved once by query::BindJoins.
+  const std::vector<query::BoundJoin> bound =
+      query::BindJoins(spec, plan, db_);
+  std::vector<cpu::HashTable> tables;
+  tables.reserve(bound.size());
+  for (const query::BoundJoin& join : bound) {
+    tables.push_back(BuildFiltered(
+        *join.keys, *join.payload,
+        [&join](size_t i) { return join.RowPasses(i); }, pool_));
+  }
+
+  std::vector<BoundFilter> filters;
+  for (const query::FactFilter& f : spec.fact_filters) {
+    filters.push_back({query::FactColumn(db_, f.col).data(), f.lo, f.hi});
+  }
+  std::vector<BoundProbe> probes;
+  for (size_t j = 0; j < spec.joins.size(); ++j) {
+    probes.push_back({query::FactColumn(db_, spec.joins[j].fact_key).data(),
+                      &tables[j], plan.join_payload[j]});
+  }
+  const int32_t* agg_a = query::FactColumn(db_, spec.agg.a).data();
+  const int32_t* agg_b = query::FactColumn(db_, spec.agg.b).data();
+  const AggExpr::Kind agg_kind = spec.agg.kind;
+  auto value_at = [agg_a, agg_b, agg_kind](int64_t row) {
+    return query::AggValue(agg_kind, agg_a[row], agg_b[row]);
+  };
+
   std::vector<int64_t> partial(static_cast<size_t>(pool_.num_threads()), 0);
-  const auto& lo = db_.lo;
-  pool_.ParallelFor(lo.rows, [&](int t, int64_t begin, int64_t end) {
-    int64_t sum = 0;
+  GridAgg agg(pool_.num_threads(), layout.cells);
+  const bool scalar = layout.scalar();
+
+  pool_.ParallelFor(db_.lo.rows, [&](int t, int64_t begin, int64_t end) {
     int32_t sel[kVector];
+    int32_t pos[kVector];
+    int32_t group[3][kVector];
+    int64_t sum = 0;
     for (int64_t base = begin; base < end; base += kVector) {
       const int n = static_cast<int>(std::min<int64_t>(kVector, end - base));
-      // Predicate 1 on orderdate fills the selection vector; predicates 2
-      // and 3 compact it in place (AVX2 compare + movemask + perm-table
-      // selective store under the hood, scalar predication otherwise).
-      int m = cpu::SelectRange(lo.orderdate.data() + base, n, q.date_lo,
-                               q.date_hi, sel);
-      m = cpu::RefineRange(lo.discount.data() + base, sel, m, q.discount_lo,
-                           q.discount_hi, sel);
-      m = cpu::RefineRange(lo.quantity.data() + base, sel, m, q.quantity_lo,
-                           q.quantity_hi, sel);
-      for (int i = 0; i < m; ++i) {
-        sum += static_cast<int64_t>(lo.extendedprice[base + sel[i]]) *
-               lo.discount[base + sel[i]];
+      // Fact predicates: the first fills the selection vector, the rest
+      // compact it in place (AVX2 compare + movemask + perm-table selective
+      // store under the hood, scalar predication otherwise).
+      bool have_sel = false;
+      int m = n;
+      for (const BoundFilter& f : filters) {
+        if (!have_sel) {
+          m = cpu::SelectRange(f.col + base, n, f.lo, f.hi, sel);
+          have_sel = true;
+        } else {
+          m = cpu::RefineRange(f.col + base, sel, m, f.lo, f.hi, sel);
+        }
+      }
+      // Probe cascade on the selection vector; each stage is a batched
+      // hash-probe (vertical-vectorized gathers / group prefetching) whose
+      // pos output compacts the group keys carried from earlier stages.
+      int carried = 0;
+      int carried_slots[3];
+      for (const BoundProbe& probe : probes) {
+        int32_t* val_out =
+            probe.group_slot >= 0 ? group[probe.group_slot] : nullptr;
+        int32_t* pos_out = carried > 0 ? pos : nullptr;
+        m = cpu::ProbeSelect(*probe.ht, probe.keys + base,
+                             have_sel ? sel : nullptr, m, sel, val_out,
+                             pos_out);
+        have_sel = true;
+        for (int c = 0; c < carried && pos_out != nullptr; ++c) {
+          cpu::CompactInPlace(group[carried_slots[c]], pos, m);
+        }
+        if (probe.group_slot >= 0) carried_slots[carried++] = probe.group_slot;
+      }
+      if (scalar) {
+        if (have_sel) {
+          for (int i = 0; i < m; ++i) sum += value_at(base + sel[i]);
+        } else {
+          for (int i = 0; i < n; ++i) sum += value_at(base + i);
+        }
+      } else {
+        for (int i = 0; i < m; ++i) {
+          int64_t cell = 0;
+          for (int k = 0; k < layout.num_keys; ++k) {
+            cell = cell * layout.span[k] + (group[k][i] - layout.lo[k]);
+          }
+          agg.Add(t, cell, value_at(base + sel[i]));
+        }
       }
     }
     partial[static_cast<size_t>(t)] += sum;
   });
-  QueryResult r;
-  for (int64_t s : partial) r.scalar += s;
-  return r;
-}
 
-QueryResult VectorizedCpuEngine::RunQ2(const Q2Params& q) {
-  const auto& lo = db_.lo;
-  cpu::HashTable supp = BuildFiltered(
-      db_.s.suppkey, db_.s.region,
-      [&](size_t i) { return db_.s.region[i] == q.s_region; }, pool_);
-  cpu::HashTable part = BuildFiltered(
-      db_.p.partkey, db_.p.brand1,
-      [&](size_t i) {
-        if (q.filter_by_category) return db_.p.category[i] == q.category;
-        return db_.p.brand1[i] >= q.brand_lo && db_.p.brand1[i] <= q.brand_hi;
-      },
-      pool_);
-  cpu::HashTable date = BuildFiltered(
-      db_.d.datekey, db_.d.year, [](size_t) { return true; }, pool_);
-
-  constexpr int kYears = 7;
-  constexpr int kBrandSpan = 5541;
-  GridAgg agg(pool_.num_threads(), static_cast<int64_t>(kYears) * kBrandSpan);
-  pool_.ParallelFor(lo.rows, [&](int t, int64_t begin, int64_t end) {
-    int32_t sel[kVector];
-    int32_t brand[kVector];
-    int32_t year[kVector];
-    int32_t pos[kVector];
-    for (int64_t base = begin; base < end; base += kVector) {
-      const int n = static_cast<int>(std::min<int64_t>(kVector, end - base));
-      // Probe cascade on the selection vector; each stage is a batched
-      // hash-probe (vertical-vectorized gathers / group prefetching).
-      int m = cpu::ProbeSelect(supp, lo.suppkey.data() + base, nullptr, n,
-                               sel, nullptr, nullptr);
-      m = cpu::ProbeSelect(part, lo.partkey.data() + base, sel, m, sel,
-                           brand, nullptr);
-      m = cpu::ProbeSelect(date, lo.orderdate.data() + base, sel, m, sel,
-                           year, pos);
-      cpu::CompactInPlace(brand, pos, m);
-      for (int i = 0; i < m; ++i) {
-        agg.Add(t,
-                static_cast<int64_t>(year[i] - 1992) * kBrandSpan + brand[i],
-                lo.revenue[base + sel[i]]);
-      }
-    }
-  });
   QueryResult r;
-  const auto& grid = agg.Merge(pool_);
-  for (int y = 0; y < kYears; ++y) {
-    for (int b = 0; b < kBrandSpan; ++b) {
-      const int64_t v = grid[static_cast<size_t>(y) * kBrandSpan + b];
-      if (v != 0) r.AddGroup(1992 + y, b, 0, v);
-    }
+  if (scalar) {
+    for (int64_t s : partial) r.scalar += s;
+    return r;
   }
-  r.Normalize();
-  return r;
-}
-
-QueryResult VectorizedCpuEngine::RunQ3(const Q3Params& q) {
-  const auto& lo = db_.lo;
-  auto cust_pred = [&](size_t i) {
-    switch (q.level) {
-      case Q3Params::Level::kRegion: return db_.c.region[i] == q.c_value;
-      case Q3Params::Level::kNation: return db_.c.nation[i] == q.c_value;
-      default:
-        return db_.c.city[i] == q.city_a || db_.c.city[i] == q.city_b;
-    }
-  };
-  auto supp_pred = [&](size_t i) {
-    switch (q.level) {
-      case Q3Params::Level::kRegion: return db_.s.region[i] == q.c_value;
-      case Q3Params::Level::kNation: return db_.s.nation[i] == q.c_value;
-      default:
-        return db_.s.city[i] == q.city_a || db_.s.city[i] == q.city_b;
-    }
-  };
-  const Column& c_group =
-      q.level == Q3Params::Level::kRegion ? db_.c.nation : db_.c.city;
-  const Column& s_group =
-      q.level == Q3Params::Level::kRegion ? db_.s.nation : db_.s.city;
-
-  cpu::HashTable supp =
-      BuildFiltered(db_.s.suppkey, s_group, supp_pred, pool_);
-  cpu::HashTable cust =
-      BuildFiltered(db_.c.custkey, c_group, cust_pred, pool_);
-  cpu::HashTable date = BuildFiltered(
-      db_.d.datekey, db_.d.year,
-      [&](size_t i) {
-        if (q.use_yearmonth) return db_.d.yearmonthnum[i] == q.yearmonthnum;
-        return db_.d.year[i] >= q.year_lo && db_.d.year[i] <= q.year_hi;
-      },
-      pool_);
-
-  constexpr int kGroupSpan = 250;
-  constexpr int kYears = 7;
-  GridAgg agg(pool_.num_threads(),
-              static_cast<int64_t>(kGroupSpan) * kGroupSpan * kYears);
-  pool_.ParallelFor(lo.rows, [&](int t, int64_t begin, int64_t end) {
-    int32_t sel[kVector];
-    int32_t sg[kVector];
-    int32_t cg[kVector];
-    int32_t year[kVector];
-    int32_t pos[kVector];
-    for (int64_t base = begin; base < end; base += kVector) {
-      const int n = static_cast<int>(std::min<int64_t>(kVector, end - base));
-      int m = cpu::ProbeSelect(supp, lo.suppkey.data() + base, nullptr, n,
-                               sel, sg, nullptr);
-      m = cpu::ProbeSelect(cust, lo.custkey.data() + base, sel, m, sel, cg,
-                           pos);
-      cpu::CompactInPlace(sg, pos, m);
-      m = cpu::ProbeSelect(date, lo.orderdate.data() + base, sel, m, sel,
-                           year, pos);
-      cpu::CompactInPlace(sg, pos, m);
-      cpu::CompactInPlace(cg, pos, m);
-      for (int i = 0; i < m; ++i) {
-        agg.Add(t,
-                (static_cast<int64_t>(cg[i]) * kGroupSpan + sg[i]) * kYears +
-                    (year[i] - 1992),
-                lo.revenue[base + sel[i]]);
-      }
-    }
-  });
-  QueryResult r;
-  const auto& grid = agg.Merge(pool_);
-  for (int c = 0; c < kGroupSpan; ++c) {
-    for (int s = 0; s < kGroupSpan; ++s) {
-      for (int y = 0; y < kYears; ++y) {
-        const int64_t v =
-            grid[(static_cast<size_t>(c) * kGroupSpan + s) * kYears + y];
-        if (v != 0) r.AddGroup(c, s, 1992 + y, v);
-      }
-    }
-  }
-  r.Normalize();
-  return r;
-}
-
-QueryResult VectorizedCpuEngine::RunQ4(const Q4Params& q) {
-  const auto& lo = db_.lo;
-  cpu::HashTable cust = BuildFiltered(
-      db_.c.custkey, db_.c.nation,
-      [&](size_t i) { return db_.c.region[i] == q.c_region; }, pool_);
-  const Column& s_payload = q.variant == 3 ? db_.s.city : db_.s.nation;
-  cpu::HashTable supp = BuildFiltered(
-      db_.s.suppkey, s_payload,
-      [&](size_t i) {
-        if (q.variant == 3) return db_.s.nation[i] == q.s_nation;
-        return db_.s.region[i] == q.s_region;
-      },
-      pool_);
-  const Column& p_payload = q.variant == 3 ? db_.p.brand1 : db_.p.category;
-  cpu::HashTable part = BuildFiltered(
-      db_.p.partkey, p_payload,
-      [&](size_t i) {
-        if (q.variant == 3) return db_.p.category[i] == q.category;
-        return db_.p.mfgr[i] >= q.mfgr_lo && db_.p.mfgr[i] <= q.mfgr_hi;
-      },
-      pool_);
-  cpu::HashTable date = BuildFiltered(
-      db_.d.datekey, db_.d.year,
-      [&](size_t i) {
-        if (!q.year_filter) return true;
-        return db_.d.year[i] == 1997 || db_.d.year[i] == 1998;
-      },
-      pool_);
-
-  constexpr int kYears = 7;
-  const int span1 = q.variant == 3 ? 250 : 25;
-  const int span2 = q.variant == 1 ? 1 : (q.variant == 2 ? 56 : 4441);
-  GridAgg agg(pool_.num_threads(),
-              static_cast<int64_t>(kYears) * span1 * span2);
-  const int variant = q.variant;
-  // Four-table probe cascade on the selection vector. The batched probes
-  // hide the dependent hash-table loads (group prefetching on the scalar
-  // path, gather-based vertical vectorization under AVX2) instead of the
-  // old tuple-at-a-time Lookup chain that stalled on every miss.
-  pool_.ParallelFor(lo.rows, [&](int t, int64_t begin, int64_t end) {
-    int32_t sel[kVector];
-    int32_t cnat[kVector];
-    int32_t sval[kVector];
-    int32_t pval[kVector];
-    int32_t year[kVector];
-    int32_t pos[kVector];
-    for (int64_t base = begin; base < end; base += kVector) {
-      const int n = static_cast<int>(std::min<int64_t>(kVector, end - base));
-      int m = cpu::ProbeSelect(cust, lo.custkey.data() + base, nullptr, n,
-                               sel, cnat, nullptr);
-      m = cpu::ProbeSelect(supp, lo.suppkey.data() + base, sel, m, sel, sval,
-                           pos);
-      cpu::CompactInPlace(cnat, pos, m);
-      m = cpu::ProbeSelect(part, lo.partkey.data() + base, sel, m, sel, pval,
-                           pos);
-      cpu::CompactInPlace(cnat, pos, m);
-      cpu::CompactInPlace(sval, pos, m);
-      m = cpu::ProbeSelect(date, lo.orderdate.data() + base, sel, m, sel,
-                           year, pos);
-      cpu::CompactInPlace(cnat, pos, m);
-      cpu::CompactInPlace(sval, pos, m);
-      cpu::CompactInPlace(pval, pos, m);
-      for (int i = 0; i < m; ++i) {
-        const int y = year[i] - 1992;
-        int64_t cell;
-        if (variant == 1) {
-          cell = static_cast<int64_t>(y) * 25 + cnat[i];
-        } else if (variant == 2) {
-          cell = (static_cast<int64_t>(y) * 25 + sval[i]) * 56 + pval[i];
-        } else {
-          cell = (static_cast<int64_t>(y) * 250 + sval[i]) * 4441 +
-                 (pval[i] - 1100);
-        }
-        const int64_t row = base + sel[i];
-        agg.Add(t, cell,
-                static_cast<int64_t>(lo.revenue[row]) - lo.supplycost[row]);
-      }
-    }
-  });
-  QueryResult r;
-  const auto& grid = agg.Merge(pool_);
-  for (int64_t i = 0; i < static_cast<int64_t>(grid.size()); ++i) {
-    const int64_t v = grid[static_cast<size_t>(i)];
-    if (v == 0) continue;
-    if (variant == 1) {
-      r.AddGroup(1992 + static_cast<int32_t>(i / 25),
-                 static_cast<int32_t>(i % 25), 0, v);
-    } else if (variant == 2) {
-      r.AddGroup(1992 + static_cast<int32_t>(i / 56 / 25),
-                 static_cast<int32_t>(i / 56 % 25),
-                 static_cast<int32_t>(i % 56), v);
-    } else {
-      r.AddGroup(1992 + static_cast<int32_t>(i / 4441 / 250),
-                 static_cast<int32_t>(i / 4441 % 250),
-                 static_cast<int32_t>(i % 4441) + 1100, v);
-    }
-  }
-  r.Normalize();
+  EmitDenseGroups(layout, agg.Merge(pool_).data(), &r);
   return r;
 }
 

@@ -1,8 +1,6 @@
 #ifndef CRYSTAL_SSB_VECTORIZED_CPU_ENGINE_H_
 #define CRYSTAL_SSB_VECTORIZED_CPU_ENGINE_H_
 
-#include <memory>
-
 #include "common/thread_pool.h"
 #include "cpu/hash_join.h"
 #include "ssb/queries.h"
@@ -12,23 +10,20 @@ namespace crystal::ssb {
 /// The paper's "Standalone CPU" implementation: multi-threaded vectorized
 /// pipelines (1024-row vectors, selection vectors, linear-probing hash
 /// tables, thread-local aggregation grids merged at the end). This engine
-/// runs for real on the host — it is the functional CPU counterpart of
-/// CrystalEngine and is cross-checked against it and against RunReference
-/// in the tests. Wall-clock numbers from this engine are honest local
-/// measurements; paper-scale CPU predictions come from the Skylake-profile
-/// simulation instead (see DESIGN.md).
+/// runs for real on the host and interprets any QuerySpec generically: the
+/// fact filters become a SelectRange/RefineRange cascade, each dimension
+/// join a batched ProbeSelect (vertical-SIMD gathers / group prefetching),
+/// and the aggregate a dense grid sized from the spec's group-key domains.
+/// Wall-clock numbers from this engine are honest local measurements;
+/// paper-scale CPU predictions come from the Skylake-profile simulation.
 class VectorizedCpuEngine {
  public:
   VectorizedCpuEngine(const Database& db, ThreadPool& pool);
 
-  QueryResult Run(QueryId id);
+  QueryResult Run(const query::QuerySpec& spec);
+  QueryResult Run(QueryId id) { return Run(query::SsbSpec(id)); }
 
  private:
-  QueryResult RunQ1(const Q1Params& q);
-  QueryResult RunQ2(const Q2Params& q);
-  QueryResult RunQ3(const Q3Params& q);
-  QueryResult RunQ4(const Q4Params& q);
-
   const Database& db_;
   ThreadPool& pool_;
 };

@@ -152,6 +152,36 @@ TEST(CpuHashJoinTest, AllProbeVariantsAgree) {
   EXPECT_EQ(r.matches, fx.expected_matches);
 }
 
+TEST(CpuHashJoinTest, ProbeVariantsHandleTinyInputs) {
+  // Partitions smaller than the 8-lane SIMD width leave dead lanes from
+  // the first iteration; the vertical probe must not gather through them
+  // (regression: uninitialized lane slots fed an unmasked gather).
+  ThreadPool pool(1);
+  JoinFixture fx(64, 5, 33);
+  HashTable ht(64);
+  ht.Build(fx.bkeys.data(), fx.bvals.data(), 64, pool);
+  for (int64_t n : {0, 1, 3, 5}) {
+    int64_t want_sum = 0;
+    int64_t want_matches = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      int32_t v;
+      if (ht.Lookup(fx.pkeys[static_cast<size_t>(i)], &v)) {
+        want_sum += fx.pvals[static_cast<size_t>(i)] + v;
+        ++want_matches;
+      }
+    }
+    for (auto* fn : {&ProbeScalar, &ProbeSimd}) {
+      const ProbeResult r = fn(ht, fx.pkeys.data(), fx.pvals.data(), n, pool);
+      EXPECT_EQ(r.checksum, want_sum) << "n=" << n;
+      EXPECT_EQ(r.matches, want_matches) << "n=" << n;
+    }
+    const ProbeResult r =
+        ProbePrefetch(ht, fx.pkeys.data(), fx.pvals.data(), n, pool);
+    EXPECT_EQ(r.checksum, want_sum) << "n=" << n;
+    EXPECT_EQ(r.matches, want_matches) << "n=" << n;
+  }
+}
+
 TEST(CpuHashJoinTest, LookupMissOnAbsentKey) {
   ThreadPool pool(1);
   AlignedVector<int32_t> keys = {5, 10, 15};

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "engine/registry.h"
+#include "query/parser.h"
 #include "ssb/datagen.h"
 #include "ssb/queries.h"
 
@@ -135,13 +136,13 @@ TEST(DriverTest, AllEnginesAgreeOnFlagshipQueries) {
   EXPECT_TRUE(report.all_results_match);
   ASSERT_EQ(report.queries.size(), 4u);
   for (const QueryReport& qr : report.queries) {
-    EXPECT_TRUE(qr.results_match) << ssb::QueryName(qr.query);
+    EXPECT_TRUE(qr.results_match) << qr.spec.name;
     EXPECT_TRUE(qr.mismatches.empty());
     ASSERT_EQ(qr.runs.size(), RegisteredEngineCount());
     // Identical aggregates across all engines.
     for (const EngineRunReport& run : qr.runs) {
       EXPECT_EQ(run.checksum, qr.runs[0].checksum)
-          << ssb::QueryName(qr.query) << " " << run.engine;
+          << qr.spec.name << " " << run.engine;
       EXPECT_EQ(run.groups, qr.runs[0].groups);
       EXPECT_GE(run.wall_ms, 0.0);
     }
@@ -186,15 +187,14 @@ TEST(DriverTest, CoprocessorChargesReferencedFactColumns) {
     const EngineRunReport& run = qr.runs[0];
     // Fig. 3 costing: every referenced fact column ships at full scale.
     const int64_t want_bytes =
-        static_cast<int64_t>(ssb::FactColumnsReferenced(qr.query)) *
+        static_cast<int64_t>(query::FactColumnsReferenced(qr.spec)) *
         TestDb().full_scale_fact_rows() * 4;
-    EXPECT_EQ(run.fact_bytes_shipped, want_bytes)
-        << ssb::QueryName(qr.query);
+    EXPECT_EQ(run.fact_bytes_shipped, want_bytes) << qr.spec.name;
     // Perfect overlap: total = max(transfer, kernel).
     EXPECT_DOUBLE_EQ(run.predicted_total_ms,
                      std::max(run.transfer_ms, run.kernel_ms));
     // SSB on a V100 is PCIe-bound (Section 3.1).
-    EXPECT_GE(run.transfer_ms, run.kernel_ms) << ssb::QueryName(qr.query);
+    EXPECT_GE(run.transfer_ms, run.kernel_ms) << qr.spec.name;
   }
 }
 
@@ -241,6 +241,63 @@ TEST(DriverTest, SingleRunReportsIdenticalMinAndMedian) {
   const Report report = driver::Run(options, TestDb());
   const EngineRunReport& run = report.queries[0].runs[0];
   EXPECT_DOUBLE_EQ(run.wall_ms, run.wall_min_ms);
+}
+
+TEST(DriverTest, AdhocSpecsRunOnEveryEngineAndCrossCheck) {
+  Options options;
+  options.queries = {QueryId::kQ11};
+  query::QuerySpec spec;
+  std::string error;
+  ASSERT_TRUE(query::ParseQuerySpec(
+      "sum revenue join supplier on suppkey filter s_region = 2 "
+      "group by s_nation",
+      &spec, &error))
+      << error;
+  options.adhoc.push_back(spec);
+  const Report report = driver::Run(options, TestDb());
+
+  ASSERT_EQ(report.queries.size(), 2u);
+  EXPECT_TRUE(report.all_results_match);
+  const QueryReport& canonical = report.queries[0];
+  EXPECT_EQ(canonical.spec.name, "q1.1");
+  EXPECT_EQ(canonical.flight, 1);
+  EXPECT_FALSE(canonical.adhoc);
+  const QueryReport& adhoc = report.queries[1];
+  EXPECT_EQ(adhoc.spec.name, "adhoc1");  // auto-labeled
+  EXPECT_TRUE(adhoc.adhoc);
+  EXPECT_TRUE(adhoc.results_match);
+  ASSERT_EQ(adhoc.runs.size(), RegisteredEngineCount());
+  // Every engine agrees on the ad-hoc aggregate too.
+  for (const EngineRunReport& run : adhoc.runs) {
+    EXPECT_EQ(run.checksum, adhoc.runs[0].checksum) << run.engine;
+    EXPECT_GT(run.groups, 0) << run.engine;  // grouped by s_nation
+  }
+
+  const std::string json = ToJson(report);
+  for (const char* key :
+       {"\"adhoc\"", "\"spec\"", "\"fact_columns\"", "\"adhoc1\"",
+        "\"sum revenue join supplier on suppkey filter s_region = 2 "
+        "group by s_nation\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(DriverTest, AdhocOnlyRunHasNoCanonicalQueries) {
+  Options options;
+  options.queries.clear();
+  query::QuerySpec spec;
+  std::string error;
+  ASSERT_TRUE(
+      query::ParseQuerySpec("sum quantity where discount = 0", &spec, &error))
+      << error;
+  spec.name = "zero-discount";  // caller-provided labels are preserved
+  options.adhoc.push_back(spec);
+  options.engines = {"reference", "vectorized-cpu"};
+  const Report report = driver::Run(options, TestDb());
+  ASSERT_EQ(report.queries.size(), 1u);
+  EXPECT_EQ(report.queries[0].spec.name, "zero-discount");
+  EXPECT_TRUE(report.all_results_match);
+  EXPECT_EQ(report.queries[0].runs.size(), 2u);
 }
 
 TEST(ParseProfileNameTest, KnownAndUnknownNames) {

@@ -20,7 +20,7 @@ class NullEngine final : public QueryEngine {
   EngineCapabilities capabilities() const override { return {}; }
 
  protected:
-  RunStats ExecuteImpl(ssb::QueryId) override { return {}; }
+  RunStats ExecuteImpl(const query::QuerySpec&) override { return {}; }
 };
 
 EngineRegistration NullRegistration(std::string name,

@@ -1,0 +1,287 @@
+#include "query/query_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "query/parser.h"
+#include "query/ssb_specs.h"
+#include "ssb/query_id.h"
+
+namespace crystal::query {
+namespace {
+
+using ssb::QueryId;
+
+// ------------------------------------------------------ canonical specs
+
+TEST(SsbSpecTest, FactColumnsReferencedMatchesHandWrittenValues) {
+  // The pre-IR implementation hard-coded 4 columns for flights 1-3 and 6
+  // for flight 4; the spec-derived count must reproduce those exactly
+  // (they drive the coprocessor PCIe volume, Fig. 3).
+  for (QueryId id : ssb::kAllQueries) {
+    const QuerySpec spec = SsbSpec(id);
+    const int want = ssb::QueryFlight(id) == 4 ? 6 : 4;
+    EXPECT_EQ(FactColumnsReferenced(spec), want) << spec.name;
+  }
+}
+
+TEST(SsbSpecTest, AllCanonicalSpecsValidate) {
+  for (QueryId id : ssb::kAllQueries) {
+    const QuerySpec spec = SsbSpec(id);
+    std::string error;
+    EXPECT_TRUE(Validate(spec, &error)) << spec.name << ": " << error;
+    EXPECT_EQ(spec.name, ssb::QueryName(id));
+  }
+}
+
+TEST(SsbSpecTest, FlightShapesMatchThePaper) {
+  // Flight 1: fact-only predicates, scalar product aggregate.
+  const QuerySpec q11 = SsbSpec(QueryId::kQ11);
+  EXPECT_EQ(q11.joins.size(), 0u);
+  EXPECT_EQ(q11.fact_filters.size(), 3u);
+  EXPECT_TRUE(q11.group_by.empty());
+  EXPECT_EQ(q11.agg.kind, AggExpr::Kind::kProduct);
+
+  // Flight 2: three joins, (d_year, p_brand1) grouping.
+  const QuerySpec q21 = SsbSpec(QueryId::kQ21);
+  EXPECT_EQ(q21.joins.size(), 3u);
+  EXPECT_TRUE(q21.fact_filters.empty());
+  EXPECT_EQ(q21.group_by,
+            (std::vector<DimCol>{DimCol::kDYear, DimCol::kPBrand1}));
+
+  // Flight 4: four joins, profit aggregate.
+  const QuerySpec q43 = SsbSpec(QueryId::kQ43);
+  EXPECT_EQ(q43.joins.size(), 4u);
+  EXPECT_EQ(q43.agg.kind, AggExpr::Kind::kDifference);
+  EXPECT_EQ(q43.group_by.size(), 3u);
+}
+
+TEST(SsbSpecTest, PayloadPlanWiresGroupKeysToJoins) {
+  const QuerySpec q21 = SsbSpec(QueryId::kQ21);
+  const PayloadPlan plan = PlanPayloads(q21);
+  // Join order is (supplier, part, date); groups are (d_year, p_brand1).
+  ASSERT_EQ(plan.join_payload.size(), 3u);
+  EXPECT_EQ(plan.join_payload[0], -1);  // supplier: filter-only
+  EXPECT_EQ(plan.join_payload[1], 1);   // part -> p_brand1 (slot 1)
+  EXPECT_EQ(plan.join_payload[2], 0);   // date -> d_year (slot 0)
+  ASSERT_EQ(plan.group_join.size(), 2u);
+  EXPECT_EQ(plan.group_join[0], 2);
+  EXPECT_EQ(plan.group_join[1], 1);
+}
+
+// ------------------------------------------------------- group layouts
+
+TEST(GroupLayoutTest, CellAndKeysAreInverse) {
+  const QuerySpec q43 = SsbSpec(QueryId::kQ43);
+  const GroupLayout layout = LayoutFor(q43);
+  // (d_year, s_city, p_brand1): 7 x 250 x 4441 cells.
+  EXPECT_EQ(layout.num_keys, 3);
+  EXPECT_EQ(layout.cells, 7ll * 250 * 4441);
+  const int32_t keys[3] = {1995, 191, 2239};
+  const int64_t cell = layout.CellFor(keys);
+  ASSERT_GE(cell, 0);
+  ASSERT_LT(cell, layout.cells);
+  const std::array<int32_t, 3> back = layout.KeysFor(cell);
+  EXPECT_EQ(back[0], 1995);
+  EXPECT_EQ(back[1], 191);
+  EXPECT_EQ(back[2], 2239);
+}
+
+TEST(GroupLayoutTest, ScalarSpecGetsTrivialLayout) {
+  const GroupLayout layout = LayoutFor(SsbSpec(QueryId::kQ11));
+  EXPECT_TRUE(layout.scalar());
+  EXPECT_EQ(layout.cells, 1);
+}
+
+// ----------------------------------------------------------- validation
+
+QuerySpec MinimalSpec() {
+  QuerySpec spec;
+  spec.agg = {AggExpr::Kind::kColumn, FactCol::kRevenue, FactCol::kRevenue};
+  return spec;
+}
+
+TEST(ValidateTest, RejectsEmptyRanges) {
+  QuerySpec spec = MinimalSpec();
+  spec.fact_filters.push_back({FactCol::kDiscount, 5, 3});
+  std::string error;
+  EXPECT_FALSE(Validate(spec, &error));
+  EXPECT_NE(error.find("empty range"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsDoubleJoinOfOneTable) {
+  QuerySpec spec = MinimalSpec();
+  spec.joins.push_back({DimTable::kDate, FactCol::kOrderdate, {}});
+  spec.joins.push_back({DimTable::kDate, FactCol::kOrderdate, {}});
+  std::string error;
+  EXPECT_FALSE(Validate(spec, &error));
+  EXPECT_NE(error.find("joined twice"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsFilterOnForeignTable) {
+  QuerySpec spec = MinimalSpec();
+  JoinSpec join{DimTable::kDate, FactCol::kOrderdate, {}};
+  DimFilter filter;
+  filter.col = DimCol::kSRegion;  // supplier column on a date join
+  join.filters.push_back(filter);
+  spec.joins.push_back(join);
+  std::string error;
+  EXPECT_FALSE(Validate(spec, &error));
+  EXPECT_NE(error.find("does not belong"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsGroupColumnWithoutJoin) {
+  QuerySpec spec = MinimalSpec();
+  spec.group_by.push_back(DimCol::kDYear);
+  std::string error;
+  EXPECT_FALSE(Validate(spec, &error));
+  EXPECT_NE(error.find("requires a join"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsOversizedAggregationGrids) {
+  // (d_yearmonthnum, c_city, p_brand1) is structurally fine but its dense
+  // grid would need 612 * 250 * 4441 cells (~5.4 GB of int64, per worker
+  // thread in the vectorized engine) — Validate must refuse, not OOM.
+  QuerySpec spec = MinimalSpec();
+  spec.joins.push_back({DimTable::kDate, FactCol::kOrderdate, {}});
+  spec.joins.push_back({DimTable::kCustomer, FactCol::kCustkey, {}});
+  spec.joins.push_back({DimTable::kPart, FactCol::kPartkey, {}});
+  spec.group_by = {DimCol::kDYearmonthnum, DimCol::kCCity, DimCol::kPBrand1};
+  std::string error;
+  EXPECT_FALSE(Validate(spec, &error));
+  EXPECT_NE(error.find("grid too large"), std::string::npos);
+
+  // The canonical worst case stays comfortably inside the cap.
+  EXPECT_LE(LayoutFor(SsbSpec(QueryId::kQ43)).cells, kMaxGroupCells);
+}
+
+TEST(ValidateTest, RejectsTwoGroupColumnsFromOneTable) {
+  QuerySpec spec = MinimalSpec();
+  spec.joins.push_back({DimTable::kDate, FactCol::kOrderdate, {}});
+  spec.group_by = {DimCol::kDYear, DimCol::kDYearmonthnum};
+  std::string error;
+  EXPECT_FALSE(Validate(spec, &error));
+  EXPECT_NE(error.find("more than one group column"), std::string::npos);
+}
+
+// -------------------------------------------------------------- parser
+
+TEST(ParseQuerySpecTest, RoundTripsEveryCanonicalSpec) {
+  for (QueryId id : ssb::kAllQueries) {
+    const QuerySpec spec = SsbSpec(id);
+    const std::string text = FormatQuerySpec(spec);
+    QuerySpec parsed;
+    std::string error;
+    ASSERT_TRUE(ParseQuerySpec(text, &parsed, &error))
+        << spec.name << ": " << error << "\n  " << text;
+    EXPECT_TRUE(parsed == spec) << spec.name << "\n  " << text << "\n  vs\n  "
+                                << FormatQuerySpec(parsed);
+  }
+}
+
+TEST(ParseQuerySpecTest, ParsesTheReadmeExample) {
+  QuerySpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseQuerySpec(
+      "sum revenue join supplier on suppkey filter s_region = 1 "
+      "join part on partkey filter p_category = 12 "
+      "join date on orderdate group by d_year, p_brand1",
+      &spec, &error))
+      << error;
+  EXPECT_TRUE(spec == SsbSpec(QueryId::kQ21));
+}
+
+TEST(ParseQuerySpecTest, DefaultsJoinKeyAndAcceptsLoPrefix) {
+  QuerySpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseQuerySpec(
+      "sum lo_revenue join supplier filter s_region = 2", &spec, &error))
+      << error;
+  ASSERT_EQ(spec.joins.size(), 1u);
+  EXPECT_EQ(spec.joins[0].fact_key, FactCol::kSuppkey);
+  EXPECT_EQ(spec.agg.a, FactCol::kRevenue);
+}
+
+TEST(ParseQuerySpecTest, ErrorPaths) {
+  QuerySpec spec;
+  std::string error;
+
+  EXPECT_FALSE(ParseQuerySpec("", &spec, &error));
+  EXPECT_NE(error.find("must start with 'sum'"), std::string::npos);
+
+  EXPECT_FALSE(ParseQuerySpec("sum gold", &spec, &error));
+  EXPECT_NE(error.find("unknown fact column 'gold'"), std::string::npos);
+
+  EXPECT_FALSE(ParseQuerySpec("sum revenue where discount in 1..", &spec,
+                              &error));
+  EXPECT_NE(error.find("after '..'"), std::string::npos);
+
+  EXPECT_FALSE(ParseQuerySpec("sum revenue where discount between 1 3",
+                              &spec, &error));
+  EXPECT_NE(error.find("expected '=' or 'in'"), std::string::npos);
+
+  EXPECT_FALSE(ParseQuerySpec("sum revenue join warehouse", &spec, &error));
+  EXPECT_NE(error.find("unknown dimension table 'warehouse'"),
+            std::string::npos);
+
+  EXPECT_FALSE(ParseQuerySpec(
+      "sum revenue join supplier filter s_city in {191, 195", &spec,
+      &error));
+  EXPECT_NE(error.find("'}'"), std::string::npos);
+
+  EXPECT_FALSE(ParseQuerySpec("sum revenue group by d_year", &spec, &error));
+  EXPECT_NE(error.find("requires a join"), std::string::npos);  // Validate
+
+  EXPECT_FALSE(ParseQuerySpec("sum revenue bogus-clause", &spec, &error));
+  EXPECT_NE(error.find("expected 'where', 'join', or 'group by'"),
+            std::string::npos);
+
+  // IN sets are a build-side (dimension) feature only.
+  EXPECT_FALSE(ParseQuerySpec("sum revenue where quantity in {1, 2}", &spec,
+                              &error));
+  EXPECT_NE(error.find("build-side"), std::string::npos);
+}
+
+TEST(ParseQuerySpecTest, PureScanAndExpressionForms) {
+  QuerySpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseQuerySpec("sum revenue", &spec, &error)) << error;
+  EXPECT_TRUE(spec.fact_filters.empty());
+  EXPECT_TRUE(spec.joins.empty());
+
+  ASSERT_TRUE(ParseQuerySpec("sum extendedprice*discount", &spec, &error));
+  EXPECT_EQ(spec.agg.kind, AggExpr::Kind::kProduct);
+  ASSERT_TRUE(ParseQuerySpec("sum revenue-supplycost", &spec, &error));
+  EXPECT_EQ(spec.agg.kind, AggExpr::Kind::kDifference);
+}
+
+// ------------------------------------------------------- name bindings
+
+TEST(NamesTest, EveryColumnNameRoundTrips) {
+  for (int i = 0; i < kNumFactCols; ++i) {
+    const FactCol col = static_cast<FactCol>(i);
+    FactCol back;
+    ASSERT_TRUE(FactColFromName(FactColName(col), &back));
+    EXPECT_EQ(back, col);
+  }
+  for (int i = 0; i < kNumDimCols; ++i) {
+    const DimCol col = static_cast<DimCol>(i);
+    DimCol back;
+    ASSERT_TRUE(DimColFromName(DimColName(col), &back));
+    EXPECT_EQ(back, col);
+    int32_t lo, hi;
+    DimColDomain(col, &lo, &hi);
+    EXPECT_LE(lo, hi) << DimColName(col);
+  }
+  for (int i = 0; i < kNumDimTables; ++i) {
+    const DimTable table = static_cast<DimTable>(i);
+    DimTable back;
+    ASSERT_TRUE(DimTableFromName(DimTableName(table), &back));
+    EXPECT_EQ(back, table);
+  }
+}
+
+}  // namespace
+}  // namespace crystal::query

@@ -70,15 +70,19 @@ TEST(DatagenTest, ForeignKeysResolve) {
 TEST(DatagenTest, Q11SelectivityNearPaper) {
   // year=1993 (1/7) x discount 1..3 (3/11) x quantity<25 (24/50) ~ 1.9%.
   const Database& db = TestDb();
-  const Q1Params q = Q1ParamsFor(QueryId::kQ11);
+  const query::QuerySpec spec = query::SsbSpec(QueryId::kQ11);
   int64_t matches = 0;
   for (int64_t i = 0; i < db.lo.rows; ++i) {
-    if (db.lo.orderdate[i] >= q.date_lo && db.lo.orderdate[i] <= q.date_hi &&
-        db.lo.discount[i] >= q.discount_lo &&
-        db.lo.discount[i] <= q.discount_hi &&
-        db.lo.quantity[i] <= q.quantity_hi) {
-      ++matches;
+    bool pass = true;
+    for (const query::FactFilter& f : spec.fact_filters) {
+      const int32_t v =
+          query::FactColumn(db, f.col)[static_cast<size_t>(i)];
+      if (v < f.lo || v > f.hi) {
+        pass = false;
+        break;
+      }
     }
+    if (pass) ++matches;
   }
   const double sigma =
       static_cast<double>(matches) / static_cast<double>(db.lo.rows);

@@ -11,9 +11,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "driver/driver.h"
 #include "engine/registry.h"
+#include "query/parser.h"
+#include "query/ssb_specs.h"
 
 namespace {
 
@@ -26,6 +29,11 @@ Flags:
                      (default). `--list-engines` prints the registry.
   --queries=LIST     Comma-separated queries, or "all" (default). A token
                      selects one query (q2.1) or a whole flight (q2).
+  --adhoc=SPEC       Ad-hoc declarative query in the QuerySpec grammar (see
+                     docs/QUERIES.md), e.g. --adhoc="sum revenue join
+                     supplier on suppkey filter s_region = 2". Repeatable;
+                     runs after --queries (alone when --queries is absent)
+                     and is cross-checked like any canonical query.
   --sf=N             SSB scale factor (default 1).
   --fact-divisor=N   Fact-table subsampling divisor: the fact table holds
                      6M*SF/N rows while dimensions keep full SF cardinality;
@@ -50,6 +58,8 @@ Flags:
                      (--output=FILE is accepted as a synonym).
   --list-engines     Print registered engines (name, aliases, description)
                      and exit.
+  --list-queries     Print the 13 canonical queries (name, referenced fact
+                     columns, full spec in the ad-hoc grammar) and exit.
   --help             Show this message.
 
 Exit status: 0 on success with matching results, 1 on flag errors, 2 when
@@ -78,6 +88,20 @@ int FlagError(const std::string& message) {
   return 1;
 }
 
+int ListQueries() {
+  std::printf(
+      "Canonical SSB queries (crystaldb --queries=...), as specs runnable "
+      "via --adhoc:\n\n");
+  for (crystal::ssb::QueryId id : crystal::ssb::kAllQueries) {
+    const crystal::query::QuerySpec spec = crystal::query::SsbSpec(id);
+    std::printf("  %-5s [%d fact columns]\n", spec.name.c_str(),
+                crystal::query::FactColumnsReferenced(spec));
+    std::printf("        %s\n",
+                crystal::query::FormatQuerySpec(spec).c_str());
+  }
+  return 0;
+}
+
 int ListEngines() {
   const auto& registry = crystal::engine::EngineRegistry::Global();
   std::printf("Registered engines (crystaldb --engines=...):\n\n");
@@ -99,6 +123,7 @@ int ListEngines() {
 int main(int argc, char** argv) {
   crystal::driver::Options options;
   std::string output_path;
+  bool queries_given = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -112,6 +137,9 @@ int main(int argc, char** argv) {
     if (ParseFlag(arg, "--list-engines", &value)) {
       return ListEngines();
     }
+    if (ParseFlag(arg, "--list-queries", &value)) {
+      return ListQueries();
+    }
     if (ParseFlag(arg, "--engines", &value)) {
       if (value == nullptr) return FlagError("--engines needs a value");
       if (!crystal::driver::ParseEngineList(value, &options.engines, &error))
@@ -120,6 +148,13 @@ int main(int argc, char** argv) {
       if (value == nullptr) return FlagError("--queries needs a value");
       if (!crystal::driver::ParseQueryList(value, &options.queries, &error))
         return FlagError(error);
+      queries_given = true;
+    } else if (ParseFlag(arg, "--adhoc", &value)) {
+      if (value == nullptr) return FlagError("--adhoc needs a spec");
+      crystal::query::QuerySpec spec;
+      if (!crystal::query::ParseQuerySpec(value, &spec, &error))
+        return FlagError("--adhoc: " + error);
+      options.adhoc.push_back(std::move(spec));
     } else if (ParseFlag(arg, "--sf", &value)) {
       if (value == nullptr || std::atoi(value) < 1)
         return FlagError("--sf needs a positive integer");
@@ -169,6 +204,10 @@ int main(int argc, char** argv) {
       return FlagError(std::string("unknown flag '") + arg + "'");
     }
   }
+
+  // `--adhoc` without `--queries` runs only the ad-hoc specs; the default
+  // all-13 list applies when neither flag is present.
+  if (!options.adhoc.empty() && !queries_given) options.queries.clear();
 
   const crystal::driver::Report report = crystal::driver::Run(options);
   const std::string json = crystal::driver::ToJson(report);
