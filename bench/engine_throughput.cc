@@ -1,9 +1,11 @@
 // Engine throughput harness: runs the 13 SSB queries on one registered
 // engine with warmup + repeated timed runs and writes a machine-readable
 // bench JSON (default BENCH_cpu_ssb.json) with per-query median/min wall
-// times and their geomean. This file is the perf trajectory of the real
-// CPU engine: every PR leaves a breadcrumb (CI uploads the JSON artifact),
-// and docs/PERF.md describes the measurement methodology.
+// times, the measured build vs probe+aggregate split, build-cache hit and
+// build counts, and the wall-time geomean. This file is the perf
+// trajectory of the real CPU engine: every PR leaves a breadcrumb (CI
+// uploads the JSON artifact and diffs it against the checked-in baseline
+// with tools/perf_diff), and docs/PERF.md describes the methodology.
 //
 // Knobs (environment):
 //   CRYSTAL_SSB_SF=N             scale factor            (default 1)
@@ -74,13 +76,21 @@ int main() {
 
   const driver::Report report = driver::Run(options);
 
-  TablePrinter t({"query", "median ms", "min ms"});
+  TablePrinter t({"query", "median ms", "min ms", "build ms", "probe ms",
+                  "cache hit/build"});
   double log_median = 0;
   double log_min = 0;
   for (const driver::QueryReport& qr : report.queries) {
     const driver::EngineRunReport& run = qr.runs[0];
+    const bool split = run.host_build_ms >= 0 && run.host_probe_ms >= 0;
+    const bool cached = run.build_cache_hits >= 0;
     t.AddRow({qr.spec.name, TablePrinter::Fmt(run.wall_ms, 2),
-              TablePrinter::Fmt(run.wall_min_ms, 2)});
+              TablePrinter::Fmt(run.wall_min_ms, 2),
+              split ? TablePrinter::Fmt(run.host_build_ms, 3) : "-",
+              split ? TablePrinter::Fmt(run.host_probe_ms, 2) : "-",
+              cached ? std::to_string(run.build_cache_hits) + "/" +
+                           std::to_string(run.build_cache_builds)
+                     : "-"});
     log_median += std::log(run.wall_ms);
     log_min += std::log(run.wall_min_ms);
   }
@@ -88,7 +98,7 @@ int main() {
   const double geomean_median = std::exp(log_median / n);
   const double geomean_min = std::exp(log_min / n);
   t.AddRow({"geomean", TablePrinter::Fmt(geomean_median, 2),
-            TablePrinter::Fmt(geomean_min, 2)});
+            TablePrinter::Fmt(geomean_min, 2), "", "", ""});
   t.Print();
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -117,9 +127,22 @@ int main() {
     const driver::EngineRunReport& run = qr.runs[0];
     std::fprintf(f,
                  "    {\"query\": \"%s\", \"wall_median_ms\": %.4f, "
-                 "\"wall_min_ms\": %.4f}%s\n",
-                 qr.spec.name.c_str(), run.wall_ms,
-                 run.wall_min_ms, i + 1 < report.queries.size() ? "," : "");
+                 "\"wall_min_ms\": %.4f",
+                 qr.spec.name.c_str(), run.wall_ms, run.wall_min_ms);
+    // Host phase split (medians) and build-cache counters (totals over the
+    // timed runs); host engines with a cache report hits == repeat * joins
+    // and builds == 0 once the warmup run has populated the cache.
+    if (run.host_build_ms >= 0 && run.host_probe_ms >= 0) {
+      std::fprintf(f, ", \"build_ms\": %.4f, \"probe_ms\": %.4f",
+                   run.host_build_ms, run.host_probe_ms);
+    }
+    if (run.build_cache_hits >= 0) {
+      std::fprintf(f,
+                   ", \"cache_hits\": %lld, \"cache_builds\": %lld",
+                   static_cast<long long>(run.build_cache_hits),
+                   static_cast<long long>(run.build_cache_builds));
+    }
+    std::fprintf(f, "}%s\n", i + 1 < report.queries.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"geomean_wall_median_ms\": %.4f,\n", geomean_median);

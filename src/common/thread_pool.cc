@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/macros.h"
 
@@ -54,6 +55,25 @@ void ThreadPool::ParallelFor(
   fn(0, 0, std::min<int64_t>(n, chunk));
   std::unique_lock<std::mutex> lock(mu_);
   work_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::ParallelForMorsels(
+    int64_t n, int64_t morsel,
+    const std::function<void(int, int64_t, int64_t)>& fn) {
+  CRYSTAL_CHECK(n >= 0);
+  CRYSTAL_CHECK(morsel > 0);
+  if (n == 0) return;
+  // Every thread runs one claim loop; the shared cursor is the entire
+  // scheduling state. fetch_add hands out disjoint ascending ranges, and a
+  // thread whose claim lands past n simply retires.
+  std::atomic<int64_t> next{0};
+  ParallelFor(num_threads(), [&](int thread, int64_t, int64_t) {
+    for (;;) {
+      const int64_t begin = next.fetch_add(morsel, std::memory_order_relaxed);
+      if (begin >= n) break;
+      fn(thread, begin, std::min(begin + morsel, n));
+    }
+  });
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {

@@ -32,6 +32,17 @@ class ThreadPool {
   void ParallelFor(int64_t n,
                    const std::function<void(int, int64_t, int64_t)>& fn);
 
+  /// Morsel-driven variant (Leis et al.): [0, n) is cut into `morsel`-sized
+  /// chunks that every thread claims dynamically from a shared cursor, so a
+  /// thread that finishes its morsel early steals the next one instead of
+  /// idling behind a static partition. fn(thread_index, begin, end) runs
+  /// once per claimed morsel; morsels are disjoint, cover [0, n) exactly,
+  /// and are claimed in ascending order (each thread's own sequence of
+  /// morsels is ascending too, which keeps per-thread scans forward-only).
+  /// Blocks until every morsel completed.
+  void ParallelForMorsels(int64_t n, int64_t morsel,
+                          const std::function<void(int, int64_t, int64_t)>& fn);
+
   /// Shared default pool sized to the host.
   static ThreadPool& Default();
 

@@ -1,0 +1,157 @@
+#include "cpu/build_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace crystal::cpu {
+
+namespace {
+
+/// Direct spans beyond this never pay off: the table stops being
+/// cache-resident and the build's sentinel fill dominates.
+constexpr int64_t kMaxDirectSpan = int64_t{1} << 26;
+
+bool InitialDirectEnabled() {
+  const char* env = std::getenv("CRYSTAL_DIRECT_JOIN");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+std::atomic<bool>& DirectFlag() {
+  static std::atomic<bool> enabled{InitialDirectEnabled()};
+  return enabled;
+}
+
+}  // namespace
+
+bool DirectJoinEnabled() {
+  return DirectFlag().load(std::memory_order_relaxed);
+}
+
+void SetDirectJoinEnabled(bool enabled) {
+  DirectFlag().store(enabled, std::memory_order_relaxed);
+}
+
+JoinTable BuildJoinTable(const int32_t* keys, const int32_t* payloads,
+                         int64_t n,
+                         const std::function<bool(int64_t)>& pred,
+                         ThreadPool& pool) {
+  JoinTable table;
+  int32_t min_key = 0;
+  int32_t max_key = -1;
+  if (n > 0) {
+    min_key = keys[0];
+    max_key = keys[0];
+    for (int64_t i = 1; i < n; ++i) {
+      min_key = std::min(min_key, keys[i]);
+      max_key = std::max(max_key, keys[i]);
+    }
+  }
+  const int64_t span = static_cast<int64_t>(max_key) - min_key + 1;
+  const bool direct = DirectJoinEnabled() && n > 0 &&
+                      span <= std::max<int64_t>(4 * n, int64_t{1} << 16) &&
+                      span <= kMaxDirectSpan;
+  if (direct) {
+    table.base = min_key;
+    table.direct.assign(static_cast<size_t>(span), kDirectAbsent);
+    int32_t* slots = table.direct.data();
+    const int32_t base = min_key;
+    // Keys are unique, so the parallel stores hit disjoint slots.
+    pool.ParallelFor(n, [&](int, int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        if (!pred(i)) continue;
+        CRYSTAL_CHECK_MSG(payloads[i] != kDirectAbsent,
+                          "payload collides with the absent sentinel");
+        slots[keys[i] - base] = payloads[i];
+      }
+    });
+    return table;
+  }
+  // Domain-sized (perfect-hash-style) table, matching the paper's sizing;
+  // threads claim slots directly with compare-and-swap.
+  table.hash.emplace(std::max<int64_t>(n, 1), /*max_fill=*/1.0);
+  pool.ParallelFor(n, [&](int, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      if (pred(i)) table.hash->Insert(keys[i], payloads[i]);
+    }
+  });
+  return table;
+}
+
+BuildCache& BuildCache::Process() {
+  static BuildCache* cache = new BuildCache();
+  return *cache;
+}
+
+std::shared_ptr<const JoinTable> BuildCache::GetOrBuild(
+    std::string_view generation, std::string_view key,
+    const std::function<JoinTable()>& build, bool* hit) {
+  const std::string key_str(key);
+  std::promise<std::shared_ptr<const JoinTable>> promise;
+  TableFuture future;
+  bool claimed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (generation_ != generation) {
+      // New database generation: everything cached before it is stale.
+      generation_.assign(generation);
+      tables_.clear();
+    }
+    auto it = tables_.find(key_str);
+    if (it != tables_.end()) {
+      // Hit. The wait below, outside the lock, returns immediately for a
+      // ready entry and blocks only on *this key's* in-flight build.
+      future = it->second;
+    } else {
+      claimed = true;
+      future = promise.get_future().share();
+      tables_.emplace(key_str, future);
+    }
+  }
+  if (hit != nullptr) *hit = !claimed;
+  if (claimed) {
+    // This caller claimed the key: run the (multi-millisecond, parallel)
+    // build outside the lock so hits and other builds never queue behind
+    // it; same-key requesters block on the shared future instead.
+    try {
+      promise.set_value(std::make_shared<const JoinTable>(build()));
+    } catch (...) {
+      // Don't leave a poisoned future cached: same-key waiters see the
+      // exception once, later requests rebuild from scratch.
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mu_);
+      tables_.erase(key_str);
+      throw;
+    }
+  }
+  return future.get();
+}
+
+void BuildCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  generation_.clear();
+  tables_.clear();
+}
+
+int64_t BuildCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(tables_.size());
+}
+
+int64_t BuildCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [key, future] : tables_) {
+    if (future.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      total += future.get()->bytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace crystal::cpu

@@ -1,0 +1,141 @@
+#ifndef CRYSTAL_CPU_BUILD_CACHE_H_
+#define CRYSTAL_CPU_BUILD_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/aligned.h"
+#include "common/thread_pool.h"
+#include "cpu/hash_join.h"
+#include "cpu/vector_ops.h"
+
+namespace crystal::cpu {
+
+/// Build side of one dimension join, in the representation the probe
+/// kernels consume: a direct-address payload array when the (filtered)
+/// key domain is compact — every SSB dimension qualifies: customer,
+/// supplier and part carry dense 1..rows surrogate keys and date's
+/// yyyymmdd domain spans ~61K values — or a linear-probing HashTable
+/// otherwise. Immutable after Build*, so instances can be shared
+/// read-only across queries and threads (see BuildCache).
+struct JoinTable {
+  /// Direct-address storage: payload for key k at direct[k - base],
+  /// kDirectAbsent where no build row (passing the filters) has the key.
+  AlignedVector<int32_t> direct;
+  int32_t base = 0;
+  /// Fallback representation; engaged exactly when the table is not
+  /// direct-addressed.
+  std::optional<HashTable> hash;
+
+  bool is_direct() const { return !hash.has_value(); }
+  int64_t bytes() const {
+    return is_direct()
+               ? static_cast<int64_t>(direct.size()) * 4
+               : hash->bytes();
+  }
+};
+
+/// True when direct-address build sides are in use: not disabled via
+/// CRYSTAL_DIRECT_JOIN=0 in the environment or SetDirectJoinEnabled(false).
+/// With direct tables off every build side falls back to the HashTable
+/// path — the parity suite runs both.
+bool DirectJoinEnabled();
+
+/// Force-enables/disables direct-address build sides (tests, ablations).
+/// Thread-safe; affects subsequent builds only, never existing tables.
+void SetDirectJoinEnabled(bool enabled);
+
+/// Builds the lookup table over keys[i] -> payloads[i] for the rows in
+/// [0, n) where pred(i) is true, with one parallel pass over the dimension
+/// (direct stores or CAS hash inserts; keys must be unique and >= 0).
+/// Chooses direct addressing when enabled and the full key domain
+/// [min, max] over all n rows is compact: span <= max(4n, 2^16), capped at
+/// 2^26 entries (256 MB would never be "cache-resident"). Basing the span
+/// on all rows — not just the passing ones — keeps the geometry of a
+/// table's direct representation identical across build filters.
+JoinTable BuildJoinTable(const int32_t* keys, const int32_t* payloads,
+                         int64_t n,
+                         const std::function<bool(int64_t)>& pred,
+                         ThreadPool& pool);
+
+/// Probe dispatch over the two representations; contract of ProbeSelect /
+/// ProbeDirect (vector_ops.h).
+inline int ProbeJoinTable(const JoinTable& t, const int32_t* keys,
+                          const int32_t* sel, int m, int32_t* sel_out,
+                          int32_t* val_out, int32_t* pos_out) {
+  if (t.is_direct()) {
+    return ProbeDirect(t.direct.data(),
+                       static_cast<int64_t>(t.direct.size()), t.base, keys,
+                       sel, m, sel_out, val_out, pos_out);
+  }
+  return ProbeSelect(*t.hash, keys, sel, m, sel_out, val_out, pos_out);
+}
+
+/// Cross-query cache of dimension build sides. The 13 SSB flights reuse a
+/// handful of distinct (table, build filter, payload) combinations — q2.x
+/// share their date build, every repeated Execute of one spec reuses all
+/// of them — so the heavy-traffic scenario (one resident database serving
+/// many specs back-to-back) builds each table once per database
+/// generation instead of once per query.
+///
+/// Keying: `key` is the canonical build-side identity
+/// (query::BuildSideKey — dimension table, payload column, filters);
+/// `generation` tags the database generation (query::GenerationKey — seed
+/// and scale factor, which fully determine dimension content). The cache
+/// holds tables of exactly one generation: a Get under a new generation
+/// drops everything cached for the old one, so stale build sides are
+/// unreachable by construction.
+///
+/// Entries are shared immutable (shared_ptr<const JoinTable>), safe to
+/// probe concurrently from any number of threads and engines; a returned
+/// table stays valid after Clear()/invalidation for as long as the caller
+/// holds the pointer.
+class BuildCache {
+ public:
+  /// Process-wide instance: every CPU engine bound to the same database
+  /// generation shares one set of build sides.
+  static BuildCache& Process();
+
+  /// Returns the cached table for (generation, key), or builds it with
+  /// `build` and caches the result. Sets *hit (when non-null) to whether
+  /// the table came from the cache. The first requester of a key becomes
+  /// its builder and runs `build` *outside* the cache lock; concurrent
+  /// requests for the same key wait on that build (never building twice),
+  /// while hits and builds of unrelated keys proceed without blocking
+  /// behind it. Note that `build` runs on the caller's thread and
+  /// (via BuildJoinTable) the caller's ThreadPool, whose ParallelFor is
+  /// not reentrant: callers that may build concurrently must use distinct
+  /// pools — the built-in engines do, each owning a private pool unless
+  /// the EngineContext supplies a shared one.
+  std::shared_ptr<const JoinTable> GetOrBuild(
+      std::string_view generation, std::string_view key,
+      const std::function<JoinTable()>& build, bool* hit);
+
+  /// Drops every entry (tests; memory pressure). In-flight builds are
+  /// detached (their requesters still get their table); completed tables
+  /// survive for as long as callers hold their pointers.
+  void Clear();
+
+  int64_t entries() const;
+  /// Total bytes held by the completed cached tables (in-flight builds
+  /// are not counted — this accessor never blocks).
+  int64_t bytes() const;
+
+ private:
+  using TableFuture = std::shared_future<std::shared_ptr<const JoinTable>>;
+
+  mutable std::mutex mu_;
+  std::string generation_;
+  std::unordered_map<std::string, TableFuture> tables_;
+};
+
+}  // namespace crystal::cpu
+
+#endif  // CRYSTAL_CPU_BUILD_CACHE_H_

@@ -2,58 +2,10 @@
 
 #include <cmath>
 
-#if defined(CRYSTAL_HAVE_AVX2)
-#include <immintrin.h>
-#endif
+#include "cpu/vector_ops.h"
+#include "cpu/vector_ops_internal.h"
 
 namespace crystal::cpu {
-
-namespace {
-
-#if defined(CRYSTAL_HAVE_AVX2)
-
-// 8-lane exp(x) via the classic exponent-bit split:
-//   exp(x) = 2^k * 2^f, k = round(x/ln2), f in [-0.5, 0.5],
-// with a degree-5 polynomial for 2^f. Relative error ~3e-5, far below the
-// tolerance any OLAP aggregate cares about.
-inline __m256 Exp8(__m256 x) {
-  const __m256 log2e = _mm256_set1_ps(1.442695040f);
-  const __m256 c0 = _mm256_set1_ps(1.0f);
-  const __m256 c1 = _mm256_set1_ps(0.693147180f);
-  const __m256 c2 = _mm256_set1_ps(0.240226507f);
-  const __m256 c3 = _mm256_set1_ps(0.0555041087f);
-  const __m256 c4 = _mm256_set1_ps(0.00961812911f);
-  const __m256 c5 = _mm256_set1_ps(0.00133335581f);
-  // Clamp to avoid overflow in the exponent bits.
-  x = _mm256_max_ps(_mm256_min_ps(x, _mm256_set1_ps(87.0f)),
-                    _mm256_set1_ps(-87.0f));
-  const __m256 t = _mm256_mul_ps(x, log2e);  // x / ln2
-  const __m256 k = _mm256_round_ps(
-      t, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
-  const __m256 f = _mm256_sub_ps(t, k);  // fractional part in [-0.5, 0.5]
-  // 2^f = poly(f) (minimax-ish via exp(f*ln2) Taylor with fitted terms).
-  __m256 p = c5;
-  p = _mm256_fmadd_ps(p, f, c4);
-  p = _mm256_fmadd_ps(p, f, c3);
-  p = _mm256_fmadd_ps(p, f, c2);
-  p = _mm256_fmadd_ps(p, f, c1);
-  p = _mm256_fmadd_ps(p, f, c0);
-  // 2^k via exponent bits.
-  const __m256i ki = _mm256_cvtps_epi32(k);
-  const __m256i pow2k =
-      _mm256_slli_epi32(_mm256_add_epi32(ki, _mm256_set1_epi32(127)), 23);
-  return _mm256_mul_ps(p, _mm256_castsi256_ps(pow2k));
-}
-
-inline __m256 Sigmoid8(__m256 z) {
-  const __m256 one = _mm256_set1_ps(1.0f);
-  const __m256 e = Exp8(_mm256_sub_ps(_mm256_setzero_ps(), z));
-  return _mm256_div_ps(one, _mm256_add_ps(one, e));
-}
-
-#endif  // CRYSTAL_HAVE_AVX2
-
-}  // namespace
 
 void ProjectLinearScalar(const float* x1, const float* x2, int64_t n, float a,
                          float b, float* out, ThreadPool& pool) {
@@ -64,28 +16,16 @@ void ProjectLinearScalar(const float* x1, const float* x2, int64_t n, float a,
 
 void ProjectLinearOpt(const float* x1, const float* x2, int64_t n, float a,
                       float b, float* out, ThreadPool& pool) {
-#if defined(CRYSTAL_HAVE_AVX2)
+  // Runtime-dispatched like every vector_ops primitive: the AVX2 kernel
+  // (8-lane FMA + non-temporal stores) lives in the -mavx2 TU and is taken
+  // whenever the host supports it and CRYSTAL_SIMD isn't 0.
+  if (!SimdEnabled()) {
+    ProjectLinearScalar(x1, x2, n, a, b, out, pool);
+    return;
+  }
   pool.ParallelFor(n, [&](int, int64_t begin, int64_t end) {
-    const __m256 va = _mm256_set1_ps(a);
-    const __m256 vb = _mm256_set1_ps(b);
-    int64_t i = begin;
-    // Head: align the output pointer for streaming stores.
-    while (i < end && (reinterpret_cast<uintptr_t>(out + i) & 31) != 0) {
-      out[i] = a * x1[i] + b * x2[i];
-      ++i;
-    }
-    for (; i + 8 <= end; i += 8) {
-      const __m256 v1 = _mm256_loadu_ps(x1 + i);
-      const __m256 v2 = _mm256_loadu_ps(x2 + i);
-      const __m256 r = _mm256_fmadd_ps(va, v1, _mm256_mul_ps(vb, v2));
-      _mm256_stream_ps(out + i, r);  // non-temporal: skip the cache
-    }
-    for (; i < end; ++i) out[i] = a * x1[i] + b * x2[i];
+    internal::ProjectLinearAvx2(x1, x2, begin, end, a, b, out);
   });
-  _mm_sfence();
-#else
-  ProjectLinearScalar(x1, x2, n, a, b, out, pool);
-#endif
 }
 
 void ProjectSigmoidScalar(const float* x1, const float* x2, int64_t n, float a,
@@ -100,31 +40,13 @@ void ProjectSigmoidScalar(const float* x1, const float* x2, int64_t n, float a,
 
 void ProjectSigmoidOpt(const float* x1, const float* x2, int64_t n, float a,
                        float b, float* out, ThreadPool& pool) {
-#if defined(CRYSTAL_HAVE_AVX2)
+  if (!SimdEnabled()) {
+    ProjectSigmoidScalar(x1, x2, n, a, b, out, pool);
+    return;
+  }
   pool.ParallelFor(n, [&](int, int64_t begin, int64_t end) {
-    const __m256 va = _mm256_set1_ps(a);
-    const __m256 vb = _mm256_set1_ps(b);
-    int64_t i = begin;
-    while (i < end && (reinterpret_cast<uintptr_t>(out + i) & 31) != 0) {
-      const float z = a * x1[i] + b * x2[i];
-      out[i] = 1.0f / (1.0f + std::exp(-z));
-      ++i;
-    }
-    for (; i + 8 <= end; i += 8) {
-      const __m256 v1 = _mm256_loadu_ps(x1 + i);
-      const __m256 v2 = _mm256_loadu_ps(x2 + i);
-      const __m256 z = _mm256_fmadd_ps(va, v1, _mm256_mul_ps(vb, v2));
-      _mm256_stream_ps(out + i, Sigmoid8(z));
-    }
-    for (; i < end; ++i) {
-      const float z = a * x1[i] + b * x2[i];
-      out[i] = 1.0f / (1.0f + std::exp(-z));
-    }
+    internal::ProjectSigmoidAvx2(x1, x2, begin, end, a, b, out);
   });
-  _mm_sfence();
-#else
-  ProjectSigmoidScalar(x1, x2, n, a, b, out, pool);
-#endif
 }
 
 }  // namespace crystal::cpu

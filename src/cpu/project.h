@@ -10,8 +10,11 @@ namespace crystal::cpu {
 /// CPU projection variants of Section 4.1. "Scalar" is the plain
 /// multi-threaded loop (the paper's "CPU"); "Opt" adds SIMD arithmetic and
 /// non-temporal (streaming) stores that bypass the cache hierarchy (the
-/// paper's "CPU-Opt"). All variants partition the input statically across
-/// the pool's threads.
+/// paper's "CPU-Opt"). The Opt kernels live in the -mavx2 vector_ops TU and
+/// are selected through the same runtime dispatch as every other SIMD
+/// primitive (cpuid + CRYSTAL_SIMD; SimdEnabled()), falling back to the
+/// Scalar loop otherwise. All variants partition the input statically
+/// across the pool's threads.
 
 /// Q1: out[i] = a*x1[i] + b*x2[i].
 void ProjectLinearScalar(const float* x1, const float* x2, int64_t n, float a,

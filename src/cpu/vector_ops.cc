@@ -22,7 +22,9 @@ namespace {
 
 bool CpuSupportsAvx2() {
 #if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
-  return __builtin_cpu_supports("avx2");
+  // The kernel TU is compiled with -mavx2 -mfma (the projection kernels use
+  // FMA), so the dispatch requires both feature bits.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
 #else
   return false;
 #endif
@@ -108,6 +110,27 @@ int ProbeSelectScalar(const HashTable& ht, const int32_t* keys,
   return w;
 }
 
+int ProbeDirectScalar(const int32_t* table, int64_t span, int32_t base,
+                      const int32_t* keys, const int32_t* sel, int m,
+                      int32_t* sel_out, int32_t* val_out, int32_t* pos_out) {
+  int w = 0;
+  for (int i = 0; i < m; ++i) {
+    const int32_t row = sel != nullptr ? sel[i] : i;
+    // One unsigned compare folds both range ends (off < 0 wraps huge).
+    const int64_t off = static_cast<int64_t>(keys[row]) - base;
+    if (static_cast<uint64_t>(off) < static_cast<uint64_t>(span)) {
+      const int32_t v = table[off];
+      if (v != kDirectAbsent) {
+        sel_out[w] = row;
+        if (val_out != nullptr) val_out[w] = v;
+        if (pos_out != nullptr) pos_out[w] = i;
+        ++w;
+      }
+    }
+  }
+  return w;
+}
+
 }  // namespace
 
 bool SimdAvailable() {
@@ -145,6 +168,17 @@ int ProbeSelect(const HashTable& ht, const int32_t* keys, const int32_t* sel,
                                      pos_out);
   }
   return ProbeSelectScalar(ht, keys, sel, m, sel_out, val_out, pos_out);
+}
+
+int ProbeDirect(const int32_t* table, int64_t span, int32_t base,
+                const int32_t* keys, const int32_t* sel, int m,
+                int32_t* sel_out, int32_t* val_out, int32_t* pos_out) {
+  if (SimdEnabled()) {
+    return internal::ProbeDirectAvx2(table, span, base, keys, sel, m, sel_out,
+                                     val_out, pos_out);
+  }
+  return ProbeDirectScalar(table, span, base, keys, sel, m, sel_out, val_out,
+                           pos_out);
 }
 
 void CompactInPlace(int32_t* v, const int32_t* pos, int m) {

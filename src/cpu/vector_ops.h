@@ -62,6 +62,25 @@ int RefineRange(const int32_t* col, const int32_t* sel, int m, int32_t lo,
 int ProbeSelect(const HashTable& ht, const int32_t* keys, const int32_t* sel,
                 int m, int32_t* sel_out, int32_t* val_out, int32_t* pos_out);
 
+/// Sentinel payload marking an empty direct-address join-table slot (see
+/// ProbeDirect / cpu::JoinTable). Build sides must never carry it as a real
+/// payload; every SSB dimension attribute is non-negative, so INT32_MIN is
+/// safely out of band.
+inline constexpr int32_t kDirectAbsent = INT32_MIN;
+
+/// Direct-address probe with selection: the build side is a dense payload
+/// array `table[0..span)` where key k lives at table[k - base] and absent
+/// keys hold kDirectAbsent — the degenerate perfect hash the SSB dimension
+/// tables admit (dense 1..rows surrogate keys; compact yyyymmdd date
+/// domain). Same contract as ProbeSelect otherwise: probes keys[sel[i]]
+/// (or keys[i] when sel == nullptr) for i in [0, m), emits surviving row
+/// indices / payloads / input positions, returns the match count. The AVX2
+/// path is a single bounds-masked 8-lane gather per vector — no hashing and
+/// no probe loop, which is exactly why dense build sides should prefer it.
+int ProbeDirect(const int32_t* table, int64_t span, int32_t base,
+                const int32_t* keys, const int32_t* sel, int m,
+                int32_t* sel_out, int32_t* val_out, int32_t* pos_out);
+
 /// Compacts a carried vector through the positions a ProbeSelect emitted:
 /// v[j] = v[pos[j]] for j in [0, m). Safe in place because pos is strictly
 /// increasing with pos[j] >= j.

@@ -5,8 +5,11 @@
 // the runtime-dispatched entry points in vector_ops.cc.
 #include "cpu/vector_ops_internal.h"
 
+#include <cmath>
+
 #include "common/bitutil.h"
 #include "common/macros.h"
+#include "cpu/vector_ops.h"
 
 #if defined(__AVX2__)
 #include <immintrin.h>
@@ -189,6 +192,66 @@ int ProbeSelectAvx2(const HashTable& ht, const int32_t* keys,
   return w;
 }
 
+int ProbeDirectAvx2(const int32_t* table, int64_t span, int32_t base,
+                    const int32_t* keys, const int32_t* sel, int m,
+                    int32_t* sel_out, int32_t* val_out, int32_t* pos_out) {
+  const PermTable& pt = GetPermTable();
+  const __m256i vbase = _mm256_set1_epi32(base);
+  const __m256i vzero = _mm256_setzero_si256();
+  // span fits int32: BuildJoinTable caps direct spans far below 2^31.
+  const __m256i vspan_m1 =
+      _mm256_set1_epi32(static_cast<int32_t>(span - 1));
+  const __m256i vabsent = _mm256_set1_epi32(kDirectAbsent);
+  int w = 0;
+  int i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m256i pos8 = _mm256_add_epi32(Iota(), _mm256_set1_epi32(i));
+    const __m256i idx =
+        sel != nullptr
+            ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i))
+            : pos8;
+    const __m256i k =
+        sel != nullptr
+            ? _mm256_i32gather_epi32(keys, idx, 4)
+            : _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i off = _mm256_sub_epi32(k, vbase);
+    // Lanes with 0 <= off < span may gather; the rest are zeroed so the
+    // single unmasked gather stays in bounds, then discarded via the mask.
+    const __m256i in_range = InRange(off, vzero, vspan_m1);
+    const __m256i safe_off = _mm256_and_si256(off, in_range);
+    const __m256i payload = _mm256_i32gather_epi32(table, safe_off, 4);
+    const __m256i present = _mm256_andnot_si256(
+        _mm256_cmpeq_epi32(payload, vabsent), _mm256_set1_epi32(-1));
+    const __m256i found = _mm256_and_si256(in_range, present);
+    const int mask8 = _mm256_movemask_ps(_mm256_castsi256_ps(found));
+    const __m256i perm =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(pt.idx[mask8]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(sel_out + w),
+                        _mm256_permutevar8x32_epi32(idx, perm));
+    if (val_out != nullptr) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(val_out + w),
+                          _mm256_permutevar8x32_epi32(payload, perm));
+    }
+    if (pos_out != nullptr) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(pos_out + w),
+                          _mm256_permutevar8x32_epi32(pos8, perm));
+    }
+    w += __builtin_popcount(static_cast<unsigned>(mask8));
+  }
+  for (; i < m; ++i) {
+    const int32_t row = sel != nullptr ? sel[i] : i;
+    const int64_t off = static_cast<int64_t>(keys[row]) - base;
+    if (static_cast<uint64_t>(off) < static_cast<uint64_t>(span) &&
+        table[off] != kDirectAbsent) {
+      sel_out[w] = row;
+      if (val_out != nullptr) val_out[w] = table[off];
+      if (pos_out != nullptr) pos_out[w] = i;
+      ++w;
+    }
+  }
+  return w;
+}
+
 int64_t CountLessAvx2(const float* in, int64_t n, float v) {
   const __m256 vv = _mm256_set1_ps(v);
   int64_t c = 0;
@@ -287,6 +350,92 @@ void ProbeSumAvx2(const HashTable& ht, const int32_t* keys,
   }
 }
 
+namespace {
+
+// 8-lane exp(x) via the classic exponent-bit split:
+//   exp(x) = 2^k * 2^f, k = round(x/ln2), f in [-0.5, 0.5],
+// with a degree-5 polynomial for 2^f. Relative error ~3e-5, far below the
+// tolerance any OLAP aggregate cares about.
+inline __m256 Exp8(__m256 x) {
+  const __m256 log2e = _mm256_set1_ps(1.442695040f);
+  const __m256 c0 = _mm256_set1_ps(1.0f);
+  const __m256 c1 = _mm256_set1_ps(0.693147180f);
+  const __m256 c2 = _mm256_set1_ps(0.240226507f);
+  const __m256 c3 = _mm256_set1_ps(0.0555041087f);
+  const __m256 c4 = _mm256_set1_ps(0.00961812911f);
+  const __m256 c5 = _mm256_set1_ps(0.00133335581f);
+  // Clamp to avoid overflow in the exponent bits.
+  x = _mm256_max_ps(_mm256_min_ps(x, _mm256_set1_ps(87.0f)),
+                    _mm256_set1_ps(-87.0f));
+  const __m256 t = _mm256_mul_ps(x, log2e);  // x / ln2
+  const __m256 k = _mm256_round_ps(
+      t, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m256 f = _mm256_sub_ps(t, k);  // fractional part in [-0.5, 0.5]
+  // 2^f = poly(f) (minimax-ish via exp(f*ln2) Taylor with fitted terms).
+  __m256 p = c5;
+  p = _mm256_fmadd_ps(p, f, c4);
+  p = _mm256_fmadd_ps(p, f, c3);
+  p = _mm256_fmadd_ps(p, f, c2);
+  p = _mm256_fmadd_ps(p, f, c1);
+  p = _mm256_fmadd_ps(p, f, c0);
+  // 2^k via exponent bits.
+  const __m256i ki = _mm256_cvtps_epi32(k);
+  const __m256i pow2k =
+      _mm256_slli_epi32(_mm256_add_epi32(ki, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(p, _mm256_castsi256_ps(pow2k));
+}
+
+inline __m256 Sigmoid8(__m256 z) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = Exp8(_mm256_sub_ps(_mm256_setzero_ps(), z));
+  return _mm256_div_ps(one, _mm256_add_ps(one, e));
+}
+
+}  // namespace
+
+void ProjectLinearAvx2(const float* x1, const float* x2, int64_t begin,
+                       int64_t end, float a, float b, float* out) {
+  const __m256 va = _mm256_set1_ps(a);
+  const __m256 vb = _mm256_set1_ps(b);
+  int64_t i = begin;
+  // Head: align the output pointer for streaming stores.
+  while (i < end && (reinterpret_cast<uintptr_t>(out + i) & 31) != 0) {
+    out[i] = a * x1[i] + b * x2[i];
+    ++i;
+  }
+  for (; i + 8 <= end; i += 8) {
+    const __m256 v1 = _mm256_loadu_ps(x1 + i);
+    const __m256 v2 = _mm256_loadu_ps(x2 + i);
+    const __m256 r = _mm256_fmadd_ps(va, v1, _mm256_mul_ps(vb, v2));
+    _mm256_stream_ps(out + i, r);  // non-temporal: skip the cache
+  }
+  for (; i < end; ++i) out[i] = a * x1[i] + b * x2[i];
+  _mm_sfence();  // streaming stores must be globally visible on return
+}
+
+void ProjectSigmoidAvx2(const float* x1, const float* x2, int64_t begin,
+                        int64_t end, float a, float b, float* out) {
+  const __m256 va = _mm256_set1_ps(a);
+  const __m256 vb = _mm256_set1_ps(b);
+  int64_t i = begin;
+  while (i < end && (reinterpret_cast<uintptr_t>(out + i) & 31) != 0) {
+    const float z = a * x1[i] + b * x2[i];
+    out[i] = 1.0f / (1.0f + std::exp(-z));
+    ++i;
+  }
+  for (; i + 8 <= end; i += 8) {
+    const __m256 v1 = _mm256_loadu_ps(x1 + i);
+    const __m256 v2 = _mm256_loadu_ps(x2 + i);
+    const __m256 z = _mm256_fmadd_ps(va, v1, _mm256_mul_ps(vb, v2));
+    _mm256_stream_ps(out + i, Sigmoid8(z));
+  }
+  for (; i < end; ++i) {
+    const float z = a * x1[i] + b * x2[i];
+    out[i] = 1.0f / (1.0f + std::exp(-z));
+  }
+  _mm_sfence();
+}
+
 #else  // !defined(__AVX2__)
 
 // Toolchain cannot target AVX2: report no kernels. The dispatcher never
@@ -306,6 +455,19 @@ int ProbeSelectAvx2(const HashTable&, const int32_t*, const int32_t*, int,
                     int32_t*, int32_t*, int32_t*) {
   CRYSTAL_CHECK_MSG(false, "AVX2 kernels not compiled in");
   return 0;
+}
+int ProbeDirectAvx2(const int32_t*, int64_t, int32_t, const int32_t*,
+                    const int32_t*, int, int32_t*, int32_t*, int32_t*) {
+  CRYSTAL_CHECK_MSG(false, "AVX2 kernels not compiled in");
+  return 0;
+}
+void ProjectLinearAvx2(const float*, const float*, int64_t, int64_t, float,
+                       float, float*) {
+  CRYSTAL_CHECK_MSG(false, "AVX2 kernels not compiled in");
+}
+void ProjectSigmoidAvx2(const float*, const float*, int64_t, int64_t, float,
+                        float, float*) {
+  CRYSTAL_CHECK_MSG(false, "AVX2 kernels not compiled in");
 }
 int64_t CountLessAvx2(const float*, int64_t, float) {
   CRYSTAL_CHECK_MSG(false, "AVX2 kernels not compiled in");

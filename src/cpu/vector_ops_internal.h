@@ -42,6 +42,9 @@ int RefineRangeAvx2(const int32_t* col, const int32_t* sel, int m, int32_t lo,
 int ProbeSelectAvx2(const HashTable& ht, const int32_t* keys,
                     const int32_t* sel, int m, int32_t* sel_out,
                     int32_t* val_out, int32_t* pos_out);
+int ProbeDirectAvx2(const int32_t* table, int64_t span, int32_t base,
+                    const int32_t* keys, const int32_t* sel, int m,
+                    int32_t* sel_out, int32_t* val_out, int32_t* pos_out);
 
 // Micro-bench kernels (fig12 select, fig13 join) on the same dispatch: the
 // callers in cpu/select.cc and cpu/hash_join.cc gate on SimdEnabled(), so
@@ -61,6 +64,20 @@ void CompactLessAvx2(const float* in, int64_t n, float v, float* out);
 void ProbeSumAvx2(const HashTable& ht, const int32_t* keys,
                   const int32_t* vals, int64_t begin, int64_t end,
                   int64_t* sum, int64_t* matches);
+
+// fig10 projection kernels (cpu/project.cc "CPU-Opt" variants) on the same
+// dispatch: 8-lane FMA arithmetic with non-temporal stores, and a
+// polynomial 8-lane exp for the sigmoid (~3e-5 relative error). Each call
+// covers one thread's [begin, end) partition and fences its streaming
+// stores before returning.
+
+/// out[i] = a*x1[i] + b*x2[i] for i in [begin, end).
+void ProjectLinearAvx2(const float* x1, const float* x2, int64_t begin,
+                       int64_t end, float a, float b, float* out);
+
+/// out[i] = sigmoid(a*x1[i] + b*x2[i]) for i in [begin, end).
+void ProjectSigmoidAvx2(const float* x1, const float* x2, int64_t begin,
+                        int64_t end, float a, float b, float* out);
 
 }  // namespace crystal::cpu::internal
 

@@ -397,15 +397,32 @@ Report Run(const Options& options, const ssb::Database& db) {
       // across runs), aggregate the wall-clocks to median + min.
       std::vector<double> walls;
       walls.reserve(static_cast<size_t>(report.options.repeat));
+      std::vector<double> builds, probes;
+      int64_t cache_hits = -1;
+      int64_t cache_builds = -1;
       engine::RunStats stats;
       for (int rep = 0; rep < report.options.repeat; ++rep) {
         stats = engines[i]->Execute(spec);
         walls.push_back(stats.wall_ms);
+        if (stats.host_build_ms >= 0) builds.push_back(stats.host_build_ms);
+        if (stats.host_probe_ms >= 0) probes.push_back(stats.host_probe_ms);
+        if (stats.build_cache_hits >= 0) {
+          cache_hits = std::max<int64_t>(cache_hits, 0) +
+                       stats.build_cache_hits;
+        }
+        if (stats.build_cache_builds >= 0) {
+          cache_builds = std::max<int64_t>(cache_builds, 0) +
+                         stats.build_cache_builds;
+        }
       }
       EngineRunReport run;
       run.engine = names[i];
       run.wall_ms = Median(walls);
       run.wall_min_ms = *std::min_element(walls.begin(), walls.end());
+      if (!builds.empty()) run.host_build_ms = Median(builds);
+      if (!probes.empty()) run.host_probe_ms = Median(probes);
+      run.build_cache_hits = cache_hits;
+      run.build_cache_builds = cache_builds;
       run.predicted_total_ms = stats.predicted_total_ms;
       run.predicted_build_ms = stats.predicted_build_ms;
       run.predicted_probe_ms = stats.predicted_probe_ms;
@@ -504,6 +521,15 @@ std::string ToJson(const Report& report) {
         w.MsField("transfer_ms", run.transfer_ms);
         w.MsField("kernel_ms", run.kernel_ms);
         w.Field("fact_bytes_shipped", run.fact_bytes_shipped);
+      }
+      // Host engines with a measured phase split / build cache.
+      if (run.host_build_ms >= 0 && run.host_probe_ms >= 0) {
+        w.MsField("build_ms", run.host_build_ms);
+        w.MsField("probe_ms", run.host_probe_ms);
+      }
+      if (run.build_cache_hits >= 0 || run.build_cache_builds >= 0) {
+        w.Field("cache_hits", std::max<int64_t>(run.build_cache_hits, 0));
+        w.Field("cache_builds", std::max<int64_t>(run.build_cache_builds, 0));
       }
       w.Field("checksum", run.checksum);
       w.Field("groups", run.groups);

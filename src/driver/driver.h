@@ -89,6 +89,16 @@ struct EngineRunReport {
   double kernel_ms = -1;
   /// Full-scale referenced fact bytes shipped over PCIe (coprocessor only).
   int64_t fact_bytes_shipped = 0;
+  /// Host-measured phase split (host engines that report it; < 0
+  /// otherwise): medians across the timed runs of build-side fetch/build
+  /// wall vs fused probe+aggregate wall.
+  double host_build_ms = -1;
+  double host_probe_ms = -1;
+  /// Build-side cache counters summed over the timed runs (-1 = engine has
+  /// no cache). With warmup > 0 a healthy cache shows hits == repeat *
+  /// joins and builds == 0: every build side was built before timing began.
+  int64_t build_cache_hits = -1;
+  int64_t build_cache_builds = -1;
   /// Result digest: the scalar aggregate (flight 1) or the sum over group
   /// values, plus the group count. Full results are compared in-process.
   int64_t checksum = 0;

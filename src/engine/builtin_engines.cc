@@ -157,7 +157,12 @@ class VectorizedCpuQueryEngine final : public QueryEngine {
  protected:
   RunStats ExecuteImpl(const query::QuerySpec& spec) override {
     RunStats stats;
-    stats.result = engine_->Run(spec);
+    ssb::VectorizedCpuEngine::RunInfo info;
+    stats.result = engine_->Run(spec, &info);
+    stats.host_build_ms = info.build_ms;
+    stats.host_probe_ms = info.probe_ms;
+    stats.build_cache_hits = info.cache_hits;
+    stats.build_cache_builds = info.cache_builds;
     return stats;
   }
 

@@ -66,6 +66,15 @@ struct RunStats {
   /// Full-scale referenced fact bytes shipped over the interconnect
   /// (FactColumnsReferenced(query) * 6M * SF * 4; models_transfer only).
   int64_t fact_bytes_shipped = 0;
+  /// Host-measured phase split, for host-threaded engines that report it
+  /// (< 0 otherwise): wall milliseconds fetching/building dimension build
+  /// sides vs running the fused probe+aggregate scan.
+  double host_build_ms = -1;
+  double host_probe_ms = -1;
+  /// Build-side cache counters for this Execute: build sides served from
+  /// the cross-query cache vs actually built. -1 = engine has no cache.
+  int64_t build_cache_hits = -1;
+  int64_t build_cache_builds = -1;
 };
 
 /// Abstract execution model. One instance is bound to one database (and,

@@ -1,0 +1,67 @@
+#include "query/pipeline.h"
+
+#include <string>
+
+#include "common/macros.h"
+
+namespace crystal::query {
+
+QueryPipeline LowerToPipeline(const QuerySpec& spec,
+                              const ssb::Database& db) {
+  std::string error;
+  CRYSTAL_CHECK_MSG(Validate(spec, &error), error.c_str());
+
+  QueryPipeline p;
+  p.plan = PlanPayloads(spec);
+  p.layout = LayoutFor(spec);
+  p.bound = BindJoins(spec, p.plan, db);
+
+  p.filters.reserve(spec.fact_filters.size());
+  for (const FactFilter& f : spec.fact_filters) {
+    p.filters.push_back({FactColumn(db, f.col).data(), f.lo, f.hi});
+  }
+  p.probes.reserve(spec.joins.size());
+  for (size_t j = 0; j < spec.joins.size(); ++j) {
+    ProbeStage stage;
+    stage.fact_keys = FactColumn(db, spec.joins[j].fact_key).data();
+    stage.join_index = static_cast<int>(j);
+    stage.group_slot = p.plan.join_payload[j];
+    stage.cache_key = BuildSideKey(spec, j, p.plan);
+    p.probes.push_back(std::move(stage));
+  }
+  p.agg.a = FactColumn(db, spec.agg.a).data();
+  p.agg.b = FactColumn(db, spec.agg.b).data();
+  p.agg.kind = spec.agg.kind;
+  return p;
+}
+
+std::string BuildSideKey(const QuerySpec& spec, size_t join_index,
+                         const PayloadPlan& plan) {
+  const JoinSpec& join = spec.joins[join_index];
+  std::string key(DimTableName(join.table));
+  key += "|payload=";
+  const int slot = plan.join_payload[join_index];
+  if (slot >= 0) {
+    key += DimColName(spec.group_by[static_cast<size_t>(slot)]);
+  } else {
+    key += "key";
+  }
+  for (const DimFilter& f : join.filters) {
+    key += '|';
+    key += DimColName(f.col);
+    if (f.in_values.empty()) {
+      key += ':' + std::to_string(f.lo) + ".." + std::to_string(f.hi);
+    } else {
+      key += ":in";
+      for (int32_t v : f.in_values) key += ',' + std::to_string(v);
+    }
+  }
+  return key;
+}
+
+std::string GenerationKey(const ssb::Database& db) {
+  return "seed=" + std::to_string(db.seed) +
+         "|sf=" + std::to_string(db.scale_factor);
+}
+
+}  // namespace crystal::query

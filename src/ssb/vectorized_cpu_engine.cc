@@ -1,10 +1,15 @@
 #include "ssb/vectorized_cpu_engine.h"
 
 #include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/timer.h"
 #include "cpu/vector_ops.h"
+#include "query/pipeline.h"
 
 namespace crystal::ssb {
 
@@ -15,50 +20,42 @@ constexpr int kVector = 1024;
 using query::AggExpr;
 using query::QuerySpec;
 
-// Builds a CPU hash table over dimension rows passing `pred` in one parallel
-// pass: each thread filters its partition and claims slots directly with
-// compare-and-swap (HashTable::Insert) — no serial materialize-then-build.
-template <typename Pred>
-cpu::HashTable BuildFiltered(const Column& keys, const Column& payloads,
-                             Pred pred, ThreadPool& pool) {
-  // Domain-sized (perfect-hash-style) table, matching the paper's sizing.
-  cpu::HashTable ht(std::max<int64_t>(static_cast<int64_t>(keys.size()), 1),
-                    /*max_fill=*/1.0);
-  pool.ParallelFor(static_cast<int64_t>(keys.size()),
-                   [&](int, int64_t begin, int64_t end) {
-                     for (int64_t i = begin; i < end; ++i) {
-                       if (pred(static_cast<size_t>(i))) {
-                         ht.Insert(keys[static_cast<size_t>(i)],
-                                   payloads[static_cast<size_t>(i)]);
-                       }
-                     }
-                   });
-  return ht;
-}
-
-// Thread-local dense aggregation grid, merged after the parallel scan.
-// Grids are allocated lazily on each worker's first Add (zeroing
-// threads x cells up front is itself O(threads * cells) serial work), and
-// merged with a cell-striped parallel pass — q4.3's ~7.8M-cell grid would
-// otherwise dominate the query on a serial O(threads * cells) merge.
+// Thread-local dense aggregation grids over engine-owned scratch, merged
+// after the parallel scan. Only layouts up to kSparseGridCells land here
+// (to 2 MB per thread — q2.x's ~31K-cell brand grids, q4.2's ~10K cells);
+// larger layouts take the sparse path below. A grid is lazily zeroed on
+// its thread's first Add of the run (zeroing threads x cells up front is
+// O(threads * cells) serial work), and because the scratch outlives the
+// run, repeated executions pay a memset on reused pages instead of a
+// fresh allocation. Merged with a cell-striped parallel pass.
 class GridAgg {
  public:
-  GridAgg(int threads, int64_t cells)
-      : grids_(static_cast<size_t>(threads)), cells_(cells) {}
+  GridAgg(std::vector<std::vector<int64_t>>* scratch, int threads,
+          int64_t cells)
+      : grids_(*scratch),
+        cells_(cells),
+        touched_(static_cast<size_t>(threads), 0) {
+    if (grids_.size() < static_cast<size_t>(threads)) {
+      grids_.resize(static_cast<size_t>(threads));
+    }
+  }
 
   void Add(int thread, int64_t cell, int64_t v) {
     auto& grid = grids_[static_cast<size_t>(thread)];
-    if (grid.empty()) grid.assign(static_cast<size_t>(cells_), 0);
+    if (!touched_[static_cast<size_t>(thread)]) {
+      grid.assign(static_cast<size_t>(cells_), 0);
+      touched_[static_cast<size_t>(thread)] = 1;
+    }
     grid[static_cast<size_t>(cell)] += v;
   }
 
-  /// Merges all thread grids into grid 0 (cell-striped across the pool) and
-  /// returns it.
+  /// Merges all touched thread grids into grid 0 (cell-striped across the
+  /// pool) and returns it.
   const std::vector<int64_t>& Merge(ThreadPool& pool) {
-    if (grids_[0].empty()) grids_[0].assign(static_cast<size_t>(cells_), 0);
+    if (!touched_[0]) grids_[0].assign(static_cast<size_t>(cells_), 0);
     pool.ParallelFor(cells_, [&](int, int64_t begin, int64_t end) {
-      for (size_t t = 1; t < grids_.size(); ++t) {
-        if (grids_[t].empty()) continue;
+      for (size_t t = 1; t < touched_.size(); ++t) {
+        if (!touched_[t]) continue;
         const int64_t* src = grids_[t].data();
         int64_t* dst = grids_[0].data();
         for (int64_t i = begin; i < end; ++i) dst[i] += src[i];
@@ -68,129 +65,248 @@ class GridAgg {
   }
 
  private:
-  std::vector<std::vector<int64_t>> grids_;
+  std::vector<std::vector<int64_t>>& grids_;
   int64_t cells_;
+  /// Per-thread first-Add flags for this run; each thread writes only its
+  /// own slot during the scan, Merge reads them after the pool joined.
+  std::vector<uint8_t> touched_;
 };
 
-/// Bound per-vector pipeline stages, resolved from the spec once per run.
-struct BoundFilter {
-  const int32_t* col;
-  int32_t lo, hi;
-};
+// Per-thread sparse aggregation table for huge group domains. A dense grid
+// pays memset + merge + final scan over *every* cell each run — q4.3's
+// layout spans ~7.8M cells (62 MB) of which a few hundred are ever touched,
+// so on a memory-bound host the grid traffic dwarfs the actual query. Past
+// kSparseGridCells the engine aggregates into per-thread open-addressing
+// tables keyed by cell id instead; work is then proportional to touched
+// cells, and emission (skip zero sums, Normalize sorts) stays bit-identical
+// to EmitDenseGroups.
+constexpr int64_t kSparseGridCells = int64_t{1} << 18;
 
-struct BoundProbe {
-  const int32_t* keys;
-  const cpu::HashTable* ht;
-  int group_slot;  // payload destination (index into group buffers), or -1
+class SparseGrid {
+ public:
+  static constexpr int64_t kEmpty = -1;  // cell ids are >= 0
+
+  void Add(int64_t cell, int64_t v) {
+    if (2 * (count_ + 1) > static_cast<int64_t>(slots_.size())) Grow();
+    const size_t mask = slots_.size() - 1;
+    size_t s = Hash(cell) & mask;
+    for (;;) {
+      Slot& slot = slots_[s];
+      if (slot.cell == cell) {
+        slot.sum += v;
+        return;
+      }
+      if (slot.cell == kEmpty) {
+        slot.cell = cell;
+        slot.sum = v;
+        ++count_;
+        return;
+      }
+      s = (s + 1) & mask;
+    }
+  }
+
+  /// Folds `other`'s entries into this table.
+  void Absorb(const SparseGrid& other) {
+    for (const Slot& slot : other.slots_) {
+      if (slot.cell != kEmpty) Add(slot.cell, slot.sum);
+    }
+  }
+
+  /// Emits the non-zero sums as result groups (unsorted; the caller's
+  /// Normalize establishes the canonical order, as in RunReference).
+  void Emit(const query::GroupLayout& layout, QueryResult* result) const {
+    for (const Slot& slot : slots_) {
+      if (slot.cell == kEmpty || slot.sum == 0) continue;
+      const std::array<int32_t, 3> keys = layout.KeysFor(slot.cell);
+      result->AddGroup(keys[0], keys[1], keys[2], slot.sum);
+    }
+  }
+
+ private:
+  struct Slot {
+    int64_t cell = kEmpty;
+    int64_t sum = 0;
+  };
+
+  static size_t Hash(int64_t cell) {
+    uint64_t h = static_cast<uint64_t>(cell) * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 1024 : old.size() * 2, Slot{});
+    count_ = 0;
+    for (const Slot& slot : old) {
+      if (slot.cell != kEmpty) Add(slot.cell, slot.sum);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  int64_t count_ = 0;
 };
 
 }  // namespace
 
 VectorizedCpuEngine::VectorizedCpuEngine(const Database& db, ThreadPool& pool)
-    : db_(db), pool_(pool) {}
-
-QueryResult VectorizedCpuEngine::Run(const QuerySpec& spec) {
-  std::string error;
-  CRYSTAL_CHECK_MSG(query::Validate(spec, &error), error.c_str());
-
-  const query::PayloadPlan plan = query::PlanPayloads(spec);
-  const query::GroupLayout layout = query::LayoutFor(spec);
-
-  // Build phase: one filtered parallel CAS build per dimension join, with
-  // the key/payload/filter wiring resolved once by query::BindJoins.
-  const std::vector<query::BoundJoin> bound =
-      query::BindJoins(spec, plan, db_);
-  std::vector<cpu::HashTable> tables;
-  tables.reserve(bound.size());
-  for (const query::BoundJoin& join : bound) {
-    tables.push_back(BuildFiltered(
-        *join.keys, *join.payload,
-        [&join](size_t i) { return join.RowPasses(i); }, pool_));
+    : db_(db), pool_(pool), generation_(query::GenerationKey(db)) {
+  if (const char* env = std::getenv("CRYSTAL_MORSEL_ROWS")) {
+    const long long rows = std::atoll(env);
+    if (rows > 0) morsel_rows_ = rows;
   }
+}
 
-  std::vector<BoundFilter> filters;
-  for (const query::FactFilter& f : spec.fact_filters) {
-    filters.push_back({query::FactColumn(db_, f.col).data(), f.lo, f.hi});
+void VectorizedCpuEngine::set_morsel_rows(int64_t rows) {
+  CRYSTAL_CHECK(rows > 0);
+  morsel_rows_ = rows;
+}
+
+QueryResult VectorizedCpuEngine::Run(const QuerySpec& spec, RunInfo* info) {
+  RunInfo local_info;
+  if (info == nullptr) info = &local_info;
+  *info = RunInfo();
+
+  // Lowering: the spec resolved to raw column pointers and bound build-side
+  // descriptors once, before any per-row work (also validates the spec).
+  const query::QueryPipeline pipe = query::LowerToPipeline(spec, db_);
+
+  // Build phase: fetch every probe's build side from the process-wide
+  // cache; only combinations never seen for this database generation are
+  // actually built (one parallel filtered pass each).
+  WallTimer build_timer;
+  std::vector<std::shared_ptr<const cpu::JoinTable>> tables;
+  tables.reserve(pipe.probes.size());
+  for (const query::ProbeStage& probe : pipe.probes) {
+    const query::BoundJoin& join =
+        pipe.bound[static_cast<size_t>(probe.join_index)];
+    bool hit = false;
+    tables.push_back(cpu::BuildCache::Process().GetOrBuild(
+        generation_, probe.cache_key,
+        [&join, this] {
+          return cpu::BuildJoinTable(
+              join.keys->data(), join.payload->data(), join.dim_rows,
+              [&join](int64_t i) {
+                return join.RowPasses(static_cast<size_t>(i));
+              },
+              pool_);
+        },
+        &hit));
+    if (hit) {
+      ++info->cache_hits;
+    } else {
+      ++info->cache_builds;
+    }
   }
-  std::vector<BoundProbe> probes;
-  for (size_t j = 0; j < spec.joins.size(); ++j) {
-    probes.push_back({query::FactColumn(db_, spec.joins[j].fact_key).data(),
-                      &tables[j], plan.join_payload[j]});
-  }
-  const int32_t* agg_a = query::FactColumn(db_, spec.agg.a).data();
-  const int32_t* agg_b = query::FactColumn(db_, spec.agg.b).data();
-  const AggExpr::Kind agg_kind = spec.agg.kind;
+  info->build_ms = build_timer.ElapsedMs();
+
+  const AggExpr::Kind agg_kind = pipe.agg.kind;
+  const int32_t* agg_a = pipe.agg.a;
+  const int32_t* agg_b = pipe.agg.b;
   auto value_at = [agg_a, agg_b, agg_kind](int64_t row) {
     return query::AggValue(agg_kind, agg_a[row], agg_b[row]);
   };
-
-  std::vector<int64_t> partial(static_cast<size_t>(pool_.num_threads()), 0);
-  GridAgg agg(pool_.num_threads(), layout.cells);
+  const query::GroupLayout& layout = pipe.layout;
   const bool scalar = layout.scalar();
+  const bool sparse = !scalar && layout.cells > kSparseGridCells;
+  const int threads = pool_.num_threads();
 
-  pool_.ParallelFor(db_.lo.rows, [&](int t, int64_t begin, int64_t end) {
-    int32_t sel[kVector];
-    int32_t pos[kVector];
-    int32_t group[3][kVector];
-    int64_t sum = 0;
-    for (int64_t base = begin; base < end; base += kVector) {
-      const int n = static_cast<int>(std::min<int64_t>(kVector, end - base));
-      // Fact predicates: the first fills the selection vector, the rest
-      // compact it in place (AVX2 compare + movemask + perm-table selective
-      // store under the hood, scalar predication otherwise).
-      bool have_sel = false;
-      int m = n;
-      for (const BoundFilter& f : filters) {
-        if (!have_sel) {
-          m = cpu::SelectRange(f.col + base, n, f.lo, f.hi, sel);
-          have_sel = true;
-        } else {
-          m = cpu::RefineRange(f.col + base, sel, m, f.lo, f.hi, sel);
-        }
-      }
-      // Probe cascade on the selection vector; each stage is a batched
-      // hash-probe (vertical-vectorized gathers / group prefetching) whose
-      // pos output compacts the group keys carried from earlier stages.
-      int carried = 0;
-      int carried_slots[3];
-      for (const BoundProbe& probe : probes) {
-        int32_t* val_out =
-            probe.group_slot >= 0 ? group[probe.group_slot] : nullptr;
-        int32_t* pos_out = carried > 0 ? pos : nullptr;
-        m = cpu::ProbeSelect(*probe.ht, probe.keys + base,
-                             have_sel ? sel : nullptr, m, sel, val_out,
-                             pos_out);
-        have_sel = true;
-        for (int c = 0; c < carried && pos_out != nullptr; ++c) {
-          cpu::CompactInPlace(group[carried_slots[c]], pos, m);
-        }
-        if (probe.group_slot >= 0) carried_slots[carried++] = probe.group_slot;
-      }
-      if (scalar) {
-        if (have_sel) {
-          for (int i = 0; i < m; ++i) sum += value_at(base + sel[i]);
-        } else {
-          for (int i = 0; i < n; ++i) sum += value_at(base + i);
-        }
-      } else {
-        for (int i = 0; i < m; ++i) {
-          int64_t cell = 0;
-          for (int k = 0; k < layout.num_keys; ++k) {
-            cell = cell * layout.span[k] + (group[k][i] - layout.lo[k]);
+  std::vector<int64_t> partial(static_cast<size_t>(threads), 0);
+  GridAgg agg(&grid_scratch_, threads, sparse ? 1 : layout.cells);
+  std::vector<SparseGrid> sparse_grids(
+      sparse ? static_cast<size_t>(threads) : 0);
+
+  // Fused morsel scan: every morsel runs the whole plan — predicates,
+  // probe cascade, aggregation — vector-at-a-time in one pass while its
+  // selection vector and carried group keys stay L1-resident. Morsels are
+  // claimed dynamically, so a thread stalled on a cold fact slice never
+  // holds back the others.
+  WallTimer probe_timer;
+  pool_.ParallelForMorsels(
+      db_.lo.rows, morsel_rows_, [&](int t, int64_t begin, int64_t end) {
+        int32_t sel[kVector];
+        int32_t pos[kVector];
+        int32_t group[3][kVector];
+        int64_t sum = 0;
+        for (int64_t base = begin; base < end; base += kVector) {
+          const int n =
+              static_cast<int>(std::min<int64_t>(kVector, end - base));
+          // Fact predicates: the first fills the selection vector, the rest
+          // compact it in place (AVX2 compare + movemask + perm-table
+          // selective store under the hood, scalar predication otherwise).
+          bool have_sel = false;
+          int m = n;
+          for (const query::FilterStage& f : pipe.filters) {
+            if (!have_sel) {
+              m = cpu::SelectRange(f.col + base, n, f.lo, f.hi, sel);
+              have_sel = true;
+            } else {
+              m = cpu::RefineRange(f.col + base, sel, m, f.lo, f.hi, sel);
+            }
           }
-          agg.Add(t, cell, value_at(base + sel[i]));
+          // Probe cascade on the selection vector; each stage is a batched
+          // lookup — one bounds-masked gather per 8 keys on direct tables,
+          // vertical-vectorized hash probing otherwise — whose pos output
+          // compacts the group keys carried from earlier stages.
+          int carried = 0;
+          int carried_slots[3];
+          for (size_t p = 0; p < pipe.probes.size(); ++p) {
+            const query::ProbeStage& probe = pipe.probes[p];
+            int32_t* val_out =
+                probe.group_slot >= 0 ? group[probe.group_slot] : nullptr;
+            int32_t* pos_out = carried > 0 ? pos : nullptr;
+            m = cpu::ProbeJoinTable(*tables[p], probe.fact_keys + base,
+                                    have_sel ? sel : nullptr, m, sel, val_out,
+                                    pos_out);
+            have_sel = true;
+            for (int c = 0; c < carried && pos_out != nullptr; ++c) {
+              cpu::CompactInPlace(group[carried_slots[c]], pos, m);
+            }
+            if (probe.group_slot >= 0) {
+              carried_slots[carried++] = probe.group_slot;
+            }
+          }
+          if (scalar) {
+            if (have_sel) {
+              for (int i = 0; i < m; ++i) sum += value_at(base + sel[i]);
+            } else {
+              for (int i = 0; i < n; ++i) sum += value_at(base + i);
+            }
+          } else if (sparse) {
+            SparseGrid& grid = sparse_grids[static_cast<size_t>(t)];
+            for (int i = 0; i < m; ++i) {
+              int64_t cell = 0;
+              for (int k = 0; k < layout.num_keys; ++k) {
+                cell = cell * layout.span[k] + (group[k][i] - layout.lo[k]);
+              }
+              grid.Add(cell, value_at(base + sel[i]));
+            }
+          } else {
+            for (int i = 0; i < m; ++i) {
+              int64_t cell = 0;
+              for (int k = 0; k < layout.num_keys; ++k) {
+                cell = cell * layout.span[k] + (group[k][i] - layout.lo[k]);
+              }
+              agg.Add(t, cell, value_at(base + sel[i]));
+            }
+          }
         }
-      }
-    }
-    partial[static_cast<size_t>(t)] += sum;
-  });
+        partial[static_cast<size_t>(t)] += sum;
+      });
 
   QueryResult r;
   if (scalar) {
     for (int64_t s : partial) r.scalar += s;
-    return r;
+  } else if (sparse) {
+    for (size_t t = 1; t < sparse_grids.size(); ++t) {
+      sparse_grids[0].Absorb(sparse_grids[t]);
+    }
+    sparse_grids[0].Emit(layout, &r);
+    r.Normalize();
+  } else {
+    EmitDenseGroups(layout, agg.Merge(pool_).data(), &r);
   }
-  EmitDenseGroups(layout, agg.Merge(pool_).data(), &r);
+  info->probe_ms = probe_timer.ElapsedMs();
   return r;
 }
 

@@ -123,6 +123,54 @@ TEST(ThreadPoolTest, ThreadIndexWithinBounds) {
   EXPECT_TRUE(ok.load());
 }
 
+TEST(ThreadPoolMorselTest, CoversWholeRangeExactlyOnce) {
+  ThreadPool pool(4);
+  // Sizes straddling every boundary case: morsel > n, morsel == 1, odd
+  // morsels with non-multiple tails, exact multiples.
+  const struct { int64_t n, morsel; } cases[] = {
+      {1000, 64}, {1000, 1}, {1000, 1000}, {1000, 5000},
+      {1000, 7},  {64, 64},  {1, 3},       {1023, 256}};
+  for (const auto& c : cases) {
+    std::vector<std::atomic<int>> touched(static_cast<size_t>(c.n));
+    pool.ParallelForMorsels(c.n, c.morsel,
+                            [&](int, int64_t begin, int64_t end) {
+                              for (int64_t i = begin; i < end; ++i)
+                                touched[static_cast<size_t>(i)].fetch_add(1);
+                            });
+    for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+  }
+}
+
+TEST(ThreadPoolMorselTest, MorselsNeverExceedRequestedSize) {
+  ThreadPool pool(3);
+  std::atomic<bool> ok{true};
+  pool.ParallelForMorsels(10000, 128, [&](int t, int64_t begin, int64_t end) {
+    if (end - begin > 128 || begin >= end) ok = false;
+    if (t < 0 || t >= 3) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPoolMorselTest, EmptyRange) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelForMorsels(0, 64, [&](int, int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolMorselTest, PerThreadMorselsAscendOnSingleThread) {
+  // With one thread the claim order is the full morsel sequence; it must
+  // ascend and partition the range (the fused engine's per-thread scans
+  // rely on forward-only progression).
+  ThreadPool pool(1);
+  int64_t expected_begin = 0;
+  pool.ParallelForMorsels(1000, 300, [&](int, int64_t begin, int64_t end) {
+    EXPECT_EQ(begin, expected_begin);
+    expected_begin = end;
+  });
+  EXPECT_EQ(expected_begin, 1000);
+}
+
 TEST(ThreadPoolTest, ReusableAcrossCalls) {
   ThreadPool pool(4);
   for (int round = 0; round < 20; ++round) {

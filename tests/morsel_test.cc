@@ -1,0 +1,311 @@
+// Morsel-boundary parity suite + build-cache correctness for the fused CPU
+// engine. The fused pipeline must produce bit-identical results to the
+// tuple-at-a-time reference regardless of how the fact table is cut into
+// morsels (size 1, odd sizes, non-multiple-of-8 tails, morsels larger than
+// the table), how many threads claim them, which SIMD dispatch path runs,
+// and which build-side representation (direct-address vs hash) the join
+// tables use. The build cache must serve repeated and overlapping specs
+// without ever mixing up build sides that differ only in their filters.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "cpu/build_cache.h"
+#include "cpu/vector_ops.h"
+#include "query/parser.h"
+#include "query/pipeline.h"
+#include "ssb/datagen.h"
+#include "ssb/queries.h"
+#include "ssb/vectorized_cpu_engine.h"
+
+namespace crystal::ssb {
+namespace {
+
+// SF1 dimensions (full-size build sides) over a 30K-row fact sample: big
+// enough to cross many morsel boundaries, small enough for dozens of
+// reference-checked configurations.
+const Database& TestDb() {
+  static const Database* db = new Database(Generate(1, 200));
+  return *db;
+}
+
+query::QuerySpec Adhoc(const std::string& text) {
+  query::QuerySpec spec;
+  std::string error;
+  EXPECT_TRUE(query::ParseQuerySpec(text, &spec, &error)) << error;
+  return spec;
+}
+
+/// The specs the parity sweep runs: one per structural shape — scalar
+/// aggregate with fact filters only (q1.1), grouped probe cascade (q2.1),
+/// IN-set build filter (q3.3), the four-table cascade with a sparse-path
+/// grid (q4.3), and an ad-hoc shape carrying two group keys through a
+/// later probe (compaction of carried vectors).
+std::vector<query::QuerySpec> ParitySpecs() {
+  return {
+      query::SsbSpec(QueryId::kQ11),
+      query::SsbSpec(QueryId::kQ21),
+      query::SsbSpec(QueryId::kQ33),
+      query::SsbSpec(QueryId::kQ43),
+      Adhoc("sum revenue-supplycost join customer on custkey filter "
+            "c_region = 3 join part on partkey filter p_mfgr = 5 "
+            "group by c_nation, p_category"),
+  };
+}
+
+/// Restores SIMD + direct-join dispatch state (and drops cached tables
+/// built under a scoped representation) when a test section ends.
+class DispatchGuard {
+ public:
+  DispatchGuard()
+      : simd_(cpu::SimdEnabled()), direct_(cpu::DirectJoinEnabled()) {}
+  ~DispatchGuard() {
+    cpu::SetSimdEnabled(simd_);
+    cpu::SetDirectJoinEnabled(direct_);
+    cpu::BuildCache::Process().Clear();
+  }
+
+ private:
+  bool simd_;
+  bool direct_;
+};
+
+struct ParityParam {
+  int64_t morsel;
+  int threads;
+  bool simd;
+  bool direct_join;
+};
+
+class MorselParityTest : public testing::TestWithParam<ParityParam> {};
+
+TEST_P(MorselParityTest, MatchesReference) {
+  const ParityParam p = GetParam();
+  if (p.simd && !cpu::SimdAvailable()) GTEST_SKIP() << "no AVX2 host";
+
+  DispatchGuard guard;
+  cpu::SetSimdEnabled(p.simd);
+  cpu::SetDirectJoinEnabled(p.direct_join);
+  // Representation/dispatch toggles apply to future builds only; drop
+  // tables built by earlier tests so this configuration builds its own.
+  cpu::BuildCache::Process().Clear();
+
+  ThreadPool pool(p.threads);
+  VectorizedCpuEngine engine(TestDb(), pool);
+  engine.set_morsel_rows(p.morsel);
+  for (const query::QuerySpec& spec : ParitySpecs()) {
+    const QueryResult want = RunReference(TestDb(), spec);
+    const QueryResult got = engine.Run(spec);
+    EXPECT_TRUE(got == want)
+        << spec.name << " morsel=" << p.morsel << " threads=" << p.threads
+        << " simd=" << p.simd << " direct=" << p.direct_join << ": got "
+        << got.ToString() << " want " << want.ToString();
+  }
+}
+
+std::string ParityName(const testing::TestParamInfo<ParityParam>& info) {
+  const ParityParam& p = info.param;
+  return "morsel" + std::to_string(p.morsel) + "_t" +
+         std::to_string(p.threads) + (p.simd ? "_simd" : "_scalar") +
+         (p.direct_join ? "_direct" : "_hash");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MorselParityTest,
+    testing::ValuesIn(std::vector<ParityParam>{
+        // Morsel-size sweep at both SIMD settings, single-threaded: size 1
+        // (every row its own morsel), 7 (odd, smaller than a vector), 999
+        // (non-multiple-of-8 tail in every morsel), 4096 (vector multiple),
+        // and one morsel spanning the whole table.
+        {1, 1, true, true},
+        {7, 1, true, true},
+        {999, 1, true, true},
+        {4096, 1, true, true},
+        {1 << 20, 1, true, true},
+        {1, 1, false, true},
+        {999, 1, false, true},
+        {4096, 1, false, true},
+        // Multi-threaded claiming, both dispatch paths.
+        {999, 3, true, true},
+        {4096, 3, true, true},
+        {4096, 3, false, true},
+        // Hash-table build sides (direct addressing disabled) must agree
+        // everywhere too.
+        {999, 1, true, false},
+        {4096, 3, true, false},
+        {999, 1, false, false},
+    }),
+    ParityName);
+
+TEST(BuildCacheTest, SecondExecuteReusesEveryBuildSide) {
+  DispatchGuard guard;
+  cpu::BuildCache::Process().Clear();
+  ThreadPool pool(2);
+  VectorizedCpuEngine engine(TestDb(), pool);
+
+  const query::QuerySpec spec = query::SsbSpec(QueryId::kQ21);
+  const QueryResult want = RunReference(TestDb(), spec);
+
+  VectorizedCpuEngine::RunInfo first;
+  EXPECT_TRUE(engine.Run(spec, &first) == want);
+  EXPECT_EQ(first.cache_builds, 3);  // part, supplier, date
+  EXPECT_EQ(first.cache_hits, 0);
+
+  VectorizedCpuEngine::RunInfo second;
+  EXPECT_TRUE(engine.Run(spec, &second) == want);
+  EXPECT_EQ(second.cache_builds, 0);
+  EXPECT_EQ(second.cache_hits, 3);
+}
+
+TEST(BuildCacheTest, SharedAcrossEngineInstances) {
+  // The cache is process-wide: a second engine over the same database
+  // generation starts warm (the heavy-traffic scenario — many sessions,
+  // one resident database).
+  DispatchGuard guard;
+  cpu::BuildCache::Process().Clear();
+  ThreadPool pool(2);
+  const query::QuerySpec spec = query::SsbSpec(QueryId::kQ41);
+
+  VectorizedCpuEngine first(TestDb(), pool);
+  VectorizedCpuEngine::RunInfo cold;
+  first.Run(spec, &cold);
+  EXPECT_EQ(cold.cache_builds, 4);
+
+  VectorizedCpuEngine second(TestDb(), pool);
+  VectorizedCpuEngine::RunInfo warm;
+  EXPECT_TRUE(second.Run(spec, &warm) == RunReference(TestDb(), spec));
+  EXPECT_EQ(warm.cache_builds, 0);
+  EXPECT_EQ(warm.cache_hits, 4);
+}
+
+TEST(BuildCacheTest, FilterVariantsDoNotCollide) {
+  // q2.1/q2.2/q2.3 share their (unfiltered) date build but differ in the
+  // part filter (category range vs brand range vs brand equality) and
+  // supplier region. Keys must separate them — every result must still be
+  // exactly the reference — while the shared date build actually hits.
+  DispatchGuard guard;
+  cpu::BuildCache::Process().Clear();
+  ThreadPool pool(2);
+  VectorizedCpuEngine engine(TestDb(), pool);
+
+  VectorizedCpuEngine::RunInfo info21;
+  EXPECT_TRUE(engine.Run(QueryId::kQ21, &info21) ==
+              RunReference(TestDb(), QueryId::kQ21));
+  EXPECT_EQ(info21.cache_builds, 3);
+
+  VectorizedCpuEngine::RunInfo info22;
+  EXPECT_TRUE(engine.Run(QueryId::kQ22, &info22) ==
+              RunReference(TestDb(), QueryId::kQ22));
+  // Distinct part/supplier filters rebuild; the identical date side hits.
+  EXPECT_EQ(info22.cache_hits, 1);
+  EXPECT_EQ(info22.cache_builds, 2);
+
+  VectorizedCpuEngine::RunInfo info23;
+  EXPECT_TRUE(engine.Run(QueryId::kQ23, &info23) ==
+              RunReference(TestDb(), QueryId::kQ23));
+  EXPECT_EQ(info23.cache_hits, 1);
+  EXPECT_EQ(info23.cache_builds, 2);
+
+  // Re-running the first query after the interleaving still hits cleanly
+  // and still matches — cached sides were not clobbered by the variants.
+  VectorizedCpuEngine::RunInfo again;
+  EXPECT_TRUE(engine.Run(QueryId::kQ21, &again) ==
+              RunReference(TestDb(), QueryId::kQ21));
+  EXPECT_EQ(again.cache_builds, 0);
+  EXPECT_EQ(again.cache_hits, 3);
+}
+
+TEST(BuildCacheTest, GenerationChangeInvalidates) {
+  DispatchGuard guard;
+  cpu::BuildCache::Process().Clear();
+  ThreadPool pool(2);
+  const Database other = Generate(1, 1000, /*seed=*/4242);
+  const query::QuerySpec spec = query::SsbSpec(QueryId::kQ31);
+
+  VectorizedCpuEngine engine_a(TestDb(), pool);
+  VectorizedCpuEngine::RunInfo a1;
+  EXPECT_TRUE(engine_a.Run(spec, &a1) == RunReference(TestDb(), spec));
+  EXPECT_EQ(a1.cache_builds, 3);
+
+  // A different seed is a different generation: nothing may be reused, and
+  // results must match the *new* database's reference.
+  VectorizedCpuEngine engine_b(other, pool);
+  VectorizedCpuEngine::RunInfo b1;
+  EXPECT_TRUE(engine_b.Run(spec, &b1) == RunReference(other, spec));
+  EXPECT_EQ(b1.cache_builds, 3);
+  EXPECT_EQ(b1.cache_hits, 0);
+
+  // The cache holds one generation: switching back rebuilds again.
+  VectorizedCpuEngine::RunInfo a2;
+  EXPECT_TRUE(engine_a.Run(spec, &a2) == RunReference(TestDb(), spec));
+  EXPECT_EQ(a2.cache_builds, 3);
+  EXPECT_EQ(a2.cache_hits, 0);
+}
+
+TEST(BuildCacheTest, PayloadVariantsDoNotCollide) {
+  // Same table, same (absent) filters, different carried payload: the date
+  // join carries d_year for q4.1-style groupings but d_yearmonthnum for an
+  // ad-hoc monthly grouping. The payload column is part of the key.
+  DispatchGuard guard;
+  cpu::BuildCache::Process().Clear();
+  ThreadPool pool(2);
+  VectorizedCpuEngine engine(TestDb(), pool);
+
+  const query::QuerySpec yearly =
+      Adhoc("sum revenue join date on orderdate group by d_year");
+  const query::QuerySpec monthly =
+      Adhoc("sum revenue join date on orderdate group by d_yearmonthnum");
+  VectorizedCpuEngine::RunInfo info;
+  EXPECT_TRUE(engine.Run(yearly, &info) == RunReference(TestDb(), yearly));
+  EXPECT_EQ(info.cache_builds, 1);
+  EXPECT_TRUE(engine.Run(monthly, &info) == RunReference(TestDb(), monthly));
+  EXPECT_EQ(info.cache_builds, 1)
+      << "monthly grouping must not reuse the d_year payload table";
+  EXPECT_TRUE(engine.Run(yearly, &info) == RunReference(TestDb(), yearly));
+  EXPECT_EQ(info.cache_hits, 1);
+}
+
+TEST(BuildJoinTableTest, DirectAndHashRepresentationsAgree) {
+  // Build both representations of one filtered build side directly and
+  // probe them with every kernel path; they must emit identical matches.
+  DispatchGuard guard;
+  ThreadPool pool(2);
+  const Database& db = TestDb();
+  const auto pred = [&](int64_t i) {
+    return db.p.category[static_cast<size_t>(i)] == 12;
+  };
+
+  cpu::SetDirectJoinEnabled(true);
+  const cpu::JoinTable direct = cpu::BuildJoinTable(
+      db.p.partkey.data(), db.p.brand1.data(), db.p.rows, pred, pool);
+  ASSERT_TRUE(direct.is_direct());
+
+  cpu::SetDirectJoinEnabled(false);
+  const cpu::JoinTable hash = cpu::BuildJoinTable(
+      db.p.partkey.data(), db.p.brand1.data(), db.p.rows, pred, pool);
+  ASSERT_FALSE(hash.is_direct());
+
+  const int n = 1024;
+  const int32_t* keys = db.lo.partkey.data();
+  for (bool simd : {false, true}) {
+    if (simd && !cpu::SimdAvailable()) continue;
+    cpu::SetSimdEnabled(simd);
+    int32_t sel_a[1024], val_a[1024], pos_a[1024];
+    int32_t sel_b[1024], val_b[1024], pos_b[1024];
+    const int ma =
+        cpu::ProbeJoinTable(direct, keys, nullptr, n, sel_a, val_a, pos_a);
+    const int mb =
+        cpu::ProbeJoinTable(hash, keys, nullptr, n, sel_b, val_b, pos_b);
+    ASSERT_EQ(ma, mb) << "simd=" << simd;
+    for (int i = 0; i < ma; ++i) {
+      EXPECT_EQ(sel_a[i], sel_b[i]);
+      EXPECT_EQ(val_a[i], val_b[i]);
+      EXPECT_EQ(pos_a[i], pos_b[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crystal::ssb

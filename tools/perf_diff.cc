@@ -1,0 +1,368 @@
+// perf_diff: compares two engine_throughput bench JSONs (BENCH_*.json) and
+// prints per-query and geomean wall-time ratios. Used by CI's perf-smoke
+// step to diff the fresh run against the checked-in baseline, and by hand
+// when refreshing BENCH_cpu_ssb.json:
+//
+//   perf_diff BASELINE.json NEW.json [--max-regression=R]
+//
+// Ratios are baseline/new, i.e. > 1 is a speedup of NEW over BASELINE.
+// With --max-regression=R (e.g. 1.10 = "no query more than 10% slower"),
+// exit status 2 signals that some query's new median exceeded R x its
+// baseline median — but only when the two files were measured under
+// comparable settings (same scale factor, fact divisor, thread count, and
+// SIMD state); incomparable files print a warning and never gate, since
+// e.g. CI's subsampled smoke run is not commensurate with the checked-in
+// full-scale baseline.
+//
+// The parser below covers the JSON subset our benches emit (objects,
+// arrays, strings without escapes beyond \" and \\, numbers, booleans,
+// null) — a dependency-free tool beats a JSON library for one flat schema.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+
+namespace {
+
+using crystal::TablePrinter;
+
+/// strtod with a full-consumption check: returns false on anything but a
+/// complete numeric token ("1.1x", "", "."), instead of the uncaught
+/// std::invalid_argument a bare std::stod would throw.
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+// ------------------------------------------------------------- tiny JSON
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  double NumberOr(const std::string& key, double fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+  }
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == Kind::kString ? v->str : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    const bool ok = Value(out) && (SkipSpace(), pos_ == text_.size());
+    if (!ok && error != nullptr) {
+      *error = "parse error at byte " + std::to_string(pos_);
+    }
+    return ok;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool String(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) c = text_[pos_++];
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Value(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '}') return ++pos_, true;
+      for (;;) {
+        SkipSpace();
+        std::string key;
+        if (!String(&key)) return false;
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_++] != ':') return false;
+        if (!Value(&out->object[key])) return false;
+        SkipSpace();
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        return text_[pos_++] == '}';
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ']') return ++pos_, true;
+      for (;;) {
+        out->array.emplace_back();
+        if (!Value(&out->array.back())) return false;
+        SkipSpace();
+        if (pos_ >= text_.size()) return false;
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        return text_[pos_++] == ']';
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return String(&out->str);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return Literal("false");
+    }
+    if (c == 'n') return Literal("null");
+    // Number.
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    return ParseDouble(text_.substr(start, pos_ - start), &out->number);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------- the tool
+
+struct BenchFile {
+  std::string path;
+  JsonValue root;
+  /// query name -> wall_median_ms, in file order.
+  std::vector<std::pair<std::string, double>> medians;
+};
+
+bool LoadBench(const std::string& path, BenchFile* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "perf_diff: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  std::string error;
+  if (!JsonParser(text).Parse(&out->root, &error)) {
+    std::fprintf(stderr, "perf_diff: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  out->path = path;
+  const JsonValue* queries = out->root.Find("queries");
+  if (queries == nullptr || queries->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "perf_diff: %s: no \"queries\" array\n",
+                 path.c_str());
+    return false;
+  }
+  for (const JsonValue& q : queries->array) {
+    const std::string name = q.StringOr("query", "");
+    const double median = q.NumberOr("wall_median_ms", -1);
+    if (name.empty() || median <= 0) {
+      std::fprintf(stderr, "perf_diff: %s: malformed query entry\n",
+                   path.c_str());
+      return false;
+    }
+    out->medians.emplace_back(name, median);
+  }
+  if (out->medians.empty()) {
+    std::fprintf(stderr, "perf_diff: %s: empty query list\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string Settings(const BenchFile& f) {
+  // Everything that changes the measured work must participate: seed
+  // (different data, different selectivities) and warmup (with the build
+  // cache, warmup=0 pays cold dimension builds inside the timed region
+  // while warmup>=1 measures the warm steady state). repeat stays out —
+  // it only sharpens the median, it does not change a run's work.
+  const JsonValue* simd = f.root.Find("simd");
+  return "engine=" + f.root.StringOr("engine", "?") +
+         " sf=" + std::to_string(
+                      static_cast<int>(f.root.NumberOr("scale_factor", -1))) +
+         " fact_divisor=" +
+         std::to_string(
+             static_cast<int>(f.root.NumberOr("fact_divisor", -1))) +
+         " seed=" +
+         std::to_string(
+             static_cast<long long>(f.root.NumberOr("seed", -1))) +
+         " threads=" +
+         std::to_string(static_cast<int>(f.root.NumberOr("threads", -1))) +
+         " warmup=" +
+         std::to_string(static_cast<int>(f.root.NumberOr("warmup", -1))) +
+         " simd=" +
+         (simd != nullptr && simd->kind == JsonValue::Kind::kBool
+              ? (simd->boolean ? "true" : "false")
+              : "?");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_regression = 0;  // 0 = report only, never gate
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--max-regression=", 0) == 0) {
+      if (!ParseDouble(arg.substr(std::strlen("--max-regression=")),
+                       &max_regression) ||
+          max_regression <= 0) {
+        std::fprintf(stderr,
+                     "perf_diff: --max-regression needs a number > 0 "
+                     "(got '%s')\n",
+                     arg.c_str());
+        return 1;
+      }
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: perf_diff BASELINE.json NEW.json "
+                 "[--max-regression=R]\n");
+    return 1;
+  }
+
+  BenchFile base, fresh;
+  if (!LoadBench(paths[0], &base) || !LoadBench(paths[1], &fresh)) return 1;
+
+  std::printf("baseline: %s  (%s)\n", base.path.c_str(),
+              Settings(base).c_str());
+  std::printf("new:      %s  (%s)\n\n", fresh.path.c_str(),
+              Settings(fresh).c_str());
+  const bool comparable = Settings(base) == Settings(fresh);
+  if (!comparable) {
+    std::printf(
+        "WARNING: settings differ; ratios reflect workload differences as "
+        "much as code, and --max-regression is not enforced.\n\n");
+  }
+
+  std::map<std::string, double> fresh_by_name(fresh.medians.begin(),
+                                              fresh.medians.end());
+  TablePrinter t({"query", "base ms", "new ms", "speedup"});
+  double log_sum = 0;
+  int matched = 0;
+  int missing = 0;
+  int regressions = 0;
+  double worst_ratio = 1e300;
+  std::string worst_query;
+  for (const auto& [name, base_ms] : base.medians) {
+    const auto it = fresh_by_name.find(name);
+    if (it == fresh_by_name.end()) {
+      t.AddRow({name, TablePrinter::Fmt(base_ms, 2), "-", "missing"});
+      ++missing;
+      continue;
+    }
+    const double ratio = base_ms / it->second;
+    t.AddRow({name, TablePrinter::Fmt(base_ms, 2),
+              TablePrinter::Fmt(it->second, 2),
+              TablePrinter::Fmt(ratio, 3) + "x"});
+    log_sum += std::log(ratio);
+    ++matched;
+    if (ratio < worst_ratio) {
+      worst_ratio = ratio;
+      worst_query = name;
+    }
+    if (max_regression > 0 && it->second > base_ms * max_regression) {
+      ++regressions;
+    }
+  }
+  if (matched == 0) {
+    std::fprintf(stderr, "perf_diff: no common queries\n");
+    return 1;
+  }
+  const double geomean = std::exp(log_sum / matched);
+  t.AddRow({"geomean", "", "", TablePrinter::Fmt(geomean, 3) + "x"});
+  t.Print();
+  std::printf(
+      "\ngeomean speedup %.3fx over %d queries; worst %s at %.3fx "
+      "(recorded geomeans: base %.2f ms, new %.2f ms)\n",
+      geomean, matched, worst_query.c_str(), worst_ratio,
+      base.root.NumberOr("geomean_wall_median_ms", -1),
+      fresh.root.NumberOr("geomean_wall_median_ms", -1));
+
+  if (comparable && max_regression > 0 && (regressions > 0 || missing > 0)) {
+    // A query vanishing from the new file is the worst regression of all —
+    // a truncated or crashed bench run must not pass the gate.
+    if (missing > 0) {
+      std::fprintf(stderr,
+                   "perf_diff: %d baseline quer%s missing from '%s'\n",
+                   missing, missing == 1 ? "y is" : "ies are",
+                   fresh.path.c_str());
+    }
+    if (regressions > 0) {
+      std::fprintf(stderr,
+                   "perf_diff: %d quer%s regressed beyond %.2fx the baseline\n",
+                   regressions, regressions == 1 ? "y" : "ies",
+                   max_regression);
+    }
+    return 2;
+  }
+  return 0;
+}
