@@ -7,6 +7,12 @@
 // uploads the JSON artifact and diffs it against the checked-in baseline
 // with tools/perf_diff), and docs/PERF.md describes the methodology.
 //
+// CRYSTAL_STORAGE may name several fact-storage encodings ("plain,packed"):
+// the first is the baseline whose numbers fill the top-level fields (what
+// tools/perf_diff compares), each later mode is re-run end to end and
+// appended under "storage_runs" with its own per-query list and geomeans —
+// one JSON carries the packed-vs-plain comparison.
+//
 // Knobs (environment):
 //   CRYSTAL_SSB_SF=N             scale factor            (default 1)
 //   CRYSTAL_SSB_FACT_DIVISOR=N   fact subsampling        (default 1)
@@ -14,10 +20,12 @@
 //   CRYSTAL_WARMUP=K             untimed runs per query  (default 1)
 //   CRYSTAL_THREADS=N            host threads, 0 = hw    (default 0)
 //   CRYSTAL_BENCH_ENGINE=NAME    engine to measure       (vectorized-cpu)
+//   CRYSTAL_STORAGE=LIST         storage encodings       (plain)
 //   CRYSTAL_BENCH_OUT=FILE       output JSON             (BENCH_cpu_ssb.json)
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
@@ -28,9 +36,91 @@ namespace {
 
 namespace bench = crystal::bench;
 namespace driver = crystal::driver;
-namespace ssb = crystal::ssb;
 
 using crystal::TablePrinter;
+
+std::vector<std::string> SplitCommas(const std::string& spec) {
+  std::vector<std::string> tokens;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string tok = spec.substr(start, comma - start);
+    while (!tok.empty() && tok.front() == ' ') tok.erase(tok.begin());
+    while (!tok.empty() && tok.back() == ' ') tok.pop_back();
+    if (!tok.empty()) tokens.push_back(tok);
+    start = comma + 1;
+  }
+  return tokens;
+}
+
+/// One full measurement at one storage encoding.
+struct ModeRun {
+  std::string storage;
+  driver::Report report;
+  double geomean_median = 0;
+  double geomean_min = 0;
+};
+
+ModeRun Measure(driver::Options options, const std::string& storage) {
+  options.storage = storage;
+  ModeRun mode;
+  mode.storage = storage;
+  mode.report = driver::Run(options);
+
+  TablePrinter t({"query", "median ms", "min ms", "build ms", "probe ms",
+                  "cache hit/build"});
+  double log_median = 0;
+  double log_min = 0;
+  for (const driver::QueryReport& qr : mode.report.queries) {
+    const driver::EngineRunReport& run = qr.runs[0];
+    const bool split = run.host_build_ms >= 0 && run.host_probe_ms >= 0;
+    const bool cached = run.build_cache_hits >= 0;
+    t.AddRow({qr.spec.name, TablePrinter::Fmt(run.wall_ms, 2),
+              TablePrinter::Fmt(run.wall_min_ms, 2),
+              split ? TablePrinter::Fmt(run.host_build_ms, 3) : "-",
+              split ? TablePrinter::Fmt(run.host_probe_ms, 2) : "-",
+              cached ? std::to_string(run.build_cache_hits) + "/" +
+                           std::to_string(run.build_cache_builds)
+                     : "-"});
+    log_median += std::log(run.wall_ms);
+    log_min += std::log(run.wall_min_ms);
+  }
+  const double n = static_cast<double>(mode.report.queries.size());
+  mode.geomean_median = std::exp(log_median / n);
+  mode.geomean_min = std::exp(log_min / n);
+  t.AddRow({"geomean", TablePrinter::Fmt(mode.geomean_median, 2),
+            TablePrinter::Fmt(mode.geomean_min, 2), "", "", ""});
+  std::printf("storage=%s\n", storage.c_str());
+  t.Print();
+  return mode;
+}
+
+void WriteQueries(std::FILE* f, const ModeRun& mode, const char* indent) {
+  const driver::Report& report = mode.report;
+  for (size_t i = 0; i < report.queries.size(); ++i) {
+    const driver::QueryReport& qr = report.queries[i];
+    const driver::EngineRunReport& run = qr.runs[0];
+    std::fprintf(f,
+                 "%s{\"query\": \"%s\", \"wall_median_ms\": %.4f, "
+                 "\"wall_min_ms\": %.4f",
+                 indent, qr.spec.name.c_str(), run.wall_ms, run.wall_min_ms);
+    // Host phase split (medians) and build-cache counters (totals over the
+    // timed runs); host engines with a cache report hits == repeat * joins
+    // and builds == 0 once the warmup run has populated the cache.
+    if (run.host_build_ms >= 0 && run.host_probe_ms >= 0) {
+      std::fprintf(f, ", \"build_ms\": %.4f, \"probe_ms\": %.4f",
+                   run.host_build_ms, run.host_probe_ms);
+    }
+    if (run.build_cache_hits >= 0) {
+      std::fprintf(f,
+                   ", \"cache_hits\": %lld, \"cache_builds\": %lld",
+                   static_cast<long long>(run.build_cache_hits),
+                   static_cast<long long>(run.build_cache_builds));
+    }
+    std::fprintf(f, "}%s\n", i + 1 < report.queries.size() ? "," : "");
+  }
+}
 
 }  // namespace
 
@@ -45,6 +135,7 @@ int main() {
   options.threads = static_cast<int>(bench::EnvInt("CRYSTAL_THREADS", 0));
   const std::string engine =
       bench::EnvStr("CRYSTAL_BENCH_ENGINE", "vectorized-cpu");
+  const std::string storage_spec = bench::EnvStr("CRYSTAL_STORAGE", "plain");
   const std::string out_path =
       bench::EnvStr("CRYSTAL_BENCH_OUT", "BENCH_cpu_ssb.json");
 
@@ -62,6 +153,17 @@ int main() {
                  options.engines.size(), engine.c_str());
     return 1;
   }
+  const std::vector<std::string> storages = SplitCommas(storage_spec);
+  if (storages.empty()) {
+    std::fprintf(stderr, "engine_throughput: CRYSTAL_STORAGE is empty\n");
+    return 1;
+  }
+  for (const std::string& s : storages) {
+    if (!driver::ParseStorageName(s, &error)) {
+      std::fprintf(stderr, "engine_throughput: %s\n", error.c_str());
+      return 1;
+    }
+  }
   // Perf mode: no tuple-at-a-time reference pass inside the timed region.
   options.check_against_reference = false;
 
@@ -71,35 +173,14 @@ int main() {
       "Section 5.2 methodology (repeat/warmup/median; see docs/PERF.md)",
       "SIMD fast path: " +
           std::string(crystal::cpu::SimdEnabled() ? "enabled" : "disabled") +
+          ", storage=" + storage_spec +
           ", repeat=" + std::to_string(options.repeat) +
           ", warmup=" + std::to_string(options.warmup));
 
-  const driver::Report report = driver::Run(options);
-
-  TablePrinter t({"query", "median ms", "min ms", "build ms", "probe ms",
-                  "cache hit/build"});
-  double log_median = 0;
-  double log_min = 0;
-  for (const driver::QueryReport& qr : report.queries) {
-    const driver::EngineRunReport& run = qr.runs[0];
-    const bool split = run.host_build_ms >= 0 && run.host_probe_ms >= 0;
-    const bool cached = run.build_cache_hits >= 0;
-    t.AddRow({qr.spec.name, TablePrinter::Fmt(run.wall_ms, 2),
-              TablePrinter::Fmt(run.wall_min_ms, 2),
-              split ? TablePrinter::Fmt(run.host_build_ms, 3) : "-",
-              split ? TablePrinter::Fmt(run.host_probe_ms, 2) : "-",
-              cached ? std::to_string(run.build_cache_hits) + "/" +
-                           std::to_string(run.build_cache_builds)
-                     : "-"});
-    log_median += std::log(run.wall_ms);
-    log_min += std::log(run.wall_min_ms);
-  }
-  const double n = static_cast<double>(report.queries.size());
-  const double geomean_median = std::exp(log_median / n);
-  const double geomean_min = std::exp(log_min / n);
-  t.AddRow({"geomean", TablePrinter::Fmt(geomean_median, 2),
-            TablePrinter::Fmt(geomean_min, 2), "", "", ""});
-  t.Print();
+  std::vector<ModeRun> modes;
+  for (const std::string& s : storages) modes.push_back(Measure(options, s));
+  const ModeRun& first = modes[0];
+  const driver::Report& report = first.report;
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -121,32 +202,32 @@ int main() {
   std::fprintf(f, "  \"warmup\": %d,\n", report.options.warmup);
   std::fprintf(f, "  \"simd\": %s,\n",
                crystal::cpu::SimdEnabled() ? "true" : "false");
+  std::fprintf(f, "  \"storage\": \"%s\",\n", first.storage.c_str());
   std::fprintf(f, "  \"queries\": [\n");
-  for (size_t i = 0; i < report.queries.size(); ++i) {
-    const driver::QueryReport& qr = report.queries[i];
-    const driver::EngineRunReport& run = qr.runs[0];
-    std::fprintf(f,
-                 "    {\"query\": \"%s\", \"wall_median_ms\": %.4f, "
-                 "\"wall_min_ms\": %.4f",
-                 qr.spec.name.c_str(), run.wall_ms, run.wall_min_ms);
-    // Host phase split (medians) and build-cache counters (totals over the
-    // timed runs); host engines with a cache report hits == repeat * joins
-    // and builds == 0 once the warmup run has populated the cache.
-    if (run.host_build_ms >= 0 && run.host_probe_ms >= 0) {
-      std::fprintf(f, ", \"build_ms\": %.4f, \"probe_ms\": %.4f",
-                   run.host_build_ms, run.host_probe_ms);
-    }
-    if (run.build_cache_hits >= 0) {
-      std::fprintf(f,
-                   ", \"cache_hits\": %lld, \"cache_builds\": %lld",
-                   static_cast<long long>(run.build_cache_hits),
-                   static_cast<long long>(run.build_cache_builds));
-    }
-    std::fprintf(f, "}%s\n", i + 1 < report.queries.size() ? "," : "");
-  }
+  WriteQueries(f, first, "    ");
   std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"geomean_wall_median_ms\": %.4f,\n", geomean_median);
-  std::fprintf(f, "  \"geomean_wall_min_ms\": %.4f\n", geomean_min);
+  std::fprintf(f, "  \"geomean_wall_median_ms\": %.4f,\n",
+               first.geomean_median);
+  std::fprintf(f, "  \"geomean_wall_min_ms\": %.4f", first.geomean_min);
+  if (modes.size() > 1) {
+    // Additional storage encodings, measured identically: diagnostics for
+    // packed-vs-plain comparisons, never the perf_diff gating numbers.
+    std::fprintf(f, ",\n  \"storage_runs\": [\n");
+    for (size_t m = 1; m < modes.size(); ++m) {
+      const ModeRun& mode = modes[m];
+      std::fprintf(f, "    {\"storage\": \"%s\",\n", mode.storage.c_str());
+      std::fprintf(f, "     \"queries\": [\n");
+      WriteQueries(f, mode, "      ");
+      std::fprintf(f, "     ],\n");
+      std::fprintf(f, "     \"geomean_wall_median_ms\": %.4f,\n",
+                   mode.geomean_median);
+      std::fprintf(f, "     \"geomean_wall_min_ms\": %.4f}%s\n",
+                   mode.geomean_min, m + 1 < modes.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
+  } else {
+    std::fprintf(f, "\n");
+  }
   std::fprintf(f, "}\n");
   if (std::fclose(f) != 0) {
     std::fprintf(stderr, "engine_throughput: error writing '%s'\n",

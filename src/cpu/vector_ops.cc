@@ -131,6 +131,49 @@ int ProbeDirectScalar(const int32_t* table, int64_t span, int32_t base,
   return w;
 }
 
+// ----------------------- packed scalar kernels ---------------------------
+
+void UnpackRangeScalar(const uint32_t* words, int bits, int32_t reference,
+                       int64_t start, int n, int32_t* out) {
+  for (int i = 0; i < n; ++i) {
+    out[i] = PackedGet(words, bits, reference, start + i);
+  }
+}
+
+void UnpackAtScalar(const uint32_t* words, int bits, int32_t reference,
+                    int64_t start, const int32_t* sel, int m, int32_t* out) {
+  for (int i = 0; i < m; ++i) {
+    out[sel[i]] = PackedGet(words, bits, reference, start + sel[i]);
+  }
+}
+
+int SelectRangePackedScalar(const uint32_t* words, int bits,
+                            int32_t reference, int64_t start, int n,
+                            int32_t lo, int32_t hi, int32_t* sel) {
+  // Same branch-free predication as SelectRangeScalar, with the decode
+  // fused in front of the compare.
+  int w = 0;
+  for (int i = 0; i < n; ++i) {
+    const int32_t v = PackedGet(words, bits, reference, start + i);
+    sel[w] = i;
+    w += (v >= lo && v <= hi) ? 1 : 0;
+  }
+  return w;
+}
+
+int RefineRangePackedScalar(const uint32_t* words, int bits,
+                            int32_t reference, int64_t start,
+                            const int32_t* sel, int m, int32_t lo, int32_t hi,
+                            int32_t* sel_out) {
+  int w = 0;
+  for (int i = 0; i < m; ++i) {
+    const int32_t v = PackedGet(words, bits, reference, start + sel[i]);
+    sel_out[w] = sel[i];
+    w += (v >= lo && v <= hi) ? 1 : 0;
+  }
+  return w;
+}
+
 }  // namespace
 
 bool SimdAvailable() {
@@ -179,6 +222,46 @@ int ProbeDirect(const int32_t* table, int64_t span, int32_t base,
   }
   return ProbeDirectScalar(table, span, base, keys, sel, m, sel_out, val_out,
                            pos_out);
+}
+
+void UnpackRange(const uint32_t* words, int bits, int32_t reference,
+                 int64_t start, int n, int32_t* out) {
+  if (SimdEnabled()) {
+    internal::UnpackRangeAvx2(words, bits, reference, start, n, out);
+    return;
+  }
+  UnpackRangeScalar(words, bits, reference, start, n, out);
+}
+
+void UnpackAt(const uint32_t* words, int bits, int32_t reference,
+              int64_t start, const int32_t* sel, int m, int32_t* out) {
+  if (SimdEnabled()) {
+    internal::UnpackAtAvx2(words, bits, reference, start, sel, m, out);
+    return;
+  }
+  UnpackAtScalar(words, bits, reference, start, sel, m, out);
+}
+
+int SelectRangePacked(const uint32_t* words, int bits, int32_t reference,
+                      int64_t start, int n, int32_t lo, int32_t hi,
+                      int32_t* sel) {
+  if (SimdEnabled()) {
+    return internal::SelectRangePackedAvx2(words, bits, reference, start, n,
+                                           lo, hi, sel);
+  }
+  return SelectRangePackedScalar(words, bits, reference, start, n, lo, hi,
+                                 sel);
+}
+
+int RefineRangePacked(const uint32_t* words, int bits, int32_t reference,
+                      int64_t start, const int32_t* sel, int m, int32_t lo,
+                      int32_t hi, int32_t* sel_out) {
+  if (SimdEnabled()) {
+    return internal::RefineRangePackedAvx2(words, bits, reference, start, sel,
+                                           m, lo, hi, sel_out);
+  }
+  return RefineRangePackedScalar(words, bits, reference, start, sel, m, lo,
+                                 hi, sel_out);
 }
 
 void CompactInPlace(int32_t* v, const int32_t* pos, int m) {

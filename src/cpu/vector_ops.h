@@ -86,6 +86,60 @@ int ProbeDirect(const int32_t* table, int64_t span, int32_t base,
 /// increasing with pos[j] >= j.
 void CompactInPlace(int32_t* v, const int32_t* pos, int m);
 
+// ---------------------------------------------------------------------------
+// Packed-column primitives (storage layer, paper Section 5.5): columns whose
+// values are frame-of-reference + bit-packed — value i occupies `bits` bits
+// at bit offset i*bits of `words`, and decodes to raw + reference. The
+// kernels take the raw (words, bits, reference) triple rather than a
+// storage::ColumnView so crystal_cpu stays below the storage layer.
+//
+// Contracts shared by all of them:
+//  * `start` is the absolute row of the vector's first element; `sel`
+//    entries and `n`/`m` are vector-relative, exactly like the plain
+//    primitives above operating on `col + start`.
+//  * `words` must carry one tail slack word past the payload (see
+//    storage::PackedWords): the unpack window unconditionally reads the
+//    word after the one holding an element's low bits.
+//  * Vector-relative offsets must stay small: the AVX2 paths compute
+//    per-lane bit offsets in 32 bits, so (n or max sel entry) * bits must
+//    fit in an int32 — true by construction for vector-at-a-time callers.
+
+/// Decodes one value; the scalar building block (shared with tests).
+inline int32_t PackedGet(const uint32_t* words, int bits, int32_t reference,
+                         int64_t i) {
+  const int64_t bit = i * bits;
+  const int64_t word = bit >> 5;
+  const uint64_t window = static_cast<uint64_t>(words[word]) |
+                          (static_cast<uint64_t>(words[word + 1]) << 32);
+  const uint32_t mask = bits >= 32 ? ~0u : ((1u << bits) - 1u);
+  return static_cast<int32_t>(static_cast<uint32_t>(window >> (bit & 31)) &
+                              mask) +
+         reference;
+}
+
+/// out[i] = decoded value at row start + i, for i in [0, n).
+void UnpackRange(const uint32_t* words, int bits, int32_t reference,
+                 int64_t start, int n, int32_t* out);
+
+/// Scatter-unpack at selected rows: out[sel[i]] = decoded value at row
+/// start + sel[i], for i in [0, m). Leaves other entries of `out`
+/// untouched, so downstream consumers can keep indexing out[sel[i]] — the
+/// idiom that lets probe/aggregate stages pay unpack cost proportional to
+/// the survivors, not the vector.
+void UnpackAt(const uint32_t* words, int bits, int32_t reference,
+              int64_t start, const int32_t* sel, int m, int32_t* out);
+
+/// SelectRange fused with unpack: fills sel with the i in [0, n) whose
+/// decoded value at row start + i is in [lo, hi]. Returns the match count.
+int SelectRangePacked(const uint32_t* words, int bits, int32_t reference,
+                      int64_t start, int n, int32_t lo, int32_t hi,
+                      int32_t* sel);
+
+/// RefineRange fused with unpack; in-place (sel_out == sel) supported.
+int RefineRangePacked(const uint32_t* words, int bits, int32_t reference,
+                      int64_t start, const int32_t* sel, int m, int32_t lo,
+                      int32_t hi, int32_t* sel_out);
+
 }  // namespace crystal::cpu
 
 #endif  // CRYSTAL_CPU_VECTOR_OPS_H_

@@ -252,6 +252,155 @@ int ProbeDirectAvx2(const int32_t* table, int64_t span, int32_t base,
   return w;
 }
 
+namespace {
+
+/// Lane mask for a `bits`-wide packed field (all ones when bits == 32).
+inline __m256i PackedFieldMask(int bits) {
+  return _mm256_set1_epi32(
+      bits >= 32 ? -1 : static_cast<int32_t>((1u << bits) - 1u));
+}
+
+/// Decodes 8 packed lanes whose bit offsets relative to `base` (the word
+/// holding the vector's first bit) are in `lane_bit`: gather the word pair
+/// around each field, funnel-shift, mask, add the reference. srlv/sllv
+/// yield 0 for shift counts >= 32, so the sh == 0 straddle term vanishes
+/// without a branch; the +1 tail slack word keeps the second gather in
+/// bounds on the last field.
+inline __m256i Unpack8(const uint32_t* base, __m256i lane_bit, __m256i vmask,
+                       __m256i vref) {
+  const __m256i w_idx = _mm256_srli_epi32(lane_bit, 5);
+  const __m256i sh = _mm256_and_si256(lane_bit, _mm256_set1_epi32(31));
+  const int* p = reinterpret_cast<const int*>(base);
+  const __m256i w0 = _mm256_i32gather_epi32(p, w_idx, 4);
+  const __m256i w1 = _mm256_i32gather_epi32(
+      p, _mm256_add_epi32(w_idx, _mm256_set1_epi32(1)), 4);
+  const __m256i low = _mm256_srlv_epi32(w0, sh);
+  const __m256i high =
+      _mm256_sllv_epi32(w1, _mm256_sub_epi32(_mm256_set1_epi32(32), sh));
+  const __m256i raw = _mm256_and_si256(_mm256_or_si256(low, high), vmask);
+  return _mm256_add_epi32(raw, vref);
+}
+
+}  // namespace
+
+void UnpackRangeAvx2(const uint32_t* words, int bits, int32_t reference,
+                     int64_t start, int n, int32_t* out) {
+  const int64_t base_bit = start * static_cast<int64_t>(bits);
+  const uint32_t* base = words + (base_bit >> 5);
+  const int rem = static_cast<int>(base_bit & 31);
+  const __m256i vmask = PackedFieldMask(bits);
+  const __m256i vref = _mm256_set1_epi32(reference);
+  __m256i lane_bit = _mm256_add_epi32(
+      _mm256_set1_epi32(rem),
+      _mm256_mullo_epi32(Iota(), _mm256_set1_epi32(bits)));
+  const __m256i step = _mm256_set1_epi32(8 * bits);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        Unpack8(base, lane_bit, vmask, vref));
+    lane_bit = _mm256_add_epi32(lane_bit, step);
+  }
+  for (; i < n; ++i) out[i] = PackedGet(words, bits, reference, start + i);
+}
+
+void UnpackAtAvx2(const uint32_t* words, int bits, int32_t reference,
+                  int64_t start, const int32_t* sel, int m, int32_t* out) {
+  const int64_t base_bit = start * static_cast<int64_t>(bits);
+  const uint32_t* base = words + (base_bit >> 5);
+  const int rem = static_cast<int>(base_bit & 31);
+  const __m256i vmask = PackedFieldMask(bits);
+  const __m256i vref = _mm256_set1_epi32(reference);
+  const __m256i vbits = _mm256_set1_epi32(bits);
+  int i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i));
+    const __m256i lane_bit = _mm256_add_epi32(
+        _mm256_set1_epi32(rem), _mm256_mullo_epi32(idx, vbits));
+    alignas(32) int32_t tmp[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp),
+                       Unpack8(base, lane_bit, vmask, vref));
+    // No AVX2 scatter; 8 scalar stores to the selected slots.
+    for (int j = 0; j < 8; ++j) out[sel[i + j]] = tmp[j];
+  }
+  for (; i < m; ++i) {
+    out[sel[i]] = PackedGet(words, bits, reference, start + sel[i]);
+  }
+}
+
+int SelectRangePackedAvx2(const uint32_t* words, int bits, int32_t reference,
+                          int64_t start, int n, int32_t lo, int32_t hi,
+                          int32_t* sel) {
+  const PermTable& pt = GetPermTable();
+  const int64_t base_bit = start * static_cast<int64_t>(bits);
+  const uint32_t* base = words + (base_bit >> 5);
+  const int rem = static_cast<int>(base_bit & 31);
+  const __m256i vmask = PackedFieldMask(bits);
+  const __m256i vref = _mm256_set1_epi32(reference);
+  const __m256i vlo = _mm256_set1_epi32(lo);
+  const __m256i vhi = _mm256_set1_epi32(hi);
+  __m256i lane_bit = _mm256_add_epi32(
+      _mm256_set1_epi32(rem),
+      _mm256_mullo_epi32(Iota(), _mm256_set1_epi32(bits)));
+  const __m256i step = _mm256_set1_epi32(8 * bits);
+  int w = 0;
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x = Unpack8(base, lane_bit, vmask, vref);
+    lane_bit = _mm256_add_epi32(lane_bit, step);
+    const int mask =
+        _mm256_movemask_ps(_mm256_castsi256_ps(InRange(x, vlo, vhi)));
+    const __m256i perm =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(pt.idx[mask]));
+    const __m256i idx = _mm256_add_epi32(Iota(), _mm256_set1_epi32(i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(sel + w),
+                        _mm256_permutevar8x32_epi32(idx, perm));
+    w += __builtin_popcount(static_cast<unsigned>(mask));
+  }
+  for (; i < n; ++i) {
+    const int32_t v = PackedGet(words, bits, reference, start + i);
+    sel[w] = i;
+    w += (v >= lo && v <= hi) ? 1 : 0;
+  }
+  return w;
+}
+
+int RefineRangePackedAvx2(const uint32_t* words, int bits, int32_t reference,
+                          int64_t start, const int32_t* sel, int m,
+                          int32_t lo, int32_t hi, int32_t* sel_out) {
+  const PermTable& pt = GetPermTable();
+  const int64_t base_bit = start * static_cast<int64_t>(bits);
+  const uint32_t* base = words + (base_bit >> 5);
+  const int rem = static_cast<int>(base_bit & 31);
+  const __m256i vmask = PackedFieldMask(bits);
+  const __m256i vref = _mm256_set1_epi32(reference);
+  const __m256i vbits = _mm256_set1_epi32(bits);
+  const __m256i vlo = _mm256_set1_epi32(lo);
+  const __m256i vhi = _mm256_set1_epi32(hi);
+  int w = 0;
+  int i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i));
+    const __m256i lane_bit = _mm256_add_epi32(
+        _mm256_set1_epi32(rem), _mm256_mullo_epi32(idx, vbits));
+    const __m256i x = Unpack8(base, lane_bit, vmask, vref);
+    const int mask =
+        _mm256_movemask_ps(_mm256_castsi256_ps(InRange(x, vlo, vhi)));
+    const __m256i perm =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(pt.idx[mask]));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(sel_out + w),
+                        _mm256_permutevar8x32_epi32(idx, perm));
+    w += __builtin_popcount(static_cast<unsigned>(mask));
+  }
+  for (; i < m; ++i) {
+    const int32_t v = PackedGet(words, bits, reference, start + sel[i]);
+    sel_out[w] = sel[i];
+    w += (v >= lo && v <= hi) ? 1 : 0;
+  }
+  return w;
+}
+
 int64_t CountLessAvx2(const float* in, int64_t n, float v) {
   const __m256 vv = _mm256_set1_ps(v);
   int64_t c = 0;
@@ -458,6 +607,23 @@ int ProbeSelectAvx2(const HashTable&, const int32_t*, const int32_t*, int,
 }
 int ProbeDirectAvx2(const int32_t*, int64_t, int32_t, const int32_t*,
                     const int32_t*, int, int32_t*, int32_t*, int32_t*) {
+  CRYSTAL_CHECK_MSG(false, "AVX2 kernels not compiled in");
+  return 0;
+}
+void UnpackRangeAvx2(const uint32_t*, int, int32_t, int64_t, int, int32_t*) {
+  CRYSTAL_CHECK_MSG(false, "AVX2 kernels not compiled in");
+}
+void UnpackAtAvx2(const uint32_t*, int, int32_t, int64_t, const int32_t*,
+                  int, int32_t*) {
+  CRYSTAL_CHECK_MSG(false, "AVX2 kernels not compiled in");
+}
+int SelectRangePackedAvx2(const uint32_t*, int, int32_t, int64_t, int,
+                          int32_t, int32_t, int32_t*) {
+  CRYSTAL_CHECK_MSG(false, "AVX2 kernels not compiled in");
+  return 0;
+}
+int RefineRangePackedAvx2(const uint32_t*, int, int32_t, int64_t,
+                          const int32_t*, int, int32_t, int32_t, int32_t*) {
   CRYSTAL_CHECK_MSG(false, "AVX2 kernels not compiled in");
   return 0;
 }

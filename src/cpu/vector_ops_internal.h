@@ -46,6 +46,20 @@ int ProbeDirectAvx2(const int32_t* table, int64_t span, int32_t base,
                     const int32_t* keys, const int32_t* sel, int m,
                     int32_t* sel_out, int32_t* val_out, int32_t* pos_out);
 
+// Packed-column kernels (bit-unpack in register: two 8-lane word gathers,
+// variable shifts, mask, add reference — see vector_ops.h for contracts).
+
+void UnpackRangeAvx2(const uint32_t* words, int bits, int32_t reference,
+                     int64_t start, int n, int32_t* out);
+void UnpackAtAvx2(const uint32_t* words, int bits, int32_t reference,
+                  int64_t start, const int32_t* sel, int m, int32_t* out);
+int SelectRangePackedAvx2(const uint32_t* words, int bits, int32_t reference,
+                          int64_t start, int n, int32_t lo, int32_t hi,
+                          int32_t* sel);
+int RefineRangePackedAvx2(const uint32_t* words, int bits, int32_t reference,
+                          int64_t start, const int32_t* sel, int m,
+                          int32_t lo, int32_t hi, int32_t* sel_out);
+
 // Micro-bench kernels (fig12 select, fig13 join) on the same dispatch: the
 // callers in cpu/select.cc and cpu/hash_join.cc gate on SimdEnabled(), so
 // the figures measure real AVX2 whenever the host supports it.

@@ -219,6 +219,16 @@ bool ParseProfileName(std::string_view name, std::string* error) {
   return ResolveProfile(name, &ignored, error);
 }
 
+bool ParseStorageName(std::string_view name, std::string* error) {
+  storage::Encoding ignored;
+  if (storage::EncodingFromName(Lower(name), &ignored)) return true;
+  if (error != nullptr) {
+    *error = "unknown storage encoding '" + std::string(name) +
+             "' (expected plain or packed)";
+  }
+  return false;
+}
+
 bool ParseEngineList(std::string_view spec, std::vector<std::string>* out,
                      std::string* error) {
   const engine::EngineRegistry& registry = engine::EngineRegistry::Global();
@@ -298,6 +308,9 @@ Report Run(const Options& options) {
   gen.scale_factor = options.scale_factor;
   gen.fact_divisor = options.fact_divisor;
   gen.seed = options.seed;
+  CRYSTAL_CHECK_MSG(
+      storage::EncodingFromName(options.storage, &gen.storage.encoding),
+      "unknown storage encoding (ParseStorageName first)");
   const ssb::Database db = ssb::Generate(gen);
   const double datagen_ms = datagen_timer.ElapsedMs();
   Report report = Run(options, db);
@@ -313,6 +326,10 @@ Report Run(const Options& options, const ssb::Database& db) {
   report.options.seed = db.seed;
   report.options.repeat = std::max(options.repeat, 1);
   report.options.warmup = std::max(options.warmup, 0);
+  // Echo what the executed database actually carries, not what the options
+  // asked for — Run(options, db) may get a caller-generated database.
+  report.storage = std::string(storage::EncodingName(db.storage));
+  report.options.storage = report.storage;
   report.fact_rows = db.lo.rows;
   report.full_scale_fact_rows = db.full_scale_fact_rows();
 
@@ -476,6 +493,7 @@ std::string ToJson(const Report& report) {
   w.Field("fact_rows", report.fact_rows);
   w.Field("full_scale_fact_rows", report.full_scale_fact_rows);
   w.Field("seed", report.options.seed);
+  w.Field("storage", report.storage);
   w.Field("repeat", report.options.repeat);
   w.Field("warmup", report.options.warmup);
   w.Field("profile", report.profile_name);

@@ -44,6 +44,10 @@ struct Options {
   int scale_factor = 1;
   /// Fact subsampling divisor (see Database::fact_divisor); 1 = full scale.
   int fact_divisor = 1;
+  /// Fact-column storage encoding: "plain" (4-byte arrays) or "packed"
+  /// (bit-packed, storage::EncodedColumn). Every engine consumes packed
+  /// columns natively; results are identical across modes.
+  std::string storage = "plain";
   uint64_t seed = 20200302;
   /// Host threads for host-threaded engines; 0 = hardware concurrency.
   int threads = 0;
@@ -69,6 +73,10 @@ struct Options {
 /// synonyms) for Options::profile. Returns false (and fills *error) on
 /// unknown names. An empty name is valid and selects the default profile.
 bool ParseProfileName(std::string_view name, std::string* error);
+
+/// Resolves a storage-encoding name for Options::storage ("plain",
+/// "packed"). Returns false (and fills *error) on unknown names.
+bool ParseStorageName(std::string_view name, std::string* error);
 
 /// Per-engine execution record for one query (RunStats plus identity and
 /// the result digest; see engine/query_engine.h for field semantics).
@@ -126,6 +134,10 @@ struct Report {
   /// Resolved per-engine context knobs actually used (profile defaults to
   /// V100, launch to the paper's 128x4 tile) — echoed for reproducibility.
   std::string profile_name;
+  /// Storage encoding the executed database actually carries ("plain" /
+  /// "packed") — echoed from the database, not the options, so reports
+  /// against a caller-provided database stay truthful.
+  std::string storage = "plain";
   int block_threads = 0;
   int items_per_thread = 0;
   int64_t fact_rows = 0;             // rows actually executed

@@ -50,13 +50,13 @@ class CoprocessorEngine final : public QueryEngine {
     ssb::EngineRun run = engine_.Run(spec, launch_);
 
     RunStats stats;
-    // Full-scale PCIe volume: every referenced fact column is 4-byte and
-    // 6M*SF rows long (the fact_divisor subsample never ships less — the
-    // costing is for the full table the run stands in for). The column
-    // count comes straight from the spec, not from any per-query table.
+    // Full-scale PCIe volume: every referenced fact column ships at its
+    // encoded width — 4 bytes/row plain, ceil(bits/8 per row) packed — over
+    // 6M*SF rows (the fact_divisor subsample never ships less; the costing
+    // is for the full table the run stands in for). Compression thus
+    // attacks the coprocessor's binding constraint directly (Section 5.5).
     stats.fact_bytes_shipped =
-        static_cast<int64_t>(query::FactColumnsReferenced(spec)) *
-        db_.full_scale_fact_rows() * 4;
+        query::ReferencedFactBytes(db_, spec, db_.full_scale_fact_rows());
     stats.kernel_ms = run.ScaledTotalMs(db_.fact_divisor);
     stats.transfer_ms = pcie_.TransferMs(stats.fact_bytes_shipped);
     stats.predicted_build_ms = run.build_ms;

@@ -1,5 +1,7 @@
 #include "gpu/packed_column.h"
 
+#include <cstring>
+
 #include "common/macros.h"
 
 namespace crystal::gpu {
@@ -11,13 +13,15 @@ constexpr int kUnpackOpsPerElement = 3;
 }  // namespace
 
 PackedColumn::PackedColumn(sim::Device& device, const int32_t* values,
-                           int64_t n, int bits)
+                           int64_t n, int bits, int32_t reference)
     : n_(n),
       bits_(bits),
+      reference_(reference),
       words_(device, (n * bits + 31) / 32 + 1, 0) {
   CRYSTAL_CHECK(bits >= 1 && bits <= 32);
   for (int64_t i = 0; i < n; ++i) {
-    const uint32_t v = static_cast<uint32_t>(values[i]);
+    const uint32_t v = static_cast<uint32_t>(
+        static_cast<int64_t>(values[i]) - reference);
     CRYSTAL_CHECK_MSG(bits == 32 || (v >> bits) == 0,
                       "value does not fit in the declared bit width");
     const int64_t bit_pos = i * bits;
@@ -30,6 +34,18 @@ PackedColumn::PackedColumn(sim::Device& device, const int32_t* values,
   }
 }
 
+PackedColumn::PackedColumn(sim::Device& device,
+                           const storage::ColumnView& view)
+    : n_(view.rows()),
+      bits_(view.bits()),
+      reference_(view.reference()),
+      words_(device, storage::PackedWords(view.rows(), view.bits()), 0) {
+  CRYSTAL_CHECK_MSG(view.packed(),
+                    "device upload of a plain view: use DeviceBuffer");
+  std::memcpy(words_.data(), view.words(),
+              static_cast<size_t>(words_.size()) * sizeof(uint32_t));
+}
+
 int32_t PackedColumn::Get(int64_t i) const {
   const int64_t bit_pos = i * bits_;
   const int64_t word = bit_pos / 32;
@@ -39,7 +55,8 @@ int32_t PackedColumn::Get(int64_t i) const {
     window |= static_cast<uint64_t>(words_[word + 1]) << 32;
   }
   const uint64_t mask = bits_ == 32 ? 0xFFFFFFFFull : ((1ull << bits_) - 1);
-  return static_cast<int32_t>((window >> shift) & mask);
+  return static_cast<int32_t>(static_cast<uint32_t>((window >> shift) & mask)) +
+         reference_;
 }
 
 void BlockLoadPacked(sim::ThreadBlock& tb, const PackedColumn& column,
@@ -52,6 +69,35 @@ void BlockLoadPacked(sim::ThreadBlock& tb, const PackedColumn& column,
   tb.device().RecordSeqRead(packed_bytes);
   tb.device().RecordArithmetic(static_cast<int64_t>(tile_size) *
                                kUnpackOpsPerElement);
+  tb.SyncThreads();
+}
+
+void BlockLoadPackedSel(sim::ThreadBlock& tb, const PackedColumn& column,
+                        int64_t offset, int tile_size,
+                        const RegTile<int>& bitmap, RegTile<int32_t>& items) {
+  const int line = tb.device().profile().dram_access_bytes;
+  const uint64_t base_addr = column.words().addr(0);
+  int64_t lines = 0;
+  int64_t last_line = -1;
+  int64_t flagged = 0;
+  for (int k = 0; k < tile_size; ++k) {
+    if (!bitmap.logical(k)) continue;
+    items.logical(k) = column.Get(offset + k);
+    ++flagged;
+    // The element's first packed byte locates its DRAM line; at b bits per
+    // value one line covers 8*line/b elements, so consecutive survivors
+    // coalesce far more often than in the 4-byte BlockLoadSel.
+    const uint64_t byte =
+        base_addr + static_cast<uint64_t>((offset + k) * column.bits() / 8);
+    const int64_t this_line =
+        static_cast<int64_t>(byte / static_cast<uint64_t>(line));
+    if (this_line != last_line) {
+      ++lines;
+      last_line = this_line;
+    }
+  }
+  tb.device().RecordSeqRead(lines * line);
+  tb.device().RecordArithmetic(flagged * kUnpackOpsPerElement);
   tb.SyncThreads();
 }
 

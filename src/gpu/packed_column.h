@@ -6,6 +6,7 @@
 #include "crystal/crystal.h"
 #include "sim/device.h"
 #include "sim/exec.h"
+#include "storage/encoded_column.h"
 
 namespace crystal::gpu {
 
@@ -18,12 +19,20 @@ namespace crystal::gpu {
 /// widths where CPUs stall on shifts — the paper's stated motivation).
 class PackedColumn {
  public:
-  /// Packs `values` (each must fit in `bits` bits) into device memory.
+  /// Packs `values` (each must fit in `bits` bits after subtracting
+  /// `reference`) into device memory. `reference` is the frame-of-reference
+  /// offset added back on decode (storage::ColumnView semantics).
   PackedColumn(sim::Device& device, const int32_t* values, int64_t n,
-               int bits);
+               int bits, int32_t reference = 0);
+
+  /// Uploads an already-packed host column (storage layer) verbatim: the
+  /// word stream is copied as-is, so device layout == host layout and the
+  /// modeled traffic reflects exactly the bytes the storage layer holds.
+  PackedColumn(sim::Device& device, const storage::ColumnView& view);
 
   int64_t size() const { return n_; }
   int bits() const { return bits_; }
+  int32_t reference() const { return reference_; }
   int64_t packed_bytes() const { return words_.bytes(); }
 
   /// Unpacks element i (host-side helper; kernels use BlockLoadPacked).
@@ -34,6 +43,7 @@ class PackedColumn {
  private:
   int64_t n_;
   int bits_;
+  int32_t reference_ = 0;
   sim::DeviceBuffer<uint32_t> words_;
 };
 
@@ -42,6 +52,16 @@ class PackedColumn {
 /// ~3 ops per element (shift/mask/merge across word boundaries).
 void BlockLoadPacked(sim::ThreadBlock& tb, const PackedColumn& column,
                      int64_t offset, int tile_size, RegTile<int32_t>& items);
+
+/// Selective variant of BlockLoadPacked (the packed analogue of
+/// BlockLoadSel): only elements whose bitmap flag is set are unpacked.
+/// Traffic: the DRAM lines of the packed word stream that contain at least
+/// one flagged element — at b bits/value a line covers 8*line_bytes/b
+/// elements, so post-filter loads shrink faster than their 4-byte
+/// counterparts. Arithmetic: ~3 ops per flagged element.
+void BlockLoadPackedSel(sim::ThreadBlock& tb, const PackedColumn& column,
+                        int64_t offset, int tile_size,
+                        const RegTile<int>& bitmap, RegTile<int32_t>& items);
 
 /// Tile-based selection over a packed column:
 ///   SELECT COUNT(*) FROM R WHERE lo <= v <= hi

@@ -18,19 +18,19 @@ QueryPipeline LowerToPipeline(const QuerySpec& spec,
 
   p.filters.reserve(spec.fact_filters.size());
   for (const FactFilter& f : spec.fact_filters) {
-    p.filters.push_back({FactColumn(db, f.col).data(), f.lo, f.hi});
+    p.filters.push_back({FactColumn(db, f.col).view(), f.lo, f.hi});
   }
   p.probes.reserve(spec.joins.size());
   for (size_t j = 0; j < spec.joins.size(); ++j) {
     ProbeStage stage;
-    stage.fact_keys = FactColumn(db, spec.joins[j].fact_key).data();
+    stage.fact_keys = FactColumn(db, spec.joins[j].fact_key).view();
     stage.join_index = static_cast<int>(j);
     stage.group_slot = p.plan.join_payload[j];
     stage.cache_key = BuildSideKey(spec, j, p.plan);
     p.probes.push_back(std::move(stage));
   }
-  p.agg.a = FactColumn(db, spec.agg.a).data();
-  p.agg.b = FactColumn(db, spec.agg.b).data();
+  p.agg.a = FactColumn(db, spec.agg.a).view();
+  p.agg.b = FactColumn(db, spec.agg.b).view();
   p.agg.kind = spec.agg.kind;
   return p;
 }

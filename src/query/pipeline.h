@@ -14,16 +14,19 @@ namespace crystal::query {
 /// every fused interpreter executes: an ordered list of fact-filter stages,
 /// an ordered list of join-probe stages (each pointing at its build-side
 /// descriptor and the group slot its payload feeds), and the aggregate
-/// inputs — all resolved to raw column pointers once, before the scan, so
-/// the per-morsel inner loop touches no spec machinery. The structure is
-/// engine-agnostic: the vectorized CPU engine drives it with SIMD
-/// selection-vector kernels, but any engine that walks filters → probes →
-/// aggregate can consume the same lowering instead of re-deriving the
-/// wiring from the spec.
+/// inputs — all resolved once, before the scan, so the per-morsel inner
+/// loop touches no spec machinery. Fact columns are carried as
+/// storage::ColumnView, so the lowering stays engine-agnostic across
+/// storage encodings: a plain view is a raw pointer plus length (the
+/// pre-storage-layer fast path, unchanged), a packed view carries the
+/// (words, bits, reference) metadata the unpack kernels need. The
+/// vectorized CPU engine drives this with SIMD selection-vector kernels,
+/// but any engine that walks filters → probes → aggregate can consume the
+/// same lowering instead of re-deriving the wiring from the spec.
 
-/// One fact-predicate stage: lo <= col[row] <= hi over a contiguous column.
+/// One fact-predicate stage: lo <= col.Get(row) <= hi.
 struct FilterStage {
-  const int32_t* col = nullptr;
+  storage::ColumnView col;
   int32_t lo = 0;
   int32_t hi = 0;
 };
@@ -33,7 +36,7 @@ struct FilterStage {
 /// group-key buffer this probe's payload feeds, or -1 for a filter-only
 /// join whose payload is never read.
 struct ProbeStage {
-  const int32_t* fact_keys = nullptr;
+  storage::ColumnView fact_keys;
   int join_index = 0;
   int group_slot = -1;
   /// Canonical identity of this probe's build side (BuildSideKey): equal
@@ -44,8 +47,8 @@ struct ProbeStage {
 
 /// The per-row aggregate inputs (b is ignored for AggExpr::kColumn).
 struct AggStage {
-  const int32_t* a = nullptr;
-  const int32_t* b = nullptr;
+  storage::ColumnView a;
+  storage::ColumnView b;
   AggExpr::Kind kind = AggExpr::Kind::kColumn;
 };
 

@@ -168,6 +168,10 @@ bool Validate(const QuerySpec& spec, std::string* error) {
 }
 
 int FactColumnsReferenced(const QuerySpec& spec) {
+  return static_cast<int>(ReferencedFactColumns(spec).size());
+}
+
+std::vector<FactCol> ReferencedFactColumns(const QuerySpec& spec) {
   bool seen[kNumFactCols] = {};
   for (const FactFilter& f : spec.fact_filters) {
     seen[static_cast<int>(f.col)] = true;
@@ -179,9 +183,23 @@ int FactColumnsReferenced(const QuerySpec& spec) {
   if (spec.agg.kind != AggExpr::Kind::kColumn) {
     seen[static_cast<int>(spec.agg.b)] = true;
   }
-  int count = 0;
-  for (bool s : seen) count += s ? 1 : 0;
-  return count;
+  std::vector<FactCol> cols;
+  for (int i = 0; i < kNumFactCols; ++i) {
+    if (seen[i]) cols.push_back(static_cast<FactCol>(i));
+  }
+  return cols;
+}
+
+int64_t ReferencedFactBytes(const ssb::Database& db, const QuerySpec& spec,
+                            int64_t rows) {
+  int64_t bytes = 0;
+  for (FactCol col : ReferencedFactColumns(spec)) {
+    const storage::EncodedColumn& c = FactColumn(db, col);
+    bytes += c.encoding() == storage::Encoding::kPacked
+                 ? storage::PackedBytes(rows, c.bits())
+                 : rows * 4;
+  }
+  return bytes;
 }
 
 GroupLayout LayoutFor(const QuerySpec& spec) {
@@ -236,7 +254,8 @@ std::vector<BoundJoin> BindJoins(const QuerySpec& spec,
   return bound;
 }
 
-const ssb::Column& FactColumn(const ssb::Database& db, FactCol col) {
+const storage::EncodedColumn& FactColumn(const ssb::Database& db,
+                                         FactCol col) {
   switch (col) {
     case FactCol::kOrderdate: return db.lo.orderdate;
     case FactCol::kCustkey: return db.lo.custkey;

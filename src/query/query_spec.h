@@ -197,6 +197,18 @@ bool Validate(const QuerySpec& spec, std::string* error);
 /// column ships to the device (Section 3.1).
 int FactColumnsReferenced(const QuerySpec& spec);
 
+/// The referenced fact columns themselves, in FactCol order.
+std::vector<FactCol> ReferencedFactColumns(const QuerySpec& spec);
+
+/// Bytes the referenced fact columns occupy at `rows` rows under the
+/// database's per-column encodings: rows*4 per plain column,
+/// ceil(rows*bits/8) per packed one. The crystal engine charges this as
+/// scan traffic at db.lo.rows; the coprocessor ships it over PCIe at
+/// full_scale_fact_rows() — which is how packed storage shrinks both the
+/// modeled DRAM traffic and `fact_bytes_shipped`.
+int64_t ReferencedFactBytes(const ssb::Database& db, const QuerySpec& spec,
+                            int64_t rows);
+
 // ------------------------------------------------- aggregation geometry
 
 /// Dense-grid layout derived from group_by: per-key domain base and span,
@@ -271,7 +283,10 @@ std::vector<BoundJoin> BindJoins(const QuerySpec& spec,
 
 // ----------------------------------------------------- database binding
 
-const ssb::Column& FactColumn(const ssb::Database& db, FactCol col);
+/// Fact columns come back as encoded columns (plain or packed); engines
+/// read them through storage::ColumnView. Dimension columns stay plain.
+const storage::EncodedColumn& FactColumn(const ssb::Database& db,
+                                         FactCol col);
 const ssb::Column& DimColumn(const ssb::Database& db, DimCol col);
 const ssb::Column& DimKeyColumn(const ssb::Database& db, DimTable table);
 int64_t DimTableRows(const ssb::Database& db, DimTable table);

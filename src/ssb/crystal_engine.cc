@@ -60,50 +60,25 @@ gpu::DeviceHashTable BuildFiltered(sim::Device& device, const Column& keys,
 }  // namespace
 
 CrystalEngine::CrystalEngine(sim::Device& device, const Database& db)
-    : device_(device),
-      db_(db),
-      lo_orderdate_(device, db.lo.rows),
-      lo_custkey_(device, db.lo.rows),
-      lo_partkey_(device, db.lo.rows),
-      lo_suppkey_(device, db.lo.rows),
-      lo_quantity_(device, db.lo.rows),
-      lo_discount_(device, db.lo.rows),
-      lo_extendedprice_(device, db.lo.rows),
-      lo_revenue_(device, db.lo.rows),
-      lo_supplycost_(device, db.lo.rows) {
-  auto upload = [&](sim::DeviceBuffer<int32_t>& dst, const Column& src) {
-    std::memcpy(dst.data(), src.data(), src.size() * sizeof(int32_t));
-  };
-  upload(lo_orderdate_, db.lo.orderdate);
-  upload(lo_custkey_, db.lo.custkey);
-  upload(lo_partkey_, db.lo.partkey);
-  upload(lo_suppkey_, db.lo.suppkey);
-  upload(lo_quantity_, db.lo.quantity);
-  upload(lo_discount_, db.lo.discount);
-  upload(lo_extendedprice_, db.lo.extendedprice);
-  upload(lo_revenue_, db.lo.revenue);
-  upload(lo_supplycost_, db.lo.supplycost);
-}
-
-sim::DeviceBuffer<int32_t>& CrystalEngine::FactBuffer(query::FactCol col) {
-  switch (col) {
-    case query::FactCol::kOrderdate: return lo_orderdate_;
-    case query::FactCol::kCustkey: return lo_custkey_;
-    case query::FactCol::kPartkey: return lo_partkey_;
-    case query::FactCol::kSuppkey: return lo_suppkey_;
-    case query::FactCol::kQuantity: return lo_quantity_;
-    case query::FactCol::kDiscount: return lo_discount_;
-    case query::FactCol::kExtendedprice: return lo_extendedprice_;
-    case query::FactCol::kRevenue: return lo_revenue_;
-    case query::FactCol::kSupplycost: return lo_supplycost_;
+    : device_(device), db_(db) {
+  for (int i = 0; i < query::kNumFactCols; ++i) {
+    const storage::EncodedColumn& src =
+        query::FactColumn(db, static_cast<query::FactCol>(i));
+    FactDeviceColumn& dst = fact_[i];
+    if (src.encoding() == storage::Encoding::kPacked) {
+      dst.packed = std::make_unique<gpu::PackedColumn>(device, src.view());
+    } else {
+      dst.plain = sim::DeviceBuffer<int32_t>(device, db.lo.rows);
+      std::memcpy(dst.plain.data(), src.data(),
+                  static_cast<size_t>(src.size()) * sizeof(int32_t));
+    }
   }
-  return lo_orderdate_;
 }
 
-void CrystalEngine::FinalizeRun(EngineRun* run, int fact_columns) const {
+void CrystalEngine::FinalizeRun(EngineRun* run,
+                                const query::QuerySpec& spec) const {
   run->fact_rows = db_.lo.rows;
-  run->fact_bytes_shipped =
-      static_cast<int64_t>(fact_columns) * db_.lo.rows * 4;
+  run->fact_bytes_shipped = query::ReferencedFactBytes(db_, spec, db_.lo.rows);
   for (const auto& rec : device_.records()) {
     if (rec.name.rfind("ht_build", 0) == 0 || rec.name == "dim_scan") {
       run->build_ms += rec.est_ms;
@@ -191,11 +166,18 @@ EngineRun CrystalEngine::Run(const QuerySpec& spec,
           RegTile<int32_t>& dst = cols[static_cast<size_t>(slot)];
           if (loaded[static_cast<int>(col)]) return dst;
           loaded[static_cast<int>(col)] = true;
-          sim::DeviceBuffer<int32_t>& buf = FactBuffer(col);
-          if (bm_valid) {
-            BlockLoadSel(tb, buf.data() + off, buf.addr(off), tile, bm, dst);
+          const FactDeviceColumn& fc = fact_[static_cast<int>(col)];
+          if (fc.packed != nullptr) {
+            if (bm_valid) {
+              gpu::BlockLoadPackedSel(tb, *fc.packed, off, tile, bm, dst);
+            } else {
+              gpu::BlockLoadPacked(tb, *fc.packed, off, tile, dst);
+            }
+          } else if (bm_valid) {
+            BlockLoadSel(tb, fc.plain.data() + off, fc.plain.addr(off), tile,
+                         bm, dst);
           } else {
-            BlockLoad(tb, buf.data() + off, tile, dst);
+            BlockLoad(tb, fc.plain.data() + off, tile, dst);
           }
           return dst;
         };
@@ -262,7 +244,7 @@ EngineRun CrystalEngine::Run(const QuerySpec& spec,
   } else {
     EmitDenseGroups(layout, grid.data(), &run.result);
   }
-  FinalizeRun(&run, query::FactColumnsReferenced(spec));
+  FinalizeRun(&run, spec);
   return run;
 }
 

@@ -1,7 +1,10 @@
 #ifndef CRYSTAL_SSB_CRYSTAL_ENGINE_H_
 #define CRYSTAL_SSB_CRYSTAL_ENGINE_H_
 
+#include <memory>
+
 #include "gpu/hash_table.h"
+#include "gpu/packed_column.h"
 #include "sim/device.h"
 #include "sim/exec.h"
 #include "ssb/queries.h"
@@ -49,19 +52,28 @@ class CrystalEngine {
   sim::Device& device() { return device_; }
 
  private:
-  sim::DeviceBuffer<int32_t>& FactBuffer(query::FactCol col);
+  /// One fact column resident in device memory, in whichever encoding the
+  /// database carries it: plain columns upload into a 4-byte DeviceBuffer
+  /// (the pre-storage-layer path, byte-for-byte unchanged), packed columns
+  /// upload their word stream into a gpu::PackedColumn and are consumed by
+  /// the fused kernel through BlockLoadPacked / BlockLoadPackedSel — no
+  /// decompress-first pass, and modeled scan traffic is ceil(rows*bits/8)
+  /// instead of 4*rows.
+  struct FactDeviceColumn {
+    sim::DeviceBuffer<int32_t> plain;
+    std::unique_ptr<gpu::PackedColumn> packed;
+  };
 
   // Splits recorded kernel estimates into build vs probe and fills traffic
-  // fields of `run`.
-  void FinalizeRun(EngineRun* run, int fact_columns) const;
+  // fields of `run` from the spec's referenced columns at their encoded
+  // widths (query::ReferencedFactBytes).
+  void FinalizeRun(EngineRun* run, const query::QuerySpec& spec) const;
 
   sim::Device& device_;
   const Database& db_;
 
   // Fact columns resident in device memory, indexed by query::FactCol.
-  sim::DeviceBuffer<int32_t> lo_orderdate_, lo_custkey_, lo_partkey_,
-      lo_suppkey_, lo_quantity_, lo_discount_, lo_extendedprice_, lo_revenue_,
-      lo_supplycost_;
+  FactDeviceColumn fact_[query::kNumFactCols];
 };
 
 }  // namespace crystal::ssb

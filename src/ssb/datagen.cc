@@ -66,6 +66,7 @@ Database Generate(const DatagenOptions& options) {
   db.scale_factor = options.scale_factor;
   db.fact_divisor = options.fact_divisor;
   db.seed = options.seed;
+  db.storage = options.storage.encoding;
   Rng rng(options.seed);
 
   // ---- date: 2556 consecutive days from 1992-01-01.
@@ -141,31 +142,56 @@ Database Generate(const DatagenOptions& options) {
   }
 
   // ---- lineorder.
+  // Rows stream straight into the storage layer's builders: each value is
+  // written once into its final (plain or packed) buffer, so packed
+  // generation never materializes a plain copy and peak RSS is bounded by
+  // the encoded size even at SF >= 10. The RNG stream and per-row draw
+  // order are identical in both modes, so a packed and a plain database
+  // from the same options hold the same values row for row.
+  //
+  // Packed layouts are frame-of-reference over the generator's known value
+  // domains (the column minimum as reference, bits covering the span) —
+  // e.g. at SF=1: orderdate 16 bits, custkey 15, partkey 18, suppkey 11,
+  // quantity 6, discount 4, extendedprice 16, revenue 17, supplycost 15.
   db.lo.rows = LineorderRows(options.scale_factor) / options.fact_divisor;
-  db.lo.orderdate.resize(db.lo.rows);
-  db.lo.custkey.resize(db.lo.rows);
-  db.lo.partkey.resize(db.lo.rows);
-  db.lo.suppkey.resize(db.lo.rows);
-  db.lo.quantity.resize(db.lo.rows);
-  db.lo.discount.resize(db.lo.rows);
-  db.lo.extendedprice.resize(db.lo.rows);
-  db.lo.revenue.resize(db.lo.rows);
-  db.lo.supplycost.resize(db.lo.rows);
+  const storage::Encoding enc = options.storage.encoding;
+  auto fact_builder = [&](int32_t reference, int64_t max_value) {
+    const uint32_t span = static_cast<uint32_t>(max_value - reference);
+    return storage::ColumnBuilder(enc, db.lo.rows, reference,
+                                  storage::BitsForSpan(span));
+  };
+  storage::ColumnBuilder orderdate =
+      fact_builder(db.d.datekey[0], db.d.datekey[kDateRows - 1]);
+  storage::ColumnBuilder custkey = fact_builder(1, db.c.rows);
+  storage::ColumnBuilder partkey = fact_builder(1, db.p.rows);
+  storage::ColumnBuilder suppkey = fact_builder(1, db.s.rows);
+  storage::ColumnBuilder quantity = fact_builder(1, 50);
+  storage::ColumnBuilder discount = fact_builder(0, 10);
+  storage::ColumnBuilder extendedprice = fact_builder(1, 60'000);
+  storage::ColumnBuilder revenue = fact_builder(1, 100'000);
+  storage::ColumnBuilder supplycost = fact_builder(1, 20'000);
   for (int64_t i = 0; i < db.lo.rows; ++i) {
-    db.lo.orderdate[i] =
-        db.d.datekey[rng.UniformInt(0, static_cast<int32_t>(kDateRows - 1))];
-    db.lo.custkey[i] =
-        rng.UniformInt(1, static_cast<int32_t>(db.c.rows));
-    db.lo.partkey[i] =
-        rng.UniformInt(1, static_cast<int32_t>(db.p.rows));
-    db.lo.suppkey[i] =
-        rng.UniformInt(1, static_cast<int32_t>(db.s.rows));
-    db.lo.quantity[i] = rng.UniformInt(1, 50);
-    db.lo.discount[i] = rng.UniformInt(0, 10);
-    db.lo.extendedprice[i] = rng.UniformInt(1, 60'000);
-    db.lo.revenue[i] = rng.UniformInt(1, 100'000);
-    db.lo.supplycost[i] = rng.UniformInt(1, 20'000);
+    orderdate.Set(
+        i,
+        db.d.datekey[rng.UniformInt(0, static_cast<int32_t>(kDateRows - 1))]);
+    custkey.Set(i, rng.UniformInt(1, static_cast<int32_t>(db.c.rows)));
+    partkey.Set(i, rng.UniformInt(1, static_cast<int32_t>(db.p.rows)));
+    suppkey.Set(i, rng.UniformInt(1, static_cast<int32_t>(db.s.rows)));
+    quantity.Set(i, rng.UniformInt(1, 50));
+    discount.Set(i, rng.UniformInt(0, 10));
+    extendedprice.Set(i, rng.UniformInt(1, 60'000));
+    revenue.Set(i, rng.UniformInt(1, 100'000));
+    supplycost.Set(i, rng.UniformInt(1, 20'000));
   }
+  db.lo.orderdate = orderdate.Finish();
+  db.lo.custkey = custkey.Finish();
+  db.lo.partkey = partkey.Finish();
+  db.lo.suppkey = suppkey.Finish();
+  db.lo.quantity = quantity.Finish();
+  db.lo.discount = discount.Finish();
+  db.lo.extendedprice = extendedprice.Finish();
+  db.lo.revenue = revenue.Finish();
+  db.lo.supplycost = supplycost.Finish();
   return db;
 }
 

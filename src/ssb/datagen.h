@@ -14,6 +14,13 @@ struct DatagenOptions {
   /// dimensions keep full SF cardinality (see Database::fact_divisor).
   int fact_divisor = 1;
   uint64_t seed = 20200302;  // arXiv date of the paper; any fixed value works
+  /// Fact-column storage: plain int32 or frame-of-reference bit-packed.
+  /// Generated values are identical either way (one RNG stream, one draw
+  /// order); only the in-memory layout differs. Packed rows stream straight
+  /// into the packed words (no transient plain materialization), so peak
+  /// RSS is bounded by the encoded size — see docs/STORAGE.md for SF=10
+  /// numbers.
+  storage::StorageOptions storage;
 };
 
 /// Generates a database with dbgen's cardinalities, uniform foreign keys and

@@ -47,12 +47,14 @@ gpu::DeviceHashTable BuildFilteredHt(sim::Device& device, const Column& keys,
   return ht;
 }
 
-// Lines touched by gathering `count` ascending row ids from a 4-byte column.
+// Lines touched by gathering `count` ascending row ids from a b-bit column
+// (b == 32 for plain 4-byte columns). At b bits per value one DRAM line
+// covers 8*line_bytes/b elements, so packed gathers coalesce more often.
 int64_t GatherLines(const sim::DeviceBuffer<int32_t>& oids, int64_t count,
-                    int line_bytes) {
+                    int line_bytes, int bits) {
   int64_t lines = 0;
   int64_t prev = -1;
-  const int per_line = line_bytes / 4;
+  const int64_t per_line = static_cast<int64_t>(line_bytes) * 8 / bits;
   for (int64_t i = 0; i < count; ++i) {
     const int64_t line = oids[i] / per_line;
     if (line != prev) {
@@ -61,6 +63,16 @@ int64_t GatherLines(const sim::DeviceBuffer<int32_t>& oids, int64_t count,
     }
   }
   return lines;
+}
+
+// Unpack arithmetic per decoded element of a packed column (shift, mask,
+// occasional two-word merge) — mirrors gpu::BlockLoadPacked's charge.
+constexpr int kUnpackOpsPerElement = 3;
+
+// Arithmetic charge for decoding `count` elements of `col` (zero if plain).
+void ChargeUnpack(sim::Device& device, const storage::ColumnView& col,
+                  int64_t count) {
+  if (col.packed()) device.RecordArithmetic(count * kUnpackOpsPerElement);
 }
 
 // Bytes moved to read `count` 4-byte elements. On the GPU the independent-
@@ -82,10 +94,9 @@ MaterializingEngine::MaterializingEngine(sim::Device& device,
     : device_(device), db_(db) {}
 
 void MaterializingEngine::FinalizeRun(EngineRun* run,
-                                      int fact_columns) const {
+                                      const query::QuerySpec& spec) const {
   run->fact_rows = db_.lo.rows;
-  run->fact_bytes_shipped =
-      static_cast<int64_t>(fact_columns) * db_.lo.rows * 4;
+  run->fact_bytes_shipped = query::ReferencedFactBytes(db_, spec, db_.lo.rows);
   for (const auto& rec : device_.records()) {
     if (rec.name.rfind("ht_build", 0) == 0) {
       run->build_ms += rec.est_ms;
@@ -97,21 +108,24 @@ void MaterializingEngine::FinalizeRun(EngineRun* run,
 }
 
 template <typename Pred>
-MaterializingEngine::Oids MaterializingEngine::ScanSelect(const Column& col,
-                                                          const char* name,
-                                                          Pred pred) {
+MaterializingEngine::Oids MaterializingEngine::ScanSelect(
+    const storage::ColumnView& col, const char* name, Pred pred) {
   Oids out;
-  out.rows = sim::DeviceBuffer<int32_t>(device_,
-                                        static_cast<int64_t>(col.size()));
+  out.rows = sim::DeviceBuffer<int32_t>(device_, col.rows());
   sim::RunAsKernel(device_, name, {}, 1, [&] {
     // Count pass + scatter pass both read the column; the scattered
-    // per-thread id writes are uncoalesced on a GPU.
+    // per-thread id writes are uncoalesced on a GPU. On the CPU a packed
+    // column moves its encoded bytes; the GPU independent-threads model
+    // stays per-element-sector regardless of width.
     device_.stats().kernel_launches += kKernelsPerOperator - 1;
     device_.RecordSeqRead(
-        2 * ElementReadBytes(device_, static_cast<int64_t>(col.size())));
+        2 * (device_.profile().is_gpu
+                 ? ElementReadBytes(device_, col.rows())
+                 : static_cast<int64_t>(col.encoded_bytes())));
+    ChargeUnpack(device_, col, 2 * col.rows());
     int64_t m = 0;
-    for (size_t i = 0; i < col.size(); ++i) {
-      if (pred(col[i])) out.rows[m++] = static_cast<int32_t>(i);
+    for (int64_t i = 0; i < col.rows(); ++i) {
+      if (pred(col.Get(i))) out.rows[m++] = static_cast<int32_t>(i);
     }
     out.count = m;
     if (device_.profile().is_gpu) {
@@ -124,10 +138,9 @@ MaterializingEngine::Oids MaterializingEngine::ScanSelect(const Column& col,
 }
 
 template <typename Pred>
-MaterializingEngine::Oids MaterializingEngine::Refine(const Column& col,
-                                                      const Oids& in,
-                                                      const char* name,
-                                                      Pred pred) {
+MaterializingEngine::Oids MaterializingEngine::Refine(
+    const storage::ColumnView& col, const Oids& in, const char* name,
+    Pred pred) {
   Oids out;
   out.rows = sim::DeviceBuffer<int32_t>(device_, std::max<int64_t>(in.count, 1));
   sim::RunAsKernel(device_, name, {}, 1, [&] {
@@ -138,15 +151,16 @@ MaterializingEngine::Oids MaterializingEngine::Refine(const Column& col,
     if (device_.profile().is_gpu) {
       pass_bytes = ElementReadBytes(device_, in.count) * 2;  // value + oid
     } else {
-      const int64_t lines =
-          GatherLines(in.rows, in.count, device_.profile().dram_access_bytes);
+      const int64_t lines = GatherLines(
+          in.rows, in.count, device_.profile().dram_access_bytes, col.bits());
       pass_bytes =
           lines * device_.profile().dram_access_bytes + in.count * kOidBytes;
     }
     device_.RecordSeqRead(2 * pass_bytes);
+    ChargeUnpack(device_, col, 2 * in.count);
     int64_t m = 0;
     for (int64_t i = 0; i < in.count; ++i) {
-      if (pred(col[static_cast<size_t>(in.rows[i])])) {
+      if (pred(col.Get(in.rows[i]))) {
         out.rows[m++] = in.rows[i];
       }
     }
@@ -160,21 +174,21 @@ MaterializingEngine::Oids MaterializingEngine::Refine(const Column& col,
   return out;
 }
 
-sim::DeviceBuffer<int32_t> MaterializingEngine::Fetch(const Column& col,
-                                                      const Oids& in,
-                                                      const char* name) {
+sim::DeviceBuffer<int32_t> MaterializingEngine::Fetch(
+    const storage::ColumnView& col, const Oids& in, const char* name) {
   sim::DeviceBuffer<int32_t> out(device_, std::max<int64_t>(in.count, 1));
   sim::RunAsKernel(device_, name, {}, 1, [&] {
     if (device_.profile().is_gpu) {
       device_.RecordSeqRead(ElementReadBytes(device_, in.count) * 2);
     } else {
-      const int64_t lines =
-          GatherLines(in.rows, in.count, device_.profile().dram_access_bytes);
+      const int64_t lines = GatherLines(
+          in.rows, in.count, device_.profile().dram_access_bytes, col.bits());
       device_.RecordSeqRead(lines * device_.profile().dram_access_bytes +
                             in.count * kOidBytes);
     }
+    ChargeUnpack(device_, col, in.count);
     for (int64_t i = 0; i < in.count; ++i) {
-      out[i] = col[static_cast<size_t>(in.rows[i])];
+      out[i] = col.Get(in.rows[i]);
     }
     device_.RecordSeqWrite(in.count * 4);
   });
@@ -260,7 +274,7 @@ EngineRun MaterializingEngine::Run(const QuerySpec& spec) {
   if (!spec.fact_filters.empty()) {
     bool first = true;
     for (const query::FactFilter& f : spec.fact_filters) {
-      const Column& col = query::FactColumn(db_, f.col);
+      const storage::ColumnView col = query::FactColumn(db_, f.col).view();
       const std::string name =
           std::string(first ? "mat_select_" : "mat_refine_") +
           std::string(query::FactColName(f.col));
@@ -288,8 +302,8 @@ EngineRun MaterializingEngine::Run(const QuerySpec& spec) {
     const query::JoinSpec& join = spec.joins[j];
     const std::string fetch_name =
         "mat_fetch_" + std::string(query::FactColName(join.fact_key));
-    const sim::DeviceBuffer<int32_t> keys =
-        Fetch(query::FactColumn(db_, join.fact_key), sel, fetch_name.c_str());
+    const sim::DeviceBuffer<int32_t> keys = Fetch(
+        query::FactColumn(db_, join.fact_key).view(), sel, fetch_name.c_str());
     const std::string join_name =
         "mat_join_" + std::string(query::DimTableName(join.table));
     sim::DeviceBuffer<int32_t> payload;
@@ -316,13 +330,13 @@ EngineRun MaterializingEngine::Run(const QuerySpec& spec) {
   const std::string fetch_a =
       "mat_fetch_" + std::string(query::FactColName(spec.agg.a));
   sim::DeviceBuffer<int32_t> va =
-      Fetch(query::FactColumn(db_, spec.agg.a), sel, fetch_a.c_str());
+      Fetch(query::FactColumn(db_, spec.agg.a).view(), sel, fetch_a.c_str());
   const bool two_inputs = spec.agg.kind != AggExpr::Kind::kColumn;
   sim::DeviceBuffer<int32_t> vb(device_, 1);
   if (two_inputs) {
     const std::string fetch_b =
         "mat_fetch_" + std::string(query::FactColName(spec.agg.b));
-    vb = Fetch(query::FactColumn(db_, spec.agg.b), sel, fetch_b.c_str());
+    vb = Fetch(query::FactColumn(db_, spec.agg.b).view(), sel, fetch_b.c_str());
   }
   const AggExpr::Kind agg_kind = spec.agg.kind;
   // vb is a 1-element dummy for single-input aggregates; alias the first
@@ -356,7 +370,7 @@ EngineRun MaterializingEngine::Run(const QuerySpec& spec) {
     });
     EmitDenseGroups(layout, grid.data(), &run.result);
   }
-  FinalizeRun(&run, query::FactColumnsReferenced(spec));
+  FinalizeRun(&run, spec);
   return run;
 }
 

@@ -40,22 +40,28 @@ class MaterializingEngine {
     int64_t count = 0;
   };
 
-  /// SELECT: scans `col` fully, writes surviving row ids.
+  /// SELECT: scans `col` fully, writes surviving row ids. Fact columns
+  /// arrive as storage::ColumnView so packed inputs are consumed in place:
+  /// the CPU scan moves the encoded bytes (ceil(rows*bits/8)) and pays the
+  /// per-element unpack arithmetic; the GPU independent-threads model keeps
+  /// its per-element sector charge (chunked threads defeat sub-sector
+  /// savings, the same reason its plain loads are uncoalesced).
   template <typename Pred>
-  Oids ScanSelect(const Column& col, const char* name, Pred pred);
+  Oids ScanSelect(const storage::ColumnView& col, const char* name, Pred pred);
   /// Refine: gathers `col` at oids, writes the surviving oids.
   template <typename Pred>
-  Oids Refine(const Column& col, const Oids& in, const char* name, Pred pred);
+  Oids Refine(const storage::ColumnView& col, const Oids& in, const char* name,
+              Pred pred);
   /// Fetch: gathers `col` at oids into a materialized value column.
-  sim::DeviceBuffer<int32_t> Fetch(const Column& col, const Oids& in,
-                                   const char* name);
+  sim::DeviceBuffer<int32_t> Fetch(const storage::ColumnView& col,
+                                   const Oids& in, const char* name);
   /// Join: probes `ht` with the materialized keys; outputs surviving oids
   /// and their payloads (both materialized).
   Oids ProbeJoin(const gpu::DeviceHashTable& ht,
                  const sim::DeviceBuffer<int32_t>& keys, const Oids& in,
                  const char* name, sim::DeviceBuffer<int32_t>* payloads);
 
-  void FinalizeRun(EngineRun* run, int fact_columns) const;
+  void FinalizeRun(EngineRun* run, const query::QuerySpec& spec) const;
 
   sim::Device& device_;
   const Database& db_;

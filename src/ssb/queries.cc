@@ -57,7 +57,7 @@ using query::QuerySpec;
 /// tables (customer, supplier, part) resolve a key to its row
 /// arithmetically; the date dimension goes through a hash index.
 struct RefJoin {
-  const Column* fact_key = nullptr;
+  storage::ColumnView fact_key;
   query::BoundJoin bound;
   bool dense = false;
   std::unordered_map<int32_t, int64_t> index;  // sparse tables only
@@ -107,7 +107,7 @@ QueryResult RunReference(const Database& db, const QuerySpec& spec) {
   std::vector<RefJoin> joins(spec.joins.size());
   for (size_t j = 0; j < spec.joins.size(); ++j) {
     RefJoin& join = joins[j];
-    join.fact_key = &query::FactColumn(db, spec.joins[j].fact_key);
+    join.fact_key = query::FactColumn(db, spec.joins[j].fact_key).view();
     join.bound = std::move(bound[j]);
     join.dense = query::DimKeyDense(spec.joins[j].table);
     join.group_slot = plan.join_payload[j];
@@ -120,22 +120,22 @@ QueryResult RunReference(const Database& db, const QuerySpec& spec) {
     }
   }
 
-  std::vector<std::pair<const Column*, const query::FactFilter*>> filters;
+  std::vector<std::pair<storage::ColumnView, const query::FactFilter*>>
+      filters;
   for (const query::FactFilter& f : spec.fact_filters) {
-    filters.emplace_back(&query::FactColumn(db, f.col), &f);
+    filters.emplace_back(query::FactColumn(db, f.col).view(), &f);
   }
 
-  const Column& agg_a = query::FactColumn(db, spec.agg.a);
-  const Column& agg_b = query::FactColumn(db, spec.agg.b);
+  const storage::ColumnView agg_a = query::FactColumn(db, spec.agg.a).view();
+  const storage::ColumnView agg_b = query::FactColumn(db, spec.agg.b).view();
   const query::AggExpr::Kind agg_kind = spec.agg.kind;
 
   QueryResult result;
   std::unordered_map<int64_t, int64_t> groups;
   for (int64_t i = 0; i < db.lo.rows; ++i) {
-    const size_t row = static_cast<size_t>(i);
     bool pass = true;
     for (const auto& [col, filter] : filters) {
-      const int32_t v = (*col)[row];
+      const int32_t v = col.Get(i);
       if (v < filter->lo || v > filter->hi) {
         pass = false;
         break;
@@ -144,13 +144,14 @@ QueryResult RunReference(const Database& db, const QuerySpec& spec) {
     if (!pass) continue;
     int32_t keys[3] = {0, 0, 0};
     for (const RefJoin& join : joins) {
-      if (!join.Probe((*join.fact_key)[row], keys)) {
+      if (!join.Probe(join.fact_key.Get(i), keys)) {
         pass = false;
         break;
       }
     }
     if (!pass) continue;
-    const int64_t value = query::AggValue(agg_kind, agg_a[row], agg_b[row]);
+    const int64_t value =
+        query::AggValue(agg_kind, agg_a.Get(i), agg_b.Get(i));
     if (layout.scalar()) {
       result.scalar += value;
     } else {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/aligned.h"
+#include "storage/encoded_column.h"
 
 namespace crystal::ssb {
 
@@ -25,19 +26,25 @@ namespace crystal::ssb {
 ///  * dates:    d_datekey = yyyymmdd
 using Column = AlignedVector<int32_t>;
 
+/// Fact columns live behind the storage layer (storage/encoded_column.h):
+/// plain int32 or frame-of-reference bit-packed, selected by the
+/// StorageOptions knob at generation time. Dimension tables stay plain —
+/// they are cache-sized and only touched through build sides, so packing
+/// them buys nothing the paper measures.
 struct LineorderTable {
-  Column orderdate;      // FK -> date.datekey (yyyymmdd)
-  Column custkey;        // FK -> customer
-  Column partkey;        // FK -> part
-  Column suppkey;        // FK -> supplier
-  Column quantity;       // 1..50
-  Column discount;       // 0..10
-  Column extendedprice;  // 1..~6e4
-  Column revenue;        // 1..~1e5
-  Column supplycost;     // 1..~2e4
+  storage::EncodedColumn orderdate;      // FK -> date.datekey (yyyymmdd)
+  storage::EncodedColumn custkey;        // FK -> customer
+  storage::EncodedColumn partkey;        // FK -> part
+  storage::EncodedColumn suppkey;        // FK -> supplier
+  storage::EncodedColumn quantity;       // 1..50
+  storage::EncodedColumn discount;       // 0..10
+  storage::EncodedColumn extendedprice;  // 1..~6e4
+  storage::EncodedColumn revenue;        // 1..~1e5
+  storage::EncodedColumn supplycost;     // 1..~2e4
 
   int64_t rows = 0;
-  /// Bytes of one fact column.
+  /// Bytes of one *plain* fact column; encoded sizes come from the columns
+  /// themselves (EncodedColumn::encoded_bytes).
   int64_t column_bytes() const { return rows * 4; }
 };
 
@@ -92,6 +99,9 @@ struct Database {
   /// matches the full scale factor, and fact-proportional kernel times can
   /// be scaled back up exactly (they are bandwidth-linear in |L|).
   int fact_divisor = 1;
+  /// Fact-column storage encoding this instance was generated with,
+  /// recorded so reports can echo it (values are identical either way).
+  storage::Encoding storage = storage::Encoding::kPlain;
 
   /// Full-scale fact rows this instance stands in for (6M * SF).
   int64_t full_scale_fact_rows() const {

@@ -201,11 +201,29 @@ QueryResult VectorizedCpuEngine::Run(const QuerySpec& spec, RunInfo* info) {
   info->build_ms = build_timer.ElapsedMs();
 
   const AggExpr::Kind agg_kind = pipe.agg.kind;
-  const int32_t* agg_a = pipe.agg.a;
-  const int32_t* agg_b = pipe.agg.b;
-  auto value_at = [agg_a, agg_b, agg_kind](int64_t row) {
-    return query::AggValue(agg_kind, agg_a[row], agg_b[row]);
+
+  // Packed columns that must materialize per vector (probe keys and
+  // aggregate inputs; filters decode in-register inside the fused kernels)
+  // get a scratch slot each, deduplicated by payload pointer so a column
+  // referenced twice shares one slot. Plain columns keep the direct
+  // pointer-plus-base path, bit-identical to the pre-storage-layer code.
+  std::vector<storage::ColumnView> packed_cols;
+  auto slot_for = [&packed_cols](const storage::ColumnView& v) -> int {
+    if (!v.packed()) return -1;
+    for (size_t s = 0; s < packed_cols.size(); ++s) {
+      if (packed_cols[s].words() == v.words()) return static_cast<int>(s);
+    }
+    packed_cols.push_back(v);
+    return static_cast<int>(packed_cols.size()) - 1;
   };
+  std::vector<int> probe_slot(pipe.probes.size());
+  for (size_t p = 0; p < pipe.probes.size(); ++p) {
+    probe_slot[p] = slot_for(pipe.probes[p].fact_keys);
+  }
+  const int agg_a_slot = slot_for(pipe.agg.a);
+  const int agg_b_slot =
+      agg_kind != AggExpr::Kind::kColumn ? slot_for(pipe.agg.b) : -1;
+
   const query::GroupLayout& layout = pipe.layout;
   const bool scalar = layout.scalar();
   const bool sparse = !scalar && layout.cells > kSparseGridCells;
@@ -227,6 +245,8 @@ QueryResult VectorizedCpuEngine::Run(const QuerySpec& spec, RunInfo* info) {
         int32_t sel[kVector];
         int32_t pos[kVector];
         int32_t group[3][kVector];
+        // One kVector slice per distinct packed probe/aggregate column.
+        int32_t packed_scratch[query::kNumFactCols][kVector];
         int64_t sum = 0;
         for (int64_t base = begin; base < end; base += kVector) {
           const int n =
@@ -234,16 +254,50 @@ QueryResult VectorizedCpuEngine::Run(const QuerySpec& spec, RunInfo* info) {
           // Fact predicates: the first fills the selection vector, the rest
           // compact it in place (AVX2 compare + movemask + perm-table
           // selective store under the hood, scalar predication otherwise).
+          // Packed columns run the same stages fused with the in-register
+          // unpack — no decompressed slice ever touches memory.
           bool have_sel = false;
           int m = n;
           for (const query::FilterStage& f : pipe.filters) {
-            if (!have_sel) {
-              m = cpu::SelectRange(f.col + base, n, f.lo, f.hi, sel);
-              have_sel = true;
+            if (!f.col.packed()) {
+              const int32_t* col = f.col.plain_data() + base;
+              if (!have_sel) {
+                m = cpu::SelectRange(col, n, f.lo, f.hi, sel);
+                have_sel = true;
+              } else {
+                m = cpu::RefineRange(col, sel, m, f.lo, f.hi, sel);
+              }
             } else {
-              m = cpu::RefineRange(f.col + base, sel, m, f.lo, f.hi, sel);
+              const uint32_t* words = f.col.words();
+              const int bits = f.col.bits();
+              const int32_t ref = f.col.reference();
+              if (!have_sel) {
+                m = cpu::SelectRangePacked(words, bits, ref, base, n, f.lo,
+                                           f.hi, sel);
+                have_sel = true;
+              } else {
+                m = cpu::RefineRangePacked(words, bits, ref, base, sel, m,
+                                           f.lo, f.hi, sel);
+              }
             }
           }
+          // Decodes a packed column's survivors into its scratch slot and
+          // returns a pointer indexable exactly like a plain column slice
+          // at this vector's base (scatter-unpack keeps sel indexing
+          // valid); plain columns pass through untouched.
+          auto resolve = [&](const storage::ColumnView& v,
+                             int slot) -> const int32_t* {
+            if (slot < 0) return v.plain_data() + base;
+            int32_t* buf = packed_scratch[slot];
+            if (have_sel) {
+              cpu::UnpackAt(v.words(), v.bits(), v.reference(), base, sel, m,
+                            buf);
+            } else {
+              cpu::UnpackRange(v.words(), v.bits(), v.reference(), base, n,
+                               buf);
+            }
+            return buf;
+          };
           // Probe cascade on the selection vector; each stage is a batched
           // lookup — one bounds-masked gather per 8 keys on direct tables,
           // vertical-vectorized hash probing otherwise — whose pos output
@@ -252,10 +306,11 @@ QueryResult VectorizedCpuEngine::Run(const QuerySpec& spec, RunInfo* info) {
           int carried_slots[3];
           for (size_t p = 0; p < pipe.probes.size(); ++p) {
             const query::ProbeStage& probe = pipe.probes[p];
+            const int32_t* keys = resolve(probe.fact_keys, probe_slot[p]);
             int32_t* val_out =
                 probe.group_slot >= 0 ? group[probe.group_slot] : nullptr;
             int32_t* pos_out = carried > 0 ? pos : nullptr;
-            m = cpu::ProbeJoinTable(*tables[p], probe.fact_keys + base,
+            m = cpu::ProbeJoinTable(*tables[p], keys,
                                     have_sel ? sel : nullptr, m, sel, val_out,
                                     pos_out);
             have_sel = true;
@@ -266,11 +321,22 @@ QueryResult VectorizedCpuEngine::Run(const QuerySpec& spec, RunInfo* info) {
               carried_slots[carried++] = probe.group_slot;
             }
           }
+          // Aggregate inputs, resolved against the final selection (packed
+          // columns decode only the surviving rows). For kColumn the b
+          // input is ignored; aliasing it to a keeps AggValue branch-free.
+          const int32_t* va = resolve(pipe.agg.a, agg_a_slot);
+          const int32_t* vb = agg_kind != AggExpr::Kind::kColumn
+                                  ? resolve(pipe.agg.b, agg_b_slot)
+                                  : va;
           if (scalar) {
             if (have_sel) {
-              for (int i = 0; i < m; ++i) sum += value_at(base + sel[i]);
+              for (int i = 0; i < m; ++i) {
+                sum += query::AggValue(agg_kind, va[sel[i]], vb[sel[i]]);
+              }
             } else {
-              for (int i = 0; i < n; ++i) sum += value_at(base + i);
+              for (int i = 0; i < n; ++i) {
+                sum += query::AggValue(agg_kind, va[i], vb[i]);
+              }
             }
           } else if (sparse) {
             SparseGrid& grid = sparse_grids[static_cast<size_t>(t)];
@@ -279,7 +345,8 @@ QueryResult VectorizedCpuEngine::Run(const QuerySpec& spec, RunInfo* info) {
               for (int k = 0; k < layout.num_keys; ++k) {
                 cell = cell * layout.span[k] + (group[k][i] - layout.lo[k]);
               }
-              grid.Add(cell, value_at(base + sel[i]));
+              grid.Add(cell,
+                       query::AggValue(agg_kind, va[sel[i]], vb[sel[i]]));
             }
           } else {
             for (int i = 0; i < m; ++i) {
@@ -287,7 +354,8 @@ QueryResult VectorizedCpuEngine::Run(const QuerySpec& spec, RunInfo* info) {
               for (int k = 0; k < layout.num_keys; ++k) {
                 cell = cell * layout.span[k] + (group[k][i] - layout.lo[k]);
               }
-              agg.Add(t, cell, value_at(base + sel[i]));
+              agg.Add(t, cell,
+                      query::AggValue(agg_kind, va[sel[i]], vb[sel[i]]));
             }
           }
         }

@@ -6,17 +6,21 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdlib>
 #include <iterator>
 #include <map>
 #include <memory>
 #include <string>
 #include <tuple>
 
+#include "common/macros.h"
 #include "engine/query_engine.h"
 #include "engine/registry.h"
 #include "query/parser.h"
+#include "query/ssb_specs.h"
 #include "ssb/datagen.h"
 #include "ssb/queries.h"
+#include "storage/encoded_column.h"
 
 namespace crystal::engine {
 namespace {
@@ -25,8 +29,22 @@ using ssb::QueryId;
 
 // SF1 dimensions, 6k-row fact sample: hash-table domains at full SF1 size,
 // tuple work small enough for tuple-at-a-time reference runs per test.
+// CRYSTAL_STORAGE=packed re-runs the whole matrix over bit-packed fact
+// columns (tests/CMakeLists.txt registers those ctest variants); every
+// engine must produce identical results in either encoding.
 const ssb::Database& ConformanceDb() {
-  static const ssb::Database* db = new ssb::Database(ssb::Generate(1, 1000));
+  static const ssb::Database* db = [] {
+    ssb::DatagenOptions gen;
+    gen.scale_factor = 1;
+    gen.fact_divisor = 1000;
+    const char* storage = std::getenv("CRYSTAL_STORAGE");
+    if (storage != nullptr && storage[0] != '\0') {
+      CRYSTAL_CHECK_MSG(
+          storage::EncodingFromName(storage, &gen.storage.encoding),
+          "CRYSTAL_STORAGE must be 'plain' or 'packed'");
+    }
+    return new ssb::Database(ssb::Generate(gen));
+  }();
   return *db;
 }
 
@@ -82,9 +100,12 @@ TEST_P(EngineConformanceTest, MatchesReference) {
   if (caps.models_transfer) {
     EXPECT_GT(stats.transfer_ms, 0) << name;
     EXPECT_GT(stats.kernel_ms, 0) << name;
+    // Shipped bytes follow the storage encoding: rows*4 per plain column,
+    // ceil(rows*bits/8) per packed column (query::ReferencedFactBytes).
     EXPECT_EQ(stats.fact_bytes_shipped,
-              static_cast<int64_t>(ssb::FactColumnsReferenced(query)) *
-                  ConformanceDb().full_scale_fact_rows() * 4)
+              query::ReferencedFactBytes(
+                  ConformanceDb(), query::SsbSpec(query),
+                  ConformanceDb().full_scale_fact_rows()))
         << name;
   } else {
     EXPECT_EQ(stats.fact_bytes_shipped, 0) << name;

@@ -1,0 +1,417 @@
+// Storage-layer tests: bit-packed encoding round-trips, layout formulas,
+// the streaming ColumnBuilder, the CPU unpack/select kernels against the
+// scalar PackedGet reference (both SIMD dispatch states), and datagen's
+// contract that plain and packed runs generate value-identical databases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/rng.h"
+#include "cpu/vector_ops.h"
+#include "query/query_spec.h"
+#include "ssb/datagen.h"
+#include "storage/encoded_column.h"
+
+namespace crystal::storage {
+namespace {
+
+// ---------------------------------------------------------------------
+// Layout formulas.
+
+TEST(StorageLayoutTest, BitsForSpan) {
+  EXPECT_EQ(BitsForSpan(0), 1);  // never a 0-bit column
+  EXPECT_EQ(BitsForSpan(1), 1);
+  EXPECT_EQ(BitsForSpan(2), 2);
+  EXPECT_EQ(BitsForSpan(3), 2);
+  EXPECT_EQ(BitsForSpan(4), 3);
+  for (int b = 1; b < 32; ++b) {
+    const uint32_t max = (1u << b) - 1u;
+    EXPECT_EQ(BitsForSpan(max), b) << max;
+    EXPECT_EQ(BitsForSpan(max + 1), b + 1) << max + 1;
+  }
+  EXPECT_EQ(BitsForSpan(0xffffffffu), 32);
+}
+
+TEST(StorageLayoutTest, PackedBytesIsCeilRowsBitsOver8) {
+  EXPECT_EQ(PackedBytes(0, 7), 0);
+  EXPECT_EQ(PackedBytes(1, 1), 1);
+  EXPECT_EQ(PackedBytes(8, 1), 1);
+  EXPECT_EQ(PackedBytes(9, 1), 2);
+  EXPECT_EQ(PackedBytes(3, 6), 3);   // 18 bits -> 3 bytes
+  EXPECT_EQ(PackedBytes(5, 13), 9);  // 65 bits -> 9 bytes
+  EXPECT_EQ(PackedBytes(1000, 32), 4000);
+  // The 42-bit q1.x working set: 6M rows at 16+6+4+16 bits = 31.5 MB,
+  // i.e. 5.25 bytes/row — the number the coprocessor ships over PCIe.
+  EXPECT_EQ(PackedBytes(6000000, 16) + PackedBytes(6000000, 6) +
+                PackedBytes(6000000, 4) + PackedBytes(6000000, 16),
+            31500000);
+}
+
+TEST(StorageLayoutTest, PackedWordsHasTailSlack) {
+  // Payload words + 1, so 64-bit window reads at the last row stay in
+  // bounds for every (rows, bits) combination.
+  EXPECT_EQ(PackedWords(0, 9), 1);
+  EXPECT_EQ(PackedWords(1, 1), 2);
+  EXPECT_EQ(PackedWords(32, 1), 2);
+  EXPECT_EQ(PackedWords(33, 1), 3);
+  EXPECT_EQ(PackedWords(8, 32), 9);
+  for (int bits = 1; bits <= 32; ++bits) {
+    for (int64_t rows : {1, 7, 64, 1000}) {
+      const int64_t payload = (rows * bits + 31) / 32;
+      EXPECT_EQ(PackedWords(rows, bits), payload + 1) << rows << "x" << bits;
+    }
+  }
+}
+
+TEST(StorageLayoutTest, EncodingNames) {
+  Encoding e = Encoding::kPacked;
+  EXPECT_TRUE(EncodingFromName("plain", &e));
+  EXPECT_EQ(e, Encoding::kPlain);
+  EXPECT_TRUE(EncodingFromName("packed", &e));
+  EXPECT_EQ(e, Encoding::kPacked);
+  EXPECT_FALSE(EncodingFromName("zstd", &e));
+  EXPECT_FALSE(EncodingFromName("", &e));
+  EXPECT_STREQ(EncodingName(Encoding::kPlain), "plain");
+  EXPECT_STREQ(EncodingName(Encoding::kPacked), "packed");
+}
+
+// ---------------------------------------------------------------------
+// Round-trips.
+
+std::vector<int32_t> RandomValues(Rng* rng, int n, int32_t lo, int32_t hi) {
+  std::vector<int32_t> v(static_cast<size_t>(n));
+  for (int32_t& x : v) x = rng->UniformInt(lo, hi);
+  return v;
+}
+
+TEST(EncodedColumnTest, PackRoundTripsEveryWidthAndTailLength) {
+  Rng rng(1);
+  for (int bits = 1; bits <= 32; ++bits) {
+    // References below, at and above zero; the span forces exactly `bits`.
+    const int32_t reference = bits % 3 == 0 ? -123456 : (bits % 3 == 1 ? 0 : 7);
+    const int64_t span = bits >= 32 ? 0xffffffffll : (1ll << bits) - 1;
+    // n from 1 to a few words' worth, so tails straddle word boundaries at
+    // every phase for every width.
+    for (int n = 1; n <= 70; n += (bits < 8 ? 1 : 7)) {
+      std::vector<int32_t> values(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        values[static_cast<size_t>(i)] = static_cast<int32_t>(
+            reference + static_cast<int64_t>(rng.Next64() % (span + 1)));
+      }
+      // Pin the extremes so Pack's derived layout is exercised at width.
+      values[0] = reference;
+      values[static_cast<size_t>(n - 1)] =
+          static_cast<int32_t>(reference + span);
+
+      const EncodedColumn packed = EncodedColumn::Pack(values.data(), n);
+      ASSERT_EQ(packed.encoding(), Encoding::kPacked);
+      EXPECT_EQ(packed.rows(), n);
+      // At bits=32 `reference + span` wraps int32, so the derived layout
+      // legitimately picks the (negative) wrapped minimum; only narrower
+      // widths pin the exact layout.
+      if (n > 1 && bits < 32) {
+        EXPECT_EQ(packed.bits(), bits) << "n=" << n;
+        EXPECT_EQ(packed.reference(), reference);
+      }
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(packed.Get(i), values[static_cast<size_t>(i)])
+            << "bits=" << bits << " n=" << n << " i=" << i;
+      }
+      EXPECT_EQ(packed.encoded_bytes(), PackedBytes(n, packed.bits()));
+    }
+  }
+}
+
+TEST(EncodedColumnTest, PackWithLayoutRoundTripsExplicitLayouts) {
+  Rng rng(2);
+  for (int bits : {1, 3, 11, 17, 31, 32}) {
+    const int32_t reference = -50;
+    const int64_t span = bits >= 32 ? 0xffffffffll : (1ll << bits) - 1;
+    const int n = 257;
+    std::vector<int32_t> values(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      values[static_cast<size_t>(i)] = static_cast<int32_t>(
+          reference + static_cast<int64_t>(rng.Next64() % (span + 1)));
+    }
+    const EncodedColumn col =
+        EncodedColumn::PackWithLayout(values.data(), n, reference, bits);
+    EXPECT_EQ(col.bits(), bits);
+    EXPECT_EQ(col.reference(), reference);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(col.Get(i), values[static_cast<size_t>(i)]) << i;
+    }
+  }
+}
+
+TEST(EncodedColumnTest, PackEmptyIsEmpty) {
+  const EncodedColumn col = EncodedColumn::Pack(nullptr, 0);
+  EXPECT_EQ(col.encoding(), Encoding::kPacked);
+  EXPECT_EQ(col.rows(), 0);
+  EXPECT_EQ(col.bits(), 1);
+  EXPECT_EQ(col.encoded_bytes(), 0);
+}
+
+TEST(EncodedColumnTest, EncodeDispatchesOnOptions) {
+  Rng rng(3);
+  const std::vector<int32_t> values = RandomValues(&rng, 100, -5, 1000);
+  AlignedVector<int32_t> plain_in(values.begin(), values.end());
+  AlignedVector<int32_t> packed_in(values.begin(), values.end());
+
+  StorageOptions plain_opts;  // default kPlain
+  const EncodedColumn plain =
+      EncodedColumn::Encode(std::move(plain_in), plain_opts);
+  EXPECT_EQ(plain.encoding(), Encoding::kPlain);
+  EXPECT_EQ(plain.bits(), 32);
+  EXPECT_EQ(plain.encoded_bytes(), 100 * 4);
+
+  StorageOptions packed_opts;
+  packed_opts.encoding = Encoding::kPacked;
+  const EncodedColumn packed =
+      EncodedColumn::Encode(std::move(packed_in), packed_opts);
+  EXPECT_EQ(packed.encoding(), Encoding::kPacked);
+  EXPECT_LT(packed.encoded_bytes(), plain.encoded_bytes());
+
+  // Decoded equality across encodings — the relation every engine's
+  // conformance run depends on.
+  EXPECT_TRUE(plain == packed);
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(plain.Get(i), packed.Get(i)) << i;
+    ASSERT_EQ(plain.Get(i), values[static_cast<size_t>(i)]) << i;
+  }
+}
+
+TEST(EncodedColumnTest, DecodedEqualityDetectsDifferences) {
+  const std::vector<int32_t> a = {1, 2, 3};
+  std::vector<int32_t> b = a;
+  b[2] = 4;
+  const EncodedColumn pa = EncodedColumn::Pack(a.data(), 3);
+  const EncodedColumn pb = EncodedColumn::Pack(b.data(), 3);
+  EXPECT_TRUE(pa == pa);
+  EXPECT_TRUE(pa != pb);
+  const EncodedColumn shorter = EncodedColumn::Pack(a.data(), 2);
+  EXPECT_TRUE(pa != shorter);
+}
+
+TEST(EncodedColumnTest, ViewMatchesOwnerForBothEncodings) {
+  Rng rng(4);
+  const std::vector<int32_t> values = RandomValues(&rng, 77, 0, 999);
+  const EncodedColumn packed = EncodedColumn::Pack(values.data(), 77);
+  const ColumnView pv = packed.view();
+  EXPECT_TRUE(pv.packed());
+  EXPECT_EQ(pv.rows(), 77);
+  EXPECT_EQ(pv.bits(), packed.bits());
+  EXPECT_EQ(pv.reference(), packed.reference());
+  EXPECT_EQ(pv.encoded_bytes(), packed.encoded_bytes());
+
+  AlignedVector<int32_t> owned(values.begin(), values.end());
+  const EncodedColumn plain = EncodedColumn::FromPlain(std::move(owned));
+  const ColumnView lv = plain.view();
+  EXPECT_FALSE(lv.packed());
+  EXPECT_EQ(lv.bits(), 32);
+  EXPECT_EQ(lv.plain_data(), plain.data());  // zero-copy
+  for (int64_t i = 0; i < 77; ++i) {
+    ASSERT_EQ(pv.Get(i), values[static_cast<size_t>(i)]) << i;
+    ASSERT_EQ(lv.Get(i), values[static_cast<size_t>(i)]) << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Streaming builder (the datagen write path).
+
+TEST(ColumnBuilderTest, PackedBuilderMatchesPack) {
+  Rng rng(5);
+  const int n = 1000;
+  const int32_t reference = -7;
+  const int bits = 13;
+  std::vector<int32_t> values(static_cast<size_t>(n));
+  for (int32_t& v : values) {
+    v = reference + rng.UniformInt(0, (1 << bits) - 1);
+  }
+
+  ColumnBuilder builder(Encoding::kPacked, n, reference, bits);
+  // Out-of-order single writes: each index exactly once, like the
+  // generator's per-table column loops.
+  for (int i = n - 1; i >= 0; --i) {
+    builder.Set(i, values[static_cast<size_t>(i)]);
+  }
+  const EncodedColumn built = builder.Finish();
+  const EncodedColumn packed =
+      EncodedColumn::PackWithLayout(values.data(), n, reference, bits);
+  EXPECT_EQ(built.bits(), bits);
+  EXPECT_EQ(built.reference(), reference);
+  EXPECT_TRUE(built == packed);
+}
+
+TEST(ColumnBuilderTest, PlainBuilderIgnoresLayout) {
+  ColumnBuilder builder(Encoding::kPlain, 3, /*reference=*/100, /*bits=*/4);
+  builder.Set(0, -1);
+  builder.Set(1, 1 << 20);  // would not fit 4 bits; plain must not care
+  builder.Set(2, 42);
+  const EncodedColumn col = builder.Finish();
+  EXPECT_EQ(col.encoding(), Encoding::kPlain);
+  EXPECT_EQ(col.Get(0), -1);
+  EXPECT_EQ(col.Get(1), 1 << 20);
+  EXPECT_EQ(col.Get(2), 42);
+}
+
+// ---------------------------------------------------------------------
+// CPU packed kernels vs the scalar PackedGet reference, under both SIMD
+// dispatch states. Absolute starts are swept over word-phase offsets so
+// the AVX2 lane-bit arithmetic sees every (start*bits)%32 residue class.
+
+class PackedKernelsTest : public testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    simd_was_enabled_ = cpu::SimdEnabled();
+    if (GetParam() && !cpu::SimdAvailable()) {
+      GTEST_SKIP() << "AVX2 not available on this host";
+    }
+    cpu::SetSimdEnabled(GetParam());
+  }
+  void TearDown() override { cpu::SetSimdEnabled(simd_was_enabled_); }
+
+ private:
+  bool simd_was_enabled_ = true;
+};
+
+TEST_P(PackedKernelsTest, KernelsMatchScalarReference) {
+  Rng rng(6);
+  for (int bits : {1, 4, 6, 11, 16, 17, 24, 31, 32}) {
+    const int32_t reference = bits % 2 == 0 ? -1000 : 19920101;
+    const int64_t span = bits >= 32 ? 0xffffffffll : (1ll << bits) - 1;
+    const int64_t rows = 3000;
+    std::vector<int32_t> values(static_cast<size_t>(rows));
+    for (int32_t& v : values) {
+      v = static_cast<int32_t>(reference +
+                               static_cast<int64_t>(rng.Next64() % (span + 1)));
+    }
+    const EncodedColumn col = EncodedColumn::PackWithLayout(
+        values.data(), rows, reference, bits);
+    const ColumnView view = col.view();
+    const uint32_t* words = view.words();
+
+    // A mid-domain range predicate with real selectivity at every width.
+    const int32_t lo = static_cast<int32_t>(reference + span / 4);
+    const int32_t hi = static_cast<int32_t>(reference + (3 * span) / 4);
+
+    // Unaligned vector starts: 1024-aligned plus odd phases.
+    for (int64_t start : {int64_t{0}, int64_t{1}, int64_t{37}, int64_t{1024},
+                          int64_t{2029}}) {
+      const int n = static_cast<int>(
+          std::min<int64_t>(1024, rows - start));
+
+      // Scalar reference.
+      std::vector<int32_t> want_sel;
+      for (int i = 0; i < n; ++i) {
+        const int32_t v = cpu::PackedGet(words, bits, reference, start + i);
+        ASSERT_EQ(v, values[static_cast<size_t>(start + i)])
+            << "bits=" << bits << " row=" << start + i;
+        if (v >= lo && v <= hi) want_sel.push_back(i);
+      }
+
+      // SelectRangePacked.
+      std::vector<int32_t> sel(static_cast<size_t>(n) + 8);
+      const int got = cpu::SelectRangePacked(words, bits, reference, start, n,
+                                             lo, hi, sel.data());
+      ASSERT_EQ(got, static_cast<int>(want_sel.size()))
+          << "bits=" << bits << " start=" << start;
+      for (int i = 0; i < got; ++i) {
+        ASSERT_EQ(sel[static_cast<size_t>(i)], want_sel[static_cast<size_t>(i)])
+            << "bits=" << bits << " start=" << start << " i=" << i;
+      }
+
+      // RefineRangePacked over a strided selection, in place (the engine
+      // idiom), against a tighter predicate.
+      const int32_t rlo = lo;
+      const int32_t rhi = static_cast<int32_t>(reference + span / 2);
+      std::vector<int32_t> refine(static_cast<size_t>(n) + 8);
+      int m = 0;
+      for (int i = 0; i < n; i += 3) refine[static_cast<size_t>(m++)] = i;
+      std::vector<int32_t> want_refined;
+      for (int i = 0; i < m; ++i) {
+        const int32_t r = refine[static_cast<size_t>(i)];
+        const int32_t v = cpu::PackedGet(words, bits, reference, start + r);
+        if (v >= rlo && v <= rhi) want_refined.push_back(r);
+      }
+      const int kept = cpu::RefineRangePacked(words, bits, reference, start,
+                                              refine.data(), m, rlo, rhi,
+                                              refine.data());
+      ASSERT_EQ(kept, static_cast<int>(want_refined.size()))
+          << "bits=" << bits << " start=" << start;
+      for (int i = 0; i < kept; ++i) {
+        ASSERT_EQ(refine[static_cast<size_t>(i)],
+                  want_refined[static_cast<size_t>(i)])
+            << i;
+      }
+
+      // UnpackRange over the full vector.
+      std::vector<int32_t> out(static_cast<size_t>(n), 0);
+      cpu::UnpackRange(words, bits, reference, start, n, out.data());
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(out[static_cast<size_t>(i)],
+                  values[static_cast<size_t>(start + i)])
+            << "bits=" << bits << " start=" << start << " i=" << i;
+      }
+
+      // UnpackAt: scatter to selected slots only; others stay untouched.
+      constexpr int32_t kSentinel = -2147000000;
+      std::vector<int32_t> scatter(static_cast<size_t>(n), kSentinel);
+      cpu::UnpackAt(words, bits, reference, start, sel.data(), got,
+                    scatter.data());
+      int next_sel = 0;
+      for (int i = 0; i < n; ++i) {
+        if (next_sel < got && sel[static_cast<size_t>(next_sel)] == i) {
+          ASSERT_EQ(scatter[static_cast<size_t>(i)],
+                    values[static_cast<size_t>(start + i)])
+              << i;
+          ++next_sel;
+        } else {
+          ASSERT_EQ(scatter[static_cast<size_t>(i)], kSentinel) << i;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SimdDispatch, PackedKernelsTest, testing::Bool(),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "simd" : "scalar";
+                         });
+
+// ---------------------------------------------------------------------
+// Datagen contract: the storage knob changes layout only. One RNG stream,
+// one draw order, so plain and packed runs are value-identical — the
+// property the whole conformance matrix and the SF=10 streaming build
+// rest on.
+
+TEST(DatagenStorageTest, PackedAndPlainGenerateIdenticalValues) {
+  ssb::DatagenOptions plain_opts;
+  plain_opts.scale_factor = 1;
+  plain_opts.fact_divisor = 2000;  // 3k fact rows: fast but word-straddling
+  ssb::DatagenOptions packed_opts = plain_opts;
+  packed_opts.storage.encoding = Encoding::kPacked;
+
+  const ssb::Database plain = ssb::Generate(plain_opts);
+  const ssb::Database packed = ssb::Generate(packed_opts);
+  ASSERT_EQ(plain.lo.rows, packed.lo.rows);
+  EXPECT_EQ(plain.storage, Encoding::kPlain);
+  EXPECT_EQ(packed.storage, Encoding::kPacked);
+
+  for (int c = 0; c < query::kNumFactCols; ++c) {
+    const query::FactCol fc = static_cast<query::FactCol>(c);
+    const EncodedColumn& p = query::FactColumn(plain, fc);
+    const EncodedColumn& q = query::FactColumn(packed, fc);
+    ASSERT_EQ(p.encoding(), Encoding::kPlain) << query::FactColName(fc);
+    ASSERT_EQ(q.encoding(), Encoding::kPacked) << query::FactColName(fc);
+    // Decoded equality over every row, and a real compression win.
+    EXPECT_TRUE(p == q) << query::FactColName(fc);
+    EXPECT_LT(q.encoded_bytes(), p.encoded_bytes()) << query::FactColName(fc);
+    EXPECT_EQ(q.encoded_bytes(), PackedBytes(q.rows(), q.bits()));
+  }
+}
+
+}  // namespace
+}  // namespace crystal::storage

@@ -237,12 +237,17 @@ bool LoadBench(const std::string& path, BenchFile* out) {
 
 std::string Settings(const BenchFile& f) {
   // Everything that changes the measured work must participate: seed
-  // (different data, different selectivities) and warmup (with the build
+  // (different data, different selectivities), warmup (with the build
   // cache, warmup=0 pays cold dimension builds inside the timed region
-  // while warmup>=1 measures the warm steady state). repeat stays out —
-  // it only sharpens the median, it does not change a run's work.
+  // while warmup>=1 measures the warm steady state), and the fact-storage
+  // encoding (packed scans run different kernels over different bytes — a
+  // packed-vs-plain diff is a diagnostic, never a pass/fail gate). Files
+  // from before the storage layer carry no "storage" key and default to
+  // "plain", which is exactly what they measured. repeat stays out — it
+  // only sharpens the median, it does not change a run's work.
   const JsonValue* simd = f.root.Find("simd");
   return "engine=" + f.root.StringOr("engine", "?") +
+         " storage=" + f.root.StringOr("storage", "plain") +
          " sf=" + std::to_string(
                       static_cast<int>(f.root.NumberOr("scale_factor", -1))) +
          " fact_divisor=" +
