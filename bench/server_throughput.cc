@@ -1,0 +1,321 @@
+// Query-server concurrency harness: drives mixed SSB traffic (the 13
+// canonical specs, rotated so concurrent clients are usually on different
+// queries) against server::QueryServer at a sweep of concurrency levels,
+// plus a sequential-replay baseline (same workload, one query at a time,
+// batching disabled). Writes BENCH_server.json with queries/sec,
+// p50/p95/p99 latency, and the shared-scan accounting (batches formed,
+// scans saved, dedup hits) per level — the throughput counterpart to
+// engine_throughput's single-query latency trajectory; tools/perf_diff
+// understands both schemas (docs/SERVER.md).
+//
+// Each level runs N closed-loop clients (every client submits its next
+// query as soon as its previous one completed). That approximates
+// open-loop arrivals at the service's natural saturation rate: the
+// admission queue always holds co-pending work, which is exactly the
+// regime shared scans are for.
+//
+// Knobs (environment):
+//   CRYSTAL_SSB_SF=N             scale factor           (default 1)
+//   CRYSTAL_SSB_FACT_DIVISOR=N   fact subsampling       (default 1)
+//   CRYSTAL_THREADS=N            scan pool threads, 0=hw (default 0)
+//   CRYSTAL_STORAGE=NAME         fact storage encoding  (plain)
+//   CRYSTAL_SERVER_LEVELS=LIST   concurrency sweep      (1,4,16,64)
+//   CRYSTAL_SERVER_QUERIES=N     queries per level      (208 = 16x13)
+//   CRYSTAL_SERVER_BATCH=N       max shared-scan batch  (16)
+//   CRYSTAL_SERVER_COHORT=N      clients per rotation cohort (4; 1=distinct)
+//   CRYSTAL_SERVER_MORSEL=N      shared-scan morsel rows, 0=engine default
+//   CRYSTAL_BENCH_OUT=FILE       output JSON            (BENCH_server.json)
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "cpu/vector_ops.h"
+#include "query/ssb_specs.h"
+#include "server/query_server.h"
+#include "ssb/datagen.h"
+#include "storage/encoded_column.h"
+
+namespace {
+
+namespace bench = crystal::bench;
+namespace server = crystal::server;
+namespace ssb = crystal::ssb;
+
+using crystal::TablePrinter;
+using crystal::WallTimer;
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(
+      std::max(0.0, p * static_cast<double>(v.size()) - 1e-9));
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// The mixed-traffic stream: client c's i-th query rotates through the 13
+/// canonical specs from a per-cohort offset. Clients in the same cohort
+/// (groups of `cohort`, the CRYSTAL_SERVER_COHORT knob) follow the same
+/// rotation, so co-pending duplicates — the dashboard-fleet regime shared
+/// scans and dedup exist for — grow with concurrency, while distinct
+/// cohorts keep the in-flight set genuinely mixed and the full rotation
+/// covers all 13 queries. cohort=1 is the all-distinct worst case (every
+/// client on its own offset; sharing is limited to scan locality).
+crystal::query::QuerySpec StreamQuery(int client, int i, int cohort) {
+  const int queries = static_cast<int>(ssb::kAllQueries.size());
+  const int idx = (client / std::max(1, cohort) + i) % queries;
+  return crystal::query::SsbSpec(ssb::kAllQueries[static_cast<size_t>(idx)]);
+}
+
+struct LevelResult {
+  int concurrency = 0;
+  int queries = 0;
+  double wall_ms = 0;
+  double qps = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+  int64_t batches = 0;
+  int64_t scans_saved = 0;
+  int64_t dedup_hits = 0;
+  double avg_batch = 0;
+};
+
+/// Runs `total` queries at `concurrency` closed-loop clients against a
+/// fresh server (max_batch = 1 disables sharing: the sequential-replay
+/// baseline). Per-query latencies are client-observed (submit -> result).
+LevelResult RunLevel(const ssb::Database& db, int concurrency, int total,
+                     int max_batch, int threads, int cohort) {
+  server::ServerOptions options;
+  options.max_batch = max_batch;
+  options.max_queue = std::max(256, 4 * concurrency);
+  options.threads = threads;
+  options.morsel_rows = bench::EnvInt("CRYSTAL_SERVER_MORSEL", 0);
+  server::QueryServer qserver(options);
+  qserver.AddDatabase("db", &db);
+
+  const int per_client = std::max(1, total / concurrency);
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(concurrency));
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(concurrency));
+  WallTimer timer;
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&qserver, &latencies, c, per_client, cohort] {
+      auto& mine = latencies[static_cast<size_t>(c)];
+      mine.reserve(static_cast<size_t>(per_client));
+      for (int i = 0; i < per_client; ++i) {
+        const server::QueryOutcome outcome =
+            qserver.ExecuteSync(StreamQuery(c, i, cohort));
+        if (outcome.status == server::QueryOutcome::Status::kOk) {
+          mine.push_back(outcome.wall_ms);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  LevelResult r;
+  r.wall_ms = timer.ElapsedMs();
+  // Outcomes are delivered before a batch's counters are bumped, so the
+  // last client can return while its batch is still booking stats.
+  qserver.Drain();
+  r.concurrency = concurrency;
+  std::vector<double> all;
+  for (const auto& mine : latencies) {
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  r.queries = static_cast<int>(all.size());
+  r.qps = r.wall_ms > 0 ? 1000.0 * r.queries / r.wall_ms : 0;
+  r.p50 = Percentile(all, 0.50);
+  r.p95 = Percentile(all, 0.95);
+  r.p99 = Percentile(all, 0.99);
+  const server::ServerStats stats = qserver.stats();
+  r.batches = stats.batches;
+  r.scans_saved = stats.scans_saved;
+  r.dedup_hits = stats.dedup_hits;
+  r.avg_batch = stats.batches > 0
+                    ? static_cast<double>(stats.completed) /
+                          static_cast<double>(stats.batches)
+                    : 0;
+  return r;
+}
+
+std::vector<int> ParseLevels(const std::string& spec) {
+  std::vector<int> levels;
+  std::string token;
+  for (size_t i = 0; i <= spec.size(); ++i) {
+    if (i == spec.size() || spec[i] == ',') {
+      if (!token.empty() && std::atoi(token.c_str()) > 0) {
+        levels.push_back(std::atoi(token.c_str()));
+      }
+      token.clear();
+    } else if (spec[i] != ' ') {
+      token.push_back(spec[i]);
+    }
+  }
+  return levels;
+}
+
+void WriteLevelJson(std::FILE* f, const LevelResult& r, const char* indent,
+                    double sequential_qps) {
+  std::fprintf(
+      f,
+      "%s{\"concurrency\": %d, \"queries\": %d, \"wall_ms\": %.2f, "
+      "\"qps\": %.2f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+      "\"p99_ms\": %.3f, \"batches\": %lld, \"avg_batch\": %.2f, "
+      "\"scans_saved\": %lld, \"dedup_hits\": %lld, "
+      "\"speedup_vs_sequential\": %.3f}",
+      indent, r.concurrency, r.queries, r.wall_ms, r.qps, r.p50, r.p95,
+      r.p99, static_cast<long long>(r.batches), r.avg_batch,
+      static_cast<long long>(r.scans_saved),
+      static_cast<long long>(r.dedup_hits),
+      sequential_qps > 0 ? r.qps / sequential_qps : 0);
+}
+
+}  // namespace
+
+int main() {
+  const int sf = static_cast<int>(bench::EnvInt("CRYSTAL_SSB_SF", 1));
+  const int fact_divisor =
+      static_cast<int>(bench::EnvInt("CRYSTAL_SSB_FACT_DIVISOR", 1));
+  const int threads =
+      static_cast<int>(bench::EnvInt("CRYSTAL_THREADS", 0));
+  const int total =
+      static_cast<int>(bench::EnvInt("CRYSTAL_SERVER_QUERIES", 208));
+  const int max_batch =
+      static_cast<int>(bench::EnvInt("CRYSTAL_SERVER_BATCH", 16));
+  const int cohort =
+      static_cast<int>(bench::EnvInt("CRYSTAL_SERVER_COHORT", 4));
+  const std::string storage = bench::EnvStr("CRYSTAL_STORAGE", "plain");
+  const std::string levels_spec =
+      bench::EnvStr("CRYSTAL_SERVER_LEVELS", "1,4,16,64");
+  const std::string out_path =
+      bench::EnvStr("CRYSTAL_BENCH_OUT", "BENCH_server.json");
+
+  const std::vector<int> levels = ParseLevels(levels_spec);
+  if (levels.empty()) {
+    std::fprintf(stderr,
+                 "server_throughput: CRYSTAL_SERVER_LEVELS is empty\n");
+    return 1;
+  }
+
+  ssb::DatagenOptions gen;
+  gen.scale_factor = sf;
+  gen.fact_divisor = fact_divisor;
+  if (!crystal::storage::EncodingFromName(storage, &gen.storage.encoding)) {
+    std::fprintf(stderr, "server_throughput: unknown storage '%s'\n",
+                 storage.c_str());
+    return 1;
+  }
+  const ssb::Database db = ssb::Generate(gen);
+
+  bench::PrintHeader(
+      "Server throughput: shared-scan batching at concurrency {" +
+          levels_spec + "}, SSB SF" + std::to_string(sf),
+      "Concurrent-analytics throughput (cf. PAPERS.md shared-scan "
+      "discussion); methodology in docs/SERVER.md",
+      "SIMD: " +
+          std::string(crystal::cpu::SimdEnabled() ? "enabled" : "disabled") +
+          ", storage=" + storage + ", max_batch=" +
+          std::to_string(max_batch) + ", cohort=" + std::to_string(cohort) +
+          ", queries/level=" + std::to_string(total));
+
+  // Warm pass: populate the process-wide BuildCache (and fault in the
+  // fact columns) so every measured level starts from the same warm
+  // steady state a long-running server lives in.
+  {
+    server::ServerOptions options;
+    options.threads = threads;
+    server::QueryServer warm(options);
+    warm.AddDatabase("db", &db);
+    for (ssb::QueryId id : ssb::kAllQueries) {
+      warm.ExecuteSync(crystal::query::SsbSpec(id));
+    }
+  }
+
+  // Sequential replay: the same mixed stream, one query at a time, batch
+  // formation disabled — what the pre-server engine could do for this
+  // workload. The acceptance bar for sharing is qps@16 >= 2x this.
+  const LevelResult sequential = RunLevel(db, 1, total, /*max_batch=*/1,
+                                          threads, cohort);
+  std::printf("sequential replay: %d queries, %.1f qps, p50 %.2f ms\n",
+              sequential.queries, sequential.qps, sequential.p50);
+
+  std::vector<LevelResult> results;
+  TablePrinter t({"clients", "queries", "qps", "speedup", "p50 ms",
+                  "p95 ms", "p99 ms", "avg batch", "scans saved", "dedup"});
+  for (const int level : levels) {
+    results.push_back(RunLevel(db, level, total, max_batch, threads, cohort));
+    const LevelResult& r = results.back();
+    t.AddRow({std::to_string(r.concurrency), std::to_string(r.queries),
+              TablePrinter::Fmt(r.qps, 1),
+              bench::Ratio(r.qps, sequential.qps),
+              TablePrinter::Fmt(r.p50, 2), TablePrinter::Fmt(r.p95, 2),
+              TablePrinter::Fmt(r.p99, 2),
+              TablePrinter::Fmt(r.avg_batch, 1),
+              std::to_string(r.scans_saved),
+              std::to_string(r.dedup_hits)});
+  }
+  t.Print();
+
+  for (const LevelResult& r : results) {
+    if (r.concurrency >= 4) {
+      bench::ShapeCheck(
+          "concurrency " + std::to_string(r.concurrency) +
+              " forms shared scans (scans_saved > 0)",
+          r.scans_saved > 0);
+      bench::ShapeCheck(
+          "concurrency " + std::to_string(r.concurrency) +
+              " throughput beats sequential replay",
+          r.qps > sequential.qps);
+    }
+    if (r.concurrency == 16) {
+      bench::ShapeCheck(
+          "concurrency 16 qps >= 2x sequential replay (acceptance bar)",
+          r.qps >= 2 * sequential.qps);
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "server_throughput: cannot open '%s'\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"server_throughput\",\n");
+  std::fprintf(f, "  \"engine\": \"shared-scan-server\",\n");
+  std::fprintf(f, "  \"scale_factor\": %d,\n", db.scale_factor);
+  std::fprintf(f, "  \"fact_divisor\": %d,\n", db.fact_divisor);
+  std::fprintf(f, "  \"fact_rows\": %lld,\n",
+               static_cast<long long>(db.lo.rows));
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(db.seed));
+  std::fprintf(f, "  \"threads\": %d,\n",
+               threads > 0 ? threads : crystal::ThreadPool::DefaultThreads());
+  std::fprintf(f, "  \"simd\": %s,\n",
+               crystal::cpu::SimdEnabled() ? "true" : "false");
+  std::fprintf(f, "  \"storage\": \"%s\",\n", storage.c_str());
+  std::fprintf(f, "  \"max_batch\": %d,\n", max_batch);
+  std::fprintf(f, "  \"queries_per_level\": %d,\n", total);
+  std::fprintf(f, "  \"mix\": \"ssb13-cohort%d\",\n", cohort);
+  std::fprintf(f, "  \"cohort\": %d,\n", cohort);
+  std::fprintf(f, "  \"sequential\": ");
+  WriteLevelJson(f, sequential, "", 0);
+  std::fprintf(f, ",\n  \"levels\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    WriteLevelJson(f, results[i], "    ", sequential.qps);
+    std::fprintf(f, "%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "server_throughput: error writing '%s'\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("\nBench JSON written to %s\n", out_path.c_str());
+  return 0;
+}

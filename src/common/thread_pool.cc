@@ -2,16 +2,44 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 
 #include "common/macros.h"
 
 namespace crystal {
 
-ThreadPool::ThreadPool(int num_threads) {
-  if (num_threads <= 0) {
-    num_threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (num_threads <= 0) num_threads = 1;
+namespace {
+
+/// Pool whose task the current thread is executing right now; used to turn
+/// the same-pool reentrancy deadlock into a loud failure.
+thread_local const ThreadPool* tls_running_pool = nullptr;
+
+/// Marks the current thread as running a task of `pool` for one scope.
+class RunningPoolScope {
+ public:
+  explicit RunningPoolScope(const ThreadPool* pool)
+      : saved_(tls_running_pool) {
+    tls_running_pool = pool;
   }
+  ~RunningPoolScope() { tls_running_pool = saved_; }
+
+ private:
+  const ThreadPool* saved_;
+};
+
+}  // namespace
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("CRYSTAL_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = DefaultThreads();
   const int workers = num_threads - 1;  // calling thread is partition 0
   pending_.resize(workers);
   has_work_.assign(workers, false);
@@ -33,6 +61,13 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::ParallelFor(
     int64_t n, const std::function<void(int, int64_t, int64_t)>& fn) {
   CRYSTAL_CHECK(n >= 0);
+  CRYSTAL_CHECK_MSG(tls_running_pool != this,
+                    "ParallelFor re-entered from one of this pool's own "
+                    "tasks (would deadlock); nest across distinct pools");
+  // One run at a time: concurrent callers (the query server's scheduler, a
+  // second engine sharing Default()) queue here and each still gets the
+  // full worker complement.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
   const int parts = num_threads();
   const int64_t chunk = (n + parts - 1) / parts;
   {
@@ -52,7 +87,10 @@ void ThreadPool::ParallelFor(
   }
   work_ready_.notify_all();
   // Partition 0 runs inline on the calling thread.
-  fn(0, 0, std::min<int64_t>(n, chunk));
+  {
+    RunningPoolScope scope(this);
+    fn(0, 0, std::min<int64_t>(n, chunk));
+  }
   std::unique_lock<std::mutex> lock(mu_);
   work_done_.wait(lock, [this] { return outstanding_ == 0; });
 }
@@ -89,6 +127,7 @@ void ThreadPool::WorkerLoop(int worker_index) {
       has_work_[worker_index] = false;
     }
     if (task.begin < task.end || task.fn) {
+      RunningPoolScope scope(this);
       task.fn(task.thread_index, task.begin, task.end);
     }
     {

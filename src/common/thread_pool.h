@@ -15,9 +15,17 @@ namespace crystal {
 /// operators in the paper partition their input equally across hardware
 /// threads; ParallelFor reproduces that scheme (static range partitioning,
 /// one contiguous chunk per worker).
+///
+/// Concurrency: ParallelFor / ParallelForMorsels may be called from any
+/// number of threads at once — concurrent runs on one pool serialize (the
+/// workers execute one run at a time), which is what a shared pool wants:
+/// each run still gets every worker. Calling back into the *same* pool from
+/// inside one of its tasks deadlocks by construction and fails loudly
+/// instead; nesting across distinct pools is fine.
 class ThreadPool {
  public:
-  /// num_threads == 0 selects std::thread::hardware_concurrency().
+  /// num_threads == 0 selects DefaultThreads(): the CRYSTAL_THREADS
+  /// environment override when set, else std::thread::hardware_concurrency().
   explicit ThreadPool(int num_threads = 0);
   ~ThreadPool();
 
@@ -43,8 +51,15 @@ class ThreadPool {
   void ParallelForMorsels(int64_t n, int64_t morsel,
                           const std::function<void(int, int64_t, int64_t)>& fn);
 
-  /// Shared default pool sized to the host.
+  /// Shared default pool sized to DefaultThreads() at first use.
   static ThreadPool& Default();
+
+  /// Thread count a size-0 pool resolves to: CRYSTAL_THREADS from the
+  /// environment when set to a positive integer, else
+  /// std::thread::hardware_concurrency() (min 1). Read per call, so tests
+  /// and long-lived processes observe environment changes on the next
+  /// pool they construct (Default() keeps the size it was born with).
+  static int DefaultThreads();
 
  private:
   struct Task {
@@ -57,6 +72,10 @@ class ThreadPool {
   void WorkerLoop(int worker_index);
 
   std::vector<std::thread> workers_;
+  /// Serializes whole runs: held by ParallelFor from dispatch until every
+  /// partition completed, so concurrent callers queue here instead of
+  /// corrupting the per-worker task slots.
+  std::mutex run_mu_;
   std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;

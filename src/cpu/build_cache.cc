@@ -90,26 +90,26 @@ BuildCache& BuildCache::Process() {
 std::shared_ptr<const JoinTable> BuildCache::GetOrBuild(
     std::string_view generation, std::string_view key,
     const std::function<JoinTable()>& build, bool* hit) {
+  const std::string gen_str(generation);
   const std::string key_str(key);
   std::promise<std::shared_ptr<const JoinTable>> promise;
   TableFuture future;
   bool claimed = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (generation_ != generation) {
-      // New database generation: everything cached before it is stale.
-      generation_.assign(generation);
-      tables_.clear();
-    }
-    auto it = tables_.find(key_str);
-    if (it != tables_.end()) {
+    const bool fresh = generations_.find(gen_str) == generations_.end();
+    Generation& gen = generations_[gen_str];
+    gen.last_used = ++tick_;
+    if (fresh) EvictOverCapacityLocked(&gen_str);
+    auto it = gen.tables.find(key_str);
+    if (it != gen.tables.end()) {
       // Hit. The wait below, outside the lock, returns immediately for a
       // ready entry and blocks only on *this key's* in-flight build.
       future = it->second;
     } else {
       claimed = true;
       future = promise.get_future().share();
-      tables_.emplace(key_str, future);
+      gen.tables.emplace(key_str, future);
     }
   }
   if (hit != nullptr) *hit = !claimed;
@@ -121,37 +121,87 @@ std::shared_ptr<const JoinTable> BuildCache::GetOrBuild(
       promise.set_value(std::make_shared<const JoinTable>(build()));
     } catch (...) {
       // Don't leave a poisoned future cached: same-key waiters see the
-      // exception once, later requests rebuild from scratch.
+      // exception once, later requests rebuild from scratch. The
+      // generation (or the entry) may have been evicted meanwhile; erase
+      // only if our own future is still the one cached.
       promise.set_exception(std::current_exception());
       std::lock_guard<std::mutex> lock(mu_);
-      tables_.erase(key_str);
+      auto git = generations_.find(gen_str);
+      if (git != generations_.end()) {
+        auto it = git->second.tables.find(key_str);
+        if (it != git->second.tables.end()) git->second.tables.erase(it);
+      }
       throw;
     }
   }
   return future.get();
 }
 
+void BuildCache::EvictOverCapacityLocked(const std::string* keep) {
+  while (static_cast<int>(generations_.size()) > max_generations_) {
+    auto victim = generations_.end();
+    for (auto it = generations_.begin(); it != generations_.end(); ++it) {
+      if (keep != nullptr && it->first == *keep) continue;
+      if (victim == generations_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == generations_.end()) return;
+    generations_.erase(victim);
+    ++evictions_;
+  }
+}
+
 void BuildCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  generation_.clear();
-  tables_.clear();
+  generations_.clear();
+  tick_ = 0;
+  evictions_ = 0;
 }
 
 int64_t BuildCache::entries() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(tables_.size());
+  int64_t total = 0;
+  for (const auto& [name, gen] : generations_) {
+    total += static_cast<int64_t>(gen.tables.size());
+  }
+  return total;
 }
 
 int64_t BuildCache::bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   int64_t total = 0;
-  for (const auto& [key, future] : tables_) {
-    if (future.wait_for(std::chrono::seconds(0)) ==
-        std::future_status::ready) {
-      total += future.get()->bytes();
+  for (const auto& [name, gen] : generations_) {
+    for (const auto& [key, future] : gen.tables) {
+      if (future.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        total += future.get()->bytes();
+      }
     }
   }
   return total;
+}
+
+int64_t BuildCache::generations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(generations_.size());
+}
+
+int64_t BuildCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+int BuildCache::max_generations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_generations_;
+}
+
+void BuildCache::set_max_generations(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_generations_ = std::max(n, 1);
+  EvictOverCapacityLocked(nullptr);
 }
 
 }  // namespace crystal::cpu

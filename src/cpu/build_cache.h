@@ -88,10 +88,14 @@ inline int ProbeJoinTable(const JoinTable& t, const int32_t* keys,
 /// Keying: `key` is the canonical build-side identity
 /// (query::BuildSideKey — dimension table, payload column, filters);
 /// `generation` tags the database generation (query::GenerationKey — seed
-/// and scale factor, which fully determine dimension content). The cache
-/// holds tables of exactly one generation: a Get under a new generation
-/// drops everything cached for the old one, so stale build sides are
-/// unreachable by construction.
+/// and scale factor, which fully determine dimension content). Entries are
+/// keyed by (generation, key), and whole generations are retained in an
+/// LRU of capacity max_generations(): a server holding several databases
+/// resident (--sf=1 and --sf=10 side by side) keeps each one's build
+/// sides warm, and alternating between resident generations never evicts
+/// — eviction drops only the least-recently-used generation, only when a
+/// *new* generation would exceed capacity, and never touches entries of
+/// any other generation (no cross-generation eviction storms).
 ///
 /// Entries are shared immutable (shared_ptr<const JoinTable>), safe to
 /// probe concurrently from any number of threads and engines; a returned
@@ -118,22 +122,50 @@ class BuildCache {
       std::string_view generation, std::string_view key,
       const std::function<JoinTable()>& build, bool* hit);
 
-  /// Drops every entry (tests; memory pressure). In-flight builds are
-  /// detached (their requesters still get their table); completed tables
-  /// survive for as long as callers hold their pointers.
+  /// Drops every entry of every generation (tests; memory pressure).
+  /// In-flight builds are detached (their requesters still get their
+  /// table); completed tables survive for as long as callers hold their
+  /// pointers.
   void Clear();
 
+  /// Entries across all resident generations.
   int64_t entries() const;
   /// Total bytes held by the completed cached tables (in-flight builds
   /// are not counted — this accessor never blocks).
   int64_t bytes() const;
 
+  /// Resident generation count.
+  int64_t generations() const;
+  /// Generations evicted by the LRU since construction/Clear (tests).
+  int64_t evictions() const;
+
+  int max_generations() const;
+  /// Sets the LRU capacity (clamped to >= 1), evicting least-recently-used
+  /// generations immediately if already over the new bound.
+  void set_max_generations(int n);
+
+  /// Default LRU capacity: enough for a server flipping among a few
+  /// resident databases; build sides are MB-scale, so the bound is about
+  /// predictability, not survival.
+  static constexpr int kDefaultMaxGenerations = 4;
+
  private:
   using TableFuture = std::shared_future<std::shared_ptr<const JoinTable>>;
 
+  struct Generation {
+    std::unordered_map<std::string, TableFuture> tables;
+    uint64_t last_used = 0;  // LRU stamp: ++tick_ on every touch
+  };
+
+  /// Evicts least-recently-used generations (other than `keep`) until at
+  /// most max_generations_ remain. Caller holds mu_.
+  void EvictOverCapacityLocked(const std::string* keep);
+
   mutable std::mutex mu_;
-  std::string generation_;
-  std::unordered_map<std::string, TableFuture> tables_;
+  uint64_t tick_ = 0;
+  int max_generations_ = kDefaultMaxGenerations;
+  int64_t evictions_ = 0;
+  std::unordered_map<std::string, Generation> generations_;
 };
 
 }  // namespace crystal::cpu

@@ -1,0 +1,412 @@
+#include "server/query_server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <string_view>
+
+#include "common/macros.h"
+#include "common/timer.h"
+#include "query/parser.h"
+#include "ssb/fused_query.h"
+#include "ssb/vectorized_cpu_engine.h"
+
+namespace crystal::server {
+
+namespace {
+
+double MsBetween(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+const char* StatusName(QueryOutcome::Status status) {
+  switch (status) {
+    case QueryOutcome::Status::kOk:
+      return "ok";
+    case QueryOutcome::Status::kError:
+      return "error";
+    case QueryOutcome::Status::kTimeout:
+      return "timeout";
+    case QueryOutcome::Status::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+QueryServer::QueryServer(ServerOptions options)
+    : options_(options),
+      pool_(new ThreadPool(options.threads)),
+      morsel_rows_(options.morsel_rows > 0
+                       ? options.morsel_rows
+                       : ssb::VectorizedCpuEngine::kDefaultMorselRows),
+      paused_(options.start_paused) {
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+QueryServer::~QueryServer() {
+  std::deque<Request> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  scheduler_cv_.notify_all();
+  scheduler_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftovers.swap(queue_);
+  }
+  for (Request& request : leftovers) {
+    QueryOutcome outcome;
+    outcome.status = QueryOutcome::Status::kRejected;
+    outcome.error = "server shutting down";
+    outcome.database = request.db_name;
+    Complete(request, std::move(outcome));
+  }
+}
+
+void QueryServer::AddDatabase(std::string name, const ssb::Database* db) {
+  CRYSTAL_CHECK(db != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [existing, ignored] : databases_) {
+    CRYSTAL_CHECK_MSG(existing != name, "duplicate database name");
+  }
+  databases_.emplace_back(std::move(name), db);
+}
+
+const ssb::Database* QueryServer::database(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (databases_.empty()) return nullptr;
+  if (name.empty()) return databases_.front().second;
+  for (const auto& [db_name, db] : databases_) {
+    if (db_name == name) return db;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> QueryServer::database_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(databases_.size());
+  for (const auto& [name, db] : databases_) names.push_back(name);
+  return names;
+}
+
+std::future<QueryOutcome> QueryServer::Submit(query::QuerySpec spec,
+                                              SubmitOptions submit_options,
+                                              Callback on_done) {
+  const Clock::time_point now = Clock::now();
+  Request request;
+  request.spec = std::move(spec);
+  request.db_name = std::move(submit_options.database);
+  request.submitted = now;
+  request.on_done = std::move(on_done);
+  std::future<QueryOutcome> future = request.promise.get_future();
+
+  // Fail fast — invalid specs and bad routes never occupy queue slots, so
+  // the scheduler only ever sees executable work.
+  std::string error;
+  if (!query::Validate(request.spec, &error)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.submitted;
+    }
+    QueryOutcome outcome;
+    outcome.status = QueryOutcome::Status::kError;
+    outcome.error = "invalid query spec: " + error;
+    Complete(request, std::move(outcome));
+    return future;
+  }
+  request.spec_text = query::FormatQuerySpec(request.spec);
+
+  const double timeout_ms = submit_options.timeout_ms < 0
+                                ? options_.default_timeout_ms
+                                : submit_options.timeout_ms;
+  if (timeout_ms > 0) {
+    request.has_deadline = true;
+    request.deadline =
+        now + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double, std::milli>(timeout_ms));
+  }
+
+  bool notify = false;
+  QueryOutcome immediate;
+  bool failed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    request.db = nullptr;
+    if (databases_.empty()) {
+      // fallthrough to unknown-database error below
+    } else if (request.db_name.empty()) {
+      request.db_name = databases_.front().first;
+      request.db = databases_.front().second;
+    } else {
+      for (const auto& [db_name, db] : databases_) {
+        if (db_name == request.db_name) {
+          request.db = db;
+          break;
+        }
+      }
+    }
+    if (request.db == nullptr) {
+      immediate.status = QueryOutcome::Status::kError;
+      immediate.error = "unknown database '" + request.db_name + "'";
+      failed = true;
+    } else if (shutdown_) {
+      immediate.status = QueryOutcome::Status::kRejected;
+      immediate.error = "server shutting down";
+      failed = true;
+    } else if (static_cast<int>(queue_.size()) >= options_.max_queue) {
+      immediate.status = QueryOutcome::Status::kRejected;
+      immediate.error = "admission queue full (max_queue=" +
+                        std::to_string(options_.max_queue) + ")";
+      failed = true;
+    } else {
+      queue_.push_back(std::move(request));
+      notify = true;
+    }
+  }
+  if (failed) {
+    immediate.database = request.db_name;
+    Complete(request, std::move(immediate));
+  }
+  if (notify) scheduler_cv_.notify_all();
+  return future;
+}
+
+QueryOutcome QueryServer::ExecuteSync(query::QuerySpec spec,
+                                      SubmitOptions submit_options) {
+  return Submit(std::move(spec), std::move(submit_options)).get();
+}
+
+void QueryServer::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  scheduler_cv_.notify_all();
+}
+
+void QueryServer::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && !executing_; });
+}
+
+ServerStats QueryServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void QueryServer::SchedulerLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    Clock::time_point batch_start;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      scheduler_cv_.wait(lock, [this] {
+        return shutdown_ || (!paused_ && !queue_.empty());
+      });
+      if (shutdown_) return;
+      // Head of the FIFO decides the batch's database; later same-route
+      // queries join it up to max_batch. Skipped other-database entries
+      // keep their queue position, so the next batch serves them — strict
+      // FIFO progress per route, no starvation across routes.
+      const std::string route = queue_.front().db_name;
+      for (auto it = queue_.begin();
+           it != queue_.end() &&
+           static_cast<int>(batch.size()) < options_.max_batch;) {
+        if (it->db_name == route) {
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      executing_ = true;
+      batch_start = Clock::now();
+    }
+    RunBatch(std::move(batch), batch_start);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      executing_ = false;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void QueryServer::RunBatch(std::vector<Request> batch,
+                           Clock::time_point batch_start) {
+  // Queued-out members whose deadline expired before their batch started
+  // never execute.
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  for (Request& request : batch) {
+    if (request.has_deadline && request.deadline < batch_start) {
+      QueryOutcome outcome;
+      outcome.status = QueryOutcome::Status::kTimeout;
+      outcome.error = "deadline expired while queued";
+      outcome.database = request.db_name;
+      outcome.queue_ms = MsBetween(request.submitted, batch_start);
+      Complete(request, std::move(outcome));
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (live.empty()) return;
+  const ssb::Database& db = *live.front().db;
+
+  // One execution per structurally distinct spec: identical members fan
+  // out from a single evaluation (dedup). The execution's deadline is the
+  // latest member deadline — it is cancelled only when no member could
+  // still use the result.
+  struct Execution {
+    std::unique_ptr<ssb::FusedQuery> fused;
+    std::vector<size_t> members;
+    Clock::time_point deadline;
+    bool has_deadline = true;
+    std::atomic<bool> cancelled{false};
+    std::string build_error;
+  };
+  std::vector<std::unique_ptr<Execution>> executions;
+  for (size_t i = 0; i < live.size(); ++i) {
+    Execution* found = nullptr;
+    for (auto& execution : executions) {
+      if (live[execution->members.front()].spec_text == live[i].spec_text) {
+        found = execution.get();
+        break;
+      }
+    }
+    if (found == nullptr) {
+      executions.push_back(std::make_unique<Execution>());
+      found = executions.back().get();
+    }
+    found->members.push_back(i);
+    if (!live[i].has_deadline) {
+      found->has_deadline = false;
+    } else if (found->has_deadline && found->members.size() == 1) {
+      found->deadline = live[i].deadline;
+    } else if (found->has_deadline) {
+      found->deadline = std::max(found->deadline, live[i].deadline);
+    }
+  }
+
+  // Build phase (shared): every distinct spec lowers and fetches its build
+  // sides from the process-wide cache before the scan starts.
+  ssb::FusedQuery::BuildStats build_total;
+  WallTimer exec_timer;
+  const int threads = pool_->num_threads();
+  bool any_deadline = false;
+  for (auto& execution : executions) {
+    try {
+      ssb::FusedQuery::BuildStats build;
+      execution->fused = std::make_unique<ssb::FusedQuery>(
+          live[execution->members.front()].spec, db, threads, *pool_,
+          /*grid_scratch=*/nullptr, &build);
+      build_total.cache_hits += build.cache_hits;
+      build_total.cache_builds += build.cache_builds;
+    } catch (const std::exception& e) {
+      execution->build_error = e.what();
+    } catch (...) {
+      execution->build_error = "build failed";
+    }
+    if (execution->fused != nullptr && execution->has_deadline) {
+      any_deadline = true;
+    }
+  }
+  build_total.build_ms = exec_timer.ElapsedMs();
+
+  // The shared scan: one morsel pass evaluates every live execution. Per
+  // morsel the member plans run back-to-back, so the morsel's fact
+  // columns are read from memory once and served to the rest of the batch
+  // cache-hot. Deadlines are checked once per morsel claim (a morsel is
+  // the cancellation granularity).
+  pool_->ParallelForMorsels(
+      db.lo.rows, morsel_rows_, [&](int t, int64_t begin, int64_t end) {
+        const Clock::time_point now =
+            any_deadline ? Clock::now() : Clock::time_point();
+        for (auto& execution : executions) {
+          if (execution->fused == nullptr) continue;
+          if (execution->has_deadline) {
+            if (execution->cancelled.load(std::memory_order_relaxed)) {
+              continue;
+            }
+            if (now > execution->deadline) {
+              execution->cancelled.store(true, std::memory_order_relaxed);
+              continue;
+            }
+          }
+          execution->fused->RunMorsel(t, begin, end);
+        }
+      });
+
+  const int live_members = static_cast<int>(live.size());
+  int64_t dedup_hits = 0;
+  for (auto& execution : executions) {
+    QueryOutcome base;
+    base.database = live.front().db_name;
+    base.batch_size = live_members;
+    base.shared_scan = live_members > 1;
+    base.build_ms = build_total.build_ms;
+    base.cache_hits = build_total.cache_hits;
+    base.cache_builds = build_total.cache_builds;
+    if (execution->fused == nullptr) {
+      base.status = QueryOutcome::Status::kError;
+      base.error = "build failed: " + execution->build_error;
+    } else if (execution->cancelled.load(std::memory_order_relaxed)) {
+      base.status = QueryOutcome::Status::kTimeout;
+      base.error = "deadline expired during scan (cancelled between morsels)";
+    } else {
+      base.result = execution->fused->Finish(*pool_);
+    }
+    dedup_hits += static_cast<int64_t>(execution->members.size()) - 1;
+    const double exec_ms = exec_timer.ElapsedMs();
+    for (size_t m = 0; m < execution->members.size(); ++m) {
+      Request& request = live[execution->members[m]];
+      QueryOutcome outcome = base;
+      outcome.queue_ms = MsBetween(request.submitted, batch_start);
+      outcome.exec_ms = exec_ms;
+      outcome.dedup = m > 0;
+      Complete(request, std::move(outcome));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    stats_.scans_saved += live_members - 1;
+    stats_.dedup_hits += dedup_hits;
+    stats_.max_batch_seen =
+        std::max(stats_.max_batch_seen, static_cast<int64_t>(live_members));
+  }
+}
+
+void QueryServer::Complete(Request& request, QueryOutcome outcome) {
+  outcome.wall_ms = MsBetween(request.submitted, Clock::now());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.completed;
+    switch (outcome.status) {
+      case QueryOutcome::Status::kOk:
+        break;
+      case QueryOutcome::Status::kError:
+        ++stats_.errors;
+        break;
+      case QueryOutcome::Status::kTimeout:
+        ++stats_.timeouts;
+        break;
+      case QueryOutcome::Status::kRejected:
+        ++stats_.rejected;
+        break;
+    }
+  }
+  // Fulfill the future before the callback: a callback that blocks (serve
+  // cross-checks against the reference engine) must not delay a client
+  // already waiting on the future.
+  request.promise.set_value(outcome);
+  if (request.on_done) request.on_done(outcome);
+}
+
+}  // namespace crystal::server

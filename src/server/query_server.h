@@ -1,0 +1,203 @@
+#ifndef CRYSTAL_SERVER_QUERY_SERVER_H_
+#define CRYSTAL_SERVER_QUERY_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "query/query_spec.h"
+#include "ssb/queries.h"
+
+namespace crystal::server {
+
+/// Tuning knobs of one QueryServer (docs/SERVER.md).
+struct ServerOptions {
+  /// Most queries fused into one shared scan. Bounds a batch's working
+  /// set (each member carries its own selection/aggregation state) and
+  /// caps how long the next batch waits behind the current one.
+  int max_batch = 16;
+  /// Admission bound: submissions beyond this many queued-but-unstarted
+  /// queries are rejected immediately (kRejected) instead of queued —
+  /// the in-flight window a client sees is max_queue + max_batch.
+  int max_queue = 256;
+  /// Default per-query deadline, measured from submission; <= 0 means
+  /// none. Overridable per query via SubmitOptions::timeout_ms.
+  double default_timeout_ms = 0;
+  /// Scan/build pool size; 0 selects ThreadPool::DefaultThreads()
+  /// (CRYSTAL_THREADS, else the hardware). The server owns its pool.
+  int threads = 0;
+  /// Morsel size for shared scans; 0 selects the engine default.
+  int64_t morsel_rows = 0;
+  /// Tests: hold all batch formation until Resume(), so a known set of
+  /// in-flight queries lands in one deterministic batch.
+  bool start_paused = false;
+};
+
+/// Completion record of one submitted query.
+struct QueryOutcome {
+  enum class Status {
+    kOk,        // result is valid
+    kError,     // invalid spec / unknown database / shutdown-time failure
+    kTimeout,   // deadline expired (before or during execution)
+    kRejected,  // admission queue full, or server shutting down
+  };
+
+  Status status = Status::kOk;
+  std::string error;        // diagnostic; empty iff kOk
+  ssb::QueryResult result;  // valid iff kOk
+  std::string database;     // resident database it was routed to
+
+  double wall_ms = 0;   // submission -> completion
+  double queue_ms = 0;  // submission -> its batch starting
+  double exec_ms = 0;   // its batch's execution wall (build+scan+merge)
+  double build_ms = 0;  // its batch's build-side fetch phase
+  /// Member queries sharing this query's scan (1 = ran alone).
+  int batch_size = 0;
+  bool shared_scan = false;  // batch_size > 1
+  /// True when this query's spec was structurally identical to another
+  /// batch member's and was served from that single execution.
+  bool dedup = false;
+  int64_t cache_hits = 0;    // batch-wide BuildCache hits
+  int64_t cache_builds = 0;  // batch-wide BuildCache builds
+};
+
+const char* StatusName(QueryOutcome::Status status);
+
+/// Monotonic service counters (atomically consistent snapshot via stats()).
+struct ServerStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;  // every outcome, any status
+  int64_t rejected = 0;
+  int64_t timeouts = 0;
+  int64_t errors = 0;
+  int64_t batches = 0;      // shared scans executed
+  int64_t scans_saved = 0;  // sum over batches of (members - 1)
+  int64_t dedup_hits = 0;   // members served from an identical twin
+  int64_t max_batch_seen = 0;
+};
+
+/// Long-running query service with shared-scan batch execution.
+///
+/// Concurrent in-flight queries against the same resident database are
+/// grouped into batches (FIFO by the head-of-queue's database, up to
+/// max_batch members) and one ThreadPool::ParallelForMorsels pass over the
+/// fact table evaluates every member's filter/probe/agg stages per morsel
+/// (ssb::FusedQuery): the morsel's fact columns are read from memory once
+/// and stay cache-hot for the members evaluated back-to-back, so N
+/// co-running queries cost ~1 scan of memory traffic instead of N.
+/// Structurally identical batch members collapse onto one execution
+/// (dedup). Per-query deadlines cancel cleanly between morsels.
+///
+/// One scheduler thread forms and executes batches; Submit is safe from
+/// any number of client threads. Several databases can be resident at
+/// once (AddDatabase); the cpu::BuildCache generation LRU keeps each
+/// one's build sides warm across flips.
+class QueryServer {
+ public:
+  struct SubmitOptions {
+    /// Resident database to run against; empty selects the default (the
+    /// first one added).
+    std::string database;
+    /// Deadline in ms from submission; < 0 inherits the server default,
+    /// 0 means none.
+    double timeout_ms = -1;
+  };
+
+  using Callback = std::function<void(const QueryOutcome&)>;
+
+  explicit QueryServer(ServerOptions options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Registers a resident database. The first registered one is the
+  /// default route. `db` must outlive the server; `name` must be unique.
+  void AddDatabase(std::string name, const ssb::Database* db);
+
+  /// Validates and enqueues `spec`; returns the future outcome. Invalid
+  /// specs, unknown databases, and admission-queue overflow complete
+  /// immediately (kError / kRejected) without queueing. `on_done`, when
+  /// set, runs on the scheduler thread right after the future is
+  /// fulfilled (serve's streaming responses).
+  std::future<QueryOutcome> Submit(query::QuerySpec spec,
+                                   SubmitOptions submit_options,
+                                   Callback on_done = nullptr);
+  std::future<QueryOutcome> Submit(query::QuerySpec spec) {
+    return Submit(std::move(spec), SubmitOptions());
+  }
+
+  /// Submit + wait.
+  QueryOutcome ExecuteSync(query::QuerySpec spec,
+                           SubmitOptions submit_options);
+  QueryOutcome ExecuteSync(query::QuerySpec spec) {
+    return ExecuteSync(std::move(spec), SubmitOptions());
+  }
+
+  /// Releases a start_paused server's scheduler.
+  void Resume();
+
+  /// Blocks until no query is queued or executing. Resume() first if the
+  /// server was started paused.
+  void Drain();
+
+  ServerStats stats() const;
+
+  /// Resolves a resident database ("" = default); nullptr when unknown.
+  const ssb::Database* database(const std::string& name) const;
+  std::vector<std::string> database_names() const;
+
+  const ServerOptions& options() const { return options_; }
+  int threads() const { return pool_->num_threads(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    query::QuerySpec spec;
+    std::string spec_text;  // canonical form; in-batch dedup identity
+    std::string db_name;
+    const ssb::Database* db = nullptr;
+    Clock::time_point submitted;
+    Clock::time_point deadline;  // valid iff has_deadline
+    bool has_deadline = false;
+    std::promise<QueryOutcome> promise;
+    Callback on_done;
+  };
+
+  void SchedulerLoop();
+  void RunBatch(std::vector<Request> batch, Clock::time_point batch_start);
+  /// Fulfills a request (stats + promise + callback). Never called with
+  /// mu_ held.
+  void Complete(Request& request, QueryOutcome outcome);
+
+  const ServerOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  int64_t morsel_rows_;
+
+  mutable std::mutex mu_;
+  std::condition_variable scheduler_cv_;
+  std::condition_variable drain_cv_;
+  std::vector<std::pair<std::string, const ssb::Database*>> databases_;
+  std::deque<Request> queue_;
+  ServerStats stats_;
+  bool paused_ = false;
+  bool executing_ = false;
+  bool shutdown_ = false;
+
+  std::thread scheduler_;
+};
+
+}  // namespace crystal::server
+
+#endif  // CRYSTAL_SERVER_QUERY_SERVER_H_

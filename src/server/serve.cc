@@ -1,0 +1,266 @@
+#include "server/serve.h"
+
+#include <atomic>
+#include <cstdio>
+#include <istream>
+#include <mutex>
+#include <numeric>
+#include <ostream>
+#include <string_view>
+
+#include "common/macros.h"
+#include "query/parser.h"
+#include "query/ssb_specs.h"
+#include "ssb/query_id.h"
+
+namespace crystal::server {
+
+namespace {
+
+int64_t Checksum(const ssb::QueryResult& result) {
+  if (result.group_values.empty()) return result.scalar;
+  return std::accumulate(result.group_values.begin(),
+                         result.group_values.end(), int64_t{0});
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+void AppendMs(std::string* out, double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  out->append(buf);
+}
+
+/// Canonical SSB query name ("q2.1") -> its spec; false otherwise.
+bool CanonicalSpec(std::string_view token, query::QuerySpec* out) {
+  for (ssb::QueryId id : ssb::kAllQueries) {
+    if (ssb::QueryName(id) == token) {
+      *out = query::SsbSpec(id);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One parsed request line: directives consumed, query resolved.
+struct ParsedLine {
+  query::QuerySpec spec;
+  QueryServer::SubmitOptions submit;
+  std::string error;  // non-empty = request is malformed
+
+  bool ok() const { return error.empty(); }
+};
+
+ParsedLine ParseLine(std::string_view line) {
+  ParsedLine parsed;
+  std::string_view rest = Trim(line);
+  // Leading directives: @DATABASE routes, timeout=MS sets the deadline.
+  // They cannot collide with the query: canonical names start with 'q'
+  // and the spec grammar starts with "sum".
+  for (;;) {
+    rest = Trim(rest);
+    const size_t space = rest.find_first_of(" \t");
+    const std::string_view token =
+        space == std::string_view::npos ? rest : rest.substr(0, space);
+    if (!token.empty() && token.front() == '@') {
+      parsed.submit.database = std::string(token.substr(1));
+    } else if (token.rfind("timeout=", 0) == 0) {
+      const std::string value(token.substr(8));
+      char* end = nullptr;
+      const double ms = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || ms < 0) {
+        parsed.error = "bad timeout directive '" + std::string(token) + "'";
+        return parsed;
+      }
+      parsed.submit.timeout_ms = ms;
+    } else {
+      break;
+    }
+    rest = space == std::string_view::npos ? std::string_view()
+                                           : rest.substr(space + 1);
+  }
+  rest = Trim(rest);
+  if (rest.empty()) {
+    parsed.error = "empty request (directives but no query)";
+    return parsed;
+  }
+  if (CanonicalSpec(rest, &parsed.spec)) return parsed;
+  std::string parse_error;
+  if (!query::ParseQuerySpec(rest, &parsed.spec, &parse_error)) {
+    parsed.error = parse_error;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+int Serve(std::istream& in, std::ostream& out,
+          const std::vector<std::pair<std::string, const ssb::Database*>>& dbs,
+          const ServeConfig& config) {
+  CRYSTAL_CHECK_MSG(!dbs.empty(), "Serve needs at least one database");
+  QueryServer server(config.server);
+  for (const auto& [name, db] : dbs) server.AddDatabase(name, db);
+
+  std::mutex out_mu;
+  std::atomic<int64_t> mismatches{0};
+  const auto emit = [&out, &out_mu](const std::string& json) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    out << json << "\n" << std::flush;  // flush: clients read over a pipe
+  };
+
+  std::string line;
+  int64_t id = 0;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    ++id;
+    ParsedLine parsed = ParseLine(trimmed);
+    if (!parsed.ok()) {
+      std::string json = "{\"id\": " + std::to_string(id) +
+                         ", \"status\": \"error\", \"error\": ";
+      AppendJsonString(&json, parsed.error);
+      json += ", \"input\": ";
+      AppendJsonString(&json, trimmed);
+      json += "}";
+      emit(json);
+      continue;
+    }
+    const std::string label =
+        !parsed.spec.name.empty() ? parsed.spec.name
+                                  : "adhoc" + std::to_string(id);
+    parsed.spec.name = label;
+    // The callback runs on the scheduler thread as each query completes;
+    // responses therefore stream in completion order while the reader
+    // keeps submitting, which is what lets consecutive requests pile into
+    // the admission queue and share scans.
+    const query::QuerySpec spec_copy = parsed.spec;
+    server.Submit(
+        parsed.spec, parsed.submit,
+        [&, id, label, spec_copy](const QueryOutcome& outcome) {
+          std::string json = "{\"id\": " + std::to_string(id) +
+                             ", \"query\": ";
+          AppendJsonString(&json, label);
+          json += ", \"database\": ";
+          AppendJsonString(&json, outcome.database);
+          json += ", \"status\": \"";
+          json += StatusName(outcome.status);
+          json += "\"";
+          if (outcome.status != QueryOutcome::Status::kOk) {
+            json += ", \"error\": ";
+            AppendJsonString(&json, outcome.error);
+          } else {
+            json += ", \"checksum\": " + std::to_string(
+                                             Checksum(outcome.result));
+            if (outcome.result.group_values.empty()) {
+              json += ", \"scalar\": " + std::to_string(outcome.result.scalar);
+            } else {
+              json += ", \"groups\": " +
+                      std::to_string(outcome.result.group_values.size());
+              if (static_cast<int>(outcome.result.group_values.size()) <=
+                  config.max_result_rows) {
+                json += ", \"rows\": [";
+                for (size_t g = 0; g < outcome.result.group_values.size();
+                     ++g) {
+                  if (g > 0) json += ", ";
+                  const auto& keys = outcome.result.group_keys[g];
+                  json += "[" + std::to_string(keys[0]) + ", " +
+                          std::to_string(keys[1]) + ", " +
+                          std::to_string(keys[2]) + ", " +
+                          std::to_string(outcome.result.group_values[g]) +
+                          "]";
+                }
+                json += "]";
+              } else {
+                json += ", \"rows_truncated\": true";
+              }
+            }
+            if (config.check) {
+              const ssb::Database* db = nullptr;
+              for (const auto& [name, candidate] : dbs) {
+                if (name == outcome.database) db = candidate;
+              }
+              const bool match =
+                  db != nullptr &&
+                  ssb::RunReference(*db, spec_copy) == outcome.result;
+              if (!match) mismatches.fetch_add(1);
+              json += match ? ", \"match\": true" : ", \"match\": false";
+            }
+          }
+          json += ", \"wall_ms\": ";
+          AppendMs(&json, outcome.wall_ms);
+          json += ", \"queue_ms\": ";
+          AppendMs(&json, outcome.queue_ms);
+          json += ", \"exec_ms\": ";
+          AppendMs(&json, outcome.exec_ms);
+          json += ", \"batch_size\": " + std::to_string(outcome.batch_size);
+          json += outcome.shared_scan ? ", \"shared_scan\": true"
+                                      : ", \"shared_scan\": false";
+          json += outcome.dedup ? ", \"dedup\": true" : "";
+          json += "}";
+          emit(json);
+        });
+  }
+  server.Resume();
+  server.Drain();
+
+  if (config.stats_line) {
+    const ServerStats stats = server.stats();
+    std::string json = "{\"event\": \"server_stats\"";
+    json += ", \"submitted\": " + std::to_string(stats.submitted);
+    json += ", \"completed\": " + std::to_string(stats.completed);
+    json += ", \"rejected\": " + std::to_string(stats.rejected);
+    json += ", \"timeouts\": " + std::to_string(stats.timeouts);
+    json += ", \"errors\": " + std::to_string(stats.errors);
+    json += ", \"batches\": " + std::to_string(stats.batches);
+    json += ", \"scans_saved\": " + std::to_string(stats.scans_saved);
+    json += ", \"dedup_hits\": " + std::to_string(stats.dedup_hits);
+    json += ", \"max_batch\": " + std::to_string(stats.max_batch_seen);
+    json += ", \"threads\": " + std::to_string(server.threads());
+    json += "}";
+    emit(json);
+  }
+  return mismatches.load() > 0 ? 2 : 0;
+}
+
+}  // namespace crystal::server

@@ -1,0 +1,53 @@
+#ifndef CRYSTAL_SERVER_SERVE_H_
+#define CRYSTAL_SERVER_SERVE_H_
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/query_server.h"
+
+namespace crystal::server {
+
+/// Configuration of one Serve() session (crystaldb --serve).
+struct ServeConfig {
+  ServerOptions server;
+  /// Re-run every successful query on the reference interpreter and
+  /// report "match" per response; any mismatch turns the session's exit
+  /// status to 2 (CI smoke; slow — subsample the fact table).
+  bool check = false;
+  /// Group rows inlined into a response ("rows") up to this many; larger
+  /// results report "groups" and "checksum" only, with rows_truncated.
+  int max_result_rows = 1000;
+  /// Emit a final server_stats event line after the input stream ends.
+  bool stats_line = true;
+};
+
+/// Runs the line protocol (docs/SERVER.md) over [in, out] against the
+/// resident databases `dbs` (name -> database; first entry is the default
+/// route) until end of input, then drains and returns the exit status:
+/// 0, or 2 when check found a reference mismatch.
+///
+/// Request lines:  [@DATABASE] [timeout=MS] (QNAME | SPEC)
+///   where QNAME is a canonical SSB query name ("q2.1") and SPEC is the
+///   ad-hoc grammar of query::ParseQuerySpec (docs/QUERIES.md). Blank
+///   lines and lines starting with '#' are ignored.
+/// Responses are JSON objects, one per line, written as each query
+/// completes (completion order, not submission order); "id" ties a
+/// response to its 1-based request number.
+///
+/// Submission is asynchronous: every parsed line is handed to `server`'s
+/// admission queue immediately, so consecutive requests are in flight
+/// together and fuse into shared-scan batches.
+int Serve(std::istream& in, std::ostream& out,
+          const std::vector<std::pair<std::string, const ssb::Database*>>& dbs,
+          const ServeConfig& config);
+
+/// Appends `s` JSON-escaped (quotes included) — shared with the error
+/// JSON the CLI emits for invalid --adhoc specs.
+void AppendJsonString(std::string* out, std::string_view s);
+
+}  // namespace crystal::server
+
+#endif  // CRYSTAL_SERVER_SERVE_H_

@@ -1,0 +1,72 @@
+#ifndef CRYSTAL_SSB_FUSED_QUERY_H_
+#define CRYSTAL_SSB_FUSED_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "query/query_spec.h"
+#include "ssb/queries.h"
+
+namespace crystal::ssb {
+
+/// One query's fused-scan execution state, factored out of the vectorized
+/// CPU engine so a scan can carry any number of queries: construction
+/// lowers the spec (query::LowerToPipeline), fetches every build side from
+/// the process-wide cpu::BuildCache, and sizes per-thread aggregation
+/// state; RunMorsel then evaluates the whole plan — SIMD range predicates,
+/// the ordered join-probe cascade, grouped aggregation — over one morsel
+/// on one thread, vector-at-a-time; Finish merges the per-thread state
+/// into the result.
+///
+/// The single-query engine drives one instance per ParallelForMorsels
+/// pass. The query server's shared scan drives N instances inside *one*
+/// pass — per morsel each member query runs back-to-back while the fact
+/// columns are L2-hot, so N co-running queries cost ~1 scan of memory
+/// traffic instead of N.
+///
+/// Threading contract: RunMorsel(t, ...) may run concurrently for
+/// distinct thread indices t < threads (as ParallelForMorsels provides);
+/// all aggregation state is per-thread. Finish must be called after the
+/// scan's pool joined.
+class FusedQuery {
+ public:
+  /// Build-phase record: build sides served from / added to the
+  /// cpu::BuildCache during construction.
+  struct BuildStats {
+    double build_ms = 0;
+    int64_t cache_hits = 0;
+    int64_t cache_builds = 0;
+  };
+
+  /// Lowers `spec` against `db` (spec must be valid — query::Validate —
+  /// lowering aborts otherwise) and fetches/builds the dimension build
+  /// sides on `build_pool`. `grid_scratch` optionally donates caller-owned
+  /// dense-grid scratch reused across runs (the engine's warm-pages
+  /// optimization); pass nullptr for private scratch. `threads` is the
+  /// scan pool's thread count (sizes the per-thread state).
+  FusedQuery(const query::QuerySpec& spec, const Database& db, int threads,
+             ThreadPool& build_pool,
+             std::vector<std::vector<int64_t>>* grid_scratch = nullptr,
+             BuildStats* stats = nullptr);
+  ~FusedQuery();
+
+  FusedQuery(const FusedQuery&) = delete;
+  FusedQuery& operator=(const FusedQuery&) = delete;
+
+  /// Runs the full plan over fact rows [begin, end) as thread `t`.
+  void RunMorsel(int t, int64_t begin, int64_t end);
+
+  /// Merges per-thread aggregation state (grid merge runs on `pool`) and
+  /// returns the final result. Call once, after the scan completed.
+  QueryResult Finish(ThreadPool& pool);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace crystal::ssb
+
+#endif  // CRYSTAL_SSB_FUSED_QUERY_H_

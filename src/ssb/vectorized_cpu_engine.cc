@@ -1,156 +1,15 @@
 #include "ssb/vectorized_cpu_engine.h"
 
-#include <algorithm>
-#include <array>
 #include <cstdlib>
-#include <memory>
-#include <vector>
 
 #include "common/macros.h"
 #include "common/timer.h"
-#include "cpu/vector_ops.h"
-#include "query/pipeline.h"
+#include "ssb/fused_query.h"
 
 namespace crystal::ssb {
 
-namespace {
-
-constexpr int kVector = 1024;
-
-using query::AggExpr;
-using query::QuerySpec;
-
-// Thread-local dense aggregation grids over engine-owned scratch, merged
-// after the parallel scan. Only layouts up to kSparseGridCells land here
-// (to 2 MB per thread — q2.x's ~31K-cell brand grids, q4.2's ~10K cells);
-// larger layouts take the sparse path below. A grid is lazily zeroed on
-// its thread's first Add of the run (zeroing threads x cells up front is
-// O(threads * cells) serial work), and because the scratch outlives the
-// run, repeated executions pay a memset on reused pages instead of a
-// fresh allocation. Merged with a cell-striped parallel pass.
-class GridAgg {
- public:
-  GridAgg(std::vector<std::vector<int64_t>>* scratch, int threads,
-          int64_t cells)
-      : grids_(*scratch),
-        cells_(cells),
-        touched_(static_cast<size_t>(threads), 0) {
-    if (grids_.size() < static_cast<size_t>(threads)) {
-      grids_.resize(static_cast<size_t>(threads));
-    }
-  }
-
-  void Add(int thread, int64_t cell, int64_t v) {
-    auto& grid = grids_[static_cast<size_t>(thread)];
-    if (!touched_[static_cast<size_t>(thread)]) {
-      grid.assign(static_cast<size_t>(cells_), 0);
-      touched_[static_cast<size_t>(thread)] = 1;
-    }
-    grid[static_cast<size_t>(cell)] += v;
-  }
-
-  /// Merges all touched thread grids into grid 0 (cell-striped across the
-  /// pool) and returns it.
-  const std::vector<int64_t>& Merge(ThreadPool& pool) {
-    if (!touched_[0]) grids_[0].assign(static_cast<size_t>(cells_), 0);
-    pool.ParallelFor(cells_, [&](int, int64_t begin, int64_t end) {
-      for (size_t t = 1; t < touched_.size(); ++t) {
-        if (!touched_[t]) continue;
-        const int64_t* src = grids_[t].data();
-        int64_t* dst = grids_[0].data();
-        for (int64_t i = begin; i < end; ++i) dst[i] += src[i];
-      }
-    });
-    return grids_[0];
-  }
-
- private:
-  std::vector<std::vector<int64_t>>& grids_;
-  int64_t cells_;
-  /// Per-thread first-Add flags for this run; each thread writes only its
-  /// own slot during the scan, Merge reads them after the pool joined.
-  std::vector<uint8_t> touched_;
-};
-
-// Per-thread sparse aggregation table for huge group domains. A dense grid
-// pays memset + merge + final scan over *every* cell each run — q4.3's
-// layout spans ~7.8M cells (62 MB) of which a few hundred are ever touched,
-// so on a memory-bound host the grid traffic dwarfs the actual query. Past
-// kSparseGridCells the engine aggregates into per-thread open-addressing
-// tables keyed by cell id instead; work is then proportional to touched
-// cells, and emission (skip zero sums, Normalize sorts) stays bit-identical
-// to EmitDenseGroups.
-constexpr int64_t kSparseGridCells = int64_t{1} << 18;
-
-class SparseGrid {
- public:
-  static constexpr int64_t kEmpty = -1;  // cell ids are >= 0
-
-  void Add(int64_t cell, int64_t v) {
-    if (2 * (count_ + 1) > static_cast<int64_t>(slots_.size())) Grow();
-    const size_t mask = slots_.size() - 1;
-    size_t s = Hash(cell) & mask;
-    for (;;) {
-      Slot& slot = slots_[s];
-      if (slot.cell == cell) {
-        slot.sum += v;
-        return;
-      }
-      if (slot.cell == kEmpty) {
-        slot.cell = cell;
-        slot.sum = v;
-        ++count_;
-        return;
-      }
-      s = (s + 1) & mask;
-    }
-  }
-
-  /// Folds `other`'s entries into this table.
-  void Absorb(const SparseGrid& other) {
-    for (const Slot& slot : other.slots_) {
-      if (slot.cell != kEmpty) Add(slot.cell, slot.sum);
-    }
-  }
-
-  /// Emits the non-zero sums as result groups (unsorted; the caller's
-  /// Normalize establishes the canonical order, as in RunReference).
-  void Emit(const query::GroupLayout& layout, QueryResult* result) const {
-    for (const Slot& slot : slots_) {
-      if (slot.cell == kEmpty || slot.sum == 0) continue;
-      const std::array<int32_t, 3> keys = layout.KeysFor(slot.cell);
-      result->AddGroup(keys[0], keys[1], keys[2], slot.sum);
-    }
-  }
-
- private:
-  struct Slot {
-    int64_t cell = kEmpty;
-    int64_t sum = 0;
-  };
-
-  static size_t Hash(int64_t cell) {
-    uint64_t h = static_cast<uint64_t>(cell) * 0x9E3779B97F4A7C15ull;
-    return static_cast<size_t>(h ^ (h >> 32));
-  }
-
-  void Grow() {
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(old.empty() ? 1024 : old.size() * 2, Slot{});
-    count_ = 0;
-    for (const Slot& slot : old) {
-      if (slot.cell != kEmpty) Add(slot.cell, slot.sum);
-    }
-  }
-
-  std::vector<Slot> slots_;
-  int64_t count_ = 0;
-};
-
-}  // namespace
-
 VectorizedCpuEngine::VectorizedCpuEngine(const Database& db, ThreadPool& pool)
-    : db_(db), pool_(pool), generation_(query::GenerationKey(db)) {
+    : db_(db), pool_(pool) {
   if (const char* env = std::getenv("CRYSTAL_MORSEL_ROWS")) {
     const long long rows = std::atoll(env);
     if (rows > 0) morsel_rows_ = rows;
@@ -162,77 +21,21 @@ void VectorizedCpuEngine::set_morsel_rows(int64_t rows) {
   morsel_rows_ = rows;
 }
 
-QueryResult VectorizedCpuEngine::Run(const QuerySpec& spec, RunInfo* info) {
+QueryResult VectorizedCpuEngine::Run(const query::QuerySpec& spec,
+                                     RunInfo* info) {
   RunInfo local_info;
   if (info == nullptr) info = &local_info;
   *info = RunInfo();
 
-  // Lowering: the spec resolved to raw column pointers and bound build-side
-  // descriptors once, before any per-row work (also validates the spec).
-  const query::QueryPipeline pipe = query::LowerToPipeline(spec, db_);
-
-  // Build phase: fetch every probe's build side from the process-wide
-  // cache; only combinations never seen for this database generation are
-  // actually built (one parallel filtered pass each).
-  WallTimer build_timer;
-  std::vector<std::shared_ptr<const cpu::JoinTable>> tables;
-  tables.reserve(pipe.probes.size());
-  for (const query::ProbeStage& probe : pipe.probes) {
-    const query::BoundJoin& join =
-        pipe.bound[static_cast<size_t>(probe.join_index)];
-    bool hit = false;
-    tables.push_back(cpu::BuildCache::Process().GetOrBuild(
-        generation_, probe.cache_key,
-        [&join, this] {
-          return cpu::BuildJoinTable(
-              join.keys->data(), join.payload->data(), join.dim_rows,
-              [&join](int64_t i) {
-                return join.RowPasses(static_cast<size_t>(i));
-              },
-              pool_);
-        },
-        &hit));
-    if (hit) {
-      ++info->cache_hits;
-    } else {
-      ++info->cache_builds;
-    }
-  }
-  info->build_ms = build_timer.ElapsedMs();
-
-  const AggExpr::Kind agg_kind = pipe.agg.kind;
-
-  // Packed columns that must materialize per vector (probe keys and
-  // aggregate inputs; filters decode in-register inside the fused kernels)
-  // get a scratch slot each, deduplicated by payload pointer so a column
-  // referenced twice shares one slot. Plain columns keep the direct
-  // pointer-plus-base path, bit-identical to the pre-storage-layer code.
-  std::vector<storage::ColumnView> packed_cols;
-  auto slot_for = [&packed_cols](const storage::ColumnView& v) -> int {
-    if (!v.packed()) return -1;
-    for (size_t s = 0; s < packed_cols.size(); ++s) {
-      if (packed_cols[s].words() == v.words()) return static_cast<int>(s);
-    }
-    packed_cols.push_back(v);
-    return static_cast<int>(packed_cols.size()) - 1;
-  };
-  std::vector<int> probe_slot(pipe.probes.size());
-  for (size_t p = 0; p < pipe.probes.size(); ++p) {
-    probe_slot[p] = slot_for(pipe.probes[p].fact_keys);
-  }
-  const int agg_a_slot = slot_for(pipe.agg.a);
-  const int agg_b_slot =
-      agg_kind != AggExpr::Kind::kColumn ? slot_for(pipe.agg.b) : -1;
-
-  const query::GroupLayout& layout = pipe.layout;
-  const bool scalar = layout.scalar();
-  const bool sparse = !scalar && layout.cells > kSparseGridCells;
-  const int threads = pool_.num_threads();
-
-  std::vector<int64_t> partial(static_cast<size_t>(threads), 0);
-  GridAgg agg(&grid_scratch_, threads, sparse ? 1 : layout.cells);
-  std::vector<SparseGrid> sparse_grids(
-      sparse ? static_cast<size_t>(threads) : 0);
+  // All execution state lives in FusedQuery (ssb/fused_query.h): lowering,
+  // build-side fetch from the process-wide cache, per-thread aggregation.
+  // This engine is the single-query driver: one instance, one morsel pass.
+  FusedQuery::BuildStats build;
+  FusedQuery fused(spec, db_, pool_.num_threads(), pool_, &grid_scratch_,
+                   &build);
+  info->build_ms = build.build_ms;
+  info->cache_hits = build.cache_hits;
+  info->cache_builds = build.cache_builds;
 
   // Fused morsel scan: every morsel runs the whole plan — predicates,
   // probe cascade, aggregation — vector-at-a-time in one pass while its
@@ -240,140 +43,11 @@ QueryResult VectorizedCpuEngine::Run(const QuerySpec& spec, RunInfo* info) {
   // claimed dynamically, so a thread stalled on a cold fact slice never
   // holds back the others.
   WallTimer probe_timer;
-  pool_.ParallelForMorsels(
-      db_.lo.rows, morsel_rows_, [&](int t, int64_t begin, int64_t end) {
-        int32_t sel[kVector];
-        int32_t pos[kVector];
-        int32_t group[3][kVector];
-        // One kVector slice per distinct packed probe/aggregate column.
-        int32_t packed_scratch[query::kNumFactCols][kVector];
-        int64_t sum = 0;
-        for (int64_t base = begin; base < end; base += kVector) {
-          const int n =
-              static_cast<int>(std::min<int64_t>(kVector, end - base));
-          // Fact predicates: the first fills the selection vector, the rest
-          // compact it in place (AVX2 compare + movemask + perm-table
-          // selective store under the hood, scalar predication otherwise).
-          // Packed columns run the same stages fused with the in-register
-          // unpack — no decompressed slice ever touches memory.
-          bool have_sel = false;
-          int m = n;
-          for (const query::FilterStage& f : pipe.filters) {
-            if (!f.col.packed()) {
-              const int32_t* col = f.col.plain_data() + base;
-              if (!have_sel) {
-                m = cpu::SelectRange(col, n, f.lo, f.hi, sel);
-                have_sel = true;
-              } else {
-                m = cpu::RefineRange(col, sel, m, f.lo, f.hi, sel);
-              }
-            } else {
-              const uint32_t* words = f.col.words();
-              const int bits = f.col.bits();
-              const int32_t ref = f.col.reference();
-              if (!have_sel) {
-                m = cpu::SelectRangePacked(words, bits, ref, base, n, f.lo,
-                                           f.hi, sel);
-                have_sel = true;
-              } else {
-                m = cpu::RefineRangePacked(words, bits, ref, base, sel, m,
-                                           f.lo, f.hi, sel);
-              }
-            }
-          }
-          // Decodes a packed column's survivors into its scratch slot and
-          // returns a pointer indexable exactly like a plain column slice
-          // at this vector's base (scatter-unpack keeps sel indexing
-          // valid); plain columns pass through untouched.
-          auto resolve = [&](const storage::ColumnView& v,
-                             int slot) -> const int32_t* {
-            if (slot < 0) return v.plain_data() + base;
-            int32_t* buf = packed_scratch[slot];
-            if (have_sel) {
-              cpu::UnpackAt(v.words(), v.bits(), v.reference(), base, sel, m,
-                            buf);
-            } else {
-              cpu::UnpackRange(v.words(), v.bits(), v.reference(), base, n,
-                               buf);
-            }
-            return buf;
-          };
-          // Probe cascade on the selection vector; each stage is a batched
-          // lookup — one bounds-masked gather per 8 keys on direct tables,
-          // vertical-vectorized hash probing otherwise — whose pos output
-          // compacts the group keys carried from earlier stages.
-          int carried = 0;
-          int carried_slots[3];
-          for (size_t p = 0; p < pipe.probes.size(); ++p) {
-            const query::ProbeStage& probe = pipe.probes[p];
-            const int32_t* keys = resolve(probe.fact_keys, probe_slot[p]);
-            int32_t* val_out =
-                probe.group_slot >= 0 ? group[probe.group_slot] : nullptr;
-            int32_t* pos_out = carried > 0 ? pos : nullptr;
-            m = cpu::ProbeJoinTable(*tables[p], keys,
-                                    have_sel ? sel : nullptr, m, sel, val_out,
-                                    pos_out);
-            have_sel = true;
-            for (int c = 0; c < carried && pos_out != nullptr; ++c) {
-              cpu::CompactInPlace(group[carried_slots[c]], pos, m);
-            }
-            if (probe.group_slot >= 0) {
-              carried_slots[carried++] = probe.group_slot;
-            }
-          }
-          // Aggregate inputs, resolved against the final selection (packed
-          // columns decode only the surviving rows). For kColumn the b
-          // input is ignored; aliasing it to a keeps AggValue branch-free.
-          const int32_t* va = resolve(pipe.agg.a, agg_a_slot);
-          const int32_t* vb = agg_kind != AggExpr::Kind::kColumn
-                                  ? resolve(pipe.agg.b, agg_b_slot)
-                                  : va;
-          if (scalar) {
-            if (have_sel) {
-              for (int i = 0; i < m; ++i) {
-                sum += query::AggValue(agg_kind, va[sel[i]], vb[sel[i]]);
-              }
-            } else {
-              for (int i = 0; i < n; ++i) {
-                sum += query::AggValue(agg_kind, va[i], vb[i]);
-              }
-            }
-          } else if (sparse) {
-            SparseGrid& grid = sparse_grids[static_cast<size_t>(t)];
-            for (int i = 0; i < m; ++i) {
-              int64_t cell = 0;
-              for (int k = 0; k < layout.num_keys; ++k) {
-                cell = cell * layout.span[k] + (group[k][i] - layout.lo[k]);
-              }
-              grid.Add(cell,
-                       query::AggValue(agg_kind, va[sel[i]], vb[sel[i]]));
-            }
-          } else {
-            for (int i = 0; i < m; ++i) {
-              int64_t cell = 0;
-              for (int k = 0; k < layout.num_keys; ++k) {
-                cell = cell * layout.span[k] + (group[k][i] - layout.lo[k]);
-              }
-              agg.Add(t, cell,
-                      query::AggValue(agg_kind, va[sel[i]], vb[sel[i]]));
-            }
-          }
-        }
-        partial[static_cast<size_t>(t)] += sum;
-      });
-
-  QueryResult r;
-  if (scalar) {
-    for (int64_t s : partial) r.scalar += s;
-  } else if (sparse) {
-    for (size_t t = 1; t < sparse_grids.size(); ++t) {
-      sparse_grids[0].Absorb(sparse_grids[t]);
-    }
-    sparse_grids[0].Emit(layout, &r);
-    r.Normalize();
-  } else {
-    EmitDenseGroups(layout, agg.Merge(pool_).data(), &r);
-  }
+  pool_.ParallelForMorsels(db_.lo.rows, morsel_rows_,
+                           [&](int t, int64_t begin, int64_t end) {
+                             fused.RunMorsel(t, begin, end);
+                           });
+  QueryResult r = fused.Finish(pool_);
   info->probe_ms = probe_timer.ElapsedMs();
   return r;
 }

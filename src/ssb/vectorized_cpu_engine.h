@@ -20,6 +20,11 @@ namespace crystal::ssb {
 /// keys stay register/L1-resident. Each fact byte is touched exactly once;
 /// there is no inter-operator column traffic.
 ///
+/// The per-morsel plan evaluation itself lives in ssb::FusedQuery
+/// (lowering, build-side fetch, per-thread aggregation state) so the query
+/// server's shared scans run the identical kernels; this class is the
+/// single-query driver around it.
+///
 /// Build sides come from the process-wide cpu::BuildCache: dimension
 /// tables (direct-address when the key domain is compact — all SSB
 /// dimensions — hash otherwise) are built once per database generation and
@@ -59,8 +64,6 @@ class VectorizedCpuEngine {
   const Database& db_;
   ThreadPool& pool_;
   int64_t morsel_rows_ = kDefaultMorselRows;
-  /// Build-cache generation tag of db_, computed once.
-  std::string generation_;
   /// Per-thread dense aggregation grids (layouts up to 2^18 cells; larger
   /// ones aggregate sparsely), reused across runs so repeated executions
   /// pay a memset on warm pages instead of a fresh allocation per query.

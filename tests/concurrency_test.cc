@@ -1,0 +1,157 @@
+// Concurrent-execution safety suite. The vectorized CPU engine and its
+// surroundings were born single-caller; the query server makes them
+// multi-tenant: many client threads, one shared ThreadPool, one
+// process-wide BuildCache. These tests drive exactly those sharing points
+// from real std::threads — under TSan/ASan they are the data-race canary
+// for the server subsystem; even without sanitizers they verify results
+// stay bit-identical under contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "cpu/build_cache.h"
+#include "query/ssb_specs.h"
+#include "server/query_server.h"
+#include "ssb/datagen.h"
+#include "ssb/queries.h"
+#include "ssb/query_id.h"
+#include "ssb/vectorized_cpu_engine.h"
+
+namespace crystal {
+namespace {
+
+const ssb::Database& TestDb() {
+  static const ssb::Database* db = new ssb::Database(ssb::Generate(1, 200));
+  return *db;
+}
+
+TEST(ThreadPoolConcurrencyTest, ConcurrentParallelForCallsSerialize) {
+  // One pool, many outside callers: whole runs serialize internally, and
+  // every caller's work executes exactly once with correct indices.
+  ThreadPool pool(2);
+  constexpr int kCallers = 8;
+  constexpr int64_t kItems = 10'000;
+  std::vector<std::atomic<int64_t>> sums(kCallers);
+  for (auto& s : sums) s.store(0);
+
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      for (int round = 0; round < 4; ++round) {
+        std::vector<int64_t> partial(
+            static_cast<size_t>(pool.num_threads()), 0);
+        pool.ParallelFor(kItems, [&partial](int t, int64_t b, int64_t e) {
+          for (int64_t i = b; i < e; ++i) {
+            partial[static_cast<size_t>(t)] += i;
+          }
+        });
+        int64_t total = 0;
+        for (const int64_t p : partial) total += p;
+        sums[static_cast<size_t>(c)].fetch_add(total);
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  const int64_t want = 4 * (kItems * (kItems - 1) / 2);
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[static_cast<size_t>(c)].load(), want) << "caller " << c;
+  }
+}
+
+TEST(ThreadPoolConcurrencyTest, CrystalThreadsEnvOverridesDefault) {
+  const char* saved = std::getenv("CRYSTAL_THREADS");
+  const std::string saved_value = saved == nullptr ? "" : saved;
+  ::setenv("CRYSTAL_THREADS", "3", /*overwrite=*/1);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 3);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 3);
+  ::setenv("CRYSTAL_THREADS", "garbage", 1);  // non-numeric: hardware size
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+  if (saved == nullptr) {
+    ::unsetenv("CRYSTAL_THREADS");
+  } else {
+    ::setenv("CRYSTAL_THREADS", saved_value.c_str(), 1);
+  }
+}
+
+TEST(EngineConcurrencyTest, EnginesOnSharedPoolAndCacheStayExact) {
+  // The server's execution shape minus the server: several engines (one
+  // per client thread) over one database, sharing the process BuildCache
+  // and one ThreadPool. Every result must equal the sequential reference
+  // no matter how the threads interleave builds, cache hits, and scans.
+  cpu::BuildCache::Process().Clear();
+  ThreadPool pool(2);
+  const std::vector<ssb::QueryId> mix = {
+      ssb::QueryId::kQ11, ssb::QueryId::kQ21, ssb::QueryId::kQ32,
+      ssb::QueryId::kQ41, ssb::QueryId::kQ43};
+  std::vector<ssb::QueryResult> want;
+  want.reserve(mix.size());
+  for (const ssb::QueryId id : mix) {
+    want.push_back(ssb::RunReference(TestDb(), id));
+  }
+
+  constexpr int kClients = 6;
+  std::atomic<int> divergences{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ssb::VectorizedCpuEngine engine(TestDb(), pool);
+      for (size_t round = 0; round < 2 * mix.size(); ++round) {
+        const size_t q = (static_cast<size_t>(c) + round) % mix.size();
+        if (!(engine.Run(query::SsbSpec(mix[q])) == want[q])) {
+          divergences.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(divergences.load(), 0);
+}
+
+TEST(ServerConcurrencyTest, ConcurrentClientsAllGetExactResults) {
+  cpu::BuildCache::Process().Clear();
+  server::ServerOptions options;
+  options.threads = 2;
+  options.max_batch = 8;
+  server::QueryServer qserver(options);
+  qserver.AddDatabase("db", &TestDb());
+
+  std::vector<ssb::QueryResult> want;
+  for (const ssb::QueryId id : ssb::kAllQueries) {
+    want.push_back(ssb::RunReference(TestDb(), id));
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const size_t q = static_cast<size_t>(c + i * 3) %
+                         ssb::kAllQueries.size();
+        const server::QueryOutcome outcome =
+            qserver.ExecuteSync(query::SsbSpec(ssb::kAllQueries[q]));
+        if (outcome.status != server::QueryOutcome::Status::kOk ||
+            !(outcome.result == want[q])) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const server::ServerStats stats = qserver.stats();
+  EXPECT_EQ(stats.completed, kClients * kPerClient);
+  EXPECT_EQ(stats.errors, 0);
+  EXPECT_EQ(stats.timeouts, 0);
+  // With 8 clients in flight, shared scans must actually have formed.
+  EXPECT_GT(stats.scans_saved, 0);
+}
+
+}  // namespace
+}  // namespace crystal

@@ -217,7 +217,7 @@ TEST(BuildCacheTest, FilterVariantsDoNotCollide) {
   EXPECT_EQ(again.cache_hits, 3);
 }
 
-TEST(BuildCacheTest, GenerationChangeInvalidates) {
+TEST(BuildCacheTest, GenerationsAreResidentSideBySide) {
   DispatchGuard guard;
   cpu::BuildCache::Process().Clear();
   ThreadPool pool(2);
@@ -237,11 +237,58 @@ TEST(BuildCacheTest, GenerationChangeInvalidates) {
   EXPECT_EQ(b1.cache_builds, 3);
   EXPECT_EQ(b1.cache_hits, 0);
 
-  // The cache holds one generation: switching back rebuilds again.
+  // Both generations stay resident (the cache is a small generation LRU,
+  // docs/SERVER.md): switching back hits everything warm, and the other
+  // generation's entries were not disturbed.
   VectorizedCpuEngine::RunInfo a2;
   EXPECT_TRUE(engine_a.Run(spec, &a2) == RunReference(TestDb(), spec));
-  EXPECT_EQ(a2.cache_builds, 3);
-  EXPECT_EQ(a2.cache_hits, 0);
+  EXPECT_EQ(a2.cache_builds, 0);
+  EXPECT_EQ(a2.cache_hits, 3);
+  VectorizedCpuEngine::RunInfo b2;
+  EXPECT_TRUE(engine_b.Run(spec, &b2) == RunReference(other, spec));
+  EXPECT_EQ(b2.cache_builds, 0);
+  EXPECT_EQ(b2.cache_hits, 3);
+  EXPECT_EQ(cpu::BuildCache::Process().generations(), 2);
+}
+
+TEST(BuildCacheTest, GenerationCapacityEvictsLeastRecentlyUsed) {
+  DispatchGuard guard;
+  cpu::BuildCache& cache = cpu::BuildCache::Process();
+  cache.Clear();
+  const int saved_capacity = cache.max_generations();
+  cache.set_max_generations(2);
+  ThreadPool pool(2);
+  const Database db_b = Generate(1, 1000, /*seed=*/111);
+  const Database db_c = Generate(1, 1000, /*seed=*/222);
+  const query::QuerySpec spec = query::SsbSpec(QueryId::kQ31);
+
+  VectorizedCpuEngine engine_a(TestDb(), pool);
+  VectorizedCpuEngine engine_b(db_b, pool);
+  VectorizedCpuEngine engine_c(db_c, pool);
+
+  VectorizedCpuEngine::RunInfo info;
+  engine_a.Run(spec, &info);
+  engine_b.Run(spec, &info);
+  EXPECT_EQ(cache.generations(), 2);
+  EXPECT_EQ(cache.evictions(), 0);
+
+  // Touch A so B becomes the LRU victim, then admit C: only B may go.
+  engine_a.Run(spec, &info);
+  EXPECT_EQ(info.cache_hits, 3);
+  EXPECT_TRUE(engine_c.Run(spec, &info) == RunReference(db_c, spec));
+  EXPECT_EQ(cache.generations(), 2);
+  EXPECT_EQ(cache.evictions(), 1);
+
+  // A survived the admission of C (no eviction storm of the whole cache):
+  // it still hits warm. B was evicted and rebuilds.
+  engine_a.Run(spec, &info);
+  EXPECT_EQ(info.cache_builds, 0);
+  EXPECT_EQ(info.cache_hits, 3);
+  engine_b.Run(spec, &info);
+  EXPECT_EQ(info.cache_builds, 3);
+
+  cache.set_max_generations(saved_capacity);
+  cache.Clear();
 }
 
 TEST(BuildCacheTest, PayloadVariantsDoNotCollide) {

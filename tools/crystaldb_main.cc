@@ -4,19 +4,29 @@
 // results, and prints a JSON report with per-query wall times and the
 // timing model's predicted kernel times.
 //
+// With --serve it instead becomes a long-running query service: line-
+// delimited QuerySpec text on stdin, JSON results on stdout, concurrent
+// in-flight queries fused into shared scans (docs/SERVER.md).
+//
 //   crystaldb --engines=all --queries=all --sf=1
 //   crystaldb --engines=vectorized-cpu,coprocessor --queries=q2.1,q4
 //             --sf=20 --fact-divisor=20 --out=report.json
+//   crystaldb --serve --sf=1,10 --serve-check
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "driver/driver.h"
 #include "engine/registry.h"
 #include "query/parser.h"
 #include "query/ssb_specs.h"
+#include "server/serve.h"
+#include "ssb/datagen.h"
+#include "storage/encoded_column.h"
 
 namespace {
 
@@ -34,7 +44,9 @@ Flags:
                      supplier on suppkey filter s_region = 2". Repeatable;
                      runs after --queries (alone when --queries is absent)
                      and is cross-checked like any canonical query.
-  --sf=N             SSB scale factor (default 1).
+  --sf=N             SSB scale factor (default 1). With --serve a comma
+                     list (--sf=1,10) loads several resident databases,
+                     addressable per request as @sf1, @sf10.
   --fact-divisor=N   Fact-table subsampling divisor: the fact table holds
                      6M*SF/N rows while dimensions keep full SF cardinality;
                      predicted times are scaled back exactly (default 1).
@@ -66,9 +78,26 @@ Flags:
                      columns, full spec in the ad-hoc grammar) and exit.
   --help             Show this message.
 
-Exit status: 0 on success with matching results, 1 on flag errors, 2 when
-engine results disagree (any engine differing from any other, or from the
-tuple-at-a-time reference unless --no-check) — so the driver doubles as an
+Server mode (docs/SERVER.md):
+  --serve            Run as a long-running query service on stdin/stdout:
+                     one request per line — a canonical query name (q2.1)
+                     or an ad-hoc spec, optionally prefixed with @DATABASE
+                     and/or timeout=MS — one JSON response per line, in
+                     completion order. Concurrent in-flight queries over
+                     one database fuse into shared scans. Honors --sf,
+                     --fact-divisor, --seed, --storage, --threads.
+  --serve-batch=N    Max queries fused into one shared scan (default 16).
+  --serve-queue=N    Admission queue bound; beyond it requests are
+                     rejected, not queued (default 256).
+  --serve-timeout=MS Default per-query deadline in ms; 0 = none (default).
+  --serve-rows=N     Max group rows inlined per response (default 1000).
+  --serve-check      Cross-check every result against the reference
+                     interpreter; any mismatch exits 2.
+
+Exit status: 0 on success with matching results, 1 on flag errors or
+invalid --adhoc specs, 2 when engine results disagree (any engine differing
+from any other, or from the tuple-at-a-time reference unless --no-check; in
+server mode: any --serve-check mismatch) — so the driver doubles as an
 integration check in scripts and CI.
 )";
 
@@ -124,10 +153,51 @@ int ListEngines() {
 
 }  // namespace
 
+namespace {
+
+/// Parses "1" or "1,10" into positive scale factors.
+bool ParseSfList(const char* value, std::vector<int>* out) {
+  out->clear();
+  std::string token;
+  for (const char* p = value;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (token.empty()) return false;
+      const int sf = std::atoi(token.c_str());
+      if (sf < 1) return false;
+      out->push_back(sf);
+      token.clear();
+      if (*p == '\0') break;
+    } else {
+      token.push_back(*p);
+    }
+  }
+  return !out->empty();
+}
+
+/// Server-style error JSON for one invalid --adhoc spec, matching the
+/// shape Serve() emits for a malformed request line (docs/SERVER.md).
+void PrintAdhocErrorJson(int index, const std::string& input,
+                         const std::string& error) {
+  std::string json = "{\"query\": \"adhoc" + std::to_string(index) +
+                     "\", \"status\": \"error\", \"error\": ";
+  crystal::server::AppendJsonString(&json, error);
+  json += ", \"input\": ";
+  crystal::server::AppendJsonString(&json, input);
+  json += "}";
+  std::printf("%s\n", json.c_str());
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   crystal::driver::Options options;
   std::string output_path;
   bool queries_given = false;
+  bool serve = false;
+  crystal::server::ServeConfig serve_config;
+  std::vector<int> scale_factors{1};
+  int adhoc_count = 0;
+  int adhoc_invalid = 0;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -155,14 +225,44 @@ int main(int argc, char** argv) {
       queries_given = true;
     } else if (ParseFlag(arg, "--adhoc", &value)) {
       if (value == nullptr) return FlagError("--adhoc needs a spec");
+      // Batch semantics: every spec is validated and every failure
+      // diagnosed (server-style error JSON + stderr), then exit 1 below —
+      // a bad spec in a list is never silently skipped.
+      ++adhoc_count;
       crystal::query::QuerySpec spec;
-      if (!crystal::query::ParseQuerySpec(value, &spec, &error))
-        return FlagError("--adhoc: " + error);
+      if (!crystal::query::ParseQuerySpec(value, &spec, &error)) {
+        ++adhoc_invalid;
+        PrintAdhocErrorJson(adhoc_count, value, error);
+        std::fprintf(stderr, "crystaldb: --adhoc spec %d is invalid: %s\n",
+                     adhoc_count, error.c_str());
+        continue;
+      }
       options.adhoc.push_back(std::move(spec));
     } else if (ParseFlag(arg, "--sf", &value)) {
+      if (value == nullptr || !ParseSfList(value, &scale_factors))
+        return FlagError("--sf needs a positive integer (or a comma list "
+                         "with --serve)");
+      options.scale_factor = scale_factors.front();
+    } else if (ParseFlag(arg, "--serve", &value)) {
+      serve = true;
+    } else if (ParseFlag(arg, "--serve-batch", &value)) {
       if (value == nullptr || std::atoi(value) < 1)
-        return FlagError("--sf needs a positive integer");
-      options.scale_factor = std::atoi(value);
+        return FlagError("--serve-batch needs a positive integer");
+      serve_config.server.max_batch = std::atoi(value);
+    } else if (ParseFlag(arg, "--serve-queue", &value)) {
+      if (value == nullptr || std::atoi(value) < 1)
+        return FlagError("--serve-queue needs a positive integer");
+      serve_config.server.max_queue = std::atoi(value);
+    } else if (ParseFlag(arg, "--serve-timeout", &value)) {
+      if (value == nullptr || std::atof(value) < 0)
+        return FlagError("--serve-timeout needs a non-negative number");
+      serve_config.server.default_timeout_ms = std::atof(value);
+    } else if (ParseFlag(arg, "--serve-rows", &value)) {
+      if (value == nullptr || std::atoi(value) < 0)
+        return FlagError("--serve-rows needs a non-negative integer");
+      serve_config.max_result_rows = std::atoi(value);
+    } else if (ParseFlag(arg, "--serve-check", &value)) {
+      serve_config.check = true;
     } else if (ParseFlag(arg, "--fact-divisor", &value)) {
       if (value == nullptr || std::atoi(value) < 1)
         return FlagError("--fact-divisor needs a positive integer");
@@ -212,6 +312,56 @@ int main(int argc, char** argv) {
     } else {
       return FlagError(std::string("unknown flag '") + arg + "'");
     }
+  }
+
+  if (adhoc_invalid > 0) {
+    std::fprintf(stderr, "crystaldb: %d of %d --adhoc spec(s) invalid\n",
+                 adhoc_invalid, adhoc_count);
+    return 1;
+  }
+  if (!serve && scale_factors.size() > 1) {
+    return FlagError("--sf accepts a comma list only with --serve");
+  }
+
+  if (serve) {
+    // Generate every resident database up front (named sf<N>), then hand
+    // stdin/stdout to the protocol loop. --threads feeds the server's
+    // scan pool; 0 defers to CRYSTAL_THREADS / the hardware.
+    serve_config.server.threads = options.threads;
+    for (size_t a = 0; a < scale_factors.size(); ++a) {
+      for (size_t b = a + 1; b < scale_factors.size(); ++b) {
+        if (scale_factors[a] == scale_factors[b])
+          return FlagError("--sf lists the same scale factor twice");
+      }
+    }
+    crystal::storage::StorageOptions storage_options;
+    {
+      std::string error;
+      if (!crystal::driver::ParseStorageName(options.storage, &error))
+        return FlagError(error);
+      crystal::storage::EncodingFromName(options.storage,
+                                         &storage_options.encoding);
+    }
+    std::vector<crystal::ssb::Database> databases;
+    databases.reserve(scale_factors.size());
+    std::vector<std::pair<std::string, const crystal::ssb::Database*>> dbs;
+    for (const int sf : scale_factors) {
+      crystal::ssb::DatagenOptions gen;
+      gen.scale_factor = sf;
+      gen.fact_divisor = options.fact_divisor;
+      gen.seed = options.seed;
+      gen.storage = storage_options;
+      databases.push_back(crystal::ssb::Generate(gen));
+    }
+    for (size_t d = 0; d < databases.size(); ++d) {
+      dbs.emplace_back("sf" + std::to_string(scale_factors[d]),
+                       &databases[d]);
+    }
+    std::fprintf(stderr,
+                 "crystaldb: serving %zu database(s) on stdin/stdout "
+                 "(one request per line; docs/SERVER.md)\n",
+                 dbs.size());
+    return crystal::server::Serve(std::cin, std::cout, dbs, serve_config);
   }
 
   // `--adhoc` without `--queries` runs only the ad-hoc specs; the default

@@ -1,14 +1,21 @@
-// perf_diff: compares two engine_throughput bench JSONs (BENCH_*.json) and
-// prints per-query and geomean wall-time ratios. Used by CI's perf-smoke
-// step to diff the fresh run against the checked-in baseline, and by hand
-// when refreshing BENCH_cpu_ssb.json:
+// perf_diff: compares two bench JSONs (BENCH_*.json) and prints per-metric
+// and geomean ratios. Used by CI's perf-smoke steps to diff fresh runs
+// against the checked-in baselines, and by hand when refreshing
+// BENCH_cpu_ssb.json / BENCH_server.json:
 //
 //   perf_diff BASELINE.json NEW.json [--max-regression=R]
 //
-// Ratios are baseline/new, i.e. > 1 is a speedup of NEW over BASELINE.
-// With --max-regression=R (e.g. 1.10 = "no query more than 10% slower"),
-// exit status 2 signals that some query's new median exceeded R x its
-// baseline median — but only when the two files were measured under
+// Two schemas are understood, keyed on the file's shape:
+//   - engine_throughput ("queries" array): one metric per query, its
+//     wall_median_ms (lower is better);
+//   - server_throughput ("levels" array): per concurrency level, qps
+//     (higher is better) and p99_ms (lower is better), plus the
+//     sequential-replay qps.
+//
+// Ratios are oriented so > 1 always means NEW improved on BASELINE.
+// With --max-regression=R (e.g. 1.10 = "no metric more than 10% worse"),
+// exit status 2 signals that some metric moved beyond R x its baseline in
+// the bad direction — but only when the two files were measured under
 // comparable settings (same scale factor, fact divisor, thread count, and
 // SIMD state); incomparable files print a warning and never gate, since
 // e.g. CI's subsampled smoke run is not commensurate with the checked-in
@@ -193,8 +200,15 @@ class JsonParser {
 struct BenchFile {
   std::string path;
   JsonValue root;
-  /// query name -> wall_median_ms, in file order.
-  std::vector<std::pair<std::string, double>> medians;
+  bool server = false;  // server_throughput schema ("levels" array)
+  /// Named metric with a direction, in file order. `higher_better` flips
+  /// the ratio orientation (qps) relative to times (wall, p99).
+  struct Metric {
+    std::string name;
+    double value = 0;
+    bool higher_better = false;
+  };
+  std::vector<Metric> metrics;
 };
 
 bool LoadBench(const std::string& path, BenchFile* out) {
@@ -212,24 +226,51 @@ bool LoadBench(const std::string& path, BenchFile* out) {
     return false;
   }
   out->path = path;
-  const JsonValue* queries = out->root.Find("queries");
-  if (queries == nullptr || queries->kind != JsonValue::Kind::kArray) {
-    std::fprintf(stderr, "perf_diff: %s: no \"queries\" array\n",
-                 path.c_str());
-    return false;
-  }
-  for (const JsonValue& q : queries->array) {
-    const std::string name = q.StringOr("query", "");
-    const double median = q.NumberOr("wall_median_ms", -1);
-    if (name.empty() || median <= 0) {
-      std::fprintf(stderr, "perf_diff: %s: malformed query entry\n",
+
+  const JsonValue* levels = out->root.Find("levels");
+  if (levels != nullptr && levels->kind == JsonValue::Kind::kArray) {
+    // server_throughput: throughput and tail latency per concurrency level.
+    out->server = true;
+    const JsonValue* sequential = out->root.Find("sequential");
+    if (sequential != nullptr &&
+        sequential->kind == JsonValue::Kind::kObject) {
+      const double qps = sequential->NumberOr("qps", -1);
+      if (qps > 0) out->metrics.push_back({"qps@sequential", qps, true});
+    }
+    for (const JsonValue& level : levels->array) {
+      const int c = static_cast<int>(level.NumberOr("concurrency", -1));
+      const double qps = level.NumberOr("qps", -1);
+      const double p99 = level.NumberOr("p99_ms", -1);
+      if (c <= 0 || qps <= 0 || p99 <= 0) {
+        std::fprintf(stderr, "perf_diff: %s: malformed level entry\n",
+                     path.c_str());
+        return false;
+      }
+      const std::string at = "@" + std::to_string(c);
+      out->metrics.push_back({"qps" + at, qps, true});
+      out->metrics.push_back({"p99_ms" + at, p99, false});
+    }
+  } else {
+    const JsonValue* queries = out->root.Find("queries");
+    if (queries == nullptr || queries->kind != JsonValue::Kind::kArray) {
+      std::fprintf(stderr,
+                   "perf_diff: %s: neither \"queries\" nor \"levels\" array\n",
                    path.c_str());
       return false;
     }
-    out->medians.emplace_back(name, median);
+    for (const JsonValue& q : queries->array) {
+      const std::string name = q.StringOr("query", "");
+      const double median = q.NumberOr("wall_median_ms", -1);
+      if (name.empty() || median <= 0) {
+        std::fprintf(stderr, "perf_diff: %s: malformed query entry\n",
+                     path.c_str());
+        return false;
+      }
+      out->metrics.push_back({name, median, false});
+    }
   }
-  if (out->medians.empty()) {
-    std::fprintf(stderr, "perf_diff: %s: empty query list\n", path.c_str());
+  if (out->metrics.empty()) {
+    std::fprintf(stderr, "perf_diff: %s: no metrics\n", path.c_str());
     return false;
   }
   return true;
@@ -246,24 +287,36 @@ std::string Settings(const BenchFile& f) {
   // "plain", which is exactly what they measured. repeat stays out — it
   // only sharpens the median, it does not change a run's work.
   const JsonValue* simd = f.root.Find("simd");
-  return "engine=" + f.root.StringOr("engine", "?") +
-         " storage=" + f.root.StringOr("storage", "plain") +
-         " sf=" + std::to_string(
-                      static_cast<int>(f.root.NumberOr("scale_factor", -1))) +
-         " fact_divisor=" +
+  std::string s =
+      "engine=" + f.root.StringOr("engine", "?") +
+      " storage=" + f.root.StringOr("storage", "plain") +
+      " sf=" + std::to_string(
+                   static_cast<int>(f.root.NumberOr("scale_factor", -1))) +
+      " fact_divisor=" +
+      std::to_string(
+          static_cast<int>(f.root.NumberOr("fact_divisor", -1))) +
+      " seed=" +
+      std::to_string(
+          static_cast<long long>(f.root.NumberOr("seed", -1))) +
+      " threads=" +
+      std::to_string(static_cast<int>(f.root.NumberOr("threads", -1))) +
+      " warmup=" +
+      std::to_string(static_cast<int>(f.root.NumberOr("warmup", -1))) +
+      " simd=" +
+      (simd != nullptr && simd->kind == JsonValue::Kind::kBool
+           ? (simd->boolean ? "true" : "false")
+           : "?");
+  if (f.server) {
+    // The server workload is defined by its batching bound and traffic
+    // mix; a run with a different mix measures different sharing.
+    s += " max_batch=" +
+         std::to_string(static_cast<int>(f.root.NumberOr("max_batch", -1))) +
+         " queries_per_level=" +
          std::to_string(
-             static_cast<int>(f.root.NumberOr("fact_divisor", -1))) +
-         " seed=" +
-         std::to_string(
-             static_cast<long long>(f.root.NumberOr("seed", -1))) +
-         " threads=" +
-         std::to_string(static_cast<int>(f.root.NumberOr("threads", -1))) +
-         " warmup=" +
-         std::to_string(static_cast<int>(f.root.NumberOr("warmup", -1))) +
-         " simd=" +
-         (simd != nullptr && simd->kind == JsonValue::Kind::kBool
-              ? (simd->boolean ? "true" : "false")
-              : "?");
+             static_cast<int>(f.root.NumberOr("queries_per_level", -1))) +
+         " mix=" + f.root.StringOr("mix", "?");
+  }
+  return s;
 }
 
 }  // namespace
@@ -308,64 +361,68 @@ int main(int argc, char** argv) {
         "much as code, and --max-regression is not enforced.\n\n");
   }
 
-  std::map<std::string, double> fresh_by_name(fresh.medians.begin(),
-                                              fresh.medians.end());
-  TablePrinter t({"query", "base ms", "new ms", "speedup"});
+  std::map<std::string, BenchFile::Metric> fresh_by_name;
+  for (const BenchFile::Metric& m : fresh.metrics) fresh_by_name[m.name] = m;
+  TablePrinter t({"metric", "base", "new", "ratio"});
   double log_sum = 0;
   int matched = 0;
   int missing = 0;
   int regressions = 0;
   double worst_ratio = 1e300;
-  std::string worst_query;
-  for (const auto& [name, base_ms] : base.medians) {
-    const auto it = fresh_by_name.find(name);
+  std::string worst_metric;
+  for (const BenchFile::Metric& m : base.metrics) {
+    const auto it = fresh_by_name.find(m.name);
     if (it == fresh_by_name.end()) {
-      t.AddRow({name, TablePrinter::Fmt(base_ms, 2), "-", "missing"});
+      t.AddRow({m.name, TablePrinter::Fmt(m.value, 2), "-", "missing"});
       ++missing;
       continue;
     }
-    const double ratio = base_ms / it->second;
-    t.AddRow({name, TablePrinter::Fmt(base_ms, 2),
-              TablePrinter::Fmt(it->second, 2),
+    // Oriented so > 1 always means NEW improved (faster query, higher qps,
+    // lower tail latency).
+    const double ratio = m.higher_better ? it->second.value / m.value
+                                         : m.value / it->second.value;
+    t.AddRow({m.name, TablePrinter::Fmt(m.value, 2),
+              TablePrinter::Fmt(it->second.value, 2),
               TablePrinter::Fmt(ratio, 3) + "x"});
     log_sum += std::log(ratio);
     ++matched;
     if (ratio < worst_ratio) {
       worst_ratio = ratio;
-      worst_query = name;
+      worst_metric = m.name;
     }
-    if (max_regression > 0 && it->second > base_ms * max_regression) {
+    if (max_regression > 0 && ratio * max_regression < 1) {
       ++regressions;
     }
   }
   if (matched == 0) {
-    std::fprintf(stderr, "perf_diff: no common queries\n");
+    std::fprintf(stderr, "perf_diff: no common metrics\n");
     return 1;
   }
   const double geomean = std::exp(log_sum / matched);
   t.AddRow({"geomean", "", "", TablePrinter::Fmt(geomean, 3) + "x"});
   t.Print();
-  std::printf(
-      "\ngeomean speedup %.3fx over %d queries; worst %s at %.3fx "
-      "(recorded geomeans: base %.2f ms, new %.2f ms)\n",
-      geomean, matched, worst_query.c_str(), worst_ratio,
-      base.root.NumberOr("geomean_wall_median_ms", -1),
-      fresh.root.NumberOr("geomean_wall_median_ms", -1));
+  std::printf("\ngeomean ratio %.3fx over %d metrics; worst %s at %.3fx\n",
+              geomean, matched, worst_metric.c_str(), worst_ratio);
+  if (!base.server) {
+    std::printf("recorded geomeans: base %.2f ms, new %.2f ms\n",
+                base.root.NumberOr("geomean_wall_median_ms", -1),
+                fresh.root.NumberOr("geomean_wall_median_ms", -1));
+  }
 
   if (comparable && max_regression > 0 && (regressions > 0 || missing > 0)) {
-    // A query vanishing from the new file is the worst regression of all —
+    // A metric vanishing from the new file is the worst regression of all —
     // a truncated or crashed bench run must not pass the gate.
     if (missing > 0) {
       std::fprintf(stderr,
-                   "perf_diff: %d baseline quer%s missing from '%s'\n",
-                   missing, missing == 1 ? "y is" : "ies are",
+                   "perf_diff: %d baseline metric%s missing from '%s'\n",
+                   missing, missing == 1 ? " is" : "s are",
                    fresh.path.c_str());
     }
     if (regressions > 0) {
       std::fprintf(stderr,
-                   "perf_diff: %d quer%s regressed beyond %.2fx the baseline\n",
-                   regressions, regressions == 1 ? "y" : "ies",
-                   max_regression);
+                   "perf_diff: %d metric%s regressed beyond %.2fx the "
+                   "baseline\n",
+                   regressions, regressions == 1 ? "" : "s", max_regression);
     }
     return 2;
   }
