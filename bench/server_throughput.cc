@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/fault.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
 #include "cpu/vector_ops.h"
@@ -81,6 +82,11 @@ struct LevelResult {
   int64_t scans_saved = 0;
   int64_t dedup_hits = 0;
   double avg_batch = 0;
+  // Failure accounting, echoed into the JSON so a run taken under
+  // CRYSTAL_FAULT is self-describing (all zero in a clean run).
+  int64_t errors = 0;
+  int64_t timeouts = 0;
+  int64_t rejected = 0;
 };
 
 /// Runs `total` queries at `concurrency` closed-loop clients against a
@@ -136,6 +142,9 @@ LevelResult RunLevel(const ssb::Database& db, int concurrency, int total,
   r.batches = stats.batches;
   r.scans_saved = stats.scans_saved;
   r.dedup_hits = stats.dedup_hits;
+  r.errors = stats.errors;
+  r.timeouts = stats.timeouts;  // includes queue-shed expirations
+  r.rejected = stats.rejected;
   r.avg_batch = stats.batches > 0
                     ? static_cast<double>(stats.completed) /
                           static_cast<double>(stats.batches)
@@ -167,11 +176,15 @@ void WriteLevelJson(std::FILE* f, const LevelResult& r, const char* indent,
       "\"qps\": %.2f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
       "\"p99_ms\": %.3f, \"batches\": %lld, \"avg_batch\": %.2f, "
       "\"scans_saved\": %lld, \"dedup_hits\": %lld, "
+      "\"errors\": %lld, \"timeouts\": %lld, \"rejected\": %lld, "
       "\"speedup_vs_sequential\": %.3f}",
       indent, r.concurrency, r.queries, r.wall_ms, r.qps, r.p50, r.p95,
       r.p99, static_cast<long long>(r.batches), r.avg_batch,
       static_cast<long long>(r.scans_saved),
       static_cast<long long>(r.dedup_hits),
+      static_cast<long long>(r.errors),
+      static_cast<long long>(r.timeouts),
+      static_cast<long long>(r.rejected),
       sequential_qps > 0 ? r.qps / sequential_qps : 0);
 }
 
@@ -261,7 +274,19 @@ int main() {
   }
   t.Print();
 
+  // A run taken under fault injection measures failure behavior, not
+  // performance: skip the shape gates (the JSON still records the run,
+  // self-described by its "fault" key, and perf_diff refuses to gate on
+  // it — docs/ROBUSTNESS.md).
+  const std::string fault_spec = crystal::fault::ActiveSpec();
+  if (!fault_spec.empty()) {
+    std::printf(
+        "\nNOTE: CRYSTAL_FAULT active (%s); shape checks skipped, run is "
+        "not a perf baseline\n",
+        fault_spec.c_str());
+  }
   for (const LevelResult& r : results) {
+    if (!fault_spec.empty()) break;
     if (r.concurrency >= 4) {
       bench::ShapeCheck(
           "concurrency " + std::to_string(r.concurrency) +
@@ -303,6 +328,10 @@ int main() {
   std::fprintf(f, "  \"queries_per_level\": %d,\n", total);
   std::fprintf(f, "  \"mix\": \"ssb13-cohort%d\",\n", cohort);
   std::fprintf(f, "  \"cohort\": %d,\n", cohort);
+  // The active fault schedule, empty in a clean run. perf_diff treats any
+  // non-empty value as "not a perf measurement" and refuses to gate on
+  // this file in either position (docs/ROBUSTNESS.md).
+  std::fprintf(f, "  \"fault\": \"%s\",\n", fault_spec.c_str());
   std::fprintf(f, "  \"sequential\": ");
   WriteLevelJson(f, sequential, "", 0);
   std::fprintf(f, ",\n  \"levels\": [\n");

@@ -1,0 +1,314 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace crystal::fault {
+
+namespace {
+
+struct Rule {
+  enum class Action { kFail, kDelay };
+  enum class Trigger { kAlways, kNth, kEvery, kAfter, kChance };
+
+  Action action = Action::kFail;
+  double delay_ms = 0;
+  Trigger trigger = Trigger::kAlways;
+  int64_t n = 0;     // nth / every / after operand
+  double p = 0;      // chance probability
+  uint64_t seed = 0; // chance seed
+};
+
+struct PointState {
+  bool installed = false;
+  Rule rule;
+  int64_t hits = 0;
+  int64_t triggers = 0;
+};
+
+/// All slow-path state behind one mutex: fault evaluation happens at
+/// morsel/batch granularity, never per row, so contention is irrelevant —
+/// and only when faults are installed at all.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, PointState, std::less<>> points;
+  std::string spec;
+};
+
+Registry& Reg() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+/// splitmix64: the deterministic per-hit coin for chance triggers.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+bool TriggerFires(const Rule& rule, int64_t hit) {
+  switch (rule.trigger) {
+    case Rule::Trigger::kAlways:
+      return true;
+    case Rule::Trigger::kNth:
+      return hit == rule.n;
+    case Rule::Trigger::kEvery:
+      return hit % rule.n == 0;
+    case Rule::Trigger::kAfter:
+      return hit >= rule.n;
+    case Rule::Trigger::kChance:
+      return static_cast<double>(Mix(rule.seed ^ static_cast<uint64_t>(hit))) <
+             rule.p * 18446744073709551616.0;  // 2^64
+  }
+  return false;
+}
+
+bool ParsePositiveInt(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  int64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+    if (v > (int64_t{1} << 60)) return false;
+  }
+  if (v < 1) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseNonNegativeDouble(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  const std::string str(s);
+  char* end = nullptr;
+  const double v = std::strtod(str.c_str(), &end);
+  if (end != str.c_str() + str.size() || v < 0) return false;
+  *out = v;
+  return true;
+}
+
+/// Parses "ACTION[@TRIGGER]" into `rule`.
+Status ParseRule(std::string_view point, std::string_view text, Rule* rule) {
+  const auto bad = [&point, &text](const std::string& why) {
+    return InvalidArgumentError("fault rule for '" + std::string(point) +
+                                "' (" + std::string(text) + "): " + why);
+  };
+  std::string_view action = text;
+  std::string_view trigger;
+  const size_t at = text.find('@');
+  if (at != std::string_view::npos) {
+    action = text.substr(0, at);
+    trigger = text.substr(at + 1);
+    if (trigger.empty()) return bad("empty trigger after '@'");
+  }
+
+  if (action == "fail") {
+    rule->action = Rule::Action::kFail;
+  } else if (action.rfind("delay:", 0) == 0) {
+    std::string_view ms = action.substr(6);
+    if (ms.size() >= 2 && ms.substr(ms.size() - 2) == "ms") {
+      ms = ms.substr(0, ms.size() - 2);
+    }
+    if (!ParseNonNegativeDouble(ms, &rule->delay_ms)) {
+      return bad("delay wants 'delay:<N>ms'");
+    }
+    rule->action = Rule::Action::kDelay;
+  } else {
+    return bad("action must be 'fail' or 'delay:<N>ms'");
+  }
+
+  if (trigger.empty()) {
+    rule->trigger = Rule::Trigger::kAlways;
+  } else if (ParsePositiveInt(trigger, &rule->n)) {
+    rule->trigger = Rule::Trigger::kNth;
+  } else if (trigger.rfind("every:", 0) == 0) {
+    if (!ParsePositiveInt(trigger.substr(6), &rule->n)) {
+      return bad("trigger wants 'every:<K>' with K >= 1");
+    }
+    rule->trigger = Rule::Trigger::kEvery;
+  } else if (trigger.rfind("after:", 0) == 0) {
+    if (!ParsePositiveInt(trigger.substr(6), &rule->n)) {
+      return bad("trigger wants 'after:<N>' with N >= 1");
+    }
+    rule->trigger = Rule::Trigger::kAfter;
+  } else if (trigger.rfind("chance:", 0) == 0) {
+    const std::string_view rest = trigger.substr(7);
+    const size_t colon = rest.find(':');
+    if (colon == std::string_view::npos) {
+      return bad("trigger wants 'chance:<P>:<SEED>'");
+    }
+    int64_t seed = 0;
+    if (!ParseNonNegativeDouble(rest.substr(0, colon), &rule->p) ||
+        rule->p > 1.0 || !ParsePositiveInt(rest.substr(colon + 1), &seed)) {
+      return bad("trigger wants 'chance:<P in 0..1>:<SEED>'");
+    }
+    rule->seed = static_cast<uint64_t>(seed);
+    rule->trigger = Rule::Trigger::kChance;
+  } else {
+    return bad("trigger must be '<N>', 'every:<K>', 'after:<N>', or "
+               "'chance:<P>:<SEED>'");
+  }
+  return Status();
+}
+
+bool KnownPoint(std::string_view name) {
+  for (const PointInfo& p : KnownPoints()) {
+    if (name == p.name) return true;
+  }
+  return false;
+}
+
+/// CRYSTAL_FAULT from the environment, applied at static-initialization
+/// time so a service picks its fault schedule up before any query runs. A
+/// malformed spec aborts: running *without* the faults you asked for is
+/// how a chaos drill silently tests nothing.
+[[maybe_unused]] const bool g_env_loaded = [] {
+  if (const char* env = std::getenv("CRYSTAL_FAULT")) {
+    const Status status = Install(env);
+    if (!status.ok()) {
+      std::fprintf(stderr, "CRYSTAL_FAULT: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+const std::vector<PointInfo>& KnownPoints() {
+  static const std::vector<PointInfo>* points = new std::vector<PointInfo>{
+      {"build_cache.build",
+       "dimension build-side construction inside cpu::BuildCache::GetOrBuild"},
+      {"fused.build",
+       "ssb::FusedQuery::Create lowering + build-side fetch phase"},
+      {"fused.morsel",
+       "per-morsel plan evaluation in ssb::FusedQuery::RunMorsel"},
+      {"server.admit", "admission decision in server::QueryServer::Submit"},
+      {"server.batch",
+       "scheduler batch formation in server::QueryServer (whole batch)"},
+      {"serve.read", "serve protocol: one accepted input line"},
+      {"serve.write", "serve protocol: one response line emission"},
+  };
+  return *points;
+}
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+Status CheckSlow(std::string_view point) {
+  double delay_ms = -1;
+  {
+    Registry& reg = Reg();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.points.find(point);
+    if (it == reg.points.end()) {
+      it = reg.points.emplace(std::string(point), PointState()).first;
+    }
+    PointState& state = it->second;
+    ++state.hits;
+    if (!state.installed || !TriggerFires(state.rule, state.hits)) {
+      return Status();
+    }
+    ++state.triggers;
+    if (state.rule.action == Rule::Action::kFail) {
+      return FaultInjectedError("injected fault at '" + std::string(point) +
+                                "' (hit " + std::to_string(state.hits) +
+                                ")");
+    }
+    delay_ms = state.rule.delay_ms;
+  }
+  // Delay sleeps outside the registry lock so a slow point never blocks
+  // fault evaluation elsewhere.
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+  }
+  return Status();
+}
+
+Status Install(std::string_view spec) {
+  // Parse fully before touching the registry: a bad rule installs nothing.
+  std::vector<std::pair<std::string, Rule>> rules;
+  size_t begin = 0;
+  while (begin <= spec.size() && !spec.empty()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) {
+      if (begin > spec.size()) break;
+      return InvalidArgumentError("empty fault rule in spec");
+    }
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return InvalidArgumentError("fault rule '" + std::string(entry) +
+                                  "' wants POINT=ACTION[@TRIGGER]");
+    }
+    const std::string_view point = entry.substr(0, eq);
+    if (!KnownPoint(point)) {
+      std::string known;
+      for (const PointInfo& p : KnownPoints()) {
+        known += known.empty() ? "" : ", ";
+        known += p.name;
+      }
+      return NotFoundError("unknown fault point '" + std::string(point) +
+                           "' (known: " + known + ")");
+    }
+    Rule rule;
+    CRYSTAL_RETURN_IF_ERROR(ParseRule(point, entry.substr(eq + 1), &rule));
+    rules.emplace_back(std::string(point), rule);
+    if (begin > spec.size()) break;
+  }
+
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.points.clear();
+  reg.spec = std::string(spec);
+  for (auto& [point, rule] : rules) {
+    PointState& state = reg.points[point];
+    state.installed = true;
+    state.rule = rule;
+  }
+  EnabledFlag().store(!rules.empty(), std::memory_order_relaxed);
+  return Status();
+}
+
+void Clear() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.points.clear();
+  reg.spec.clear();
+  EnabledFlag().store(false, std::memory_order_relaxed);
+}
+
+std::string ActiveSpec() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.spec;
+}
+
+int64_t Hits(std::string_view point) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.points.find(point);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+int64_t Triggers(std::string_view point) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.points.find(point);
+  return it == reg.points.end() ? 0 : it->second.triggers;
+}
+
+}  // namespace crystal::fault

@@ -1,0 +1,88 @@
+#ifndef CRYSTAL_COMMON_FAULT_H_
+#define CRYSTAL_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace crystal::fault {
+
+/// Deterministic fault injection for robustness tests and chaos drills
+/// (docs/ROBUSTNESS.md). Code on a recoverable path names a *fault point*
+/// and asks the registry whether an installed fault fires there:
+///
+///   CRYSTAL_RETURN_IF_ERROR(fault::Check("build_cache.build"));
+///
+/// With nothing installed (the production state) Check() is one relaxed
+/// atomic load — no lock, no string, no allocation. Faults are installed
+/// from the CRYSTAL_FAULT environment variable at process start, or by
+/// tests via Install().
+///
+/// Spec grammar (comma-separated rules, one per point):
+///
+///   CRYSTAL_FAULT="POINT=ACTION[@TRIGGER][,POINT=ACTION[@TRIGGER]]..."
+///
+///   ACTION   fail            Check() returns kFaultInjected
+///            delay:50ms      Check() sleeps 50 ms, then returns OK
+///   TRIGGER  @N              fires on the Nth evaluation only (1-based)
+///            @every:K        fires on every Kth evaluation
+///            @after:N        fires on every evaluation from the Nth on
+///            @chance:P:SEED  fires with probability P (0..1), decided by
+///                            a deterministic hash of (SEED, hit count) —
+///                            the same seed always yields the same
+///                            schedule
+///            (absent)        fires on every evaluation
+///
+/// Example: CRYSTAL_FAULT="fused.build=fail@1,fused.morsel=delay:2ms@every:7"
+///
+/// Point names must come from KnownPoints() — a typo in a fault spec is a
+/// hard Install() error, never a silently inert rule.
+
+/// True when at least one fault rule is installed. One relaxed atomic
+/// load; the zero-overhead guard every Check() call inlines.
+bool Enabled();
+
+Status CheckSlow(std::string_view point);
+
+/// Evaluates `point` against the installed rules: returns
+/// kFaultInjected when a fail rule fires, sleeps and returns OK when a
+/// delay rule fires, returns OK otherwise. Thread-safe; evaluation order
+/// across threads decides which hit index each caller observes.
+inline Status Check(std::string_view point) {
+  if (!Enabled()) return Status();
+  return CheckSlow(point);
+}
+
+/// Installs `spec` (the CRYSTAL_FAULT grammar), replacing all current
+/// rules and resetting all counters. The empty spec clears the registry.
+/// Unknown point names and malformed rules are an error (nothing is
+/// installed on failure).
+Status Install(std::string_view spec);
+
+/// Removes every rule and resets all counters; Enabled() becomes false.
+void Clear();
+
+/// The spec currently installed ("" when none) — echoed into bench JSON
+/// so fault-injected runs can never masquerade as perf baselines.
+std::string ActiveSpec();
+
+/// Evaluations / fires of `point` since the last Install/Clear. Counted
+/// only while faults are enabled (the production fast path keeps no
+/// counters).
+int64_t Hits(std::string_view point);
+int64_t Triggers(std::string_view point);
+
+/// The wired fault points (docs/ROBUSTNESS.md keeps the prose table).
+struct PointInfo {
+  const char* name;
+  const char* description;
+};
+const std::vector<PointInfo>& KnownPoints();
+
+}  // namespace crystal::fault
+
+#endif  // CRYSTAL_COMMON_FAULT_H_

@@ -1,0 +1,155 @@
+#ifndef CRYSTAL_COMMON_STATUS_H_
+#define CRYSTAL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace crystal {
+
+/// Error taxonomy of the recoverable paths (docs/ROBUSTNESS.md). The
+/// library keeps CRYSTAL_CHECK for programming errors; Status is for
+/// failures a long-running service must absorb — bad input, resource
+/// exhaustion, deadlines, injected faults — without taking down its
+/// batch-mates or the process.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // caller input can never succeed (don't retry)
+  kNotFound,           // named entity (database, fault point) unknown
+  kDeadlineExceeded,   // a deadline expired before completion
+  kResourceExhausted,  // allocation failure / admission bound hit
+  kUnavailable,        // transient: shutting down, overloaded (retryable)
+  kFaultInjected,      // a CRYSTAL_FAULT point fired (tests/chaos only)
+  kInternal,           // invariant held by code, not input, was violated
+};
+
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status: one enum + message. Default-constructed == OK, and
+/// the OK singleton carries no string, so returning Status() from a hot
+/// path (FusedQuery::RunMorsel runs once per morsel) costs an SSO-empty
+/// string, never an allocation.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "kResourceExhausted: build allocation failed" ("OK" when ok()).
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+inline Status FaultInjectedError(std::string message) {
+  return Status(StatusCode::kFaultInjected, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "kOk";
+    case StatusCode::kInvalidArgument:
+      return "kInvalidArgument";
+    case StatusCode::kNotFound:
+      return "kNotFound";
+    case StatusCode::kDeadlineExceeded:
+      return "kDeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "kResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "kUnavailable";
+    case StatusCode::kFaultInjected:
+      return "kFaultInjected";
+    case StatusCode::kInternal:
+      return "kInternal";
+  }
+  return "kUnknown";
+}
+
+/// Status or a value. Accessing value() of a non-ok StatusOr is a
+/// programming error (CRYSTAL_CHECK), mirroring the absl contract.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    CRYSTAL_CHECK_MSG(!status_.ok(),
+                      "StatusOr constructed from an OK status without a "
+                      "value");
+  }
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CRYSTAL_CHECK_MSG(ok(), status_.ToString().c_str());
+    return value_;
+  }
+  T& value() & {
+    CRYSTAL_CHECK_MSG(ok(), status_.ToString().c_str());
+    return value_;
+  }
+  T&& value() && {
+    CRYSTAL_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK status to the caller.
+#define CRYSTAL_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::crystal::Status crystal_status_tmp_ = (expr);   \
+    if (!crystal_status_tmp_.ok()) {                  \
+      return crystal_status_tmp_;                     \
+    }                                                 \
+  } while (0)
+
+}  // namespace crystal
+
+#endif  // CRYSTAL_COMMON_STATUS_H_

@@ -5,7 +5,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <new>
 
+#include "common/fault.h"
 #include "common/macros.h"
 
 namespace crystal::cpu {
@@ -87,12 +90,12 @@ BuildCache& BuildCache::Process() {
   return *cache;
 }
 
-std::shared_ptr<const JoinTable> BuildCache::GetOrBuild(
+StatusOr<std::shared_ptr<const JoinTable>> BuildCache::GetOrBuild(
     std::string_view generation, std::string_view key,
     const std::function<JoinTable()>& build, bool* hit) {
   const std::string gen_str(generation);
   const std::string key_str(key);
-  std::promise<std::shared_ptr<const JoinTable>> promise;
+  std::promise<Entry> promise;
   TableFuture future;
   bool claimed = false;
   {
@@ -117,24 +120,36 @@ std::shared_ptr<const JoinTable> BuildCache::GetOrBuild(
     // This caller claimed the key: run the (multi-millisecond, parallel)
     // build outside the lock so hits and other builds never queue behind
     // it; same-key requesters block on the shared future instead.
-    try {
-      promise.set_value(std::make_shared<const JoinTable>(build()));
-    } catch (...) {
-      // Don't leave a poisoned future cached: same-key waiters see the
-      // exception once, later requests rebuild from scratch. The
-      // generation (or the entry) may have been evicted meanwhile; erase
-      // only if our own future is still the one cached.
-      promise.set_exception(std::current_exception());
+    Entry entry;
+    entry.status = fault::Check("build_cache.build");
+    if (entry.status.ok()) {
+      try {
+        entry.table = std::make_shared<const JoinTable>(build());
+      } catch (const std::bad_alloc&) {
+        entry.status = ResourceExhaustedError(
+            "build-side allocation failed for '" + key_str + "'");
+      } catch (const std::exception& e) {
+        entry.status = InternalError("build failed for '" + key_str +
+                                     "': " + e.what());
+      }
+    }
+    promise.set_value(entry);
+    if (!entry.status.ok()) {
+      // Don't leave a failed entry cached: same-key waiters see the
+      // status once, later requests rebuild from scratch. The generation
+      // (or the entry) may have been evicted meanwhile; only the builder
+      // un-caches, so whatever is still there under this key is ours.
       std::lock_guard<std::mutex> lock(mu_);
       auto git = generations_.find(gen_str);
       if (git != generations_.end()) {
         auto it = git->second.tables.find(key_str);
         if (it != git->second.tables.end()) git->second.tables.erase(it);
       }
-      throw;
     }
   }
-  return future.get();
+  const Entry& entry = future.get();
+  if (!entry.status.ok()) return entry.status;
+  return entry.table;
 }
 
 void BuildCache::EvictOverCapacityLocked(const std::string* keep) {
@@ -176,7 +191,8 @@ int64_t BuildCache::bytes() const {
     for (const auto& [key, future] : gen.tables) {
       if (future.wait_for(std::chrono::seconds(0)) ==
           std::future_status::ready) {
-        total += future.get()->bytes();
+        const Entry& entry = future.get();
+        if (entry.table != nullptr) total += entry.table->bytes();
       }
     }
   }

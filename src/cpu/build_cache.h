@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "common/aligned.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "cpu/hash_join.h"
 #include "cpu/vector_ops.h"
@@ -118,7 +119,13 @@ class BuildCache {
   /// not reentrant: callers that may build concurrently must use distinct
   /// pools — the built-in engines do, each owning a private pool unless
   /// the EngineContext supplies a shared one.
-  std::shared_ptr<const JoinTable> GetOrBuild(
+  ///
+  /// A build that fails — std::bad_alloc (kResourceExhausted), any other
+  /// exception (kInternal), or the "build_cache.build" fault point firing
+  /// (kFaultInjected) — resolves every same-key waiter with that Status
+  /// and is *not* cached: the next request for the key rebuilds from
+  /// scratch, so one transient failure never poisons the cache.
+  StatusOr<std::shared_ptr<const JoinTable>> GetOrBuild(
       std::string_view generation, std::string_view key,
       const std::function<JoinTable()>& build, bool* hit);
 
@@ -150,7 +157,15 @@ class BuildCache {
   static constexpr int kDefaultMaxGenerations = 4;
 
  private:
-  using TableFuture = std::shared_future<std::shared_ptr<const JoinTable>>;
+  /// What a build resolves to: a table on success, a non-OK status on
+  /// failure. Carrying the Status through the shared future (instead of
+  /// an exception) lets every same-key waiter observe the failure as a
+  /// plain value.
+  struct Entry {
+    Status status;
+    std::shared_ptr<const JoinTable> table;
+  };
+  using TableFuture = std::shared_future<Entry>;
 
   struct Generation {
     std::unordered_map<std::string, TableFuture> tables;

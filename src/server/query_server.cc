@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <exception>
 #include <string_view>
 
+#include "common/fault.h"
 #include "common/macros.h"
+#include "common/status.h"
 #include "common/timer.h"
 #include "query/parser.h"
 #include "ssb/fused_query.h"
@@ -18,6 +21,25 @@ namespace {
 double MsBetween(std::chrono::steady_clock::time_point from,
                  std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Maps the Status taxonomy onto the retry contract: transient failures
+/// are worth retrying (with backoff — docs/ROBUSTNESS.md), input and
+/// invariant failures are not.
+bool RetryableCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kUnavailable:
+    case StatusCode::kFaultInjected:
+      return true;
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kInternal:
+      return false;
+  }
+  return false;
 }
 
 }  // namespace
@@ -44,9 +66,17 @@ QueryServer::QueryServer(ServerOptions options)
                        : ssb::VectorizedCpuEngine::kDefaultMorselRows),
       paused_(options.start_paused) {
   scheduler_ = std::thread([this] { SchedulerLoop(); });
+  if (options_.watchdog_ms > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 QueryServer::~QueryServer() {
+  // Shutdown-while-loaded contract: every outstanding promise is
+  // fulfilled before the destructor returns. The scheduler finishes (and
+  // completes) any batch it already started, queued leftovers complete as
+  // kRejected, and Submit rejects from the moment shutdown_ is visible —
+  // no waiter is ever left hung.
   std::deque<Request> leftovers;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -54,6 +84,14 @@ QueryServer::~QueryServer() {
   }
   scheduler_cv_.notify_all();
   scheduler_.join();
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_shutdown_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     leftovers.swap(queue_);
@@ -65,6 +103,8 @@ QueryServer::~QueryServer() {
     outcome.database = request.db_name;
     Complete(request, std::move(outcome));
   }
+  // A concurrent Drain() may be parked on the now-empty queue.
+  drain_cv_.notify_all();
 }
 
 void QueryServer::AddDatabase(std::string name, const ssb::Database* db) {
@@ -131,6 +171,12 @@ std::future<QueryOutcome> QueryServer::Submit(query::QuerySpec spec,
                   std::chrono::duration<double, std::milli>(timeout_ms));
   }
 
+  // The "server.admit" fault point models a flaky admission dependency
+  // (evaluated outside mu_ — the registry has its own lock). Only valid,
+  // routable submissions reach it, mirroring where a real admission check
+  // would sit.
+  const crystal::Status admit_fault = fault::Check("server.admit");
+
   bool notify = false;
   QueryOutcome immediate;
   bool failed = false;
@@ -159,10 +205,16 @@ std::future<QueryOutcome> QueryServer::Submit(query::QuerySpec spec,
       immediate.status = QueryOutcome::Status::kRejected;
       immediate.error = "server shutting down";
       failed = true;
+    } else if (!admit_fault.ok()) {
+      immediate.status = QueryOutcome::Status::kRejected;
+      immediate.error = "admission failed: " + admit_fault.ToString();
+      immediate.retryable = RetryableCode(admit_fault.code());
+      failed = true;
     } else if (static_cast<int>(queue_.size()) >= options_.max_queue) {
       immediate.status = QueryOutcome::Status::kRejected;
       immediate.error = "admission queue full (max_queue=" +
                         std::to_string(options_.max_queue) + ")";
+      immediate.retryable = true;
       failed = true;
     } else {
       queue_.push_back(std::move(request));
@@ -192,7 +244,9 @@ void QueryServer::Resume() {
 
 void QueryServer::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [this] { return queue_.empty() && !executing_; });
+  drain_cv_.wait(lock, [this] {
+    return shutdown_ || (queue_.empty() && !executing_);
+  });
 }
 
 ServerStats QueryServer::stats() const {
@@ -202,6 +256,7 @@ ServerStats QueryServer::stats() const {
 
 void QueryServer::SchedulerLoop() {
   for (;;) {
+    std::vector<Request> expired;
     std::vector<Request> batch;
     Clock::time_point batch_start;
     {
@@ -210,30 +265,113 @@ void QueryServer::SchedulerLoop() {
         return shutdown_ || (!paused_ && !queue_.empty());
       });
       if (shutdown_) return;
-      // Head of the FIFO decides the batch's database; later same-route
-      // queries join it up to max_batch. Skipped other-database entries
-      // keep their queue position, so the next batch serves them — strict
-      // FIFO progress per route, no starvation across routes.
-      const std::string route = queue_.front().db_name;
-      for (auto it = queue_.begin();
-           it != queue_.end() &&
-           static_cast<int>(batch.size()) < options_.max_batch;) {
-        if (it->db_name == route) {
-          batch.push_back(std::move(*it));
+      // Overload shedding: entries whose deadline already expired while
+      // queued are dropped before batch formation — under a backlog,
+      // batch slots go to queries whose answers someone still wants.
+      const Clock::time_point now = Clock::now();
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->has_deadline && it->deadline < now) {
+          expired.push_back(std::move(*it));
           it = queue_.erase(it);
         } else {
           ++it;
         }
       }
-      executing_ = true;
-      batch_start = Clock::now();
+      stats_.shed_expired += static_cast<int64_t>(expired.size());
+      if (!queue_.empty()) {
+        // Head of the FIFO decides the batch's database; later same-route
+        // queries join it up to max_batch. Skipped other-database entries
+        // keep their queue position, so the next batch serves them —
+        // strict FIFO progress per route, no starvation across routes.
+        const std::string route = queue_.front().db_name;
+        for (auto it = queue_.begin();
+             it != queue_.end() &&
+             static_cast<int>(batch.size()) < options_.max_batch;) {
+          if (it->db_name == route) {
+            batch.push_back(std::move(*it));
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        executing_ = true;
+        batch_start = Clock::now();
+      }
     }
-    RunBatch(std::move(batch), batch_start);
+    for (Request& request : expired) {
+      QueryOutcome outcome;
+      outcome.status = QueryOutcome::Status::kTimeout;
+      outcome.error = "deadline expired while queued (shed)";
+      outcome.retryable = true;
+      outcome.database = request.db_name;
+      outcome.queue_ms = MsBetween(request.submitted, Clock::now());
+      Complete(request, std::move(outcome));
+    }
+    if (batch.empty()) {
+      drain_cv_.notify_all();
+      continue;
+    }
+    // The "server.batch" fault point models batch-formation failure: fail
+    // completes every member as kError without executing; delay stalls
+    // the scheduler (queue grows → admission pushback upstream).
+    const crystal::Status batch_fault = fault::Check("server.batch");
+    if (!batch_fault.ok()) {
+      for (Request& request : batch) {
+        QueryOutcome outcome;
+        outcome.status = QueryOutcome::Status::kError;
+        outcome.error = "batch formation failed: " + batch_fault.ToString();
+        outcome.retryable = RetryableCode(batch_fault.code());
+        outcome.database = request.db_name;
+        outcome.queue_ms = MsBetween(request.submitted, batch_start);
+        Complete(request, std::move(outcome));
+      }
+    } else {
+      RunBatch(std::move(batch), batch_start);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       executing_ = false;
     }
     drain_cv_.notify_all();
+  }
+}
+
+void QueryServer::WatchdogLoop() {
+  const auto period = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.watchdog_ms));
+  uint64_t last_seq = 0;
+  uint64_t last_beat = 0;
+  bool last_active = false;
+  uint64_t flagged_seq = 0;
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  for (;;) {
+    if (watchdog_cv_.wait_for(lock, period,
+                              [this] { return watchdog_shutdown_; })) {
+      return;
+    }
+    const bool active = batch_active_.load(std::memory_order_acquire);
+    const uint64_t seq = batch_seq_.load(std::memory_order_relaxed);
+    const uint64_t beat = heartbeat_.load(std::memory_order_relaxed);
+    // Stall = the same batch was active across a full period with zero
+    // morsel completions. Flag it once (diagnosis, never a kill): a
+    // watchdog that shoots hung work would turn one slow morsel into a
+    // correctness bug.
+    if (active && last_active && seq == last_seq && beat == last_beat &&
+        seq != flagged_seq) {
+      flagged_seq = seq;
+      {
+        std::lock_guard<std::mutex> stats_lock(mu_);
+        ++stats_.watchdog_stalls;
+      }
+      std::fprintf(stderr,
+                   "crystaldb server watchdog: batch %llu morsel heartbeat "
+                   "stalled for %.0f ms\n",
+                   static_cast<unsigned long long>(seq),
+                   options_.watchdog_ms);
+    }
+    last_active = active;
+    last_seq = seq;
+    last_beat = beat;
   }
 }
 
@@ -248,6 +386,7 @@ void QueryServer::RunBatch(std::vector<Request> batch,
       QueryOutcome outcome;
       outcome.status = QueryOutcome::Status::kTimeout;
       outcome.error = "deadline expired while queued";
+      outcome.retryable = true;
       outcome.database = request.db_name;
       outcome.queue_ms = MsBetween(request.submitted, batch_start);
       Complete(request, std::move(outcome));
@@ -261,14 +400,16 @@ void QueryServer::RunBatch(std::vector<Request> batch,
   // One execution per structurally distinct spec: identical members fan
   // out from a single evaluation (dedup). The execution's deadline is the
   // latest member deadline — it is cancelled only when no member could
-  // still use the result.
+  // still use the result. A failed execution (build or morsel) completes
+  // only its own members as kError; batch-mates sharing the scan are
+  // untouched (per-member failure isolation).
   struct Execution {
     std::unique_ptr<ssb::FusedQuery> fused;
     std::vector<size_t> members;
     Clock::time_point deadline;
     bool has_deadline = true;
     std::atomic<bool> cancelled{false};
-    std::string build_error;
+    crystal::Status build_status;
   };
   std::vector<std::unique_ptr<Execution>> executions;
   for (size_t i = 0; i < live.size(); ++i) {
@@ -300,20 +441,20 @@ void QueryServer::RunBatch(std::vector<Request> batch,
   const int threads = pool_->num_threads();
   bool any_deadline = false;
   for (auto& execution : executions) {
-    try {
-      ssb::FusedQuery::BuildStats build;
-      execution->fused = std::make_unique<ssb::FusedQuery>(
-          live[execution->members.front()].spec, db, threads, *pool_,
-          /*grid_scratch=*/nullptr, &build);
+    ssb::FusedQuery::BuildStats build;
+    StatusOr<std::unique_ptr<ssb::FusedQuery>> fused =
+        ssb::FusedQuery::Create(live[execution->members.front()].spec, db,
+                                threads, *pool_,
+                                /*grid_scratch=*/nullptr, &build);
+    if (fused.ok()) {
+      execution->fused = std::move(fused).value();
       build_total.cache_hits += build.cache_hits;
       build_total.cache_builds += build.cache_builds;
-    } catch (const std::exception& e) {
-      execution->build_error = e.what();
-    } catch (...) {
-      execution->build_error = "build failed";
-    }
-    if (execution->fused != nullptr && execution->has_deadline) {
-      any_deadline = true;
+      if (execution->has_deadline) any_deadline = true;
+    } else {
+      // This execution is dead on arrival; its members complete as
+      // kError below while the rest of the batch proceeds normally.
+      execution->build_status = fused.status();
     }
   }
   build_total.build_ms = exec_timer.ElapsedMs();
@@ -323,6 +464,8 @@ void QueryServer::RunBatch(std::vector<Request> batch,
   // columns are read from memory once and served to the rest of the batch
   // cache-hot. Deadlines are checked once per morsel claim (a morsel is
   // the cancellation granularity).
+  batch_seq_.fetch_add(1, std::memory_order_relaxed);
+  batch_active_.store(true, std::memory_order_release);
   pool_->ParallelForMorsels(
       db.lo.rows, morsel_rows_, [&](int t, int64_t begin, int64_t end) {
         const Clock::time_point now =
@@ -338,9 +481,15 @@ void QueryServer::RunBatch(std::vector<Request> batch,
               continue;
             }
           }
-          execution->fused->RunMorsel(t, begin, end);
+          // A non-OK morsel latches the execution as failed inside
+          // FusedQuery; later morsels short-circuit and Finish reports
+          // the first error. Batch-mates keep running.
+          (void)execution->fused->RunMorsel(t, begin, end);
         }
+        // Watchdog heartbeat: one tick per completed morsel claim.
+        heartbeat_.fetch_add(1, std::memory_order_relaxed);
       });
+  batch_active_.store(false, std::memory_order_release);
 
   const int live_members = static_cast<int>(live.size());
   int64_t dedup_hits = 0;
@@ -354,12 +503,21 @@ void QueryServer::RunBatch(std::vector<Request> batch,
     base.cache_builds = build_total.cache_builds;
     if (execution->fused == nullptr) {
       base.status = QueryOutcome::Status::kError;
-      base.error = "build failed: " + execution->build_error;
+      base.error = "build failed: " + execution->build_status.ToString();
+      base.retryable = RetryableCode(execution->build_status.code());
     } else if (execution->cancelled.load(std::memory_order_relaxed)) {
       base.status = QueryOutcome::Status::kTimeout;
       base.error = "deadline expired during scan (cancelled between morsels)";
+      base.retryable = true;
     } else {
-      base.result = execution->fused->Finish(*pool_);
+      StatusOr<ssb::QueryResult> result = execution->fused->Finish(*pool_);
+      if (result.ok()) {
+        base.result = std::move(result).value();
+      } else {
+        base.status = QueryOutcome::Status::kError;
+        base.error = "execution failed: " + result.status().ToString();
+        base.retryable = RetryableCode(result.status().code());
+      }
     }
     dedup_hits += static_cast<int64_t>(execution->members.size()) - 1;
     const double exec_ms = exec_timer.ElapsedMs();

@@ -1,6 +1,7 @@
 #ifndef CRYSTAL_SERVER_QUERY_SERVER_H_
 #define CRYSTAL_SERVER_QUERY_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -38,6 +39,11 @@ struct ServerOptions {
   int threads = 0;
   /// Morsel size for shared scans; 0 selects the engine default.
   int64_t morsel_rows = 0;
+  /// Watchdog period in ms; > 0 starts a monitor thread that flags any
+  /// batch whose morsel heartbeat makes no progress for a full period
+  /// (ServerStats::watchdog_stalls + one stderr line per stalled batch,
+  /// diagnosis only — the batch is never killed). 0 disables.
+  double watchdog_ms = 0;
   /// Tests: hold all batch formation until Resume(), so a known set of
   /// in-flight queries lands in one deterministic batch.
   bool start_paused = false;
@@ -47,13 +53,19 @@ struct ServerOptions {
 struct QueryOutcome {
   enum class Status {
     kOk,        // result is valid
-    kError,     // invalid spec / unknown database / shutdown-time failure
+    kError,     // invalid spec / unknown database / build or scan failure
     kTimeout,   // deadline expired (before or during execution)
     kRejected,  // admission queue full, or server shutting down
   };
 
   Status status = Status::kOk;
   std::string error;        // diagnostic; empty iff kOk
+  /// Whether retrying the same submission can plausibly succeed:
+  /// transient failures (admission queue full, deadline expired, resource
+  /// exhaustion, injected faults) are retryable — clients should back off
+  /// exponentially with jitter (docs/ROBUSTNESS.md); permanent failures
+  /// (invalid spec, unknown database, shutdown) are not.
+  bool retryable = false;
   ssb::QueryResult result;  // valid iff kOk
   std::string database;     // resident database it was routed to
 
@@ -84,6 +96,12 @@ struct ServerStats {
   int64_t scans_saved = 0;  // sum over batches of (members - 1)
   int64_t dedup_hits = 0;   // members served from an identical twin
   int64_t max_batch_seen = 0;
+  /// Queued entries shed (kTimeout) because their deadline had already
+  /// expired when the scheduler looked — they never reach batch formation.
+  int64_t shed_expired = 0;
+  /// Batches flagged by the watchdog for a stalled morsel heartbeat
+  /// (at most once per batch).
+  int64_t watchdog_stalls = 0;
 };
 
 /// Long-running query service with shared-scan batch execution.
@@ -176,6 +194,7 @@ class QueryServer {
   };
 
   void SchedulerLoop();
+  void WatchdogLoop();
   void RunBatch(std::vector<Request> batch, Clock::time_point batch_start);
   /// Fulfills a request (stats + promise + callback). Never called with
   /// mu_ held.
@@ -195,7 +214,19 @@ class QueryServer {
   bool executing_ = false;
   bool shutdown_ = false;
 
+  /// Watchdog state: the scan lambda bumps heartbeat_ once per morsel;
+  /// the watchdog thread samples (batch_seq_, heartbeat_) and flags a
+  /// batch when a full period passes with an active batch and no
+  /// heartbeat progress.
+  std::atomic<uint64_t> heartbeat_{0};
+  std::atomic<uint64_t> batch_seq_{0};
+  std::atomic<bool> batch_active_{false};
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_shutdown_ = false;  // guarded by watchdog_mu_
+
   std::thread scheduler_;
+  std::thread watchdog_;
 };
 
 }  // namespace crystal::server

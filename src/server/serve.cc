@@ -1,13 +1,18 @@
 #include "server/serve.h"
 
+#include <signal.h>
+
 #include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <istream>
 #include <mutex>
 #include <numeric>
 #include <ostream>
 #include <string_view>
 
+#include "common/fault.h"
 #include "common/macros.h"
 #include "query/parser.h"
 #include "query/ssb_specs.h"
@@ -16,6 +21,12 @@
 namespace crystal::server {
 
 namespace {
+
+/// Set from the signal handler; sig_atomic_t is the only type a handler
+/// may touch portably.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
 
 int64_t Checksum(const ssb::QueryResult& result) {
   if (result.group_values.empty()) return result.scalar;
@@ -103,6 +114,25 @@ ParsedLine ParseLine(std::string_view line) {
 
 }  // namespace
 
+void InstallSignalHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a getline blocked on stdin must fail with EINTR so
+  // the serve loop notices the stop request instead of waiting for the
+  // next request line that may never come.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool StopRequested() { return g_stop_requested != 0; }
+
+void RequestStop() { g_stop_requested = 1; }
+
+void ClearStopRequest() { g_stop_requested = 0; }
+
 void AppendJsonString(std::string* out, std::string_view s) {
   out->push_back('"');
   for (const char c : s) {
@@ -144,16 +174,30 @@ int Serve(std::istream& in, std::ostream& out,
 
   std::mutex out_mu;
   std::atomic<int64_t> mismatches{0};
-  const auto emit = [&out, &out_mu](const std::string& json) {
+  std::atomic<int64_t> dropped_responses{0};
+  const auto emit = [&out, &out_mu,
+                     &dropped_responses](const std::string& json) {
+    // The "serve.write" fault point models a failed response write (a
+    // client that hung up mid-session): the response is dropped and
+    // counted, the session carries on.
+    if (!fault::Check("serve.write").ok()) {
+      dropped_responses.fetch_add(1);
+      return;
+    }
     std::lock_guard<std::mutex> lock(out_mu);
     out << json << "\n" << std::flush;  // flush: clients read over a pipe
   };
 
   std::string line;
   int64_t id = 0;
-  while (std::getline(in, line)) {
+  bool read_failed = false;
+  while (!StopRequested() && !read_failed && std::getline(in, line)) {
     const std::string_view trimmed = Trim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
+    // The "serve.read" fault point models input-stream failure after
+    // this accepted line: like a client hangup, the session stops
+    // reading and drains what was already submitted.
+    if (!fault::Check("serve.read").ok()) read_failed = true;
     ++id;
     ParsedLine parsed = ParseLine(trimmed);
     if (!parsed.ok()) {
@@ -189,6 +233,11 @@ int Serve(std::istream& in, std::ostream& out,
           if (outcome.status != QueryOutcome::Status::kOk) {
             json += ", \"error\": ";
             AppendJsonString(&json, outcome.error);
+            // Retry contract (docs/ROBUSTNESS.md): clients should retry
+            // retryable failures with exponential backoff plus jitter,
+            // and give up immediately on the rest.
+            json += outcome.retryable ? ", \"retryable\": true"
+                                      : ", \"retryable\": false";
           } else {
             json += ", \"checksum\": " + std::to_string(
                                              Checksum(outcome.result));
@@ -256,9 +305,18 @@ int Serve(std::istream& in, std::ostream& out,
     json += ", \"scans_saved\": " + std::to_string(stats.scans_saved);
     json += ", \"dedup_hits\": " + std::to_string(stats.dedup_hits);
     json += ", \"max_batch\": " + std::to_string(stats.max_batch_seen);
+    json += ", \"shed_expired\": " + std::to_string(stats.shed_expired);
+    json += ", \"watchdog_stalls\": " +
+            std::to_string(stats.watchdog_stalls);
+    json += ", \"dropped_responses\": " +
+            std::to_string(dropped_responses.load());
     json += ", \"threads\": " + std::to_string(server.threads());
+    if (StopRequested()) json += ", \"stopped_by_signal\": true";
     json += "}";
-    emit(json);
+    // The final stats line bypasses the serve.write fault point: a
+    // graceful shutdown always accounts for itself.
+    std::lock_guard<std::mutex> lock(out_mu);
+    out << json << "\n" << std::flush;
   }
   return mismatches.load() > 0 ? 2 : 0;
 }

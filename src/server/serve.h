@@ -44,6 +44,25 @@ int Serve(std::istream& in, std::ostream& out,
           const std::vector<std::pair<std::string, const ssb::Database*>>& dbs,
           const ServeConfig& config);
 
+/// Installs SIGINT/SIGTERM handlers for graceful shutdown: the handler
+/// sets a flag Serve() polls, and SA_RESTART is deliberately omitted so a
+/// read blocked on stdin fails with EINTR instead of resuming. On signal,
+/// Serve stops accepting input, drains every in-flight query (each still
+/// gets its response line), emits the final server_stats line, and
+/// returns its normal exit status. Call once, before Serve(), from the
+/// process's main thread (crystaldb --serve does).
+void InstallSignalHandlers();
+
+/// True once a stop signal (or RequestStop) was seen.
+bool StopRequested();
+
+/// Requests the same graceful stop as SIGINT/SIGTERM (tests). Serve
+/// notices it before reading the next request line.
+void RequestStop();
+
+/// Resets the stop flag (tests that reuse the process).
+void ClearStopRequest();
+
 /// Appends `s` JSON-escaped (quotes included) — shared with the error
 /// JSON the CLI emits for invalid --adhoc specs.
 void AppendJsonString(std::string* out, std::string_view s);

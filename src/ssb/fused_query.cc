@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <new>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/macros.h"
 #include "common/timer.h"
 #include "cpu/build_cache.h"
@@ -151,11 +157,10 @@ class SparseGrid {
 
 struct FusedQuery::Impl {
   Impl(const query::QuerySpec& spec, const Database& db, int threads,
-       ThreadPool& build_pool, std::vector<std::vector<int64_t>>* scratch,
-       BuildStats* stats)
+       std::vector<std::vector<int64_t>>* scratch)
       // Lowering: the spec resolved to raw column pointers and bound
-      // build-side descriptors once, before any per-row work (also
-      // validates the spec).
+      // build-side descriptors once, before any per-row work (Create
+      // validated the spec, so lowering cannot abort on input).
       : pipe(query::LowerToPipeline(spec, db)),
         fact_rows(db.lo.rows),
         scalar(pipe.layout.scalar()),
@@ -164,37 +169,6 @@ struct FusedQuery::Impl {
         agg(scratch != nullptr ? scratch : &own_scratch,
             threads, sparse ? 1 : pipe.layout.cells),
         sparse_grids(sparse ? static_cast<size_t>(threads) : 0) {
-    // Build phase: fetch every probe's build side from the process-wide
-    // cache; only combinations never seen for this database generation
-    // are actually built (one parallel filtered pass each).
-    BuildStats local_stats;
-    if (stats == nullptr) stats = &local_stats;
-    const std::string generation = query::GenerationKey(db);
-    WallTimer build_timer;
-    tables.reserve(pipe.probes.size());
-    for (const query::ProbeStage& probe : pipe.probes) {
-      const query::BoundJoin& join =
-          pipe.bound[static_cast<size_t>(probe.join_index)];
-      bool hit = false;
-      tables.push_back(cpu::BuildCache::Process().GetOrBuild(
-          generation, probe.cache_key,
-          [&join, &build_pool] {
-            return cpu::BuildJoinTable(
-                join.keys->data(), join.payload->data(), join.dim_rows,
-                [&join](int64_t i) {
-                  return join.RowPasses(static_cast<size_t>(i));
-                },
-                build_pool);
-          },
-          &hit));
-      if (hit) {
-        ++stats->cache_hits;
-      } else {
-        ++stats->cache_builds;
-      }
-    }
-    stats->build_ms = build_timer.ElapsedMs();
-
     // Packed columns that must materialize per vector (probe keys and
     // aggregate inputs; filters decode in-register inside the fused
     // kernels) get a scratch slot each, deduplicated by payload pointer so
@@ -220,6 +194,64 @@ struct FusedQuery::Impl {
                      : -1;
   }
 
+  /// Build phase: fetch every probe's build side from the process-wide
+  /// cache; only combinations never seen for this database generation are
+  /// actually built (one parallel filtered pass each). A failed build
+  /// fails the whole query setup.
+  Status FetchTables(const Database& db, ThreadPool& build_pool,
+                     BuildStats* stats) {
+    BuildStats local_stats;
+    if (stats == nullptr) stats = &local_stats;
+    const std::string generation = query::GenerationKey(db);
+    WallTimer build_timer;
+    tables.reserve(pipe.probes.size());
+    for (const query::ProbeStage& probe : pipe.probes) {
+      const query::BoundJoin& join =
+          pipe.bound[static_cast<size_t>(probe.join_index)];
+      bool hit = false;
+      StatusOr<std::shared_ptr<const cpu::JoinTable>> table =
+          cpu::BuildCache::Process().GetOrBuild(
+              generation, probe.cache_key,
+              [&join, &build_pool] {
+                return cpu::BuildJoinTable(
+                    join.keys->data(), join.payload->data(), join.dim_rows,
+                    [&join](int64_t i) {
+                      return join.RowPasses(static_cast<size_t>(i));
+                    },
+                    build_pool);
+              },
+              &hit);
+      if (!table.ok()) {
+        stats->build_ms = build_timer.ElapsedMs();
+        return table.status();
+      }
+      tables.push_back(std::move(table).value());
+      if (hit) {
+        ++stats->cache_hits;
+      } else {
+        ++stats->cache_builds;
+      }
+    }
+    stats->build_ms = build_timer.ElapsedMs();
+    return Status();
+  }
+
+  /// Latches the query's first error (later ones are dropped — the first
+  /// failure is the root cause) and returns it.
+  Status LatchError(Status status) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error.ok()) first_error = std::move(status);
+    failed.store(true, std::memory_order_relaxed);
+    return first_error;
+  }
+
+  Status FirstError() {
+    std::lock_guard<std::mutex> lock(error_mu);
+    return first_error;
+  }
+
+  void Run(int t, int64_t begin, int64_t end);
+
   const query::QueryPipeline pipe;
   const int64_t fact_rows;
   const bool scalar;
@@ -234,18 +266,59 @@ struct FusedQuery::Impl {
   std::vector<std::vector<int64_t>> own_scratch;
   GridAgg agg;
   std::vector<SparseGrid> sparse_grids;
+
+  /// Failure latch: set by the first failing RunMorsel, read (relaxed) on
+  /// every later morsel to short-circuit a doomed member's remaining
+  /// work. Exact visibility of first_error comes from error_mu.
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  Status first_error;
 };
 
-FusedQuery::FusedQuery(const query::QuerySpec& spec, const Database& db,
-                       int threads, ThreadPool& build_pool,
-                       std::vector<std::vector<int64_t>>* grid_scratch,
-                       BuildStats* stats)
-    : impl_(new Impl(spec, db, threads, build_pool, grid_scratch, stats)) {}
+FusedQuery::FusedQuery() = default;
 
 FusedQuery::~FusedQuery() = default;
 
-void FusedQuery::RunMorsel(int t, int64_t begin, int64_t end) {
+StatusOr<std::unique_ptr<FusedQuery>> FusedQuery::Create(
+    const query::QuerySpec& spec, const Database& db, int threads,
+    ThreadPool& build_pool,
+    std::vector<std::vector<int64_t>>* grid_scratch, BuildStats* stats) {
+  std::string error;
+  if (!query::Validate(spec, &error)) return InvalidArgumentError(error);
+  CRYSTAL_RETURN_IF_ERROR(fault::Check("fused.build"));
+  std::unique_ptr<FusedQuery> fused(new FusedQuery());
+  try {
+    fused->impl_ =
+        std::make_unique<Impl>(spec, db, threads, grid_scratch);
+  } catch (const std::bad_alloc&) {
+    return ResourceExhaustedError("query setup allocation failed");
+  }
+  CRYSTAL_RETURN_IF_ERROR(fused->impl_->FetchTables(db, build_pool, stats));
+  return fused;
+}
+
+bool FusedQuery::failed() const {
+  return impl_->failed.load(std::memory_order_relaxed);
+}
+
+Status FusedQuery::RunMorsel(int t, int64_t begin, int64_t end) {
   Impl& s = *impl_;
+  if (s.failed.load(std::memory_order_relaxed)) return s.FirstError();
+  {
+    Status status = fault::Check("fused.morsel");
+    if (!status.ok()) return s.LatchError(std::move(status));
+  }
+  try {
+    s.Run(t, begin, end);
+  } catch (const std::bad_alloc&) {
+    return s.LatchError(
+        ResourceExhaustedError("aggregation allocation failed"));
+  }
+  return Status();
+}
+
+void FusedQuery::Impl::Run(int t, int64_t begin, int64_t end) {
+  Impl& s = *this;
   const query::QueryPipeline& pipe = s.pipe;
   const AggExpr::Kind agg_kind = pipe.agg.kind;
   const query::GroupLayout& layout = pipe.layout;
@@ -364,8 +437,9 @@ void FusedQuery::RunMorsel(int t, int64_t begin, int64_t end) {
   s.partial[static_cast<size_t>(t)] += sum;
 }
 
-QueryResult FusedQuery::Finish(ThreadPool& pool) {
+StatusOr<QueryResult> FusedQuery::Finish(ThreadPool& pool) {
   Impl& s = *impl_;
+  if (s.failed.load(std::memory_order_relaxed)) return s.FirstError();
   QueryResult r;
   if (s.scalar) {
     for (int64_t v : s.partial) r.scalar += v;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "query/query_spec.h"
 #include "ssb/queries.h"
@@ -40,29 +41,48 @@ class FusedQuery {
     int64_t cache_builds = 0;
   };
 
-  /// Lowers `spec` against `db` (spec must be valid — query::Validate —
-  /// lowering aborts otherwise) and fetches/builds the dimension build
-  /// sides on `build_pool`. `grid_scratch` optionally donates caller-owned
+  /// Lowers `spec` against `db` and fetches/builds the dimension build
+  /// sides on `build_pool`. Fails with kInvalidArgument when the spec
+  /// doesn't validate, propagates build-side failures from the
+  /// cpu::BuildCache (kResourceExhausted / kInternal / kFaultInjected),
+  /// and checks the "fused.build" fault point — never aborts on
+  /// recoverable input. `grid_scratch` optionally donates caller-owned
   /// dense-grid scratch reused across runs (the engine's warm-pages
   /// optimization); pass nullptr for private scratch. `threads` is the
   /// scan pool's thread count (sizes the per-thread state).
-  FusedQuery(const query::QuerySpec& spec, const Database& db, int threads,
-             ThreadPool& build_pool,
-             std::vector<std::vector<int64_t>>* grid_scratch = nullptr,
-             BuildStats* stats = nullptr);
+  static StatusOr<std::unique_ptr<FusedQuery>> Create(
+      const query::QuerySpec& spec, const Database& db, int threads,
+      ThreadPool& build_pool,
+      std::vector<std::vector<int64_t>>* grid_scratch = nullptr,
+      BuildStats* stats = nullptr);
+
   ~FusedQuery();
 
   FusedQuery(const FusedQuery&) = delete;
   FusedQuery& operator=(const FusedQuery&) = delete;
 
   /// Runs the full plan over fact rows [begin, end) as thread `t`.
-  void RunMorsel(int t, int64_t begin, int64_t end);
+  /// Checks the "fused.morsel" fault point (one relaxed load when no
+  /// faults are installed) and converts allocation failure into Status.
+  /// The first non-OK morsel latches the query as failed: subsequent
+  /// calls return that first error immediately without touching data, so
+  /// a shared scan stops spending cycles on a doomed member while its
+  /// batch-mates keep running.
+  Status RunMorsel(int t, int64_t begin, int64_t end);
 
   /// Merges per-thread aggregation state (grid merge runs on `pool`) and
-  /// returns the final result. Call once, after the scan completed.
-  QueryResult Finish(ThreadPool& pool);
+  /// returns the final result — or the first morsel error, if any morsel
+  /// failed (partial aggregates must never masquerade as results). Call
+  /// once, after the scan completed.
+  StatusOr<QueryResult> Finish(ThreadPool& pool);
+
+  /// True once any RunMorsel latched a failure (relaxed load; exact
+  /// synchronization comes from the scan pool's join).
+  bool failed() const;
 
  private:
+  FusedQuery();
+
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };

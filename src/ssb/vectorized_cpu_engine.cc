@@ -1,8 +1,11 @@
 #include "ssb/vectorized_cpu_engine.h"
 
 #include <cstdlib>
+#include <memory>
+#include <utility>
 
 #include "common/macros.h"
+#include "common/status.h"
 #include "common/timer.h"
 #include "ssb/fused_query.h"
 
@@ -30,9 +33,13 @@ QueryResult VectorizedCpuEngine::Run(const query::QuerySpec& spec,
   // All execution state lives in FusedQuery (ssb/fused_query.h): lowering,
   // build-side fetch from the process-wide cache, per-thread aggregation.
   // This engine is the single-query driver: one instance, one morsel pass.
+  // The engine's contract is still abort-on-failure — the recoverable
+  // Status surface belongs to the query server; here a failure (injected
+  // fault, allocation) is a hard error.
   FusedQuery::BuildStats build;
-  FusedQuery fused(spec, db_, pool_.num_threads(), pool_, &grid_scratch_,
-                   &build);
+  StatusOr<std::unique_ptr<FusedQuery>> fused = FusedQuery::Create(
+      spec, db_, pool_.num_threads(), pool_, &grid_scratch_, &build);
+  CRYSTAL_CHECK_MSG(fused.ok(), fused.status().ToString().c_str());
   info->build_ms = build.build_ms;
   info->cache_hits = build.cache_hits;
   info->cache_builds = build.cache_builds;
@@ -43,13 +50,18 @@ QueryResult VectorizedCpuEngine::Run(const query::QuerySpec& spec,
   // claimed dynamically, so a thread stalled on a cold fact slice never
   // holds back the others.
   WallTimer probe_timer;
+  FusedQuery& query = **fused;
   pool_.ParallelForMorsels(db_.lo.rows, morsel_rows_,
                            [&](int t, int64_t begin, int64_t end) {
-                             fused.RunMorsel(t, begin, end);
+                             const Status status =
+                                 query.RunMorsel(t, begin, end);
+                             CRYSTAL_CHECK_MSG(status.ok(),
+                                               status.ToString().c_str());
                            });
-  QueryResult r = fused.Finish(pool_);
+  StatusOr<QueryResult> r = query.Finish(pool_);
+  CRYSTAL_CHECK_MSG(r.ok(), r.status().ToString().c_str());
   info->probe_ms = probe_timer.ElapsedMs();
-  return r;
+  return std::move(r).value();
 }
 
 }  // namespace crystal::ssb

@@ -1,0 +1,282 @@
+// Chaos suite (docs/ROBUSTNESS.md): randomized CRYSTAL_FAULT schedules
+// against a live QueryServer with concurrent clients. The properties under
+// test are the service's survival contract, not any particular failure:
+//   1. no crash, hang, or abort under any schedule;
+//   2. exactly one outcome per submission (every future resolves);
+//   3. every kOk result is bit-identical to the reference interpreter —
+//      a fault may fail a query, it must never corrupt one;
+//   4. stats counters stay consistent (completed == submitted,
+//      ok + errors + timeouts + rejected == completed);
+//   5. the server drains and destructs cleanly with faults still armed.
+// Schedules are deterministic: a fixed master seed derives each schedule's
+// fault spec, server geometry, and client workload, so any failure here
+// replays exactly. CRYSTAL_CHAOS_SCHEDULES overrides the schedule count
+// (default 100; CI's TSan job runs a reduced count under the race
+// detector).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "cpu/build_cache.h"
+#include "query/parser.h"
+#include "query/ssb_specs.h"
+#include "server/query_server.h"
+#include "server/serve.h"
+#include "ssb/datagen.h"
+#include "ssb/queries.h"
+
+namespace crystal::server {
+namespace {
+
+/// Small enough that 100 schedules stay in CI budget, large enough for a
+/// few dozen morsels per scan at the schedules' morsel sizes.
+const ssb::Database& ChaosDb() {
+  static const ssb::Database* db = new ssb::Database(ssb::Generate(1, 400));
+  return *db;
+}
+
+int ScheduleCount() {
+  if (const char* env = std::getenv("CRYSTAL_CHAOS_SCHEDULES")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 100;
+}
+
+/// The workload pool: one spec per structural shape (scalar, dense grids,
+/// sparse grid) so faults land across every execution path.
+const std::vector<query::QuerySpec>& SpecPool() {
+  static const std::vector<query::QuerySpec>* specs = [] {
+    auto* s = new std::vector<query::QuerySpec>{
+        query::SsbSpec(ssb::QueryId::kQ11),
+        query::SsbSpec(ssb::QueryId::kQ21),
+        query::SsbSpec(ssb::QueryId::kQ31),
+        query::SsbSpec(ssb::QueryId::kQ34),
+        query::SsbSpec(ssb::QueryId::kQ43),
+    };
+    return s;
+  }();
+  return *specs;
+}
+
+/// Reference results computed once, fault-free, for bit-identity checks.
+const std::vector<ssb::QueryResult>& ReferenceResults() {
+  static const std::vector<ssb::QueryResult>* results = [] {
+    auto* r = new std::vector<ssb::QueryResult>();
+    for (const query::QuerySpec& spec : SpecPool()) {
+      r->push_back(ssb::RunReference(ChaosDb(), spec));
+    }
+    return r;
+  }();
+  return *results;
+}
+
+/// One random fault rule for `point`: fail or a short delay, under a
+/// random trigger. Delays stay in the low milliseconds — chaos wants
+/// interleavings, not wall-clock.
+std::string RandomRule(std::mt19937_64& rng, const std::string& point) {
+  std::string rule = point + "=";
+  if (rng() % 3 == 0) {
+    rule += "delay:" + std::to_string(1 + rng() % 3) + "ms";
+  } else {
+    rule += "fail";
+  }
+  switch (rng() % 4) {
+    case 0:
+      rule += "@" + std::to_string(1 + rng() % 8);  // nth hit
+      break;
+    case 1:
+      rule += "@every:" + std::to_string(2 + rng() % 9);
+      break;
+    case 2:
+      rule += "@chance:0." + std::to_string(1 + rng() % 4) + ":" +
+              std::to_string(1 + rng() % 1000);
+      break;
+    default:
+      rule += "@after:" + std::to_string(4 + rng() % 32);
+      break;
+  }
+  return rule;
+}
+
+/// A random comma-joined schedule over the server-relevant fault points
+/// (always at least one rule — a fault-free schedule tests nothing here).
+std::string RandomSchedule(std::mt19937_64& rng) {
+  static const char* kPoints[] = {"build_cache.build", "fused.build",
+                                  "fused.morsel", "server.admit",
+                                  "server.batch"};
+  std::string spec;
+  for (const char* point : kPoints) {
+    if (rng() % 2 == 0) continue;
+    if (!spec.empty()) spec += ",";
+    spec += RandomRule(rng, point);
+  }
+  if (spec.empty()) spec = RandomRule(rng, "fused.morsel");
+  return spec;
+}
+
+TEST(ChaosTest, RandomFaultSchedulesNeverCrashCorruptOrHang) {
+  const int schedules = ScheduleCount();
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 6;
+  int64_t injected_failures = 0;
+  int64_t ok_results = 0;
+
+  for (int schedule = 0; schedule < schedules; ++schedule) {
+    std::mt19937_64 rng(20200302 + static_cast<uint64_t>(schedule));
+    const std::string fault_spec = RandomSchedule(rng);
+    SCOPED_TRACE("schedule " + std::to_string(schedule) + ": " + fault_spec);
+    fault::Clear();
+    cpu::BuildCache::Process().Clear();
+    ASSERT_TRUE(fault::Install(fault_spec).ok());
+
+    ServerOptions options;
+    options.max_batch = 2 + static_cast<int>(rng() % 7);
+    options.max_queue = 4 + static_cast<int>(rng() % 29);
+    options.threads = 2;
+    options.morsel_rows = 512 << (rng() % 3);  // 512 / 1024 / 2048
+    if (rng() % 3 == 0) options.default_timeout_ms = 5 + rng() % 46;
+    if (rng() % 4 == 0) options.watchdog_ms = 25;
+
+    struct Tally {
+      int64_t ok = 0;
+      int64_t failed = 0;
+    };
+    std::vector<Tally> tallies(kClients);
+    {
+      QueryServer server(options);
+      server.AddDatabase("db", &ChaosDb());
+      std::vector<std::thread> clients;
+      for (int c = 0; c < kClients; ++c) {
+        // Per-client deterministic workload seed, drawn before the
+        // thread starts so schedule replay is exact.
+        const uint64_t client_seed = rng();
+        clients.emplace_back([&, c, client_seed] {
+          std::mt19937_64 client_rng(client_seed);
+          for (int q = 0; q < kQueriesPerClient; ++q) {
+            const size_t pick = client_rng() % SpecPool().size();
+            QueryServer::SubmitOptions submit;
+            if (client_rng() % 4 == 0) {
+              submit.timeout_ms = 5 + client_rng() % 46;
+            }
+            const QueryOutcome outcome =
+                server.ExecuteSync(SpecPool()[pick], submit);
+            if (outcome.status == QueryOutcome::Status::kOk) {
+              // Survival property #3: a fault may fail a query, never
+              // corrupt one.
+              EXPECT_TRUE(outcome.result == ReferenceResults()[pick])
+                  << "kOk result diverged from the reference for spec "
+                  << pick;
+              EXPECT_TRUE(outcome.error.empty());
+              ++tallies[c].ok;
+            } else {
+              EXPECT_FALSE(outcome.error.empty())
+                  << StatusName(outcome.status) << " without a diagnostic";
+              ++tallies[c].failed;
+            }
+          }
+        });
+      }
+      for (std::thread& client : clients) client.join();
+      server.Drain();
+
+      const ServerStats stats = server.stats();
+      const int64_t expected =
+          static_cast<int64_t>(kClients) * kQueriesPerClient;
+      EXPECT_EQ(stats.submitted, expected);
+      // Survival property #2/#4: one outcome per submission, and the
+      // per-status counters partition them.
+      EXPECT_EQ(stats.completed, stats.submitted);
+      EXPECT_EQ(stats.errors + stats.timeouts + stats.rejected +
+                    (stats.completed - stats.errors - stats.timeouts -
+                     stats.rejected),
+                stats.completed);
+      int64_t client_ok = 0;
+      int64_t client_failed = 0;
+      for (const Tally& tally : tallies) {
+        client_ok += tally.ok;
+        client_failed += tally.failed;
+      }
+      EXPECT_EQ(client_ok + client_failed, expected);
+      EXPECT_EQ(stats.completed - stats.errors - stats.timeouts -
+                    stats.rejected,
+                client_ok);
+      ok_results += client_ok;
+      injected_failures += client_failed;
+    }  // survival property #5: destruction with faults still armed
+  }
+  fault::Clear();
+  cpu::BuildCache::Process().Clear();
+
+  // Meta-check on the harness itself: across all schedules the faults
+  // actually bit (some failures) and the service actually worked (some
+  // successes) — a chaos drill where either side is zero tests nothing.
+  EXPECT_GT(injected_failures, 0);
+  EXPECT_GT(ok_results, 0);
+}
+
+TEST(ChaosTest, ServeSessionSurvivesProtocolIoFaults) {
+  fault::Clear();
+  cpu::BuildCache::Process().Clear();
+  // Response writes fail on every 3rd emission and the input stream dies
+  // after the 5th accepted line: the session must drop (and count) the
+  // lost responses, stop reading at the hangup, drain, and still emit the
+  // final server_stats line.
+  ASSERT_TRUE(
+      fault::Install("serve.write=fail@every:3,serve.read=fail@5").ok());
+  std::string script;
+  for (int i = 0; i < 12; ++i) script += "q1.1\nq2.1\n";
+  std::istringstream in(script);
+  std::ostringstream out;
+  std::vector<std::pair<std::string, const ssb::Database*>> dbs;
+  dbs.emplace_back("sf1", &ChaosDb());
+  ServeConfig config;
+  config.server.threads = 2;
+  const int exit_code = Serve(in, out, dbs, config);
+  fault::Clear();
+  cpu::BuildCache::Process().Clear();
+
+  EXPECT_EQ(exit_code, 0) << out.str();
+  const std::string text = out.str();
+  // serve.read=fail@5: exactly 5 lines were accepted and submitted.
+  EXPECT_NE(text.find("\"submitted\": 5"), std::string::npos) << text;
+  // serve.write=fail@every:3 dropped some responses, visible in stats.
+  EXPECT_EQ(text.find("\"dropped_responses\": 0,"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"event\": \"server_stats\""), std::string::npos)
+      << text;
+}
+
+TEST(ChaosTest, GracefulStopDrainsAndReportsBeforeExit) {
+  fault::Clear();
+  cpu::BuildCache::Process().Clear();
+  ClearStopRequest();
+  // A stop request arriving before the session starts: Serve must accept
+  // no input, still emit the final stats line, and return 0 — the same
+  // path a SIGINT/SIGTERM takes in `crystaldb --serve`.
+  RequestStop();
+  std::istringstream in("q1.1\nq2.1\n");
+  std::ostringstream out;
+  std::vector<std::pair<std::string, const ssb::Database*>> dbs;
+  dbs.emplace_back("sf1", &ChaosDb());
+  ServeConfig config;
+  config.server.threads = 2;
+  const int exit_code = Serve(in, out, dbs, config);
+  ClearStopRequest();
+
+  EXPECT_EQ(exit_code, 0) << out.str();
+  EXPECT_NE(out.str().find("\"submitted\": 0"), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("\"stopped_by_signal\": true"),
+            std::string::npos)
+      << out.str();
+}
+
+}  // namespace
+}  // namespace crystal::server

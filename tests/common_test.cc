@@ -1,13 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/aligned.h"
 #include "common/bitutil.h"
+#include "common/fault.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 
@@ -194,6 +199,152 @@ TEST(TablePrinterTest, FormatsAlignedTable) {
 TEST(TablePrinterTest, FmtPrecision) {
   EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
   EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+}
+
+TEST(StatusTest, DefaultIsOkAndFactoriesCarryCodeAndMessage) {
+  const Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  const Status bad = ResourceExhaustedError("out of slots");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(bad.message(), "out of slots");
+  EXPECT_EQ(bad.ToString(), "kResourceExhausted: out of slots");
+  EXPECT_EQ(bad, ResourceExhaustedError("out of slots"));
+  EXPECT_FALSE(bad == Status());
+}
+
+TEST(StatusTest, StatusOrHoldsValueOrStatus) {
+  StatusOr<int> with_value(7);
+  EXPECT_TRUE(with_value.ok());
+  EXPECT_EQ(with_value.value(), 7);
+  EXPECT_EQ(*with_value, 7);
+
+  StatusOr<int> with_error(NotFoundError("nope"));
+  EXPECT_FALSE(with_error.ok());
+  EXPECT_EQ(with_error.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  const auto passthrough = [](Status inner) -> Status {
+    CRYSTAL_RETURN_IF_ERROR(inner);
+    return InternalError("reached the end");
+  };
+  EXPECT_EQ(passthrough(UnavailableError("x")).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(passthrough(Status()).code(), StatusCode::kInternal);
+}
+
+/// Uninstalls every fault rule on scope exit, so a failing assertion
+/// can't leak an active schedule into unrelated tests.
+struct FaultGuard {
+  ~FaultGuard() { fault::Clear(); }
+};
+
+TEST(FaultTest, DisabledByDefaultAndAfterClear) {
+  FaultGuard guard;
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_TRUE(fault::Check("fused.morsel").ok());
+  ASSERT_TRUE(fault::Install("fused.morsel=fail").ok());
+  EXPECT_TRUE(fault::Enabled());
+  fault::Clear();
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_TRUE(fault::Check("fused.morsel").ok());
+}
+
+TEST(FaultTest, FailRuleTriggersAndCounts) {
+  FaultGuard guard;
+  ASSERT_TRUE(fault::Install("fused.build=fail").ok());
+  const Status status = fault::Check("fused.build");
+  EXPECT_EQ(status.code(), StatusCode::kFaultInjected);
+  EXPECT_NE(status.message().find("fused.build"), std::string::npos);
+  EXPECT_EQ(fault::Hits("fused.build"), 1);
+  EXPECT_EQ(fault::Triggers("fused.build"), 1);
+  // Uninstalled points are evaluated (counted) but never fire.
+  EXPECT_TRUE(fault::Check("fused.morsel").ok());
+  EXPECT_EQ(fault::Hits("fused.morsel"), 1);
+  EXPECT_EQ(fault::Triggers("fused.morsel"), 0);
+}
+
+TEST(FaultTest, NthEveryAndAfterTriggers) {
+  FaultGuard guard;
+  ASSERT_TRUE(fault::Install("fused.build=fail@3").ok());
+  EXPECT_TRUE(fault::Check("fused.build").ok());
+  EXPECT_TRUE(fault::Check("fused.build").ok());
+  EXPECT_FALSE(fault::Check("fused.build").ok());  // the 3rd hit
+  EXPECT_TRUE(fault::Check("fused.build").ok());
+
+  ASSERT_TRUE(fault::Install("fused.build=fail@every:2").ok());
+  int fired = 0;
+  for (int i = 0; i < 6; ++i) fired += fault::Check("fused.build").ok() ? 0 : 1;
+  EXPECT_EQ(fired, 3);
+
+  ASSERT_TRUE(fault::Install("fused.build=fail@after:4").ok());
+  fired = 0;
+  for (int i = 0; i < 6; ++i) fired += fault::Check("fused.build").ok() ? 0 : 1;
+  EXPECT_EQ(fired, 3);  // hits 4, 5, 6
+}
+
+TEST(FaultTest, ChanceTriggerIsDeterministicPerSeed) {
+  FaultGuard guard;
+  const auto run = [](const std::string& spec) {
+    EXPECT_TRUE(fault::Install(spec).ok());
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) {
+      fires.push_back(!fault::Check("server.admit").ok());
+    }
+    return fires;
+  };
+  const std::vector<bool> a = run("server.admit=fail@chance:0.5:9");
+  const std::vector<bool> b = run("server.admit=fail@chance:0.5:9");
+  const std::vector<bool> c = run("server.admit=fail@chance:0.5:10");
+  EXPECT_EQ(a, b);  // same seed, same schedule
+  EXPECT_NE(a, c);  // different seed, different schedule
+  const int fired = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fired, 8);   // ~32 expected of 64
+  EXPECT_LT(fired, 56);
+}
+
+TEST(FaultTest, DelayRuleSleepsAndReturnsOk) {
+  FaultGuard guard;
+  ASSERT_TRUE(fault::Install("serve.read=delay:30ms@1").ok());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(fault::Check("serve.read").ok());
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed_ms, 25.0);
+  EXPECT_TRUE(fault::Check("serve.read").ok());  // only the 1st hit delays
+}
+
+TEST(FaultTest, InstallRejectsMalformedSpecsAtomically) {
+  FaultGuard guard;
+  EXPECT_FALSE(fault::Install("not-a-point=fail").ok());
+  EXPECT_FALSE(fault::Install("fused.build").ok());
+  EXPECT_FALSE(fault::Install("fused.build=explode").ok());
+  EXPECT_FALSE(fault::Install("fused.build=fail@every:0").ok());
+  EXPECT_FALSE(fault::Install("fused.build=fail@chance:2:1").ok());
+  // A bad rule anywhere installs nothing — Enabled() stays false.
+  EXPECT_FALSE(
+      fault::Install("fused.build=fail,also-not-a-point=fail").ok());
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_TRUE(fault::Check("fused.build").ok());
+  // The active spec is echoed back (bench JSON provenance).
+  ASSERT_TRUE(fault::Install("fused.build=fail@2,serve.read=delay:1ms").ok());
+  EXPECT_EQ(fault::ActiveSpec(), "fused.build=fail@2,serve.read=delay:1ms");
+}
+
+TEST(FaultTest, KnownPointsAreDocumentedAndInstallable) {
+  FaultGuard guard;
+  for (const fault::PointInfo& point : fault::KnownPoints()) {
+    EXPECT_NE(point.name, nullptr);
+    EXPECT_NE(point.description, nullptr);
+    EXPECT_TRUE(fault::Install(std::string(point.name) + "=fail").ok())
+        << point.name;
+  }
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "cpu/build_cache.h"
 #include "cpu/vector_ops.h"
 #include "query/parser.h"
@@ -47,14 +48,15 @@ query::QuerySpec Adhoc(const std::string& text) {
   return spec;
 }
 
-/// Restores SIMD dispatch and clears the process build cache between
-/// sections (cached sides built under a scoped dispatch state must not
-/// leak into the next test).
+/// Restores SIMD dispatch, uninstalls any fault rules, and clears the
+/// process build cache between sections (cached sides built under a
+/// scoped dispatch state must not leak into the next test).
 class DispatchGuard {
  public:
   DispatchGuard() : simd_(cpu::SimdEnabled()) {}
   ~DispatchGuard() {
     cpu::SetSimdEnabled(simd_);
+    fault::Clear();
     cpu::BuildCache::Process().Clear();
   }
 
@@ -251,6 +253,158 @@ TEST(QueryServerTest, RoutesToResidentDatabases) {
   EXPECT_TRUE(a.result == ssb::RunReference(TestDb(), spec));
   EXPECT_TRUE(b.result == ssb::RunReference(small, spec));
   EXPECT_FALSE(a.result == b.result);  // really two different databases
+}
+
+// ----------------------------------------------------------- robustness
+
+TEST(QueryServerTest, BuildFailureIsIsolatedToItsBatchMember) {
+  DispatchGuard guard;
+  ServerOptions options;
+  options.start_paused = true;  // both members land in one batch
+  options.threads = 2;
+  QueryServer server(options);
+  server.AddDatabase("db", &TestDb());
+
+  // The first distinct spec's build fails (injected); its batch-mate
+  // shares the scan and must still produce a bit-identical result.
+  ASSERT_TRUE(fault::Install("fused.build=fail@1").ok());
+  const query::QuerySpec doomed_spec = query::SsbSpec(ssb::QueryId::kQ21);
+  const query::QuerySpec fine_spec = query::SsbSpec(ssb::QueryId::kQ34);
+  auto doomed = server.Submit(doomed_spec);
+  auto doomed_twin = server.Submit(doomed_spec);  // dedups onto the same
+  auto fine = server.Submit(fine_spec);           // execution as `doomed`
+  server.Resume();
+
+  const QueryOutcome failed = doomed.get();
+  EXPECT_EQ(failed.status, QueryOutcome::Status::kError);
+  EXPECT_NE(failed.error.find("fused.build"), std::string::npos)
+      << failed.error;
+  EXPECT_TRUE(failed.retryable);  // kFaultInjected is transient
+  EXPECT_EQ(doomed_twin.get().status, QueryOutcome::Status::kError);
+
+  const QueryOutcome ok = fine.get();
+  ASSERT_EQ(ok.status, QueryOutcome::Status::kOk) << ok.error;
+  EXPECT_EQ(ok.batch_size, 3);
+  EXPECT_TRUE(ok.result == ssb::RunReference(TestDb(), fine_spec));
+
+  server.Drain();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 3);
+  EXPECT_EQ(stats.errors, 2);
+  // The failed build was not cached: re-running the doomed spec with the
+  // fault exhausted (it fired on hit 1 only) must now succeed.
+  const QueryOutcome retry = server.ExecuteSync(doomed_spec);
+  ASSERT_EQ(retry.status, QueryOutcome::Status::kOk) << retry.error;
+  EXPECT_TRUE(retry.result == ssb::RunReference(TestDb(), doomed_spec));
+}
+
+TEST(QueryServerTest, MorselFaultFailsOnlyThatExecution) {
+  DispatchGuard guard;
+  ServerOptions options;
+  options.start_paused = true;
+  options.threads = 2;
+  options.morsel_rows = 1024;  // many morsels, so the fault lands mid-scan
+  QueryServer server(options);
+  server.AddDatabase("db", &TestDb());
+
+  // Executions run in submission order within each morsel, so hit 1 of
+  // fused.morsel belongs to the first submitted spec.
+  ASSERT_TRUE(fault::Install("fused.morsel=fail@1").ok());
+  const query::QuerySpec fine_spec = query::SsbSpec(ssb::QueryId::kQ13);
+  auto doomed = server.Submit(query::SsbSpec(ssb::QueryId::kQ12));
+  auto fine = server.Submit(fine_spec);
+  server.Resume();
+
+  const QueryOutcome failed = doomed.get();
+  EXPECT_EQ(failed.status, QueryOutcome::Status::kError);
+  EXPECT_NE(failed.error.find("fused.morsel"), std::string::npos)
+      << failed.error;
+  const QueryOutcome ok = fine.get();
+  ASSERT_EQ(ok.status, QueryOutcome::Status::kOk) << ok.error;
+  EXPECT_TRUE(ok.result == ssb::RunReference(TestDb(), fine_spec));
+}
+
+TEST(QueryServerTest, RejectionsCarryTheRetryContract) {
+  DispatchGuard guard;
+  ServerOptions options;
+  options.start_paused = true;
+  options.max_queue = 1;
+  options.threads = 2;
+  QueryServer server(options);
+  server.AddDatabase("db", &TestDb());
+
+  auto queued = server.Submit(query::SsbSpec(ssb::QueryId::kQ11));
+  const QueryOutcome overflow =
+      server.Submit(query::SsbSpec(ssb::QueryId::kQ12)).get();
+  EXPECT_EQ(overflow.status, QueryOutcome::Status::kRejected);
+  EXPECT_TRUE(overflow.retryable);  // queue-full is transient by definition
+
+  query::QuerySpec invalid = query::SsbSpec(ssb::QueryId::kQ11);
+  invalid.group_by.push_back(query::DimCol::kDYear);
+  const QueryOutcome bad = server.ExecuteSync(invalid);
+  EXPECT_EQ(bad.status, QueryOutcome::Status::kError);
+  EXPECT_FALSE(bad.retryable);  // invalid input never succeeds on retry
+
+  server.Resume();
+  EXPECT_EQ(queued.get().status, QueryOutcome::Status::kOk);
+}
+
+TEST(QueryServerTest, DestructionWhileLoadedFulfillsEveryPromise) {
+  DispatchGuard guard;
+  // Paused server with queued work: destruction must resolve every
+  // outstanding future (kRejected), never leave a waiter hung.
+  std::vector<std::future<QueryOutcome>> futures;
+  {
+    ServerOptions options;
+    options.start_paused = true;
+    options.threads = 2;
+    QueryServer server(options);
+    server.AddDatabase("db", &TestDb());
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(server.Submit(query::SsbSpec(ssb::QueryId::kQ21)));
+    }
+  }
+  for (auto& future : futures) {
+    const QueryOutcome outcome = future.get();  // must not block forever
+    EXPECT_EQ(outcome.status, QueryOutcome::Status::kRejected);
+    EXPECT_NE(outcome.error.find("shutting down"), std::string::npos);
+  }
+
+  // Running server destructed right after submission: whatever the
+  // scheduler already started completes normally; the rest is rejected.
+  futures.clear();
+  {
+    ServerOptions options;
+    options.threads = 2;
+    QueryServer server(options);
+    server.AddDatabase("db", &TestDb());
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(server.Submit(query::SsbSpec(ssb::QueryId::kQ11)));
+    }
+  }
+  for (auto& future : futures) {
+    const QueryOutcome outcome = future.get();
+    EXPECT_TRUE(outcome.status == QueryOutcome::Status::kOk ||
+                outcome.status == QueryOutcome::Status::kRejected)
+        << StatusName(outcome.status) << ": " << outcome.error;
+  }
+}
+
+TEST(QueryServerTest, WatchdogFlagsAStalledHeartbeat) {
+  DispatchGuard guard;
+  ServerOptions options;
+  options.threads = 2;
+  options.morsel_rows = 1024;
+  options.watchdog_ms = 40;  // fast watchdog against a 250 ms morsel stall
+  QueryServer server(options);
+  server.AddDatabase("db", &TestDb());
+
+  ASSERT_TRUE(fault::Install("fused.morsel=delay:250ms@1").ok());
+  const QueryOutcome outcome =
+      server.ExecuteSync(query::SsbSpec(ssb::QueryId::kQ11));
+  ASSERT_EQ(outcome.status, QueryOutcome::Status::kOk) << outcome.error;
+  server.Drain();
+  EXPECT_GE(server.stats().watchdog_stalls, 1);
 }
 
 // ------------------------------------------------------------- protocol

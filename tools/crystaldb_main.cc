@@ -93,6 +93,14 @@ Server mode (docs/SERVER.md):
   --serve-rows=N     Max group rows inlined per response (default 1000).
   --serve-check      Cross-check every result against the reference
                      interpreter; any mismatch exits 2.
+  --serve-watchdog=MS  Flag batches whose morsel heartbeat stalls for MS
+                     ms (stderr + server_stats; default 5000, 0 = off).
+
+  SIGINT/SIGTERM shut the service down gracefully: input stops, in-flight
+  queries drain (each still gets its response line), the final
+  server_stats line is emitted, exit status 0. Failure modes, the
+  retryable contract, and the CRYSTAL_FAULT injection grammar are in
+  docs/ROBUSTNESS.md.
 
 Exit status: 0 on success with matching results, 1 on flag errors or
 invalid --adhoc specs, 2 when engine results disagree (any engine differing
@@ -195,6 +203,10 @@ int main(int argc, char** argv) {
   bool queries_given = false;
   bool serve = false;
   crystal::server::ServeConfig serve_config;
+  // Service default: a stalled shared scan should be visible within a few
+  // seconds (--serve-watchdog overrides; embedded QueryServer uses leave
+  // the watchdog opt-in).
+  serve_config.server.watchdog_ms = 5000;
   std::vector<int> scale_factors{1};
   int adhoc_count = 0;
   int adhoc_invalid = 0;
@@ -263,6 +275,10 @@ int main(int argc, char** argv) {
       serve_config.max_result_rows = std::atoi(value);
     } else if (ParseFlag(arg, "--serve-check", &value)) {
       serve_config.check = true;
+    } else if (ParseFlag(arg, "--serve-watchdog", &value)) {
+      if (value == nullptr || std::atof(value) < 0)
+        return FlagError("--serve-watchdog needs a non-negative number");
+      serve_config.server.watchdog_ms = std::atof(value);
     } else if (ParseFlag(arg, "--fact-divisor", &value)) {
       if (value == nullptr || std::atoi(value) < 1)
         return FlagError("--fact-divisor needs a positive integer");
@@ -361,6 +377,9 @@ int main(int argc, char** argv) {
                  "crystaldb: serving %zu database(s) on stdin/stdout "
                  "(one request per line; docs/SERVER.md)\n",
                  dbs.size());
+    // Graceful SIGINT/SIGTERM: stop reading, drain in-flight queries,
+    // emit the final server_stats line, exit 0 (docs/ROBUSTNESS.md).
+    crystal::server::InstallSignalHandlers();
     return crystal::server::Serve(std::cin, std::cout, dbs, serve_config);
   }
 

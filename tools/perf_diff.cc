@@ -354,8 +354,23 @@ int main(int argc, char** argv) {
               Settings(base).c_str());
   std::printf("new:      %s  (%s)\n\n", fresh.path.c_str(),
               Settings(fresh).c_str());
-  const bool comparable = Settings(base) == Settings(fresh);
-  if (!comparable) {
+  // A run taken under fault injection (server_throughput echoes its
+  // CRYSTAL_FAULT schedule into the "fault" key) measured failure
+  // behavior, not performance: never gate on such a file, whichever side
+  // it is on. Pre-robustness files carry no "fault" key and default to
+  // clean, which is what they measured.
+  const std::string base_fault = base.root.StringOr("fault", "");
+  const std::string fresh_fault = fresh.root.StringOr("fault", "");
+  const bool faulted = !base_fault.empty() || !fresh_fault.empty();
+  if (faulted) {
+    std::printf(
+        "WARNING: fault injection was active (baseline '%s', new '%s'); "
+        "these are not perf measurements and --max-regression is not "
+        "enforced.\n\n",
+        base_fault.c_str(), fresh_fault.c_str());
+  }
+  const bool comparable = Settings(base) == Settings(fresh) && !faulted;
+  if (!comparable && !faulted) {
     std::printf(
         "WARNING: settings differ; ratios reflect workload differences as "
         "much as code, and --max-regression is not enforced.\n\n");
