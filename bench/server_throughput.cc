@@ -14,7 +14,13 @@
 // admission queue always holds co-pending work, which is exactly the
 // regime shared scans are for.
 //
-// Knobs (environment):
+// The traffic mix defaults to the 13 canonical SSB specs; --mix=generated:SEED
+// (or CRYSTAL_SERVER_MIX) swaps in a seeded workload-generator suite
+// (src/workload) so the concurrency sweep exercises multi-aggregate,
+// expression, and LIKE-filter queries too. Generated mixes are verified
+// against the reference engine before any level is timed.
+//
+// Knobs (environment; --mix=... on argv wins over CRYSTAL_SERVER_MIX):
 //   CRYSTAL_SSB_SF=N             scale factor           (default 1)
 //   CRYSTAL_SSB_FACT_DIVISOR=N   fact subsampling       (default 1)
 //   CRYSTAL_THREADS=N            scan pool threads, 0=hw (default 0)
@@ -24,9 +30,13 @@
 //   CRYSTAL_SERVER_BATCH=N       max shared-scan batch  (16)
 //   CRYSTAL_SERVER_COHORT=N      clients per rotation cohort (4; 1=distinct)
 //   CRYSTAL_SERVER_MORSEL=N      shared-scan morsel rows, 0=engine default
+//   CRYSTAL_SERVER_MIX=SPEC      "ssb13" | "generated:SEED[:COUNT]"
 //   CRYSTAL_BENCH_OUT=FILE       output JSON            (BENCH_server.json)
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,10 +46,13 @@
 #include "common/table_printer.h"
 #include "common/timer.h"
 #include "cpu/vector_ops.h"
+#include "engine/query_engine.h"
+#include "engine/registry.h"
 #include "query/ssb_specs.h"
 #include "server/query_server.h"
 #include "ssb/datagen.h"
 #include "storage/encoded_column.h"
+#include "workload/workload.h"
 
 namespace {
 
@@ -58,18 +71,22 @@ double Percentile(std::vector<double> v, double p) {
   return v[std::min(idx, v.size() - 1)];
 }
 
-/// The mixed-traffic stream: client c's i-th query rotates through the 13
-/// canonical specs from a per-cohort offset. Clients in the same cohort
-/// (groups of `cohort`, the CRYSTAL_SERVER_COHORT knob) follow the same
-/// rotation, so co-pending duplicates — the dashboard-fleet regime shared
-/// scans and dedup exist for — grow with concurrency, while distinct
-/// cohorts keep the in-flight set genuinely mixed and the full rotation
-/// covers all 13 queries. cohort=1 is the all-distinct worst case (every
+/// The rotation pool: the 13 canonical specs, or a seeded generated suite
+/// when --mix=generated:SEED is active. Shared by every level.
+std::vector<crystal::query::QuerySpec> g_mix;
+
+/// The mixed-traffic stream: client c's i-th query rotates through the mix
+/// pool from a per-cohort offset. Clients in the same cohort (groups of
+/// `cohort`, the CRYSTAL_SERVER_COHORT knob) follow the same rotation, so
+/// co-pending duplicates — the dashboard-fleet regime shared scans and
+/// dedup exist for — grow with concurrency, while distinct cohorts keep
+/// the in-flight set genuinely mixed and the full rotation covers every
+/// query in the pool. cohort=1 is the all-distinct worst case (every
 /// client on its own offset; sharing is limited to scan locality).
-crystal::query::QuerySpec StreamQuery(int client, int i, int cohort) {
-  const int queries = static_cast<int>(ssb::kAllQueries.size());
+const crystal::query::QuerySpec& StreamQuery(int client, int i, int cohort) {
+  const int queries = static_cast<int>(g_mix.size());
   const int idx = (client / std::max(1, cohort) + i) % queries;
-  return crystal::query::SsbSpec(ssb::kAllQueries[static_cast<size_t>(idx)]);
+  return g_mix[static_cast<size_t>(idx)];
 }
 
 struct LevelResult {
@@ -188,9 +205,74 @@ void WriteLevelJson(std::FILE* f, const LevelResult& r, const char* indent,
       sequential_qps > 0 ? r.qps / sequential_qps : 0);
 }
 
+/// Order-independent content digest (the driver JSON rule): sum of every
+/// emitted aggregate value over all groups.
+int64_t Checksum(const ssb::QueryResult& result) {
+  if (!result.group_values.empty()) {
+    int64_t sum = 0;
+    for (int64_t v : result.group_values) sum += v;
+    return sum;
+  }
+  if (!result.scalar_values.empty()) {
+    int64_t sum = 0;
+    for (int64_t v : result.scalar_values) sum += v;
+    return sum;
+  }
+  return result.scalar;
+}
+
+/// Parses "ssb13" or "generated:SEED[:COUNT]" into the rotation pool.
+/// Returns false (with a message on stderr) on a malformed spec.
+bool BuildMix(const std::string& spec, std::string* mix_name,
+              uint64_t* workload_seed, int* workload_count) {
+  g_mix.clear();
+  if (spec.empty() || spec == "ssb13") {
+    for (ssb::QueryId id : ssb::kAllQueries) {
+      g_mix.push_back(crystal::query::SsbSpec(id));
+    }
+    *mix_name = "ssb13";
+    *workload_seed = 0;
+    *workload_count = static_cast<int>(g_mix.size());
+    return true;
+  }
+  const char kPrefix[] = "generated:";
+  if (spec.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) {
+    std::fprintf(stderr,
+                 "server_throughput: bad mix '%s' (want ssb13 or "
+                 "generated:SEED[:COUNT])\n",
+                 spec.c_str());
+    return false;
+  }
+  crystal::workload::GenOptions gen;
+  char* end = nullptr;
+  const char* tail = spec.c_str() + sizeof(kPrefix) - 1;
+  gen.seed = std::strtoull(tail, &end, 10);
+  if (end == tail || (*end != '\0' && *end != ':')) {
+    std::fprintf(stderr, "server_throughput: bad mix seed in '%s'\n",
+                 spec.c_str());
+    return false;
+  }
+  if (*end == ':') {
+    gen.count = std::atoi(end + 1);
+    if (gen.count < 1) {
+      std::fprintf(stderr, "server_throughput: bad mix count in '%s'\n",
+                   spec.c_str());
+      return false;
+    }
+  }
+  for (const crystal::workload::GeneratedQuery& q :
+       crystal::workload::GenerateWorkload(gen)) {
+    g_mix.push_back(q.spec);
+  }
+  *mix_name = "generated";
+  *workload_seed = gen.seed;
+  *workload_count = gen.count;
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int sf = static_cast<int>(bench::EnvInt("CRYSTAL_SSB_SF", 1));
   const int fact_divisor =
       static_cast<int>(bench::EnvInt("CRYSTAL_SSB_FACT_DIVISOR", 1));
@@ -207,6 +289,23 @@ int main() {
       bench::EnvStr("CRYSTAL_SERVER_LEVELS", "1,4,16,64");
   const std::string out_path =
       bench::EnvStr("CRYSTAL_BENCH_OUT", "BENCH_server.json");
+
+  std::string mix_spec = bench::EnvStr("CRYSTAL_SERVER_MIX", "ssb13");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--mix=", 6) == 0) {
+      mix_spec = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "server_throughput: unknown flag '%s'\n",
+                   argv[i]);
+      return 1;
+    }
+  }
+  std::string mix_name;
+  uint64_t workload_seed = 0;
+  int workload_count = 0;
+  if (!BuildMix(mix_spec, &mix_name, &workload_seed, &workload_count)) {
+    return 1;
+  }
 
   const std::vector<int> levels = ParseLevels(levels_spec);
   if (levels.empty()) {
@@ -232,20 +331,51 @@ int main() {
       "discussion); methodology in docs/SERVER.md",
       "SIMD: " +
           std::string(crystal::cpu::SimdEnabled() ? "enabled" : "disabled") +
-          ", storage=" + storage + ", max_batch=" +
+          ", storage=" + storage + ", mix=" + mix_spec + " (" +
+          std::to_string(g_mix.size()) + " specs), max_batch=" +
           std::to_string(max_batch) + ", cohort=" + std::to_string(cohort) +
           ", queries/level=" + std::to_string(total));
 
   // Warm pass: populate the process-wide BuildCache (and fault in the
   // fact columns) so every measured level starts from the same warm
-  // steady state a long-running server lives in.
+  // steady state a long-running server lives in. Generated mixes are also
+  // verified against the reference engine here — a sweep over wrong
+  // answers is worthless, so a mismatch aborts before any level is timed.
   {
     server::ServerOptions options;
     options.threads = threads;
     server::QueryServer warm(options);
     warm.AddDatabase("db", &db);
-    for (ssb::QueryId id : ssb::kAllQueries) {
-      warm.ExecuteSync(crystal::query::SsbSpec(id));
+    std::unique_ptr<crystal::engine::QueryEngine> reference;
+    if (mix_name != "ssb13") {
+      crystal::engine::EngineContext ctx;
+      ctx.db = &db;
+      reference =
+          crystal::engine::EngineRegistry::Global().Create("reference", ctx);
+    }
+    for (const crystal::query::QuerySpec& spec : g_mix) {
+      const server::QueryOutcome outcome = warm.ExecuteSync(spec);
+      if (outcome.status != server::QueryOutcome::Status::kOk) {
+        std::fprintf(stderr, "server_throughput: warmup '%s' failed: %s\n",
+                     spec.name.c_str(), outcome.error.c_str());
+        return 2;
+      }
+      if (reference == nullptr) continue;
+      const ssb::QueryResult ref = reference->Execute(spec).result;
+      if (Checksum(ref) != Checksum(outcome.result) ||
+          ref.group_keys.size() != outcome.result.group_keys.size()) {
+        std::fprintf(stderr,
+                     "server_throughput: '%s' disagrees with the reference "
+                     "engine (checksum %lld vs %lld)\n",
+                     spec.name.c_str(),
+                     static_cast<long long>(Checksum(outcome.result)),
+                     static_cast<long long>(Checksum(ref)));
+        return 2;
+      }
+    }
+    if (reference != nullptr) {
+      std::printf("generated mix verified: %zu specs match the reference "
+                  "engine\n", g_mix.size());
     }
   }
 
@@ -326,8 +456,14 @@ int main() {
   std::fprintf(f, "  \"storage\": \"%s\",\n", storage.c_str());
   std::fprintf(f, "  \"max_batch\": %d,\n", max_batch);
   std::fprintf(f, "  \"queries_per_level\": %d,\n", total);
-  std::fprintf(f, "  \"mix\": \"ssb13-cohort%d\",\n", cohort);
+  std::fprintf(f, "  \"mix\": \"%s-cohort%d\",\n", mix_name.c_str(), cohort);
   std::fprintf(f, "  \"cohort\": %d,\n", cohort);
+  // Generated-mix provenance (0/size for the canonical ssb13 mix): two
+  // server runs are only comparable when their traffic pools match, so
+  // perf_diff folds these into its settings fingerprint.
+  std::fprintf(f, "  \"workload_seed\": %llu,\n",
+               static_cast<unsigned long long>(workload_seed));
+  std::fprintf(f, "  \"workload_count\": %d,\n", workload_count);
   // The active fault schedule, empty in a clean run. perf_diff treats any
   // non-empty value as "not a perf measurement" and refuses to gate on
   // this file in either position (docs/ROBUSTNESS.md).

@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnavailable,        // transient: shutting down, overloaded (retryable)
   kFaultInjected,      // a CRYSTAL_FAULT point fired (tests/chaos only)
   kInternal,           // invariant held by code, not input, was violated
+  kOutOfRange,         // checked arithmetic overflowed (aggregate sums)
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -78,6 +79,9 @@ inline Status FaultInjectedError(std::string message) {
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
 }
+inline Status OutOfRangeError(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
 
 inline const char* StatusCodeName(StatusCode code) {
   switch (code) {
@@ -97,6 +101,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "kFaultInjected";
     case StatusCode::kInternal:
       return "kInternal";
+    case StatusCode::kOutOfRange:
+      return "kOutOfRange";
   }
   return "kUnknown";
 }

@@ -69,7 +69,11 @@ double Median(std::vector<double> v) {
 }
 
 int64_t Checksum(const ssb::QueryResult& result) {
-  if (result.group_values.empty()) return result.scalar;
+  if (result.group_values.empty()) {
+    if (result.scalar_values.empty()) return result.scalar;
+    return std::accumulate(result.scalar_values.begin(),
+                           result.scalar_values.end(), int64_t{0});
+  }
   return std::accumulate(result.group_values.begin(),
                          result.group_values.end(), int64_t{0});
 }
@@ -447,7 +451,7 @@ Report Run(const Options& options, const ssb::Database& db) {
       run.kernel_ms = stats.kernel_ms;
       run.fact_bytes_shipped = stats.fact_bytes_shipped;
       run.checksum = Checksum(stats.result);
-      run.groups = static_cast<int64_t>(stats.result.group_values.size());
+      run.groups = static_cast<int64_t>(stats.result.group_keys.size());
       qr.runs.push_back(std::move(run));
       results.push_back(std::move(stats.result));
     }

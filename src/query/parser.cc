@@ -10,12 +10,16 @@ namespace {
 
 /// Token stream over the ad-hoc grammar: identifiers (letters, digits,
 /// underscores; may start with a digit — numbers are just digit-only
-/// identifiers), and the punctuation `* - , = { } ..`.
+/// identifiers), single-quoted string literals (quotes kept in the token so
+/// the parser can tell 'sum' the pattern from sum the keyword), and the
+/// punctuation `* + - , = { } ( ) ..`. Each token remembers the byte
+/// offset it started at, for caret diagnostics.
 class Lexer {
  public:
   explicit Lexer(std::string_view text) : text_(text) { Advance(); }
 
   const std::string& token() const { return token_; }
+  size_t pos() const { return token_pos_; }
   bool done() const { return token_.empty(); }
 
   /// Consumes the current token and moves to the next.
@@ -39,6 +43,7 @@ class Lexer {
       ++pos_;
     }
     token_.clear();
+    token_pos_ = pos_;
     if (pos_ >= text_.size()) return;
     const char c = text_[pos_];
     if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
@@ -47,6 +52,17 @@ class Lexer {
         if (!std::isalnum(static_cast<unsigned char>(d)) && d != '_') break;
         token_ += d;
         ++pos_;
+      }
+      return;
+    }
+    if (c == '\'') {
+      // String literal; the closing quote is included when present, so an
+      // unterminated literal is detectable by the parser.
+      token_ += c;
+      ++pos_;
+      while (pos_ < text_.size()) {
+        token_ += text_[pos_];
+        if (text_[pos_++] == '\'') break;
       }
       return;
     }
@@ -61,6 +77,7 @@ class Lexer {
 
   std::string_view text_;
   size_t pos_ = 0;
+  size_t token_pos_ = 0;
   std::string token_;
 };
 
@@ -76,128 +93,235 @@ bool ParseInt(const std::string& tok, int32_t* out) {
   return true;
 }
 
-/// Shared `= N | in LO..HI | in {A, B, ...}` predicate tail. On success
-/// fills either the range or the IN-set.
-bool ParsePredicate(Lexer* lex, int32_t* lo, int32_t* hi,
-                    std::vector<int32_t>* in_values, std::string* error) {
-  if (lex->TakeIf("=")) {
-    if (!ParseInt(lex->token(), lo)) {
-      *error = "expected integer after '=', got '" + lex->token() + "'";
-      return false;
+/// Parser state: the lexer plus the diagnostic sink. Fail() pins the
+/// current token's position unless the caller already set one.
+struct Parser {
+  Lexer lex;
+  ParseDiagnostic* diag;
+
+  explicit Parser(std::string_view text, ParseDiagnostic* d)
+      : lex(text), diag(d) {}
+
+  bool Fail(std::string message) { return FailAt(lex.pos(), std::move(message)); }
+
+  bool FailAt(size_t position, std::string message) {
+    diag->message = std::move(message);
+    diag->position = position;
+    return false;
+  }
+};
+
+// expr := term (('+' | '-') term)*;  term := factor ('*' factor)*;
+// factor := fact_col | NUMBER | '(' expr ')'
+bool ParseExpr(Parser* p, Expr* out);
+
+bool ParseFactor(Parser* p, Expr* out) {
+  Lexer& lex = p->lex;
+  if (lex.TakeIf("(")) {
+    if (!ParseExpr(p, out)) return false;
+    if (!lex.TakeIf(")")) {
+      return p->Fail("expected ')' closing the subexpression, got '" +
+                     lex.token() + "'");
     }
-    lex->Take();
-    *hi = *lo;
     return true;
   }
-  if (!lex->TakeIf("in")) {
-    *error = "expected '=' or 'in', got '" + lex->token() + "'";
-    return false;
+  const std::string& tok = lex.token();
+  if (tok.empty()) {
+    return p->Fail("expected a fact column or number, got end of query");
   }
-  if (lex->TakeIf("{")) {
-    do {
-      int32_t v;
-      if (!ParseInt(lex->token(), &v)) {
-        *error = "expected integer in {...}, got '" + lex->token() + "'";
-        return false;
-      }
-      lex->Take();
-      in_values->push_back(v);
-    } while (lex->TakeIf(","));
-    if (!lex->TakeIf("}")) {
-      *error = "expected '}' closing the IN set, got '" + lex->token() + "'";
-      return false;
+  if (std::isdigit(static_cast<unsigned char>(tok[0]))) {
+    int32_t value;
+    if (!ParseInt(tok, &value)) {
+      return p->Fail("bad numeric literal '" + tok + "'");
     }
+    lex.Take();
+    *out = ConstExpr(value);
     return true;
   }
-  if (!ParseInt(lex->token(), lo)) {
-    *error = "expected LO..HI or {...} after 'in', got '" + lex->token() +
-             "'";
-    return false;
+  FactCol col;
+  if (!FactColFromName(tok, &col)) {
+    return p->Fail("unknown fact column '" + tok + "' in expression");
   }
-  lex->Take();
-  if (!lex->TakeIf("..")) {
-    *error = "expected '..' in range, got '" + lex->token() + "'";
-    return false;
-  }
-  if (!ParseInt(lex->token(), hi)) {
-    *error = "expected integer after '..', got '" + lex->token() + "'";
-    return false;
-  }
-  lex->Take();
+  lex.Take();
+  *out = ColExpr(col);
   return true;
 }
 
-bool ParseImpl(Lexer* lex, QuerySpec* out, std::string* error) {
-  if (!lex->TakeIf("sum")) {
-    *error = "query must start with 'sum', got '" + lex->token() + "'";
-    return false;
+bool ParseTerm(Parser* p, Expr* out) {
+  if (!ParseFactor(p, out)) return false;
+  while (p->lex.TakeIf("*")) {
+    Expr rhs;
+    if (!ParseFactor(p, &rhs)) return false;
+    *out = BinExpr(Expr::Op::kMul, std::move(*out), std::move(rhs));
   }
-  if (!FactColFromName(lex->token(), &out->agg.a)) {
-    *error = "unknown fact column '" + lex->token() + "' in aggregate";
-    return false;
-  }
-  lex->Take();
-  out->agg.kind = AggExpr::Kind::kColumn;
-  out->agg.b = out->agg.a;
-  if (lex->TakeIf("*")) {
-    out->agg.kind = AggExpr::Kind::kProduct;
-  } else if (lex->TakeIf("-")) {
-    out->agg.kind = AggExpr::Kind::kDifference;
-  }
-  if (out->agg.kind != AggExpr::Kind::kColumn) {
-    if (!FactColFromName(lex->token(), &out->agg.b)) {
-      *error = "unknown fact column '" + lex->token() + "' in aggregate";
-      return false;
+  return true;
+}
+
+bool ParseExpr(Parser* p, Expr* out) {
+  if (!ParseTerm(p, out)) return false;
+  for (;;) {
+    Expr::Op op;
+    if (p->lex.TakeIf("+")) {
+      op = Expr::Op::kAdd;
+    } else if (p->lex.TakeIf("-")) {
+      op = Expr::Op::kSub;
+    } else {
+      return true;
     }
-    lex->Take();
+    Expr rhs;
+    if (!ParseTerm(p, &rhs)) return false;
+    *out = BinExpr(op, std::move(*out), std::move(rhs));
   }
+}
+
+bool ParseAgg(Parser* p, QuerySpec* out) {
+  AggFunc func;
+  const size_t pos = p->lex.pos();
+  if (!AggFuncFromName(p->lex.token(), &func)) {
+    return p->FailAt(pos, "unknown aggregate function '" + p->lex.token() +
+                              "' (want sum/count/avg/min/max)");
+  }
+  p->lex.Take();
+  if (func == AggFunc::kCount) {
+    out->aggs.push_back(Count());
+    return true;
+  }
+  Expr expr;
+  if (!ParseExpr(p, &expr)) return false;
+  out->aggs.push_back(AggSpec{func, std::move(expr)});
+  return true;
+}
+
+/// `like '...'` pattern tail: only the two LIKE shapes the dictionary
+/// resolver understands — a prefix ('UNITED%') or a substring ('%KI%').
+bool ParseLikePattern(Parser* p, DimFilter* filter) {
+  Lexer& lex = p->lex;
+  const size_t pos = lex.pos();
+  const std::string& tok = lex.token();
+  if (tok.size() < 2 || tok.front() != '\'' || tok.back() != '\'') {
+    return p->FailAt(pos, "expected a quoted pattern after 'like', got '" +
+                              tok + "'");
+  }
+  std::string body = tok.substr(1, tok.size() - 2);
+  if (body.size() >= 2 && body.front() == '%' && body.back() == '%') {
+    filter->str_match = DimFilter::StrMatch::kContains;
+    body = body.substr(1, body.size() - 2);
+  } else if (!body.empty() && body.back() == '%') {
+    filter->str_match = DimFilter::StrMatch::kPrefix;
+    body.pop_back();
+  } else {
+    return p->FailAt(pos,
+                     "pattern must be a prefix 'FOO%' or substring '%FOO%'");
+  }
+  if (body.empty() || body.find('%') != std::string::npos) {
+    return p->FailAt(pos,
+                     "pattern must be a prefix 'FOO%' or substring '%FOO%'");
+  }
+  filter->pattern = std::move(body);
+  lex.Take();
+  return true;
+}
+
+/// Shared `= N | in LO..HI | in {A, B, ...}` predicate tail. On success
+/// fills either the range or the IN-set.
+bool ParsePredicate(Parser* p, int32_t* lo, int32_t* hi,
+                    std::vector<int32_t>* in_values) {
+  Lexer& lex = p->lex;
+  if (lex.TakeIf("=")) {
+    if (!ParseInt(lex.token(), lo)) {
+      return p->Fail("expected integer after '=', got '" + lex.token() + "'");
+    }
+    lex.Take();
+    *hi = *lo;
+    return true;
+  }
+  if (!lex.TakeIf("in")) {
+    return p->Fail("expected '=' or 'in', got '" + lex.token() + "'");
+  }
+  if (lex.TakeIf("{")) {
+    do {
+      int32_t v;
+      if (!ParseInt(lex.token(), &v)) {
+        return p->Fail("expected integer in {...}, got '" + lex.token() +
+                       "'");
+      }
+      lex.Take();
+      in_values->push_back(v);
+    } while (lex.TakeIf(","));
+    if (!lex.TakeIf("}")) {
+      return p->Fail("expected '}' closing the IN set, got '" + lex.token() +
+                     "'");
+    }
+    return true;
+  }
+  if (!ParseInt(lex.token(), lo)) {
+    return p->Fail("expected LO..HI or {...} after 'in', got '" +
+                   lex.token() + "'");
+  }
+  lex.Take();
+  if (!lex.TakeIf("..")) {
+    return p->Fail("expected '..' in range, got '" + lex.token() + "'");
+  }
+  if (!ParseInt(lex.token(), hi)) {
+    return p->Fail("expected integer after '..', got '" + lex.token() + "'");
+  }
+  lex.Take();
+  return true;
+}
+
+bool ParseImpl(Parser* p, QuerySpec* out) {
+  Lexer& lex = p->lex;
+  do {
+    if (!ParseAgg(p, out)) return false;
+  } while (lex.TakeIf(","));
 
   bool seen_group = false;
-  while (!lex->done()) {
-    if (lex->TakeIf("where")) {
+  while (!lex.done()) {
+    if (lex.TakeIf("where")) {
       FactFilter filter;
-      if (!FactColFromName(lex->token(), &filter.col)) {
-        *error = "unknown fact column '" + lex->token() + "' after 'where'";
-        return false;
+      if (!FactColFromName(lex.token(), &filter.col)) {
+        return p->Fail("unknown fact column '" + lex.token() +
+                       "' after 'where'");
       }
-      lex->Take();
+      lex.Take();
+      const size_t pred_pos = lex.pos();
       std::vector<int32_t> in_values;
-      if (!ParsePredicate(lex, &filter.lo, &filter.hi, &in_values, error)) {
+      if (!ParsePredicate(p, &filter.lo, &filter.hi, &in_values)) {
         return false;
       }
       if (!in_values.empty()) {
-        *error = "fact predicates support '=' and ranges only (IN sets are "
-                 "build-side)";
-        return false;
+        return p->FailAt(pred_pos,
+                         "fact predicates support '=' and ranges only (IN "
+                         "sets are build-side)");
       }
       out->fact_filters.push_back(filter);
       continue;
     }
-    if (lex->TakeIf("join")) {
+    if (lex.TakeIf("join")) {
       JoinSpec join;
-      if (!DimTableFromName(lex->token(), &join.table)) {
-        *error = "unknown dimension table '" + lex->token() + "'";
-        return false;
+      if (!DimTableFromName(lex.token(), &join.table)) {
+        return p->Fail("unknown dimension table '" + lex.token() + "'");
       }
-      lex->Take();
+      lex.Take();
       join.fact_key = DefaultFactKey(join.table);
-      if (lex->TakeIf("on")) {
-        if (!FactColFromName(lex->token(), &join.fact_key)) {
-          *error = "unknown fact column '" + lex->token() + "' after 'on'";
-          return false;
+      if (lex.TakeIf("on")) {
+        if (!FactColFromName(lex.token(), &join.fact_key)) {
+          return p->Fail("unknown fact column '" + lex.token() +
+                         "' after 'on'");
         }
-        lex->Take();
+        lex.Take();
       }
-      while (lex->TakeIf("filter")) {
+      while (lex.TakeIf("filter")) {
         DimFilter filter;
-        if (!DimColFromName(lex->token(), &filter.col)) {
-          *error =
-              "unknown dimension column '" + lex->token() + "' in filter";
-          return false;
+        if (!DimColFromName(lex.token(), &filter.col)) {
+          return p->Fail("unknown dimension column '" + lex.token() +
+                         "' in filter");
         }
-        lex->Take();
-        if (!ParsePredicate(lex, &filter.lo, &filter.hi, &filter.in_values,
-                            error)) {
+        lex.Take();
+        if (lex.TakeIf("like")) {
+          if (!ParseLikePattern(p, &filter)) return false;
+        } else if (!ParsePredicate(p, &filter.lo, &filter.hi,
+                                   &filter.in_values)) {
           return false;
         }
         join.filters.push_back(std::move(filter));
@@ -205,80 +329,167 @@ bool ParseImpl(Lexer* lex, QuerySpec* out, std::string* error) {
       out->joins.push_back(std::move(join));
       continue;
     }
-    if (lex->TakeIf("group")) {
-      if (!lex->TakeIf("by")) {
-        *error = "expected 'by' after 'group', got '" + lex->token() + "'";
-        return false;
+    if (lex.TakeIf("group")) {
+      if (!lex.TakeIf("by")) {
+        return p->Fail("expected 'by' after 'group', got '" + lex.token() +
+                       "'");
       }
       if (seen_group) {
-        *error = "duplicate 'group by' clause";
-        return false;
+        return p->Fail("duplicate 'group by' clause");
       }
       seen_group = true;
       do {
         DimCol col;
-        if (!DimColFromName(lex->token(), &col)) {
-          *error = "unknown dimension column '" + lex->token() +
-                   "' in group by";
-          return false;
+        if (!DimColFromName(lex.token(), &col)) {
+          return p->Fail("unknown dimension column '" + lex.token() +
+                         "' in group by");
         }
-        lex->Take();
+        lex.Take();
         out->group_by.push_back(col);
-      } while (lex->TakeIf(","));
+      } while (lex.TakeIf(","));
       continue;
     }
-    *error = "expected 'where', 'join', or 'group by', got '" +
-             lex->token() + "'";
-    return false;
+    return p->Fail("expected 'where', 'join', or 'group by', got '" +
+                   lex.token() + "'");
   }
-  return Validate(*out, error);
+  std::string semantic_error;
+  if (!Validate(*out, &semantic_error)) {
+    return p->FailAt(ParseDiagnostic::kNoPosition, std::move(semantic_error));
+  }
+  return true;
 }
 
-void FormatPredicate(std::ostringstream& text, int32_t lo, int32_t hi,
-                     const std::vector<int32_t>& in_values) {
-  if (!in_values.empty()) {
+/// Operator precedence of a node (1 for +/-, 2 for *), or 3 for leaves.
+int NodePrec(const Expr::Node& node) {
+  switch (node.op) {
+    case Expr::Op::kAdd:
+    case Expr::Op::kSub:
+      return 1;
+    case Expr::Op::kMul:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+/// Formats the subtree rooted at node `i`. A left operand needs parens only
+/// below the parent's precedence; a right operand also at equal precedence,
+/// so the left-associative re-parse reproduces the tree structurally.
+void FormatExprNode(const Expr& expr, int i, std::ostringstream& text) {
+  const Expr::Node& node = expr.nodes[static_cast<size_t>(i)];
+  switch (node.op) {
+    case Expr::Op::kCol:
+      text << FactColName(node.col);
+      return;
+    case Expr::Op::kConst:
+      text << node.value;
+      return;
+    default:
+      break;
+  }
+  const int prec = NodePrec(node);
+  const Expr::Node& a = expr.nodes[static_cast<size_t>(node.a)];
+  const Expr::Node& b = expr.nodes[static_cast<size_t>(node.b)];
+  const bool paren_a = NodePrec(a) < prec;
+  const bool paren_b = NodePrec(b) <= prec;
+  if (paren_a) text << "(";
+  FormatExprNode(expr, node.a, text);
+  if (paren_a) text << ")";
+  text << (node.op == Expr::Op::kAdd ? "+"
+           : node.op == Expr::Op::kSub ? "-"
+                                       : "*");
+  if (paren_b) text << "(";
+  FormatExprNode(expr, node.b, text);
+  if (paren_b) text << ")";
+}
+
+void FormatExpr(const Expr& expr, std::ostringstream& text) {
+  FormatExprNode(expr, static_cast<int>(expr.nodes.size()) - 1, text);
+}
+
+void FormatPredicate(std::ostringstream& text, const DimFilter& f) {
+  if (f.str_match != DimFilter::StrMatch::kNone) {
+    text << " like '" << (f.str_match == DimFilter::StrMatch::kContains ? "%"
+                                                                        : "")
+         << f.pattern << "%'";
+    return;
+  }
+  if (!f.in_values.empty()) {
     text << " in {";
-    for (size_t i = 0; i < in_values.size(); ++i) {
-      text << (i == 0 ? "" : ", ") << in_values[i];
+    for (size_t i = 0; i < f.in_values.size(); ++i) {
+      text << (i == 0 ? "" : ", ") << f.in_values[i];
     }
     text << "}";
-  } else if (lo == hi) {
-    text << " = " << lo;
+  } else if (f.lo == f.hi) {
+    text << " = " << f.lo;
   } else {
-    text << " in " << lo << ".." << hi;
+    text << " in " << f.lo << ".." << f.hi;
   }
 }
 
 }  // namespace
 
 bool ParseQuerySpec(std::string_view text, QuerySpec* out,
-                    std::string* error) {
+                    ParseDiagnostic* diag) {
   *out = QuerySpec();
-  Lexer lex(text);
-  std::string local_error;
-  if (ParseImpl(&lex, out, &local_error)) return true;
-  if (error != nullptr) *error = local_error;
+  ParseDiagnostic local;
+  Parser p(text, &local);
+  if (ParseImpl(&p, out)) return true;
+  if (diag != nullptr) *diag = std::move(local);
   return false;
+}
+
+bool ParseQuerySpec(std::string_view text, QuerySpec* out,
+                    std::string* error) {
+  ParseDiagnostic diag;
+  if (ParseQuerySpec(text, out, &diag)) return true;
+  if (error != nullptr) {
+    *error = diag.message;
+    if (diag.position != ParseDiagnostic::kNoPosition) {
+      *error += " (at offset " + std::to_string(diag.position) + ")";
+    }
+  }
+  return false;
+}
+
+std::string CaretDiagnostic(std::string_view text,
+                            const ParseDiagnostic& diag) {
+  std::string msg = "error: " + diag.message;
+  if (diag.position == ParseDiagnostic::kNoPosition) return msg;
+  msg += "\n  ";
+  msg.append(text);
+  msg += "\n  ";
+  const size_t caret = diag.position <= text.size() ? diag.position
+                                                    : text.size();
+  msg.append(caret, ' ');
+  msg += '^';
+  return msg;
 }
 
 std::string FormatQuerySpec(const QuerySpec& spec) {
   std::ostringstream text;
-  text << "sum " << FactColName(spec.agg.a);
-  if (spec.agg.kind == AggExpr::Kind::kProduct) {
-    text << "*" << FactColName(spec.agg.b);
-  } else if (spec.agg.kind == AggExpr::Kind::kDifference) {
-    text << "-" << FactColName(spec.agg.b);
+  for (size_t i = 0; i < spec.aggs.size(); ++i) {
+    const AggSpec& agg = spec.aggs[i];
+    if (i > 0) text << ", ";
+    text << AggFuncName(agg.func);
+    if (agg.func != AggFunc::kCount) {
+      text << " ";
+      FormatExpr(agg.expr, text);
+    }
   }
   for (const FactFilter& f : spec.fact_filters) {
     text << " where " << FactColName(f.col);
-    FormatPredicate(text, f.lo, f.hi, {});
+    DimFilter as_dim;
+    as_dim.lo = f.lo;
+    as_dim.hi = f.hi;
+    FormatPredicate(text, as_dim);
   }
   for (const JoinSpec& join : spec.joins) {
     text << " join " << DimTableName(join.table) << " on "
          << FactColName(join.fact_key);
     for (const DimFilter& f : join.filters) {
       text << " filter " << DimColName(f.col);
-      FormatPredicate(text, f.lo, f.hi, f.in_values);
+      FormatPredicate(text, f);
     }
   }
   for (size_t g = 0; g < spec.group_by.size(); ++g) {

@@ -1,6 +1,7 @@
 #ifndef CRYSTAL_QUERY_PARSER_H_
 #define CRYSTAL_QUERY_PARSER_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 
@@ -10,26 +11,65 @@ namespace crystal::query {
 
 /// Parses the ad-hoc query grammar into a QuerySpec (see docs/QUERIES.md):
 ///
-///   sum <col> | sum <col>*<col> | sum <col>-<col>
+///   <agg> [, <agg>]*
 ///   [ where <fact_col> = N | where <fact_col> in LO..HI ]*
 ///   [ join <table> [on <fact_col>]
-///       [ filter <dim_col> = N | in LO..HI | in {A, B, ...} ]* ]*
+///       [ filter <dim_col> = N | in LO..HI | in {A, B, ...}
+///                             | like 'PREFIX%' | like '%SUBSTRING%' ]* ]*
 ///   [ group by <dim_col> [, <dim_col>]* ]
 ///
-/// Example (the canonical q2.1):
+///   agg    := sum <expr> | count | avg <expr> | min <expr> | max <expr>
+///   expr   := term  (('+' | '-') term)*          (left-associative)
+///   term   := factor ('*' factor)*
+///   factor := <fact_col> | NUMBER | '(' expr ')'
+///
+/// Examples (canonical q2.1, then the TPC-H Q1 analog's revenue term):
 ///   sum revenue join supplier on suppkey filter s_region = 1
 ///       join part on partkey filter p_category = 12
 ///       join date on orderdate group by d_year, p_brand1
+///   sum extendedprice*(100-discount) where discount in 5..7
 ///
-/// `on` defaults to the table's conventional foreign key. The parsed spec
-/// is validated (query::Validate) before returning. Returns false and
-/// fills *error (when non-null) on any lexical, syntactic, or semantic
-/// problem; *out is unspecified on failure.
+/// `on` defaults to the table's conventional foreign key; AVG is emitted as
+/// its sum+count pair; LIKE patterns resolve against the column's string
+/// dictionary at bind time. The parsed spec is validated (query::Validate)
+/// before returning; *out is unspecified on failure.
+
+/// A parse (or validation) failure: the message plus the byte offset of the
+/// offending token in the query text, or ParseDiagnostic::kNoPosition for
+/// semantic errors that have no single source location (Validate failures).
+struct ParseDiagnostic {
+  static constexpr size_t kNoPosition = static_cast<size_t>(-1);
+
+  std::string message;
+  size_t position = kNoPosition;
+};
+
+/// Parses `text`; returns false and fills *diag (when non-null) on error.
+bool ParseQuerySpec(std::string_view text, QuerySpec* out,
+                    ParseDiagnostic* diag);
+
+/// Legacy single-string error form: the diagnostic message, with
+/// " (at offset N)" appended when the error has a source position. Keeps
+/// error strings single-line for the JSONL server surfaces.
 bool ParseQuerySpec(std::string_view text, QuerySpec* out,
                     std::string* error);
 
+/// Renders a diagnostic as a multi-line caret message for terminals:
+///
+///   error: unknown aggregate function 'summ' (want sum/count/avg/min/max)
+///     summ revenue where discount in 1..3
+///     ^
+///
+/// Falls back to the bare "error: message" line when the diagnostic has no
+/// position.
+std::string CaretDiagnostic(std::string_view text,
+                            const ParseDiagnostic& diag);
+
 /// Formats a spec in the same grammar; ParseQuerySpec(FormatQuerySpec(s))
-/// reproduces s structurally (the name label is not carried).
+/// reproduces s structurally (the name label is not carried), and the
+/// formatting is a fixed point: Format(Parse(Format(x))) == Format(x).
+/// Same-precedence right operands are parenthesized so the left-associative
+/// re-parse rebuilds the identical expression tree.
 std::string FormatQuerySpec(const QuerySpec& spec);
 
 }  // namespace crystal::query

@@ -29,9 +29,40 @@ QueryPipeline LowerToPipeline(const QuerySpec& spec,
     stage.cache_key = BuildSideKey(spec, j, p.plan);
     p.probes.push_back(std::move(stage));
   }
-  p.agg.a = FactColumn(db, spec.agg.a).view();
-  p.agg.b = FactColumn(db, spec.agg.b).view();
-  p.agg.kind = spec.agg.kind;
+  p.agg.plan = PlanAggs(spec);
+  bool seen[kNumFactCols] = {};
+  for (const AggSpec& agg : spec.aggs) ExprMarkColumns(agg.expr, seen);
+  for (int c = 0; c < kNumFactCols; ++c) {
+    p.agg.col_index[c] = -1;
+    if (!seen[c]) continue;
+    p.agg.col_index[c] = static_cast<int>(p.agg.cols.size());
+    p.agg.cols.push_back(static_cast<FactCol>(c));
+    p.agg.views.push_back(FactColumn(db, static_cast<FactCol>(c)).view());
+  }
+
+  // Fast-path classification: a lone SUM whose expression is one of the
+  // canonical SSB shapes keeps the specialized kernels.
+  if (p.agg.plan.slots.size() == 1 &&
+      p.agg.plan.slots[0].func == AggFunc::kSum) {
+    const Expr& e = p.agg.plan.slots[0].expr;
+    auto view_of = [&](const Expr::Node& n) {
+      return FactColumn(db, n.col).view();
+    };
+    if (e.nodes.size() == 1 && e.root().op == Expr::Op::kCol) {
+      p.agg.simple = AggStage::Simple::kColumn;
+      p.agg.a = view_of(e.nodes[0]);
+    } else if (e.nodes.size() == 3 && e.nodes[0].op == Expr::Op::kCol &&
+               e.nodes[1].op == Expr::Op::kCol &&
+               (e.root().op == Expr::Op::kMul ||
+                e.root().op == Expr::Op::kSub) &&
+               e.root().a == 0 && e.root().b == 1) {
+      p.agg.simple = e.root().op == Expr::Op::kMul
+                         ? AggStage::Simple::kProduct
+                         : AggStage::Simple::kDifference;
+      p.agg.a = view_of(e.nodes[0]);
+      p.agg.b = view_of(e.nodes[1]);
+    }
+  }
   return p;
 }
 
@@ -49,7 +80,11 @@ std::string BuildSideKey(const QuerySpec& spec, size_t join_index,
   for (const DimFilter& f : join.filters) {
     key += '|';
     key += DimColName(f.col);
-    if (f.in_values.empty()) {
+    if (f.str_match != DimFilter::StrMatch::kNone) {
+      key += f.str_match == DimFilter::StrMatch::kPrefix ? ":like-pre:"
+                                                         : ":like-sub:";
+      key += f.pattern;
+    } else if (f.in_values.empty()) {
       key += ':' + std::to_string(f.lo) + ".." + std::to_string(f.hi);
     } else {
       key += ":in";

@@ -45,11 +45,25 @@ struct ProbeStage {
   std::string cache_key;
 };
 
-/// The per-row aggregate inputs (b is ignored for AggExpr::kColumn).
+/// The aggregate stage: the expanded slot plan (PlanAggs) plus the distinct
+/// fact columns its expressions read, resolved to views once. Engines
+/// evaluate each slot's expression per surviving row via EvalExpr with a
+/// getter over `views`; `col_index` maps a FactCol to its view slot.
+///
+/// The single-SUM shapes the canonical SSB queries use (one sum of col,
+/// col*col, or col-col) are additionally classified as a `simple` fast
+/// path, so the vectorized engine's specialized aggregate kernels — and
+/// their measured performance — survive the generalization unchanged.
 struct AggStage {
-  storage::ColumnView a;
-  storage::ColumnView b;
-  AggExpr::Kind kind = AggExpr::Kind::kColumn;
+  AggPlan plan;
+  std::vector<FactCol> cols;               // distinct expression inputs
+  std::vector<storage::ColumnView> views;  // parallel to cols
+  int col_index[kNumFactCols] = {};        // FactCol -> index in cols, or -1
+
+  enum class Simple { kNone, kColumn, kProduct, kDifference };
+  Simple simple = Simple::kNone;
+  storage::ColumnView a;  // simple != kNone: first input column
+  storage::ColumnView b;  // kProduct / kDifference: second input column
 };
 
 /// A QuerySpec lowered against one database. Holds pointers into both (and
@@ -72,10 +86,11 @@ QueryPipeline LowerToPipeline(const QuerySpec& spec, const ssb::Database& db);
 
 /// Canonical string identity of one join's build side: dimension table,
 /// carried payload column ("key" for filter-only joins), and every
-/// build-side filter with its bounds / IN-set. Two joins with equal keys
-/// build byte-identical tables from the same database generation — the
-/// contract the cross-query build cache relies on. The fact-side key
-/// column deliberately does not participate (it only drives the probe).
+/// build-side filter with its bounds / IN-set / LIKE pattern. Two joins
+/// with equal keys build byte-identical tables from the same database
+/// generation — the contract the cross-query build cache relies on. The
+/// fact-side key column deliberately does not participate (it only drives
+/// the probe).
 std::string BuildSideKey(const QuerySpec& spec, size_t join_index,
                          const PayloadPlan& plan);
 

@@ -1,6 +1,12 @@
 #include "query/query_spec.h"
 
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
 #include "common/macros.h"
+#include "ssb/dict.h"
 
 namespace crystal::query {
 
@@ -24,27 +30,67 @@ struct DimColInfo {
   DimTable table;
   int32_t lo;
   int32_t hi;
+  bool has_dict;
 };
 
 // Domains follow the dictionary encoding (ssb/dict.h, ssb/schema.h):
 // 7 benchmark years, yyyymm month numbers, 53 weeks, 250 cities in 25
 // nations in 5 regions, and the MFGR part hierarchy. Brand codes start at
 // category 11 * 100, so 1100 is a safe dense-grid base (the paper's q4.3
-// grid uses the same offset).
+// grid uses the same offset). The date attributes are plain numbers; every
+// other column has a string dictionary behind its codes.
 constexpr DimColInfo kDimCols[kNumDimCols] = {
-    {"d_year", DimTable::kDate, 1992, 1998},
-    {"d_yearmonthnum", DimTable::kDate, 199201, 199812},
-    {"d_weeknuminyear", DimTable::kDate, 1, 53},
-    {"c_city", DimTable::kCustomer, 0, 249},
-    {"c_nation", DimTable::kCustomer, 0, 24},
-    {"c_region", DimTable::kCustomer, 0, 4},
-    {"s_city", DimTable::kSupplier, 0, 249},
-    {"s_nation", DimTable::kSupplier, 0, 24},
-    {"s_region", DimTable::kSupplier, 0, 4},
-    {"p_mfgr", DimTable::kPart, 1, 5},
-    {"p_category", DimTable::kPart, 0, 55},
-    {"p_brand1", DimTable::kPart, 1100, 5540},
+    {"d_year", DimTable::kDate, 1992, 1998, false},
+    {"d_yearmonthnum", DimTable::kDate, 199201, 199812, false},
+    {"d_weeknuminyear", DimTable::kDate, 1, 53, false},
+    {"c_city", DimTable::kCustomer, 0, 249, true},
+    {"c_nation", DimTable::kCustomer, 0, 24, true},
+    {"c_region", DimTable::kCustomer, 0, 4, true},
+    {"s_city", DimTable::kSupplier, 0, 249, true},
+    {"s_nation", DimTable::kSupplier, 0, 24, true},
+    {"s_region", DimTable::kSupplier, 0, 4, true},
+    {"p_mfgr", DimTable::kPart, 1, 5, true},
+    {"p_category", DimTable::kPart, 0, 55, true},
+    {"p_brand1", DimTable::kPart, 1100, 5540, true},
 };
+
+constexpr const char* kAggFuncs[] = {"sum", "count", "avg", "min", "max"};
+constexpr AggFunc kAggFuncIds[] = {AggFunc::kSum, AggFunc::kCount,
+                                   AggFunc::kAvg, AggFunc::kMin,
+                                   AggFunc::kMax};
+
+/// The dictionary name of one code of a string-dictionary column.
+std::string DictName(DimCol col, int32_t code) {
+  switch (col) {
+    case DimCol::kCCity:
+    case DimCol::kSCity:
+      return ssb::dict::CityName(code);
+    case DimCol::kCNation:
+    case DimCol::kSNation:
+      return ssb::dict::NationName(code);
+    case DimCol::kCRegion:
+    case DimCol::kSRegion:
+      return ssb::dict::RegionName(code);
+    case DimCol::kPMfgr:
+      return ssb::dict::MfgrName(code);
+    case DimCol::kPCategory:
+      return ssb::dict::CategoryName(code);
+    case DimCol::kPBrand1:
+      return ssb::dict::BrandName(code);
+    default:
+      CRYSTAL_CHECK_MSG(false, "DictName on a non-dictionary column");
+      return {};
+  }
+}
+
+bool NameMatches(const std::string& name, DimFilter::StrMatch match,
+                 const std::string& pattern) {
+  if (match == DimFilter::StrMatch::kPrefix) {
+    return name.size() >= pattern.size() &&
+           name.compare(0, pattern.size(), pattern) == 0;
+  }
+  return name.find(pattern) != std::string::npos;
+}
 
 }  // namespace
 
@@ -99,6 +145,10 @@ void DimColDomain(DimCol col, int32_t* lo, int32_t* hi) {
   *hi = kDimCols[static_cast<int>(col)].hi;
 }
 
+bool DimColHasDict(DimCol col) {
+  return kDimCols[static_cast<int>(col)].has_dict;
+}
+
 FactCol DefaultFactKey(DimTable table) {
   switch (table) {
     case DimTable::kDate: return FactCol::kOrderdate;
@@ -109,11 +159,237 @@ FactCol DefaultFactKey(DimTable table) {
   return FactCol::kOrderdate;
 }
 
+// ------------------------------------------------------- row expressions
+
+Expr ColExpr(FactCol col) {
+  Expr e;
+  Expr::Node node;
+  node.op = Expr::Op::kCol;
+  node.col = col;
+  e.nodes.push_back(node);
+  return e;
+}
+
+Expr ConstExpr(int32_t value) {
+  Expr e;
+  Expr::Node node;
+  node.op = Expr::Op::kConst;
+  node.value = value;
+  e.nodes.push_back(node);
+  return e;
+}
+
+Expr BinExpr(Expr::Op op, Expr a, Expr b) {
+  Expr e = std::move(a);
+  const int16_t root_a = static_cast<int16_t>(e.nodes.size()) - 1;
+  const int16_t shift = static_cast<int16_t>(e.nodes.size());
+  for (Expr::Node node : b.nodes) {
+    if (node.op != Expr::Op::kCol && node.op != Expr::Op::kConst) {
+      node.a = static_cast<int16_t>(node.a + shift);
+      node.b = static_cast<int16_t>(node.b + shift);
+    }
+    e.nodes.push_back(node);
+  }
+  Expr::Node root;
+  root.op = op;
+  root.a = root_a;
+  root.b = static_cast<int16_t>(e.nodes.size()) - 1;
+  e.nodes.push_back(root);
+  return e;
+}
+
+void ExprMarkColumns(const Expr& expr, bool seen[]) {
+  for (const Expr::Node& node : expr.nodes) {
+    if (node.op == Expr::Op::kCol) seen[static_cast<int>(node.col)] = true;
+  }
+}
+
+int ExprArithOps(const Expr& expr) {
+  int ops = 0;
+  for (const Expr::Node& node : expr.nodes) {
+    if (node.op != Expr::Op::kCol && node.op != Expr::Op::kConst) ++ops;
+  }
+  return ops;
+}
+
+// ------------------------------------------------------------ aggregates
+
+std::string_view AggFuncName(AggFunc func) {
+  return kAggFuncs[static_cast<int>(func)];
+}
+
+bool AggFuncFromName(std::string_view name, AggFunc* out) {
+  for (size_t i = 0; i < 5; ++i) {
+    if (name == kAggFuncs[i]) {
+      *out = kAggFuncIds[i];
+      return true;
+    }
+  }
+  return false;
+}
+
+AggSpec Sum(Expr expr) { return AggSpec{AggFunc::kSum, std::move(expr)}; }
+AggSpec Count() { return AggSpec{AggFunc::kCount, Expr{}}; }
+AggSpec Avg(Expr expr) { return AggSpec{AggFunc::kAvg, std::move(expr)}; }
+AggSpec Min(Expr expr) { return AggSpec{AggFunc::kMin, std::move(expr)}; }
+AggSpec Max(Expr expr) { return AggSpec{AggFunc::kMax, std::move(expr)}; }
+
+AggPlan PlanAggs(const QuerySpec& spec) {
+  AggPlan plan;
+  bool has_minmax = false;
+  for (const AggSpec& agg : spec.aggs) {
+    switch (agg.func) {
+      case AggFunc::kAvg:
+        // AVG is emitted exactly as its sum+count pair (integer IR).
+        plan.slots.push_back({AggFunc::kSum, agg.expr, true});
+        if (plan.count_slot < 0) {
+          plan.count_slot = static_cast<int>(plan.slots.size());
+        }
+        plan.slots.push_back({AggFunc::kCount, Expr{}, true});
+        break;
+      case AggFunc::kCount:
+        if (plan.count_slot < 0) {
+          plan.count_slot = static_cast<int>(plan.slots.size());
+        }
+        plan.slots.push_back({AggFunc::kCount, Expr{}, true});
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        has_minmax = true;
+        plan.slots.push_back({agg.func, agg.expr, true});
+        break;
+      default:
+        plan.slots.push_back({AggFunc::kSum, agg.expr, true});
+        break;
+    }
+  }
+  // MIN/MAX identities (INT64_MAX/MIN) make a grid cell's liveness
+  // undecidable from its values alone; a hidden count settles it.
+  if (has_minmax && plan.count_slot < 0) {
+    plan.count_slot = static_cast<int>(plan.slots.size());
+    plan.slots.push_back({AggFunc::kCount, Expr{}, false});
+  }
+  for (const AggSlot& slot : plan.slots) {
+    if (slot.emitted) ++plan.num_emitted;
+  }
+  return plan;
+}
+
+int64_t AggIdentity(AggFunc func) {
+  switch (func) {
+    case AggFunc::kMin: return INT64_MAX;
+    case AggFunc::kMax: return INT64_MIN;
+    default: return 0;
+  }
+}
+
+void FillIdentity(const AggPlan& plan, int64_t* grid, int64_t cells) {
+  const int slots = plan.num_slots();
+  bool all_zero = true;
+  for (const AggSlot& slot : plan.slots) {
+    if (AggIdentity(slot.func) != 0) all_zero = false;
+  }
+  if (all_zero) {
+    std::fill(grid, grid + cells * slots, 0);
+    return;
+  }
+  for (int64_t c = 0; c < cells; ++c) {
+    for (int s = 0; s < slots; ++s) {
+      grid[c * slots + s] = AggIdentity(plan.slots[static_cast<size_t>(s)].func);
+    }
+  }
+}
+
+// ------------------------------------------------- dictionary predicates
+
+const std::vector<int32_t>* ResolveDictFilter(DimCol col,
+                                              DimFilter::StrMatch match,
+                                              const std::string& pattern) {
+  CRYSTAL_CHECK_MSG(DimColHasDict(col),
+                    "string predicate on a non-dictionary column "
+                    "(Validate first)");
+  CRYSTAL_CHECK(match != DimFilter::StrMatch::kNone);
+  // Process-wide cache keyed (column, match, pattern). Dictionary names
+  // are pure functions of the codes — no database generation participates,
+  // so entries never go stale and are kept for the process lifetime.
+  static std::mutex mu;
+  static std::map<std::string, std::unique_ptr<std::vector<int32_t>>>* cache =
+      new std::map<std::string, std::unique_ptr<std::vector<int32_t>>>();
+  std::string key = std::string(DimColName(col)) +
+                    (match == DimFilter::StrMatch::kPrefix ? "|pre|" : "|sub|") +
+                    pattern;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache->find(key);
+    if (it != cache->end()) return it->second.get();
+  }
+  // Scan the dictionary outside the lock (scans are cheap — domains top
+  // out at p_brand1's 4441 names — but there is no reason to serialize
+  // concurrent server queries behind one).
+  int32_t lo, hi;
+  DimColDomain(col, &lo, &hi);
+  auto codes = std::make_unique<std::vector<int32_t>>();
+  for (int32_t code = lo; code <= hi; ++code) {
+    if (NameMatches(DictName(col, code), match, pattern)) {
+      codes->push_back(code);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = cache->emplace(std::move(key), std::move(codes));
+  return it->second.get();
+}
+
+bool BoundDimFilter::Matches(int32_t v) const {
+  if (codes != nullptr) {
+    return std::binary_search(codes->begin(), codes->end(), v);
+  }
+  return filter->Matches(v);
+}
+
+// ------------------------------------------------------------ validation
+
 bool Validate(const QuerySpec& spec, std::string* error) {
   auto fail = [&](const std::string& message) {
     if (error != nullptr) *error = message;
     return false;
   };
+  if (spec.aggs.empty()) {
+    return fail("query has no aggregates");
+  }
+  int value_slots = 0;
+  for (const AggSpec& agg : spec.aggs) {
+    value_slots += agg.func == AggFunc::kAvg ? 2 : 1;
+    if (agg.func == AggFunc::kCount) {
+      if (!agg.expr.empty()) {
+        return fail("count takes no expression");
+      }
+      continue;
+    }
+    if (agg.expr.empty()) {
+      return fail(std::string(AggFuncName(agg.func)) +
+                  " requires an expression");
+    }
+    if (agg.expr.nodes.size() > static_cast<size_t>(kMaxExprNodes)) {
+      return fail("aggregate expression too large (" +
+                  std::to_string(agg.expr.nodes.size()) + " nodes, limit " +
+                  std::to_string(kMaxExprNodes) + ")");
+    }
+    for (size_t i = 0; i < agg.expr.nodes.size(); ++i) {
+      const Expr::Node& node = agg.expr.nodes[i];
+      if (node.op == Expr::Op::kConst && node.value < 0) {
+        return fail("negative constants are not supported; use subtraction");
+      }
+      if (node.op != Expr::Op::kCol && node.op != Expr::Op::kConst &&
+          (node.a < 0 || node.b < 0 || node.a >= static_cast<int16_t>(i) ||
+           node.b >= static_cast<int16_t>(i))) {
+        return fail("malformed expression node pool");
+      }
+    }
+  }
+  if (value_slots > kMaxAggSlots) {
+    return fail("too many aggregate values (" + std::to_string(value_slots) +
+                ", limit " + std::to_string(kMaxAggSlots) + ")");
+  }
   for (const FactFilter& f : spec.fact_filters) {
     if (f.lo > f.hi) {
       return fail("empty range on " + std::string(FactColName(f.col)));
@@ -132,6 +408,17 @@ bool Validate(const QuerySpec& spec, std::string* error) {
         return fail("filter column " + std::string(DimColName(f.col)) +
                     " does not belong to table '" +
                     std::string(DimTableName(join.table)) + "'");
+      }
+      if (f.str_match != DimFilter::StrMatch::kNone) {
+        if (!DimColHasDict(f.col)) {
+          return fail("column " + std::string(DimColName(f.col)) +
+                      " has no string dictionary; 'like' needs one");
+        }
+        if (f.pattern.empty()) {
+          return fail("empty 'like' pattern on " +
+                      std::string(DimColName(f.col)));
+        }
+        continue;
       }
       if (f.in_values.empty() && f.lo > f.hi) {
         return fail("empty range on " + std::string(DimColName(f.col)));
@@ -179,9 +466,8 @@ std::vector<FactCol> ReferencedFactColumns(const QuerySpec& spec) {
   for (const JoinSpec& join : spec.joins) {
     seen[static_cast<int>(join.fact_key)] = true;
   }
-  seen[static_cast<int>(spec.agg.a)] = true;
-  if (spec.agg.kind != AggExpr::Kind::kColumn) {
-    seen[static_cast<int>(spec.agg.b)] = true;
+  for (const AggSpec& agg : spec.aggs) {
+    ExprMarkColumns(agg.expr, seen);
   }
   std::vector<FactCol> cols;
   for (int i = 0; i < kNumFactCols; ++i) {
@@ -248,7 +534,13 @@ std::vector<BoundJoin> BindJoins(const QuerySpec& spec,
             : bound[j].keys;
     bound[j].dim_rows = DimTableRows(db, join.table);
     for (const DimFilter& f : join.filters) {
-      bound[j].filters.emplace_back(&DimColumn(db, f.col), &f);
+      BoundDimFilter bf;
+      bf.col = &DimColumn(db, f.col);
+      bf.filter = &f;
+      if (f.str_match != DimFilter::StrMatch::kNone) {
+        bf.codes = ResolveDictFilter(f.col, f.str_match, f.pattern);
+      }
+      bound[j].filters.push_back(bf);
     }
   }
   return bound;

@@ -12,17 +12,22 @@
 
 namespace crystal::query {
 
-/// Declarative query IR for the star-schema shape every query in the paper
-/// shares (Section 3.1): a fact-table scan with conjunctive range
-/// predicates, an ordered cascade of dimension hash joins (each with
-/// build-side filters and an optional group-key projection), and one SUM
-/// aggregate — scalar or grouped by up to three dimension attributes.
+/// Declarative query IR for star-schema analytics, grown past the paper's
+/// SSB shape (Section 3.1) toward TPC-H Q1/Q6-class queries: a fact-table
+/// scan with conjunctive range predicates, an ordered cascade of dimension
+/// hash joins (each with build-side filters — ranges, IN-sets, or
+/// dictionary-string LIKE patterns resolved to code sets at bind time — and
+/// an optional group-key projection), and a LIST of aggregates
+/// (SUM/COUNT/AVG/MIN/MAX, AVG emitted exactly as its sum+count pair) over
+/// per-row arithmetic expressions (column, constant, +, -, *) — scalar or
+/// grouped by up to three dimension attributes.
 ///
 /// Queries are *data*: engines interpret a QuerySpec with their own
 /// primitives (tuple-at-a-time, vectorized selection/probe pipelines, fused
 /// Crystal tiles, operator-at-a-time materialization), so a new workload is
-/// a new spec — via query::SsbSpec for the 13 canonical benchmark queries or
-/// query::ParseQuerySpec for ad-hoc text (`crystaldb --adhoc=...`).
+/// a new spec — via query::SsbSpec for the 13 canonical benchmark queries,
+/// query::ParseQuerySpec for ad-hoc text (`crystaldb --adhoc=...`), or the
+/// seeded workload generator (src/workload/, docs/WORKLOADS.md).
 
 // ------------------------------------------------------------- column ids
 
@@ -77,9 +82,172 @@ DimTable TableOf(DimCol col);
 /// encoding (dict.h). Engines size dense aggregation grids from these.
 void DimColDomain(DimCol col, int32_t* lo, int32_t* hi);
 
+/// True when the column carries a dictionary-encoded string domain
+/// (cities, nations, regions, the MFGR part hierarchy) — the columns
+/// string predicates (LIKE) are meaningful on. The date attributes are
+/// plain numbers and reject string predicates in Validate.
+bool DimColHasDict(DimCol col);
+
 /// The fact FK column conventionally joining `table` (orderdate, custkey,
 /// suppkey, partkey).
 FactCol DefaultFactKey(DimTable table);
+
+// ------------------------------------------------------- row expressions
+
+/// Per-row integer arithmetic over fact columns: a flat node pool in
+/// evaluation (post-)order, root last. Node operands index earlier nodes,
+/// so evaluation is a single forward walk into a fixed-size value buffer —
+/// no recursion, no allocation in the per-row hot loops. Large enough for
+/// the TPC-H Q1 shape (extendedprice * (100 - discount)) with plenty of
+/// headroom; Validate enforces kMaxExprNodes.
+struct Expr {
+  enum class Op : uint8_t { kCol, kConst, kAdd, kSub, kMul };
+
+  struct Node {
+    Op op = Op::kCol;
+    FactCol col = FactCol::kRevenue;  // kCol only
+    int32_t value = 0;                // kConst only
+    int16_t a = -1;                   // binary ops: operand node indices
+    int16_t b = -1;
+
+    bool operator==(const Node& o) const {
+      if (op != o.op) return false;
+      switch (op) {
+        case Op::kCol: return col == o.col;
+        case Op::kConst: return value == o.value;
+        default: return a == o.a && b == o.b;
+      }
+    }
+  };
+
+  std::vector<Node> nodes;
+
+  bool empty() const { return nodes.empty(); }
+  const Node& root() const { return nodes.back(); }
+
+  bool operator==(const Expr& o) const { return nodes == o.nodes; }
+};
+
+/// Hard cap on expression size (Validate): the evaluation buffer lives on
+/// the stack of every engine's inner loop.
+inline constexpr int kMaxExprNodes = 31;
+
+/// Expression builders (value semantics; operands are consumed).
+Expr ColExpr(FactCol col);
+Expr ConstExpr(int32_t value);
+Expr BinExpr(Expr::Op op, Expr a, Expr b);
+
+/// Marks every fact column the expression reads in `seen[kNumFactCols]`.
+void ExprMarkColumns(const Expr& expr, bool seen[]);
+
+/// Number of arithmetic (+,-,*) nodes — the crystal engine's per-row
+/// arithmetic charge for evaluating the expression on device.
+int ExprArithOps(const Expr& expr);
+
+/// Evaluates `expr` for one row with 64-bit checked arithmetic. `get` maps
+/// a FactCol to the row's value. Returns false on int64 overflow — the
+/// caller surfaces that as an overflow diagnostic instead of silently
+/// wrapping (docs/QUERIES.md).
+template <typename GetCol>
+inline bool EvalExpr(const Expr& expr, GetCol&& get, int64_t* out) {
+  int64_t v[kMaxExprNodes];
+  const size_t n = expr.nodes.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Expr::Node& node = expr.nodes[i];
+    switch (node.op) {
+      case Expr::Op::kCol:
+        v[i] = static_cast<int64_t>(get(node.col));
+        break;
+      case Expr::Op::kConst:
+        v[i] = node.value;
+        break;
+      case Expr::Op::kAdd:
+        if (__builtin_add_overflow(v[node.a], v[node.b], &v[i])) return false;
+        break;
+      case Expr::Op::kSub:
+        if (__builtin_sub_overflow(v[node.a], v[node.b], &v[i])) return false;
+        break;
+      case Expr::Op::kMul:
+        if (__builtin_mul_overflow(v[node.a], v[node.b], &v[i])) return false;
+        break;
+    }
+  }
+  *out = v[n - 1];
+  return true;
+}
+
+// ------------------------------------------------------------ aggregates
+
+/// Aggregate functions over a row expression. kCount takes no expression
+/// (COUNT(*) of the surviving rows); kAvg never reaches an engine — the
+/// aggregation plan expands it into its sum+count slot pair, which is also
+/// how the result is emitted (integer IR; consumers divide).
+enum class AggFunc : uint8_t { kSum, kCount, kAvg, kMin, kMax };
+
+std::string_view AggFuncName(AggFunc func);
+bool AggFuncFromName(std::string_view name, AggFunc* out);
+
+/// One aggregate of the query's SELECT list.
+struct AggSpec {
+  AggFunc func = AggFunc::kSum;
+  Expr expr;  // empty iff func == kCount
+
+  bool operator==(const AggSpec& o) const {
+    return func == o.func && expr == o.expr;
+  }
+};
+
+/// Convenience builders.
+AggSpec Sum(Expr expr);
+AggSpec Count();
+AggSpec Avg(Expr expr);
+AggSpec Min(Expr expr);
+AggSpec Max(Expr expr);
+
+// ------------------------------------------------- dimension predicates
+
+/// Build-side dimension predicate: a range [lo, hi], an IN-set (the
+/// q3.3/q3.4 city pairs), or a dictionary-string pattern over the column's
+/// encoded domain (prefix `'UNITED%'` / contains `'%KI%'`), resolved to a
+/// sorted code set at bind time (ResolveDictFilter).
+struct DimFilter {
+  enum class StrMatch : uint8_t { kNone, kPrefix, kContains };
+
+  DimCol col = DimCol::kDYear;
+  int32_t lo = 0;
+  int32_t hi = 0;
+  std::vector<int32_t> in_values;
+  StrMatch str_match = StrMatch::kNone;
+  std::string pattern;  // without the % markers
+
+  /// Numeric predicate check (range / IN-set). String predicates go
+  /// through the bind-time code set instead (BoundJoin::RowPasses).
+  bool Matches(int32_t v) const {
+    if (in_values.empty()) return v >= lo && v <= hi;
+    for (int32_t cand : in_values) {
+      if (v == cand) return true;
+    }
+    return false;
+  }
+
+  bool operator==(const DimFilter& o) const {
+    return col == o.col && lo == o.lo && hi == o.hi &&
+           in_values == o.in_values && str_match == o.str_match &&
+           pattern == o.pattern;
+  }
+};
+
+/// The sorted code set a dictionary-string predicate selects from its
+/// column's domain. Resolution scans the dictionary name function over the
+/// full domain, so results are cached process-wide per (column, match,
+/// pattern) — dictionary names are pure functions of the codes
+/// (ssb/dict.h), independent of any database generation, so the cache
+/// never needs invalidating and repeated server queries never rescan
+/// (the startup-cost contract of docs/WORKLOADS.md). The returned pointer
+/// stays valid for the process lifetime.
+const std::vector<int32_t>* ResolveDictFilter(DimCol col,
+                                              DimFilter::StrMatch match,
+                                              const std::string& pattern);
 
 // ---------------------------------------------------------------- the IR
 
@@ -93,28 +261,6 @@ struct FactFilter {
 
   bool operator==(const FactFilter& o) const {
     return col == o.col && lo == o.lo && hi == o.hi;
-  }
-};
-
-/// Build-side dimension predicate: a range [lo, hi] or, when `in_values`
-/// is non-empty, an IN-set (the q3.3/q3.4 city pairs).
-struct DimFilter {
-  DimCol col = DimCol::kDYear;
-  int32_t lo = 0;
-  int32_t hi = 0;
-  std::vector<int32_t> in_values;
-
-  bool Matches(int32_t v) const {
-    if (in_values.empty()) return v >= lo && v <= hi;
-    for (int32_t cand : in_values) {
-      if (v == cand) return true;
-    }
-    return false;
-  }
-
-  bool operator==(const DimFilter& o) const {
-    return col == o.col && lo == o.lo && hi == o.hi &&
-           in_values == o.in_values;
   }
 };
 
@@ -133,48 +279,23 @@ struct JoinSpec {
   }
 };
 
-/// The summed value per surviving fact row: a column, a product of two
-/// columns (q1.x: extendedprice * discount), or a difference (q4.x:
-/// revenue - supplycost).
-struct AggExpr {
-  enum class Kind { kColumn, kProduct, kDifference };
-  Kind kind = Kind::kColumn;
-  FactCol a = FactCol::kRevenue;
-  FactCol b = FactCol::kRevenue;  // ignored for kColumn
-
-  bool operator==(const AggExpr& o) const {
-    return kind == o.kind && a == o.a &&
-           (kind == Kind::kColumn || b == o.b);
-  }
-};
-
-/// Shared per-row evaluation of the aggregate expression: every
-/// interpreter passes the row's two input values (b is ignored for
-/// kColumn) instead of re-implementing the kind dispatch.
-inline int64_t AggValue(AggExpr::Kind kind, int32_t a, int32_t b) {
-  switch (kind) {
-    case AggExpr::Kind::kColumn: return a;
-    case AggExpr::Kind::kProduct: return static_cast<int64_t>(a) * b;
-    default: return static_cast<int64_t>(a) - b;
-  }
-}
-
-/// A complete declarative query. `group_by` holds 0..3 dimension columns
-/// (empty = scalar aggregate); its order is the result key order, each
-/// column's table must appear in `joins`, and a table contributes at most
-/// one group key.
+/// A complete declarative query. `aggs` holds one or more aggregates
+/// (evaluated per surviving fact row); `group_by` holds 0..3 dimension
+/// columns (empty = scalar aggregates); its order is the result key order,
+/// each column's table must appear in `joins`, and a table contributes at
+/// most one group key.
 struct QuerySpec {
   std::string name;  // report/CLI label, e.g. "q2.1" or "adhoc1"
   std::vector<FactFilter> fact_filters;
   std::vector<JoinSpec> joins;
-  AggExpr agg;
+  std::vector<AggSpec> aggs;
   std::vector<DimCol> group_by;
 
   /// Structural equality; the label does not participate (round-tripping
   /// through the ad-hoc grammar does not carry the name).
   bool operator==(const QuerySpec& o) const {
     return fact_filters == o.fact_filters && joins == o.joins &&
-           agg == o.agg && group_by == o.group_by;
+           aggs == o.aggs && group_by == o.group_by;
   }
 };
 
@@ -186,15 +307,20 @@ struct QuerySpec {
 /// so Validate rejects it instead of letting the process OOM.
 inline constexpr int64_t kMaxGroupCells = 1 << 24;  // 128 MB of int64 cells
 
-/// Structural validity: filter ranges ordered, at most one join per table,
-/// join filters on the joined table, group keys joined/unique/<= 3 with a
-/// bounded grid (kMaxGroupCells). Returns false and fills *error (when
-/// non-null) on the first violation.
+/// Most aggregate value slots a spec may expand to (AVG counts twice).
+inline constexpr int kMaxAggSlots = 16;
+
+/// Structural validity: filter ranges ordered, string patterns only on
+/// dictionary columns, at most one join per table, join filters on the
+/// joined table, non-empty well-formed aggregate list (expressions within
+/// kMaxExprNodes, non-negative constants, count without expression), group
+/// keys joined/unique/<= 3 with a bounded grid (kMaxGroupCells). Returns
+/// false and fills *error (when non-null) on the first violation.
 bool Validate(const QuerySpec& spec, std::string* error);
 
-/// Distinct fact columns the spec touches (filters + join keys + aggregate
-/// inputs). Drives the coprocessor PCIe volume: every referenced fact
-/// column ships to the device (Section 3.1).
+/// Distinct fact columns the spec touches (filters + join keys + every
+/// aggregate expression input). Drives the coprocessor PCIe volume: every
+/// referenced fact column ships to the device (Section 3.1).
 int FactColumnsReferenced(const QuerySpec& spec);
 
 /// The referenced fact columns themselves, in FactCol order.
@@ -208,6 +334,76 @@ std::vector<FactCol> ReferencedFactColumns(const QuerySpec& spec);
 /// modeled DRAM traffic and `fact_bytes_shipped`.
 int64_t ReferencedFactBytes(const ssb::Database& db, const QuerySpec& spec,
                             int64_t rows);
+
+// --------------------------------------------------- aggregation plan
+
+/// One physical accumulator slot of the lowered aggregate list. kAvg never
+/// appears here: the plan expands it into a kSum slot followed by a kCount
+/// slot. A trailing hidden kCount slot is appended when the query has
+/// MIN/MAX aggregates but no count of its own — group liveness (which grid
+/// cells hold real groups) is then decided by that count instead of the
+/// all-SUM "any value non-zero" rule.
+struct AggSlot {
+  AggFunc func = AggFunc::kSum;  // kSum | kCount | kMin | kMax
+  Expr expr;                     // empty iff func == kCount
+  bool emitted = true;           // false only for the hidden count slot
+};
+
+/// The shared lowering of QuerySpec::aggs every engine executes: the slot
+/// list, the group-liveness rule, and the emitted-value count.
+struct AggPlan {
+  std::vector<AggSlot> slots;
+  /// Index of a COUNT slot usable for group liveness (a group exists iff
+  /// its count > 0), or -1 when every slot is a SUM — then the legacy
+  /// dense-grid rule applies (a group exists iff any sum != 0), keeping
+  /// the 13 canonical SSB results bit-identical to the single-SUM IR.
+  int count_slot = -1;
+  int num_emitted = 0;
+
+  int num_slots() const { return static_cast<int>(slots.size()); }
+
+  /// True when the grid cell at `vals` (num_slots values) holds a group.
+  bool CellLive(const int64_t* vals) const {
+    if (count_slot >= 0) return vals[count_slot] > 0;
+    for (int s = 0; s < num_slots(); ++s) {
+      if (vals[s] != 0) return true;
+    }
+    return false;
+  }
+};
+
+/// Expands the (valid) spec's aggregate list into its slot plan.
+AggPlan PlanAggs(const QuerySpec& spec);
+
+/// Accumulator identity for a slot function (0 for sums and counts,
+/// INT64_MAX/MIN for min/max).
+int64_t AggIdentity(AggFunc func);
+
+/// Fills a grid of `cells` x `plan.num_slots()` accumulators with each
+/// slot's identity (plain zero-fill when no MIN/MAX slot exists).
+void FillIdentity(const AggPlan& plan, int64_t* grid, int64_t cells);
+
+/// Folds one row value into an accumulator. Checked: returns false when a
+/// sum/count overflows int64 (min/max cannot overflow).
+inline bool AggAccumulate(AggFunc func, int64_t* acc, int64_t value) {
+  switch (func) {
+    case AggFunc::kSum:
+    case AggFunc::kCount:
+      return !__builtin_add_overflow(*acc, value, acc);
+    case AggFunc::kMin:
+      if (value < *acc) *acc = value;
+      return true;
+    default:
+      if (value > *acc) *acc = value;
+      return true;
+  }
+}
+
+/// Merges a partial accumulator into another (same semantics as
+/// AggAccumulate; counts and sums add, min/max fold).
+inline bool AggMerge(AggFunc func, int64_t* acc, int64_t partial) {
+  return AggAccumulate(func, acc, partial);
+}
 
 // ------------------------------------------------- aggregation geometry
 
@@ -255,6 +451,17 @@ struct PayloadPlan {
 
 PayloadPlan PlanPayloads(const QuerySpec& spec);
 
+/// One build-side filter bound to its column, with any string predicate
+/// already resolved to its sorted code set.
+struct BoundDimFilter {
+  const ssb::Column* col = nullptr;
+  const DimFilter* filter = nullptr;
+  /// Sorted codes of a resolved string predicate; null for numeric ones.
+  const std::vector<int32_t>* codes = nullptr;
+
+  bool Matches(int32_t v) const;
+};
+
 /// One join step bound to database columns: the dimension's key column,
 /// the payload column the join carries (its group-key column, or the key
 /// column again when the join is filter-only — then never read), and the
@@ -265,18 +472,19 @@ struct BoundJoin {
   const ssb::Column* keys = nullptr;
   const ssb::Column* payload = nullptr;
   int64_t dim_rows = 0;
-  std::vector<std::pair<const ssb::Column*, const DimFilter*>> filters;
+  std::vector<BoundDimFilter> filters;
 
   /// True when dimension row `row` passes every build-side filter.
   bool RowPasses(size_t row) const {
-    for (const auto& [col, filter] : filters) {
-      if (!filter->Matches((*col)[row])) return false;
+    for (const BoundDimFilter& f : filters) {
+      if (!f.Matches((*f.col)[row])) return false;
     }
     return true;
   }
 };
 
 /// Binds every join of the (valid) spec against `db`, in join order.
+/// String predicates resolve through the process-wide dictionary cache.
 std::vector<BoundJoin> BindJoins(const QuerySpec& spec,
                                  const PayloadPlan& plan,
                                  const ssb::Database& db);

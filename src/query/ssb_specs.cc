@@ -50,8 +50,8 @@ QuerySpec Flight1(int32_t date_lo, int32_t date_hi, int32_t disc_lo,
       Range(FactCol::kDiscount, disc_lo, disc_hi),
       Range(FactCol::kQuantity, qty_lo, qty_hi),
   };
-  spec.agg = {AggExpr::Kind::kProduct, FactCol::kExtendedprice,
-              FactCol::kDiscount};
+  spec.aggs = {Sum(BinExpr(Expr::Op::kMul, ColExpr(FactCol::kExtendedprice),
+                           ColExpr(FactCol::kDiscount)))};
   return spec;
 }
 
@@ -65,7 +65,7 @@ QuerySpec Flight2(DimFilter part_filter, int32_t s_region) {
       Join(DimTable::kPart, {std::move(part_filter)}),
       Join(DimTable::kDate),
   };
-  spec.agg = {AggExpr::Kind::kColumn, FactCol::kRevenue, FactCol::kRevenue};
+  spec.aggs = {Sum(ColExpr(FactCol::kRevenue))};
   spec.group_by = {DimCol::kDYear, DimCol::kPBrand1};
   return spec;
 }
@@ -80,7 +80,7 @@ QuerySpec Flight3(DimFilter supp_filter, DimFilter cust_filter,
       Join(DimTable::kCustomer, {std::move(cust_filter)}),
       Join(DimTable::kDate, {std::move(date_filter)}),
   };
-  spec.agg = {AggExpr::Kind::kColumn, FactCol::kRevenue, FactCol::kRevenue};
+  spec.aggs = {Sum(ColExpr(FactCol::kRevenue))};
   spec.group_by = {c_group, s_group, DimCol::kDYear};
   return spec;
 }
@@ -98,8 +98,8 @@ QuerySpec Flight4(DimFilter supp_filter, DimFilter part_filter,
       Join(DimTable::kPart, {std::move(part_filter)}),
       std::move(date),
   };
-  spec.agg = {AggExpr::Kind::kDifference, FactCol::kRevenue,
-              FactCol::kSupplycost};
+  spec.aggs = {Sum(BinExpr(Expr::Op::kSub, ColExpr(FactCol::kRevenue),
+                           ColExpr(FactCol::kSupplycost)))};
   spec.group_by = std::move(group_by);
   return spec;
 }
@@ -177,6 +177,46 @@ QuerySpec SpecFor(QueryId id) {
 QuerySpec SsbSpec(ssb::QueryId id) {
   QuerySpec spec = SpecFor(id);
   spec.name = ssb::QueryName(id);
+  return spec;
+}
+
+QuerySpec TpchQ6Analog() {
+  // SELECT sum(extendedprice * discount) WHERE orderdate IN 1994,
+  // discount BETWEEN 5 AND 7, quantity < 25 — Q6 with TPC-H's "discount
+  // +-0.01 around 0.06" band mapped onto SSB's integer discount domain.
+  QuerySpec spec;
+  spec.name = "tpch-q6";
+  spec.fact_filters = {
+      Range(FactCol::kOrderdate, 19940101, 19941231),
+      Range(FactCol::kDiscount, 5, 7),
+      Range(FactCol::kQuantity, 0, 24),
+  };
+  spec.aggs = {Sum(BinExpr(Expr::Op::kMul, ColExpr(FactCol::kExtendedprice),
+                           ColExpr(FactCol::kDiscount)))};
+  return spec;
+}
+
+QuerySpec TpchQ1Analog() {
+  // The pricing-summary shape. SSB has no returnflag/linestatus, so the
+  // report groups by d_year; discounted price uses integer arithmetic:
+  // extendedprice * (100 - discount) is 100x the TPC-H term.
+  QuerySpec spec;
+  spec.name = "tpch-q1";
+  spec.fact_filters = {Range(FactCol::kOrderdate, 19920101, 19980902)};
+  spec.joins = {Join(DimTable::kDate)};
+  const Expr disc_price =
+      BinExpr(Expr::Op::kMul, ColExpr(FactCol::kExtendedprice),
+              BinExpr(Expr::Op::kSub, ConstExpr(100),
+                      ColExpr(FactCol::kDiscount)));
+  spec.aggs = {
+      Sum(ColExpr(FactCol::kQuantity)),
+      Sum(ColExpr(FactCol::kExtendedprice)),
+      Sum(disc_price),
+      Avg(ColExpr(FactCol::kQuantity)),
+      Avg(ColExpr(FactCol::kDiscount)),
+      Count(),
+  };
+  spec.group_by = {DimCol::kDYear};
   return spec;
 }
 

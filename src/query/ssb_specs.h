@@ -12,6 +12,20 @@ namespace crystal::query {
 /// returned spec; none carries per-query code.
 QuerySpec SsbSpec(ssb::QueryId id);
 
+/// TPC-H analogs on the SSB schema (docs/QUERIES.md), exercising the
+/// extended IR end to end across every engine.
+///
+/// Q6 analog — scalar SUM(extendedprice * discount) under the classic
+/// date-year / discount-band / quantity predicates.
+QuerySpec TpchQ6Analog();
+
+/// Q1 analog — the pricing-summary shape: group by d_year with
+/// SUM(quantity), SUM(extendedprice), SUM(extendedprice * (100 -
+/// discount)) (the discounted-price term in integer arithmetic),
+/// AVG(quantity), AVG(discount), and COUNT — 8 emitted values per group
+/// once the AVGs expand to their sum+count pairs.
+QuerySpec TpchQ1Analog();
+
 }  // namespace crystal::query
 
 #endif  // CRYSTAL_QUERY_SSB_SPECS_H_

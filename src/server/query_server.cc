@@ -37,6 +37,7 @@ bool RetryableCode(StatusCode code) {
     case StatusCode::kInvalidArgument:
     case StatusCode::kNotFound:
     case StatusCode::kInternal:
+    case StatusCode::kOutOfRange:  // deterministic: a retry overflows again
       return false;
   }
   return false;

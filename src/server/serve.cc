@@ -29,7 +29,11 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 void HandleStopSignal(int) { g_stop_requested = 1; }
 
 int64_t Checksum(const ssb::QueryResult& result) {
-  if (result.group_values.empty()) return result.scalar;
+  if (result.group_values.empty()) {
+    if (result.scalar_values.empty()) return result.scalar;
+    return std::accumulate(result.scalar_values.begin(),
+                           result.scalar_values.end(), int64_t{0});
+  }
   return std::accumulate(result.group_values.begin(),
                          result.group_values.end(), int64_t{0});
 }
@@ -76,7 +80,7 @@ ParsedLine ParseLine(std::string_view line) {
   std::string_view rest = Trim(line);
   // Leading directives: @DATABASE routes, timeout=MS sets the deadline.
   // They cannot collide with the query: canonical names start with 'q'
-  // and the spec grammar starts with "sum".
+  // and the spec grammar starts with an aggregate function name.
   for (;;) {
     rest = Trim(rest);
     const size_t space = rest.find_first_of(" \t");
@@ -241,23 +245,37 @@ int Serve(std::istream& in, std::ostream& out,
           } else {
             json += ", \"checksum\": " + std::to_string(
                                              Checksum(outcome.result));
-            if (outcome.result.group_values.empty()) {
-              json += ", \"scalar\": " + std::to_string(outcome.result.scalar);
+            const ssb::QueryResult& result = outcome.result;
+            const size_t stride = static_cast<size_t>(result.num_values);
+            if (result.group_values.empty()) {
+              // Single-aggregate responses keep the legacy "scalar" shape;
+              // multi-aggregate queries get the value list.
+              json += ", \"scalar\": " + std::to_string(result.scalar);
+              if (result.num_values > 1) {
+                json += ", \"scalars\": [";
+                for (size_t v = 0; v < result.scalar_values.size(); ++v) {
+                  if (v > 0) json += ", ";
+                  json += std::to_string(result.scalar_values[v]);
+                }
+                json += "]";
+              }
             } else {
               json += ", \"groups\": " +
-                      std::to_string(outcome.result.group_values.size());
-              if (static_cast<int>(outcome.result.group_values.size()) <=
+                      std::to_string(result.group_keys.size());
+              if (static_cast<int>(result.group_keys.size()) <=
                   config.max_result_rows) {
                 json += ", \"rows\": [";
-                for (size_t g = 0; g < outcome.result.group_values.size();
-                     ++g) {
+                for (size_t g = 0; g < result.group_keys.size(); ++g) {
                   if (g > 0) json += ", ";
-                  const auto& keys = outcome.result.group_keys[g];
+                  const auto& keys = result.group_keys[g];
                   json += "[" + std::to_string(keys[0]) + ", " +
                           std::to_string(keys[1]) + ", " +
-                          std::to_string(keys[2]) + ", " +
-                          std::to_string(outcome.result.group_values[g]) +
-                          "]";
+                          std::to_string(keys[2]);
+                  for (size_t v = 0; v < stride; ++v) {
+                    json += ", " +
+                            std::to_string(result.group_values[g * stride + v]);
+                  }
+                  json += "]";
                 }
                 json += "]";
               } else {

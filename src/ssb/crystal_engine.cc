@@ -10,7 +10,6 @@ namespace crystal::ssb {
 
 namespace {
 
-using query::AggExpr;
 using query::QuerySpec;
 
 template <typename Pred>
@@ -133,14 +132,30 @@ EngineRun CrystalEngine::Run(const QuerySpec& spec,
   };
   for (const query::FactFilter& f : spec.fact_filters) reference(f.col);
   for (const query::JoinSpec& join : spec.joins) reference(join.fact_key);
-  reference(spec.agg.a);
-  if (spec.agg.kind != AggExpr::Kind::kColumn) reference(spec.agg.b);
+  bool agg_seen[query::kNumFactCols] = {};
+  for (const query::AggSpec& agg : spec.aggs) {
+    query::ExprMarkColumns(agg.expr, agg_seen);
+  }
+  for (int i = 0; i < query::kNumFactCols; ++i) {
+    if (agg_seen[i]) reference(static_cast<query::FactCol>(i));
+  }
+
+  // Aggregation plan: one accumulator slot per expanded aggregate; the
+  // per-element arithmetic charge is the total +,-,* count across slots.
+  const query::AggPlan aggs = query::PlanAggs(spec);
+  const int slots = aggs.num_slots();
+  int64_t arith_per_row = 0;
+  for (const query::AggSlot& slot : aggs.slots) {
+    arith_per_row += query::ExprArithOps(slot.expr);
+  }
 
   EngineRun run;
   const bool scalar = layout.scalar();
-  sim::DeviceBuffer<int64_t> total(device_, 1, 0);
-  sim::DeviceBuffer<int64_t> grid(device_, scalar ? 1 : layout.cells, 0);
-  const AggExpr::Kind agg_kind = spec.agg.kind;
+  sim::DeviceBuffer<int64_t> total(device_, slots, 0);
+  sim::DeviceBuffer<int64_t> grid(device_,
+                                  (scalar ? 1 : layout.cells) * slots, 0);
+  query::FillIdentity(aggs, total.data(), 1);
+  if (!scalar) query::FillIdentity(aggs, grid.data(), layout.cells);
 
   // Probe phase: one fused kernel over the fact table — predicate chain,
   // join cascade in spec order, then the aggregate, with one atomic per
@@ -210,20 +225,59 @@ EngineRun CrystalEngine::Run(const QuerySpec& spec,
           BlockLookup(tb, views[j], keys, bm, payload, tile);
         }
         init_bitmap();  // pure scan: every row survives
-        RegTile<int32_t>& va = load(spec.agg.a);
-        RegTile<int32_t>& vb =
-            agg_kind == AggExpr::Kind::kColumn ? va : load(spec.agg.b);
-        auto value_at = [&](int k) {
-          return query::AggValue(agg_kind, va.logical(k), vb.logical(k));
+        for (int c = 0; c < query::kNumFactCols; ++c) {
+          if (agg_seen[c]) load(static_cast<query::FactCol>(c));
+        }
+        const auto col_at = [&](query::FactCol col, int k) {
+          return cols[static_cast<size_t>(tile_slot[static_cast<int>(col)])]
+              .logical(k);
         };
-        if (scalar) {
-          RegTile<int64_t> partial(tb);
-          partial.Fill(0);
-          for (int k = 0; k < tile; ++k) {
-            if (bm.logical(k)) partial.logical(k) = value_at(k);
+        const auto value_at = [&](const query::AggSlot& slot, int k) {
+          int64_t v = 1;  // counts add 1 per surviving row
+          if (slot.func != query::AggFunc::kCount) {
+            CRYSTAL_CHECK_MSG(
+                query::EvalExpr(
+                    slot.expr,
+                    [&](query::FactCol col) { return col_at(col, k); }, &v),
+                "crystal engine: aggregate expression overflow");
           }
-          const int64_t s = BlockSum(tb, partial, tile);
-          if (s != 0) tb.AtomicAdd(total.data(), s);
+          return v;
+        };
+        // Arithmetic charge: every surviving element evaluates each slot's
+        // expression once (compute overlaps memory in the timing model, so
+        // this only surfaces for genuinely compute-heavy expressions).
+        if (arith_per_row > 0) {
+          int64_t survivors = 0;
+          for (int k = 0; k < tile; ++k) survivors += bm.logical(k) ? 1 : 0;
+          tb.device().RecordArithmetic(survivors * arith_per_row);
+        }
+        if (scalar) {
+          for (int sl = 0; sl < slots; ++sl) {
+            const query::AggSlot& slot = aggs.slots[static_cast<size_t>(sl)];
+            if (slot.func == query::AggFunc::kMin ||
+                slot.func == query::AggFunc::kMax) {
+              // Per-tile fold, then one atomic combine into the total.
+              int64_t local = query::AggIdentity(slot.func);
+              bool any = false;
+              for (int k = 0; k < tile; ++k) {
+                if (!bm.logical(k)) continue;
+                query::AggAccumulate(slot.func, &local, value_at(slot, k));
+                any = true;
+              }
+              if (any) {
+                tb.device().RecordAtomic();
+                query::AggMerge(slot.func, &total[sl], local);
+              }
+              continue;
+            }
+            RegTile<int64_t> partial(tb);
+            partial.Fill(0);
+            for (int k = 0; k < tile; ++k) {
+              if (bm.logical(k)) partial.logical(k) = value_at(slot, k);
+            }
+            const int64_t s = BlockSum(tb, partial, tile);
+            if (s != 0) tb.AtomicAdd(&total[sl], s);
+          }
         } else {
           for (int k = 0; k < tile; ++k) {
             if (!bm.logical(k)) continue;
@@ -233,16 +287,34 @@ EngineRun CrystalEngine::Run(const QuerySpec& spec,
                      (group[static_cast<size_t>(g)].logical(k) -
                       layout.lo[g]);
             }
-            tb.device().RecordRandomRead(grid.addr(cell), 8);
-            tb.AtomicAdd(&grid[cell], value_at(k));
+            for (int sl = 0; sl < slots; ++sl) {
+              const query::AggSlot& slot =
+                  aggs.slots[static_cast<size_t>(sl)];
+              const int64_t idx = cell * slots + sl;
+              tb.device().RecordRandomRead(grid.addr(idx), 8);
+              if (slot.func == query::AggFunc::kMin ||
+                  slot.func == query::AggFunc::kMax) {
+                tb.device().RecordAtomic();
+                query::AggMerge(slot.func, &grid[idx], value_at(slot, k));
+              } else {
+                tb.AtomicAdd(&grid[idx], value_at(slot, k));
+              }
+            }
           }
         }
       });
 
   if (scalar) {
-    run.result.scalar = total[0];
+    int64_t emitted[query::kMaxAggSlots];
+    int n = 0;
+    for (int sl = 0; sl < slots; ++sl) {
+      if (aggs.slots[static_cast<size_t>(sl)].emitted) {
+        emitted[n++] = total[sl];
+      }
+    }
+    run.result.SetScalars(emitted, n);
   } else {
-    EmitDenseGroups(layout, grid.data(), &run.result);
+    EmitDenseGroups(layout, aggs, grid.data(), &run.result);
   }
   FinalizeRun(&run, spec);
   return run;

@@ -23,58 +23,83 @@ namespace {
 
 constexpr int kVector = 1024;
 
-using query::AggExpr;
+constexpr char kOverflowMsg[] =
+    "aggregate sum overflowed the checked 64-bit accumulator";
 
 // Thread-local dense aggregation grids over donated or private scratch,
-// merged after the parallel scan. Only layouts up to kSparseGridCells land
-// here (to 2 MB per thread — q2.x's ~31K-cell brand grids, q4.2's ~10K
-// cells); larger layouts take the sparse path below. A grid is lazily
-// zeroed on its thread's first Add of the run (zeroing threads x cells up
-// front is O(threads * cells) serial work), and when the scratch outlives
-// the run (the engine donates its own), repeated executions pay a memset
-// on reused pages instead of a fresh allocation. Merged with a
-// cell-striped parallel pass.
+// merged after the parallel scan. Each cell holds plan.num_slots()
+// accumulators (cell-major), so a grid is cells x slots values. Only
+// layouts up to kSparseGridCells land here (to 2 MB per thread for
+// single-slot plans — q2.x's ~31K-cell brand grids, q4.2's ~10K cells);
+// larger layouts take the sparse path below. A grid is lazily filled with
+// the plan's identities on its thread's first touch of the run (zeroing
+// threads x cells up front is O(threads * cells) serial work), and when
+// the scratch outlives the run (the engine donates its own), repeated
+// executions pay a memset on reused pages instead of a fresh allocation.
+// Merged with a cell-striped parallel pass.
 class GridAgg {
  public:
   GridAgg(std::vector<std::vector<int64_t>>* scratch, int threads,
-          int64_t cells)
+          int64_t cells, const query::AggPlan* plan)
       : grids_(*scratch),
         cells_(cells),
+        plan_(plan),
         touched_(static_cast<size_t>(threads), 0) {
     if (grids_.size() < static_cast<size_t>(threads)) {
       grids_.resize(static_cast<size_t>(threads));
     }
   }
 
-  void Add(int thread, int64_t cell, int64_t v) {
+  /// The accumulator row of `cell` on `thread` (lazily identity-filled).
+  int64_t* Row(int thread, int64_t cell) {
     auto& grid = grids_[static_cast<size_t>(thread)];
     if (!touched_[static_cast<size_t>(thread)]) {
-      grid.assign(static_cast<size_t>(cells_), 0);
+      grid.resize(static_cast<size_t>(cells_) *
+                  static_cast<size_t>(plan_->num_slots()));
+      query::FillIdentity(*plan_, grid.data(), cells_);
       touched_[static_cast<size_t>(thread)] = 1;
     }
-    grid[static_cast<size_t>(cell)] += v;
+    return grid.data() + cell * plan_->num_slots();
   }
 
   /// Merges all touched thread grids into grid 0 (cell-striped across the
-  /// pool) and returns it.
-  const std::vector<int64_t>& Merge(ThreadPool& pool) {
-    if (!touched_[0]) grids_[0].assign(static_cast<size_t>(cells_), 0);
+  /// pool) and returns it. *ok is cleared when a merge overflows.
+  const std::vector<int64_t>& Merge(ThreadPool& pool, bool* ok) {
+    const int slots = plan_->num_slots();
+    if (!touched_[0]) {
+      grids_[0].resize(static_cast<size_t>(cells_) *
+                       static_cast<size_t>(slots));
+      query::FillIdentity(*plan_, grids_[0].data(), cells_);
+    }
+    std::atomic<bool> overflow{false};
     pool.ParallelFor(cells_, [&](int, int64_t begin, int64_t end) {
       for (size_t t = 1; t < touched_.size(); ++t) {
         if (!touched_[t]) continue;
         const int64_t* src = grids_[t].data();
         int64_t* dst = grids_[0].data();
-        for (int64_t i = begin; i < end; ++i) dst[i] += src[i];
+        for (int64_t c = begin; c < end; ++c) {
+          for (int s = 0; s < slots; ++s) {
+            const size_t i =
+                static_cast<size_t>(c) * static_cast<size_t>(slots) +
+                static_cast<size_t>(s);
+            if (!query::AggMerge(plan_->slots[static_cast<size_t>(s)].func,
+                                 &dst[i], src[i])) {
+              overflow.store(true, std::memory_order_relaxed);
+            }
+          }
+        }
       }
     });
+    *ok = !overflow.load(std::memory_order_relaxed);
     return grids_[0];
   }
 
  private:
   std::vector<std::vector<int64_t>>& grids_;
   int64_t cells_;
-  /// Per-thread first-Add flags for this run; each thread writes only its
-  /// own slot during the scan, Merge reads them after the pool joined.
+  const query::AggPlan* plan_;
+  /// Per-thread first-touch flags for this run; each thread writes only
+  /// its own slot during the scan, Merge reads them after the pool joined.
   std::vector<uint8_t> touched_;
 };
 
@@ -84,55 +109,80 @@ class GridAgg {
 // so on a memory-bound host the grid traffic dwarfs the actual query. Past
 // kSparseGridCells the scan aggregates into per-thread open-addressing
 // tables keyed by cell id instead; work is then proportional to touched
-// cells, and emission (skip zero sums, Normalize sorts) stays bit-identical
-// to EmitDenseGroups.
+// cells, and emission (AggPlan::CellLive, Normalize sorts) stays
+// bit-identical to EmitDenseGroups.
 constexpr int64_t kSparseGridCells = int64_t{1} << 18;
 
 class SparseGrid {
  public:
   static constexpr int64_t kEmpty = -1;  // cell ids are >= 0
 
-  void Add(int64_t cell, int64_t v) {
+  void Bind(const query::AggPlan* plan) { plan_ = plan; }
+
+  /// The accumulator row of `cell` (inserted identity-filled on first
+  /// touch). Values live in a side pool, so growth rehashes only the
+  /// fixed-size slots.
+  int64_t* Row(int64_t cell) {
     if (2 * (count_ + 1) > static_cast<int64_t>(slots_.size())) Grow();
+    const int slots = plan_->num_slots();
     const size_t mask = slots_.size() - 1;
     size_t s = Hash(cell) & mask;
     for (;;) {
       Slot& slot = slots_[s];
       if (slot.cell == cell) {
-        slot.sum += v;
-        return;
+        return &values_[static_cast<size_t>(slot.index)];
       }
       if (slot.cell == kEmpty) {
         slot.cell = cell;
-        slot.sum = v;
+        slot.index = static_cast<int64_t>(values_.size());
+        values_.resize(values_.size() + static_cast<size_t>(slots));
+        int64_t* row = &values_[static_cast<size_t>(slot.index)];
+        query::FillIdentity(*plan_, row, 1);
         ++count_;
-        return;
+        return row;
       }
       s = (s + 1) & mask;
     }
   }
 
-  /// Folds `other`'s entries into this table.
-  void Absorb(const SparseGrid& other) {
+  /// Folds `other`'s entries into this table; false on merge overflow.
+  bool Absorb(const SparseGrid& other) {
+    const int slots = plan_->num_slots();
     for (const Slot& slot : other.slots_) {
-      if (slot.cell != kEmpty) Add(slot.cell, slot.sum);
+      if (slot.cell == kEmpty) continue;
+      int64_t* dst = Row(slot.cell);
+      const int64_t* src = &other.values_[static_cast<size_t>(slot.index)];
+      for (int s = 0; s < slots; ++s) {
+        if (!query::AggMerge(plan_->slots[static_cast<size_t>(s)].func,
+                             &dst[s], src[s])) {
+          return false;
+        }
+      }
     }
+    return true;
   }
 
-  /// Emits the non-zero sums as result groups (unsorted; the caller's
+  /// Emits the live cells as result groups (unsorted; the caller's
   /// Normalize establishes the canonical order, as in RunReference).
   void Emit(const query::GroupLayout& layout, QueryResult* result) const {
+    const int slots = plan_->num_slots();
+    int64_t row[query::kMaxAggSlots];
     for (const Slot& slot : slots_) {
-      if (slot.cell == kEmpty || slot.sum == 0) continue;
-      const std::array<int32_t, 3> keys = layout.KeysFor(slot.cell);
-      result->AddGroup(keys[0], keys[1], keys[2], slot.sum);
+      if (slot.cell == kEmpty) continue;
+      const int64_t* vals = &values_[static_cast<size_t>(slot.index)];
+      if (!plan_->CellLive(vals)) continue;
+      int n = 0;
+      for (int s = 0; s < slots; ++s) {
+        if (plan_->slots[static_cast<size_t>(s)].emitted) row[n++] = vals[s];
+      }
+      result->AddGroupRow(layout.KeysFor(slot.cell), row, n);
     }
   }
 
  private:
   struct Slot {
     int64_t cell = kEmpty;
-    int64_t sum = 0;
+    int64_t index = 0;  // offset into values_
   };
 
   static size_t Hash(int64_t cell) {
@@ -143,13 +193,18 @@ class SparseGrid {
   void Grow() {
     std::vector<Slot> old = std::move(slots_);
     slots_.assign(old.empty() ? 1024 : old.size() * 2, Slot{});
-    count_ = 0;
+    const size_t mask = slots_.size() - 1;
     for (const Slot& slot : old) {
-      if (slot.cell != kEmpty) Add(slot.cell, slot.sum);
+      if (slot.cell == kEmpty) continue;
+      size_t s = Hash(slot.cell) & mask;
+      while (slots_[s].cell != kEmpty) s = (s + 1) & mask;
+      slots_[s] = slot;
     }
   }
 
+  const query::AggPlan* plan_ = nullptr;
   std::vector<Slot> slots_;
+  std::vector<int64_t> values_;  // stride plan_->num_slots()
   int64_t count_ = 0;
 };
 
@@ -165,10 +220,14 @@ struct FusedQuery::Impl {
         fact_rows(db.lo.rows),
         scalar(pipe.layout.scalar()),
         sparse(!scalar && pipe.layout.cells > kSparseGridCells),
-        partial(static_cast<size_t>(threads), 0),
-        agg(scratch != nullptr ? scratch : &own_scratch,
-            threads, sparse ? 1 : pipe.layout.cells),
+        partial(static_cast<size_t>(threads) *
+                    static_cast<size_t>(pipe.agg.plan.num_slots()),
+                0),
+        agg(scratch != nullptr ? scratch : &own_scratch, threads,
+            sparse ? 1 : pipe.layout.cells, &pipe.agg.plan),
         sparse_grids(sparse ? static_cast<size_t>(threads) : 0) {
+    query::FillIdentity(pipe.agg.plan, partial.data(), threads);
+    for (SparseGrid& grid : sparse_grids) grid.Bind(&pipe.agg.plan);
     // Packed columns that must materialize per vector (probe keys and
     // aggregate inputs; filters decode in-register inside the fused
     // kernels) get a scratch slot each, deduplicated by payload pointer so
@@ -188,10 +247,16 @@ struct FusedQuery::Impl {
     for (size_t p = 0; p < pipe.probes.size(); ++p) {
       probe_slot[p] = slot_for(pipe.probes[p].fact_keys);
     }
-    agg_a_slot = slot_for(pipe.agg.a);
-    agg_b_slot = pipe.agg.kind != AggExpr::Kind::kColumn
-                     ? slot_for(pipe.agg.b)
-                     : -1;
+    agg_slot.resize(pipe.agg.views.size());
+    for (size_t c = 0; c < pipe.agg.views.size(); ++c) {
+      agg_slot[c] = slot_for(pipe.agg.views[c]);
+    }
+    if (pipe.agg.simple != query::AggStage::Simple::kNone) {
+      agg_a_slot = slot_for(pipe.agg.a);
+      if (pipe.agg.simple != query::AggStage::Simple::kColumn) {
+        agg_b_slot = slot_for(pipe.agg.b);
+      }
+    }
   }
 
   /// Build phase: fetch every probe's build side from the process-wide
@@ -250,7 +315,7 @@ struct FusedQuery::Impl {
     return first_error;
   }
 
-  void Run(int t, int64_t begin, int64_t end);
+  Status Run(int t, int64_t begin, int64_t end);
 
   const query::QueryPipeline pipe;
   const int64_t fact_rows;
@@ -258,8 +323,10 @@ struct FusedQuery::Impl {
   const bool sparse;
   std::vector<std::shared_ptr<const cpu::JoinTable>> tables;
   std::vector<int> probe_slot;
-  int agg_a_slot = -1;
+  std::vector<int> agg_slot;  // parallel to pipe.agg.cols/views
+  int agg_a_slot = -1;        // fast path only
   int agg_b_slot = -1;
+  /// Per-thread scalar accumulators, stride plan.num_slots().
   std::vector<int64_t> partial;
   /// Private dense-grid scratch, used when no caller-owned scratch was
   /// donated. Must precede `agg`, which captures a reference.
@@ -309,7 +376,8 @@ Status FusedQuery::RunMorsel(int t, int64_t begin, int64_t end) {
     if (!status.ok()) return s.LatchError(std::move(status));
   }
   try {
-    s.Run(t, begin, end);
+    Status status = s.Run(t, begin, end);
+    if (!status.ok()) return s.LatchError(std::move(status));
   } catch (const std::bad_alloc&) {
     return s.LatchError(
         ResourceExhaustedError("aggregation allocation failed"));
@@ -317,17 +385,21 @@ Status FusedQuery::RunMorsel(int t, int64_t begin, int64_t end) {
   return Status();
 }
 
-void FusedQuery::Impl::Run(int t, int64_t begin, int64_t end) {
+Status FusedQuery::Impl::Run(int t, int64_t begin, int64_t end) {
   Impl& s = *this;
   const query::QueryPipeline& pipe = s.pipe;
-  const AggExpr::Kind agg_kind = pipe.agg.kind;
+  const query::AggPlan& plan = pipe.agg.plan;
+  const int num_slots = plan.num_slots();
+  const query::AggStage::Simple simple = pipe.agg.simple;
   const query::GroupLayout& layout = pipe.layout;
   int32_t sel[kVector];
   int32_t pos[kVector];
   int32_t group[3][kVector];
   // One kVector slice per distinct packed probe/aggregate column.
   int32_t packed_scratch[query::kNumFactCols][kVector];
-  int64_t sum = 0;
+  int64_t* const partial_row = &s.partial[static_cast<size_t>(t) *
+                                          static_cast<size_t>(num_slots)];
+  const int32_t* agg_cols[query::kNumFactCols];
   for (int64_t base = begin; base < end; base += kVector) {
     const int n = static_cast<int>(std::min<int64_t>(kVector, end - base));
     // Fact predicates: the first fills the selection vector, the rest
@@ -397,60 +469,163 @@ void FusedQuery::Impl::Run(int t, int64_t begin, int64_t end) {
         carried_slots[carried++] = probe.group_slot;
       }
     }
-    // Aggregate inputs, resolved against the final selection (packed
-    // columns decode only the surviving rows). For kColumn the b input is
-    // ignored; aliasing it to a keeps AggValue branch-free.
-    const int32_t* va = resolve(pipe.agg.a, s.agg_a_slot);
-    const int32_t* vb = agg_kind != AggExpr::Kind::kColumn
-                            ? resolve(pipe.agg.b, s.agg_b_slot)
-                            : va;
+    const auto cell_of = [&](int i) {
+      int64_t cell = 0;
+      for (int k = 0; k < layout.num_keys; ++k) {
+        cell = cell * layout.span[k] + (group[k][i] - layout.lo[k]);
+      }
+      return cell;
+    };
+    if (simple != query::AggStage::Simple::kNone) {
+      // Single-SUM fast path: the canonical SSB shapes keep their
+      // specialized loops; only the fold into the accumulator is checked
+      // (a 32x32-bit product or difference cannot overflow int64).
+      const int32_t* va = resolve(pipe.agg.a, s.agg_a_slot);
+      const int32_t* vb = simple == query::AggStage::Simple::kColumn
+                              ? va
+                              : resolve(pipe.agg.b, s.agg_b_slot);
+      const auto value_of = [&](int r) -> int64_t {
+        switch (simple) {
+          case query::AggStage::Simple::kColumn:
+            return va[r];
+          case query::AggStage::Simple::kProduct:
+            return static_cast<int64_t>(va[r]) * vb[r];
+          default:
+            return static_cast<int64_t>(va[r]) - vb[r];
+        }
+      };
+      if (s.scalar) {
+        int64_t sum = partial_row[0];
+        if (have_sel) {
+          for (int i = 0; i < m; ++i) {
+            if (__builtin_add_overflow(sum, value_of(sel[i]), &sum)) {
+              return OutOfRangeError(kOverflowMsg);
+            }
+          }
+        } else {
+          for (int i = 0; i < n; ++i) {
+            if (__builtin_add_overflow(sum, value_of(i), &sum)) {
+              return OutOfRangeError(kOverflowMsg);
+            }
+          }
+        }
+        partial_row[0] = sum;
+      } else if (s.sparse) {
+        SparseGrid& grid = s.sparse_grids[static_cast<size_t>(t)];
+        for (int i = 0; i < m; ++i) {
+          int64_t* row = grid.Row(cell_of(i));
+          if (__builtin_add_overflow(row[0], value_of(sel[i]), &row[0])) {
+            return OutOfRangeError(kOverflowMsg);
+          }
+        }
+      } else {
+        for (int i = 0; i < m; ++i) {
+          int64_t* row = s.agg.Row(t, cell_of(i));
+          if (__builtin_add_overflow(row[0], value_of(sel[i]), &row[0])) {
+            return OutOfRangeError(kOverflowMsg);
+          }
+        }
+      }
+      continue;
+    }
+    // General path: resolve every distinct aggregate input once per
+    // vector, then evaluate each slot's expression per surviving row with
+    // checked 64-bit arithmetic.
+    for (size_t c = 0; c < pipe.agg.views.size(); ++c) {
+      agg_cols[c] = resolve(pipe.agg.views[c], s.agg_slot[c]);
+    }
+    const auto accumulate = [&](int64_t* acc, int row) -> bool {
+      const auto get = [&](query::FactCol col) {
+        return agg_cols[pipe.agg.col_index[static_cast<int>(col)]][row];
+      };
+      for (int sl = 0; sl < num_slots; ++sl) {
+        const query::AggSlot& slot = plan.slots[static_cast<size_t>(sl)];
+        int64_t value = 1;  // counts add 1 per surviving row
+        if (slot.func != query::AggFunc::kCount &&
+            !query::EvalExpr(slot.expr, get, &value)) {
+          return false;
+        }
+        if (!query::AggAccumulate(slot.func, &acc[sl], value)) return false;
+      }
+      return true;
+    };
     if (s.scalar) {
       if (have_sel) {
         for (int i = 0; i < m; ++i) {
-          sum += query::AggValue(agg_kind, va[sel[i]], vb[sel[i]]);
+          if (!accumulate(partial_row, sel[i])) {
+            return OutOfRangeError(kOverflowMsg);
+          }
         }
       } else {
         for (int i = 0; i < n; ++i) {
-          sum += query::AggValue(agg_kind, va[i], vb[i]);
+          if (!accumulate(partial_row, i)) {
+            return OutOfRangeError(kOverflowMsg);
+          }
         }
       }
     } else if (s.sparse) {
       SparseGrid& grid = s.sparse_grids[static_cast<size_t>(t)];
       for (int i = 0; i < m; ++i) {
-        int64_t cell = 0;
-        for (int k = 0; k < layout.num_keys; ++k) {
-          cell = cell * layout.span[k] + (group[k][i] - layout.lo[k]);
+        if (!accumulate(grid.Row(cell_of(i)), sel[i])) {
+          return OutOfRangeError(kOverflowMsg);
         }
-        grid.Add(cell, query::AggValue(agg_kind, va[sel[i]], vb[sel[i]]));
       }
     } else {
       for (int i = 0; i < m; ++i) {
-        int64_t cell = 0;
-        for (int k = 0; k < layout.num_keys; ++k) {
-          cell = cell * layout.span[k] + (group[k][i] - layout.lo[k]);
+        if (!accumulate(s.agg.Row(t, cell_of(i)), sel[i])) {
+          return OutOfRangeError(kOverflowMsg);
         }
-        s.agg.Add(t, cell,
-                  query::AggValue(agg_kind, va[sel[i]], vb[sel[i]]));
       }
     }
   }
-  s.partial[static_cast<size_t>(t)] += sum;
+  return Status();
 }
 
 StatusOr<QueryResult> FusedQuery::Finish(ThreadPool& pool) {
   Impl& s = *impl_;
   if (s.failed.load(std::memory_order_relaxed)) return s.FirstError();
+  const query::AggPlan& plan = s.pipe.agg.plan;
+  const int num_slots = plan.num_slots();
   QueryResult r;
   if (s.scalar) {
-    for (int64_t v : s.partial) r.scalar += v;
+    std::vector<int64_t> acc(static_cast<size_t>(num_slots));
+    query::FillIdentity(plan, acc.data(), 1);
+    const int threads =
+        static_cast<int>(s.partial.size()) / std::max(num_slots, 1);
+    for (int t = 0; t < threads; ++t) {
+      for (int sl = 0; sl < num_slots; ++sl) {
+        if (!query::AggMerge(
+                plan.slots[static_cast<size_t>(sl)].func,
+                &acc[static_cast<size_t>(sl)],
+                s.partial[static_cast<size_t>(t) *
+                              static_cast<size_t>(num_slots) +
+                          static_cast<size_t>(sl)])) {
+          return OutOfRangeError(kOverflowMsg);
+        }
+      }
+    }
+    int64_t emitted[query::kMaxAggSlots];
+    int n = 0;
+    for (int sl = 0; sl < num_slots; ++sl) {
+      if (plan.slots[static_cast<size_t>(sl)].emitted) {
+        emitted[n++] = acc[static_cast<size_t>(sl)];
+      }
+    }
+    r.SetScalars(emitted, n);
   } else if (s.sparse) {
     for (size_t t = 1; t < s.sparse_grids.size(); ++t) {
-      s.sparse_grids[0].Absorb(s.sparse_grids[t]);
+      if (!s.sparse_grids[0].Absorb(s.sparse_grids[t])) {
+        return OutOfRangeError(kOverflowMsg);
+      }
     }
     s.sparse_grids[0].Emit(s.pipe.layout, &r);
+    r.num_values = plan.num_emitted;
     r.Normalize();
   } else {
-    EmitDenseGroups(s.pipe.layout, s.agg.Merge(pool).data(), &r);
+    bool ok = true;
+    const std::vector<int64_t>& grid = s.agg.Merge(pool, &ok);
+    if (!ok) return OutOfRangeError(kOverflowMsg);
+    EmitDenseGroups(s.pipe.layout, plan, grid.data(), &r);
   }
   return r;
 }

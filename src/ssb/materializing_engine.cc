@@ -11,7 +11,6 @@ namespace crystal::ssb {
 
 namespace {
 
-using query::AggExpr;
 using query::QuerySpec;
 
 // Per-operator fixed kernel structure in the independent-threads model:
@@ -326,49 +325,100 @@ EngineRun MaterializingEngine::Run(const QuerySpec& spec) {
     sel = std::move(next);
   }
 
-  // Fetch the aggregate inputs and run the final aggregation operator.
-  const std::string fetch_a =
-      "mat_fetch_" + std::string(query::FactColName(spec.agg.a));
-  sim::DeviceBuffer<int32_t> va =
-      Fetch(query::FactColumn(db_, spec.agg.a).view(), sel, fetch_a.c_str());
-  const bool two_inputs = spec.agg.kind != AggExpr::Kind::kColumn;
-  sim::DeviceBuffer<int32_t> vb(device_, 1);
-  if (two_inputs) {
-    const std::string fetch_b =
-        "mat_fetch_" + std::string(query::FactColName(spec.agg.b));
-    vb = Fetch(query::FactColumn(db_, spec.agg.b).view(), sel, fetch_b.c_str());
+  // Fetch every distinct aggregate input at the surviving rows, then run
+  // the final aggregation operator over the expanded slot plan.
+  const query::AggPlan aggs = query::PlanAggs(spec);
+  const int slots = aggs.num_slots();
+  bool agg_seen[query::kNumFactCols] = {};
+  for (const query::AggSpec& agg : spec.aggs) {
+    query::ExprMarkColumns(agg.expr, agg_seen);
   }
-  const AggExpr::Kind agg_kind = spec.agg.kind;
-  // vb is a 1-element dummy for single-input aggregates; alias the first
-  // input so AggValue's (ignored) b argument stays in bounds.
-  const sim::DeviceBuffer<int32_t>& vb_ref = two_inputs ? vb : va;
-  auto value_at = [&](int64_t i) {
-    return query::AggValue(agg_kind, va[i], vb_ref[i]);
+  int64_t arith_per_row = 0;
+  for (const query::AggSlot& slot : aggs.slots) {
+    arith_per_row += query::ExprArithOps(slot.expr);
+  }
+  std::vector<sim::DeviceBuffer<int32_t>> agg_vals;
+  int col_pos[query::kNumFactCols];
+  for (int c = 0; c < query::kNumFactCols; ++c) {
+    col_pos[c] = -1;
+    if (!agg_seen[c]) continue;
+    const query::FactCol col = static_cast<query::FactCol>(c);
+    const std::string fetch_name =
+        "mat_fetch_" + std::string(query::FactColName(col));
+    col_pos[c] = static_cast<int>(agg_vals.size());
+    agg_vals.push_back(
+        Fetch(query::FactColumn(db_, col).view(), sel, fetch_name.c_str()));
+  }
+  const int64_t num_inputs = static_cast<int64_t>(agg_vals.size());
+  auto value_at = [&](const query::AggSlot& slot, int64_t i) {
+    int64_t v = 1;  // counts add 1 per surviving row
+    if (slot.func != query::AggFunc::kCount) {
+      CRYSTAL_CHECK_MSG(
+          query::EvalExpr(
+              slot.expr,
+              [&](query::FactCol c) {
+                return agg_vals[static_cast<size_t>(
+                    col_pos[static_cast<int>(c)])][i];
+              },
+              &v),
+          "materializing engine: aggregate expression overflow");
+    }
+    return v;
   };
 
   if (layout.scalar()) {
+    int64_t acc[query::kMaxAggSlots];
+    query::FillIdentity(aggs, acc, 1);
     sim::RunAsKernel(device_, "mat_aggregate", {}, 1, [&] {
-      device_.RecordSeqRead((two_inputs ? 2 : 1) * sel.count * 4);
+      device_.RecordSeqRead(num_inputs * sel.count * 4);
+      if (arith_per_row > 0) {
+        device_.RecordArithmetic(sel.count * arith_per_row);
+      }
       for (int64_t i = 0; i < sel.count; ++i) {
-        run.result.scalar += value_at(i);
+        for (int sl = 0; sl < slots; ++sl) {
+          const query::AggSlot& slot = aggs.slots[static_cast<size_t>(sl)];
+          CRYSTAL_CHECK_MSG(
+              query::AggAccumulate(slot.func, &acc[sl], value_at(slot, i)),
+              "materializing engine: aggregate accumulator overflow");
+        }
       }
     });
+    int64_t emitted[query::kMaxAggSlots];
+    int n = 0;
+    for (int sl = 0; sl < slots; ++sl) {
+      if (aggs.slots[static_cast<size_t>(sl)].emitted) {
+        emitted[n++] = acc[sl];
+      }
+    }
+    run.result.SetScalars(emitted, n);
   } else {
-    std::vector<int64_t> grid(static_cast<size_t>(layout.cells), 0);
-    const int64_t input_cols = layout.num_keys + (two_inputs ? 2 : 1);
+    std::vector<int64_t> grid(static_cast<size_t>(layout.cells * slots));
+    query::FillIdentity(aggs, grid.data(), layout.cells);
+    const int64_t input_cols = layout.num_keys + num_inputs;
     sim::RunAsKernel(device_, "mat_groupby", {}, 1, [&] {
       device_.RecordSeqRead(input_cols * sel.count * 4);
+      if (arith_per_row > 0) {
+        device_.RecordArithmetic(sel.count * arith_per_row);
+      }
       for (int64_t i = 0; i < sel.count; ++i) {
         int64_t cell = 0;
         for (int k = 0; k < layout.num_keys; ++k) {
           cell = cell * layout.span[k] +
                  (group_vals[static_cast<size_t>(k)][i] - layout.lo[k]);
         }
-        device_.RecordAtomic();
-        grid[static_cast<size_t>(cell)] += value_at(i);
+        for (int sl = 0; sl < slots; ++sl) {
+          const query::AggSlot& slot = aggs.slots[static_cast<size_t>(sl)];
+          device_.RecordAtomic();
+          CRYSTAL_CHECK_MSG(
+              query::AggAccumulate(slot.func,
+                                   &grid[static_cast<size_t>(
+                                       cell * slots + sl)],
+                                   value_at(slot, i)),
+              "materializing engine: aggregate accumulator overflow");
+        }
       }
     });
-    EmitDenseGroups(layout, grid.data(), &run.result);
+    EmitDenseGroups(layout, aggs, grid.data(), &run.result);
   }
   FinalizeRun(&run, spec);
   return run;

@@ -15,34 +15,61 @@ void QueryResult::Normalize() {
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return group_keys[a] < group_keys[b];
   });
+  const size_t stride = static_cast<size_t>(num_values);
   std::vector<std::array<int32_t, 3>> keys;
   std::vector<int64_t> values;
   keys.reserve(order.size());
-  values.reserve(order.size());
+  values.reserve(order.size() * stride);
   for (size_t i : order) {
     keys.push_back(group_keys[i]);
-    values.push_back(group_values[i]);
+    for (size_t v = 0; v < stride; ++v) {
+      values.push_back(group_values[i * stride + v]);
+    }
   }
   group_keys = std::move(keys);
   group_values = std::move(values);
 }
 
 bool QueryResult::operator==(const QueryResult& other) const {
-  return scalar == other.scalar && group_keys == other.group_keys &&
-         group_values == other.group_values;
+  // Legacy single-value scalar results may leave scalar_values empty;
+  // compare the canonical form.
+  auto scalars = [](const QueryResult& r) -> std::vector<int64_t> {
+    if (!r.scalar_values.empty()) return r.scalar_values;
+    return {r.scalar};
+  };
+  return num_values == other.num_values && scalars(*this) == scalars(other) &&
+         group_keys == other.group_keys && group_values == other.group_values;
 }
 
 std::string QueryResult::ToString(int max_rows) const {
   std::ostringstream out;
+  auto print_values = [&](const int64_t* v, int n) {
+    if (n == 1) {
+      out << v[0];
+      return;
+    }
+    out << "[";
+    for (int i = 0; i < n; ++i) out << (i == 0 ? "" : ",") << v[i];
+    out << "]";
+  };
   if (group_keys.empty()) {
-    out << "scalar=" << scalar;
+    out << "scalar=";
+    if (scalar_values.empty()) {
+      out << scalar;
+    } else {
+      print_values(scalar_values.data(),
+                   static_cast<int>(scalar_values.size()));
+    }
     return out.str();
   }
   out << group_keys.size() << " groups:";
   const int n = std::min<int>(max_rows, static_cast<int>(group_keys.size()));
   for (int i = 0; i < n; ++i) {
     out << " (" << group_keys[i][0] << "," << group_keys[i][1] << ","
-        << group_keys[i][2] << ")=" << group_values[i];
+        << group_keys[i][2] << ")=";
+    print_values(&group_values[static_cast<size_t>(i) *
+                               static_cast<size_t>(num_values)],
+                 num_values);
   }
   if (n < static_cast<int>(group_keys.size())) out << " ...";
   return out.str();
@@ -85,14 +112,21 @@ struct RefJoin {
 
 }  // namespace
 
-void EmitDenseGroups(const query::GroupLayout& layout, const int64_t* grid,
+void EmitDenseGroups(const query::GroupLayout& layout,
+                     const query::AggPlan& plan, const int64_t* grid,
                      QueryResult* result) {
+  const int slots = plan.num_slots();
+  int64_t row[query::kMaxAggSlots];
   for (int64_t cell = 0; cell < layout.cells; ++cell) {
-    const int64_t v = grid[cell];
-    if (v == 0) continue;
-    const std::array<int32_t, 3> keys = layout.KeysFor(cell);
-    result->AddGroup(keys[0], keys[1], keys[2], v);
+    const int64_t* vals = grid + cell * slots;
+    if (!plan.CellLive(vals)) continue;
+    int n = 0;
+    for (int s = 0; s < slots; ++s) {
+      if (plan.slots[static_cast<size_t>(s)].emitted) row[n++] = vals[s];
+    }
+    result->AddGroupRow(layout.KeysFor(cell), row, n);
   }
+  result->num_values = plan.num_emitted;
   result->Normalize();
 }
 
@@ -102,6 +136,8 @@ QueryResult RunReference(const Database& db, const QuerySpec& spec) {
 
   const query::PayloadPlan plan = query::PlanPayloads(spec);
   const query::GroupLayout layout = query::LayoutFor(spec);
+  const query::AggPlan aggs = query::PlanAggs(spec);
+  const int slots = aggs.num_slots();
 
   std::vector<query::BoundJoin> bound = query::BindJoins(spec, plan, db);
   std::vector<RefJoin> joins(spec.joins.size());
@@ -126,12 +162,18 @@ QueryResult RunReference(const Database& db, const QuerySpec& spec) {
     filters.emplace_back(query::FactColumn(db, f.col).view(), &f);
   }
 
-  const storage::ColumnView agg_a = query::FactColumn(db, spec.agg.a).view();
-  const storage::ColumnView agg_b = query::FactColumn(db, spec.agg.b).view();
-  const query::AggExpr::Kind agg_kind = spec.agg.kind;
+  storage::ColumnView agg_views[query::kNumFactCols];
+  for (int c = 0; c < query::kNumFactCols; ++c) {
+    agg_views[c] =
+        query::FactColumn(db, static_cast<query::FactCol>(c)).view();
+  }
 
   QueryResult result;
-  std::unordered_map<int64_t, int64_t> groups;
+  std::vector<int64_t> scalar_acc(static_cast<size_t>(slots));
+  query::FillIdentity(aggs, scalar_acc.data(), 1);
+  std::unordered_map<int64_t, size_t> cell_index;
+  std::vector<int64_t> group_acc;  // stride `slots`
+
   for (int64_t i = 0; i < db.lo.rows; ++i) {
     bool pass = true;
     for (const auto& [col, filter] : filters) {
@@ -150,25 +192,65 @@ QueryResult RunReference(const Database& db, const QuerySpec& spec) {
       }
     }
     if (!pass) continue;
-    const int64_t value =
-        query::AggValue(agg_kind, agg_a.Get(i), agg_b.Get(i));
+
+    int64_t* acc;
     if (layout.scalar()) {
-      result.scalar += value;
+      acc = scalar_acc.data();
     } else {
-      groups[layout.CellFor(keys)] += value;
+      const int64_t cell = layout.CellFor(keys);
+      auto [it, inserted] =
+          cell_index.emplace(cell, group_acc.size() /
+                                       static_cast<size_t>(slots));
+      if (inserted) {
+        group_acc.resize(group_acc.size() + static_cast<size_t>(slots));
+        query::FillIdentity(
+            aggs, &group_acc[it->second * static_cast<size_t>(slots)], 1);
+      }
+      acc = &group_acc[it->second * static_cast<size_t>(slots)];
+    }
+    const auto get = [&](query::FactCol c) {
+      return agg_views[static_cast<int>(c)].Get(i);
+    };
+    for (int s = 0; s < slots; ++s) {
+      const query::AggSlot& slot = aggs.slots[static_cast<size_t>(s)];
+      int64_t value = 1;  // counts add 1 per surviving row
+      if (slot.func != query::AggFunc::kCount) {
+        CRYSTAL_CHECK_MSG(query::EvalExpr(slot.expr, get, &value),
+                          "reference engine: aggregate expression overflow");
+      }
+      CRYSTAL_CHECK_MSG(query::AggAccumulate(slot.func, &acc[s], value),
+                        "reference engine: aggregate accumulator overflow");
     }
   }
-  if (!layout.scalar()) {
-    for (const auto& [cell, value] : groups) {
-      // Zero-sum groups are dropped, matching the dense-grid engines (see
-      // EmitDenseGroups): a grid cannot tell an untouched cell from one
-      // whose values cancelled to zero.
-      if (value == 0) continue;
-      const std::array<int32_t, 3> keys = layout.KeysFor(cell);
-      result.AddGroup(keys[0], keys[1], keys[2], value);
+
+  if (layout.scalar()) {
+    int64_t emitted[query::kMaxAggSlots];
+    int n = 0;
+    for (int s = 0; s < slots; ++s) {
+      if (aggs.slots[static_cast<size_t>(s)].emitted) {
+        emitted[n++] = scalar_acc[static_cast<size_t>(s)];
+      }
     }
-    result.Normalize();
+    result.SetScalars(emitted, n);
+    return result;
   }
+
+  int64_t emitted[query::kMaxAggSlots];
+  for (const auto& [cell, index] : cell_index) {
+    const int64_t* vals = &group_acc[index * static_cast<size_t>(slots)];
+    // Liveness matches the dense-grid engines (see EmitDenseGroups): with
+    // an all-SUM plan a grid cannot tell an untouched cell from one whose
+    // values cancelled to zero, so such groups are dropped everywhere.
+    if (!aggs.CellLive(vals)) continue;
+    int n = 0;
+    for (int s = 0; s < slots; ++s) {
+      if (aggs.slots[static_cast<size_t>(s)].emitted) emitted[n++] = vals[s];
+    }
+    const std::array<int32_t, 3> keys = layout.KeysFor(cell);
+    result.AddGroupRow(keys, emitted, n);
+  }
+  result.num_values = aggs.num_emitted;
+  result.Normalize();
   return result;
 }
 

@@ -13,17 +13,35 @@
 
 namespace crystal::ssb {
 
-/// Normalized query result: a scalar aggregate (no group keys) or sorted
-/// group rows. Engines produce results in arbitrary group order;
-/// Normalize() makes them comparable.
+/// Normalized query result: scalar aggregate values (no group keys) or
+/// sorted group rows, each carrying `num_values` emitted aggregate values
+/// (the spec's AggPlan emission order — an AVG contributes its sum+count
+/// pair). Single-aggregate queries keep the legacy shape: num_values == 1,
+/// `scalar` is the value, group_values has one value per group. Engines
+/// produce results in arbitrary group order; Normalize() makes them
+/// comparable.
 struct QueryResult {
-  int64_t scalar = 0;
+  int64_t scalar = 0;  // first scalar value (legacy readers; == values[0])
+  std::vector<int64_t> scalar_values;  // all scalar values; empty == {scalar}
+  int num_values = 1;
   std::vector<std::array<int32_t, 3>> group_keys;
+  /// Row-major group values: group_values[row * num_values + v].
   std::vector<int64_t> group_values;
 
+  void SetScalars(const int64_t* values, int n) {
+    num_values = n;
+    scalar_values.assign(values, values + n);
+    scalar = values[0];
+  }
   void AddGroup(int32_t k1, int32_t k2, int32_t k3, int64_t value) {
     group_keys.push_back({k1, k2, k3});
     group_values.push_back(value);
+  }
+  void AddGroupRow(const std::array<int32_t, 3>& keys, const int64_t* values,
+                   int n) {
+    num_values = n;
+    group_keys.push_back(keys);
+    group_values.insert(group_values.end(), values, values + n);
   }
   /// Sorts groups by key (stable comparability across engines).
   void Normalize();
@@ -31,12 +49,17 @@ struct QueryResult {
   std::string ToString(int max_rows = 8) const;
 };
 
-/// Emits the non-empty cells of a dense aggregation grid as result groups
-/// and normalizes. Zero-sum cells are indistinguishable from untouched
-/// ones in a dense grid, so zero-sum groups are dropped everywhere — the
-/// reference interpreter applies the same convention, keeping all engines
-/// bit-identical even when a group's values cancel to exactly zero.
-void EmitDenseGroups(const query::GroupLayout& layout, const int64_t* grid,
+/// Emits the live cells of a dense aggregation grid (layout.cells rows of
+/// plan.num_slots() accumulators, cell-major) as result groups and
+/// normalizes. Liveness follows AggPlan::CellLive: a count slot when the
+/// plan has one, else the all-SUM "any value non-zero" rule — zero-sum
+/// cells are then indistinguishable from untouched ones in a dense grid,
+/// so zero-sum groups are dropped everywhere; the reference interpreter
+/// applies the same convention, keeping all engines bit-identical even
+/// when a group's values cancel to exactly zero. Only emitted slots reach
+/// the result (the hidden liveness count does not).
+void EmitDenseGroups(const query::GroupLayout& layout,
+                     const query::AggPlan& plan, const int64_t* grid,
                      QueryResult* result);
 
 /// Reference engine: straightforward tuple-at-a-time interpretation of the

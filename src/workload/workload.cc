@@ -1,0 +1,399 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "query/parser.h"
+
+namespace crystal::workload {
+
+namespace {
+
+using query::BinExpr;
+using query::ColExpr;
+using query::ConstExpr;
+using query::DimCol;
+using query::DimFilter;
+using query::DimTable;
+using query::Expr;
+using query::FactCol;
+using query::JoinSpec;
+using query::QuerySpec;
+
+// The swept grid: selectivity band x join count x group cardinality x
+// aggregate mix. Every tier combination appears exactly once per 192
+// generated queries.
+constexpr int kSelTiers = 4;    // none / ~0.5 / ~0.1 / ~0.01
+constexpr int kJoinTiers = 4;   // 0..3 dimension joins
+constexpr int kGroupTiers = 3;  // scalar / one key / two keys
+constexpr int kMixTiers = 4;    // sum col / sum expr / sum+avg+count / report
+constexpr int kGridSize = kSelTiers * kJoinTiers * kGroupTiers * kMixTiers;
+
+struct Combo {
+  int sel, joins, groups, mix;
+};
+
+/// Lexicographic tier enumeration shuffled by a seeded Fisher-Yates pass.
+/// Independent of the requested count, so a longer suite extends a shorter
+/// one as a prefix.
+std::vector<Combo> ShuffledGrid(uint64_t seed) {
+  std::vector<Combo> grid;
+  grid.reserve(kGridSize);
+  for (int s = 0; s < kSelTiers; ++s)
+    for (int j = 0; j < kJoinTiers; ++j)
+      for (int g = 0; g < kGroupTiers; ++g)
+        for (int m = 0; m < kMixTiers; ++m) grid.push_back({s, j, g, m});
+  Rng rng(seed);
+  for (int i = kGridSize - 1; i > 0; --i) {
+    const int j = static_cast<int>(rng.Next64() %
+                                   static_cast<uint64_t>(i + 1));
+    std::swap(grid[static_cast<size_t>(i)], grid[static_cast<size_t>(j)]);
+  }
+  return grid;
+}
+
+/// Fraction of a dictionary column's code domain a resolved string
+/// predicate keeps (the generator's selectivity annotations reuse the
+/// bind-time resolver, so the estimate and the execution agree on the
+/// matched code set).
+double DictFraction(DimCol col, DimFilter::StrMatch match,
+                    const std::string& pattern) {
+  const std::vector<int32_t>* codes =
+      query::ResolveDictFilter(col, match, pattern);
+  int32_t lo, hi;
+  query::DimColDomain(col, &lo, &hi);
+  return static_cast<double>(codes->size()) /
+         static_cast<double>(hi - lo + 1);
+}
+
+/// Materializes one grid combination. `rng` carries the per-query jitter
+/// (constants, picked columns, patterns); `sel` accumulates the analytic
+/// selectivity estimate.
+class Materializer {
+ public:
+  Materializer(const Combo& combo, uint64_t seed, int index)
+      : combo_(combo),
+        rng_(seed ^ (static_cast<uint64_t>(index + 1) *
+                     0x9e3779b97f4a7c15ull)) {}
+
+  GeneratedQuery Build(int index) {
+    AddFactFilters();
+    AddJoins();
+    AddGroupBy();
+    AddAggregates();
+    char name[16];
+    std::snprintf(name, sizeof(name), "wl%02d", index);
+    spec_.name = name;
+
+    std::string error;
+    CRYSTAL_CHECK_MSG(query::Validate(spec_, &error), error.c_str());
+    GeneratedQuery out;
+    out.selectivity = sel_;
+    out.joins = static_cast<int>(spec_.joins.size());
+    out.group_cells = query::LayoutFor(spec_).cells;
+    out.agg_values = query::PlanAggs(spec_).num_emitted;
+    out.spec = std::move(spec_);
+    return out;
+  }
+
+ private:
+  void AddFactFilters() {
+    switch (combo_.sel) {
+      case 0:  // full scan
+        break;
+      case 1: {  // ~half the rows: a quantity band
+        const int32_t hi = 20 + rng_.UniformInt(0, 20);
+        spec_.fact_filters.push_back({FactCol::kQuantity, 1, hi});
+        sel_ *= hi / 50.0;
+        break;
+      }
+      case 2: {  // ~a tenth: discount pair x quantity half
+        const int32_t d = rng_.UniformInt(0, 9);
+        spec_.fact_filters.push_back({FactCol::kDiscount, d, d + 1});
+        spec_.fact_filters.push_back({FactCol::kQuantity, 1, 25});
+        sel_ *= (2.0 / 11.0) * 0.5;
+        break;
+      }
+      default: {  // ~a percent: one order year x exact discount
+        const int32_t year = 1993 + rng_.UniformInt(0, 4);
+        spec_.fact_filters.push_back(
+            {FactCol::kOrderdate, year * 10000 + 101, year * 10000 + 1231});
+        const int32_t d = rng_.UniformInt(0, 10);
+        spec_.fact_filters.push_back({FactCol::kDiscount, d, d});
+        sel_ *= (1.0 / 7.0) * (1.0 / 11.0);
+        break;
+      }
+    }
+  }
+
+  void AddJoins() {
+    // Date-first cascades like the SSB flights; satellites drawn from
+    // supplier/customer/part.
+    const DimTable satellites[3] = {DimTable::kSupplier, DimTable::kCustomer,
+                                    DimTable::kPart};
+    std::vector<DimTable> tables;
+    if (combo_.joins == 1) {
+      const int pick = rng_.UniformInt(0, 3);
+      tables.push_back(pick == 0 ? DimTable::kDate : satellites[pick - 1]);
+    } else if (combo_.joins >= 2) {
+      tables.push_back(DimTable::kDate);
+      const int first = rng_.UniformInt(0, 2);
+      tables.push_back(satellites[first]);
+      if (combo_.joins == 3) {
+        const int second = (first + 1 + rng_.UniformInt(0, 1)) % 3;
+        tables.push_back(satellites[second]);
+      }
+    }
+    for (const DimTable table : tables) {
+      JoinSpec join;
+      join.table = table;
+      join.fact_key = query::DefaultFactKey(table);
+      MaybeAddDimFilter(&join);
+      spec_.joins.push_back(std::move(join));
+    }
+  }
+
+  void MaybeAddDimFilter(JoinSpec* join) {
+    DimFilter f;
+    switch (join->table) {
+      case DimTable::kDate: {
+        if (!rng_.Bernoulli(0.5)) return;
+        const int32_t year = 1992 + rng_.UniformInt(0, 4);
+        const int32_t span = rng_.UniformInt(0, 2);
+        f.col = DimCol::kDYear;
+        f.lo = year;
+        f.hi = year + span;
+        sel_ *= (span + 1) / 7.0;
+        break;
+      }
+      case DimTable::kSupplier:
+      case DimTable::kCustomer: {
+        if (!rng_.Bernoulli(0.6)) return;
+        const bool supplier = join->table == DimTable::kSupplier;
+        switch (rng_.UniformInt(0, 2)) {
+          case 0:  // region equality
+            f.col = supplier ? DimCol::kSRegion : DimCol::kCRegion;
+            f.lo = f.hi = rng_.UniformInt(0, 4);
+            sel_ *= 1.0 / 5.0;
+            break;
+          case 1:  // nation name prefix (2 or 5 of the 25 nations)
+            f.col = supplier ? DimCol::kSNation : DimCol::kCNation;
+            f.str_match = DimFilter::StrMatch::kPrefix;
+            f.pattern = rng_.Bernoulli(0.5) ? "UNITED" : "ASIA";
+            sel_ *= DictFraction(f.col, f.str_match, f.pattern);
+            break;
+          default:  // city name substring (10 or 100 of the 250 cities)
+            f.col = supplier ? DimCol::kSCity : DimCol::kCCity;
+            f.str_match = DimFilter::StrMatch::kContains;
+            f.pattern = rng_.Bernoulli(0.5) ? "KI" : "ICA";
+            sel_ *= DictFraction(f.col, f.str_match, f.pattern);
+            break;
+        }
+        break;
+      }
+      case DimTable::kPart: {
+        if (!rng_.Bernoulli(0.6)) return;
+        switch (rng_.UniformInt(0, 2)) {
+          case 0:  // manufacturer equality
+            f.col = DimCol::kPMfgr;
+            f.lo = f.hi = rng_.UniformInt(1, 5);
+            sel_ *= 1.0 / 5.0;
+            break;
+          case 1:  // category equality (MFGR#MC)
+            f.col = DimCol::kPCategory;
+            f.lo = f.hi = 10 * rng_.UniformInt(1, 5) + rng_.UniformInt(1, 5);
+            sel_ *= 1.0 / 25.0;
+            break;
+          default:  // brand name prefix over the MFGR# dictionary
+            f.col = DimCol::kPBrand1;
+            f.str_match = DimFilter::StrMatch::kPrefix;
+            f.pattern = "MFGR#" + std::to_string(rng_.UniformInt(1, 5)) +
+                        std::to_string(rng_.UniformInt(1, 5));
+            sel_ *= DictFraction(f.col, f.str_match, f.pattern);
+            break;
+        }
+        break;
+      }
+    }
+    join->filters.push_back(std::move(f));
+  }
+
+  DimCol SmallCol(DimTable t) {
+    switch (t) {
+      case DimTable::kDate:
+        return DimCol::kDYear;
+      case DimTable::kSupplier:
+        return rng_.Bernoulli(0.5) ? DimCol::kSRegion : DimCol::kSNation;
+      case DimTable::kCustomer:
+        return rng_.Bernoulli(0.5) ? DimCol::kCRegion : DimCol::kCNation;
+      default:
+        return rng_.Bernoulli(0.5) ? DimCol::kPMfgr : DimCol::kPCategory;
+    }
+  }
+
+  DimCol WideCol(DimTable t) {
+    switch (t) {
+      case DimTable::kDate:
+        return DimCol::kDYearmonthnum;
+      case DimTable::kSupplier:
+        return DimCol::kSCity;
+      case DimTable::kCustomer:
+        return DimCol::kCCity;
+      default:
+        return DimCol::kPBrand1;
+    }
+  }
+
+  void AddGroupBy() {
+    // Group keys come from joined tables (one per table); the tier
+    // downgrades when the cascade offers too few. A "wide" key (cities,
+    // brands, yearmonth) raises the grid cardinality by 1-3 orders of
+    // magnitude; pairing it with a small first key keeps every generated
+    // grid far below query::kMaxGroupCells.
+    const std::vector<JoinSpec>& joins = spec_.joins;
+    if (combo_.groups == 0 || joins.empty()) return;
+    if (combo_.groups == 1 || joins.size() == 1) {
+      const DimTable t =
+          joins[rng_.Next64() % joins.size()].table;
+      spec_.group_by.push_back(rng_.Bernoulli(0.3) ? WideCol(t)
+                                                   : SmallCol(t));
+      return;
+    }
+    spec_.group_by.push_back(SmallCol(joins[0].table));
+    const DimTable second =
+        joins[1 + rng_.Next64() % (joins.size() - 1)].table;
+    spec_.group_by.push_back(rng_.Bernoulli(0.4) ? WideCol(second)
+                                                 : SmallCol(second));
+  }
+
+  void AddAggregates() {
+    switch (combo_.mix) {
+      case 0: {  // single plain SUM
+        const FactCol cols[3] = {FactCol::kRevenue, FactCol::kExtendedprice,
+                                 FactCol::kSupplycost};
+        spec_.aggs = {query::Sum(ColExpr(cols[rng_.UniformInt(0, 2)]))};
+        break;
+      }
+      case 1:  // single SUM over an arithmetic expression
+        switch (rng_.UniformInt(0, 2)) {
+          case 0:
+            spec_.aggs = {query::Sum(
+                BinExpr(Expr::Op::kMul, ColExpr(FactCol::kExtendedprice),
+                        ColExpr(FactCol::kDiscount)))};
+            break;
+          case 1:
+            spec_.aggs = {query::Sum(
+                BinExpr(Expr::Op::kSub, ColExpr(FactCol::kRevenue),
+                        ColExpr(FactCol::kSupplycost)))};
+            break;
+          default:
+            spec_.aggs = {query::Sum(
+                BinExpr(Expr::Op::kMul, ColExpr(FactCol::kExtendedprice),
+                        BinExpr(Expr::Op::kSub, ConstExpr(100),
+                                ColExpr(FactCol::kDiscount))))};
+            break;
+        }
+        break;
+      case 2:  // the averaging mix
+        spec_.aggs = {query::Sum(ColExpr(FactCol::kRevenue)),
+                      query::Avg(ColExpr(FactCol::kDiscount)),
+                      query::Count()};
+        break;
+      default:  // the TPC-H Q1-style report mix
+        spec_.aggs = {query::Sum(ColExpr(FactCol::kExtendedprice)),
+                      query::Avg(ColExpr(FactCol::kQuantity)),
+                      query::Min(ColExpr(FactCol::kRevenue)),
+                      query::Max(ColExpr(FactCol::kRevenue)),
+                      query::Count()};
+        break;
+    }
+  }
+
+  const Combo combo_;
+  Rng rng_;
+  QuerySpec spec_;
+  double sel_ = 1.0;
+};
+
+std::string_view TrimView(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<GeneratedQuery> GenerateWorkload(const GenOptions& options) {
+  CRYSTAL_CHECK_MSG(options.count > 0, "workload count must be positive");
+  const std::vector<Combo> grid = ShuffledGrid(options.seed);
+  std::vector<GeneratedQuery> suite;
+  suite.reserve(static_cast<size_t>(options.count));
+  for (int i = 0; i < options.count; ++i) {
+    const Combo& combo = grid[static_cast<size_t>(i) % grid.size()];
+    suite.push_back(Materializer(combo, options.seed, i).Build(i));
+  }
+  return suite;
+}
+
+std::string FormatSuite(const GenOptions& options,
+                        const std::vector<GeneratedQuery>& suite) {
+  std::ostringstream out;
+  out << "# crystal workload suite (seeded generator; docs/WORKLOADS.md)\n";
+  out << "# seed: " << options.seed << "\n";
+  out << "# count: " << suite.size() << "\n";
+  for (const GeneratedQuery& q : suite) {
+    out << q.spec.name << ": " << query::FormatQuerySpec(q.spec) << "\n";
+  }
+  return out.str();
+}
+
+bool ParseSuite(std::string_view text, std::vector<GeneratedQuery>* out,
+                std::string* error) {
+  out->clear();
+  int line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    const size_t nl = text.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view()
+                                        : text.substr(nl + 1);
+    line = TrimView(line);
+    if (line.empty() || line.front() == '#') continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) +
+                 ": expected 'name: spec', got '" + std::string(line) + "'";
+      }
+      return false;
+    }
+    GeneratedQuery q;
+    const std::string name(TrimView(line.substr(0, colon)));
+    std::string parse_error;
+    if (!query::ParseQuerySpec(TrimView(line.substr(colon + 1)), &q.spec,
+                               &parse_error)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + " (" + name +
+                 "): " + parse_error;
+      }
+      return false;
+    }
+    q.spec.name = name;
+    q.joins = static_cast<int>(q.spec.joins.size());
+    q.group_cells = query::LayoutFor(q.spec).cells;
+    q.agg_values = query::PlanAggs(q.spec).num_emitted;
+    out->push_back(std::move(q));
+  }
+  return true;
+}
+
+}  // namespace crystal::workload

@@ -1,0 +1,60 @@
+#ifndef CRYSTAL_WORKLOAD_WORKLOAD_H_
+#define CRYSTAL_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/query_spec.h"
+
+namespace crystal::workload {
+
+/// Seeded TPC-H-shaped workload generator (docs/WORKLOADS.md).
+///
+/// The generator sweeps a four-axis grid — fact-predicate selectivity,
+/// join count, group cardinality, aggregate mix — enumerating every tier
+/// combination in a fixed order, shuffling the grid with a splitmix64 RNG
+/// seeded from `seed`, and materializing the first `count` combinations
+/// into validated QuerySpecs (per-query jitter — exact constants, filter
+/// columns, LIKE patterns — comes from a per-index RNG derived from the
+/// same seed). The same seed therefore yields a byte-identical suite in
+/// any process, and a longer count extends a shorter one as a prefix.
+struct GenOptions {
+  uint64_t seed = 20200302;
+  int count = 12;
+};
+
+/// One generated query plus its grid annotations. `selectivity` is the
+/// generator's analytic estimate of the fact-row survival fraction
+/// (uniform column domains times resolved dictionary code-set fractions);
+/// the remaining annotations are recomputable from the spec.
+struct GeneratedQuery {
+  query::QuerySpec spec;   // validated; spec.name == "wlNN"
+  double selectivity = -1;
+  int joins = 0;
+  int64_t group_cells = 1;  // dense aggregation cells (1 == scalar)
+  int agg_values = 1;       // emitted aggregate values per row/group
+};
+
+/// Materializes the suite. Every returned spec passes query::Validate.
+std::vector<GeneratedQuery> GenerateWorkload(const GenOptions& options);
+
+/// Suite file format: a '#' comment header recording seed and count, then
+/// one `name: spec` line per query in the ad-hoc grammar. Deterministic:
+/// FormatSuite(GenerateWorkload(o), o) is byte-identical across processes
+/// for equal options.
+std::string FormatSuite(const GenOptions& options,
+                        const std::vector<GeneratedQuery>& suite);
+
+/// Parses a suite file back into named specs. '#' lines and blank lines
+/// are ignored; each remaining line must be `name: spec`. Annotations are
+/// recomputed from the parsed spec, except selectivity (not recoverable
+/// from text; left at -1). Returns false with a line-tagged message in
+/// *error on the first malformed line.
+bool ParseSuite(std::string_view text, std::vector<GeneratedQuery>* out,
+                std::string* error);
+
+}  // namespace crystal::workload
+
+#endif  // CRYSTAL_WORKLOAD_WORKLOAD_H_

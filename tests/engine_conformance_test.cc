@@ -204,5 +204,45 @@ INSTANTIATE_TEST_SUITE_P(
         testing::Range(0, static_cast<int>(std::size(kAdhocSpecs)))),
     AdhocParamName);
 
+// ---------------------------------------------------------------------
+// TPC-H analog conformance: the canonical Q1/Q6 analogs are the
+// acceptance queries for aggregate lists (Q1 emits eight values per group,
+// including an AVG pair and a COUNT) and expression aggregates (Q6's
+// extendedprice*discount); every engine must reproduce the reference
+// bit-for-bit, like the 13 SSB flights.
+
+class AnalogConformanceTest
+    : public testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(AnalogConformanceTest, MatchesReference) {
+  const auto& [name, which] = GetParam();
+  const query::QuerySpec spec =
+      which == 0 ? query::TpchQ1Analog() : query::TpchQ6Analog();
+
+  QueryEngine* engine = EngineFor(name);
+  ASSERT_NE(engine, nullptr) << name;
+  const RunStats stats = engine->Execute(spec);
+  const ssb::QueryResult want = ssb::RunReference(ConformanceDb(), spec);
+  EXPECT_TRUE(stats.result == want)
+      << name << " disagrees with reference on " << spec.name << ": got "
+      << stats.result.ToString() << " want " << want.ToString();
+}
+
+std::string AnalogParamName(
+    const testing::TestParamInfo<AnalogConformanceTest::ParamType>& info) {
+  std::string name = std::get<0>(info.param) +
+                     (std::get<1>(info.param) == 0 ? "_q1" : "_q6");
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, AnalogConformanceTest,
+    testing::Combine(testing::ValuesIn(EngineRegistry::Global().Names()),
+                     testing::Range(0, 2)),
+    AnalogParamName);
+
 }  // namespace
 }  // namespace crystal::engine

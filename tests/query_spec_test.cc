@@ -42,7 +42,11 @@ TEST(SsbSpecTest, FlightShapesMatchThePaper) {
   EXPECT_EQ(q11.joins.size(), 0u);
   EXPECT_EQ(q11.fact_filters.size(), 3u);
   EXPECT_TRUE(q11.group_by.empty());
-  EXPECT_EQ(q11.agg.kind, AggExpr::Kind::kProduct);
+  ASSERT_EQ(q11.aggs.size(), 1u);
+  EXPECT_EQ(q11.aggs[0].func, AggFunc::kSum);
+  EXPECT_TRUE(q11.aggs[0].expr ==
+              BinExpr(Expr::Op::kMul, ColExpr(FactCol::kExtendedprice),
+                      ColExpr(FactCol::kDiscount)));
 
   // Flight 2: three joins, (d_year, p_brand1) grouping.
   const QuerySpec q21 = SsbSpec(QueryId::kQ21);
@@ -54,7 +58,10 @@ TEST(SsbSpecTest, FlightShapesMatchThePaper) {
   // Flight 4: four joins, profit aggregate.
   const QuerySpec q43 = SsbSpec(QueryId::kQ43);
   EXPECT_EQ(q43.joins.size(), 4u);
-  EXPECT_EQ(q43.agg.kind, AggExpr::Kind::kDifference);
+  ASSERT_EQ(q43.aggs.size(), 1u);
+  EXPECT_TRUE(q43.aggs[0].expr ==
+              BinExpr(Expr::Op::kSub, ColExpr(FactCol::kRevenue),
+                      ColExpr(FactCol::kSupplycost)));
   EXPECT_EQ(q43.group_by.size(), 3u);
 }
 
@@ -99,7 +106,7 @@ TEST(GroupLayoutTest, ScalarSpecGetsTrivialLayout) {
 
 QuerySpec MinimalSpec() {
   QuerySpec spec;
-  spec.agg = {AggExpr::Kind::kColumn, FactCol::kRevenue, FactCol::kRevenue};
+  spec.aggs = {Sum(ColExpr(FactCol::kRevenue))};
   return spec;
 }
 
@@ -201,7 +208,8 @@ TEST(ParseQuerySpecTest, DefaultsJoinKeyAndAcceptsLoPrefix) {
       << error;
   ASSERT_EQ(spec.joins.size(), 1u);
   EXPECT_EQ(spec.joins[0].fact_key, FactCol::kSuppkey);
-  EXPECT_EQ(spec.agg.a, FactCol::kRevenue);
+  ASSERT_EQ(spec.aggs.size(), 1u);
+  EXPECT_TRUE(spec.aggs[0].expr == ColExpr(FactCol::kRevenue));
 }
 
 TEST(ParseQuerySpecTest, ErrorPaths) {
@@ -209,7 +217,11 @@ TEST(ParseQuerySpecTest, ErrorPaths) {
   std::string error;
 
   EXPECT_FALSE(ParseQuerySpec("", &spec, &error));
-  EXPECT_NE(error.find("must start with 'sum'"), std::string::npos);
+  EXPECT_NE(error.find("unknown aggregate function"), std::string::npos);
+
+  EXPECT_FALSE(ParseQuerySpec("total revenue", &spec, &error));
+  EXPECT_NE(error.find("unknown aggregate function 'total'"),
+            std::string::npos);
 
   EXPECT_FALSE(ParseQuerySpec("sum gold", &spec, &error));
   EXPECT_NE(error.find("unknown fact column 'gold'"), std::string::npos);
@@ -252,9 +264,285 @@ TEST(ParseQuerySpecTest, PureScanAndExpressionForms) {
   EXPECT_TRUE(spec.joins.empty());
 
   ASSERT_TRUE(ParseQuerySpec("sum extendedprice*discount", &spec, &error));
-  EXPECT_EQ(spec.agg.kind, AggExpr::Kind::kProduct);
+  EXPECT_TRUE(spec.aggs[0].expr ==
+              BinExpr(Expr::Op::kMul, ColExpr(FactCol::kExtendedprice),
+                      ColExpr(FactCol::kDiscount)));
   ASSERT_TRUE(ParseQuerySpec("sum revenue-supplycost", &spec, &error));
-  EXPECT_EQ(spec.agg.kind, AggExpr::Kind::kDifference);
+  EXPECT_TRUE(spec.aggs[0].expr ==
+              BinExpr(Expr::Op::kSub, ColExpr(FactCol::kRevenue),
+                      ColExpr(FactCol::kSupplycost)));
+}
+
+TEST(ParseQuerySpecTest, ExpressionPrecedenceAndParens) {
+  QuerySpec spec;
+  std::string error;
+  // '*' binds tighter than '-'; parens override.
+  ASSERT_TRUE(ParseQuerySpec("sum extendedprice*(100-discount)", &spec,
+                             &error))
+      << error;
+  const Expr want =
+      BinExpr(Expr::Op::kMul, ColExpr(FactCol::kExtendedprice),
+              BinExpr(Expr::Op::kSub, ConstExpr(100),
+                      ColExpr(FactCol::kDiscount)));
+  EXPECT_TRUE(spec.aggs[0].expr == want);
+
+  ASSERT_TRUE(ParseQuerySpec("sum revenue-supplycost*discount", &spec,
+                             &error));
+  EXPECT_TRUE(spec.aggs[0].expr ==
+              BinExpr(Expr::Op::kSub, ColExpr(FactCol::kRevenue),
+                      BinExpr(Expr::Op::kMul, ColExpr(FactCol::kSupplycost),
+                              ColExpr(FactCol::kDiscount))));
+
+  // Left-associativity survives the round trip structurally: a-(b-c) needs
+  // its parens back, a-b-c does not.
+  ASSERT_TRUE(ParseQuerySpec("sum revenue-(supplycost-discount)", &spec,
+                             &error));
+  EXPECT_EQ(FormatQuerySpec(spec), "sum revenue-(supplycost-discount)");
+  ASSERT_TRUE(ParseQuerySpec("sum revenue-supplycost-discount", &spec,
+                             &error));
+  EXPECT_EQ(FormatQuerySpec(spec), "sum revenue-supplycost-discount");
+}
+
+TEST(ParseQuerySpecTest, MultiAggregateListRoundTrips) {
+  QuerySpec spec;
+  std::string error;
+  const std::string text =
+      "sum quantity, avg discount, count, min revenue, max revenue";
+  ASSERT_TRUE(ParseQuerySpec(text, &spec, &error)) << error;
+  ASSERT_EQ(spec.aggs.size(), 5u);
+  EXPECT_EQ(spec.aggs[0].func, AggFunc::kSum);
+  EXPECT_EQ(spec.aggs[1].func, AggFunc::kAvg);
+  EXPECT_EQ(spec.aggs[2].func, AggFunc::kCount);
+  EXPECT_EQ(spec.aggs[3].func, AggFunc::kMin);
+  EXPECT_EQ(spec.aggs[4].func, AggFunc::kMax);
+  EXPECT_EQ(FormatQuerySpec(spec), text);
+}
+
+TEST(ParseQuerySpecTest, LikePredicatesRoundTrip) {
+  QuerySpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseQuerySpec(
+      "sum revenue join supplier on suppkey filter s_nation like 'UNITED%'",
+      &spec, &error))
+      << error;
+  ASSERT_EQ(spec.joins.size(), 1u);
+  ASSERT_EQ(spec.joins[0].filters.size(), 1u);
+  EXPECT_EQ(spec.joins[0].filters[0].str_match, DimFilter::StrMatch::kPrefix);
+  EXPECT_EQ(spec.joins[0].filters[0].pattern, "UNITED");
+  EXPECT_EQ(FormatQuerySpec(spec),
+            "sum revenue join supplier on suppkey filter s_nation like "
+            "'UNITED%'");
+
+  ASSERT_TRUE(ParseQuerySpec(
+      "sum revenue join customer on custkey filter c_city like '%KI%'",
+      &spec, &error))
+      << error;
+  EXPECT_EQ(spec.joins[0].filters[0].str_match,
+            DimFilter::StrMatch::kContains);
+  EXPECT_EQ(spec.joins[0].filters[0].pattern, "KI");
+  EXPECT_EQ(FormatQuerySpec(spec),
+            "sum revenue join customer on custkey filter c_city like "
+            "'%KI%'");
+}
+
+TEST(ParseQuerySpecTest, LikeErrorPaths) {
+  QuerySpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseQuerySpec(
+      "sum revenue join supplier filter s_nation like UNITED", &spec,
+      &error));
+  EXPECT_NE(error.find("expected a quoted pattern"), std::string::npos);
+
+  EXPECT_FALSE(ParseQuerySpec(
+      "sum revenue join supplier filter s_nation like 'UNITED'", &spec,
+      &error));
+  EXPECT_NE(error.find("prefix 'FOO%' or substring '%FOO%'"),
+            std::string::npos);
+
+  // d_year has no dictionary; LIKE cannot bind (Validate).
+  EXPECT_FALSE(ParseQuerySpec(
+      "sum revenue join date filter d_year like '19%'", &spec, &error));
+  EXPECT_NE(error.find("no string dictionary"), std::string::npos);
+}
+
+TEST(ParseQuerySpecTest, CaretDiagnosticsPointAtTheOffendingToken) {
+  QuerySpec spec;
+  ParseDiagnostic diag;
+  ASSERT_FALSE(ParseQuerySpec("sum gold", &spec, &diag));
+  EXPECT_EQ(diag.position, 4u);
+  const std::string caret = CaretDiagnostic("sum gold", diag);
+  EXPECT_NE(caret.find("error: unknown fact column 'gold'"),
+            std::string::npos);
+  EXPECT_NE(caret.find("\n  sum gold\n      ^"), std::string::npos);
+
+  ASSERT_FALSE(ParseQuerySpec("median revenue", &spec, &diag));
+  EXPECT_EQ(diag.position, 0u);
+
+  // Semantic (Validate) failures carry no position; no caret is drawn.
+  ASSERT_FALSE(ParseQuerySpec("sum revenue group by d_year", &spec, &diag));
+  EXPECT_EQ(diag.position, ParseDiagnostic::kNoPosition);
+  EXPECT_EQ(CaretDiagnostic("sum revenue group by d_year", diag).find('\n'),
+            std::string::npos);
+}
+
+TEST(ParseQuerySpecTest, TpchAnalogsValidateAndRoundTrip) {
+  for (const QuerySpec& spec : {TpchQ1Analog(), TpchQ6Analog()}) {
+    std::string error;
+    EXPECT_TRUE(Validate(spec, &error)) << spec.name << ": " << error;
+    const std::string text = FormatQuerySpec(spec);
+    QuerySpec parsed;
+    ASSERT_TRUE(ParseQuerySpec(text, &parsed, &error))
+        << spec.name << ": " << error << "\n  " << text;
+    EXPECT_TRUE(parsed == spec) << spec.name << "\n  " << text;
+    // Format o Parse is a fixed point: reformatting changes nothing.
+    EXPECT_EQ(FormatQuerySpec(parsed), text) << spec.name;
+  }
+}
+
+// --------------------------------------------------- aggregate planning
+
+TEST(AggPlanTest, AvgExpandsToSumCountPair) {
+  QuerySpec spec;
+  spec.aggs = {Avg(ColExpr(FactCol::kQuantity))};
+  const AggPlan plan = PlanAggs(spec);
+  ASSERT_EQ(plan.num_slots(), 2);
+  EXPECT_EQ(plan.slots[0].func, AggFunc::kSum);
+  EXPECT_EQ(plan.slots[1].func, AggFunc::kCount);
+  EXPECT_TRUE(plan.slots[0].emitted);
+  EXPECT_TRUE(plan.slots[1].emitted);
+  EXPECT_EQ(plan.count_slot, 1);
+  EXPECT_EQ(plan.num_emitted, 2);
+}
+
+TEST(AggPlanTest, MinMaxGetHiddenLivenessCount) {
+  QuerySpec spec;
+  spec.aggs = {Min(ColExpr(FactCol::kRevenue))};
+  const AggPlan plan = PlanAggs(spec);
+  ASSERT_EQ(plan.num_slots(), 2);
+  EXPECT_EQ(plan.slots[0].func, AggFunc::kMin);
+  EXPECT_EQ(plan.slots[1].func, AggFunc::kCount);
+  EXPECT_FALSE(plan.slots[1].emitted);  // liveness only
+  EXPECT_EQ(plan.count_slot, 1);
+  EXPECT_EQ(plan.num_emitted, 1);
+  // Identities: MIN starts at +inf, the hidden count at zero.
+  int64_t row[2];
+  FillIdentity(plan, row, 1);
+  EXPECT_EQ(row[0], INT64_MAX);
+  EXPECT_EQ(row[1], 0);
+}
+
+TEST(AggPlanTest, TpchQ1PlanEmitsEightValues) {
+  const AggPlan plan = PlanAggs(TpchQ1Analog());
+  EXPECT_EQ(plan.num_slots(), 8);
+  EXPECT_EQ(plan.num_emitted, 8);
+  // The first explicit count is the liveness slot; the AVG expansions put
+  // one at index 4 (slots: sum, sum, sum, avg-sum, avg-count, ...).
+  EXPECT_EQ(plan.count_slot, 4);
+}
+
+TEST(AggPlanTest, LegacySingleSumKeepsOneSlot) {
+  const AggPlan plan = PlanAggs(SsbSpec(QueryId::kQ21));
+  EXPECT_EQ(plan.num_slots(), 1);
+  EXPECT_EQ(plan.count_slot, -1);
+  // All-SUM liveness: any non-zero value marks the cell live.
+  const int64_t live[1] = {5};
+  const int64_t dead[1] = {0};
+  EXPECT_TRUE(plan.CellLive(live));
+  EXPECT_FALSE(plan.CellLive(dead));
+}
+
+// ------------------------------------------- checked 64-bit accumulation
+
+TEST(CheckedAccumulationTest, SumOverflowsExactlyAtTheBoundary) {
+  int64_t acc = INT64_MAX - 1;
+  EXPECT_TRUE(AggAccumulate(AggFunc::kSum, &acc, 1));
+  EXPECT_EQ(acc, INT64_MAX);
+  EXPECT_FALSE(AggAccumulate(AggFunc::kSum, &acc, 1));  // would wrap
+
+  acc = INT64_MIN + 1;
+  EXPECT_TRUE(AggAccumulate(AggFunc::kSum, &acc, -1));
+  EXPECT_FALSE(AggAccumulate(AggFunc::kSum, &acc, -1));
+}
+
+TEST(CheckedAccumulationTest, MinMaxFoldNeverOverflows) {
+  int64_t acc = INT64_MAX;  // MIN identity
+  EXPECT_TRUE(AggAccumulate(AggFunc::kMin, &acc, INT64_MIN));
+  EXPECT_EQ(acc, INT64_MIN);
+  acc = INT64_MIN;  // MAX identity
+  EXPECT_TRUE(AggAccumulate(AggFunc::kMax, &acc, INT64_MAX));
+  EXPECT_EQ(acc, INT64_MAX);
+}
+
+TEST(CheckedAccumulationTest, EvalExprDetectsMultiplyOverflow) {
+  const Expr expr = BinExpr(Expr::Op::kMul, ColExpr(FactCol::kRevenue),
+                            ColExpr(FactCol::kRevenue));
+  int64_t out = 0;
+  EXPECT_TRUE(EvalExpr(
+      expr, [](FactCol) { return int64_t{3037000499}; }, &out));
+  EXPECT_EQ(out, int64_t{3037000499} * 3037000499);
+  // One past the integer square root of INT64_MAX overflows.
+  EXPECT_FALSE(EvalExpr(
+      expr, [](FactCol) { return int64_t{3037000500}; }, &out));
+}
+
+// ------------------------------------------------ dictionary resolution
+
+TEST(DictFilterTest, PrefixResolvesToSortedCodeSet) {
+  const std::vector<int32_t>* codes = ResolveDictFilter(
+      DimCol::kSNation, DimFilter::StrMatch::kPrefix, "UNITED");
+  ASSERT_NE(codes, nullptr);
+  // UNITED KINGDOM and UNITED STATES.
+  EXPECT_EQ(codes->size(), 2u);
+  for (size_t i = 1; i < codes->size(); ++i) {
+    EXPECT_LT((*codes)[i - 1], (*codes)[i]);
+  }
+  // The resolver caches: the same predicate returns the same vector.
+  EXPECT_EQ(codes, ResolveDictFilter(DimCol::kSNation,
+                                     DimFilter::StrMatch::kPrefix, "UNITED"));
+}
+
+TEST(DictFilterTest, ContainsMatchesSubstringsAcrossTheDomain) {
+  const std::vector<int32_t>* codes = ResolveDictFilter(
+      DimCol::kCRegion, DimFilter::StrMatch::kContains, "AMERICA");
+  ASSERT_NE(codes, nullptr);
+  EXPECT_EQ(codes->size(), 1u);  // AMERICA itself (substring of no other)
+  const std::vector<int32_t>* none = ResolveDictFilter(
+      DimCol::kCRegion, DimFilter::StrMatch::kPrefix, "ZZZ");
+  ASSERT_NE(none, nullptr);
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(ValidateTest, RejectsBadAggregateLists) {
+  QuerySpec spec;
+  std::string error;
+  EXPECT_FALSE(Validate(spec, &error));
+  EXPECT_NE(error.find("no aggregates"), std::string::npos);
+
+  spec.aggs = {AggSpec{AggFunc::kCount, ColExpr(FactCol::kRevenue)}};
+  EXPECT_FALSE(Validate(spec, &error));
+  EXPECT_NE(error.find("count takes no expression"), std::string::npos);
+
+  spec.aggs = {AggSpec{AggFunc::kSum, Expr{}}};
+  EXPECT_FALSE(Validate(spec, &error));
+  EXPECT_NE(error.find("requires an expression"), std::string::npos);
+
+  spec.aggs = {Sum(ConstExpr(-5))};
+  EXPECT_FALSE(Validate(spec, &error));
+  EXPECT_NE(error.find("negative constants"), std::string::npos);
+
+  // 9 AVGs expand to 18 slots, over the 16-slot budget.
+  spec.aggs.assign(9, Avg(ColExpr(FactCol::kRevenue)));
+  EXPECT_FALSE(Validate(spec, &error));
+  EXPECT_NE(error.find("too many aggregate values"), std::string::npos);
+
+  // An expression over the node budget (32 leaves -> 63 nodes).
+  Expr big = ColExpr(FactCol::kRevenue);
+  for (int i = 0; i < 31; ++i) {
+    big = BinExpr(Expr::Op::kAdd, std::move(big), ColExpr(FactCol::kRevenue));
+  }
+  spec.aggs = {Sum(std::move(big))};
+  EXPECT_FALSE(Validate(spec, &error));
+  EXPECT_NE(error.find("expression too large"), std::string::npos);
 }
 
 // ------------------------------------------------------- name bindings

@@ -27,6 +27,7 @@
 #include "server/serve.h"
 #include "ssb/datagen.h"
 #include "storage/encoded_column.h"
+#include "workload/workload.h"
 
 namespace {
 
@@ -43,7 +44,12 @@ Flags:
                      docs/QUERIES.md), e.g. --adhoc="sum revenue join
                      supplier on suppkey filter s_region = 2". Repeatable;
                      runs after --queries (alone when --queries is absent)
-                     and is cross-checked like any canonical query.
+                     and is cross-checked like any canonical query. Parse
+                     errors print a caret diagnostic on stderr.
+  --adhoc-file=FILE  Load ad-hoc queries from a workload suite file: one
+                     `name: spec` line per query, '#' comments ignored —
+                     the format tools/workload_gen emits (docs/WORKLOADS.md).
+                     Repeatable; combines with --adhoc.
   --sf=N             SSB scale factor (default 1). With --serve a comma
                      list (--sf=1,10) loads several resident databases,
                      addressable per request as @sf1, @sf10.
@@ -74,8 +80,9 @@ Flags:
                      (--output=FILE is accepted as a synonym).
   --list-engines     Print registered engines (name, aliases, description)
                      and exit.
-  --list-queries     Print the 13 canonical queries (name, referenced fact
-                     columns, full spec in the ad-hoc grammar) and exit.
+  --list-queries     Print the 13 canonical queries and the TPC-H analogs
+                     (name, referenced fact columns, full spec in the
+                     ad-hoc grammar) and exit.
   --help             Show this message.
 
 Server mode (docs/SERVER.md):
@@ -129,17 +136,26 @@ int FlagError(const std::string& message) {
   return 1;
 }
 
+void PrintQuerySpecLine(const crystal::query::QuerySpec& spec) {
+  std::printf("  %-7s [%d fact columns]\n", spec.name.c_str(),
+              crystal::query::FactColumnsReferenced(spec));
+  std::printf("          %s\n",
+              crystal::query::FormatQuerySpec(spec).c_str());
+}
+
 int ListQueries() {
   std::printf(
       "Canonical SSB queries (crystaldb --queries=...), as specs runnable "
       "via --adhoc:\n\n");
   for (crystal::ssb::QueryId id : crystal::ssb::kAllQueries) {
-    const crystal::query::QuerySpec spec = crystal::query::SsbSpec(id);
-    std::printf("  %-5s [%d fact columns]\n", spec.name.c_str(),
-                crystal::query::FactColumnsReferenced(spec));
-    std::printf("        %s\n",
-                crystal::query::FormatQuerySpec(spec).c_str());
+    PrintQuerySpecLine(crystal::query::SsbSpec(id));
   }
+  std::printf(
+      "\nTPC-H analogs on the SSB schema (docs/QUERIES.md), runnable via "
+      "--adhoc with the\nspec text below; seeded suites of the same shapes "
+      "come from tools/workload_gen:\n\n");
+  PrintQuerySpecLine(crystal::query::TpchQ1Analog());
+  PrintQuerySpecLine(crystal::query::TpchQ6Analog());
   return 0;
 }
 
@@ -235,18 +251,39 @@ int main(int argc, char** argv) {
       if (!crystal::driver::ParseQueryList(value, &options.queries, &error))
         return FlagError(error);
       queries_given = true;
+    } else if (ParseFlag(arg, "--adhoc-file", &value)) {
+      if (value == nullptr) return FlagError("--adhoc-file needs a path");
+      std::FILE* f = std::fopen(value, "rb");
+      if (f == nullptr)
+        return FlagError(std::string("cannot open '") + value + "'");
+      std::string text;
+      char buf[4096];
+      for (size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;)
+        text.append(buf, n);
+      std::fclose(f);
+      std::vector<crystal::workload::GeneratedQuery> suite;
+      if (!crystal::workload::ParseSuite(text, &suite, &error))
+        return FlagError(std::string(value) + ": " + error);
+      for (crystal::workload::GeneratedQuery& q : suite)
+        options.adhoc.push_back(std::move(q.spec));
     } else if (ParseFlag(arg, "--adhoc", &value)) {
       if (value == nullptr) return FlagError("--adhoc needs a spec");
       // Batch semantics: every spec is validated and every failure
-      // diagnosed (server-style error JSON + stderr), then exit 1 below —
-      // a bad spec in a list is never silently skipped.
+      // diagnosed (server-style error JSON + a caret diagnostic on
+      // stderr), then exit 1 below — a bad spec in a list is never
+      // silently skipped.
       ++adhoc_count;
       crystal::query::QuerySpec spec;
-      if (!crystal::query::ParseQuerySpec(value, &spec, &error)) {
+      crystal::query::ParseDiagnostic diag;
+      if (!crystal::query::ParseQuerySpec(value, &spec, &diag)) {
         ++adhoc_invalid;
+        error = diag.message;
+        if (diag.position != crystal::query::ParseDiagnostic::kNoPosition)
+          error += " (at offset " + std::to_string(diag.position) + ")";
         PrintAdhocErrorJson(adhoc_count, value, error);
-        std::fprintf(stderr, "crystaldb: --adhoc spec %d is invalid: %s\n",
-                     adhoc_count, error.c_str());
+        std::fprintf(stderr, "crystaldb: --adhoc spec %d is invalid\n%s\n",
+                     adhoc_count,
+                     crystal::query::CaretDiagnostic(value, diag).c_str());
         continue;
       }
       options.adhoc.push_back(std::move(spec));

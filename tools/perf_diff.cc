@@ -316,6 +316,19 @@ std::string Settings(const BenchFile& f) {
              static_cast<int>(f.root.NumberOr("queries_per_level", -1))) +
          " mix=" + f.root.StringOr("mix", "?");
   }
+  // Generated-workload provenance (server_throughput --mix=generated:SEED
+  // and workload_sweep): equal seeds/counts mean byte-identical query
+  // suites, anything else is a different workload. workload_seed == 0
+  // marks the canonical ssb13 mix — same pool as files from before the
+  // generator existed, so it stays out of the fingerprint and old
+  // baselines remain comparable.
+  const long long wl_seed =
+      static_cast<long long>(f.root.NumberOr("workload_seed", 0));
+  if (wl_seed != 0) {
+    s += " workload_seed=" + std::to_string(wl_seed) + " workload_count=" +
+         std::to_string(
+             static_cast<int>(f.root.NumberOr("workload_count", 0)));
+  }
   return s;
 }
 
