@@ -43,7 +43,9 @@
 
 #include "bench/bench_util.h"
 #include "common/fault.h"
+#include "common/memory.h"
 #include "common/table_printer.h"
+#include "cpu/build_cache.h"
 #include "common/timer.h"
 #include "cpu/vector_ops.h"
 #include "engine/query_engine.h"
@@ -104,6 +106,13 @@ struct LevelResult {
   int64_t errors = 0;
   int64_t timeouts = 0;
   int64_t rejected = 0;
+  // Memory-governor accounting per level: governed high-water mark,
+  // pressure evictions, admission rejections and degraded executions
+  // (the last three are zero on unbudgeted runs).
+  int64_t peak_bytes = 0;
+  int64_t evictions = 0;
+  int64_t mem_rejected = 0;
+  int64_t degraded = 0;
 };
 
 /// Runs `total` queries at `concurrency` closed-loop clients against a
@@ -116,6 +125,12 @@ LevelResult RunLevel(const ssb::Database& db, int concurrency, int total,
   options.max_queue = std::max(256, 4 * concurrency);
   options.threads = threads;
   options.morsel_rows = bench::EnvInt("CRYSTAL_SERVER_MORSEL", 0);
+  // Per-level governor accounting: re-seed the peak from current usage
+  // and diff the eviction counter so each level reports its own pressure.
+  crystal::MemoryBudget& budget = crystal::MemoryBudget::Process();
+  budget.ResetPeak();
+  const int64_t evictions_before =
+      crystal::cpu::BuildCache::Process().entry_evictions();
   server::QueryServer qserver(options);
   qserver.AddDatabase("db", &db);
 
@@ -162,6 +177,11 @@ LevelResult RunLevel(const ssb::Database& db, int concurrency, int total,
   r.errors = stats.errors;
   r.timeouts = stats.timeouts;  // includes queue-shed expirations
   r.rejected = stats.rejected;
+  r.peak_bytes = budget.peak();
+  r.evictions = crystal::cpu::BuildCache::Process().entry_evictions() -
+                evictions_before;
+  r.mem_rejected = stats.mem_rejected;
+  r.degraded = stats.degraded;
   r.avg_batch = stats.batches > 0
                     ? static_cast<double>(stats.completed) /
                           static_cast<double>(stats.batches)
@@ -194,6 +214,8 @@ void WriteLevelJson(std::FILE* f, const LevelResult& r, const char* indent,
       "\"p99_ms\": %.3f, \"batches\": %lld, \"avg_batch\": %.2f, "
       "\"scans_saved\": %lld, \"dedup_hits\": %lld, "
       "\"errors\": %lld, \"timeouts\": %lld, \"rejected\": %lld, "
+      "\"peak_bytes\": %lld, \"evictions\": %lld, "
+      "\"mem_rejected\": %lld, \"degraded\": %lld, "
       "\"speedup_vs_sequential\": %.3f}",
       indent, r.concurrency, r.queries, r.wall_ms, r.qps, r.p50, r.p95,
       r.p99, static_cast<long long>(r.batches), r.avg_batch,
@@ -202,6 +224,10 @@ void WriteLevelJson(std::FILE* f, const LevelResult& r, const char* indent,
       static_cast<long long>(r.errors),
       static_cast<long long>(r.timeouts),
       static_cast<long long>(r.rejected),
+      static_cast<long long>(r.peak_bytes),
+      static_cast<long long>(r.evictions),
+      static_cast<long long>(r.mem_rejected),
+      static_cast<long long>(r.degraded),
       sequential_qps > 0 ? r.qps / sequential_qps : 0);
 }
 
@@ -464,6 +490,12 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"workload_seed\": %llu,\n",
                static_cast<unsigned long long>(workload_seed));
   std::fprintf(f, "  \"workload_count\": %d,\n", workload_count);
+  // Memory governor limit in force (0 = unenforced). Budgeted and
+  // unbudgeted runs are not comparable — degradation and eviction churn
+  // are the point, not noise — so perf_diff folds this into its settings
+  // fingerprint alongside workload_seed.
+  std::fprintf(f, "  \"mem_budget\": %lld,\n",
+               static_cast<long long>(crystal::MemoryBudget::Process().limit()));
   // The active fault schedule, empty in a clean run. perf_diff treats any
   // non-empty value as "not a perf measurement" and refuses to gate on
   // this file in either position (docs/ROBUSTNESS.md).

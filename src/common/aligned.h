@@ -6,10 +6,17 @@
 #include <new>
 #include <vector>
 
+#include "common/memory.h"
+
 namespace crystal {
 
 /// STL allocator with 64-byte alignment so AVX2 loads/stores on column data
-/// are always aligned and rows never straddle a cache line start.
+/// are always aligned and rows never straddle a cache line start. Every
+/// allocation is routed through the process MemoryBudget's allocator ledger
+/// (observability: aligned_bytes / aligned_peak_bytes), so an OOM is
+/// attributable after the fact instead of a bare std::bad_alloc from
+/// nowhere. The ledger observes; enforcement happens at the governor's
+/// claim points (docs/ROBUSTNESS.md, "Memory governance").
 template <typename T>
 struct AlignedAllocator {
   using value_type = T;
@@ -21,12 +28,20 @@ struct AlignedAllocator {
 
   T* allocate(std::size_t n) {
     if (n == 0) return nullptr;
-    void* p = std::aligned_alloc(kAlignment, RoundUp(n * sizeof(T)));
+    const std::size_t bytes = RoundUp(n * sizeof(T));
+    void* p = std::aligned_alloc(kAlignment, bytes);
     if (p == nullptr) throw std::bad_alloc();
+    MemoryBudget::Process().NoteAligned(static_cast<int64_t>(bytes));
     return static_cast<T*>(p);
   }
 
-  void deallocate(T* p, std::size_t) { std::free(p); }
+  void deallocate(T* p, std::size_t n) {
+    if (p != nullptr && n != 0) {
+      MemoryBudget::Process().NoteAligned(
+          -static_cast<int64_t>(RoundUp(n * sizeof(T))));
+    }
+    std::free(p);
+  }
 
   template <typename U>
   bool operator==(const AlignedAllocator<U>&) const {

@@ -199,6 +199,10 @@ const std::vector<PointInfo>& KnownPoints() {
        "scheduler batch formation in server::QueryServer (whole batch)"},
       {"serve.read", "serve protocol: one accepted input line"},
       {"serve.write", "serve protocol: one response line emission"},
+      {"memory.charge",
+       "enforced budget claim in MemoryBudget::TryCharge (governor)"},
+      {"cache.evict",
+       "pressure-driven eviction pass in cpu::BuildCache::EvictForPressure"},
   };
   return *points;
 }

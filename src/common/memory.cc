@@ -1,0 +1,141 @@
+#include "common/memory.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/fault.h"
+
+namespace crystal {
+
+const char* MemCategoryName(MemCategory cat) {
+  switch (cat) {
+    case MemCategory::kBuildCache:
+      return "build-cache";
+    case MemCategory::kAggScratch:
+      return "agg-scratch";
+    case MemCategory::kSparseTables:
+      return "sparse-tables";
+    case MemCategory::kResultBuffers:
+      return "result-buffers";
+  }
+  return "unknown";
+}
+
+MemoryBudget& MemoryBudget::Process() {
+  static MemoryBudget* budget = [] {
+    auto* b = new MemoryBudget();
+    if (const char* env = std::getenv("CRYSTAL_MEM_BUDGET")) {
+      int64_t bytes = 0;
+      if (!ParseMemBytes(env, &bytes)) {
+        std::fprintf(stderr,
+                     "CRYSTAL_MEM_BUDGET: malformed size '%s' (want an "
+                     "integer with optional k/m/g suffix, e.g. 256m)\n",
+                     env);
+        std::abort();
+      }
+      b->set_limit(bytes);
+    }
+    return b;
+  }();
+  return *budget;
+}
+
+Status MemoryBudget::TryCharge(MemCategory cat, int64_t bytes) {
+  CRYSTAL_RETURN_IF_ERROR(fault::Check("memory.charge"));
+  if (bytes < 0) bytes = 0;
+  const int64_t limit = limit_.load(std::memory_order_relaxed);
+  const int64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit > 0 && now > limit) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return ResourceExhaustedError(
+        "memory budget exceeded: " + std::string(MemCategoryName(cat)) +
+        " charge of " + std::to_string(bytes) + " bytes over a " +
+        std::to_string(limit) + "-byte limit (" +
+        std::to_string(now - bytes) + " in use)");
+  }
+  by_category_[static_cast<int>(cat)].fetch_add(bytes,
+                                                std::memory_order_relaxed);
+  RaisePeak(peak_, now);
+  return Status();
+}
+
+void MemoryBudget::Charge(MemCategory cat, int64_t bytes) {
+  if (bytes <= 0) return;
+  const int64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  by_category_[static_cast<int>(cat)].fetch_add(bytes,
+                                                std::memory_order_relaxed);
+  RaisePeak(peak_, now);
+}
+
+void MemoryBudget::Release(MemCategory cat, int64_t bytes) {
+  if (bytes <= 0) return;
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  by_category_[static_cast<int>(cat)].fetch_sub(bytes,
+                                                std::memory_order_relaxed);
+}
+
+void MemoryBudget::ResetPeak() {
+  peak_.store(used_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  aligned_peak_.store(aligned_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+}
+
+int64_t MemoryBudget::available() const {
+  const int64_t limit = limit_.load(std::memory_order_relaxed);
+  if (limit <= 0) return INT64_MAX;
+  const int64_t headroom = limit - used_.load(std::memory_order_relaxed);
+  return headroom > 0 ? headroom : 0;
+}
+
+void MemoryBudget::NoteAligned(int64_t delta) {
+  const int64_t now =
+      aligned_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  if (delta > 0) RaisePeak(aligned_peak_, now);
+}
+
+void MemoryBudget::RaisePeak(std::atomic<int64_t>& peak, int64_t candidate) {
+  int64_t seen = peak.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !peak.compare_exchange_weak(seen, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+StatusOr<TrackedCharge> TrackedCharge::Acquire(MemoryBudget& budget,
+                                               MemCategory cat,
+                                               int64_t bytes) {
+  CRYSTAL_RETURN_IF_ERROR(budget.TryCharge(cat, bytes));
+  return TrackedCharge(&budget, cat, bytes);
+}
+
+TrackedCharge TrackedCharge::AcquireUnchecked(MemoryBudget& budget,
+                                              MemCategory cat,
+                                              int64_t bytes) {
+  budget.Charge(cat, bytes);
+  return TrackedCharge(&budget, cat, bytes);
+}
+
+bool ParseMemBytes(std::string_view text, int64_t* bytes) {
+  if (text.empty()) return false;
+  int64_t shift = 0;
+  switch (text.back()) {
+    case 'k': case 'K': shift = 10; break;
+    case 'm': case 'M': shift = 20; break;
+    case 'g': case 'G': shift = 30; break;
+    default: break;
+  }
+  if (shift != 0) text.remove_suffix(1);
+  if (text.empty()) return false;
+  int64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+    if (value > (int64_t{1} << 53)) return false;  // overflow guard
+  }
+  if (value > (INT64_MAX >> shift)) return false;
+  *bytes = value << shift;
+  return true;
+}
+
+}  // namespace crystal

@@ -1,0 +1,165 @@
+#ifndef CRYSTAL_COMMON_MEMORY_H_
+#define CRYSTAL_COMMON_MEMORY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace crystal {
+
+/// Accounting categories for the process-wide memory governor. Every byte a
+/// query pipeline claims is charged to exactly one category so the server's
+/// stats (and the bench JSON) can say *where* a budget went, not just that
+/// it is gone.
+enum class MemCategory : int {
+  kBuildCache = 0,    // cached dimension build sides (cpu::BuildCache)
+  kAggScratch = 1,    // per-thread dense aggregation grids
+  kSparseTables = 2,  // per-thread / shared sparse aggregation tables
+  kResultBuffers = 3, // result emission buffers in FusedQuery::Finish
+};
+inline constexpr int kNumMemCategories = 4;
+
+const char* MemCategoryName(MemCategory cat);
+
+/// Tracked memory budget with atomic charge/release. A limit of 0 means
+/// "account but never enforce": charges are still tallied (so `peak()` is
+/// meaningful on unbudgeted runs) but TryCharge never rejects.
+///
+/// Two ledgers live here:
+///  - the *governed* ledger (the four MemCategory counters): explicit
+///    claims made by the governor's consumers before or at allocation.
+///    `used()`, `peak()` and the limit all refer to this ledger.
+///  - the *allocator* ledger (`aligned_bytes()`): every byte that flows
+///    through AlignedAllocator, including the resident database columns.
+///    Observability only — enforcing the limit here would reject the
+///    database itself. The two ledgers overlap (a cached JoinTable's
+///    direct array is in both), so they are reported separately and
+///    never summed.
+class MemoryBudget {
+ public:
+  MemoryBudget() = default;
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// The process-wide budget. Its limit is seeded from CRYSTAL_MEM_BUDGET
+  /// (grammar: an integer with an optional k/m/g binary suffix, e.g.
+  /// "256m"); a malformed value aborts, like a malformed CRYSTAL_FAULT —
+  /// running without the budget you asked for is how an OOM drill silently
+  /// tests nothing.
+  static MemoryBudget& Process();
+
+  int64_t limit() const { return limit_.load(std::memory_order_relaxed); }
+  /// 0 disables enforcement (accounting continues).
+  void set_limit(int64_t bytes) {
+    limit_.store(bytes < 0 ? 0 : bytes, std::memory_order_relaxed);
+  }
+
+  /// Claims `bytes` against the budget. Fails kResourceExhausted when the
+  /// governed total would exceed the limit (the claim is rolled back), or
+  /// kFaultInjected when the `memory.charge` fault point fires. `bytes`
+  /// may be 0 (always succeeds, still hits the fault point).
+  Status TryCharge(MemCategory cat, int64_t bytes);
+
+  /// Unconditional charge for memory that already exists (e.g. a build
+  /// side that finished constructing before its size was known). Never
+  /// fails; may push `used()` past the limit, which is exactly the
+  /// pressure signal eviction acts on.
+  void Charge(MemCategory cat, int64_t bytes);
+
+  void Release(MemCategory cat, int64_t bytes);
+
+  /// Governed bytes currently claimed (sum over categories).
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t used(MemCategory cat) const {
+    return by_category_[static_cast<int>(cat)].load(std::memory_order_relaxed);
+  }
+  /// High-water mark of `used()` since construction / ResetPeak().
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  void ResetPeak();
+
+  /// Headroom under the limit; INT64_MAX when unenforced.
+  int64_t available() const;
+
+  /// Raw AlignedAllocator traffic (delta may be negative on free).
+  void NoteAligned(int64_t delta);
+  int64_t aligned_bytes() const {
+    return aligned_.load(std::memory_order_relaxed);
+  }
+  int64_t aligned_peak_bytes() const {
+    return aligned_peak_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void RaisePeak(std::atomic<int64_t>& peak, int64_t candidate);
+
+  std::atomic<int64_t> limit_{0};
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> by_category_[kNumMemCategories] = {};
+  std::atomic<int64_t> aligned_{0};
+  std::atomic<int64_t> aligned_peak_{0};
+};
+
+/// RAII claim on a MemoryBudget: releases its bytes on destruction. Move-
+/// only, default-constructible as an empty (zero-byte, budget-less) claim
+/// so it can live in objects that sometimes run ungoverned.
+class TrackedCharge {
+ public:
+  TrackedCharge() = default;
+  TrackedCharge(TrackedCharge&& other) noexcept
+      : budget_(other.budget_), cat_(other.cat_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  TrackedCharge& operator=(TrackedCharge&& other) noexcept {
+    if (this != &other) {
+      Release();
+      budget_ = other.budget_;
+      cat_ = other.cat_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  TrackedCharge(const TrackedCharge&) = delete;
+  TrackedCharge& operator=(const TrackedCharge&) = delete;
+  ~TrackedCharge() { Release(); }
+
+  /// Enforced claim; fails kResourceExhausted without charging anything.
+  static StatusOr<TrackedCharge> Acquire(MemoryBudget& budget,
+                                         MemCategory cat, int64_t bytes);
+  /// Unconditional claim for memory that already exists.
+  static TrackedCharge AcquireUnchecked(MemoryBudget& budget,
+                                        MemCategory cat, int64_t bytes);
+
+  /// Returns the claim early (idempotent).
+  void Release() {
+    if (budget_ != nullptr && bytes_ > 0) budget_->Release(cat_, bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+
+  int64_t bytes() const { return bytes_; }
+  bool active() const { return budget_ != nullptr; }
+
+ private:
+  TrackedCharge(MemoryBudget* budget, MemCategory cat, int64_t bytes)
+      : budget_(budget), cat_(cat), bytes_(bytes) {}
+
+  MemoryBudget* budget_ = nullptr;
+  MemCategory cat_ = MemCategory::kBuildCache;
+  int64_t bytes_ = 0;
+};
+
+/// Budget grammar shared by CRYSTAL_MEM_BUDGET and `--mem-budget`: a
+/// non-negative integer with an optional binary suffix k/m/g (case-
+/// insensitive), e.g. "131072", "512k", "256m", "2g". Returns false on
+/// malformed input or overflow.
+bool ParseMemBytes(std::string_view text, int64_t* bytes);
+
+}  // namespace crystal
+
+#endif  // CRYSTAL_COMMON_MEMORY_H_

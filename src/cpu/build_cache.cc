@@ -6,10 +6,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <iterator>
 #include <new>
+#include <vector>
 
 #include "common/fault.h"
 #include "common/macros.h"
+#include "common/memory.h"
 
 namespace crystal::cpu {
 
@@ -108,11 +111,12 @@ StatusOr<std::shared_ptr<const JoinTable>> BuildCache::GetOrBuild(
     if (it != gen.tables.end()) {
       // Hit. The wait below, outside the lock, returns immediately for a
       // ready entry and blocks only on *this key's* in-flight build.
-      future = it->second;
+      it->second.last_used = ++tick_;
+      future = it->second.future;
     } else {
       claimed = true;
       future = promise.get_future().share();
-      gen.tables.emplace(key_str, future);
+      gen.tables.emplace(key_str, CachedTable{future, ++tick_});
     }
   }
   if (hit != nullptr) *hit = !claimed;
@@ -124,7 +128,22 @@ StatusOr<std::shared_ptr<const JoinTable>> BuildCache::GetOrBuild(
     entry.status = fault::Check("build_cache.build");
     if (entry.status.ok()) {
       try {
-        entry.table = std::make_shared<const JoinTable>(build());
+        auto table = std::make_unique<const JoinTable>(build());
+        // Charge the table's bytes to the budget for its whole lifetime:
+        // the release rides the shared_ptr deleter, so the claim drops
+        // when the last holder (cache or query) lets go — which is when
+        // the memory actually returns. The memory already exists, so this
+        // is an unconditional charge; over-limit pressure is answered by
+        // eviction below, never by throwing away a finished build.
+        const int64_t table_bytes = table->bytes();
+        MemoryBudget::Process().Charge(MemCategory::kBuildCache,
+                                       table_bytes);
+        entry.table = std::shared_ptr<const JoinTable>(
+            table.release(), [table_bytes](const JoinTable* p) {
+              MemoryBudget::Process().Release(MemCategory::kBuildCache,
+                                              table_bytes);
+              delete p;
+            });
       } catch (const std::bad_alloc&) {
         entry.status = ResourceExhaustedError(
             "build-side allocation failed for '" + key_str + "'");
@@ -134,7 +153,18 @@ StatusOr<std::shared_ptr<const JoinTable>> BuildCache::GetOrBuild(
       }
     }
     promise.set_value(entry);
-    if (!entry.status.ok()) {
+    if (entry.status.ok()) {
+      // Insert-time pressure check: if this entry pushed the governed
+      // total past the budget, shed idle entries (other generations
+      // first) until the pressure clears or nothing idle remains.
+      MemoryBudget& budget = MemoryBudget::Process();
+      const int64_t limit = budget.limit();
+      const int64_t over = limit > 0 ? budget.used() - limit : 0;
+      if (over > 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        EvictForPressureLocked(over, gen_str);
+      }
+    } else {
       // Don't leave a failed entry cached: same-key waiters see the
       // status once, later requests rebuild from scratch. The generation
       // (or the entry) may have been evicted meanwhile; only the builder
@@ -168,11 +198,100 @@ void BuildCache::EvictOverCapacityLocked(const std::string* keep) {
   }
 }
 
+int64_t BuildCache::EvictForPressureLocked(int64_t bytes,
+                                           std::string_view keep_generation) {
+  if (bytes <= 0) return 0;
+  if (!fault::Check("cache.evict").ok()) return 0;
+  // Candidate = ready, successful, and idle: only the cache holds the
+  // table (use_count == 1), so dropping our reference frees the memory
+  // now. In-use entries are pinned — some query is probing that table —
+  // and in-flight builds have no table to drop yet.
+  struct Candidate {
+    Generation* gen;
+    std::string key;
+    uint64_t last_used;
+    int64_t bytes;
+    bool foreign;  // not in keep_generation: evicts first
+  };
+  std::vector<Candidate> candidates;
+  for (auto& [name, gen] : generations_) {
+    for (auto& [key, cached] : gen.tables) {
+      if (cached.future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        continue;
+      }
+      const Entry& entry = cached.future.get();
+      if (entry.table == nullptr || entry.table.use_count() != 1) continue;
+      candidates.push_back({&gen, key, cached.last_used,
+                            entry.table->bytes(),
+                            name != keep_generation});
+    }
+  }
+  // Idle generations drain before the kept (current) one loses anything;
+  // within each class, least-recently-used goes first.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.foreign != b.foreign) return a.foreign;
+              return a.last_used < b.last_used;
+            });
+  int64_t freed = 0;
+  for (const Candidate& c : candidates) {
+    if (freed >= bytes) break;
+    c.gen->tables.erase(c.key);
+    freed += c.bytes;
+    ++entry_evictions_;
+  }
+  // Generations emptied by the pass stop counting toward the LRU bound.
+  for (auto it = generations_.begin(); it != generations_.end();) {
+    it = it->second.tables.empty() ? generations_.erase(it) : std::next(it);
+  }
+  return freed;
+}
+
+int64_t BuildCache::EvictForPressure(int64_t bytes,
+                                     std::string_view keep_generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EvictForPressureLocked(bytes, keep_generation);
+}
+
+int64_t BuildCache::evictable_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [name, gen] : generations_) {
+    for (const auto& [key, cached] : gen.tables) {
+      if (cached.future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        continue;
+      }
+      const Entry& entry = cached.future.get();
+      if (entry.table != nullptr && entry.table.use_count() == 1) {
+        total += entry.table->bytes();
+      }
+    }
+  }
+  return total;
+}
+
+bool BuildCache::Contains(std::string_view generation,
+                          std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto git = generations_.find(std::string(generation));
+  if (git == generations_.end()) return false;
+  const auto it = git->second.tables.find(std::string(key));
+  if (it == git->second.tables.end()) return false;
+  if (it->second.future.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return false;
+  }
+  return it->second.future.get().table != nullptr;
+}
+
 void BuildCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   generations_.clear();
   tick_ = 0;
   evictions_ = 0;
+  entry_evictions_ = 0;
 }
 
 int64_t BuildCache::entries() const {
@@ -188,15 +307,20 @@ int64_t BuildCache::bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   int64_t total = 0;
   for (const auto& [name, gen] : generations_) {
-    for (const auto& [key, future] : gen.tables) {
-      if (future.wait_for(std::chrono::seconds(0)) ==
+    for (const auto& [key, cached] : gen.tables) {
+      if (cached.future.wait_for(std::chrono::seconds(0)) ==
           std::future_status::ready) {
-        const Entry& entry = future.get();
+        const Entry& entry = cached.future.get();
         if (entry.table != nullptr) total += entry.table->bytes();
       }
     }
   }
   return total;
+}
+
+int64_t BuildCache::entry_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entry_evictions_;
 }
 
 int64_t BuildCache::generations() const {

@@ -102,6 +102,16 @@ inline int ProbeJoinTable(const JoinTable& t, const int32_t* keys,
 /// probe concurrently from any number of threads and engines; a returned
 /// table stays valid after Clear()/invalidation for as long as the caller
 /// holds the pointer.
+///
+/// Memory governance (docs/ROBUSTNESS.md): every successfully built table
+/// is charged to the process MemoryBudget's build-cache category for its
+/// whole lifetime — the charge is attached to the shared_ptr, so it is
+/// released when the *last* reference drops, not when the cache forgets
+/// the entry — and the cache answers budget pressure by evicting idle
+/// entries LRU-first (EvictForPressure). An entry is idle when its build
+/// completed and no query currently holds its table; in-use entries are
+/// pinned — evicting them would free nothing (callers keep the table
+/// alive) and would only force a rebuild mid-batch.
 class BuildCache {
  public:
   /// Process-wide instance: every CPU engine bound to the same database
@@ -135,6 +145,22 @@ class BuildCache {
   /// pointers.
   void Clear();
 
+  /// True when (generation, key) is resident and its build succeeded.
+  /// Never blocks (an in-flight build counts as absent).
+  bool Contains(std::string_view generation, std::string_view key) const;
+
+  /// Evicts idle entries LRU-first until at least `bytes` of cached table
+  /// memory has been dropped or no evictable entry remains; returns the
+  /// bytes actually dropped. Entries of generations other than
+  /// `keep_generation` go first (idle generations drain before the
+  /// current one loses anything); in-use and in-flight entries are never
+  /// touched. The `cache.evict` fault point can veto a pass (returns 0).
+  int64_t EvictForPressure(int64_t bytes,
+                           std::string_view keep_generation = {});
+
+  /// Bytes EvictForPressure could reclaim right now (idle entries only).
+  int64_t evictable_bytes() const;
+
   /// Entries across all resident generations.
   int64_t entries() const;
   /// Total bytes held by the completed cached tables (in-flight builds
@@ -145,6 +171,9 @@ class BuildCache {
   int64_t generations() const;
   /// Generations evicted by the LRU since construction/Clear (tests).
   int64_t evictions() const;
+  /// Individual entries evicted under memory pressure since
+  /// construction/Clear (EvictForPressure; bench + stats reporting).
+  int64_t entry_evictions() const;
 
   int max_generations() const;
   /// Sets the LRU capacity (clamped to >= 1), evicting least-recently-used
@@ -167,8 +196,13 @@ class BuildCache {
   };
   using TableFuture = std::shared_future<Entry>;
 
+  struct CachedTable {
+    TableFuture future;
+    uint64_t last_used = 0;  // LRU stamp: ++tick_ on every touch
+  };
+
   struct Generation {
-    std::unordered_map<std::string, TableFuture> tables;
+    std::unordered_map<std::string, CachedTable> tables;
     uint64_t last_used = 0;  // LRU stamp: ++tick_ on every touch
   };
 
@@ -176,10 +210,15 @@ class BuildCache {
   /// most max_generations_ remain. Caller holds mu_.
   void EvictOverCapacityLocked(const std::string* keep);
 
+  /// EvictForPressure body; caller holds mu_.
+  int64_t EvictForPressureLocked(int64_t bytes,
+                                 std::string_view keep_generation);
+
   mutable std::mutex mu_;
   uint64_t tick_ = 0;
   int max_generations_ = kDefaultMaxGenerations;
   int64_t evictions_ = 0;
+  int64_t entry_evictions_ = 0;
   std::unordered_map<std::string, Generation> generations_;
 };
 

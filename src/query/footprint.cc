@@ -1,0 +1,93 @@
+#include "query/footprint.h"
+
+#include <algorithm>
+
+namespace crystal::query {
+
+namespace {
+
+/// Mirrors cpu/build_cache.cc's direct-address eligibility cap.
+constexpr int64_t kMaxDirectSpan = int64_t{1} << 26;
+
+/// Occupancy bound for the sparse-table model: real workloads touch a few
+/// hundred to a few thousand cells, so the model claims at most this many
+/// live groups per table. The table itself is open-addressing at <= 50%
+/// fill with 16-byte slots plus a num_slots-stride value pool (see
+/// SparseGrid in ssb/fused_query.cc).
+constexpr int64_t kSparseModelGroups = int64_t{1} << 14;
+
+int64_t NextPow2(int64_t v) {
+  int64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// One sparse table's modeled bytes for a layout with `cells` cells and
+/// `slots` accumulator slots per group.
+int64_t SparseTableBytes(int64_t cells, int64_t slots) {
+  const int64_t groups = std::min<int64_t>(cells, kSparseModelGroups);
+  const int64_t capacity = std::max<int64_t>(1024, NextPow2(2 * groups));
+  return capacity * 16 + groups * slots * 8;
+}
+
+/// Modeled JoinTable size: the same span math BuildJoinTable applies,
+/// measured over the unfiltered key column (a superset, so direct-address
+/// eligibility and span are both conservative).
+int64_t BuildSideBytes(const BoundJoin& join) {
+  const int64_t n = join.dim_rows;
+  if (n <= 0 || join.keys == nullptr) return 0;
+  const int32_t* keys = join.keys->data();
+  int32_t min_key = keys[0];
+  int32_t max_key = keys[0];
+  for (int64_t i = 1; i < n; ++i) {
+    min_key = std::min(min_key, keys[i]);
+    max_key = std::max(max_key, keys[i]);
+  }
+  const int64_t span = static_cast<int64_t>(max_key) - min_key + 1;
+  if (span <= std::max<int64_t>(4 * n, int64_t{1} << 16) &&
+      span <= kMaxDirectSpan) {
+    return span * 4;  // direct: one int32 payload slot per span value
+  }
+  return NextPow2(2 * n) * 8;  // hash: packed uint64 slots at <= 50% fill
+}
+
+}  // namespace
+
+FootprintEstimate EstimateFootprint(const QueryPipeline& pipe, int threads) {
+  FootprintEstimate est;
+  const int64_t t = std::max(threads, 1);
+  const int64_t slots = pipe.agg.plan.num_slots();
+  const int64_t cells = pipe.layout.cells;
+
+  if (pipe.scalar()) {
+    // Per-thread partial accumulator vectors; negligible by design.
+    const int64_t partials = t * slots * 8;
+    est.dense_agg_bytes = partials;
+    est.sparse_agg_bytes = partials;
+    est.shared_agg_bytes = partials;
+    est.result_bytes = 256;
+    est.dense_preferred = true;
+  } else {
+    est.dense_preferred = cells <= kDenseGridMaxCells;
+    est.dense_agg_bytes =
+        est.dense_preferred ? t * cells * slots * 8 : 0;
+    est.sparse_agg_bytes = t * SparseTableBytes(cells, slots);
+    est.shared_agg_bytes = SparseTableBytes(cells, slots);
+    // Emission: keys triple + emitted accumulators per live group, with
+    // live groups bounded by the same occupancy model.
+    est.result_bytes =
+        std::min<int64_t>(cells, kSparseModelGroups * 4) * (12 + slots * 8);
+  }
+
+  est.builds.reserve(pipe.probes.size());
+  for (size_t i = 0; i < pipe.probes.size(); ++i) {
+    const ProbeStage& probe = pipe.probes[i];
+    const int64_t bytes =
+        BuildSideBytes(pipe.bound[static_cast<size_t>(probe.join_index)]);
+    est.builds.push_back({probe.cache_key, bytes});
+    est.build_bytes += bytes;
+  }
+  return est;
+}
+
+}  // namespace crystal::query

@@ -4,13 +4,18 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <string>
 #include <string_view>
 
 #include "common/fault.h"
 #include "common/macros.h"
+#include "common/memory.h"
 #include "common/status.h"
 #include "common/timer.h"
+#include "cpu/build_cache.h"
+#include "query/footprint.h"
 #include "query/parser.h"
+#include "query/pipeline.h"
 #include "ssb/fused_query.h"
 #include "ssb/vectorized_cpu_engine.h"
 
@@ -43,6 +48,37 @@ bool RetryableCode(StatusCode code) {
   return false;
 }
 
+/// Predicts the minimum footprint `spec` needs against `db`, net of build
+/// sides already resident in the cpu::BuildCache. Returns 0 when lowering
+/// itself fails (the query is admitted anyway — Submit's validation
+/// already passed, and the execution-time budget claims still govern it).
+int64_t PredictFootprint(const query::QuerySpec& spec,
+                         const ssb::Database& db, int threads) {
+  try {
+    const query::QueryPipeline pipe = query::LowerToPipeline(spec, db);
+    const query::FootprintEstimate estimate =
+        query::EstimateFootprint(pipe, threads);
+    cpu::BuildCache& cache = cpu::BuildCache::Process();
+    const std::string generation = query::GenerationKey(db);
+    int64_t footprint = estimate.minimum_bytes();
+    for (const query::BuildFootprint& build : estimate.builds) {
+      if (cache.Contains(generation, build.cache_key)) {
+        footprint -= build.bytes;
+      }
+    }
+    return std::max<int64_t>(footprint, 0);
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+/// Backoff hint for memory rejections, scaled by how much committed work
+/// sits ahead of a retry. Deliberately coarse: the client contract is
+/// "wait at least this long", not a reservation (docs/ROBUSTNESS.md).
+double RetryAfterMs(size_t queued) {
+  return std::min<double>(50.0 + 25.0 * static_cast<double>(queued), 2000.0);
+}
+
 }  // namespace
 
 const char* StatusName(QueryOutcome::Status status) {
@@ -66,6 +102,11 @@ QueryServer::QueryServer(ServerOptions options)
                        ? options.morsel_rows
                        : ssb::VectorizedCpuEngine::kDefaultMorselRows),
       paused_(options.start_paused) {
+  // Install the governor limit before any query can run; a negative
+  // option leaves the process budget (CRYSTAL_MEM_BUDGET) untouched.
+  if (options_.memory_budget_bytes >= 0) {
+    MemoryBudget::Process().set_limit(options_.memory_budget_bytes);
+  }
   scheduler_ = std::thread([this] { SchedulerLoop(); });
   if (options_.watchdog_ms > 0) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });
@@ -178,6 +219,19 @@ std::future<QueryOutcome> QueryServer::Submit(query::QuerySpec spec,
   // would sit.
   const crystal::Status admit_fault = fault::Check("server.admit");
 
+  // Footprint-predicted admission (memory governor): with an enforced
+  // budget, the submission's cheapest viable shape is priced up front —
+  // outside mu_, lowering is real work — and committed on admit so
+  // concurrent submissions see each other's claims deterministically.
+  MemoryBudget& budget = MemoryBudget::Process();
+  const int64_t mem_limit = budget.limit();
+  int64_t footprint = 0;
+  if (mem_limit > 0) {
+    if (const ssb::Database* db = database(request.db_name)) {
+      footprint = PredictFootprint(request.spec, *db, pool_->num_threads());
+    }
+  }
+
   bool notify = false;
   QueryOutcome immediate;
   bool failed = false;
@@ -217,7 +271,26 @@ std::future<QueryOutcome> QueryServer::Submit(query::QuerySpec spec,
                         std::to_string(options_.max_queue) + ")";
       immediate.retryable = true;
       failed = true;
+    } else if (mem_limit > 0 && footprint > AdmissibleBytesLocked(mem_limit)) {
+      // The predicted minimum cannot fit even if every idle cache entry
+      // were evicted. Retryable: in-flight queries release their
+      // commitments as they complete, so the same submission can fit
+      // later (an oversized-forever query keeps getting this answer —
+      // the hint caps how aggressively a well-behaved client spins).
+      immediate.status = QueryOutcome::Status::kRejected;
+      immediate.error = ResourceExhaustedError(
+                            "predicted footprint " + std::to_string(footprint) +
+                            " bytes cannot fit in memory budget " +
+                            std::to_string(mem_limit) +
+                            " bytes even after cache eviction")
+                            .ToString();
+      immediate.retryable = true;
+      immediate.retry_after_ms = RetryAfterMs(queue_.size());
+      ++stats_.mem_rejected;
+      failed = true;
     } else {
+      request.footprint_bytes = footprint;
+      committed_bytes_ += footprint;
       queue_.push_back(std::move(request));
       notify = true;
     }
@@ -255,6 +328,19 @@ ServerStats QueryServer::stats() const {
   return stats_;
 }
 
+int64_t QueryServer::AdmissibleBytesLocked(int64_t mem_limit) const {
+  // Eviction can reclaim idle cache entries, so only the pinned remainder
+  // (tables some in-flight query still probes, or in-flight builds)
+  // stands between a new claim and the budget. Lock order is mu_ -> the
+  // cache's lock; the cache never calls back into the server.
+  cpu::BuildCache& cache = cpu::BuildCache::Process();
+  const int64_t pinned_cache = std::max<int64_t>(
+      MemoryBudget::Process().used(MemCategory::kBuildCache) -
+          cache.evictable_bytes(),
+      0);
+  return mem_limit - committed_bytes_ - pinned_cache;
+}
+
 void QueryServer::SchedulerLoop() {
   for (;;) {
     std::vector<Request> expired;
@@ -285,10 +371,30 @@ void QueryServer::SchedulerLoop() {
         // keep their queue position, so the next batch serves them —
         // strict FIFO progress per route, no starvation across routes.
         const std::string route = queue_.front().db_name;
+        // Memory governor: a batch's combined footprint is bounded by the
+        // budget net of unevictable cache bytes. The head always runs (it
+        // fit at admission, and forward progress must not depend on the
+        // budget); later members join only while the sum still fits.
+        // Members that don't fit are *skipped*, not failed — they keep
+        // their queue position, and FIFO order makes each of them a batch
+        // head eventually, so no query starves.
+        const int64_t mem_limit = MemoryBudget::Process().limit();
+        const int64_t batch_headroom =
+            mem_limit > 0 ? AdmissibleBytesLocked(mem_limit) +
+                                committed_bytes_
+                          : 0;
+        int64_t batch_bytes = 0;
         for (auto it = queue_.begin();
              it != queue_.end() &&
              static_cast<int>(batch.size()) < options_.max_batch;) {
           if (it->db_name == route) {
+            if (mem_limit > 0 && !batch.empty() &&
+                batch_bytes + it->footprint_bytes > batch_headroom) {
+              ++stats_.mem_skipped;
+              ++it;
+              continue;
+            }
+            batch_bytes += it->footprint_bytes;
             batch.push_back(std::move(*it));
             it = queue_.erase(it);
           } else {
@@ -494,6 +600,7 @@ void QueryServer::RunBatch(std::vector<Request> batch,
 
   const int live_members = static_cast<int>(live.size());
   int64_t dedup_hits = 0;
+  int64_t degraded_members = 0;
   for (auto& execution : executions) {
     QueryOutcome base;
     base.database = live.front().db_name;
@@ -506,18 +613,26 @@ void QueryServer::RunBatch(std::vector<Request> batch,
       base.status = QueryOutcome::Status::kError;
       base.error = "build failed: " + execution->build_status.ToString();
       base.retryable = RetryableCode(execution->build_status.code());
-    } else if (execution->cancelled.load(std::memory_order_relaxed)) {
-      base.status = QueryOutcome::Status::kTimeout;
-      base.error = "deadline expired during scan (cancelled between morsels)";
-      base.retryable = true;
     } else {
-      StatusOr<ssb::QueryResult> result = execution->fused->Finish(*pool_);
-      if (result.ok()) {
-        base.result = std::move(result).value();
+      base.degraded = execution->fused->degraded();
+      if (base.degraded) {
+        degraded_members +=
+            static_cast<int64_t>(execution->members.size());
+      }
+      if (execution->cancelled.load(std::memory_order_relaxed)) {
+        base.status = QueryOutcome::Status::kTimeout;
+        base.error =
+            "deadline expired during scan (cancelled between morsels)";
+        base.retryable = true;
       } else {
-        base.status = QueryOutcome::Status::kError;
-        base.error = "execution failed: " + result.status().ToString();
-        base.retryable = RetryableCode(result.status().code());
+        StatusOr<ssb::QueryResult> result = execution->fused->Finish(*pool_);
+        if (result.ok()) {
+          base.result = std::move(result).value();
+        } else {
+          base.status = QueryOutcome::Status::kError;
+          base.error = "execution failed: " + result.status().ToString();
+          base.retryable = RetryableCode(result.status().code());
+        }
       }
     }
     dedup_hits += static_cast<int64_t>(execution->members.size()) - 1;
@@ -537,6 +652,7 @@ void QueryServer::RunBatch(std::vector<Request> batch,
     ++stats_.batches;
     stats_.scans_saved += live_members - 1;
     stats_.dedup_hits += dedup_hits;
+    stats_.degraded += degraded_members;
     stats_.max_batch_seen =
         std::max(stats_.max_batch_seen, static_cast<int64_t>(live_members));
   }
@@ -546,6 +662,12 @@ void QueryServer::Complete(Request& request, QueryOutcome outcome) {
   outcome.wall_ms = MsBetween(request.submitted, Clock::now());
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Release the admission-time footprint commitment exactly once, on
+    // whatever path the request completes through (batch, shed, shutdown).
+    if (request.footprint_bytes > 0) {
+      committed_bytes_ -= request.footprint_bytes;
+      request.footprint_bytes = 0;
+    }
     ++stats_.completed;
     switch (outcome.status) {
       case QueryOutcome::Status::kOk:

@@ -44,6 +44,16 @@ struct ServerOptions {
   /// (ServerStats::watchdog_stalls + one stderr line per stalled batch,
   /// diagnosis only — the batch is never killed). 0 disables.
   double watchdog_ms = 0;
+  /// Memory governor limit (docs/ROBUSTNESS.md, "Memory governance"):
+  /// >= 0 installs this as the process MemoryBudget's limit at
+  /// construction (0 = accounting only, no enforcement); < 0 leaves the
+  /// process budget alone (CRYSTAL_MEM_BUDGET, or whatever was set
+  /// programmatically). With a nonzero limit in effect, admission
+  /// predicts each submission's footprint (query::EstimateFootprint) and
+  /// rejects — retryable, with a retry_after_ms hint — any query that
+  /// cannot fit even after cache eviction; batch formation skips (not
+  /// fails) members that don't fit alongside the batch head.
+  int64_t memory_budget_bytes = -1;
   /// Tests: hold all batch formation until Resume(), so a known set of
   /// in-flight queries lands in one deterministic batch.
   bool start_paused = false;
@@ -66,6 +76,14 @@ struct QueryOutcome {
   /// exponentially with jitter (docs/ROBUSTNESS.md); permanent failures
   /// (invalid spec, unknown database, shutdown) are not.
   bool retryable = false;
+  /// Backoff hint for retryable memory rejections: the governor's guess
+  /// at when enough in-flight footprint will have drained (scaled by
+  /// queue depth). 0 when not applicable.
+  double retry_after_ms = 0;
+  /// True when budget pressure forced the query below its preferred
+  /// aggregation shape (FusedQuery degradation ladder). The result is
+  /// still bit-identical — this is an observability flag, not a caveat.
+  bool degraded = false;
   ssb::QueryResult result;  // valid iff kOk
   std::string database;     // resident database it was routed to
 
@@ -102,6 +120,16 @@ struct ServerStats {
   /// Batches flagged by the watchdog for a stalled morsel heartbeat
   /// (at most once per batch).
   int64_t watchdog_stalls = 0;
+  /// Memory governor (nonzero budget only): submissions rejected at
+  /// admission because their predicted footprint could not fit even
+  /// after eviction...
+  int64_t mem_rejected = 0;
+  /// ...members skipped (left queued, not failed) during batch formation
+  /// because they didn't fit alongside the batch head's footprint...
+  int64_t mem_skipped = 0;
+  /// ...and queries that executed below their preferred aggregation
+  /// shape (bit-identical results; see QueryOutcome::degraded).
+  int64_t degraded = 0;
 };
 
 /// Long-running query service with shared-scan batch execution.
@@ -189,6 +217,10 @@ class QueryServer {
     Clock::time_point submitted;
     Clock::time_point deadline;  // valid iff has_deadline
     bool has_deadline = false;
+    /// Predicted minimum footprint (cache-adjusted), committed against
+    /// the budget from enqueue to completion; 0 when no budget is in
+    /// effect (never estimated) or the request was never enqueued.
+    int64_t footprint_bytes = 0;
     std::promise<QueryOutcome> promise;
     Callback on_done;
   };
@@ -199,6 +231,11 @@ class QueryServer {
   /// Fulfills a request (stats + promise + callback). Never called with
   /// mu_ held.
   void Complete(Request& request, QueryOutcome outcome);
+  /// Bytes a new admission-time claim could still get under `mem_limit`:
+  /// the budget minus committed_bytes_ and minus the build-cache bytes
+  /// that would survive a full eviction pass (in-use or in-flight
+  /// entries). Caller holds mu_.
+  int64_t AdmissibleBytesLocked(int64_t mem_limit) const;
 
   const ServerOptions options_;
   std::unique_ptr<ThreadPool> pool_;
@@ -210,6 +247,10 @@ class QueryServer {
   std::vector<std::pair<std::string, const ssb::Database*>> databases_;
   std::deque<Request> queue_;
   ServerStats stats_;
+  /// Sum of footprint_bytes over queued + executing requests: the
+  /// governor's deterministic picture of claimed-but-not-yet-released
+  /// memory, independent of when charges actually land. Guarded by mu_.
+  int64_t committed_bytes_ = 0;
   bool paused_ = false;
   bool executing_ = false;
   bool shutdown_ = false;

@@ -14,6 +14,8 @@
 
 #include "common/fault.h"
 #include "common/macros.h"
+#include "common/memory.h"
+#include "cpu/build_cache.h"
 #include "query/parser.h"
 #include "query/ssb_specs.h"
 #include "ssb/query_id.h"
@@ -242,6 +244,11 @@ int Serve(std::istream& in, std::ostream& out,
             // and give up immediately on the rest.
             json += outcome.retryable ? ", \"retryable\": true"
                                       : ", \"retryable\": false";
+            // Memory rejections carry the governor's backoff hint.
+            if (outcome.retry_after_ms > 0) {
+              json += ", \"retry_after_ms\": ";
+              AppendMs(&json, outcome.retry_after_ms);
+            }
           } else {
             json += ", \"checksum\": " + std::to_string(
                                              Checksum(outcome.result));
@@ -304,6 +311,7 @@ int Serve(std::istream& in, std::ostream& out,
           json += outcome.shared_scan ? ", \"shared_scan\": true"
                                       : ", \"shared_scan\": false";
           json += outcome.dedup ? ", \"dedup\": true" : "";
+          json += outcome.degraded ? ", \"degraded\": true" : "";
           json += "}";
           emit(json);
         });
@@ -326,6 +334,14 @@ int Serve(std::istream& in, std::ostream& out,
     json += ", \"shed_expired\": " + std::to_string(stats.shed_expired);
     json += ", \"watchdog_stalls\": " +
             std::to_string(stats.watchdog_stalls);
+    json += ", \"mem_rejected\": " + std::to_string(stats.mem_rejected);
+    json += ", \"mem_skipped\": " + std::to_string(stats.mem_skipped);
+    json += ", \"degraded\": " + std::to_string(stats.degraded);
+    const MemoryBudget& budget = MemoryBudget::Process();
+    json += ", \"mem_budget\": " + std::to_string(budget.limit());
+    json += ", \"peak_bytes\": " + std::to_string(budget.peak());
+    json += ", \"cache_evictions\": " +
+            std::to_string(cpu::BuildCache::Process().entry_evictions());
     json += ", \"dropped_responses\": " +
             std::to_string(dropped_responses.load());
     json += ", \"threads\": " + std::to_string(server.threads());

@@ -12,9 +12,11 @@
 
 #include "common/fault.h"
 #include "common/macros.h"
+#include "common/memory.h"
 #include "common/timer.h"
 #include "cpu/build_cache.h"
 #include "cpu/vector_ops.h"
+#include "query/footprint.h"
 #include "query/pipeline.h"
 
 namespace crystal::ssb {
@@ -107,12 +109,12 @@ class GridAgg {
 // pays memset + merge + final scan over *every* cell each run — q4.3's
 // layout spans ~7.8M cells (62 MB) of which a few hundred are ever touched,
 // so on a memory-bound host the grid traffic dwarfs the actual query. Past
-// kSparseGridCells the scan aggregates into per-thread open-addressing
-// tables keyed by cell id instead; work is then proportional to touched
-// cells, and emission (AggPlan::CellLive, Normalize sorts) stays
-// bit-identical to EmitDenseGroups.
-constexpr int64_t kSparseGridCells = int64_t{1} << 18;
-
+// query::kDenseGridMaxCells the scan aggregates into per-thread
+// open-addressing tables keyed by cell id instead; work is then
+// proportional to touched cells, and emission (AggPlan::CellLive,
+// Normalize sorts) stays bit-identical to EmitDenseGroups. The same tables
+// are the governor's degradation path for *small* layouts whose dense
+// grids would blow the memory budget (see FusedQuery::Create).
 class SparseGrid {
  public:
   static constexpr int64_t kEmpty = -1;  // cell ids are >= 0
@@ -211,21 +213,30 @@ class SparseGrid {
 }  // namespace
 
 struct FusedQuery::Impl {
-  Impl(const query::QuerySpec& spec, const Database& db, int threads,
-       std::vector<std::vector<int64_t>>* scratch)
-      // Lowering: the spec resolved to raw column pointers and bound
-      // build-side descriptors once, before any per-row work (Create
-      // validated the spec, so lowering cannot abort on input).
-      : pipe(query::LowerToPipeline(spec, db)),
+  /// `p` is the spec lowered by Create (which also ran the footprint
+  /// estimate and picked the aggregation shape); `use_sparse`/`use_shared`
+  /// select the rung, `charge` is the agg scratch's budget claim (held for
+  /// the instance's lifetime).
+  Impl(query::QueryPipeline&& p, const Database& db, int threads,
+       std::vector<std::vector<int64_t>>* scratch, bool use_sparse,
+       bool use_shared, bool was_degraded, int64_t result_bytes,
+       TrackedCharge charge)
+      : pipe(std::move(p)),
         fact_rows(db.lo.rows),
         scalar(pipe.layout.scalar()),
-        sparse(!scalar && pipe.layout.cells > kSparseGridCells),
+        sparse(use_sparse),
+        shared_sparse(use_shared),
+        degraded(was_degraded),
+        result_bytes_estimate(result_bytes),
+        agg_charge(std::move(charge)),
         partial(static_cast<size_t>(threads) *
                     static_cast<size_t>(pipe.agg.plan.num_slots()),
                 0),
         agg(scratch != nullptr ? scratch : &own_scratch, threads,
             sparse ? 1 : pipe.layout.cells, &pipe.agg.plan),
-        sparse_grids(sparse ? static_cast<size_t>(threads) : 0) {
+        sparse_grids(!sparse ? 0
+                             : (shared_sparse ? 1
+                                              : static_cast<size_t>(threads))) {
     query::FillIdentity(pipe.agg.plan, partial.data(), threads);
     for (SparseGrid& grid : sparse_grids) grid.Bind(&pipe.agg.plan);
     // Packed columns that must materialize per vector (probe keys and
@@ -321,6 +332,14 @@ struct FusedQuery::Impl {
   const int64_t fact_rows;
   const bool scalar;
   const bool sparse;
+  /// Degradation floor: all threads share sparse_grids[0] under sparse_mu.
+  const bool shared_sparse;
+  /// True when budget pressure forced a rung below the preferred shape.
+  const bool degraded;
+  /// Footprint model's emission-buffer estimate (charged during Finish).
+  const int64_t result_bytes_estimate;
+  /// Budget claim on the aggregation scratch, held until destruction.
+  TrackedCharge agg_charge;
   std::vector<std::shared_ptr<const cpu::JoinTable>> tables;
   std::vector<int> probe_slot;
   std::vector<int> agg_slot;  // parallel to pipe.agg.cols/views
@@ -333,6 +352,9 @@ struct FusedQuery::Impl {
   std::vector<std::vector<int64_t>> own_scratch;
   GridAgg agg;
   std::vector<SparseGrid> sparse_grids;
+  /// Serializes shared_sparse access to sparse_grids[0]. Degraded-floor
+  /// only — per-thread rungs never touch it.
+  std::mutex sparse_mu;
 
   /// Failure latch: set by the first failing RunMorsel, read (relaxed) on
   /// every later morsel to short-circuit a doomed member's remaining
@@ -355,14 +377,78 @@ StatusOr<std::unique_ptr<FusedQuery>> FusedQuery::Create(
   CRYSTAL_RETURN_IF_ERROR(fault::Check("fused.build"));
   std::unique_ptr<FusedQuery> fused(new FusedQuery());
   try {
-    fused->impl_ =
-        std::make_unique<Impl>(spec, db, threads, grid_scratch);
+    // Lowering: the spec resolved to raw column pointers and bound
+    // build-side descriptors once, before any per-row work (Validate
+    // passed, so lowering cannot abort on input).
+    query::QueryPipeline pipe = query::LowerToPipeline(spec, db);
+    const query::FootprintEstimate footprint =
+        query::EstimateFootprint(pipe, threads);
+    MemoryBudget& budget = MemoryBudget::Process();
+    const std::string generation = query::GenerationKey(db);
+
+    // Claim helper: on a rejected claim, ask the build cache to shed idle
+    // entries and retry once — a cold cache entry is always cheaper to
+    // re-earn than a failed query.
+    const auto claim = [&budget, &generation](
+                           MemCategory cat,
+                           int64_t bytes) -> StatusOr<TrackedCharge> {
+      StatusOr<TrackedCharge> charge =
+          TrackedCharge::Acquire(budget, cat, bytes);
+      if (charge.ok() ||
+          charge.status().code() != StatusCode::kResourceExhausted) {
+        return charge;
+      }
+      cpu::BuildCache::Process().EvictForPressure(bytes, generation);
+      return TrackedCharge::Acquire(budget, cat, bytes);
+    };
+
+    // The degradation ladder: preferred shape first, then each cheaper
+    // rung. Every rung keeps results bit-identical — sparse emission
+    // feeds the same Normalize ordering the dense grid's EmitDenseGroups
+    // produces, and the accumulation plan never changes.
+    const bool prefer_sparse =
+        !pipe.scalar() && pipe.layout.cells > query::kDenseGridMaxCells;
+    bool use_sparse = prefer_sparse;
+    bool use_shared = false;
+    bool degraded = false;
+    StatusOr<TrackedCharge> charge =
+        pipe.scalar() || !prefer_sparse
+            ? claim(MemCategory::kAggScratch, footprint.dense_agg_bytes)
+            : claim(MemCategory::kSparseTables, footprint.sparse_agg_bytes);
+    if (!charge.ok() && !pipe.scalar() && !prefer_sparse) {
+      // Rung 2: per-thread sparse tables instead of dense grids.
+      use_sparse = true;
+      degraded = true;
+      charge = claim(MemCategory::kSparseTables, footprint.sparse_agg_bytes);
+    }
+    if (!charge.ok() && !pipe.scalar()) {
+      // Rung 3 (floor): one shared table, all threads serialized on it.
+      use_sparse = true;
+      use_shared = true;
+      degraded = true;
+      charge = claim(MemCategory::kSparseTables, footprint.shared_agg_bytes);
+    }
+    CRYSTAL_RETURN_IF_ERROR(charge.status());
+
+    fused->impl_ = std::make_unique<Impl>(
+        std::move(pipe), db, threads, grid_scratch, use_sparse, use_shared,
+        degraded, footprint.result_bytes, std::move(charge).value());
   } catch (const std::bad_alloc&) {
     return ResourceExhaustedError("query setup allocation failed");
   }
   CRYSTAL_RETURN_IF_ERROR(fused->impl_->FetchTables(db, build_pool, stats));
   return fused;
 }
+
+FusedQuery::AggMode FusedQuery::agg_mode() const {
+  const Impl& s = *impl_;
+  if (s.scalar) return AggMode::kScalar;
+  if (s.shared_sparse) return AggMode::kSharedSparse;
+  if (s.sparse) return AggMode::kSparse;
+  return AggMode::kDense;
+}
+
+bool FusedQuery::degraded() const { return impl_->degraded; }
 
 bool FusedQuery::failed() const {
   return impl_->failed.load(std::memory_order_relaxed);
@@ -511,7 +597,12 @@ Status FusedQuery::Impl::Run(int t, int64_t begin, int64_t end) {
         }
         partial_row[0] = sum;
       } else if (s.sparse) {
-        SparseGrid& grid = s.sparse_grids[static_cast<size_t>(t)];
+        // Degraded floor: every thread funnels into table 0 under the
+        // mutex — correctness over speed, by construction.
+        std::unique_lock<std::mutex> lock(s.sparse_mu, std::defer_lock);
+        if (s.shared_sparse) lock.lock();
+        SparseGrid& grid =
+            s.sparse_grids[s.shared_sparse ? 0 : static_cast<size_t>(t)];
         for (int i = 0; i < m; ++i) {
           int64_t* row = grid.Row(cell_of(i));
           if (__builtin_add_overflow(row[0], value_of(sel[i]), &row[0])) {
@@ -564,7 +655,10 @@ Status FusedQuery::Impl::Run(int t, int64_t begin, int64_t end) {
         }
       }
     } else if (s.sparse) {
-      SparseGrid& grid = s.sparse_grids[static_cast<size_t>(t)];
+      std::unique_lock<std::mutex> lock(s.sparse_mu, std::defer_lock);
+      if (s.shared_sparse) lock.lock();
+      SparseGrid& grid =
+          s.sparse_grids[s.shared_sparse ? 0 : static_cast<size_t>(t)];
       for (int i = 0; i < m; ++i) {
         if (!accumulate(grid.Row(cell_of(i)), sel[i])) {
           return OutOfRangeError(kOverflowMsg);
@@ -582,6 +676,22 @@ Status FusedQuery::Impl::Run(int t, int64_t begin, int64_t end) {
 }
 
 StatusOr<QueryResult> FusedQuery::Finish(ThreadPool& pool) {
+  // Result emission allocates (group rows, Normalize's sort scratch, the
+  // dense grid's merged copy): claim the footprint model's estimate for
+  // the duration and convert exhaustion into Status here — the same gap
+  // fix aligned.h got, so a huge result can never leak std::bad_alloc
+  // into a scheduler thread.
+  const TrackedCharge result_charge = TrackedCharge::AcquireUnchecked(
+      MemoryBudget::Process(), MemCategory::kResultBuffers,
+      impl_->result_bytes_estimate);
+  try {
+    return FinishImpl(pool);
+  } catch (const std::bad_alloc&) {
+    return ResourceExhaustedError("result emission allocation failed");
+  }
+}
+
+StatusOr<QueryResult> FusedQuery::FinishImpl(ThreadPool& pool) {
   Impl& s = *impl_;
   if (s.failed.load(std::memory_order_relaxed)) return s.FirstError();
   const query::AggPlan& plan = s.pipe.agg.plan;

@@ -41,6 +41,12 @@ class FusedQuery {
     int64_t cache_builds = 0;
   };
 
+  /// Aggregation shape the query actually runs with. kDense and kSparse
+  /// are the engine's normal choices (layout-driven); kSharedSparse is the
+  /// degradation ladder's floor — one mutex-guarded table shared by every
+  /// scan thread, minimal memory at the cost of contention.
+  enum class AggMode { kScalar, kDense, kSparse, kSharedSparse };
+
   /// Lowers `spec` against `db` and fetches/builds the dimension build
   /// sides on `build_pool`. Fails with kInvalidArgument when the spec
   /// doesn't validate, propagates build-side failures from the
@@ -50,6 +56,17 @@ class FusedQuery {
   /// dense-grid scratch reused across runs (the engine's warm-pages
   /// optimization); pass nullptr for private scratch. `threads` is the
   /// scan pool's thread count (sizes the per-thread state).
+  ///
+  /// Memory governance: the per-thread aggregation scratch predicted by
+  /// query::EstimateFootprint is claimed against the process MemoryBudget
+  /// up front (released when the query is destroyed). When the preferred
+  /// shape's claim is rejected the query *degrades* instead of failing —
+  /// dense grids fall back to the sparse per-thread tables, then to one
+  /// shared table — and between rungs the cpu::BuildCache is asked to
+  /// shed idle entries. Only when even the shared-table floor cannot be
+  /// claimed does Create return kResourceExhausted. Degraded execution is
+  /// bit-identical to the preferred shape (same accumulation plan, same
+  /// Normalize ordering); `degraded()` reports that it happened.
   static StatusOr<std::unique_ptr<FusedQuery>> Create(
       const query::QuerySpec& spec, const Database& db, int threads,
       ThreadPool& build_pool,
@@ -80,8 +97,16 @@ class FusedQuery {
   /// synchronization comes from the scan pool's join).
   bool failed() const;
 
+  /// The aggregation shape this instance runs with.
+  AggMode agg_mode() const;
+
+  /// True when budget pressure forced a rung below the preferred shape.
+  bool degraded() const;
+
  private:
   FusedQuery();
+
+  StatusOr<QueryResult> FinishImpl(ThreadPool& pool);
 
   struct Impl;
   std::unique_ptr<Impl> impl_;

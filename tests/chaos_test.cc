@@ -15,6 +15,8 @@
 // detector).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <random>
 #include <sstream>
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/memory.h"
 #include "cpu/build_cache.h"
 #include "query/parser.h"
 #include "query/ssb_specs.h"
@@ -109,8 +112,9 @@ std::string RandomRule(std::mt19937_64& rng, const std::string& point) {
 /// (always at least one rule — a fault-free schedule tests nothing here).
 std::string RandomSchedule(std::mt19937_64& rng) {
   static const char* kPoints[] = {"build_cache.build", "fused.build",
-                                  "fused.morsel", "server.admit",
-                                  "server.batch"};
+                                  "fused.morsel",      "server.admit",
+                                  "server.batch",      "memory.charge",
+                                  "cache.evict"};
   std::string spec;
   for (const char* point : kPoints) {
     if (rng() % 2 == 0) continue;
@@ -219,6 +223,106 @@ TEST(ChaosTest, RandomFaultSchedulesNeverCrashCorruptOrHang) {
   // successes) — a chaos drill where either side is zero tests nothing.
   EXPECT_GT(injected_failures, 0);
   EXPECT_GT(ok_results, 0);
+}
+
+/// Restores an unenforced process budget (and a clean peak) on scope
+/// exit, so a failing assertion can't leak a tight limit into unrelated
+/// tests.
+struct BudgetGuard {
+  ~BudgetGuard() {
+    MemoryBudget::Process().set_limit(0);
+    MemoryBudget::Process().ResetPeak();
+  }
+};
+
+TEST(ChaosTest, TightBudgetSchedulesNeverCrashAndReconcile) {
+  // The OOM drill (docs/ROBUSTNESS.md, "Memory governance"): random fault
+  // schedules — including the governor's own points — while the process
+  // budget is far below the workload's unbudgeted peak. Survival
+  // properties: no crash/abort, exactly one outcome per submission, kOk
+  // results bit-identical to the fault-free reference, memory rejections
+  // retryable with a backoff hint, and the governed ledger reconciling to
+  // its idle baseline once everything drains.
+  BudgetGuard budget_guard;
+  MemoryBudget& budget = MemoryBudget::Process();
+  const int schedules = std::max(8, ScheduleCount() / 4);
+  constexpr int kClients = 3;
+  constexpr int kQueriesPerClient = 6;
+  // Tight to merely-constrained: the smallest admits only scalar shapes,
+  // the largest fits a working set but forces eviction churn.
+  constexpr int64_t kBudgets[] = {256 << 10, 1 << 20, 4 << 20};
+  int64_t mem_rejected = 0;
+  int64_t ok_results = 0;
+  for (int schedule = 0; schedule < schedules; ++schedule) {
+    std::mt19937_64 rng(20260809 + static_cast<uint64_t>(schedule));
+    const std::string fault_spec = RandomSchedule(rng);
+    SCOPED_TRACE("schedule " + std::to_string(schedule) + ": " + fault_spec);
+    fault::Clear();
+    cpu::BuildCache::Process().Clear();
+    const int64_t baseline = budget.used();
+    EXPECT_EQ(baseline, 0) << "governed bytes leaked by an earlier schedule";
+    budget.set_limit(kBudgets[schedule % 3]);
+    ASSERT_TRUE(fault::Install(fault_spec).ok());
+
+    ServerOptions options;
+    options.max_batch = 2 + static_cast<int>(rng() % 7);
+    options.max_queue = 16;
+    options.threads = 2;
+    options.morsel_rows = 1024;
+    {
+      QueryServer server(options);
+      server.AddDatabase("db", &ChaosDb());
+      std::vector<std::thread> clients;
+      std::atomic<int64_t> ok_seen{0};
+      for (int c = 0; c < kClients; ++c) {
+        const uint64_t client_seed = rng();
+        clients.emplace_back([&, client_seed] {
+          std::mt19937_64 client_rng(client_seed);
+          for (int q = 0; q < kQueriesPerClient; ++q) {
+            const size_t pick = client_rng() % SpecPool().size();
+            const QueryOutcome outcome =
+                server.ExecuteSync(SpecPool()[pick], {});
+            if (outcome.status == QueryOutcome::Status::kOk) {
+              // Degraded or not, a kOk result is bit-identical.
+              EXPECT_TRUE(outcome.result == ReferenceResults()[pick])
+                  << "kOk result diverged from the reference for spec "
+                  << pick << (outcome.degraded ? " (degraded)" : "");
+              ok_seen.fetch_add(1);
+            } else {
+              EXPECT_FALSE(outcome.error.empty());
+              if (outcome.retry_after_ms > 0) {
+                // The governor's backoff hint only rides retryable
+                // memory rejections.
+                EXPECT_TRUE(outcome.retryable);
+                EXPECT_EQ(outcome.status, QueryOutcome::Status::kRejected);
+              }
+            }
+          }
+        });
+      }
+      for (std::thread& client : clients) client.join();
+      server.Drain();
+      const ServerStats stats = server.stats();
+      EXPECT_EQ(stats.submitted,
+                static_cast<int64_t>(kClients) * kQueriesPerClient);
+      EXPECT_EQ(stats.completed, stats.submitted);
+      mem_rejected += stats.mem_rejected;
+      ok_results += ok_seen.load();
+    }
+    // Reconciliation: with the server gone, every agg/result claim is
+    // released; cached build sides are the only governed bytes left, and
+    // clearing the cache (no query holds a table now) returns the ledger
+    // to its idle baseline.
+    cpu::BuildCache::Process().Clear();
+    EXPECT_EQ(budget.used(), baseline);
+    budget.set_limit(0);
+  }
+  fault::Clear();
+  cpu::BuildCache::Process().Clear();
+  // The drill must have exercised both sides: real admissions succeeded
+  // and the governor actually rejected oversized work.
+  EXPECT_GT(ok_results, 0);
+  EXPECT_GT(mem_rejected, 0);
 }
 
 TEST(ChaosTest, ServeSessionSurvivesProtocolIoFaults) {

@@ -4,13 +4,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <set>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/aligned.h"
 #include "common/bitutil.h"
 #include "common/fault.h"
+#include "common/memory.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/table_printer.h"
@@ -345,6 +349,223 @@ TEST(FaultTest, KnownPointsAreDocumentedAndInstallable) {
     EXPECT_TRUE(fault::Install(std::string(point.name) + "=fail").ok())
         << point.name;
   }
+}
+
+TEST(MemoryBudgetTest, ChargeReleaseTracksTotalAndCategories) {
+  MemoryBudget budget;
+  EXPECT_EQ(budget.used(), 0);
+  ASSERT_TRUE(budget.TryCharge(MemCategory::kBuildCache, 100).ok());
+  ASSERT_TRUE(budget.TryCharge(MemCategory::kAggScratch, 50).ok());
+  EXPECT_EQ(budget.used(), 150);
+  EXPECT_EQ(budget.used(MemCategory::kBuildCache), 100);
+  EXPECT_EQ(budget.used(MemCategory::kAggScratch), 50);
+  EXPECT_EQ(budget.used(MemCategory::kSparseTables), 0);
+  budget.Release(MemCategory::kBuildCache, 100);
+  EXPECT_EQ(budget.used(), 50);
+  budget.Release(MemCategory::kAggScratch, 50);
+  EXPECT_EQ(budget.used(), 0);
+}
+
+TEST(MemoryBudgetTest, LimitEnforcedWithRollback) {
+  MemoryBudget budget;
+  budget.set_limit(1000);
+  ASSERT_TRUE(budget.TryCharge(MemCategory::kSparseTables, 800).ok());
+  const Status over = budget.TryCharge(MemCategory::kSparseTables, 300);
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
+  // The failed claim rolled back completely: headroom is intact and a
+  // fitting claim still succeeds.
+  EXPECT_EQ(budget.used(), 800);
+  EXPECT_EQ(budget.available(), 200);
+  EXPECT_TRUE(budget.TryCharge(MemCategory::kSparseTables, 200).ok());
+  EXPECT_EQ(budget.available(), 0);
+}
+
+TEST(MemoryBudgetTest, ZeroLimitAccountsButNeverRejects) {
+  MemoryBudget budget;
+  EXPECT_EQ(budget.limit(), 0);
+  EXPECT_EQ(budget.available(), std::numeric_limits<int64_t>::max());
+  EXPECT_TRUE(
+      budget.TryCharge(MemCategory::kResultBuffers, int64_t{1} << 40).ok());
+  EXPECT_EQ(budget.peak(), int64_t{1} << 40);
+  budget.Release(MemCategory::kResultBuffers, int64_t{1} << 40);
+  // Negative limits clamp to "unenforced", matching set_limit's contract.
+  budget.set_limit(-5);
+  EXPECT_EQ(budget.limit(), 0);
+}
+
+TEST(MemoryBudgetTest, PeakIsHighWaterMarkAndResets) {
+  MemoryBudget budget;
+  ASSERT_TRUE(budget.TryCharge(MemCategory::kAggScratch, 500).ok());
+  budget.Release(MemCategory::kAggScratch, 400);
+  ASSERT_TRUE(budget.TryCharge(MemCategory::kAggScratch, 100).ok());
+  EXPECT_EQ(budget.used(), 200);
+  EXPECT_EQ(budget.peak(), 500);
+  budget.ResetPeak();
+  EXPECT_EQ(budget.peak(), 200);  // reset re-seeds from current usage
+}
+
+TEST(MemoryBudgetTest, UnconditionalChargeMayExceedLimit) {
+  MemoryBudget budget;
+  budget.set_limit(100);
+  // Charge() is for memory that already exists (a finished build side):
+  // it never fails, and the overshoot is the eviction pressure signal.
+  budget.Charge(MemCategory::kBuildCache, 250);
+  EXPECT_EQ(budget.used(), 250);
+  EXPECT_EQ(budget.available(), 0);
+  EXPECT_EQ(budget.TryCharge(MemCategory::kAggScratch, 1).code(),
+            StatusCode::kResourceExhausted);
+  budget.Release(MemCategory::kBuildCache, 250);
+}
+
+TEST(MemoryBudgetTest, TryChargeHitsTheFaultPoint) {
+  FaultGuard guard;
+  MemoryBudget budget;
+  ASSERT_TRUE(fault::Install("memory.charge=fail").ok());
+  const Status status = budget.TryCharge(MemCategory::kAggScratch, 10);
+  EXPECT_EQ(status.code(), StatusCode::kFaultInjected);
+  EXPECT_EQ(budget.used(), 0);  // a vetoed claim charges nothing
+}
+
+TEST(MemoryBudgetTest, AlignedLedgerIsSeparateFromGovernedLedger) {
+  MemoryBudget budget;
+  budget.set_limit(64);
+  budget.NoteAligned(1 << 20);
+  // Allocator traffic is observability only: it never consumes the
+  // governed limit (enforcing it would reject the database columns).
+  EXPECT_EQ(budget.aligned_bytes(), 1 << 20);
+  EXPECT_EQ(budget.aligned_peak_bytes(), 1 << 20);
+  EXPECT_EQ(budget.used(), 0);
+  EXPECT_TRUE(budget.TryCharge(MemCategory::kAggScratch, 64).ok());
+  budget.NoteAligned(-(1 << 20));
+  EXPECT_EQ(budget.aligned_bytes(), 0);
+  EXPECT_EQ(budget.aligned_peak_bytes(), 1 << 20);
+}
+
+TEST(MemoryBudgetTest, AlignedAllocatorReportsTraffic) {
+  MemoryBudget& budget = MemoryBudget::Process();
+  const int64_t before = budget.aligned_bytes();
+  {
+    AlignedVector<int32_t> v(1024);  // 4096 bytes, already 64-aligned
+    EXPECT_GE(budget.aligned_bytes(), before + 4096);
+  }
+  EXPECT_EQ(budget.aligned_bytes(), before);  // free returns every byte
+}
+
+TEST(MemoryBudgetTest, ConcurrentChargeReleaseReconciles) {
+  // TSan coverage for the atomic ledgers: hammer TryCharge/Release from
+  // several threads; the budget must reconcile to zero and the peak must
+  // be a value some interleaving actually reached.
+  MemoryBudget budget;
+  budget.set_limit(1 << 20);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&budget, t] {
+      const MemCategory cat = static_cast<MemCategory>(t % kNumMemCategories);
+      for (int i = 0; i < kIters; ++i) {
+        const int64_t bytes = 64 + (i % 7) * 8;
+        if (budget.TryCharge(cat, bytes).ok()) {
+          budget.NoteAligned(bytes);
+          budget.NoteAligned(-bytes);
+          budget.Release(cat, bytes);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(budget.used(), 0);
+  EXPECT_EQ(budget.aligned_bytes(), 0);
+  for (int c = 0; c < kNumMemCategories; ++c) {
+    EXPECT_EQ(budget.used(static_cast<MemCategory>(c)), 0);
+  }
+  EXPECT_GT(budget.peak(), 0);
+  EXPECT_LE(budget.peak(), budget.limit());
+}
+
+TEST(TrackedChargeTest, ReleasesOnDestructionAndOnDemand) {
+  MemoryBudget budget;
+  {
+    StatusOr<TrackedCharge> charge =
+        TrackedCharge::Acquire(budget, MemCategory::kAggScratch, 128);
+    ASSERT_TRUE(charge.ok());
+    EXPECT_TRUE(charge->active());
+    EXPECT_EQ(charge->bytes(), 128);
+    EXPECT_EQ(budget.used(), 128);
+    charge->Release();
+    EXPECT_EQ(budget.used(), 0);
+    charge->Release();  // idempotent
+    EXPECT_EQ(budget.used(), 0);
+  }
+  {
+    StatusOr<TrackedCharge> charge =
+        TrackedCharge::Acquire(budget, MemCategory::kResultBuffers, 64);
+    ASSERT_TRUE(charge.ok());
+  }
+  EXPECT_EQ(budget.used(), 0);  // destructor released
+}
+
+TEST(TrackedChargeTest, MoveTransfersOwnership) {
+  MemoryBudget budget;
+  StatusOr<TrackedCharge> acquired =
+      TrackedCharge::Acquire(budget, MemCategory::kSparseTables, 256);
+  ASSERT_TRUE(acquired.ok());
+  TrackedCharge a = std::move(acquired).value();
+  TrackedCharge b = std::move(a);
+  EXPECT_FALSE(a.active());
+  EXPECT_TRUE(b.active());
+  EXPECT_EQ(budget.used(), 256);  // exactly one live claim
+  TrackedCharge c;
+  c = std::move(b);
+  EXPECT_EQ(budget.used(), 256);
+  c.Release();
+  EXPECT_EQ(budget.used(), 0);
+}
+
+TEST(TrackedChargeTest, FailedAcquireChargesNothing) {
+  MemoryBudget budget;
+  budget.set_limit(100);
+  StatusOr<TrackedCharge> charge =
+      TrackedCharge::Acquire(budget, MemCategory::kAggScratch, 200);
+  EXPECT_FALSE(charge.ok());
+  EXPECT_EQ(charge.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(budget.used(), 0);
+  // AcquireUnchecked is the already-allocated escape hatch: it always
+  // claims, even past the limit.
+  TrackedCharge forced =
+      TrackedCharge::AcquireUnchecked(budget, MemCategory::kAggScratch, 200);
+  EXPECT_EQ(budget.used(), 200);
+  forced.Release();
+  EXPECT_EQ(budget.used(), 0);
+}
+
+TEST(ParseMemBytesTest, GrammarAndSuffixes) {
+  int64_t bytes = -1;
+  EXPECT_TRUE(ParseMemBytes("0", &bytes));
+  EXPECT_EQ(bytes, 0);
+  EXPECT_TRUE(ParseMemBytes("131072", &bytes));
+  EXPECT_EQ(bytes, 131072);
+  EXPECT_TRUE(ParseMemBytes("512k", &bytes));
+  EXPECT_EQ(bytes, int64_t{512} << 10);
+  EXPECT_TRUE(ParseMemBytes("256m", &bytes));
+  EXPECT_EQ(bytes, int64_t{256} << 20);
+  EXPECT_TRUE(ParseMemBytes("2g", &bytes));
+  EXPECT_EQ(bytes, int64_t{2} << 30);
+  EXPECT_TRUE(ParseMemBytes("2G", &bytes));  // suffix is case-insensitive
+  EXPECT_EQ(bytes, int64_t{2} << 30);
+}
+
+TEST(ParseMemBytesTest, RejectsMalformedAndOverflow) {
+  int64_t bytes = 0;
+  EXPECT_FALSE(ParseMemBytes("", &bytes));
+  EXPECT_FALSE(ParseMemBytes("k", &bytes));
+  EXPECT_FALSE(ParseMemBytes("-1", &bytes));
+  EXPECT_FALSE(ParseMemBytes("1.5m", &bytes));
+  EXPECT_FALSE(ParseMemBytes("12x", &bytes));
+  EXPECT_FALSE(ParseMemBytes("256 m", &bytes));
+  EXPECT_FALSE(ParseMemBytes("99999999999999999999", &bytes));
+  EXPECT_FALSE(ParseMemBytes("99999999999g", &bytes));
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/memory.h"
 #include "cpu/build_cache.h"
 #include "cpu/vector_ops.h"
 #include "query/parser.h"
@@ -347,6 +348,46 @@ TEST(QueryServerTest, RejectionsCarryTheRetryContract) {
 
   server.Resume();
   EXPECT_EQ(queued.get().status, QueryOutcome::Status::kOk);
+}
+
+TEST(QueryServerTest, MemoryAdmissionRejectsOversizedAndRunsScalar) {
+  DispatchGuard guard;
+  ServerOptions options;
+  options.threads = 2;
+  // ~1/4 of the workload's unbudgeted peak: far too small for any join
+  // query's build sides, plenty for a scalar aggregate's state.
+  options.memory_budget_bytes = 128 << 10;
+  {
+    QueryServer server(options);
+    server.AddDatabase("db", &TestDb());
+
+    // Scalar shape: no build sides, tiny footprint — always admitted.
+    const QueryOutcome scalar =
+        server.ExecuteSync(query::SsbSpec(ssb::QueryId::kQ11));
+    EXPECT_EQ(scalar.status, QueryOutcome::Status::kOk);
+    EXPECT_TRUE(scalar.result ==
+                ssb::RunReference(TestDb(), query::SsbSpec(ssb::QueryId::kQ11)));
+
+    // Join shape: the date build side alone (~244 KiB direct) exceeds the
+    // whole budget, so the predicted minimum can never fit — a retryable
+    // kResourceExhausted with a backoff hint, decided at admission
+    // (batch_size 0: it never reached the scheduler).
+    const QueryOutcome rejected =
+        server.ExecuteSync(query::SsbSpec(ssb::QueryId::kQ21));
+    EXPECT_EQ(rejected.status, QueryOutcome::Status::kRejected);
+    EXPECT_TRUE(rejected.retryable);
+    EXPECT_GT(rejected.retry_after_ms, 0);
+    EXPECT_NE(rejected.error.find("kResourceExhausted"), std::string::npos)
+        << rejected.error;
+    EXPECT_EQ(rejected.batch_size, 0);
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.mem_rejected, 1);
+    EXPECT_EQ(stats.completed, 2);
+  }
+  MemoryBudget::Process().set_limit(0);
+  cpu::BuildCache::Process().Clear();
+  EXPECT_EQ(MemoryBudget::Process().used(), 0);  // drained ledger
 }
 
 TEST(QueryServerTest, DestructionWhileLoadedFulfillsEveryPromise) {

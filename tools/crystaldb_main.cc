@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/memory.h"
 #include "driver/driver.h"
 #include "engine/registry.h"
 #include "query/parser.h"
@@ -102,6 +103,11 @@ Server mode (docs/SERVER.md):
                      interpreter; any mismatch exits 2.
   --serve-watchdog=MS  Flag batches whose morsel heartbeat stalls for MS
                      ms (stderr + server_stats; default 5000, 0 = off).
+  --mem-budget=SPEC  Memory governor limit: bytes with an optional k/m/g
+                     binary suffix ("256m", "2g"); 0 = account but never
+                     enforce. Default: inherit CRYSTAL_MEM_BUDGET, else
+                     unenforced. See docs/ROBUSTNESS.md, "Memory
+                     governance".
 
   SIGINT/SIGTERM shut the service down gracefully: input stops, in-flight
   queries drain (each still gets its response line), the final
@@ -316,6 +322,18 @@ int main(int argc, char** argv) {
       if (value == nullptr || std::atof(value) < 0)
         return FlagError("--serve-watchdog needs a non-negative number");
       serve_config.server.watchdog_ms = std::atof(value);
+    } else if (ParseFlag(arg, "--mem-budget", &value)) {
+      int64_t budget_bytes = 0;
+      if (value == nullptr ||
+          !crystal::ParseMemBytes(value, &budget_bytes)) {
+        return FlagError(
+            "--mem-budget needs bytes with an optional k/m/g suffix");
+      }
+      // Install on the process budget directly so standalone driver runs
+      // are governed too, not just --serve (the server ctor re-installs
+      // the same limit via ServerOptions).
+      crystal::MemoryBudget::Process().set_limit(budget_bytes);
+      serve_config.server.memory_budget_bytes = budget_bytes;
     } else if (ParseFlag(arg, "--fact-divisor", &value)) {
       if (value == nullptr || std::atoi(value) < 1)
         return FlagError("--fact-divisor needs a positive integer");

@@ -329,6 +329,17 @@ std::string Settings(const BenchFile& f) {
          std::to_string(
              static_cast<int>(f.root.NumberOr("workload_count", 0)));
   }
+  // Memory-governor budget: a budgeted run pays admission rejections,
+  // cache evictions and degraded (sparse/shared) aggregation on purpose,
+  // so its timings answer a different question than an unbudgeted run's.
+  // mem_budget == 0 means unenforced — the same regime as files from
+  // before the governor existed, so it stays out of the fingerprint and
+  // old baselines remain comparable.
+  const long long mem_budget =
+      static_cast<long long>(f.root.NumberOr("mem_budget", 0));
+  if (mem_budget != 0) {
+    s += " mem_budget=" + std::to_string(mem_budget);
+  }
   return s;
 }
 
